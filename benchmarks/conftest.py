@@ -1,0 +1,24 @@
+"""Shared fixtures for the benchmark harness.
+
+The benchmarks use the reduced (``tiny``) inputs so the full harness runs in
+a few minutes; EXPERIMENTS.md records the default-size results produced by
+``python -m repro.experiments.report``.  Heavy whole-suite benchmarks are
+executed with a single round (``benchmark.pedantic``) because one evaluation
+sweep is already seconds long.
+"""
+
+import pytest
+
+from repro.experiments.evaluation import SuiteEvaluation
+from repro.workloads.suite import SuiteParameters
+
+
+@pytest.fixture(scope="session")
+def bench_parameters() -> SuiteParameters:
+    return SuiteParameters.tiny()
+
+
+@pytest.fixture(scope="session")
+def bench_evaluation(bench_parameters) -> SuiteEvaluation:
+    """Shared evaluation cache; each benchmark touches the slices it needs."""
+    return SuiteEvaluation(parameters=bench_parameters)

@@ -1,0 +1,62 @@
+"""Benchmarks that regenerate the paper's figures (1, 3, 4, 5, 6, 7)."""
+
+import pytest
+
+from repro.experiments import figure1, figure3, figure4, figure5, figure6, figure7
+
+
+def test_figure1_region_scalability(benchmark, bench_evaluation):
+    """Figure 1: scalar vs vector region scalability on the µSIMD machines."""
+    def run():
+        return figure1.average_scalability(bench_evaluation)
+
+    summary = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert summary["usimd-8w"]["vector"] > summary["usimd-8w"]["scalar"]
+
+
+def test_figure3_latency_descriptors(benchmark):
+    """Figure 3: latency descriptors across vector lengths (analytic)."""
+    rows = benchmark(figure3.generate)
+    assert any(r["operation"] == "vector load" for r in rows)
+
+
+def test_figure4_motion_estimation_schedule(benchmark):
+    """Figure 4: schedule the dist1 SAD kernel on the 2-issue Vector2 machine."""
+    data = benchmark(figure4.generate)
+    assert data["vector_operations"] == 16
+
+
+def test_figure5a_vector_regions_perfect_memory(benchmark, bench_evaluation):
+    """Figure 5a: vector-region speed-ups with perfect memory."""
+    def run():
+        return figure5.average_speedups(bench_evaluation, perfect_memory=True)
+
+    averages = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert averages["vector2-2w"] > averages["usimd-8w"]
+
+
+def test_figure5b_vector_regions_realistic_memory(benchmark, bench_evaluation):
+    """Figure 5b: vector-region speed-ups with the full memory hierarchy."""
+    def run():
+        return figure5.average_speedups(bench_evaluation, perfect_memory=False)
+
+    averages = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert averages["vector2-2w"] > averages["usimd-2w"]
+
+
+def test_figure6_application_speedup(benchmark, bench_evaluation):
+    """Figure 6: whole-application speed-ups for the ten configurations."""
+    def run():
+        return figure6.average_speedups(bench_evaluation)
+
+    averages = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert averages["vector2-4w"] > averages["usimd-4w"]
+
+
+def test_figure7_operation_counts(benchmark, bench_evaluation):
+    """Figure 7: normalised dynamic operation counts per region."""
+    def run():
+        return figure7.generate(bench_evaluation)
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert len(rows) == len(bench_evaluation.benchmark_names) * len(figure7.FAMILY_CONFIGS)

@@ -1,0 +1,108 @@
+"""Micro-benchmarks of the substrates plus ablation sweeps.
+
+These are not figures of the paper; they measure the cost of the simulator's
+own building blocks (useful when extending the model) and run the two
+ablations DESIGN.md calls out: the vector-cache latency and the number of
+vector lanes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.compiler.ir import ISAFlavor
+from repro.compiler.scheduler import schedule_segment
+from repro.core.architecture import VectorMicroSimdVliwMachine
+from repro.isa import packed
+from repro.machine.config import get_config
+from repro.machine.latency import LatencyModel
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.memory.cache import SetAssociativeCache
+from repro.workloads.mpeg2.motion import build_sad_kernel_program
+from repro.workloads.jpeg.programs import JpegParameters, build_jpeg_enc_program
+
+
+def test_packed_psadbw_throughput(benchmark):
+    """Functional emulation cost of the packed SAD primitive."""
+    rng = np.random.default_rng(0)
+    a = rng.integers(0, 256, (1024, 8), dtype=np.uint8)
+    b = rng.integers(0, 256, (1024, 8), dtype=np.uint8)
+    result = benchmark(packed.psadbw, a, b)
+    assert result.shape == (1024,)
+
+
+def test_cache_access_throughput(benchmark):
+    """Tag-store access rate of the set-associative cache model."""
+    cache = SetAssociativeCache(16 * 1024, 4, 32)
+    addresses = [(i * 24) % 65536 for i in range(4096)]
+
+    def run():
+        for address in addresses:
+            cache.access(address)
+        return cache.stats.accesses
+
+    assert benchmark(run) > 0
+
+
+def test_vector_access_throughput(benchmark):
+    """Vector-path access rate of the full hierarchy."""
+    hierarchy = MemoryHierarchy(get_config("vector2-2w").memory, l2_port_words=4)
+    hierarchy.preload(0, 1 << 16)
+
+    def run():
+        total = 0
+        for i in range(512):
+            total += hierarchy.vector_access((i * 128) % (1 << 16), 8, 16).latency
+        return total
+
+    assert benchmark(run) > 0
+
+
+def test_scheduler_throughput(benchmark):
+    """List-scheduling rate on the Figure-4 kernel."""
+    program = build_sad_kernel_program(ISAFlavor.VECTOR)
+    segment = program.segments()[0]
+    config = get_config("vector2-2w")
+    schedule = benchmark(schedule_segment, segment, config)
+    assert schedule.operation_count == 16
+
+
+def test_whole_benchmark_simulation(benchmark):
+    """End-to-end simulation cost of one benchmark on one configuration."""
+    params = JpegParameters(width=32, height=32)
+    program = build_jpeg_enc_program(ISAFlavor.VECTOR, params)
+    machine = VectorMicroSimdVliwMachine.from_name("vector2-4w")
+
+    def run():
+        return machine.run(program).total_cycles
+
+    cycles = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert cycles > 0
+
+
+@pytest.mark.parametrize("l2_latency", [3, 5, 9])
+def test_ablation_vector_cache_latency(benchmark, l2_latency):
+    """Ablation: sensitivity of the vector regions to the vector-cache latency."""
+    params = JpegParameters(width=32, height=32)
+    program = build_jpeg_enc_program(ISAFlavor.VECTOR, params)
+    model = LatencyModel().with_overrides(vector_load=l2_latency, vector_store=l2_latency)
+    machine = VectorMicroSimdVliwMachine(get_config("vector2-2w"), latency_model=model)
+
+    def run():
+        return machine.run(program).vector_region_cycles
+
+    cycles = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert cycles > 0
+
+
+@pytest.mark.parametrize("config_name", ["vector1-2w", "vector2-2w", "vector2-4w"])
+def test_ablation_vector_units(benchmark, config_name):
+    """Ablation: doubling the vector units (Vector1 vs Vector2, 2w vs 4w)."""
+    params = JpegParameters(width=32, height=32)
+    program = build_jpeg_enc_program(ISAFlavor.VECTOR, params)
+    machine = VectorMicroSimdVliwMachine.from_name(config_name)
+
+    def run():
+        return machine.run(program).vector_region_cycles
+
+    cycles = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert cycles > 0

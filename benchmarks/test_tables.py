@@ -1,0 +1,33 @@
+"""Benchmarks that regenerate the paper's tables (Tables 1, 2 and 3)."""
+
+import pytest
+
+from repro.experiments import table1, table2, table3
+
+
+def test_table2_processor_configurations(benchmark):
+    """Table 2: render the ten machine configurations (static, fast)."""
+    rows = benchmark(table2.generate)
+    assert len(rows) == 10
+
+
+def test_table1_vector_regions(benchmark, bench_evaluation):
+    """Table 1: vectorisation percentage of every benchmark on usimd-2w."""
+    def run():
+        return table1.generate(bench_evaluation)
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    measured = {row["benchmark"]: row["measured_percent"] for row in rows}
+    assert measured["mpeg2_enc"] == max(measured.values())
+    assert measured["gsm_dec"] == min(measured.values())
+
+
+def test_table3_opc_uopc_speedup(benchmark, bench_evaluation):
+    """Table 3: per-region OPC / µOPC / speed-up averaged over the suite."""
+    def run():
+        return table3.generate(bench_evaluation)
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    by_config = {row["config"]: row for row in rows}
+    assert by_config["vector2-2w"]["vector_uopc"] > by_config["usimd-2w"]["vector_uopc"]
+    assert by_config["usimd-8w"]["scalar_speedup"] < 2.0

@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Design-space exploration beyond the paper's ten configurations.
+
+The paper fixes four vector lanes, a 4×64-bit vector-cache port and a
+5-cycle vector cache.  This example sweeps those choices on the gsm_enc and
+jpeg_enc vector regions to show where the returns diminish — the kind of
+follow-on study the paper's conclusions invite (its stated future work is
+the memory hierarchy).
+
+Run with::
+
+    python examples/design_space.py
+"""
+
+from dataclasses import replace
+
+from repro import ISAFlavor, VectorMicroSimdVliwMachine
+from repro.machine.config import get_config
+from repro.machine.latency import LatencyModel
+from repro.workloads.jpeg.programs import JpegParameters, build_jpeg_enc_program
+from repro.workloads.gsm.programs import GsmParameters, build_gsm_enc_program
+
+
+def build_programs():
+    return {
+        "jpeg_enc": build_jpeg_enc_program(ISAFlavor.VECTOR,
+                                           JpegParameters(width=32, height=32)),
+        "gsm_enc": build_gsm_enc_program(ISAFlavor.VECTOR, GsmParameters(frames=1)),
+    }
+
+
+def sweep_vector_lanes(programs) -> None:
+    print("=== vector lanes (paper uses 4) ===")
+    base = get_config("vector2-2w")
+    for lanes in (1, 2, 4, 8):
+        config = replace(base, vector_lanes=lanes)
+        machine = VectorMicroSimdVliwMachine(config)
+        cells = []
+        for name, program in programs.items():
+            stats = machine.run(program)
+            cells.append(f"{name}: {stats.vector_region_cycles:8d} cycles")
+        print(f"  {lanes} lanes   " + "   ".join(cells))
+
+
+def sweep_l2_port(programs) -> None:
+    print("\n=== L2 vector-cache port width (paper uses 4 x 64-bit) ===")
+    base = get_config("vector2-2w")
+    for words in (1, 2, 4, 8):
+        config = replace(base, l2_port_words=words)
+        machine = VectorMicroSimdVliwMachine(config)
+        cells = []
+        for name, program in programs.items():
+            stats = machine.run(program)
+            cells.append(f"{name}: {stats.vector_region_cycles:8d} cycles")
+        print(f"  {words} words   " + "   ".join(cells))
+
+
+def sweep_vector_cache_latency(programs) -> None:
+    print("\n=== vector-cache latency (paper uses 5 cycles) ===")
+    for latency in (3, 5, 9, 15):
+        model = LatencyModel().with_overrides(vector_load=latency, vector_store=latency)
+        machine = VectorMicroSimdVliwMachine(get_config("vector2-2w"),
+                                             latency_model=model)
+        cells = []
+        for name, program in programs.items():
+            stats = machine.run(program)
+            cells.append(f"{name}: {stats.vector_region_cycles:8d} cycles")
+        print(f"  {latency:2d} cycles " + "   ".join(cells))
+
+
+def main() -> None:
+    programs = build_programs()
+    sweep_vector_lanes(programs)
+    sweep_l2_port(programs)
+    sweep_vector_cache_latency(programs)
+    print("\nTakeaway: with the short vector lengths of these kernels, four lanes"
+          "\nand a 4-word port already capture most of the benefit, matching the"
+          "\npaper's claim that 'a larger number of lanes would not pay off'.")
+
+
+if __name__ == "__main__":
+    main()

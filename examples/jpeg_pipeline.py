@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""JPEG pipeline example: functional kernels plus the architectural comparison.
+
+Part 1 runs the *functional* JPEG encoder kernels (colour conversion, DCT,
+quantisation, entropy coding) on a synthetic image and verifies the µSIMD /
+Vector-µSIMD implementations agree with the scalar reference while the
+bit-stream round-trips exactly.
+
+Part 2 runs the *timing* model of the full jpeg_enc benchmark on several of
+the paper's machine configurations and prints the speed-ups and the share of
+time spent in the vector regions (the Amdahl effect of §5.2).
+
+Run with::
+
+    python examples/jpeg_pipeline.py
+"""
+
+import numpy as np
+
+from repro import ISAFlavor
+from repro.core.runner import run_benchmark
+from repro.workloads.data import synthetic_image
+from repro.workloads.jpeg import color, dct, huffman, quant
+from repro.workloads.jpeg.programs import JpegParameters
+from repro.workloads.suite import SuiteParameters, build_benchmark
+
+
+def functional_pipeline() -> None:
+    print("=== functional JPEG encoder kernels (64x64 synthetic image) ===")
+    image = synthetic_image(64, 64, channels=3, seed=11)
+
+    # colour conversion in all three ISA flavours
+    reference = color.rgb_to_ycc_reference(image)
+    planar = tuple(image[..., channel].ravel() for channel in range(3))
+    usimd_result = color.rgb_to_ycc_usimd(planar)
+    vector_result = color.rgb_to_ycc_vector(planar)
+    assert all(np.array_equal(a, b) for a, b in zip(usimd_result, vector_result))
+    assert np.array_equal(usimd_result[0], reference[..., 0].ravel())
+    print("colour conversion: scalar, µSIMD and vector versions agree exactly")
+
+    # forward DCT + quantisation + entropy coding of the luminance plane
+    luma = reference[..., 0]
+    coefficients = dct.forward_dct_image(luma)
+    quantised = quant.quantize_reference(coefficients, quant.LUMINANCE_QTABLE)
+    assert np.array_equal(quant.quantize_vector(coefficients, quant.LUMINANCE_QTABLE),
+                          quantised)
+
+    writer = huffman.BitWriter()
+    for by in range(0, 64, 8):
+        for bx in range(0, 64, 8):
+            huffman.encode_block(quantised[by:by + 8, bx:bx + 8], writer)
+    bitstream = writer.getvalue()
+    print(f"entropy coder: {luma.size} luminance samples -> {len(bitstream)} bytes "
+          f"({8 * len(bitstream) / luma.size:.2f} bits/pixel)")
+
+    reader = huffman.BitReader(bitstream)
+    decoded = np.zeros_like(quantised)
+    for by in range(0, 64, 8):
+        for bx in range(0, 64, 8):
+            decoded[by:by + 8, bx:bx + 8] = huffman.decode_block(reader)
+    assert np.array_equal(decoded, quantised)
+    restored = dct.inverse_dct_image(quant.dequantize_reference(decoded,
+                                                                quant.LUMINANCE_QTABLE))
+    error = np.abs(restored.astype(int) - luma.astype(int)).mean()
+    print(f"bit-stream round-trips exactly; reconstruction error {error:.2f} "
+          "grey levels (quantisation loss only)")
+
+
+def architectural_comparison() -> None:
+    print("\n=== jpeg_enc timing model across machine configurations ===")
+    params = SuiteParameters(jpeg=JpegParameters(width=48, height=48))
+    spec = build_benchmark("jpeg_enc", params)
+    configs = ["vliw-2w", "vliw-8w", "usimd-2w", "usimd-8w", "vector2-2w", "vector2-4w"]
+    result = run_benchmark(spec, config_names=configs)
+    baseline = result["vliw-2w"]
+    print(f"{'config':12s} {'cycles':>10s} {'speed-up':>9s} {'vector-region share':>20s}")
+    for name in configs:
+        stats = result[name]
+        print(f"{name:12s} {stats.total_cycles:10d} "
+              f"{stats.speedup_over(baseline):9.2f} "
+              f"{100 * stats.vectorization_fraction:19.1f}%")
+    print("\nNote how the vector configurations shrink the vector regions to a small\n"
+          "fraction of the runtime, leaving the scalar (entropy-coding) part as the\n"
+          "bottleneck — the Amdahl argument of the paper's §5.2.")
+
+
+def main() -> None:
+    functional_pipeline()
+    architectural_comparison()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""The paper's running example: the dist1 motion-estimation SAD kernel.
+
+Reproduces Figure 4 and the surrounding discussion:
+
+* the Vector-µSIMD version needs only 16 operations to process a complete
+  8×16 block (the µSIMD version needs ~172, the scalar version thousands);
+* the static schedule on a 2-issue Vector2 machine is ~18-20 cycles;
+* the vector loads use a stride equal to the image width, so under a real
+  memory system the processor stalls — the effect behind mpeg2_enc's
+  degradation in Figure 5(b);
+* the functional SAD kernels (scalar / µSIMD / vector) agree exactly, and an
+  exhaustive search over a synthetic video recovers the true motion.
+
+Run with::
+
+    python examples/motion_estimation.py
+"""
+
+import numpy as np
+
+from repro import ISAFlavor, VectorMicroSimdVliwMachine
+from repro.workloads.data import synthetic_video
+from repro.workloads.mpeg2.motion import (build_sad_kernel_program, full_search_reference,
+                                          sad_block_reference, sad_block_usimd,
+                                          sad_block_vector)
+
+
+def schedule_comparison() -> None:
+    print("=== static schedule (Figure 4) ===")
+    machine = VectorMicroSimdVliwMachine.from_name("vector2-2w")
+    for flavor in (ISAFlavor.VECTOR, ISAFlavor.USIMD, ISAFlavor.SCALAR):
+        program = build_sad_kernel_program(flavor)
+        print(f"{flavor.label:8s}: {program.dynamic_operation_count():5d} operations, "
+              f"{program.dynamic_micro_op_count():6d} micro-operations")
+    vector_program = build_sad_kernel_program(ISAFlavor.VECTOR)
+    print()
+    print(machine.schedule_listing(vector_program.segments()[0]))
+
+
+def functional_check() -> None:
+    print("\n=== functional equivalence of the three SAD implementations ===")
+    rng = np.random.default_rng(42)
+    current = rng.integers(0, 256, (16, 16), dtype=np.uint8)
+    candidate = rng.integers(0, 256, (16, 16), dtype=np.uint8)
+    reference = sad_block_reference(current, candidate)
+    print(f"reference SAD = {reference}")
+    print(f"µSIMD SAD     = {sad_block_usimd(current, candidate)}")
+    print(f"vector SAD    = {sad_block_vector(current, candidate)}")
+
+
+def motion_search() -> None:
+    print("\n=== exhaustive search on a synthetic video ===")
+    video = synthetic_video(frames=2, width=96, height=64, dx=3, dy=1)
+    for mb_row, mb_col in ((16, 16), (32, 48), (16, 64)):
+        (dy, dx), sad = full_search_reference(video[0], video[1], mb_row, mb_col,
+                                              radius=4)
+        print(f"macroblock at ({mb_row:2d},{mb_col:2d}): "
+              f"best motion vector (dy={dy:+d}, dx={dx:+d}), SAD={sad}")
+    print("(the synthetic sequence translates by dx=3, dy=1 per frame, so the "
+          "best vectors are (-1, -3))")
+
+
+def stride_sensitivity() -> None:
+    print("\n=== run-time effect of the non-unit stride (Figure 5b) ===")
+    program = build_sad_kernel_program(ISAFlavor.VECTOR, image_width=64)
+    for perfect in (True, False):
+        machine = VectorMicroSimdVliwMachine.from_name("vector2-2w",
+                                                       perfect_memory=perfect)
+        stats = machine.run(program)
+        label = "perfect memory " if perfect else "realistic memory"
+        print(f"{label}: {stats.total_cycles:4d} cycles "
+              f"({stats.total_stall_cycles} stall cycles)")
+
+
+def main() -> None:
+    schedule_comparison()
+    functional_check()
+    motion_search()
+    stride_sensitivity()
+
+
+if __name__ == "__main__":
+    main()

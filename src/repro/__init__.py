@@ -1,0 +1,52 @@
+"""repro — reproduction of the Vector-µSIMD-VLIW architecture (ICPP 2005).
+
+This library rebuilds, in Python, the system evaluated in Esther Salamí and
+Mateo Valero, *A Vector-µSIMD-VLIW Architecture for Multimedia
+Applications*, ICPP 2005:
+
+* the ISA layer (scalar VLIW, µSIMD packed operations and the MOM-style
+  Vector-µSIMD extension with packed accumulators) — :mod:`repro.isa`;
+* the ten machine configurations of Table 2 with their latency descriptors
+  and resource constraints — :mod:`repro.machine`;
+* the memory hierarchy with the two-bank L2 vector cache — :mod:`repro.memory`;
+* the static (Trimaran-like) compiler: kernel IR, dependence analysis and
+  the VLIW list scheduler with vector chaining — :mod:`repro.compiler`;
+* the in-order, stall-on-violation timing simulator — :mod:`repro.sim`;
+* the Mediabench-style workloads (JPEG, MPEG-2, GSM) written in the three
+  ISA flavours — :mod:`repro.workloads`;
+* the experiment harness that regenerates every table and figure of the
+  paper's evaluation — :mod:`repro.experiments`.
+
+Quick start::
+
+    from repro import VectorMicroSimdVliwMachine
+    from repro.workloads.mpeg2.motion import build_sad_kernel_program
+
+    machine = VectorMicroSimdVliwMachine.from_name("vector2-2w")
+    program = build_sad_kernel_program()          # Figure-4 kernel
+    stats = machine.run(program)
+    print(stats.total_cycles, stats.opc)
+"""
+
+from repro.core.architecture import VectorMicroSimdVliwMachine
+from repro.core.runner import BenchmarkSpec, BenchmarkResult, run_benchmark
+from repro.compiler.ir import ISAFlavor
+from repro.compiler.builder import KernelBuilder
+from repro.machine.config import PAPER_CONFIGS, PAPER_CONFIG_ORDER, get_config
+from repro.machine.latency import LatencyModel
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "VectorMicroSimdVliwMachine",
+    "BenchmarkSpec",
+    "BenchmarkResult",
+    "run_benchmark",
+    "ISAFlavor",
+    "KernelBuilder",
+    "PAPER_CONFIGS",
+    "PAPER_CONFIG_ORDER",
+    "get_config",
+    "LatencyModel",
+    "__version__",
+]

@@ -1,0 +1,56 @@
+"""Static compilation layer: kernel IR, dependence analysis and scheduling.
+
+The paper compiles its benchmarks with Trimaran/Elcor for an HPL-PD machine
+extended with µSIMD and Vector-µSIMD operations; the emulation-library calls
+in the hand-written sources are replaced by real operations and statically
+scheduled against the resource and latency constraints of each target
+configuration.  This package plays that role:
+
+* :mod:`repro.compiler.ir` — virtual registers, affine address expressions,
+  operations, loops and region-tagged kernel programs;
+* :mod:`repro.compiler.builder` — the :class:`KernelBuilder` DSL the
+  workload modules use to express each kernel in each ISA flavour;
+* :mod:`repro.compiler.dataflow` — dependence graph construction (RAW /
+  WAR / WAW, accumulator recurrences, memory ordering);
+* :mod:`repro.compiler.scheduler` — the greedy cycle scheduler that packs
+  operations into VLIW instructions subject to the reservation table, the
+  latency descriptors and vector chaining;
+* :mod:`repro.compiler.regalloc` — register-pressure verification against
+  the register files of the target configuration.
+"""
+
+from repro.compiler.ir import (
+    ISAFlavor,
+    VirtualRegister,
+    AddressExpr,
+    LoopVar,
+    Operation,
+    Segment,
+    LoopNode,
+    KernelProgram,
+)
+from repro.compiler.builder import KernelBuilder
+from repro.compiler.dataflow import DependenceGraph, build_dependence_graph
+from repro.compiler.scheduler import Schedule, ScheduledOperation, schedule_segment, compile_program, CompiledProgram
+from repro.compiler.regalloc import RegisterPressureReport, check_register_pressure
+
+__all__ = [
+    "ISAFlavor",
+    "VirtualRegister",
+    "AddressExpr",
+    "LoopVar",
+    "Operation",
+    "Segment",
+    "LoopNode",
+    "KernelProgram",
+    "KernelBuilder",
+    "DependenceGraph",
+    "build_dependence_graph",
+    "Schedule",
+    "ScheduledOperation",
+    "schedule_segment",
+    "compile_program",
+    "CompiledProgram",
+    "RegisterPressureReport",
+    "check_register_pressure",
+]

@@ -1,0 +1,363 @@
+"""The :class:`KernelBuilder` DSL used by the workload modules.
+
+The builder plays the role of the paper's emulation library plus the part of
+the compiler that replaces emulation calls by machine operations: workload
+code calls methods such as :meth:`KernelBuilder.mload`,
+:meth:`KernelBuilder.simd` or :meth:`KernelBuilder.vsad` and the builder
+records the corresponding IR operations, organised into region-tagged loops
+and segments that the scheduler and simulator consume.
+
+A sketch of the Figure-4 motion-estimation kernel::
+
+    b = KernelBuilder("dist1", ISAFlavor.VECTOR)
+    with b.region("R1", "Motion estimation", vectorizable=True):
+        b.setvs(stride_words=row_stride // 8)
+        b.setvl(8)
+        acc = b.acc_clear()
+        v1 = b.vload(b.addr(block_a.base), vl=8, stride_bytes=row_stride)
+        v2 = b.vload(b.addr(block_b.base), vl=8, stride_bytes=row_stride)
+        acc = b.vsad(acc, v1, v2, vl=8)
+        sad = b.vsum(acc)
+        b.store(b.addr(result.base), sad)
+    program = b.program()
+
+Loops are expressed with the :meth:`loop` context manager, which creates a
+fresh induction variable, optionally emits the loop-control operations
+(index increment, compare, branch) and restores the enclosing scope on exit.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.compiler.ir import (
+    AddressExpr,
+    ISAFlavor,
+    KernelProgram,
+    LoopNode,
+    LoopVar,
+    Operation,
+    ProgramNode,
+    RegionInfo,
+    Segment,
+)
+from repro.isa.operations import Opcode, descriptor_for
+from repro.isa.registers import RegisterClass
+from repro.memory.layout import ArraySpec
+
+__all__ = ["KernelBuilder"]
+
+AddressLike = Union[AddressExpr, ArraySpec, int]
+
+
+def _as_address(value: AddressLike) -> AddressExpr:
+    if isinstance(value, AddressExpr):
+        return value
+    if isinstance(value, ArraySpec):
+        return AddressExpr(base=value.base)
+    if isinstance(value, int):
+        return AddressExpr(base=value)
+    raise TypeError(f"cannot interpret {value!r} as an address")
+
+
+class KernelBuilder:
+    """Incrementally constructs a :class:`KernelProgram`."""
+
+    def __init__(self, name: str, flavor: ISAFlavor,
+                 address_space=None) -> None:
+        self.name = name
+        self.flavor = flavor
+        self.address_space = address_space
+        self._top: List[ProgramNode] = []
+        self._body_stack: List[List[ProgramNode]] = [self._top]
+        self._region_stack: List[str] = ["R0"]
+        self._regions: dict[str, RegionInfo] = {
+            "R0": RegionInfo(name="R0", description="scalar region", vectorizable=False)
+        }
+
+    # ------------------------------------------------------------------ state
+
+    @property
+    def current_region(self) -> str:
+        return self._region_stack[-1]
+
+    def _current_body(self) -> List[ProgramNode]:
+        return self._body_stack[-1]
+
+    def _current_segment(self) -> Segment:
+        body = self._current_body()
+        if body and isinstance(body[-1], Segment) and body[-1].region == self.current_region:
+            return body[-1]
+        segment = Segment(region=self.current_region)
+        body.append(segment)
+        return segment
+
+    def emit(self, operation: Operation) -> Operation:
+        """Append a fully constructed operation to the current segment."""
+        self._check_flavor(operation)
+        self._current_segment().operations.append(operation)
+        return operation
+
+    def _check_flavor(self, operation: Operation) -> None:
+        cls = descriptor_for(operation.opcode).op_class
+        if cls.is_vector or cls.is_vector_memory:
+            if self.flavor is not ISAFlavor.VECTOR:
+                raise ValueError(
+                    f"{self.name}: vector operation {operation.opcode} in a "
+                    f"{self.flavor.value} program")
+        elif cls.is_simd:
+            if self.flavor is ISAFlavor.SCALAR:
+                raise ValueError(
+                    f"{self.name}: µSIMD operation {operation.opcode} in a scalar program")
+
+    # -------------------------------------------------------------- registers
+
+    def int_reg(self, name: str = "") -> "VirtualRegisterProxy":
+        from repro.compiler.ir import VirtualRegister
+        return VirtualRegister.fresh(RegisterClass.INT, name)
+
+    def simd_reg(self, name: str = ""):
+        from repro.compiler.ir import VirtualRegister
+        return VirtualRegister.fresh(RegisterClass.SIMD, name)
+
+    def vector_reg(self, name: str = ""):
+        from repro.compiler.ir import VirtualRegister
+        return VirtualRegister.fresh(RegisterClass.VECTOR, name)
+
+    def accum_reg(self, name: str = ""):
+        from repro.compiler.ir import VirtualRegister
+        return VirtualRegister.fresh(RegisterClass.ACCUM, name)
+
+    def pred_reg(self, name: str = ""):
+        from repro.compiler.ir import VirtualRegister
+        return VirtualRegister.fresh(RegisterClass.PRED, name)
+
+    # ---------------------------------------------------------------- regions
+
+    @contextlib.contextmanager
+    def region(self, name: str, description: str = "",
+               vectorizable: bool = True) -> Iterator[None]:
+        """Enter a named region (``R1``, ``R2``, ...) for the enclosed code."""
+        if name not in self._regions:
+            self._regions[name] = RegionInfo(name=name, description=description,
+                                             vectorizable=vectorizable)
+        self._region_stack.append(name)
+        try:
+            yield
+        finally:
+            self._region_stack.pop()
+
+    # ------------------------------------------------------------------ loops
+
+    @contextlib.contextmanager
+    def loop(self, trip_count: int, name: str = "i",
+             control: bool = True) -> Iterator[LoopVar]:
+        """Counted loop; yields the induction variable.
+
+        When ``control`` is true, the builder appends the loop-control
+        operations (index increment, compare against the bound, conditional
+        branch) to the loop body, so the per-iteration operation counts
+        include the loop overhead the paper talks about when it credits the
+        vector versions with removing it.
+        """
+        var = LoopVar.fresh(name)
+        loop = LoopNode(var=var, trip_count=int(trip_count),
+                        region=self.current_region, label=name)
+        self._current_body().append(loop)
+        self._body_stack.append(loop.body)
+        index_reg = self.int_reg(f"{name}_idx")
+        try:
+            yield var
+        finally:
+            if control:
+                pred = self.pred_reg(f"{name}_cond")
+                self.emit(Operation(Opcode.ADD, dests=(index_reg,), srcs=(index_reg,),
+                                    comment=f"{name} += 1"))
+                self.emit(Operation(Opcode.CMP, dests=(pred,), srcs=(index_reg,),
+                                    comment=f"{name} < {trip_count}"))
+                self.emit(Operation(Opcode.BRANCH, srcs=(pred,),
+                                    comment=f"loop {name}"))
+            self._body_stack.pop()
+
+    # -------------------------------------------------------------- addresses
+
+    def addr(self, base: AddressLike, *terms: Tuple[LoopVar, int],
+             offset: int = 0, wrap_bytes: Optional[int] = None) -> AddressExpr:
+        """Build an affine address: ``base + offset + Σ coef * var``."""
+        expr = _as_address(base).shifted(offset)
+        if wrap_bytes is not None:
+            expr = AddressExpr(base=expr.base, terms=expr.terms, wrap_bytes=wrap_bytes)
+        for var, coef in terms:
+            expr = expr.with_term(var, coef)
+        return expr
+
+    # ------------------------------------------------------------ scalar code
+
+    def iop(self, opcode: Opcode = Opcode.ADD,
+            srcs: Sequence = (), comment: str = "", name: str = ""):
+        """Emit one scalar integer operation and return its destination."""
+        dest = self.int_reg(name)
+        self.emit(Operation(opcode, dests=(dest,), srcs=tuple(srcs), comment=comment))
+        return dest
+
+    def const(self, comment: str = "constant") -> "VirtualRegisterProxy":
+        """Materialise a constant into an integer register (one MOV)."""
+        return self.iop(Opcode.MOV, comment=comment)
+
+    def independent_ops(self, count: int, opcode: Opcode = Opcode.ADD,
+                        comment: str = "") -> List:
+        """Emit ``count`` mutually independent scalar operations."""
+        return [self.iop(opcode, comment=comment) for _ in range(count)]
+
+    def dependent_chain(self, length: int, opcode: Opcode = Opcode.ADD,
+                        start=None, comment: str = ""):
+        """Emit a chain of ``length`` operations, each depending on the previous.
+
+        Dependence chains are the reason the scalar regions of the paper fail
+        to scale with issue width; the scalar-region builders use this helper
+        to express recurrences (bit-buffer updates, prefix sums, IIR filters).
+        """
+        value = start if start is not None else self.iop(Opcode.MOV, comment=comment)
+        for _ in range(max(0, length)):
+            value = self.iop(opcode, srcs=(value,), comment=comment)
+        return value
+
+    def load(self, address: AddressLike, comment: str = "", name: str = ""):
+        """Scalar 64-bit load through the L1."""
+        dest = self.int_reg(name)
+        self.emit(Operation(Opcode.LOAD, dests=(dest,), srcs=(),
+                            address=_as_address(address), comment=comment))
+        return dest
+
+    def load8(self, address: AddressLike, comment: str = "", name: str = ""):
+        """Scalar byte load through the L1."""
+        dest = self.int_reg(name)
+        self.emit(Operation(Opcode.LOAD8, dests=(dest,), srcs=(),
+                            address=_as_address(address), comment=comment))
+        return dest
+
+    def store(self, address: AddressLike, src, comment: str = "") -> None:
+        """Scalar 64-bit store through the L1."""
+        self.emit(Operation(Opcode.STORE, srcs=(src,),
+                            address=_as_address(address), comment=comment))
+
+    def store8(self, address: AddressLike, src, comment: str = "") -> None:
+        """Scalar byte store through the L1."""
+        self.emit(Operation(Opcode.STORE8, srcs=(src,),
+                            address=_as_address(address), comment=comment))
+
+    def table_lookup(self, table: ArraySpec, index_reg, comment: str = "table lookup"):
+        """Data-dependent load inside ``table`` (address wraps inside the table).
+
+        The access address depends on a run-time value the timing model
+        cannot know, so the address expression scatters deterministically
+        within the table's footprint (see :class:`AddressExpr.wrap_bytes`).
+        """
+        expr = AddressExpr(base=table.base, wrap_bytes=max(table.size_bytes, 1))
+        dest = self.int_reg("lut")
+        self.emit(Operation(Opcode.LOAD, dests=(dest,), srcs=(index_reg,),
+                            address=expr, comment=comment))
+        return dest
+
+    # ------------------------------------------------------------- µSIMD code
+
+    def mload(self, address: AddressLike, comment: str = "", name: str = ""):
+        """µSIMD 64-bit packed load through the L1."""
+        dest = self.simd_reg(name)
+        self.emit(Operation(Opcode.MLOAD, dests=(dest,), srcs=(),
+                            address=_as_address(address), comment=comment))
+        return dest
+
+    def mstore(self, address: AddressLike, src, comment: str = "") -> None:
+        """µSIMD 64-bit packed store through the L1."""
+        self.emit(Operation(Opcode.MSTORE, srcs=(src,),
+                            address=_as_address(address), comment=comment))
+
+    def simd(self, opcode: Opcode, *srcs, subwords: Optional[int] = None,
+             ndest: int = 1, comment: str = ""):
+        """Emit one µSIMD computation operation.
+
+        Returns a single destination register, or a tuple when ``ndest`` is
+        greater than one (e.g. the unpack operations produce a low and a
+        high half).
+        """
+        dests = tuple(self.simd_reg() for _ in range(ndest))
+        self.emit(Operation(opcode, dests=dests, srcs=tuple(srcs),
+                            subwords=subwords, comment=comment))
+        return dests[0] if ndest == 1 else dests
+
+    def psad(self, a, b, comment: str = "SAD"):
+        """µSIMD sum of absolute differences; the result lands in an int register."""
+        dest = self.int_reg("sad")
+        self.emit(Operation(Opcode.PSADBW, dests=(dest,), srcs=(a, b), comment=comment))
+        return dest
+
+    # ------------------------------------------------------------ vector code
+
+    def setvl(self, vector_length: int, comment: str = "") -> None:
+        """Write the vector-length special register."""
+        self.emit(Operation(Opcode.SETVL, comment=comment or f"VL={vector_length}"))
+
+    def setvs(self, stride_words: int, comment: str = "") -> None:
+        """Write the vector-stride special register (stride in 64-bit words)."""
+        self.emit(Operation(Opcode.SETVS, comment=comment or f"VS={stride_words}"))
+
+    def vload(self, address: AddressLike, vl: int, stride_bytes: int = 8,
+              comment: str = "", name: str = ""):
+        """Vector load of ``vl`` packed words with the given byte stride."""
+        dest = self.vector_reg(name)
+        self.emit(Operation(Opcode.VLOAD, dests=(dest,), srcs=(),
+                            address=_as_address(address), stride_bytes=stride_bytes,
+                            vector_length=vl, comment=comment))
+        return dest
+
+    def vstore(self, address: AddressLike, src, vl: int, stride_bytes: int = 8,
+               comment: str = "") -> None:
+        """Vector store of ``vl`` packed words with the given byte stride."""
+        self.emit(Operation(Opcode.VSTORE, srcs=(src,),
+                            address=_as_address(address), stride_bytes=stride_bytes,
+                            vector_length=vl, comment=comment))
+
+    def vop(self, opcode: Opcode, *srcs, vl: int, subwords: Optional[int] = None,
+            ndest: int = 1, comment: str = ""):
+        """Emit one vector computation operation of length ``vl``."""
+        dests = tuple(self.vector_reg() for _ in range(ndest))
+        self.emit(Operation(opcode, dests=dests, srcs=tuple(srcs),
+                            vector_length=vl, subwords=subwords, comment=comment))
+        return dests[0] if ndest == 1 else dests
+
+    def acc_clear(self, comment: str = "A=0"):
+        """Clear a packed accumulator and return it."""
+        acc = self.accum_reg()
+        self.emit(Operation(Opcode.ACCCLEAR, dests=(acc,), comment=comment))
+        return acc
+
+    def vsad(self, acc, a, b, vl: int, comment: str = "A=SAD(V,V)"):
+        """Vector SAD accumulated into ``acc`` (returns the accumulator)."""
+        self.emit(Operation(Opcode.VSAD, dests=(acc,), srcs=(acc, a, b),
+                            vector_length=vl, comment=comment))
+        return acc
+
+    def vmac(self, acc, a, b, vl: int, comment: str = "A+=V*V"):
+        """Vector multiply-accumulate into ``acc`` (returns the accumulator)."""
+        self.emit(Operation(Opcode.VMAC, dests=(acc,), srcs=(acc, a, b),
+                            vector_length=vl, subwords=4, comment=comment))
+        return acc
+
+    def vsum(self, acc, comment: str = "R=SUM(A)"):
+        """Reduce a packed accumulator to a scalar integer register."""
+        dest = self.int_reg("sum")
+        self.emit(Operation(Opcode.VSUM, dests=(dest,), srcs=(acc,), comment=comment))
+        return dest
+
+    # ------------------------------------------------------------------ build
+
+    def program(self) -> KernelProgram:
+        """Finish building and return the program."""
+        if len(self._body_stack) != 1:
+            raise RuntimeError("unbalanced loop() contexts while building program")
+        return KernelProgram(name=self.name, flavor=self.flavor,
+                             body=self._top, regions=dict(self._regions),
+                             address_space=self.address_space)

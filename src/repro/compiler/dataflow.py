@@ -1,0 +1,185 @@
+"""Dependence analysis over straight-line segments.
+
+The scheduler needs, for every segment, the set of ordering constraints
+between its operations:
+
+* **RAW** (true) dependences through virtual registers;
+* **WAR** / **WAW** (anti / output) dependences — rare in the builder's
+  mostly-SSA output, but accumulators and loop induction variables are
+  updated in place;
+* **memory ordering** between stores and later memory operations that may
+  touch the same data.  The paper's toolchain includes interprocedural
+  pointer analysis and cost-effective memory disambiguation, so the
+  conservative case is only applied when two accesses are structurally the
+  same address or both are data-dependent look-ups into the same table.
+
+Edges carry a *kind* only; the scheduler assigns latencies because they
+depend on the target configuration (vector length, lanes, port width and
+whether chaining applies).
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.compiler.ir import Operation, Segment
+from repro.isa.registers import RegisterClass
+
+__all__ = ["DependenceKind", "DependenceEdge", "DependenceGraph",
+           "build_dependence_graph", "loop_carried_registers"]
+
+
+class DependenceKind(enum.Enum):
+    """Classification of a dependence edge."""
+
+    RAW = "raw"
+    WAR = "war"
+    WAW = "waw"
+    MEMORY = "memory"
+
+
+@dataclass(frozen=True)
+class DependenceEdge:
+    """A directed dependence from ``producer`` to ``consumer`` (segment indices)."""
+
+    producer: int
+    consumer: int
+    kind: DependenceKind
+    register_class: Optional[RegisterClass] = None
+
+    def __post_init__(self) -> None:
+        if self.consumer <= self.producer and self.kind is not DependenceKind.WAR:
+            # WAR edges can legally connect an op to itself conceptually (an
+            # operation that overwrites one of its own sources); everything
+            # else must point forward in program order.
+            if self.consumer <= self.producer:
+                raise ValueError("dependence edges must point forward in program order")
+
+
+@dataclass
+class DependenceGraph:
+    """Dependence edges of one segment, with adjacency helpers."""
+
+    operations: Sequence[Operation]
+    edges: List[DependenceEdge] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._successors: Dict[int, List[DependenceEdge]] = defaultdict(list)
+        self._predecessors: Dict[int, List[DependenceEdge]] = defaultdict(list)
+        for edge in self.edges:
+            self._successors[edge.producer].append(edge)
+            self._predecessors[edge.consumer].append(edge)
+
+    def add_edge(self, edge: DependenceEdge) -> None:
+        self.edges.append(edge)
+        self._successors[edge.producer].append(edge)
+        self._predecessors[edge.consumer].append(edge)
+
+    def successors(self, index: int) -> List[DependenceEdge]:
+        """Outgoing edges of the operation at ``index``."""
+        return self._successors.get(index, [])
+
+    def predecessors(self, index: int) -> List[DependenceEdge]:
+        """Incoming edges of the operation at ``index``."""
+        return self._predecessors.get(index, [])
+
+    def roots(self) -> List[int]:
+        """Indices of operations with no predecessors."""
+        return [i for i in range(len(self.operations)) if not self.predecessors(i)]
+
+    def edge_count(self) -> int:
+        return len(self.edges)
+
+
+def _may_alias(a: Operation, b: Operation) -> bool:
+    """Conservative may-alias test between two memory operations."""
+    if a.address is None or b.address is None:  # pragma: no cover - defensive
+        return True
+    if a.address.structurally_equal(b.address):
+        return True
+    # Two data-dependent accesses into the same table may collide.
+    if (a.address.wrap_bytes and b.address.wrap_bytes
+            and a.address.base == b.address.base):
+        return True
+    return False
+
+
+def build_dependence_graph(segment: Segment) -> DependenceGraph:
+    """Construct the dependence graph of one segment.
+
+    The builder emits operations in program order, so every edge points
+    forward; the resulting graph is a DAG by construction and program order
+    is a valid topological order (a property the scheduler exploits).
+    """
+    ops = list(segment.operations)
+    graph = DependenceGraph(operations=ops, edges=[])
+
+    last_writer: Dict[int, int] = {}
+    readers_since_write: Dict[int, List[int]] = defaultdict(list)
+    reg_class: Dict[int, RegisterClass] = {}
+    pending_stores: List[int] = []
+
+    for index, op in enumerate(ops):
+        # register dependences -------------------------------------------------
+        for src in op.srcs:
+            reg_class[src.ident] = src.reg_class
+            writer = last_writer.get(src.ident)
+            if writer is not None and writer != index:
+                graph.add_edge(DependenceEdge(writer, index, DependenceKind.RAW,
+                                              register_class=src.reg_class))
+            readers_since_write[src.ident].append(index)
+        for dest in op.dests:
+            reg_class[dest.ident] = dest.reg_class
+            writer = last_writer.get(dest.ident)
+            if writer is not None and writer != index:
+                graph.add_edge(DependenceEdge(writer, index, DependenceKind.WAW,
+                                              register_class=dest.reg_class))
+            for reader in readers_since_write.get(dest.ident, []):
+                if reader != index and reader < index:
+                    graph.add_edge(DependenceEdge(reader, index, DependenceKind.WAR,
+                                                  register_class=dest.reg_class))
+            last_writer[dest.ident] = index
+            readers_since_write[dest.ident] = []
+
+        # memory ordering -------------------------------------------------------
+        if op.is_memory:
+            for store_index in pending_stores:
+                if _may_alias(ops[store_index], op):
+                    graph.add_edge(DependenceEdge(store_index, index,
+                                                  DependenceKind.MEMORY))
+            if op.is_store:
+                pending_stores.append(index)
+
+    return graph
+
+
+def loop_carried_registers(segment: Segment) -> Dict[int, Tuple[int, RegisterClass]]:
+    """Registers whose value crosses loop iterations, with their last writer.
+
+    A register is loop-carried when some operation reads it at or before the
+    position of its (last) writer in program order — i.e. the read uses the
+    value produced by the previous iteration.  The induction variable of
+    every loop and the packed accumulators of reduction kernels fall in this
+    category; the scheduler uses the result to bound the initiation interval
+    of the loop body (a software recurrence constraint).
+    """
+    ops = list(segment.operations)
+    first_read: Dict[int, int] = {}
+    last_write: Dict[int, int] = {}
+    classes: Dict[int, RegisterClass] = {}
+    for index, op in enumerate(ops):
+        for src in op.srcs:
+            first_read.setdefault(src.ident, index)
+            classes[src.ident] = src.reg_class
+        for dest in op.dests:
+            last_write[dest.ident] = index
+            classes[dest.ident] = dest.reg_class
+    carried: Dict[int, Tuple[int, RegisterClass]] = {}
+    for reg, read_index in first_read.items():
+        write_index = last_write.get(reg)
+        if write_index is not None and write_index >= read_index:
+            carried[reg] = (write_index, classes[reg])
+    return carried

@@ -1,0 +1,404 @@
+"""Kernel intermediate representation.
+
+A *kernel program* is a tree of loops and straight-line segments of
+operations, tagged with the region (R0, R1, ...) they belong to.  The IR is
+deliberately close to what the paper's hand-written emulation-library codes
+look like after the compiler has replaced the emulation calls with machine
+operations:
+
+* operations read and write *virtual registers* of the five architectural
+  register classes (integer, µSIMD, vector, accumulator, predicate);
+* memory operations carry an *affine address expression* over the enclosing
+  loop variables, which is what lets the timing simulator generate the
+  address stream of every dynamic instance without re-tracing the kernel;
+* vector operations additionally carry their static vector length and the
+  byte stride of vector memory accesses (the values the compiler would move
+  into the VL/VS registers).
+
+The same IR is used for the scalar, µSIMD and Vector-µSIMD versions of every
+kernel — only the opcodes and the loop structure differ — so the dynamic
+operation and micro-operation accounting of Figure 7 / Table 3 falls out of
+one code path.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.isa.operations import Opcode, OpClass, descriptor_for, micro_ops_for
+from repro.isa.registers import RegisterClass
+
+__all__ = [
+    "ISAFlavor",
+    "LoopVar",
+    "AddressExpr",
+    "VirtualRegister",
+    "Operation",
+    "Segment",
+    "LoopNode",
+    "ProgramNode",
+    "KernelProgram",
+    "RegionInfo",
+]
+
+
+class ISAFlavor(enum.Enum):
+    """Which ISA a program version targets."""
+
+    SCALAR = "scalar"
+    USIMD = "usimd"
+    VECTOR = "vector"
+
+    @property
+    def label(self) -> str:
+        return {"scalar": "VLIW", "usimd": "+uSIMD", "vector": "+Vector"}[self.value]
+
+
+_loop_var_ids = itertools.count()
+_vreg_ids = itertools.count()
+_op_ids = itertools.count()
+
+
+@dataclass(frozen=True, eq=True)
+class LoopVar:
+    """A loop induction variable (identified by id, named for readability)."""
+
+    ident: int
+    name: str
+
+    @staticmethod
+    def fresh(name: str = "i") -> "LoopVar":
+        return LoopVar(ident=next(_loop_var_ids), name=name)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.name}#{self.ident}"
+
+
+@dataclass(frozen=True)
+class AddressExpr:
+    """Affine byte-address expression ``base + Σ coef_k * var_k``.
+
+    ``terms`` maps loop variables to byte coefficients.  Addresses are
+    evaluated against an environment of loop-variable values supplied by the
+    simulator when it walks the loop nest.
+
+    ``wrap_bytes`` (optional) reduces the variable part modulo a span before
+    adding it to the base.  It models data-dependent accesses — table
+    look-ups in the Huffman/VLC scalar regions — whose exact address is not
+    an affine function of the loop indices but whose footprint (the table)
+    is known; the resulting address stream scatters deterministically inside
+    the table, which is what the cache model needs.
+    """
+
+    base: int
+    terms: Tuple[Tuple[LoopVar, int], ...] = ()
+    wrap_bytes: Optional[int] = None
+
+    def evaluate(self, env: Mapping[LoopVar, int]) -> int:
+        """Evaluate the expression for concrete loop index values."""
+        offset = 0
+        for var, coef in self.terms:
+            try:
+                offset += coef * env[var]
+            except KeyError as exc:
+                raise KeyError(
+                    f"loop variable {var!r} not bound while evaluating address") from exc
+        if self.wrap_bytes:
+            offset %= self.wrap_bytes
+        return self.base + offset
+
+    def shifted(self, offset: int) -> "AddressExpr":
+        """Return a copy displaced by ``offset`` bytes."""
+        return AddressExpr(base=self.base + offset, terms=self.terms,
+                           wrap_bytes=self.wrap_bytes)
+
+    def with_term(self, var: LoopVar, coef: int) -> "AddressExpr":
+        """Return a copy with an additional affine term."""
+        if coef == 0:
+            return self
+        return AddressExpr(base=self.base, terms=self.terms + ((var, coef),),
+                           wrap_bytes=self.wrap_bytes)
+
+    @property
+    def variables(self) -> Tuple[LoopVar, ...]:
+        return tuple(var for var, _ in self.terms)
+
+    def structurally_equal(self, other: "AddressExpr") -> bool:
+        """True when both expressions are the same affine function."""
+        return (self.base == other.base
+                and self.wrap_bytes == other.wrap_bytes
+                and sorted((v.ident, c) for v, c in self.terms)
+                == sorted((v.ident, c) for v, c in other.terms))
+
+
+@dataclass(frozen=True, eq=True)
+class VirtualRegister:
+    """A value produced/consumed by operations, typed by register class."""
+
+    ident: int
+    reg_class: RegisterClass
+    name: str = ""
+
+    @staticmethod
+    def fresh(reg_class: RegisterClass, name: str = "") -> "VirtualRegister":
+        ident = next(_vreg_ids)
+        return VirtualRegister(ident=ident, reg_class=reg_class,
+                               name=name or f"v{ident}")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        prefix = {
+            RegisterClass.INT: "r",
+            RegisterClass.SIMD: "m",
+            RegisterClass.VECTOR: "V",
+            RegisterClass.ACCUM: "A",
+            RegisterClass.PRED: "p",
+            RegisterClass.SPECIAL: "s",
+        }[self.reg_class]
+        return f"{prefix}{self.ident}"
+
+
+@dataclass
+class Operation:
+    """One machine operation instance in a kernel program.
+
+    Attributes
+    ----------
+    opcode:
+        Canonical opcode name (see :class:`repro.isa.operations.Opcode`).
+    dests / srcs:
+        Virtual registers written / read.
+    address:
+        Affine address expression for memory operations, ``None`` otherwise.
+    stride_bytes:
+        Byte distance between consecutive vector elements of a vector memory
+        operation (8 = stride one).  Ignored for other operations.
+    vector_length:
+        Static vector length used by vector operations (the value the
+        compiler proved for the VL register; the maximum 16 when unknown).
+    subwords:
+        Element-width override for micro-operation accounting.
+    comment:
+        Free-form annotation used by the schedule pretty-printer
+        (e.g. ``"V1=[R1]"`` in the Figure-4 listing).
+    """
+
+    opcode: str
+    dests: Tuple[VirtualRegister, ...] = ()
+    srcs: Tuple[VirtualRegister, ...] = ()
+    address: Optional[AddressExpr] = None
+    stride_bytes: int = 8
+    vector_length: int = 1
+    subwords: Optional[int] = None
+    comment: str = ""
+    ident: int = field(default_factory=lambda: next(_op_ids))
+
+    def __post_init__(self) -> None:
+        if isinstance(self.opcode, Opcode):
+            self.opcode = self.opcode.value
+        self.dests = tuple(self.dests)
+        self.srcs = tuple(self.srcs)
+        desc = descriptor_for(self.opcode)
+        if desc.op_class.is_memory and self.address is None:
+            raise ValueError(f"memory operation {self.opcode} needs an address")
+        if self.vector_length < 1:
+            raise ValueError("vector_length must be >= 1")
+
+    # -- classification helpers ----------------------------------------------
+
+    @property
+    def op_class(self) -> OpClass:
+        return descriptor_for(self.opcode).op_class
+
+    @property
+    def is_memory(self) -> bool:
+        return self.op_class.is_memory
+
+    @property
+    def is_vector_memory(self) -> bool:
+        return self.op_class.is_vector_memory
+
+    @property
+    def is_store(self) -> bool:
+        return self.op_class.is_store
+
+    @property
+    def is_vector(self) -> bool:
+        return self.op_class.is_vector or self.op_class.is_vector_memory
+
+    def micro_ops(self) -> int:
+        """Micro-operations performed by one dynamic instance."""
+        return micro_ops_for(self.opcode, self.vector_length, self.subwords)
+
+    def reads(self) -> Tuple[VirtualRegister, ...]:
+        return self.srcs
+
+    def writes(self) -> Tuple[VirtualRegister, ...]:
+        return self.dests
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        dest = ",".join(map(repr, self.dests))
+        src = ",".join(map(repr, self.srcs))
+        text = f"{self.opcode}"
+        if dest:
+            text += f" {dest}"
+        if src:
+            text += f" <- {src}"
+        if self.comment:
+            text += f"  ; {self.comment}"
+        return text
+
+
+@dataclass
+class Segment:
+    """A straight-line run of operations (one scheduling unit)."""
+
+    operations: List[Operation] = field(default_factory=list)
+    region: str = "R0"
+    label: str = ""
+
+    def __iter__(self) -> Iterator[Operation]:
+        return iter(self.operations)
+
+    def __len__(self) -> int:
+        return len(self.operations)
+
+    @property
+    def static_operations(self) -> int:
+        return len(self.operations)
+
+    @property
+    def static_micro_ops(self) -> int:
+        return sum(op.micro_ops() for op in self.operations)
+
+    @property
+    def memory_operations(self) -> List[Operation]:
+        return [op for op in self.operations if op.is_memory]
+
+
+@dataclass
+class LoopNode:
+    """A counted loop whose body is a list of segments and nested loops."""
+
+    var: LoopVar
+    trip_count: int
+    body: List["ProgramNode"] = field(default_factory=list)
+    region: str = "R0"
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.trip_count < 0:
+            raise ValueError("trip count cannot be negative")
+
+    def iterations(self) -> range:
+        return range(self.trip_count)
+
+
+ProgramNode = Union[Segment, LoopNode]
+
+
+@dataclass(frozen=True)
+class RegionInfo:
+    """Descriptive information about one region of a benchmark."""
+
+    name: str
+    description: str = ""
+    vectorizable: bool = False
+
+
+@dataclass
+class KernelProgram:
+    """A complete kernel or application program in one ISA flavour.
+
+    ``address_space`` optionally records the allocator the program's buffers
+    came from; the runner uses it to pre-load the program's working set into
+    the L2/L3 caches before timing, modelling the fact that a real
+    application's kernel inputs were just produced by the previous pipeline
+    stage (the paper observes high hit ratios for exactly this reason).
+    """
+
+    name: str
+    flavor: ISAFlavor
+    body: List[ProgramNode] = field(default_factory=list)
+    regions: Dict[str, RegionInfo] = field(default_factory=dict)
+    address_space: Optional[object] = None
+
+    # -- traversal helpers ----------------------------------------------------
+
+    def walk_segments(self) -> Iterator[Tuple[Segment, Tuple[LoopNode, ...]]]:
+        """Yield every segment together with its enclosing loop stack."""
+        yield from _walk(self.body, ())
+
+    def segments(self) -> List[Segment]:
+        """All segments in program order."""
+        return [seg for seg, _ in self.walk_segments()]
+
+    def static_operation_count(self) -> int:
+        """Static (not weighted by trip counts) operation count."""
+        return sum(len(seg) for seg in self.segments())
+
+    def dynamic_operation_count(self) -> int:
+        """Operations executed by one run of the program."""
+        total = 0
+        for seg, loops in self.walk_segments():
+            weight = 1
+            for loop in loops:
+                weight *= loop.trip_count
+            total += weight * len(seg)
+        return total
+
+    def dynamic_micro_op_count(self) -> int:
+        """Micro-operations executed by one run of the program."""
+        total = 0
+        for seg, loops in self.walk_segments():
+            weight = 1
+            for loop in loops:
+                weight *= loop.trip_count
+            total += weight * seg.static_micro_ops
+        return total
+
+    def dynamic_counts_by_region(self) -> Dict[str, Tuple[int, int]]:
+        """Per-region ``(operations, micro_operations)`` executed by one run."""
+        counts: Dict[str, Tuple[int, int]] = {}
+        for seg, loops in self.walk_segments():
+            weight = 1
+            for loop in loops:
+                weight *= loop.trip_count
+            ops, uops = counts.get(seg.region, (0, 0))
+            counts[seg.region] = (ops + weight * len(seg),
+                                  uops + weight * seg.static_micro_ops)
+        return counts
+
+    def region_names(self) -> List[str]:
+        """Region names in first-appearance order."""
+        seen: List[str] = []
+        for seg, _ in self.walk_segments():
+            if seg.region not in seen:
+                seen.append(seg.region)
+        return seen
+
+    def concatenated(self, other: "KernelProgram", name: Optional[str] = None) -> "KernelProgram":
+        """Sequential composition of two programs of the same flavour."""
+        if other.flavor is not self.flavor:
+            raise ValueError("cannot concatenate programs of different ISA flavours")
+        regions = dict(self.regions)
+        regions.update(other.regions)
+        return KernelProgram(
+            name=name or f"{self.name}+{other.name}",
+            flavor=self.flavor,
+            body=list(self.body) + list(other.body),
+            regions=regions,
+        )
+
+
+def _walk(nodes: Iterable[ProgramNode],
+          stack: Tuple[LoopNode, ...]) -> Iterator[Tuple[Segment, Tuple[LoopNode, ...]]]:
+    for node in nodes:
+        if isinstance(node, Segment):
+            yield node, stack
+        elif isinstance(node, LoopNode):
+            yield from _walk(node.body, stack + (node,))
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unexpected program node {node!r}")

@@ -1,0 +1,110 @@
+"""Register-pressure verification.
+
+The builders emit nearly-SSA code with virtual registers, so a real register
+allocator is unnecessary for timing purposes; what matters is that a kernel
+does not require more simultaneously-live registers of a class than the
+target configuration provides (Table 2 sizes the integer, µSIMD, vector and
+accumulator files differently per configuration).  This module computes the
+maximum number of simultaneously live virtual registers per class for every
+segment and checks it against the machine's register files.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.compiler.ir import KernelProgram, Segment
+from repro.isa.registers import RegisterClass
+from repro.machine.config import MachineConfig
+
+__all__ = ["RegisterPressureReport", "segment_pressure", "check_register_pressure"]
+
+
+@dataclass
+class RegisterPressureReport:
+    """Maximum live registers per class, with any capacity violations."""
+
+    max_live: Dict[RegisterClass, int] = field(default_factory=dict)
+    violations: List[Tuple[RegisterClass, int, int]] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when every register class fits in the target's register file."""
+        return not self.violations
+
+    def merge(self, other: "RegisterPressureReport") -> None:
+        """Fold another report into this one (taking per-class maxima)."""
+        for reg_class, live in other.max_live.items():
+            self.max_live[reg_class] = max(self.max_live.get(reg_class, 0), live)
+        self.violations.extend(other.violations)
+
+
+def segment_pressure(segment: Segment) -> Dict[RegisterClass, int]:
+    """Maximum simultaneously-live virtual registers per class in ``segment``.
+
+    Liveness is computed over program order: a register becomes live at its
+    first definition (or first use, for values live on entry such as loop
+    induction variables) and dies after its last use.
+    """
+    ops = list(segment.operations)
+    first_seen: Dict[int, int] = {}
+    last_seen: Dict[int, int] = {}
+    reg_class: Dict[int, RegisterClass] = {}
+    for index, op in enumerate(ops):
+        for reg in tuple(op.srcs) + tuple(op.dests):
+            first_seen.setdefault(reg.ident, index)
+            last_seen[reg.ident] = index
+            reg_class[reg.ident] = reg.reg_class
+
+    live_events: Dict[RegisterClass, List[Tuple[int, int]]] = {}
+    for reg, start in first_seen.items():
+        end = last_seen[reg]
+        live_events.setdefault(reg_class[reg], []).append((start, end))
+
+    pressure: Dict[RegisterClass, int] = {}
+    for cls, intervals in live_events.items():
+        max_live = 0
+        for index in range(len(ops)):
+            live = sum(1 for start, end in intervals if start <= index <= end)
+            max_live = max(max_live, live)
+        pressure[cls] = max_live
+    return pressure
+
+
+_CAPACITY_ATTRS = {
+    RegisterClass.INT: "int_regs",
+    RegisterClass.SIMD: "simd_regs",
+    RegisterClass.VECTOR: "vector_regs",
+    RegisterClass.ACCUM: "accum_regs",
+}
+
+
+def check_register_pressure(program: KernelProgram,
+                            config: MachineConfig) -> RegisterPressureReport:
+    """Check every segment of ``program`` against the register files of ``config``.
+
+    Predicate registers are not limited (HPL-PD provides a large predicate
+    file) and µSIMD pressure is checked against the vector register file on
+    vector configurations, where packed values live in vector registers of
+    length one.
+    """
+    report = RegisterPressureReport()
+    for segment, _ in program.walk_segments():
+        for reg_class, live in segment_pressure(segment).items():
+            report.max_live[reg_class] = max(report.max_live.get(reg_class, 0), live)
+
+    for reg_class, live in report.max_live.items():
+        if reg_class in (RegisterClass.PRED, RegisterClass.SPECIAL):
+            continue
+        attr = _CAPACITY_ATTRS.get(reg_class)
+        if attr is None:  # pragma: no cover - defensive
+            continue
+        capacity = getattr(config, attr)
+        if reg_class is RegisterClass.SIMD and capacity == 0 and config.vector_regs:
+            capacity = config.vector_regs
+        if capacity and live > capacity:
+            report.violations.append((reg_class, live, capacity))
+        elif capacity == 0 and live > 0:
+            report.violations.append((reg_class, live, capacity))
+    return report

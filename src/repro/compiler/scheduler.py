@@ -1,0 +1,262 @@
+"""Greedy cycle (list) scheduler for VLIW targets.
+
+For each straight-line segment the scheduler packs operations into long
+instructions subject to:
+
+* the dependence graph of the segment (:mod:`repro.compiler.dataflow`);
+* the per-cycle resources of the target configuration (issue slots,
+  functional units and cache ports, :mod:`repro.machine.resources`);
+* the latency descriptors of each operation, including the vector-length /
+  lane dependent descriptors of Figure 3 and chaining between dependent
+  vector operations through the vector register file (§3.3).
+
+The output is a :class:`Schedule`: operation → issue cycle, from which the
+simulator derives the iteration initiation interval, the pipeline drain time
+and the schedule-time ("assumed") latency of every memory operation.  The
+compiler schedules **all** memory operations as cache hits and all vector
+memory operations as stride-one accesses; run-time violations of either
+assumption stall the processor (handled in :mod:`repro.sim`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.compiler.dataflow import (
+    DependenceEdge,
+    DependenceGraph,
+    DependenceKind,
+    build_dependence_graph,
+    loop_carried_registers,
+)
+from repro.compiler.ir import KernelProgram, LoopNode, Operation, ProgramNode, Segment
+from repro.isa.registers import RegisterClass
+from repro.machine.config import MachineConfig
+from repro.machine.latency import LatencyModel
+from repro.machine.resources import (
+    ReservationTable,
+    capacities_for,
+    requests_for,
+)
+
+__all__ = [
+    "ScheduledOperation",
+    "Schedule",
+    "schedule_segment",
+    "CompiledProgram",
+    "compile_program",
+]
+
+
+@dataclass(frozen=True)
+class ScheduledOperation:
+    """One operation with its assigned issue cycle and timing metadata."""
+
+    operation: Operation
+    cycle: int
+    occupancy: int
+    assumed_latency: int
+
+    @property
+    def completion(self) -> int:
+        """Cycle at which the full architectural result is available."""
+        return self.cycle + self.assumed_latency
+
+    @property
+    def busy_until(self) -> int:
+        """Cycle after which the functional unit / port is free again."""
+        return self.cycle + max(1, self.occupancy)
+
+
+@dataclass
+class Schedule:
+    """Static schedule of one segment on one machine configuration."""
+
+    segment: Segment
+    config_name: str
+    entries: List[ScheduledOperation] = field(default_factory=list)
+    recurrence_interval: int = 0
+
+    @property
+    def issue_makespan(self) -> int:
+        """Cycles needed to issue the whole segment once (>= 1 when non-empty)."""
+        if not self.entries:
+            return 0
+        return max(entry.busy_until for entry in self.entries)
+
+    @property
+    def initiation_interval(self) -> int:
+        """Cycles between the starts of consecutive iterations of the segment.
+
+        Bounded below by the loop-carried recurrences of the segment (e.g. a
+        packed accumulator that every iteration both reads and writes).
+        """
+        return max(self.issue_makespan, self.recurrence_interval)
+
+    @property
+    def drain_cycles(self) -> int:
+        """Extra cycles, after the last initiation, for results to complete."""
+        if not self.entries:
+            return 0
+        last_completion = max(entry.completion for entry in self.entries)
+        return max(0, last_completion - self.initiation_interval)
+
+    @property
+    def operation_count(self) -> int:
+        return len(self.entries)
+
+    def memory_operations(self) -> List[ScheduledOperation]:
+        """Scheduled memory operations in issue order."""
+        return sorted((e for e in self.entries if e.operation.is_memory),
+                      key=lambda e: e.cycle)
+
+    def by_cycle(self) -> Dict[int, List[ScheduledOperation]]:
+        """Group the scheduled operations by issue cycle."""
+        table: Dict[int, List[ScheduledOperation]] = {}
+        for entry in self.entries:
+            table.setdefault(entry.cycle, []).append(entry)
+        return dict(sorted(table.items()))
+
+    def format_table(self) -> str:
+        """Human-readable schedule listing (used by the Figure-4 example)."""
+        lines = [f"schedule of '{self.segment.label or self.segment.region}' "
+                 f"on {self.config_name} "
+                 f"(II={self.initiation_interval}, drain={self.drain_cycles})"]
+        for cycle, entries in self.by_cycle().items():
+            ops = " | ".join(e.operation.comment or e.operation.opcode for e in entries)
+            lines.append(f"  cycle {cycle:3d}: {ops}")
+        return "\n".join(lines)
+
+
+def _edge_latency(edge: DependenceEdge, producer: ScheduledOperation | Operation,
+                  vector_length: int, config: MachineConfig,
+                  latency_model: LatencyModel) -> int:
+    """Minimum cycles between the issue of producer and consumer of ``edge``."""
+    op = producer.operation if isinstance(producer, ScheduledOperation) else producer
+    if edge.kind is DependenceKind.RAW:
+        if (edge.register_class is RegisterClass.VECTOR
+                and op.op_class.is_vector or op.op_class.is_vector_memory):
+            if edge.register_class is RegisterClass.VECTOR:
+                # chaining: the consumer starts as soon as the first element
+                # of the producer is available.
+                return latency_model.chain_latency(op.opcode, config)
+        return latency_model.result_latency(op.opcode, op.vector_length, config)
+    if edge.kind is DependenceKind.WAW:
+        return max(1, latency_model.occupancy(op.opcode, op.vector_length, config))
+    if edge.kind is DependenceKind.WAR:
+        # the overwrite may not start before the (possibly multi-cycle) read
+        # of the earlier consumer has finished.
+        descriptor = latency_model.descriptor(op.opcode, op.vector_length, config)
+        return descriptor.latest_read
+    if edge.kind is DependenceKind.MEMORY:
+        return max(1, latency_model.occupancy(op.opcode, op.vector_length, config))
+    raise ValueError(f"unknown dependence kind {edge.kind}")  # pragma: no cover
+
+
+def _priorities(graph: DependenceGraph, config: MachineConfig,
+                latency_model: LatencyModel) -> List[int]:
+    """Critical-path-to-sink priority of every operation (higher = schedule first)."""
+    ops = graph.operations
+    priority = [0] * len(ops)
+    for index in range(len(ops) - 1, -1, -1):
+        op = ops[index]
+        own = latency_model.result_latency(op.opcode, op.vector_length, config)
+        best = own
+        for edge in graph.successors(index):
+            latency = _edge_latency(edge, op, op.vector_length, config, latency_model)
+            best = max(best, latency + priority[edge.consumer])
+        priority[index] = best
+    return priority
+
+
+def schedule_segment(segment: Segment, config: MachineConfig,
+                     latency_model: Optional[LatencyModel] = None) -> Schedule:
+    """List-schedule one segment for ``config``.
+
+    Operations are chosen greedily by critical-path priority among the ready
+    set and placed at the earliest cycle where both their dependences and
+    their resource requests are satisfied.
+    """
+    latency_model = latency_model or LatencyModel()
+    ops = list(segment.operations)
+    if not ops:
+        return Schedule(segment=segment, config_name=config.name, entries=[])
+
+    graph = build_dependence_graph(segment)
+    priority = _priorities(graph, config, latency_model)
+    table = ReservationTable(capacities_for(config))
+
+    indegree = [len(graph.predecessors(i)) for i in range(len(ops))]
+    ready = [i for i, deg in enumerate(indegree) if deg == 0]
+    earliest: Dict[int, int] = {i: 0 for i in ready}
+    placed: Dict[int, ScheduledOperation] = {}
+    scheduled_count = 0
+
+    while scheduled_count < len(ops):
+        if not ready:  # pragma: no cover - graph is a DAG by construction
+            raise RuntimeError("scheduler deadlock: no ready operations")
+        # highest priority first; ties broken by program order for stability
+        ready.sort(key=lambda i: (-priority[i], i))
+        index = ready.pop(0)
+        op = ops[index]
+        requests = requests_for(op.opcode, op.vector_length, config, latency_model)
+        start = table.earliest_fit(earliest.get(index, 0), requests)
+        table.reserve(start, requests)
+        descriptor = latency_model.descriptor(op.opcode, op.vector_length, config)
+        entry = ScheduledOperation(
+            operation=op,
+            cycle=start,
+            occupancy=latency_model.occupancy(op.opcode, op.vector_length, config),
+            assumed_latency=descriptor.latest_write,
+        )
+        placed[index] = entry
+        scheduled_count += 1
+
+        for edge in graph.successors(index):
+            latency = _edge_latency(edge, entry, op.vector_length, config, latency_model)
+            bound = start + latency
+            earliest[edge.consumer] = max(earliest.get(edge.consumer, 0), bound)
+            indegree[edge.consumer] -= 1
+            if indegree[edge.consumer] == 0:
+                ready.append(edge.consumer)
+
+    # loop-carried recurrence bound on the initiation interval
+    recurrence = 0
+    for reg, (writer_index, reg_class) in loop_carried_registers(segment).items():
+        writer = ops[writer_index]
+        recurrence = max(recurrence, latency_model.result_latency(
+            writer.opcode, writer.vector_length, config))
+
+    entries = [placed[i] for i in range(len(ops))]
+    return Schedule(segment=segment, config_name=config.name, entries=entries,
+                    recurrence_interval=recurrence)
+
+
+@dataclass
+class CompiledProgram:
+    """A program together with the per-segment schedules for one configuration."""
+
+    program: KernelProgram
+    config: MachineConfig
+    latency_model: LatencyModel
+    schedules: Dict[int, Schedule] = field(default_factory=dict)
+
+    def schedule_for(self, segment: Segment) -> Schedule:
+        """Schedule of one segment (segments are identified by object id)."""
+        return self.schedules[id(segment)]
+
+    def total_static_cycles(self) -> int:
+        """Sum of the initiation intervals of all segments (diagnostic only)."""
+        return sum(s.initiation_interval for s in self.schedules.values())
+
+
+def compile_program(program: KernelProgram, config: MachineConfig,
+                    latency_model: Optional[LatencyModel] = None) -> CompiledProgram:
+    """Schedule every segment of ``program`` for ``config``."""
+    latency_model = latency_model or LatencyModel()
+    compiled = CompiledProgram(program=program, config=config,
+                               latency_model=latency_model)
+    for segment, _ in program.walk_segments():
+        compiled.schedules[id(segment)] = schedule_segment(segment, config, latency_model)
+    return compiled

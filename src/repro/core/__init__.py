@@ -1,0 +1,35 @@
+"""Core of the reproduction: the Vector-µSIMD-VLIW architecture glue.
+
+This package ties the substrates together into the object a user of the
+library manipulates:
+
+* :class:`repro.core.architecture.VectorMicroSimdVliwMachine` — one machine
+  configuration with its latency model and memory hierarchy; it compiles
+  (statically schedules) kernel programs and executes them;
+* :mod:`repro.core.runner` — runs a benchmark (one program per ISA flavour)
+  across a set of machine configurations, picking the right flavour for
+  each family, with optional perfect-memory mode;
+* :mod:`repro.core.metrics` — speed-ups, averages and the per-region
+  aggregations the paper's tables and figures are built from.
+"""
+
+from repro.core.architecture import VectorMicroSimdVliwMachine
+from repro.core.runner import BenchmarkSpec, BenchmarkResult, run_benchmark, flavor_for_config
+from repro.core.metrics import (
+    arithmetic_mean,
+    geometric_mean,
+    speedup,
+    format_table,
+)
+
+__all__ = [
+    "VectorMicroSimdVliwMachine",
+    "BenchmarkSpec",
+    "BenchmarkResult",
+    "run_benchmark",
+    "flavor_for_config",
+    "arithmetic_mean",
+    "geometric_mean",
+    "speedup",
+    "format_table",
+]

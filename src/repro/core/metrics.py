@@ -1,0 +1,84 @@
+"""Metric helpers shared by the experiment modules.
+
+Small, dependency-free helpers: speed-ups, means and a fixed-width table
+formatter used to print the paper's tables and figure data as text.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+__all__ = ["speedup", "arithmetic_mean", "geometric_mean", "format_table",
+           "format_float", "normalize"]
+
+
+def speedup(baseline_cycles: float, cycles: float) -> float:
+    """Classic speed-up: baseline time divided by measured time."""
+    if cycles <= 0:
+        return 0.0
+    return baseline_cycles / cycles
+
+
+def arithmetic_mean(values: Iterable[float]) -> float:
+    """Arithmetic mean (the paper reports arithmetic averages of speed-ups)."""
+    values = list(values)
+    if not values:
+        return 0.0
+    return sum(values) / len(values)
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean, provided for completeness and the ablation reports."""
+    values = [v for v in values if v > 0]
+    if not values:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def normalize(values: Mapping[str, float], reference_key: str) -> Dict[str, float]:
+    """Normalise a mapping of values by the entry at ``reference_key``."""
+    reference = values[reference_key]
+    if reference == 0:
+        raise ZeroDivisionError(f"reference entry {reference_key!r} is zero")
+    return {key: value / reference for key, value in values.items()}
+
+
+def format_float(value: float, digits: int = 2) -> str:
+    """Render a float the way the paper's tables do (fixed decimals)."""
+    return f"{value:.{digits}f}"
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                 title: Optional[str] = None) -> str:
+    """Render an ASCII table with right-aligned numeric columns.
+
+    The experiment modules print their reproduced tables/figures through
+    this helper so EXPERIMENTS.md and the benchmark logs look consistent.
+    """
+    rendered_rows: List[List[str]] = []
+    for row in rows:
+        rendered = []
+        for cell in row:
+            if isinstance(cell, float):
+                rendered.append(format_float(cell))
+            else:
+                rendered.append(str(cell))
+        rendered_rows.append(rendered)
+
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def render_line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(widths[index]) if index else cell.ljust(widths[index])
+                         for index, cell in enumerate(cells))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(render_line(list(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(render_line(row) for row in rendered_rows)
+    return "\n".join(lines)

@@ -1,0 +1,116 @@
+"""Running a benchmark across machine configurations.
+
+A *benchmark* here is the unit of the paper's evaluation: one application
+(e.g. the JPEG encoder) expressed as three programs — a scalar version, a
+µSIMD version and a Vector-µSIMD version, all sharing the same scalar (R0)
+region code.  Each machine family executes its own flavour:
+
+============  =================
+family        program flavour
+============  =================
+VLIW          scalar
++µSIMD        µSIMD
++Vector1/2    Vector-µSIMD
+============  =================
+
+:func:`run_benchmark` compiles and runs the right flavour on every requested
+configuration (optionally with perfect memory) and returns the per-config
+:class:`~repro.sim.stats.RunStats` keyed by configuration name, which is the
+raw material of every figure and table in :mod:`repro.experiments`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Mapping, Optional, Sequence
+
+from repro.compiler.ir import ISAFlavor, KernelProgram
+from repro.core.architecture import VectorMicroSimdVliwMachine
+from repro.machine.config import MachineConfig, PAPER_CONFIG_ORDER, get_config
+from repro.machine.latency import LatencyModel
+from repro.sim.stats import RunStats
+
+__all__ = ["BenchmarkSpec", "BenchmarkResult", "flavor_for_config", "run_benchmark"]
+
+
+def flavor_for_config(config: MachineConfig) -> ISAFlavor:
+    """Which program flavour a configuration family executes."""
+    if config.has_vector:
+        return ISAFlavor.VECTOR
+    if config.has_usimd:
+        return ISAFlavor.USIMD
+    return ISAFlavor.SCALAR
+
+
+@dataclass
+class BenchmarkSpec:
+    """One benchmark: a name plus its three program flavours."""
+
+    name: str
+    programs: Dict[ISAFlavor, KernelProgram]
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if ISAFlavor.SCALAR not in self.programs:
+            raise ValueError(f"benchmark {self.name!r} needs at least a scalar program")
+
+    def program_for(self, config: MachineConfig) -> KernelProgram:
+        """The program flavour ``config`` executes (µSIMD/vector fall back to scalar)."""
+        flavor = flavor_for_config(config)
+        if flavor in self.programs:
+            return self.programs[flavor]
+        return self.programs[ISAFlavor.SCALAR]
+
+    def flavors(self) -> Sequence[ISAFlavor]:
+        return tuple(self.programs.keys())
+
+
+@dataclass
+class BenchmarkResult:
+    """Results of one benchmark over a set of configurations."""
+
+    benchmark: str
+    perfect_memory: bool
+    runs: Dict[str, RunStats] = field(default_factory=dict)
+
+    def __getitem__(self, config_name: str) -> RunStats:
+        return self.runs[config_name]
+
+    def __contains__(self, config_name: str) -> bool:
+        return config_name in self.runs
+
+    def config_names(self) -> Sequence[str]:
+        return tuple(self.runs.keys())
+
+    def speedup_over(self, config_name: str, baseline_name: str) -> float:
+        """Whole-application speed-up of one configuration over another."""
+        return self.runs[config_name].speedup_over(self.runs[baseline_name])
+
+    def vector_region_speedup_over(self, config_name: str, baseline_name: str) -> float:
+        """Vector-region speed-up of one configuration over another."""
+        return self.runs[config_name].vector_region_speedup_over(self.runs[baseline_name])
+
+    def scalar_region_speedup_over(self, config_name: str, baseline_name: str) -> float:
+        """Scalar-region speed-up of one configuration over another."""
+        return self.runs[config_name].scalar_region_speedup_over(self.runs[baseline_name])
+
+
+def run_benchmark(spec: BenchmarkSpec,
+                  config_names: Optional[Iterable[str]] = None,
+                  perfect_memory: bool = False,
+                  latency_model: Optional[LatencyModel] = None) -> BenchmarkResult:
+    """Run ``spec`` on every configuration in ``config_names``.
+
+    ``config_names`` defaults to the full Table-2 set in the paper's
+    presentation order.  Every configuration gets a cold memory hierarchy —
+    the programs themselves model the reuse between their regions.
+    """
+    names = list(config_names) if config_names is not None else list(PAPER_CONFIG_ORDER)
+    result = BenchmarkResult(benchmark=spec.name, perfect_memory=perfect_memory)
+    for name in names:
+        config = get_config(name)
+        machine = VectorMicroSimdVliwMachine(config, latency_model=latency_model,
+                                             perfect_memory=perfect_memory)
+        program = spec.program_for(config)
+        result.runs[name] = machine.run(program)
+    return result

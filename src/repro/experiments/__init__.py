@@ -1,0 +1,49 @@
+"""Experiment harness: one module per table / figure of the paper.
+
+All experiments are derived from a single :class:`SuiteEvaluation` — a cache
+of per-benchmark, per-configuration, per-memory-mode runs — so generating
+every figure costs one sweep over the suite:
+
+========== =========================================================
+module     reproduces
+========== =========================================================
+table1     Table 1  — vector regions and % of execution time
+table2     Table 2  — the ten processor configurations
+table3     Table 3  — OPC / µOPC / speed-up per region, averaged
+figure1    Figure 1 — scalability of scalar vs vector regions
+figure3    Figure 3 — latency descriptors of scalar / vector operations
+figure4    Figure 4 — static schedule of the motion-estimation kernel
+figure5    Figure 5 — vector-region speed-up, perfect & realistic memory
+figure6    Figure 6 — whole-application speed-up
+figure7    Figure 7 — normalised dynamic operation count per region
+========== =========================================================
+
+``python -m repro.experiments.report`` regenerates everything and prints the
+text that EXPERIMENTS.md records.
+"""
+
+from repro.experiments.evaluation import SuiteEvaluation
+from repro.experiments import (
+    table1,
+    table2,
+    table3,
+    figure1,
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+)
+
+__all__ = [
+    "SuiteEvaluation",
+    "table1",
+    "table2",
+    "table3",
+    "figure1",
+    "figure3",
+    "figure4",
+    "figure5",
+    "figure6",
+    "figure7",
+]

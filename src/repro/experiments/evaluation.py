@@ -1,0 +1,100 @@
+"""Shared evaluation cache for the experiment modules.
+
+Running the six benchmarks over the ten configurations (twice, for perfect
+and realistic memory) is the expensive part of regenerating the paper's
+evaluation; :class:`SuiteEvaluation` does it lazily and memoises the
+per-run :class:`~repro.sim.stats.RunStats`, so each figure/table module only
+asks for the runs it needs and repeated queries are free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.core.runner import BenchmarkSpec, flavor_for_config
+from repro.core.architecture import VectorMicroSimdVliwMachine
+from repro.machine.config import PAPER_CONFIG_ORDER, get_config
+from repro.machine.latency import LatencyModel
+from repro.sim.stats import RunStats
+from repro.workloads.suite import BENCHMARK_NAMES, SuiteParameters, build_suite
+
+__all__ = ["SuiteEvaluation"]
+
+#: The configuration every speed-up in the paper is normalised against.
+BASELINE_CONFIG = "vliw-2w"
+#: The configuration Table 1's vectorisation percentages are measured on.
+TABLE1_CONFIG = "usimd-2w"
+
+
+@dataclass
+class SuiteEvaluation:
+    """Lazily evaluated (benchmark × configuration × memory mode) result cache."""
+
+    parameters: SuiteParameters = field(default_factory=SuiteParameters.default)
+    benchmark_names: Tuple[str, ...] = BENCHMARK_NAMES
+    config_names: Tuple[str, ...] = PAPER_CONFIG_ORDER
+    latency_model: Optional[LatencyModel] = None
+
+    def __post_init__(self) -> None:
+        self._suite: Dict[str, BenchmarkSpec] = {}
+        self._runs: Dict[Tuple[str, str, bool], RunStats] = {}
+
+    # ------------------------------------------------------------------ suite
+
+    def spec(self, benchmark: str) -> BenchmarkSpec:
+        """The benchmark spec (three program flavours), built on first use."""
+        if benchmark not in self._suite:
+            self._suite.update(build_suite(self.parameters, names=[benchmark]))
+        return self._suite[benchmark]
+
+    # ------------------------------------------------------------------- runs
+
+    def run(self, benchmark: str, config_name: str,
+            perfect_memory: bool = False) -> RunStats:
+        """Statistics of one benchmark on one configuration (memoised)."""
+        key = (benchmark, config_name, perfect_memory)
+        if key not in self._runs:
+            spec = self.spec(benchmark)
+            config = get_config(config_name)
+            machine = VectorMicroSimdVliwMachine(config, latency_model=self.latency_model,
+                                                 perfect_memory=perfect_memory)
+            program = spec.program_for(config)
+            self._runs[key] = machine.run(program)
+        return self._runs[key]
+
+    def runs_for_benchmark(self, benchmark: str, perfect_memory: bool = False,
+                           config_names: Optional[Iterable[str]] = None
+                           ) -> Dict[str, RunStats]:
+        """All configurations' statistics for one benchmark."""
+        names = tuple(config_names) if config_names is not None else self.config_names
+        return {name: self.run(benchmark, name, perfect_memory) for name in names}
+
+    # ------------------------------------------------------------ derived data
+
+    def baseline(self, benchmark: str, perfect_memory: bool = False) -> RunStats:
+        """The 2-issue VLIW run every speed-up is normalised against."""
+        return self.run(benchmark, BASELINE_CONFIG, perfect_memory)
+
+    def application_speedup(self, benchmark: str, config_name: str,
+                            perfect_memory: bool = False) -> float:
+        """Whole-application speed-up over the 2-issue VLIW."""
+        return self.run(benchmark, config_name, perfect_memory).speedup_over(
+            self.baseline(benchmark, perfect_memory))
+
+    def vector_region_speedup(self, benchmark: str, config_name: str,
+                              perfect_memory: bool = False) -> float:
+        """Vector-region speed-up over the 2-issue VLIW."""
+        return self.run(benchmark, config_name, perfect_memory).vector_region_speedup_over(
+            self.baseline(benchmark, perfect_memory))
+
+    def scalar_region_speedup(self, benchmark: str, config_name: str,
+                              perfect_memory: bool = False) -> float:
+        """Scalar-region speed-up over the 2-issue VLIW."""
+        return self.run(benchmark, config_name, perfect_memory).scalar_region_speedup_over(
+            self.baseline(benchmark, perfect_memory))
+
+    def vectorization_percentage(self, benchmark: str,
+                                 config_name: str = TABLE1_CONFIG) -> float:
+        """Fraction (percent) of execution time spent in the vector regions."""
+        return 100.0 * self.run(benchmark, config_name).vectorization_fraction

@@ -1,0 +1,56 @@
+"""Figure 3 — latency descriptors of scalar and vector operations.
+
+Figure 3 of the paper is analytic: it shows the earliest/latest read and
+write descriptors of a fully pipelined scalar operation versus a vector
+operation whose completion depends on the vector length and the number of
+lanes.  This module evaluates the descriptors from the machine latency model
+for a sweep of vector lengths, which doubles as a regression test that the
+model implements the formulas of the figure.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.metrics import format_table
+from repro.isa.operations import Opcode
+from repro.machine.config import get_config
+from repro.machine.latency import LatencyModel
+
+__all__ = ["generate", "render"]
+
+
+def generate(config_name: str = "vector2-2w",
+             vector_lengths=(1, 4, 8, 12, 16)) -> List[Dict[str, object]]:
+    """Latency descriptors of a scalar ALU op, a vector ALU op and a vector load."""
+    config = get_config(config_name)
+    model = LatencyModel()
+    rows: List[Dict[str, object]] = []
+    for vl in vector_lengths:
+        for opcode, kind in ((Opcode.ADD, "scalar alu"),
+                             (Opcode.VADDW, "vector alu"),
+                             (Opcode.VLOAD, "vector load")):
+            descriptor = model.descriptor(opcode, vl, config)
+            rows.append({
+                "operation": kind,
+                "vector_length": vl,
+                "earliest_read": descriptor.earliest_read,
+                "latest_read": descriptor.latest_read,
+                "earliest_write": descriptor.earliest_write,
+                "latest_write": descriptor.latest_write,
+                "occupancy": model.occupancy(opcode, vl, config),
+            })
+    return rows
+
+
+def render(config_name: str = "vector2-2w") -> str:
+    """Text rendering of the Figure-3 descriptors."""
+    rows = generate(config_name)
+    table_rows = [[r["operation"], r["vector_length"], r["earliest_read"],
+                   r["latest_read"], r["earliest_write"], r["latest_write"],
+                   r["occupancy"]] for r in rows]
+    return format_table(
+        ["operation", "VL", "Ter", "Tlr", "Tew", "Tlw", "occupancy"],
+        table_rows,
+        title=f"Figure 3 — latency descriptors on {config_name} "
+              "(Tlw = L + ceil((VL-1)/LN))")

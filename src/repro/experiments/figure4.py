@@ -1,0 +1,63 @@
+"""Figure 4 — static schedule of the motion-estimation (dist1) kernel.
+
+The paper shows the schedule of the Vector-µSIMD version of the SAD kernel
+on a 2-issue machine with two vector units and a 4×64-bit vector-cache port:
+16 operations in ~18 cycles, against ~172 operations for the µSIMD version
+of the same computation.  This module schedules the kernel with this
+repository's compiler and reports the listing, the operation counts and the
+schedule length.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.compiler.ir import ISAFlavor
+from repro.core.architecture import VectorMicroSimdVliwMachine
+from repro.workloads.mpeg2.motion import build_sad_kernel_program
+
+__all__ = ["PAPER_VECTOR_OPS", "PAPER_USIMD_OPS", "generate", "render"]
+
+#: Operation counts reported in the paper for this kernel.
+PAPER_VECTOR_OPS = 16
+PAPER_USIMD_OPS = 172
+
+
+def generate(config_name: str = "vector2-2w") -> Dict[str, object]:
+    """Schedule the kernel and collect the headline numbers."""
+    machine = VectorMicroSimdVliwMachine.from_name(config_name)
+    vector_program = build_sad_kernel_program(ISAFlavor.VECTOR)
+    usimd_program = build_sad_kernel_program(ISAFlavor.USIMD)
+    scalar_program = build_sad_kernel_program(ISAFlavor.SCALAR)
+
+    segment = vector_program.segments()[0]
+    schedule = machine.schedule_segment(segment)
+    return {
+        "config": config_name,
+        "vector_operations": vector_program.dynamic_operation_count(),
+        "usimd_operations": usimd_program.dynamic_operation_count(),
+        "scalar_operations": scalar_program.dynamic_operation_count(),
+        "schedule_cycles": schedule.initiation_interval,
+        "schedule_drain": schedule.drain_cycles,
+        "listing": schedule.format_table(),
+        "paper_vector_operations": PAPER_VECTOR_OPS,
+        "paper_usimd_operations": PAPER_USIMD_OPS,
+    }
+
+
+def render(config_name: str = "vector2-2w") -> str:
+    """Text rendering of the Figure-4 reproduction."""
+    data = generate(config_name)
+    lines = [
+        "Figure 4 — scheduling of motion estimation (dist1, 8x16 SAD)",
+        f"  vector operations : {data['vector_operations']} "
+        f"(paper: {data['paper_vector_operations']})",
+        f"  uSIMD operations  : {data['usimd_operations']} "
+        f"(paper: ~{data['paper_usimd_operations']})",
+        f"  scalar operations : {data['scalar_operations']}",
+        f"  schedule length   : {data['schedule_cycles']} cycles "
+        f"(+{data['schedule_drain']} drain) on {data['config']}",
+        "",
+        data["listing"],
+    ]
+    return "\n".join(lines)

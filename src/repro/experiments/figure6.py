@@ -1,0 +1,68 @@
+"""Figure 6 — speed-up for complete applications.
+
+Whole-application speed-up of every configuration over the 2-issue VLIW for
+the six benchmarks plus the average.  ``PAPER_AVERAGE`` records the average
+bars of the paper's last panel so the report can compare shapes directly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.metrics import arithmetic_mean, format_table
+from repro.experiments.evaluation import SuiteEvaluation
+
+__all__ = ["PAPER_AVERAGE", "PAPER_MPEG2_ENC", "generate", "render", "average_speedups"]
+
+#: Average whole-application speed-ups from the paper's Figure 6 (last panel).
+PAPER_AVERAGE: Dict[str, float] = {
+    "vliw-2w": 1.00, "vliw-4w": 1.34, "vliw-8w": 1.50,
+    "usimd-2w": 1.47, "usimd-4w": 1.94, "usimd-8w": 2.15,
+    "vector1-2w": 1.79, "vector1-4w": 2.15,
+    "vector2-2w": 1.80, "vector2-4w": 2.22,
+}
+
+#: mpeg2_enc speed-ups from the paper's Figure 6 (its best-scaling benchmark).
+PAPER_MPEG2_ENC: Dict[str, float] = {
+    "vliw-2w": 1.00, "vliw-4w": 1.43, "vliw-8w": 1.77,
+    "usimd-2w": 2.81, "usimd-4w": 3.86, "usimd-8w": 4.47,
+    "vector1-2w": 3.93, "vector1-4w": 4.54,
+    "vector2-2w": 3.90, "vector2-4w": 4.74,
+}
+
+
+def generate(evaluation: SuiteEvaluation) -> List[Dict[str, object]]:
+    """One row per (benchmark, configuration) with the application speed-up."""
+    rows: List[Dict[str, object]] = []
+    for benchmark in evaluation.benchmark_names:
+        for config_name in evaluation.config_names:
+            rows.append({
+                "benchmark": benchmark,
+                "config": config_name,
+                "application_speedup": evaluation.application_speedup(benchmark,
+                                                                      config_name),
+            })
+    return rows
+
+
+def average_speedups(evaluation: SuiteEvaluation) -> Dict[str, float]:
+    """Average application speed-up per configuration (the paper's last panel)."""
+    rows = generate(evaluation)
+    return {
+        config_name: arithmetic_mean(r["application_speedup"] for r in rows
+                                     if r["config"] == config_name)
+        for config_name in evaluation.config_names
+    }
+
+
+def render(evaluation: SuiteEvaluation) -> str:
+    """Text rendering of Figure 6 with the paper's average bars alongside."""
+    rows = generate(evaluation)
+    table_rows = [[r["benchmark"], r["config"], r["application_speedup"], "-"]
+                  for r in rows]
+    for config, value in average_speedups(evaluation).items():
+        table_rows.append(["AVERAGE", config, value, PAPER_AVERAGE.get(config, "-")])
+    return format_table(
+        ["benchmark", "config", "speed-up (measured)", "speed-up (paper, average)"],
+        table_rows,
+        title="Figure 6 — speed-up in complete applications over vliw-2w")

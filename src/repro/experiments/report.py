@@ -1,0 +1,57 @@
+"""Regenerate every table and figure in one run.
+
+Usage::
+
+    python -m repro.experiments.report            # default (reduced) inputs
+    python -m repro.experiments.report --tiny     # test-sized inputs
+
+The output is the text recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import (figure1, figure3, figure4, figure5, figure6, figure7,
+                               table1, table2, table3)
+from repro.experiments.evaluation import SuiteEvaluation
+from repro.workloads.suite import SuiteParameters
+
+__all__ = ["full_report", "main"]
+
+
+def full_report(evaluation: SuiteEvaluation) -> str:
+    """Render every experiment against one shared evaluation cache."""
+    sections = [
+        table2.render(),
+        figure3.render(),
+        figure4.render(),
+        table1.render(evaluation),
+        figure1.render(evaluation),
+        figure5.render(evaluation),
+        figure6.render(evaluation),
+        figure7.render(evaluation),
+        table3.render(evaluation),
+    ]
+    return "\n\n\n".join(sections)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--tiny", action="store_true",
+                        help="use the small test-sized inputs instead of the defaults")
+    args = parser.parse_args(argv)
+    parameters = SuiteParameters.tiny() if args.tiny else SuiteParameters.default()
+    evaluation = SuiteEvaluation(parameters=parameters)
+    start = time.time()
+    text = full_report(evaluation)
+    elapsed = time.time() - start
+    print(text)
+    print(f"\n[report generated in {elapsed:.1f} s]", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

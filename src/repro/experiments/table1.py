@@ -1,0 +1,63 @@
+"""Table 1 — vector regions and the fraction of execution time they take.
+
+The paper measures the percentage on the 2-issue µSIMD-VLIW configuration.
+``PAPER_PERCENTAGES`` records the published values so the report can show
+paper-vs-measured side by side.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.core.metrics import format_table
+from repro.experiments.evaluation import SuiteEvaluation, TABLE1_CONFIG
+
+__all__ = ["PAPER_PERCENTAGES", "VECTOR_REGION_DESCRIPTIONS", "generate", "render"]
+
+#: Percent of execution time in the vector regions (paper, Table 1).
+PAPER_PERCENTAGES: Dict[str, float] = {
+    "jpeg_enc": 29.56,
+    "jpeg_dec": 18.46,
+    "mpeg2_enc": 52.29,
+    "mpeg2_dec": 23.11,
+    "gsm_enc": 18.66,
+    "gsm_dec": 0.91,
+}
+
+#: The vector regions the paper lists per benchmark (Table 1).
+VECTOR_REGION_DESCRIPTIONS: Dict[str, Tuple[str, ...]] = {
+    "jpeg_enc": ("RGB to YCC color conversion", "Forward DCT", "Quantification"),
+    "jpeg_dec": ("YCC to RGB color conversion", "H2v2 up-sample"),
+    "mpeg2_enc": ("Motion estimation", "Forward DCT", "Inverse DCT"),
+    "mpeg2_dec": ("Form component prediction", "Inverse DCT", "Add block"),
+    "gsm_enc": ("LTP parameters", "Autocorrelation"),
+    "gsm_dec": ("Long term filtering",),
+}
+
+
+def generate(evaluation: SuiteEvaluation) -> List[Dict[str, object]]:
+    """One row per benchmark: measured vs paper vectorisation percentage."""
+    rows: List[Dict[str, object]] = []
+    for benchmark in evaluation.benchmark_names:
+        measured = evaluation.vectorization_percentage(benchmark, TABLE1_CONFIG)
+        rows.append({
+            "benchmark": benchmark,
+            "measured_percent": measured,
+            "paper_percent": PAPER_PERCENTAGES.get(benchmark),
+            "regions": ", ".join(VECTOR_REGION_DESCRIPTIONS.get(benchmark, ())),
+        })
+    return rows
+
+
+def render(evaluation: SuiteEvaluation) -> str:
+    """Text rendering of the reproduced Table 1."""
+    rows = generate(evaluation)
+    table_rows = [
+        [row["benchmark"], row["measured_percent"], row["paper_percent"], row["regions"]]
+        for row in rows
+    ]
+    return format_table(
+        ["benchmark", "%vect (measured)", "%vect (paper)", "vector regions"],
+        table_rows,
+        title=f"Table 1 — vector regions (% of execution time on {TABLE1_CONFIG})",
+    )

@@ -1,0 +1,56 @@
+"""Table 2 — the ten processor configurations.
+
+This table is static (it documents the machine models rather than a
+measurement); rendering it from :mod:`repro.machine.config` ensures the code
+and the paper's table stay in sync, and the unit tests assert the published
+resource counts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.metrics import format_table
+from repro.machine.config import PAPER_CONFIG_ORDER, get_config
+
+__all__ = ["generate", "render"]
+
+
+def generate() -> List[Dict[str, object]]:
+    """One row per configuration with the Table-2 resource counts."""
+    rows: List[Dict[str, object]] = []
+    for name in PAPER_CONFIG_ORDER:
+        config = get_config(name)
+        rows.append({
+            "name": name,
+            "label": config.label,
+            "issue_width": config.issue_width,
+            "int_regs": config.int_regs,
+            "simd_regs": config.simd_regs or "-",
+            "vector_regs": (f"{config.vector_regs} x{config.vector_reg_words}"
+                            if config.vector_regs else "-"),
+            "accum_regs": config.accum_regs or "-",
+            "int_units": config.int_units,
+            "simd_units": config.simd_units or "-",
+            "vector_units": (f"{config.vector_units} x{config.vector_lanes}"
+                             if config.vector_units else "-"),
+            "l1_ports": config.l1_ports,
+            "l2_ports": (f"{config.l2_ports} x{config.l2_port_words}"
+                         if config.l2_ports else "-"),
+        })
+    return rows
+
+
+def render() -> str:
+    """Text rendering of Table 2."""
+    rows = generate()
+    headers = ["config", "issue", "int regs", "SIMD regs", "vector regs", "acc regs",
+               "int units", "SIMD units", "vector units", "L1 ports", "L2 ports"]
+    table_rows = [
+        [r["label"], r["issue_width"], r["int_regs"], r["simd_regs"], r["vector_regs"],
+         r["accum_regs"], r["int_units"], r["simd_units"], r["vector_units"],
+         r["l1_ports"], r["l2_ports"]]
+        for r in rows
+    ]
+    return format_table(headers, table_rows,
+                        title="Table 2 — processor configurations")

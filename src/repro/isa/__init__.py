@@ -1,0 +1,54 @@
+"""Instruction-set layer of the Vector-µSIMD-VLIW reproduction.
+
+This package provides three things:
+
+* :mod:`repro.isa.packed` — the functional (NumPy based) semantics of the
+  µSIMD sub-word operations.  These mirror the 67 MMX/SSE-integer style
+  opcodes the paper adds to the HPL-PD base ISA: packed 8/16/32-bit
+  arithmetic with wrap-around and saturating variants, packed compares,
+  min/max, averages, sum-of-absolute-differences, pack/unpack and shifts.
+* :mod:`repro.isa.vectorops` — the Vector-µSIMD (MOM-style) extension:
+  vector registers of up to 16 packed 64-bit words, vector load/store with a
+  stride register, element-wise vector forms of every packed operation and
+  the 192-bit packed accumulators used for reductions.
+* :mod:`repro.isa.operations` / :mod:`repro.isa.registers` — the *metadata*
+  view of the same ISA used by the compiler and the timing simulator:
+  opcode classes, functional-unit requirements, micro-operation accounting
+  and register-file descriptions.
+
+The functional layer is what the paper calls the "emulation library": media
+kernels are written against it once per ISA flavour, and the tests verify
+that the scalar, µSIMD and Vector-µSIMD versions of every kernel compute
+bit-identical results.
+"""
+
+from repro.isa import packed, vectorops
+from repro.isa.operations import (
+    OpClass,
+    Opcode,
+    OperationDescriptor,
+    OPCODE_TABLE,
+    micro_ops_for,
+)
+from repro.isa.registers import (
+    RegisterClass,
+    RegisterFileSpec,
+    SpecialRegister,
+    VectorRegisterValue,
+    AccumulatorValue,
+)
+
+__all__ = [
+    "packed",
+    "vectorops",
+    "OpClass",
+    "Opcode",
+    "OperationDescriptor",
+    "OPCODE_TABLE",
+    "micro_ops_for",
+    "RegisterClass",
+    "RegisterFileSpec",
+    "SpecialRegister",
+    "VectorRegisterValue",
+    "AccumulatorValue",
+]

@@ -1,0 +1,349 @@
+"""Opcode metadata shared by the compiler and the timing simulator.
+
+The functional semantics of the ISA live in :mod:`repro.isa.packed` and
+:mod:`repro.isa.vectorops`; this module describes the *shape* of each
+operation as the scheduler and the cycle simulator see it:
+
+* which operation class it belongs to (integer ALU, µSIMD ALU, vector memory,
+  ...), which determines the functional unit and ports it reserves;
+* how many micro-operations it performs, which is the unit the paper uses
+  for the µOPC metric of Table 3 (a µSIMD add on 8-bit data is 8 µops, a
+  vector µSIMD add with ``VL=16`` on 8-bit data is 128 µops);
+* whether it is a memory operation, and on which level of the hierarchy the
+  compiler assumes it hits (scalar/µSIMD accesses are scheduled as L1 hits,
+  vector accesses bypass the L1 and are scheduled as stride-1 L2 hits).
+
+The table is intentionally a plain dictionary so workload code can register
+additional opcodes (a handful of kernels add fused helper ops) without
+touching this module.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+__all__ = [
+    "OpClass",
+    "Opcode",
+    "OperationDescriptor",
+    "OPCODE_TABLE",
+    "register_opcode",
+    "descriptor_for",
+    "micro_ops_for",
+    "MAX_VECTOR_LENGTH",
+]
+
+#: Maximum architectural vector length (packed words per vector register).
+MAX_VECTOR_LENGTH = 16
+
+
+class OpClass(enum.Enum):
+    """Operation classes; each maps onto one functional-unit/port type."""
+
+    #: Scalar integer ALU operation (add, sub, logical, compare, shifts).
+    INT_ALU = "int_alu"
+    #: Scalar integer multiply / divide (long latency, uses an integer unit).
+    INT_MUL = "int_mul"
+    #: Control transfer; occupies an issue slot and an integer unit.
+    BRANCH = "branch"
+    #: Scalar or µSIMD load through the first-level data cache.
+    LOAD = "load"
+    #: Scalar or µSIMD store through the first-level data cache.
+    STORE = "store"
+    #: Packed (sub-word) ALU operation on a 64-bit µSIMD register.
+    SIMD_ALU = "simd_alu"
+    #: Packed multiply / multiply-add.
+    SIMD_MUL = "simd_mul"
+    #: Packed sum-of-absolute-differences (reduction within a word).
+    SIMD_SAD = "simd_sad"
+    #: Vector-µSIMD ALU operation (VL packed sub-operations).
+    VECTOR_ALU = "vector_alu"
+    #: Vector-µSIMD multiply / multiply-accumulate.
+    VECTOR_MUL = "vector_mul"
+    #: Vector-µSIMD SAD into a packed accumulator.
+    VECTOR_SAD = "vector_sad"
+    #: Vector load: bypasses the L1 and accesses the L2 vector cache.
+    VECTOR_LOAD = "vector_load"
+    #: Vector store: bypasses the L1 and accesses the L2 vector cache.
+    VECTOR_STORE = "vector_store"
+    #: Cross-lane reduction of a packed accumulator to a scalar.
+    VECTOR_REDUCE = "vector_reduce"
+    #: Writes to the VL/VS special registers (integer unit, 1 cycle).
+    VECTOR_SETUP = "vector_setup"
+    #: Explicit no-operation (fills unused issue slots in traces).
+    NOP = "nop"
+
+    @property
+    def is_vector(self) -> bool:
+        """True for operations executed on the vector functional units."""
+        return self in {
+            OpClass.VECTOR_ALU,
+            OpClass.VECTOR_MUL,
+            OpClass.VECTOR_SAD,
+            OpClass.VECTOR_REDUCE,
+        }
+
+    @property
+    def is_vector_memory(self) -> bool:
+        """True for vector loads/stores (the L2 vector-cache path)."""
+        return self in {OpClass.VECTOR_LOAD, OpClass.VECTOR_STORE}
+
+    @property
+    def is_simd(self) -> bool:
+        """True for µSIMD (single packed word) computation operations."""
+        return self in {OpClass.SIMD_ALU, OpClass.SIMD_MUL, OpClass.SIMD_SAD}
+
+    @property
+    def is_memory(self) -> bool:
+        """True for any operation that touches the memory hierarchy."""
+        return self in {
+            OpClass.LOAD,
+            OpClass.STORE,
+            OpClass.VECTOR_LOAD,
+            OpClass.VECTOR_STORE,
+        }
+
+    @property
+    def is_store(self) -> bool:
+        """True for operations that write to memory."""
+        return self in {OpClass.STORE, OpClass.VECTOR_STORE}
+
+
+class Opcode(str, enum.Enum):
+    """Canonical opcode names used by the kernel builders.
+
+    The enum inherits from :class:`str` so IR code can use either the enum
+    member or its string value interchangeably; the scheduler only ever
+    looks at the :class:`OperationDescriptor` resolved from the name.
+    """
+
+    # --- scalar integer ---------------------------------------------------
+    ADD = "add"
+    SUB = "sub"
+    MUL = "mul"
+    DIV = "div"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    SHL = "shl"
+    SHR = "shr"
+    CMP = "cmp"
+    MOV = "mov"
+    LOAD = "load"
+    LOAD8 = "load8"
+    STORE = "store"
+    STORE8 = "store8"
+    BRANCH = "branch"
+    NOP = "nop"
+    # --- µSIMD (packed word) ----------------------------------------------
+    PADDB = "paddb"
+    PADDW = "paddw"
+    PSUBB = "psubb"
+    PSUBW = "psubw"
+    PADDUSB = "paddusb"
+    PSUBUSB = "psubusb"
+    PMULLW = "pmullw"
+    PMULHW = "pmulhw"
+    PMADDWD = "pmaddwd"
+    PAVGB = "pavgb"
+    PSADBW = "psadbw"
+    PMINMAX = "pminmax"
+    PCMP = "pcmp"
+    PLOGICAL = "plogical"
+    PSHIFT = "pshift"
+    PACK = "pack"
+    UNPACK = "unpack"
+    PSHUFW = "pshufw"
+    MLOAD = "mload"
+    MSTORE = "mstore"
+    # --- Vector-µSIMD ------------------------------------------------------
+    SETVL = "setvl"
+    SETVS = "setvs"
+    VADDB = "vaddb"
+    VADDW = "vaddw"
+    VSUBB = "vsubb"
+    VSUBW = "vsubw"
+    VMULLW = "vmullw"
+    VMULHW = "vmulhw"
+    VMADDWD = "vmaddwd"
+    VPAVGB = "vpavgb"
+    VSAD = "vsad"
+    VMAC = "vmac"
+    VPACK = "vpack"
+    VUNPACK = "vunpack"
+    VSHIFT = "vshift"
+    VLOGICAL = "vlogical"
+    VLOAD = "vload"
+    VSTORE = "vstore"
+    VSUM = "vsum"
+    ACCCLEAR = "accclear"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class OperationDescriptor:
+    """Static description of one opcode as seen by the timing model.
+
+    Attributes
+    ----------
+    name:
+        Canonical opcode name.
+    op_class:
+        The :class:`OpClass` that determines functional unit and port usage.
+    subwords:
+        Number of sub-word elements processed per packed word (1 for scalar
+        ops, 8/4/2 for packed ops).  Together with the vector length this
+        gives the micro-operation count.
+    latency_class:
+        Key into the machine latency model (:mod:`repro.machine.latency`);
+        ``None`` means "use the default for the op class".
+    notes:
+        Free-form description used by the pretty printers.
+    """
+
+    name: str
+    op_class: OpClass
+    subwords: int = 1
+    latency_class: Optional[str] = None
+    notes: str = ""
+
+
+def _d(name: str, op_class: OpClass, subwords: int = 1, latency_class: Optional[str] = None,
+       notes: str = "") -> OperationDescriptor:
+    return OperationDescriptor(name=name, op_class=op_class, subwords=subwords,
+                               latency_class=latency_class, notes=notes)
+
+
+#: The default opcode table.  Subword counts reflect the most common data
+#: width each opcode is used with in the media kernels (8-bit for pixel
+#: arithmetic, 16-bit for transform arithmetic); kernels can override the
+#: subword count per operation instance when they use a different width.
+OPCODE_TABLE: Dict[str, OperationDescriptor] = {}
+
+
+def register_opcode(descriptor: OperationDescriptor, overwrite: bool = False) -> OperationDescriptor:
+    """Add an opcode descriptor to the global table.
+
+    Workload modules use this to register fused helper opcodes; attempting
+    to silently redefine an existing opcode is an error unless ``overwrite``
+    is passed.
+    """
+    if descriptor.name in OPCODE_TABLE and not overwrite:
+        raise ValueError(f"opcode {descriptor.name!r} is already registered")
+    OPCODE_TABLE[descriptor.name] = descriptor
+    return descriptor
+
+
+for _desc in [
+    # scalar integer
+    _d(Opcode.ADD, OpClass.INT_ALU),
+    _d(Opcode.SUB, OpClass.INT_ALU),
+    _d(Opcode.MUL, OpClass.INT_MUL, latency_class="int_mul"),
+    _d(Opcode.DIV, OpClass.INT_MUL, latency_class="int_div"),
+    _d(Opcode.AND, OpClass.INT_ALU),
+    _d(Opcode.OR, OpClass.INT_ALU),
+    _d(Opcode.XOR, OpClass.INT_ALU),
+    _d(Opcode.SHL, OpClass.INT_ALU),
+    _d(Opcode.SHR, OpClass.INT_ALU),
+    _d(Opcode.CMP, OpClass.INT_ALU),
+    _d(Opcode.MOV, OpClass.INT_ALU),
+    _d(Opcode.LOAD, OpClass.LOAD, notes="scalar load, scheduled as an L1 hit"),
+    _d(Opcode.LOAD8, OpClass.LOAD, notes="scalar byte load"),
+    _d(Opcode.STORE, OpClass.STORE),
+    _d(Opcode.STORE8, OpClass.STORE),
+    _d(Opcode.BRANCH, OpClass.BRANCH),
+    _d(Opcode.NOP, OpClass.NOP),
+    # µSIMD
+    _d(Opcode.PADDB, OpClass.SIMD_ALU, subwords=8),
+    _d(Opcode.PADDW, OpClass.SIMD_ALU, subwords=4),
+    _d(Opcode.PSUBB, OpClass.SIMD_ALU, subwords=8),
+    _d(Opcode.PSUBW, OpClass.SIMD_ALU, subwords=4),
+    _d(Opcode.PADDUSB, OpClass.SIMD_ALU, subwords=8),
+    _d(Opcode.PSUBUSB, OpClass.SIMD_ALU, subwords=8),
+    _d(Opcode.PMULLW, OpClass.SIMD_MUL, subwords=4),
+    _d(Opcode.PMULHW, OpClass.SIMD_MUL, subwords=4),
+    _d(Opcode.PMADDWD, OpClass.SIMD_MUL, subwords=4),
+    _d(Opcode.PAVGB, OpClass.SIMD_ALU, subwords=8),
+    _d(Opcode.PSADBW, OpClass.SIMD_SAD, subwords=8),
+    _d(Opcode.PMINMAX, OpClass.SIMD_ALU, subwords=8),
+    _d(Opcode.PCMP, OpClass.SIMD_ALU, subwords=8),
+    _d(Opcode.PLOGICAL, OpClass.SIMD_ALU, subwords=8),
+    _d(Opcode.PSHIFT, OpClass.SIMD_ALU, subwords=4),
+    _d(Opcode.PACK, OpClass.SIMD_ALU, subwords=8),
+    _d(Opcode.UNPACK, OpClass.SIMD_ALU, subwords=8),
+    _d(Opcode.PSHUFW, OpClass.SIMD_ALU, subwords=4),
+    _d(Opcode.MLOAD, OpClass.LOAD, subwords=8,
+       notes="64-bit packed load through the L1 data cache"),
+    _d(Opcode.MSTORE, OpClass.STORE, subwords=8),
+    # Vector-µSIMD
+    _d(Opcode.SETVL, OpClass.VECTOR_SETUP),
+    _d(Opcode.SETVS, OpClass.VECTOR_SETUP),
+    _d(Opcode.VADDB, OpClass.VECTOR_ALU, subwords=8),
+    _d(Opcode.VADDW, OpClass.VECTOR_ALU, subwords=4),
+    _d(Opcode.VSUBB, OpClass.VECTOR_ALU, subwords=8),
+    _d(Opcode.VSUBW, OpClass.VECTOR_ALU, subwords=4),
+    _d(Opcode.VMULLW, OpClass.VECTOR_MUL, subwords=4),
+    _d(Opcode.VMULHW, OpClass.VECTOR_MUL, subwords=4),
+    _d(Opcode.VMADDWD, OpClass.VECTOR_MUL, subwords=4),
+    _d(Opcode.VPAVGB, OpClass.VECTOR_ALU, subwords=8),
+    _d(Opcode.VSAD, OpClass.VECTOR_SAD, subwords=8),
+    _d(Opcode.VMAC, OpClass.VECTOR_MUL, subwords=4),
+    _d(Opcode.VPACK, OpClass.VECTOR_ALU, subwords=8),
+    _d(Opcode.VUNPACK, OpClass.VECTOR_ALU, subwords=8),
+    _d(Opcode.VSHIFT, OpClass.VECTOR_ALU, subwords=4),
+    _d(Opcode.VLOGICAL, OpClass.VECTOR_ALU, subwords=8),
+    _d(Opcode.VLOAD, OpClass.VECTOR_LOAD, subwords=8,
+       notes="vector load; bypasses L1, scheduled as a stride-1 L2 hit"),
+    _d(Opcode.VSTORE, OpClass.VECTOR_STORE, subwords=8),
+    _d(Opcode.VSUM, OpClass.VECTOR_REDUCE, subwords=8,
+       notes="final cross-lane reduction of a packed accumulator"),
+    _d(Opcode.ACCCLEAR, OpClass.VECTOR_ALU, subwords=8,
+       notes="clear a packed accumulator"),
+]:
+    register_opcode(_desc)
+
+
+def descriptor_for(opcode) -> OperationDescriptor:
+    """Resolve an opcode (enum member or plain string) to its descriptor."""
+    name = opcode.value if isinstance(opcode, Opcode) else str(opcode)
+    try:
+        return OPCODE_TABLE[name]
+    except KeyError as exc:
+        raise KeyError(f"unknown opcode {name!r}; register it first") from exc
+
+
+def micro_ops_for(opcode, vector_length: int = 1, subwords: Optional[int] = None) -> int:
+    """Micro-operation count of one dynamic instance of ``opcode``.
+
+    This implements the accounting behind the paper's µOPC metric:
+
+    * a scalar operation is one micro-operation;
+    * a µSIMD operation performs ``subwords`` micro-operations (up to 8);
+    * a vector operation performs ``VL × subwords`` micro-operations (up to
+      16 × 8 = 128), and a vector memory operation moves ``VL`` packed words.
+
+    ``subwords`` overrides the descriptor default when a kernel uses an
+    opcode at a different element width than the table assumes.
+    """
+    desc = descriptor_for(opcode)
+    sub = desc.subwords if subwords is None else int(subwords)
+    if sub < 1:
+        raise ValueError("subwords must be >= 1")
+    vl = int(vector_length)
+    if vl < 1 or vl > MAX_VECTOR_LENGTH:
+        raise ValueError(
+            f"vector length must be in [1, {MAX_VECTOR_LENGTH}], got {vl}")
+    if desc.op_class.is_vector or desc.op_class.is_vector_memory:
+        if desc.op_class is OpClass.VECTOR_REDUCE:
+            # the final reduction works on the accumulator lanes only
+            return sub
+        return vl * sub
+    if desc.op_class.is_simd or desc.op_class in {OpClass.LOAD, OpClass.STORE} and sub > 1:
+        return sub
+    if desc.op_class.is_simd:
+        return sub
+    return 1

@@ -1,0 +1,543 @@
+"""Functional semantics of the µSIMD (sub-word SIMD) operations.
+
+The µSIMD-VLIW machine of the paper extends a 64-bit VLIW core with packed
+registers: a single 64-bit register holds eight 8-bit, four 16-bit or two
+32-bit elements, and the functional units operate on all elements in
+parallel.  This module implements those operations functionally on NumPy
+arrays so that media kernels can be written exactly the way the paper's
+"emulation library" versions were written, and so that the µSIMD and
+Vector-µSIMD versions of each kernel can be checked against the plain scalar
+reference for bit-exactness.
+
+Conventions
+-----------
+* A *packed word* is represented by a NumPy array whose **last axis** is the
+  sub-word (lane) axis: shape ``(..., 8)`` for 8-bit data, ``(..., 4)`` for
+  16-bit data and ``(..., 2)`` for 32-bit data.  All operations broadcast
+  over the leading axes, which is what lets the Vector-µSIMD layer reuse
+  them unchanged with a leading vector-length axis.
+* Wrap-around ("modular") operations keep the input dtype and wrap exactly
+  like the hardware would.
+* Saturating operations clamp to the representable range of the *output*
+  dtype (signed or unsigned), mirroring MMX/SSE2 semantics.
+* Widening operations (e.g. :func:`pmulhw`, :func:`psadbw`) return wider
+  dtypes; callers that need to repack use the ``pack*`` helpers.
+
+The element-count constants :data:`LANES_8`, :data:`LANES_16` and
+:data:`LANES_32` document the shape contract; they are also used by the
+timing layer to account micro-operations.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = [
+    "LANES_8",
+    "LANES_16",
+    "LANES_32",
+    "WORD_BITS",
+    "ensure_lanes",
+    "saturate",
+    # packed arithmetic
+    "paddb",
+    "paddw",
+    "paddd",
+    "paddsb",
+    "paddsw",
+    "paddusb",
+    "paddusw",
+    "psubb",
+    "psubw",
+    "psubd",
+    "psubsb",
+    "psubsw",
+    "psubusb",
+    "psubusw",
+    "pmullw",
+    "pmulhw",
+    "pmaddwd",
+    "pavgb",
+    "pavgw",
+    "pabsb",
+    "pabsw",
+    "pabsdiffb",
+    "psadbw",
+    "pminub",
+    "pmaxub",
+    "pminsw",
+    "pmaxsw",
+    # compares / logical
+    "pcmpeqb",
+    "pcmpeqw",
+    "pcmpgtb",
+    "pcmpgtw",
+    "pand",
+    "pandn",
+    "por",
+    "pxor",
+    # shifts
+    "psllw",
+    "psrlw",
+    "psraw",
+    "pslld",
+    "psrld",
+    "psrad",
+    # pack / unpack / shuffle
+    "packuswb",
+    "packsswb",
+    "packssdw",
+    "punpcklbw",
+    "punpckhbw",
+    "punpcklwd",
+    "punpckhwd",
+    "unpack_u8_to_s16",
+    "pack_s16_to_u8",
+    "pshufw",
+    # conversions between packed words and flat element streams
+    "to_packed",
+    "from_packed",
+]
+
+#: Number of 8-bit lanes in a 64-bit packed word.
+LANES_8 = 8
+#: Number of 16-bit lanes in a 64-bit packed word.
+LANES_16 = 4
+#: Number of 32-bit lanes in a 64-bit packed word.
+LANES_32 = 2
+#: Width of a µSIMD register in bits.
+WORD_BITS = 64
+
+_SIGNED_RANGES = {
+    np.dtype(np.int8): (-128, 127),
+    np.dtype(np.int16): (-32768, 32767),
+    np.dtype(np.int32): (-(2 ** 31), 2 ** 31 - 1),
+}
+_UNSIGNED_RANGES = {
+    np.dtype(np.uint8): (0, 255),
+    np.dtype(np.uint16): (0, 65535),
+    np.dtype(np.uint32): (0, 2 ** 32 - 1),
+}
+
+
+def ensure_lanes(array: np.ndarray, lanes: int) -> np.ndarray:
+    """Validate that ``array`` ends with a lane axis of length ``lanes``.
+
+    Raises
+    ------
+    ValueError
+        If the trailing axis does not match the expected lane count.  This is
+        the packed-word shape contract described in the module docstring.
+    """
+    arr = np.asarray(array)
+    if arr.ndim == 0 or arr.shape[-1] != lanes:
+        raise ValueError(
+            f"expected a packed word with {lanes} lanes on the last axis, "
+            f"got shape {arr.shape}"
+        )
+    return arr
+
+
+def saturate(values: np.ndarray, dtype: np.dtype) -> np.ndarray:
+    """Clamp ``values`` to the representable range of ``dtype`` and cast.
+
+    This is the single saturation primitive shared by every saturating
+    opcode; the ranges are looked up from the dtype so that new element
+    widths only need a table entry.
+    """
+    dtype = np.dtype(dtype)
+    if dtype in _SIGNED_RANGES:
+        lo, hi = _SIGNED_RANGES[dtype]
+    elif dtype in _UNSIGNED_RANGES:
+        lo, hi = _UNSIGNED_RANGES[dtype]
+    else:  # pragma: no cover - defensive
+        raise TypeError(f"unsupported saturation dtype {dtype}")
+    return np.clip(np.asarray(values, dtype=np.int64), lo, hi).astype(dtype)
+
+
+def _wrap_binary(a: np.ndarray, b: np.ndarray, op, dtype) -> np.ndarray:
+    """Apply ``op`` with wrap-around semantics in ``dtype``."""
+    a = np.asarray(a, dtype=dtype)
+    b = np.asarray(b, dtype=dtype)
+    with np.errstate(over="ignore"):
+        return op(a, b).astype(dtype)
+
+
+# ---------------------------------------------------------------------------
+# Packed addition / subtraction
+# ---------------------------------------------------------------------------
+
+def paddb(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Packed 8-bit add with wrap-around (eight lanes)."""
+    return _wrap_binary(a, b, np.add, np.uint8)
+
+
+def paddw(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Packed 16-bit add with wrap-around (four lanes)."""
+    return _wrap_binary(a, b, np.add, np.int16)
+
+
+def paddd(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Packed 32-bit add with wrap-around (two lanes)."""
+    return _wrap_binary(a, b, np.add, np.int32)
+
+
+def paddsb(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Packed signed 8-bit add with saturation."""
+    wide = np.asarray(a, dtype=np.int64) + np.asarray(b, dtype=np.int64)
+    return saturate(wide, np.int8)
+
+
+def paddsw(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Packed signed 16-bit add with saturation."""
+    wide = np.asarray(a, dtype=np.int64) + np.asarray(b, dtype=np.int64)
+    return saturate(wide, np.int16)
+
+
+def paddusb(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Packed unsigned 8-bit add with saturation."""
+    wide = np.asarray(a, dtype=np.int64) + np.asarray(b, dtype=np.int64)
+    return saturate(wide, np.uint8)
+
+
+def paddusw(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Packed unsigned 16-bit add with saturation."""
+    wide = np.asarray(a, dtype=np.int64) + np.asarray(b, dtype=np.int64)
+    return saturate(wide, np.uint16)
+
+
+def psubb(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Packed 8-bit subtract with wrap-around."""
+    return _wrap_binary(a, b, np.subtract, np.uint8)
+
+
+def psubw(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Packed 16-bit subtract with wrap-around."""
+    return _wrap_binary(a, b, np.subtract, np.int16)
+
+
+def psubd(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Packed 32-bit subtract with wrap-around."""
+    return _wrap_binary(a, b, np.subtract, np.int32)
+
+
+def psubsb(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Packed signed 8-bit subtract with saturation."""
+    wide = np.asarray(a, dtype=np.int64) - np.asarray(b, dtype=np.int64)
+    return saturate(wide, np.int8)
+
+
+def psubsw(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Packed signed 16-bit subtract with saturation."""
+    wide = np.asarray(a, dtype=np.int64) - np.asarray(b, dtype=np.int64)
+    return saturate(wide, np.int16)
+
+
+def psubusb(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Packed unsigned 8-bit subtract with saturation (clamps at zero)."""
+    wide = np.asarray(a, dtype=np.int64) - np.asarray(b, dtype=np.int64)
+    return saturate(wide, np.uint8)
+
+
+def psubusw(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Packed unsigned 16-bit subtract with saturation (clamps at zero)."""
+    wide = np.asarray(a, dtype=np.int64) - np.asarray(b, dtype=np.int64)
+    return saturate(wide, np.uint16)
+
+
+# ---------------------------------------------------------------------------
+# Packed multiplication and multiply-accumulate
+# ---------------------------------------------------------------------------
+
+def pmullw(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Packed 16-bit multiply, low 16 bits of each product."""
+    wide = np.asarray(a, dtype=np.int32) * np.asarray(b, dtype=np.int32)
+    return (wide & 0xFFFF).astype(np.uint16).astype(np.int16)
+
+
+def pmulhw(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Packed signed 16-bit multiply, high 16 bits of each product."""
+    wide = np.asarray(a, dtype=np.int32) * np.asarray(b, dtype=np.int32)
+    return (wide >> 16).astype(np.int16)
+
+
+def pmaddwd(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Packed multiply-add: 4×16-bit products summed pairwise to 2×32-bit.
+
+    ``result[..., j] = a[..., 2j]*b[..., 2j] + a[..., 2j+1]*b[..., 2j+1]``
+    """
+    a = ensure_lanes(np.asarray(a, dtype=np.int32), LANES_16)
+    b = ensure_lanes(np.asarray(b, dtype=np.int32), LANES_16)
+    prod = a * b
+    return (prod[..., 0::2] + prod[..., 1::2]).astype(np.int32)
+
+
+# ---------------------------------------------------------------------------
+# Averages, absolute values and sum of absolute differences
+# ---------------------------------------------------------------------------
+
+def pavgb(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Packed unsigned 8-bit average with rounding: ``(a + b + 1) >> 1``."""
+    wide = np.asarray(a, dtype=np.int32) + np.asarray(b, dtype=np.int32) + 1
+    return (wide >> 1).astype(np.uint8)
+
+
+def pavgw(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Packed unsigned 16-bit average with rounding."""
+    wide = np.asarray(a, dtype=np.int32) + np.asarray(b, dtype=np.int32) + 1
+    return (wide >> 1).astype(np.uint16)
+
+
+def pabsb(a: np.ndarray) -> np.ndarray:
+    """Packed 8-bit absolute value (signed input, unsigned result)."""
+    return np.abs(np.asarray(a, dtype=np.int16)).astype(np.uint8)
+
+
+def pabsw(a: np.ndarray) -> np.ndarray:
+    """Packed 16-bit absolute value (signed input, unsigned result)."""
+    return np.abs(np.asarray(a, dtype=np.int32)).astype(np.uint16)
+
+
+def pabsdiffb(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Packed 8-bit absolute difference, one result per lane (no reduction)."""
+    wide = np.abs(np.asarray(a, dtype=np.int32) - np.asarray(b, dtype=np.int32))
+    return wide.astype(np.uint8)
+
+
+def psadbw(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Sum of absolute differences of eight unsigned bytes.
+
+    Returns one integer per packed word (the leading axes are preserved and
+    the lane axis is reduced), exactly what the paper's SAD operation feeds
+    into the packed accumulator.
+    """
+    a = ensure_lanes(np.asarray(a, dtype=np.int32), LANES_8)
+    b = ensure_lanes(np.asarray(b, dtype=np.int32), LANES_8)
+    return np.abs(a - b).sum(axis=-1).astype(np.int64)
+
+
+def pminub(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Packed unsigned 8-bit minimum."""
+    return np.minimum(np.asarray(a, dtype=np.uint8), np.asarray(b, dtype=np.uint8))
+
+
+def pmaxub(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Packed unsigned 8-bit maximum."""
+    return np.maximum(np.asarray(a, dtype=np.uint8), np.asarray(b, dtype=np.uint8))
+
+
+def pminsw(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Packed signed 16-bit minimum."""
+    return np.minimum(np.asarray(a, dtype=np.int16), np.asarray(b, dtype=np.int16))
+
+
+def pmaxsw(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Packed signed 16-bit maximum."""
+    return np.maximum(np.asarray(a, dtype=np.int16), np.asarray(b, dtype=np.int16))
+
+
+# ---------------------------------------------------------------------------
+# Compares and logical operations
+# ---------------------------------------------------------------------------
+
+def _cmp_mask(mask: np.ndarray, dtype) -> np.ndarray:
+    """Convert a boolean mask to the all-ones/all-zeros lane mask format."""
+    info = np.iinfo(dtype)
+    ones = np.array(info.max if info.min == 0 else -1, dtype=dtype)
+    return np.where(mask, ones, np.array(0, dtype=dtype)).astype(dtype)
+
+
+def pcmpeqb(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Packed 8-bit compare-equal producing 0xFF / 0x00 lane masks."""
+    return _cmp_mask(np.asarray(a, dtype=np.uint8) == np.asarray(b, dtype=np.uint8), np.uint8)
+
+
+def pcmpeqw(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Packed 16-bit compare-equal producing lane masks."""
+    return _cmp_mask(np.asarray(a, dtype=np.int16) == np.asarray(b, dtype=np.int16), np.int16)
+
+
+def pcmpgtb(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Packed signed 8-bit compare-greater-than producing lane masks."""
+    return _cmp_mask(np.asarray(a, dtype=np.int8) > np.asarray(b, dtype=np.int8), np.uint8)
+
+
+def pcmpgtw(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Packed signed 16-bit compare-greater-than producing lane masks."""
+    return _cmp_mask(np.asarray(a, dtype=np.int16) > np.asarray(b, dtype=np.int16), np.int16)
+
+
+def pand(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Bitwise AND of packed words (lane width agnostic)."""
+    return np.bitwise_and(a, b)
+
+
+def pandn(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Bitwise AND-NOT: ``(~a) & b`` (MMX ``pandn`` semantics)."""
+    return np.bitwise_and(np.bitwise_not(a), b)
+
+
+def por(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Bitwise OR of packed words."""
+    return np.bitwise_or(a, b)
+
+
+def pxor(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Bitwise XOR of packed words."""
+    return np.bitwise_xor(a, b)
+
+
+# ---------------------------------------------------------------------------
+# Shifts
+# ---------------------------------------------------------------------------
+
+def psllw(a: np.ndarray, count: int) -> np.ndarray:
+    """Packed 16-bit logical shift left by an immediate count."""
+    wide = np.asarray(a, dtype=np.int32) << int(count)
+    return (wide & 0xFFFF).astype(np.uint16).astype(np.int16)
+
+
+def psrlw(a: np.ndarray, count: int) -> np.ndarray:
+    """Packed 16-bit logical shift right by an immediate count."""
+    return (np.asarray(a, dtype=np.uint16) >> int(count)).astype(np.uint16)
+
+
+def psraw(a: np.ndarray, count: int) -> np.ndarray:
+    """Packed 16-bit arithmetic shift right by an immediate count."""
+    return (np.asarray(a, dtype=np.int16) >> int(count)).astype(np.int16)
+
+
+def pslld(a: np.ndarray, count: int) -> np.ndarray:
+    """Packed 32-bit logical shift left by an immediate count."""
+    wide = np.asarray(a, dtype=np.int64) << int(count)
+    return (wide & 0xFFFFFFFF).astype(np.uint32).astype(np.int32)
+
+
+def psrld(a: np.ndarray, count: int) -> np.ndarray:
+    """Packed 32-bit logical shift right by an immediate count."""
+    return (np.asarray(a, dtype=np.uint32) >> int(count)).astype(np.uint32)
+
+
+def psrad(a: np.ndarray, count: int) -> np.ndarray:
+    """Packed 32-bit arithmetic shift right by an immediate count."""
+    return (np.asarray(a, dtype=np.int32) >> int(count)).astype(np.int32)
+
+
+# ---------------------------------------------------------------------------
+# Pack / unpack / shuffle
+# ---------------------------------------------------------------------------
+
+def packuswb(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Pack two 4×16-bit words into one 8×8-bit word with unsigned saturation."""
+    a = ensure_lanes(a, LANES_16)
+    b = ensure_lanes(b, LANES_16)
+    joined = np.concatenate([np.asarray(a, np.int64), np.asarray(b, np.int64)], axis=-1)
+    return saturate(joined, np.uint8)
+
+
+def packsswb(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Pack two 4×16-bit words into one 8×8-bit word with signed saturation."""
+    a = ensure_lanes(a, LANES_16)
+    b = ensure_lanes(b, LANES_16)
+    joined = np.concatenate([np.asarray(a, np.int64), np.asarray(b, np.int64)], axis=-1)
+    return saturate(joined, np.int8)
+
+
+def packssdw(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Pack two 2×32-bit words into one 4×16-bit word with signed saturation."""
+    a = ensure_lanes(a, LANES_32)
+    b = ensure_lanes(b, LANES_32)
+    joined = np.concatenate([np.asarray(a, np.int64), np.asarray(b, np.int64)], axis=-1)
+    return saturate(joined, np.int16)
+
+
+def punpcklbw(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Interleave the low four bytes of ``a`` and ``b``."""
+    a = ensure_lanes(a, LANES_8)
+    b = ensure_lanes(b, LANES_8)
+    out = np.empty(a.shape, dtype=np.result_type(a, b))
+    out[..., 0::2] = a[..., :4]
+    out[..., 1::2] = b[..., :4]
+    return out
+
+
+def punpckhbw(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Interleave the high four bytes of ``a`` and ``b``."""
+    a = ensure_lanes(a, LANES_8)
+    b = ensure_lanes(b, LANES_8)
+    out = np.empty(a.shape, dtype=np.result_type(a, b))
+    out[..., 0::2] = a[..., 4:]
+    out[..., 1::2] = b[..., 4:]
+    return out
+
+
+def punpcklwd(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Interleave the low two 16-bit lanes of ``a`` and ``b``."""
+    a = ensure_lanes(a, LANES_16)
+    b = ensure_lanes(b, LANES_16)
+    out = np.empty(a.shape, dtype=np.result_type(a, b))
+    out[..., 0::2] = a[..., :2]
+    out[..., 1::2] = b[..., :2]
+    return out
+
+
+def punpckhwd(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Interleave the high two 16-bit lanes of ``a`` and ``b``."""
+    a = ensure_lanes(a, LANES_16)
+    b = ensure_lanes(b, LANES_16)
+    out = np.empty(a.shape, dtype=np.result_type(a, b))
+    out[..., 0::2] = a[..., 2:]
+    out[..., 1::2] = b[..., 2:]
+    return out
+
+
+def unpack_u8_to_s16(a: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Zero-extend an 8×u8 word into two 4×s16 words ``(low, high)``.
+
+    This is the idiomatic MMX "punpcklbw/punpckhbw with zero" sequence used
+    by every kernel that promotes pixels to 16 bits before arithmetic.
+    """
+    a = ensure_lanes(np.asarray(a, dtype=np.uint8), LANES_8)
+    wide = a.astype(np.int16)
+    return wide[..., :4], wide[..., 4:]
+
+
+def pack_s16_to_u8(low: np.ndarray, high: np.ndarray) -> np.ndarray:
+    """Pack two 4×s16 words into one 8×u8 word with unsigned saturation."""
+    return packuswb(low, high)
+
+
+def pshufw(a: np.ndarray, order: Tuple[int, int, int, int]) -> np.ndarray:
+    """Shuffle the four 16-bit lanes of ``a`` according to ``order``."""
+    a = ensure_lanes(a, LANES_16)
+    idx = np.asarray(order, dtype=np.intp)
+    if idx.shape != (LANES_16,):
+        raise ValueError("pshufw order must have exactly four entries")
+    return a[..., idx]
+
+
+# ---------------------------------------------------------------------------
+# Packing helpers between flat element streams and packed-word layout
+# ---------------------------------------------------------------------------
+
+def to_packed(flat: np.ndarray, lanes: int) -> np.ndarray:
+    """Reshape a flat element stream into packed words of ``lanes`` elements.
+
+    The stream length must be a multiple of ``lanes``; kernels pad their
+    buffers to packed-word boundaries the same way the hand-written
+    emulation-library codes in the paper do.
+    """
+    flat = np.asarray(flat)
+    if flat.shape[-1] % lanes != 0:
+        raise ValueError(
+            f"stream of {flat.shape[-1]} elements is not a multiple of {lanes} lanes"
+        )
+    return flat.reshape(flat.shape[:-1] + (flat.shape[-1] // lanes, lanes))
+
+
+def from_packed(packed_words: np.ndarray) -> np.ndarray:
+    """Flatten packed words back into a contiguous element stream."""
+    packed_words = np.asarray(packed_words)
+    return packed_words.reshape(packed_words.shape[:-2] + (-1,))

@@ -1,0 +1,160 @@
+"""Register-file descriptions and functional register values.
+
+The scheduler needs to know how many registers of each class a machine
+configuration provides (Table 2 of the paper) so it can refuse schedules
+that would over-subscribe a register file, and the functional simulator
+needs simple containers for vector register and accumulator values.  Both
+live here so that the ISA, the machine model and the compiler agree on the
+register classes.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.isa import packed
+
+__all__ = [
+    "RegisterClass",
+    "RegisterFileSpec",
+    "SpecialRegister",
+    "VectorRegisterValue",
+    "AccumulatorValue",
+]
+
+
+class RegisterClass(enum.Enum):
+    """Architectural register classes of the Vector-µSIMD-VLIW machine."""
+
+    #: 64-bit scalar integer registers (also hold addresses).
+    INT = "int"
+    #: 64-bit µSIMD registers (one packed word each).
+    SIMD = "simd"
+    #: Vector registers: 16 packed 64-bit words each, striped across lanes.
+    VECTOR = "vector"
+    #: 192-bit packed accumulators for reductions.
+    ACCUM = "accum"
+    #: One-bit predicate registers (used by compare/branch sequences).
+    PRED = "pred"
+    #: The VL / VS special registers.
+    SPECIAL = "special"
+
+
+@dataclass(frozen=True)
+class RegisterFileSpec:
+    """Size and geometry of one register file in a machine configuration.
+
+    ``words_per_register`` is 1 for scalar/µSIMD files and up to 16 for the
+    vector file; ``lanes`` records how many physical lanes the file is
+    striped over (4 in every vector configuration of the paper), which the
+    latency model uses to derive the per-element issue rate.
+    """
+
+    reg_class: RegisterClass
+    count: int
+    width_bits: int = 64
+    words_per_register: int = 1
+    lanes: int = 1
+
+    def __post_init__(self) -> None:
+        if self.count < 0:
+            raise ValueError("register count cannot be negative")
+        if self.words_per_register < 1:
+            raise ValueError("words_per_register must be >= 1")
+        if self.lanes < 1:
+            raise ValueError("lanes must be >= 1")
+
+    @property
+    def total_bits(self) -> int:
+        """Total storage capacity of the file in bits."""
+        return self.count * self.width_bits * self.words_per_register
+
+
+class SpecialRegister(enum.Enum):
+    """The two control registers of the vector extension."""
+
+    VL = "vl"
+    VS = "vs"
+
+
+class VectorRegisterValue:
+    """Functional value of one vector register (``VL`` packed words).
+
+    Thin wrapper over a ``(VL, lanes)`` NumPy array that remembers the data
+    width it was written with so that debugging output and the functional
+    tests can render it meaningfully.
+    """
+
+    __slots__ = ("data", "element_bits")
+
+    def __init__(self, data: np.ndarray, element_bits: int = 8) -> None:
+        self.data = np.asarray(data)
+        if self.data.ndim != 2:
+            raise ValueError("vector register value must be 2-D (VL, lanes)")
+        if self.data.shape[0] > 16:
+            raise ValueError("vector length cannot exceed 16 packed words")
+        self.element_bits = element_bits
+
+    @property
+    def vector_length(self) -> int:
+        """Number of packed words currently held."""
+        return self.data.shape[0]
+
+    @property
+    def lanes(self) -> int:
+        """Sub-word elements per packed word."""
+        return self.data.shape[1]
+
+    def as_matrix(self) -> np.ndarray:
+        """Return the value as the VL×lanes element matrix the ISA defines."""
+        return self.data.copy()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"VectorRegisterValue(vl={self.vector_length}, "
+                f"lanes={self.lanes}, bits={self.element_bits})")
+
+
+class AccumulatorValue:
+    """Functional value of one 192-bit packed accumulator.
+
+    The accumulator holds one guard-extended slot per sub-word lane (24 bits
+    per 8-bit lane, 48 bits per 16-bit lane).  :meth:`check_range` verifies
+    that the functional value still fits in the architected width, which the
+    property-based tests use to show the media kernels never overflow it.
+    """
+
+    __slots__ = ("slots", "element_bits")
+
+    TOTAL_BITS = 192
+
+    def __init__(self, lanes: int = packed.LANES_8, element_bits: int = 8) -> None:
+        self.slots = np.zeros(lanes, dtype=np.int64)
+        self.element_bits = element_bits
+
+    @property
+    def slot_bits(self) -> int:
+        """Architected width of each accumulator slot."""
+        return self.TOTAL_BITS // len(self.slots)
+
+    def clear(self) -> None:
+        """Zero the accumulator (the ``A = 0`` operation of Figure 4)."""
+        self.slots[:] = 0
+
+    def accumulate(self, values: np.ndarray) -> None:
+        """Add one packed word (or a reduced partial result) lane-wise."""
+        self.slots += np.asarray(values, dtype=np.int64)
+
+    def check_range(self) -> bool:
+        """Return True if the value fits in the architected slot width."""
+        limit = 1 << (self.slot_bits - 1)
+        return bool(np.all(self.slots < limit) and np.all(self.slots >= -limit))
+
+    def reduce(self) -> int:
+        """Cross-lane sum (the final ``SUM`` reduction)."""
+        return int(self.slots.sum())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"AccumulatorValue(slots={self.slots.tolist()})"

@@ -1,0 +1,271 @@
+"""Functional semantics of the Vector-µSIMD (MOM-style) extension.
+
+The Vector-µSIMD ISA of the paper is "a conventional vector ISA where each
+operation is an MMX-like operation": a vector register holds up to
+:data:`MAX_VL` 64-bit packed words (so up to a 16×8 matrix of bytes), vector
+loads and stores move packed words between memory and the vector register
+file under the control of two special registers (vector length ``VL`` and
+vector stride ``VS``), and every µSIMD computation opcode has a vector form
+that applies it to all ``VL`` words.  Reductions use 192-bit *packed
+accumulators* (modelled after MDMX): a SAD or multiply-accumulate vector
+operation adds one partial result per vector element into the accumulator,
+and a final ``SUM`` operation collapses the accumulator into a scalar.
+
+This module provides the functional layer only; timing is handled by
+:mod:`repro.machine` and :mod:`repro.sim`.  Values follow the same NumPy
+shape conventions as :mod:`repro.isa.packed`: a vector register value is an
+array of shape ``(VL, lanes)``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.isa import packed
+
+__all__ = [
+    "MAX_VL",
+    "VectorState",
+    "vload",
+    "vstore",
+    "vload_words",
+    "vstore_words",
+    "vmap",
+    "vmap2",
+    "vaddw",
+    "vsubw",
+    "vaddb",
+    "vsubb",
+    "vmullw",
+    "vmulhw",
+    "vmaddwd",
+    "vpavgb",
+    "vpabsdiffb",
+    "vpackuswb",
+    "vunpack_u8_to_s16",
+    "vsad_accumulate",
+    "vmac_accumulate",
+    "accumulator_sum",
+    "accumulator_zero",
+]
+
+#: Maximum vector length (packed 64-bit words per vector register).
+MAX_VL = 16
+
+
+class VectorState:
+    """Architectural state of the vector extension used by functional kernels.
+
+    Holds the two special registers the ISA requires (vector length and
+    vector stride).  Kernels set them before issuing vector memory or
+    computation operations, mirroring the way the emulation library sets the
+    ``VL``/``VS`` registers in the paper's hand-written codes.
+    """
+
+    def __init__(self, vl: int = MAX_VL, vs: int = 1) -> None:
+        self.vl = vl
+        self.vs = vs
+
+    @property
+    def vl(self) -> int:
+        """Current vector length in packed words (1..16)."""
+        return self._vl
+
+    @vl.setter
+    def vl(self, value: int) -> None:
+        value = int(value)
+        if not 1 <= value <= MAX_VL:
+            raise ValueError(f"vector length must be in [1, {MAX_VL}], got {value}")
+        self._vl = value
+
+    @property
+    def vs(self) -> int:
+        """Current vector stride in packed 64-bit words (>= 1)."""
+        return self._vs
+
+    @vs.setter
+    def vs(self, value: int) -> None:
+        value = int(value)
+        if value < 1:
+            raise ValueError(f"vector stride must be >= 1, got {value}")
+        self._vs = value
+
+
+# ---------------------------------------------------------------------------
+# Vector memory operations
+# ---------------------------------------------------------------------------
+
+def vload_words(memory: np.ndarray, base_word: int, vl: int, vs: int) -> np.ndarray:
+    """Load ``vl`` packed words from ``memory`` starting at ``base_word``.
+
+    ``memory`` is an array of packed words (shape ``(n_words, lanes)``);
+    ``vs`` is the stride between consecutive vector elements, measured in
+    packed words, exactly as the ``VS`` register defines it.
+    """
+    memory = np.asarray(memory)
+    idx = base_word + vs * np.arange(vl)
+    if idx[-1] >= memory.shape[0] or base_word < 0:
+        raise IndexError(
+            f"vector load out of bounds: base={base_word} stride={vs} vl={vl} "
+            f"memory has {memory.shape[0]} words"
+        )
+    return memory[idx].copy()
+
+
+def vstore_words(memory: np.ndarray, base_word: int, value: np.ndarray, vs: int) -> None:
+    """Store the ``(VL, lanes)`` value into ``memory`` with stride ``vs`` words."""
+    memory = np.asarray(memory)
+    value = np.asarray(value)
+    vl = value.shape[0]
+    idx = base_word + vs * np.arange(vl)
+    if idx[-1] >= memory.shape[0] or base_word < 0:
+        raise IndexError(
+            f"vector store out of bounds: base={base_word} stride={vs} vl={vl} "
+            f"memory has {memory.shape[0]} words"
+        )
+    memory[idx] = value
+
+
+def vload(memory: np.ndarray, base_word: int, state: VectorState) -> np.ndarray:
+    """Vector load using the current ``VL``/``VS`` special registers."""
+    return vload_words(memory, base_word, state.vl, state.vs)
+
+
+def vstore(memory: np.ndarray, base_word: int, value: np.ndarray, state: VectorState) -> None:
+    """Vector store using the current ``VS`` special register."""
+    vstore_words(memory, base_word, value, state.vs)
+
+
+# ---------------------------------------------------------------------------
+# Element-wise vector computation (vector forms of the µSIMD opcodes)
+# ---------------------------------------------------------------------------
+
+def vmap(op: Callable[[np.ndarray], np.ndarray], a: np.ndarray) -> np.ndarray:
+    """Apply a unary packed operation to every element of a vector register.
+
+    Because the packed operations broadcast over leading axes, this is just a
+    call with the ``(VL, lanes)`` value; the helper exists to make kernel
+    code read like the ISA ("one vector op = VL packed sub-operations").
+    """
+    return op(np.asarray(a))
+
+
+def vmap2(op: Callable[[np.ndarray, np.ndarray], np.ndarray], a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Apply a binary packed operation element-wise over two vector registers."""
+    a = np.asarray(a)
+    b = np.asarray(b)
+    if a.shape[0] != b.shape[0]:
+        raise ValueError(
+            f"vector length mismatch: {a.shape[0]} vs {b.shape[0]} packed words"
+        )
+    return op(a, b)
+
+
+def vaddw(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Vector packed 16-bit add (wrap-around)."""
+    return vmap2(packed.paddw, a, b)
+
+
+def vsubw(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Vector packed 16-bit subtract (wrap-around)."""
+    return vmap2(packed.psubw, a, b)
+
+
+def vaddb(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Vector packed unsigned 8-bit add with saturation."""
+    return vmap2(packed.paddusb, a, b)
+
+
+def vsubb(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Vector packed unsigned 8-bit subtract with saturation."""
+    return vmap2(packed.psubusb, a, b)
+
+
+def vmullw(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Vector packed 16-bit multiply (low halves)."""
+    return vmap2(packed.pmullw, a, b)
+
+
+def vmulhw(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Vector packed 16-bit multiply (high halves)."""
+    return vmap2(packed.pmulhw, a, b)
+
+
+def vmaddwd(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Vector packed multiply-add (4×16-bit → 2×32-bit per element)."""
+    return vmap2(packed.pmaddwd, a, b)
+
+
+def vpavgb(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Vector packed unsigned 8-bit rounded average."""
+    return vmap2(packed.pavgb, a, b)
+
+
+def vpabsdiffb(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Vector packed 8-bit absolute difference."""
+    return vmap2(packed.pabsdiffb, a, b)
+
+
+def vpackuswb(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Vector pack: per element, pack two 4×16 words into one 8×u8 word."""
+    return vmap2(packed.packuswb, a, b)
+
+
+def vunpack_u8_to_s16(a: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Vector unpack: per element, widen 8×u8 into two 4×s16 halves."""
+    a = np.asarray(a, dtype=np.uint8)
+    wide = a.astype(np.int16)
+    return wide[..., :4], wide[..., 4:]
+
+
+# ---------------------------------------------------------------------------
+# Packed accumulators (192-bit, MDMX style)
+# ---------------------------------------------------------------------------
+
+def accumulator_zero(lanes: int = packed.LANES_8) -> np.ndarray:
+    """Return a zeroed packed accumulator with one wide slot per lane.
+
+    The hardware accumulator is 192 bits wide (24 bits per 8-bit lane or 48
+    bits per 16-bit lane); an ``int64`` per lane comfortably covers that
+    range in the functional model while tests assert the 192-bit bound is
+    never exceeded by the kernels.
+    """
+    return np.zeros(lanes, dtype=np.int64)
+
+
+def vsad_accumulate(acc: np.ndarray, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Vector SAD into a packed accumulator.
+
+    For every vector element (packed word) the eight absolute byte
+    differences are added lane-wise into the accumulator.  This is the
+    ``A = SAD(V1, V2)`` operation of the Figure-4 motion-estimation kernel.
+    """
+    a = np.asarray(a, dtype=np.int64)
+    b = np.asarray(b, dtype=np.int64)
+    diffs = np.abs(a - b)
+    return acc + diffs.sum(axis=0)
+
+
+def vmac_accumulate(acc: np.ndarray, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Vector multiply-accumulate of 16-bit lanes into a packed accumulator.
+
+    Used by the dot-product style kernels (autocorrelation, LTP parameter
+    search) where each lane accumulates the product of corresponding 16-bit
+    lanes over all vector elements.
+    """
+    a = np.asarray(a, dtype=np.int64)
+    b = np.asarray(b, dtype=np.int64)
+    prods = a * b
+    return acc + prods.sum(axis=0)
+
+
+def accumulator_sum(acc: np.ndarray) -> int:
+    """Reduce a packed accumulator to a scalar (the final ``SUM`` operation).
+
+    In hardware only one lane performs this final cross-lane reduction (the
+    paper adds a limited inter-lane connection for it); functionally it is a
+    plain sum.
+    """
+    return int(np.asarray(acc, dtype=np.int64).sum())

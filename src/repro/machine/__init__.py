@@ -1,0 +1,40 @@
+"""Machine models: the ten processor configurations of the paper.
+
+* :mod:`repro.machine.config` — declarative description of a
+  (Vector-µSIMD-)VLIW machine: issue width, functional units, ports,
+  register files and memory geometry, plus the registry of the ten
+  configurations evaluated in the paper (Table 2).
+* :mod:`repro.machine.latency` — the HPL-PD style latency descriptors
+  (earliest/latest read and write times) including the vector-length and
+  lane dependent descriptors of Figure 3.
+* :mod:`repro.machine.resources` — per-cycle reservation tables used by the
+  list scheduler and the cycle simulator to enforce issue-width, functional
+  unit and port constraints.
+"""
+
+from repro.machine.config import (
+    MachineConfig,
+    MemoryConfig,
+    ArchitectureFamily,
+    PAPER_CONFIGS,
+    PAPER_CONFIG_ORDER,
+    get_config,
+    baseline_config,
+)
+from repro.machine.latency import LatencyModel, LatencyDescriptor
+from repro.machine.resources import ReservationTable, ResourceKind, ResourceRequest
+
+__all__ = [
+    "MachineConfig",
+    "MemoryConfig",
+    "ArchitectureFamily",
+    "PAPER_CONFIGS",
+    "PAPER_CONFIG_ORDER",
+    "get_config",
+    "baseline_config",
+    "LatencyModel",
+    "LatencyDescriptor",
+    "ReservationTable",
+    "ResourceKind",
+    "ResourceRequest",
+]

@@ -1,0 +1,297 @@
+"""Processor configurations (Table 2 of the paper).
+
+Ten architectures are evaluated in the paper:
+
+========  =======================  =================================
+family    issue widths             description
+========  =======================  =================================
+VLIW      2, 4, 8                  base HPL-PD style VLIW, integer only
++µSIMD    2, 4, 8                  adds 64-bit packed registers/units
++Vector1  2, 4                     adds vector registers, 1/2 vector
+                                   units of 4 lanes, wide L2 port
++Vector2  2, 4                     like Vector1 with twice the vector
+                                   units and an extra L1 port at 4-issue
+========  =======================  =================================
+
+The vector configurations are intentionally *not* balanced against the same
+issue-width µSIMD machines: the paper positions them as an alternative to
+**wider** issue processors (the arithmetic capability of the 2-issue Vector2
+is comparable to the 8-issue µSIMD machine).
+
+This module also carries the memory-system geometry shared by all
+configurations (§4.2): 16 KB 4-way L1 with 1-cycle latency, 256 KB two-bank
+L2 vector cache with 5-cycle latency and a 4×64-bit port, 1 MB L3 with
+12-cycle latency and 500-cycle main memory.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Dict, Tuple
+
+from repro.isa.registers import RegisterClass, RegisterFileSpec
+
+__all__ = [
+    "ArchitectureFamily",
+    "MemoryConfig",
+    "MachineConfig",
+    "PAPER_CONFIGS",
+    "PAPER_CONFIG_ORDER",
+    "get_config",
+    "baseline_config",
+    "vector_configs",
+    "usimd_configs",
+    "vliw_configs",
+]
+
+
+class ArchitectureFamily(enum.Enum):
+    """The four architecture families compared in the paper."""
+
+    VLIW = "vliw"
+    USIMD = "usimd"
+    VECTOR1 = "vector1"
+    VECTOR2 = "vector2"
+
+    @property
+    def has_usimd(self) -> bool:
+        """True if the family provides packed (µSIMD) operations."""
+        return self is not ArchitectureFamily.VLIW
+
+    @property
+    def has_vector(self) -> bool:
+        """True if the family provides the Vector-µSIMD extension."""
+        return self in {ArchitectureFamily.VECTOR1, ArchitectureFamily.VECTOR2}
+
+    @property
+    def label(self) -> str:
+        """Label used in the paper's figures."""
+        return {
+            ArchitectureFamily.VLIW: "VLIW",
+            ArchitectureFamily.USIMD: "+uSIMD",
+            ArchitectureFamily.VECTOR1: "+Vector1",
+            ArchitectureFamily.VECTOR2: "+Vector2",
+        }[self]
+
+
+@dataclass(frozen=True)
+class MemoryConfig:
+    """Geometry and latencies of the memory hierarchy (paper §4.2)."""
+
+    #: First-level data cache size in bytes (scalar / µSIMD accesses).
+    l1_size: int = 16 * 1024
+    l1_assoc: int = 4
+    l1_line_bytes: int = 32
+    l1_latency: int = 1
+    #: Second-level vector cache (vector accesses bypass the L1).
+    l2_size: int = 256 * 1024
+    l2_assoc: int = 4
+    l2_line_bytes: int = 64
+    l2_latency: int = 5
+    l2_banks: int = 2
+    #: Third-level cache.
+    l3_size: int = 1024 * 1024
+    l3_assoc: int = 8
+    l3_line_bytes: int = 128
+    l3_latency: int = 12
+    #: Main memory latency in cycles.
+    memory_latency: int = 500
+
+    def __post_init__(self) -> None:
+        for name in ("l1_size", "l2_size", "l3_size"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+        if self.l2_banks < 1:
+            raise ValueError("the vector cache needs at least one bank")
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """One statically scheduled machine configuration.
+
+    Attributes mirror the rows of Table 2.  ``vector_lanes`` is the number of
+    parallel lanes each vector functional unit is split into (four in every
+    vector configuration of the paper) and ``l2_port_words`` the width of the
+    L2 vector-cache port in 64-bit elements per cycle.
+    """
+
+    name: str
+    family: ArchitectureFamily
+    issue_width: int
+    int_units: int
+    simd_units: int = 0
+    vector_units: int = 0
+    vector_lanes: int = 4
+    l1_ports: int = 1
+    l2_ports: int = 0
+    l2_port_words: int = 4
+    int_regs: int = 64
+    simd_regs: int = 0
+    vector_regs: int = 0
+    vector_reg_words: int = 16
+    accum_regs: int = 0
+    memory: MemoryConfig = field(default_factory=MemoryConfig)
+
+    def __post_init__(self) -> None:
+        if self.issue_width < 1:
+            raise ValueError("issue width must be >= 1")
+        if self.int_units < 1:
+            raise ValueError("a configuration needs at least one integer unit")
+        if self.family.has_vector and self.vector_units < 1:
+            raise ValueError(f"{self.name}: vector family without vector units")
+        if self.family.has_vector and self.l2_ports < 1:
+            raise ValueError(f"{self.name}: vector family needs an L2 port")
+        if not self.family.has_usimd and self.simd_units:
+            raise ValueError(f"{self.name}: plain VLIW cannot have µSIMD units")
+
+    # -- capability queries --------------------------------------------------
+
+    @property
+    def has_usimd(self) -> bool:
+        """True if µSIMD (packed) operations can be executed."""
+        return self.family.has_usimd
+
+    @property
+    def has_vector(self) -> bool:
+        """True if Vector-µSIMD operations can be executed."""
+        return self.family.has_vector
+
+    @property
+    def label(self) -> str:
+        """Short label such as ``"+Vector2 2w"`` used in reports."""
+        return f"{self.family.label} {self.issue_width}w"
+
+    def register_files(self) -> Dict[RegisterClass, RegisterFileSpec]:
+        """Register files of this configuration, keyed by register class."""
+        files = {
+            RegisterClass.INT: RegisterFileSpec(RegisterClass.INT, self.int_regs, 64),
+        }
+        if self.simd_regs:
+            files[RegisterClass.SIMD] = RegisterFileSpec(
+                RegisterClass.SIMD, self.simd_regs, 64)
+        if self.vector_regs:
+            files[RegisterClass.VECTOR] = RegisterFileSpec(
+                RegisterClass.VECTOR, self.vector_regs, 64,
+                words_per_register=self.vector_reg_words, lanes=self.vector_lanes)
+        if self.accum_regs:
+            files[RegisterClass.ACCUM] = RegisterFileSpec(
+                RegisterClass.ACCUM, self.accum_regs, 192)
+        return files
+
+    def peak_micro_ops_per_cycle(self, subwords: int = 8) -> float:
+        """Theoretical peak µops/cycle, used by the reports for context.
+
+        Integer units contribute one µop per cycle; µSIMD units ``subwords``
+        µops per cycle; each vector unit sustains ``lanes × subwords`` µops
+        per cycle once a vector operation is streaming.
+        """
+        peak = float(self.int_units)
+        peak += self.simd_units * subwords
+        peak += self.vector_units * self.vector_lanes * subwords
+        return peak
+
+    def with_memory(self, memory: MemoryConfig) -> "MachineConfig":
+        """Return a copy of this configuration with a different memory system."""
+        return replace(self, memory=memory)
+
+
+def _vliw(width: int, int_regs: int, l1_ports: int) -> MachineConfig:
+    return MachineConfig(
+        name=f"vliw-{width}w",
+        family=ArchitectureFamily.VLIW,
+        issue_width=width,
+        int_units=width,
+        l1_ports=l1_ports,
+        int_regs=int_regs,
+    )
+
+
+def _usimd(width: int, int_regs: int, simd_regs: int, l1_ports: int) -> MachineConfig:
+    return MachineConfig(
+        name=f"usimd-{width}w",
+        family=ArchitectureFamily.USIMD,
+        issue_width=width,
+        int_units=width,
+        simd_units=width,
+        l1_ports=l1_ports,
+        int_regs=int_regs,
+        simd_regs=simd_regs,
+    )
+
+
+def _vector(width: int, variant: int, int_regs: int, vector_regs: int,
+            accum_regs: int, vector_units: int, l1_ports: int) -> MachineConfig:
+    family = ArchitectureFamily.VECTOR1 if variant == 1 else ArchitectureFamily.VECTOR2
+    return MachineConfig(
+        name=f"vector{variant}-{width}w",
+        family=family,
+        issue_width=width,
+        int_units=width,
+        simd_units=0,
+        vector_units=vector_units,
+        vector_lanes=4,
+        l1_ports=l1_ports,
+        l2_ports=1,
+        l2_port_words=4,
+        int_regs=int_regs,
+        vector_regs=vector_regs,
+        vector_reg_words=16,
+        accum_regs=accum_regs,
+    )
+
+
+#: The ten configurations of Table 2, keyed by canonical name.
+PAPER_CONFIGS: Dict[str, MachineConfig] = {
+    cfg.name: cfg
+    for cfg in [
+        _vliw(2, 64, 1),
+        _vliw(4, 96, 2),
+        _vliw(8, 128, 3),
+        _usimd(2, 64, 64, 1),
+        _usimd(4, 96, 96, 2),
+        _usimd(8, 128, 128, 3),
+        _vector(2, 1, 64, 20, 4, vector_units=1, l1_ports=1),
+        _vector(4, 1, 96, 32, 6, vector_units=2, l1_ports=1),
+        _vector(2, 2, 64, 20, 4, vector_units=2, l1_ports=1),
+        _vector(4, 2, 96, 32, 6, vector_units=4, l1_ports=2),
+    ]
+}
+
+#: Presentation order used by the figures (matches the paper's x axes).
+PAPER_CONFIG_ORDER: Tuple[str, ...] = (
+    "vliw-2w", "vliw-4w", "vliw-8w",
+    "usimd-2w", "usimd-4w", "usimd-8w",
+    "vector1-2w", "vector1-4w",
+    "vector2-2w", "vector2-4w",
+)
+
+
+def get_config(name: str) -> MachineConfig:
+    """Look up a paper configuration by name (e.g. ``"vector2-4w"``)."""
+    try:
+        return PAPER_CONFIGS[name]
+    except KeyError as exc:
+        known = ", ".join(sorted(PAPER_CONFIGS))
+        raise KeyError(f"unknown configuration {name!r}; known: {known}") from exc
+
+
+def baseline_config() -> MachineConfig:
+    """The 2-issue VLIW machine all speed-ups are normalised against."""
+    return PAPER_CONFIGS["vliw-2w"]
+
+
+def vliw_configs() -> Tuple[MachineConfig, ...]:
+    """The plain VLIW configurations in increasing issue width."""
+    return tuple(PAPER_CONFIGS[n] for n in ("vliw-2w", "vliw-4w", "vliw-8w"))
+
+
+def usimd_configs() -> Tuple[MachineConfig, ...]:
+    """The µSIMD-VLIW configurations in increasing issue width."""
+    return tuple(PAPER_CONFIGS[n] for n in ("usimd-2w", "usimd-4w", "usimd-8w"))
+
+
+def vector_configs() -> Tuple[MachineConfig, ...]:
+    """The four Vector-µSIMD-VLIW configurations."""
+    return tuple(PAPER_CONFIGS[n] for n in
+                 ("vector1-2w", "vector1-4w", "vector2-2w", "vector2-4w"))

@@ -1,0 +1,217 @@
+"""Latency descriptors for scalar, µSIMD and Vector-µSIMD operations.
+
+The paper's scheduler (Elcor, driven by an HPL-PD machine description)
+characterises every operation with four latency descriptors: earliest read
+(``Ter``), latest read (``Tlr``), earliest write (``Tew``) and latest write
+(``Tlw``).  For a fully pipelined scalar operation with flow latency ``L``
+these are ``(0, 0, 0, L)``.  For a vector operation the descriptors also
+depend on the dynamic vector length ``VL`` and on the number of parallel
+vector lanes ``LN`` (Figure 3 of the paper)::
+
+    Ter = 0
+    Tlr = ceil((VL - 1) / LN)
+    Tew = 0
+    Tlw = L + ceil((VL - 1) / LN)
+
+Vector *memory* operations use the same formulas with ``LN`` replaced by the
+width of the L2 vector-cache port in 64-bit elements.
+
+The model also provides two derived quantities the scheduler and simulator
+need:
+
+* *occupancy*: how many cycles an operation keeps its functional unit (or
+  memory port) busy — ``ceil(VL / LN)`` for vector operations, 1 for fully
+  pipelined scalar/µSIMD operations;
+* *chain latency*: the earliest a dependent **vector** operation may start
+  when the register file supports chaining (§3.3), which is the producer's
+  per-element flow latency rather than its full completion time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.isa.operations import OpClass, OperationDescriptor, descriptor_for
+from repro.machine.config import MachineConfig
+
+__all__ = ["LatencyDescriptor", "LatencyModel", "DEFAULT_FLOW_LATENCIES"]
+
+
+@dataclass(frozen=True)
+class LatencyDescriptor:
+    """The four HPL-PD latency descriptors of one operation instance."""
+
+    earliest_read: int
+    latest_read: int
+    earliest_write: int
+    latest_write: int
+
+    def __post_init__(self) -> None:
+        if self.latest_read < self.earliest_read:
+            raise ValueError("latest read cannot precede earliest read")
+        if self.latest_write < self.earliest_write:
+            raise ValueError("latest write cannot precede earliest write")
+
+    @property
+    def result_latency(self) -> int:
+        """Cycles from issue until the full result is architecturally visible."""
+        return self.latest_write
+
+
+#: Default flow latencies (cycles) per latency class.  Scalar latencies are
+#: modelled on the Itanium2 (paper §4.2); the 2-cycle vector/µSIMD ALU and
+#: the 5-cycle vector-cache latency are the values used in the paper's
+#: Figure-4 scheduling example.
+DEFAULT_FLOW_LATENCIES: Dict[str, int] = {
+    "int_alu": 1,
+    "int_mul": 4,
+    "int_div": 12,
+    "branch": 1,
+    "load": 1,
+    "store": 1,
+    "simd_alu": 2,
+    "simd_mul": 4,
+    "simd_sad": 3,
+    "vector_alu": 2,
+    "vector_mul": 4,
+    "vector_sad": 3,
+    "vector_load": 5,
+    "vector_store": 5,
+    "vector_reduce": 2,
+    "vector_setup": 1,
+    "nop": 1,
+}
+
+#: Mapping from operation class to the default latency class.
+_CLASS_TO_LATENCY: Dict[OpClass, str] = {
+    OpClass.INT_ALU: "int_alu",
+    OpClass.INT_MUL: "int_mul",
+    OpClass.BRANCH: "branch",
+    OpClass.LOAD: "load",
+    OpClass.STORE: "store",
+    OpClass.SIMD_ALU: "simd_alu",
+    OpClass.SIMD_MUL: "simd_mul",
+    OpClass.SIMD_SAD: "simd_sad",
+    OpClass.VECTOR_ALU: "vector_alu",
+    OpClass.VECTOR_MUL: "vector_mul",
+    OpClass.VECTOR_SAD: "vector_sad",
+    OpClass.VECTOR_LOAD: "vector_load",
+    OpClass.VECTOR_STORE: "vector_store",
+    OpClass.VECTOR_REDUCE: "vector_reduce",
+    OpClass.VECTOR_SETUP: "vector_setup",
+    OpClass.NOP: "nop",
+}
+
+
+def _ceil_div(a: int, b: int) -> int:
+    return -(-a // b)
+
+
+@dataclass
+class LatencyModel:
+    """Resolves opcodes to flow latencies, descriptors and occupancies.
+
+    The model is parameterised by a flow-latency table so experiments can
+    explore alternative pipelines (one of the ablation benchmarks sweeps the
+    vector-cache latency); the defaults reproduce the paper's values.
+    """
+
+    flow_latencies: Dict[str, int] = field(
+        default_factory=lambda: dict(DEFAULT_FLOW_LATENCIES))
+
+    def flow_latency(self, opcode, config: MachineConfig) -> int:
+        """Per-(sub-)operation flow latency ``L`` of ``opcode``."""
+        desc = self._descriptor(opcode)
+        key = desc.latency_class or _CLASS_TO_LATENCY[desc.op_class]
+        if key == "load" and config is not None:
+            return max(self.flow_latencies[key], config.memory.l1_latency)
+        if key == "vector_load" and config is not None:
+            return max(self.flow_latencies[key], config.memory.l2_latency)
+        return self.flow_latencies[key]
+
+    @staticmethod
+    def _descriptor(opcode) -> OperationDescriptor:
+        if isinstance(opcode, OperationDescriptor):
+            return opcode
+        return descriptor_for(opcode)
+
+    # -- rates ---------------------------------------------------------------
+
+    def element_rate(self, opcode, config: MachineConfig) -> int:
+        """Packed words processed per cycle once the operation is streaming.
+
+        Vector computation operations initiate ``vector_lanes`` sub-operations
+        per cycle; vector memory operations transfer ``l2_port_words`` packed
+        words per cycle when the stride is one; everything else completes in
+        a single initiation.
+        """
+        desc = self._descriptor(opcode)
+        if desc.op_class.is_vector:
+            return max(1, config.vector_lanes)
+        if desc.op_class.is_vector_memory:
+            return max(1, config.l2_port_words)
+        return 1
+
+    def descriptor(self, opcode, vector_length: int, config: MachineConfig) -> LatencyDescriptor:
+        """Latency descriptors of one operation instance (Figure 3)."""
+        desc = self._descriptor(opcode)
+        latency = self.flow_latency(opcode, config)
+        vl = max(1, int(vector_length))
+        if desc.op_class.is_vector or desc.op_class.is_vector_memory:
+            rate = self.element_rate(opcode, config)
+            tail = _ceil_div(vl - 1, rate) if vl > 1 else 0
+            return LatencyDescriptor(
+                earliest_read=0,
+                latest_read=tail,
+                earliest_write=0,
+                latest_write=latency + tail,
+            )
+        return LatencyDescriptor(
+            earliest_read=0,
+            latest_read=0,
+            earliest_write=0,
+            latest_write=latency,
+        )
+
+    def result_latency(self, opcode, vector_length: int, config: MachineConfig) -> int:
+        """Issue-to-full-result latency (``Tlw``) of one operation instance."""
+        return self.descriptor(opcode, vector_length, config).latest_write
+
+    def chain_latency(self, opcode, config: MachineConfig) -> int:
+        """Earliest a chained vector consumer may start after this producer.
+
+        Chaining forwards vector elements as they are produced, so a
+        dependent vector operation only waits for the producer's first
+        element: its per-element flow latency.
+        """
+        return self.flow_latency(opcode, config)
+
+    def occupancy(self, opcode, vector_length: int, config: MachineConfig,
+                  stride_one: bool = True) -> int:
+        """Cycles the operation keeps its functional unit or memory port busy.
+
+        Vector computation: ``ceil(VL / lanes)``.  Vector memory with stride
+        one: ``ceil(VL / port_width)``; with any other stride the vector
+        cache serves one element per cycle, i.e. ``VL`` cycles (the compiler
+        always *schedules* assuming stride one — the run-time difference is
+        charged as a stall by the simulator, see :mod:`repro.sim`).
+        """
+        desc = self._descriptor(opcode)
+        vl = max(1, int(vector_length))
+        if desc.op_class.is_vector:
+            return _ceil_div(vl, max(1, config.vector_lanes))
+        if desc.op_class.is_vector_memory:
+            if stride_one:
+                return _ceil_div(vl, max(1, config.l2_port_words))
+            return vl
+        return 1
+
+    def with_overrides(self, **overrides: int) -> "LatencyModel":
+        """Return a copy of the model with some flow latencies replaced."""
+        table = dict(self.flow_latencies)
+        unknown = set(overrides) - set(table)
+        if unknown:
+            raise KeyError(f"unknown latency classes: {sorted(unknown)}")
+        table.update({k: int(v) for k, v in overrides.items()})
+        return LatencyModel(flow_latencies=table)

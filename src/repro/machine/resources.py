@@ -1,0 +1,217 @@
+"""Per-cycle resource reservation used by the scheduler and the simulator.
+
+A VLIW machine constrains a schedule in two ways: the issue width (how many
+operations one long instruction can encode) and the functional units / ports
+each operation needs.  The paper's configurations expose six resource kinds
+(Table 2): issue slots, integer units, µSIMD units, vector units, L1 data
+cache ports and the wide L2 vector-cache port.
+
+Fully pipelined operations occupy their unit for one cycle.  Vector
+operations occupy their vector unit for ``ceil(VL / lanes)`` cycles, and
+vector memory operations occupy the L2 port for ``ceil(VL / port_width)``
+cycles (the stride-one schedule-time assumption).  The
+:class:`ReservationTable` tracks per-cycle usage so the list scheduler can
+greedily find the earliest cycle where all of an operation's requests fit.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.isa.operations import OpClass, descriptor_for
+from repro.machine.config import MachineConfig
+from repro.machine.latency import LatencyModel
+
+__all__ = [
+    "ResourceKind",
+    "ResourceRequest",
+    "ReservationTable",
+    "capacities_for",
+    "requests_for",
+    "UnschedulableOperationError",
+]
+
+
+class ResourceKind(enum.Enum):
+    """Kinds of resources an operation can reserve."""
+
+    ISSUE = "issue"
+    INT_UNIT = "int_unit"
+    SIMD_UNIT = "simd_unit"
+    VECTOR_UNIT = "vector_unit"
+    L1_PORT = "l1_port"
+    L2_PORT = "l2_port"
+
+
+@dataclass(frozen=True)
+class ResourceRequest:
+    """A request for ``count`` units of ``kind`` for ``duration`` cycles."""
+
+    kind: ResourceKind
+    duration: int = 1
+    count: int = 1
+
+    def __post_init__(self) -> None:
+        if self.duration < 1:
+            raise ValueError("resource duration must be >= 1 cycle")
+        if self.count < 1:
+            raise ValueError("resource count must be >= 1")
+
+
+class UnschedulableOperationError(RuntimeError):
+    """Raised when an operation cannot execute on the target machine at all.
+
+    Typical causes: a µSIMD operation on a plain VLIW configuration, or a
+    vector operation on a machine without vector units.  The kernel builders
+    are expected to pick the right ISA flavour per machine, so hitting this
+    is a programming error that should fail loudly.
+    """
+
+
+def capacities_for(config: MachineConfig) -> Dict[ResourceKind, int]:
+    """Per-cycle capacity of every resource kind in ``config``."""
+    return {
+        ResourceKind.ISSUE: config.issue_width,
+        ResourceKind.INT_UNIT: config.int_units,
+        ResourceKind.SIMD_UNIT: config.simd_units,
+        ResourceKind.VECTOR_UNIT: config.vector_units,
+        ResourceKind.L1_PORT: config.l1_ports,
+        ResourceKind.L2_PORT: config.l2_ports,
+    }
+
+
+def requests_for(opcode, vector_length: int, config: MachineConfig,
+                 latency_model: LatencyModel) -> List[ResourceRequest]:
+    """Resource requests of one operation instance on ``config``.
+
+    Every operation consumes one issue slot.  The remaining requests depend
+    on the operation class; on vector configurations µSIMD operations are
+    executed on a vector unit with ``VL = 1`` (the paper's vector ISA is a
+    strict superset of the µSIMD one).
+    """
+    desc = descriptor_for(opcode)
+    cls = desc.op_class
+    requests = [ResourceRequest(ResourceKind.ISSUE, 1)]
+
+    if cls in (OpClass.INT_ALU, OpClass.INT_MUL, OpClass.BRANCH,
+               OpClass.VECTOR_SETUP):
+        requests.append(ResourceRequest(ResourceKind.INT_UNIT, 1))
+    elif cls is OpClass.NOP:
+        pass
+    elif cls in (OpClass.LOAD, OpClass.STORE):
+        if config.l1_ports < 1:
+            raise UnschedulableOperationError(
+                f"{config.name} has no L1 port for {desc.name}")
+        requests.append(ResourceRequest(ResourceKind.L1_PORT, 1))
+    elif cls.is_simd:
+        if config.simd_units:
+            requests.append(ResourceRequest(ResourceKind.SIMD_UNIT, 1))
+        elif config.vector_units:
+            requests.append(ResourceRequest(ResourceKind.VECTOR_UNIT, 1))
+        else:
+            raise UnschedulableOperationError(
+                f"{config.name} cannot execute µSIMD operation {desc.name}")
+    elif cls.is_vector:
+        if not config.vector_units:
+            raise UnschedulableOperationError(
+                f"{config.name} cannot execute vector operation {desc.name}")
+        occupancy = latency_model.occupancy(opcode, vector_length, config)
+        requests.append(ResourceRequest(ResourceKind.VECTOR_UNIT, occupancy))
+    elif cls.is_vector_memory:
+        if not config.l2_ports:
+            raise UnschedulableOperationError(
+                f"{config.name} has no L2 vector-cache port for {desc.name}")
+        occupancy = latency_model.occupancy(opcode, vector_length, config)
+        requests.append(ResourceRequest(ResourceKind.L2_PORT, occupancy))
+    else:  # pragma: no cover - defensive
+        raise UnschedulableOperationError(f"unhandled operation class {cls}")
+    return requests
+
+
+class ReservationTable:
+    """Sparse per-cycle usage table for all resource kinds.
+
+    The table is unbounded in time (schedules grow as needed) and sparse: a
+    ``defaultdict`` per resource kind maps cycle → units in use.  The
+    scheduler asks :meth:`fits` for a candidate issue cycle and then calls
+    :meth:`reserve`; the cycle-level simulator reuses the same structure to
+    replay and verify a schedule.
+    """
+
+    def __init__(self, capacities: Dict[ResourceKind, int]) -> None:
+        self._capacities = dict(capacities)
+        self._usage: Dict[ResourceKind, Dict[int, int]] = {
+            kind: defaultdict(int) for kind in ResourceKind
+        }
+
+    @property
+    def capacities(self) -> Dict[ResourceKind, int]:
+        """Per-cycle capacities this table enforces (read-only copy)."""
+        return dict(self._capacities)
+
+    def capacity(self, kind: ResourceKind) -> int:
+        """Capacity of one resource kind."""
+        return self._capacities.get(kind, 0)
+
+    def usage(self, kind: ResourceKind, cycle: int) -> int:
+        """Units of ``kind`` already reserved at ``cycle``."""
+        return self._usage[kind][cycle]
+
+    def fits(self, cycle: int, requests: Sequence[ResourceRequest]) -> bool:
+        """True if all ``requests`` fit starting at ``cycle``."""
+        if cycle < 0:
+            return False
+        for request in requests:
+            capacity = self._capacities.get(request.kind, 0)
+            if capacity < request.count:
+                return False
+            usage = self._usage[request.kind]
+            for offset in range(request.duration):
+                if usage[cycle + offset] + request.count > capacity:
+                    return False
+        return True
+
+    def reserve(self, cycle: int, requests: Sequence[ResourceRequest]) -> None:
+        """Reserve ``requests`` starting at ``cycle`` (must fit)."""
+        if not self.fits(cycle, requests):
+            raise ValueError(f"resource requests do not fit at cycle {cycle}")
+        for request in requests:
+            usage = self._usage[request.kind]
+            for offset in range(request.duration):
+                usage[cycle + offset] += request.count
+
+    def earliest_fit(self, not_before: int, requests: Sequence[ResourceRequest],
+                     horizon: int = 100_000) -> int:
+        """Earliest cycle >= ``not_before`` where all requests fit.
+
+        ``horizon`` bounds the search so that an impossible request (e.g. a
+        resource with zero capacity) raises instead of looping forever; the
+        capacity check in :meth:`fits` normally catches that case first.
+        """
+        for kind_request in requests:
+            if self._capacities.get(kind_request.kind, 0) < kind_request.count:
+                raise UnschedulableOperationError(
+                    f"no capacity for resource {kind_request.kind.value}")
+        cycle = max(0, int(not_before))
+        for _ in range(horizon):
+            if self.fits(cycle, requests):
+                return cycle
+            cycle += 1
+        raise RuntimeError(
+            f"could not place operation within {horizon} cycles; "
+            "the schedule is pathologically congested")
+
+    def busy_cycles(self, kind: ResourceKind) -> Iterable[Tuple[int, int]]:
+        """Iterate ``(cycle, units_in_use)`` pairs for one resource kind."""
+        usage = self._usage[kind]
+        return sorted((c, u) for c, u in usage.items() if u)
+
+    def high_water_mark(self) -> Dict[ResourceKind, int]:
+        """Maximum simultaneous usage observed per resource kind."""
+        return {
+            kind: (max(usage.values()) if usage else 0)
+            for kind, usage in self._usage.items()
+        }

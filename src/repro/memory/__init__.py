@@ -1,0 +1,39 @@
+"""Memory hierarchy of the Vector-µSIMD-VLIW machine.
+
+The paper's machine (§4.2) has three cache levels plus main memory:
+
+* a 16 KB, 4-way, 1-cycle first-level data cache serving scalar and µSIMD
+  accesses (pseudo-multi-ported in the wider configurations);
+* a 256 KB, 5-cycle, two-bank interleaved *vector cache* at the second
+  level.  Vector accesses bypass the L1 and go directly to the vector
+  cache, which serves stride-one requests by reading two whole lines (one
+  per bank) through a wide 4×64-bit port; any other stride is served at one
+  element per cycle;
+* a 1 MB, 12-cycle third-level cache and 500-cycle main memory.
+
+Consistency between the scalar (L1) and vector (L2) paths follows an
+exclusive-bit plus inclusion policy: a vector access to a line that is dirty
+in the L1 forces a write-back and invalidation before the vector cache can
+serve it.
+
+The compiler always schedules memory operations as hits (L1 for scalar, L2
+stride-one for vector); :class:`repro.memory.hierarchy.MemoryHierarchy`
+returns the *actual* completion latency of each access so the simulator can
+charge the difference as a pipeline stall.
+"""
+
+from repro.memory.cache import SetAssociativeCache, CacheStats
+from repro.memory.vector_cache import VectorCache
+from repro.memory.hierarchy import MemoryHierarchy, AccessResult, AccessKind
+from repro.memory.layout import ArraySpec, AddressSpace
+
+__all__ = [
+    "SetAssociativeCache",
+    "CacheStats",
+    "VectorCache",
+    "MemoryHierarchy",
+    "AccessResult",
+    "AccessKind",
+    "ArraySpec",
+    "AddressSpace",
+]

@@ -1,0 +1,175 @@
+"""A set-associative, write-back, write-allocate cache model with LRU.
+
+This is the building block for all three cache levels.  It tracks tags only
+(the functional data lives in the workload's NumPy arrays); the timing
+simulator only needs hit/miss/eviction behaviour and dirty-line bookkeeping.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+__all__ = ["CacheStats", "SetAssociativeCache", "LineState"]
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters for one cache instance."""
+
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    writebacks: int = 0
+    invalidations: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of accesses that hit (0.0 when the cache was never used)."""
+        if self.accesses == 0:
+            return 0.0
+        return self.hits / self.accesses
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.accesses = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.writebacks = 0
+        self.invalidations = 0
+
+    def snapshot(self) -> Dict[str, float]:
+        """Return the counters as a plain dictionary (for reports)."""
+        return {
+            "accesses": self.accesses,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "writebacks": self.writebacks,
+            "invalidations": self.invalidations,
+            "hit_rate": self.hit_rate,
+        }
+
+
+@dataclass
+class LineState:
+    """State of one resident cache line."""
+
+    tag: int
+    dirty: bool = False
+
+
+class SetAssociativeCache:
+    """Tag-only set-associative cache with true-LRU replacement.
+
+    Parameters
+    ----------
+    size_bytes, assoc, line_bytes:
+        Geometry.  ``size_bytes`` must be a multiple of
+        ``assoc * line_bytes``.
+    name:
+        Used in error messages and statistics reports.
+    """
+
+    def __init__(self, size_bytes: int, assoc: int, line_bytes: int,
+                 name: str = "cache") -> None:
+        if size_bytes <= 0 or assoc <= 0 or line_bytes <= 0:
+            raise ValueError("cache geometry values must be positive")
+        if line_bytes & (line_bytes - 1):
+            raise ValueError("line size must be a power of two")
+        if size_bytes % (assoc * line_bytes):
+            raise ValueError(
+                f"{name}: size {size_bytes} is not a multiple of "
+                f"assoc*line ({assoc}*{line_bytes})")
+        self.name = name
+        self.size_bytes = size_bytes
+        self.assoc = assoc
+        self.line_bytes = line_bytes
+        self.num_sets = size_bytes // (assoc * line_bytes)
+        self.stats = CacheStats()
+        # each set is an OrderedDict tag -> LineState, LRU order = insertion order
+        self._sets: Dict[int, OrderedDict] = {}
+
+    # -- address helpers -----------------------------------------------------
+
+    def line_address(self, address: int) -> int:
+        """Address of the first byte of the line containing ``address``."""
+        return (address // self.line_bytes) * self.line_bytes
+
+    def _index_tag(self, address: int) -> Tuple[int, int]:
+        line = address // self.line_bytes
+        return line % self.num_sets, line // self.num_sets
+
+    # -- queries (no state change) -------------------------------------------
+
+    def contains(self, address: int) -> bool:
+        """True if the line holding ``address`` is resident."""
+        index, tag = self._index_tag(address)
+        return tag in self._sets.get(index, {})
+
+    def is_dirty(self, address: int) -> bool:
+        """True if the line holding ``address`` is resident and dirty."""
+        index, tag = self._index_tag(address)
+        line = self._sets.get(index, {}).get(tag)
+        return bool(line and line.dirty)
+
+    def resident_lines(self) -> int:
+        """Number of lines currently resident (useful for tests)."""
+        return sum(len(s) for s in self._sets.values())
+
+    # -- state-changing operations --------------------------------------------
+
+    def access(self, address: int, is_store: bool = False) -> Tuple[bool, Optional[int]]:
+        """Access the line containing ``address``.
+
+        Returns ``(hit, writeback_address)``: ``hit`` is True when the line
+        was already resident; ``writeback_address`` is the line address of a
+        dirty victim evicted to make room (``None`` otherwise).  Misses
+        allocate the line (write-allocate policy).
+        """
+        index, tag = self._index_tag(address)
+        cache_set = self._sets.setdefault(index, OrderedDict())
+        self.stats.accesses += 1
+
+        if tag in cache_set:
+            self.stats.hits += 1
+            line = cache_set.pop(tag)
+            if is_store:
+                line.dirty = True
+            cache_set[tag] = line  # move to MRU position
+            return True, None
+
+        self.stats.misses += 1
+        writeback_address: Optional[int] = None
+        if len(cache_set) >= self.assoc:
+            victim_tag, victim = cache_set.popitem(last=False)
+            self.stats.evictions += 1
+            if victim.dirty:
+                self.stats.writebacks += 1
+                victim_line = (victim_tag * self.num_sets + index) * self.line_bytes
+                writeback_address = victim_line
+        cache_set[tag] = LineState(tag=tag, dirty=is_store)
+        return False, writeback_address
+
+    def invalidate(self, address: int) -> bool:
+        """Drop the line containing ``address``; returns True if it was dirty."""
+        index, tag = self._index_tag(address)
+        cache_set = self._sets.get(index)
+        if not cache_set or tag not in cache_set:
+            return False
+        line = cache_set.pop(tag)
+        self.stats.invalidations += 1
+        return line.dirty
+
+    def flush(self) -> int:
+        """Empty the cache; returns the number of dirty lines that were lost."""
+        dirty = sum(1 for s in self._sets.values() for line in s.values() if line.dirty)
+        self._sets.clear()
+        return dirty
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"SetAssociativeCache({self.name!r}, {self.size_bytes}B, "
+                f"{self.assoc}-way, {self.line_bytes}B lines)")

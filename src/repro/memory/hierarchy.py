@@ -1,0 +1,273 @@
+"""The full memory hierarchy: L1 data cache, L2 vector cache, L3 and memory.
+
+Two access paths exist, matching §3.2/§4.2 of the paper:
+
+* **scalar path** (scalar and µSIMD loads/stores): L1 → L2 → L3 → memory,
+  with the compiler scheduling every access as a 1-cycle L1 hit;
+* **vector path** (vector loads/stores): the L1 is bypassed and the request
+  goes straight to the two-bank L2 vector cache, scheduled as a stride-one
+  L2 hit that streams ``port_words`` elements per cycle.
+
+The hierarchy returns, for every access, the *actual* number of cycles until
+the access completes, so the simulator can charge ``actual − assumed`` as a
+stall.  Coherency between the two paths uses an exclusive-bit plus inclusion
+policy: before the vector cache serves a line that is dirty in the L1, the
+line is written back and invalidated (and vice versa for scalar accesses to
+lines the vector path has dirtied in L2 — inclusion means the scalar path
+simply finds them in L2).
+
+A *perfect memory* mode reproduces the paper's Figure 5(a) methodology: all
+accesses hit in their target level with the corresponding latency and every
+vector access streams at the stride-one rate.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.machine.config import MemoryConfig
+from repro.memory.cache import SetAssociativeCache
+from repro.memory.vector_cache import VectorCache
+
+__all__ = ["AccessKind", "AccessResult", "MemoryHierarchy"]
+
+#: Extra cycles charged when a vector access finds the line dirty in the L1
+#: and must wait for the write-back/invalidate before the vector cache can
+#: respond (one L1→L2 transfer).
+COHERENCY_WRITEBACK_PENALTY = 2
+
+
+class AccessKind(enum.Enum):
+    """Which path and direction an access uses."""
+
+    SCALAR_LOAD = "scalar_load"
+    SCALAR_STORE = "scalar_store"
+    VECTOR_LOAD = "vector_load"
+    VECTOR_STORE = "vector_store"
+
+    @property
+    def is_store(self) -> bool:
+        return self in (AccessKind.SCALAR_STORE, AccessKind.VECTOR_STORE)
+
+    @property
+    def is_vector(self) -> bool:
+        return self in (AccessKind.VECTOR_LOAD, AccessKind.VECTOR_STORE)
+
+
+@dataclass(frozen=True)
+class AccessResult:
+    """Outcome of one memory access.
+
+    ``latency`` is the number of cycles from issue until the last element is
+    delivered (loads) or accepted (stores).  ``level`` names the hierarchy
+    level that ultimately served the access ("l1", "l2", "l3", "memory").
+    ``stride_one`` and ``bank_conflicts`` are only meaningful for vector
+    accesses.
+    """
+
+    latency: int
+    level: str
+    hit: bool
+    stride_one: bool = True
+    bank_conflicts: int = 0
+    coherency_penalty: int = 0
+
+
+@dataclass
+class HierarchyStats:
+    """Aggregate counters for one hierarchy instance."""
+
+    scalar_accesses: int = 0
+    vector_accesses: int = 0
+    vector_non_unit_stride: int = 0
+    coherency_writebacks: int = 0
+    level_hits: Dict[str, int] = field(default_factory=dict)
+
+    def record_level(self, level: str) -> None:
+        self.level_hits[level] = self.level_hits.get(level, 0) + 1
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "scalar_accesses": self.scalar_accesses,
+            "vector_accesses": self.vector_accesses,
+            "vector_non_unit_stride": self.vector_non_unit_stride,
+            "coherency_writebacks": self.coherency_writebacks,
+            "level_hits": dict(self.level_hits),
+        }
+
+
+class MemoryHierarchy:
+    """L1 + L2 vector cache + L3 + main memory with the two access paths."""
+
+    def __init__(self, config: MemoryConfig, l1_ports: int = 1,
+                 l2_port_words: int = 4, perfect: bool = False) -> None:
+        self.config = config
+        self.perfect = perfect
+        self.l1_ports = l1_ports
+        self.l1 = SetAssociativeCache(
+            config.l1_size, config.l1_assoc, config.l1_line_bytes, name="L1")
+        self.l2 = VectorCache(
+            config.l2_size, config.l2_assoc, config.l2_line_bytes,
+            banks=config.l2_banks, port_words=l2_port_words, name="L2-vector")
+        self.l3 = SetAssociativeCache(
+            config.l3_size, config.l3_assoc, config.l3_line_bytes, name="L3")
+        self.stats = HierarchyStats()
+
+    # ------------------------------------------------------------------ utils
+
+    def reset_stats(self) -> None:
+        """Zero all counters (cache contents are preserved)."""
+        self.l1.stats.reset()
+        self.l2.stats.reset()
+        self.l3.stats.reset()
+        self.stats = HierarchyStats()
+
+    def flush(self) -> None:
+        """Empty all cache levels (used between independent benchmark runs)."""
+        self.l1.flush()
+        self.l2.cache.flush()
+        self.l3.flush()
+
+    def preload(self, base_address: int, size_bytes: int,
+                include_l1: bool = False) -> None:
+        """Install an address range into the L2 vector cache and the L3.
+
+        Models data that the previous pipeline stage of the application just
+        produced (file input, an earlier kernel's output): resident in the
+        outer levels but not necessarily in the small L1.  The counters are
+        left untouched so the pre-load does not pollute the statistics.
+        """
+        if size_bytes <= 0:
+            return
+        saved_l2 = self.l2.stats.snapshot()
+        saved_l3 = self.l3.stats.snapshot()
+        saved_l1 = self.l1.stats.snapshot()
+        line = self.l2.cache.line_bytes
+        for addr in range(base_address - base_address % line,
+                          base_address + size_bytes, line):
+            self.l2.cache.access(addr, is_store=False)
+            self.l3.access(addr, is_store=False)
+            if include_l1:
+                self.l1.access(addr, is_store=False)
+        for cache, saved in ((self.l2.cache, saved_l2), (self.l3, saved_l3),
+                             (self.l1, saved_l1)):
+            cache.stats.accesses = int(saved["accesses"])
+            cache.stats.hits = int(saved["hits"])
+            cache.stats.misses = int(saved["misses"])
+            cache.stats.evictions = int(saved["evictions"])
+            cache.stats.writebacks = int(saved["writebacks"])
+            cache.stats.invalidations = int(saved["invalidations"])
+
+    # ----------------------------------------------------------- scalar path
+
+    def scalar_access(self, address: int, is_store: bool = False,
+                      size_bytes: int = 8) -> AccessResult:
+        """Access through the L1 path; returns the actual completion latency.
+
+        ``size_bytes`` only matters for accesses that straddle a line
+        boundary, which the media kernels avoid by aligning their buffers;
+        it is accepted so traces can express byte accesses faithfully.
+        """
+        self.stats.scalar_accesses += 1
+        cfg = self.config
+        if self.perfect:
+            self.stats.record_level("l1")
+            return AccessResult(latency=cfg.l1_latency, level="l1", hit=True)
+
+        hit_l1, _ = self.l1.access(address, is_store=is_store)
+        if hit_l1:
+            self.stats.record_level("l1")
+            return AccessResult(latency=cfg.l1_latency, level="l1", hit=True)
+
+        # L1 miss: look in the L2 (inclusion: vector-path data is found here),
+        # then the L3, then memory.  The line is filled into every level on
+        # the way back (inclusive hierarchy).
+        line = self.l2.cache.line_address(address)
+        hit_l2, _ = self.l2.cache.access(line, is_store=False)
+        if hit_l2:
+            self.stats.record_level("l2")
+            return AccessResult(latency=cfg.l2_latency, level="l2", hit=False)
+
+        hit_l3, _ = self.l3.access(address, is_store=False)
+        if hit_l3:
+            self.stats.record_level("l3")
+            return AccessResult(latency=cfg.l3_latency, level="l3", hit=False)
+
+        self.stats.record_level("memory")
+        return AccessResult(latency=cfg.memory_latency, level="memory", hit=False)
+
+    # ----------------------------------------------------------- vector path
+
+    def vector_access(self, base_address: int, stride_bytes: int,
+                      vector_length: int, is_store: bool = False) -> AccessResult:
+        """Access through the vector path (bypasses the L1).
+
+        The returned latency covers the vector-cache pipeline latency, the
+        element transfer time (wide port for stride-one, one element per
+        cycle otherwise), miss penalties for every line that has to come
+        from the L3 or memory, bank conflicts, and any coherency write-back
+        needed because the L1 held a dirty copy.
+        """
+        self.stats.vector_accesses += 1
+        cfg = self.config
+        plan = self.l2.plan(base_address, stride_bytes, vector_length)
+        if not plan.stride_one:
+            self.stats.vector_non_unit_stride += 1
+
+        if self.perfect:
+            # Perfect memory: every vector access behaves like a stride-one
+            # L2 hit streaming at the full port rate (Figure 5a methodology).
+            transfer = -(-vector_length // self.l2.port_words)
+            latency = cfg.l2_latency + transfer - 1
+            self.stats.record_level("l2")
+            return AccessResult(latency=latency, level="l2", hit=True,
+                                stride_one=True, bank_conflicts=0)
+
+        coherency_penalty = 0
+        for line in plan.line_addresses:
+            if self.l1.is_dirty(line):
+                self.l1.invalidate(line)
+                coherency_penalty += COHERENCY_WRITEBACK_PENALTY
+                self.stats.coherency_writebacks += 1
+            elif self.l1.contains(line) and is_store:
+                # exclusive-bit policy: a vector store invalidates clean L1 copies
+                self.l1.invalidate(line)
+
+        missing, _ = self.l2.access_lines(plan, is_store=is_store)
+        miss_penalty = 0
+        worst_level = "l2"
+        for line in missing:
+            hit_l3, _ = self.l3.access(line, is_store=False)
+            if hit_l3:
+                miss_penalty += cfg.l3_latency - cfg.l2_latency
+                worst_level = "l3" if worst_level == "l2" else worst_level
+            else:
+                miss_penalty += cfg.memory_latency - cfg.l2_latency
+                worst_level = "memory"
+
+        latency = (cfg.l2_latency + plan.transfer_cycles - 1
+                   + plan.bank_conflict_cycles + miss_penalty + coherency_penalty)
+        level = worst_level if missing else "l2"
+        self.stats.record_level(level)
+        return AccessResult(
+            latency=latency,
+            level=level,
+            hit=not missing,
+            stride_one=plan.stride_one,
+            bank_conflicts=plan.bank_conflict_cycles,
+            coherency_penalty=coherency_penalty,
+        )
+
+    # --------------------------------------------------------------- reports
+
+    def statistics(self) -> Dict[str, object]:
+        """All counters of the hierarchy as a nested dictionary."""
+        return {
+            "l1": self.l1.stats.snapshot(),
+            "l2": self.l2.stats.snapshot(),
+            "l3": self.l3.stats.snapshot(),
+            "paths": self.stats.snapshot(),
+            "perfect": self.perfect,
+        }

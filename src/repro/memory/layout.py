@@ -1,0 +1,142 @@
+"""Address-space layout for workload buffers.
+
+The timing simulator works on addresses, not values, so every kernel needs
+its buffers placed somewhere in a flat address space.  :class:`AddressSpace`
+hands out aligned, non-overlapping base addresses for named arrays, which
+keeps cache behaviour (footprints, set conflicts between arrays, reuse
+across kernel invocations) realistic and reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional, Tuple
+
+__all__ = ["ArraySpec", "AddressSpace"]
+
+
+@dataclass(frozen=True)
+class ArraySpec:
+    """A named, contiguously allocated array in the simulated address space."""
+
+    name: str
+    base: int
+    element_bytes: int
+    shape: Tuple[int, ...]
+
+    @property
+    def elements(self) -> int:
+        """Total number of elements."""
+        total = 1
+        for dim in self.shape:
+            total *= dim
+        return total
+
+    @property
+    def size_bytes(self) -> int:
+        """Total size in bytes."""
+        return self.elements * self.element_bytes
+
+    @property
+    def end(self) -> int:
+        """First byte address past the array."""
+        return self.base + self.size_bytes
+
+    def address(self, *indices: int) -> int:
+        """Byte address of the element at ``indices`` (row-major layout)."""
+        if len(indices) != len(self.shape):
+            raise ValueError(
+                f"{self.name}: expected {len(self.shape)} indices, got {len(indices)}")
+        offset = 0
+        for index, dim in zip(indices, self.shape):
+            if not 0 <= index < dim:
+                raise IndexError(
+                    f"{self.name}: index {index} out of range for dimension {dim}")
+            offset = offset * dim + index
+        return self.base + offset * self.element_bytes
+
+    def row_address(self, row: int) -> int:
+        """Byte address of the first element of ``row`` (2-D arrays)."""
+        if len(self.shape) != 2:
+            raise ValueError(f"{self.name}: row_address needs a 2-D array")
+        return self.address(row, 0)
+
+    def row_stride_bytes(self) -> int:
+        """Distance in bytes between consecutive rows (2-D arrays)."""
+        if len(self.shape) != 2:
+            raise ValueError(f"{self.name}: row_stride_bytes needs a 2-D array")
+        return self.shape[1] * self.element_bytes
+
+
+class AddressSpace:
+    """Sequential allocator of aligned arrays in a flat byte address space.
+
+    Allocation starts at ``base`` (default 64 KiB, leaving page zero unused
+    so that an accidental address of 0 is easy to spot) and each array is
+    aligned to ``alignment`` bytes, which defaults to a cache line so that
+    packed and vector accesses never straddle lines unintentionally.
+    """
+
+    def __init__(self, base: int = 0x10000, alignment: int = 64) -> None:
+        if alignment <= 0 or alignment & (alignment - 1):
+            raise ValueError("alignment must be a positive power of two")
+        self._next = base
+        self.alignment = alignment
+        self._arrays: Dict[str, ArraySpec] = {}
+
+    def allocate(self, name: str, shape: Tuple[int, ...] | int,
+                 element_bytes: int = 8,
+                 alignment: Optional[int] = None) -> ArraySpec:
+        """Allocate a named array and return its :class:`ArraySpec`.
+
+        Re-allocating an existing name is an error; kernels that need
+        scratch buffers per invocation should allocate them once and reuse
+        them, the way a real program reuses its heap buffers.
+        """
+        if name in self._arrays:
+            raise ValueError(f"array {name!r} is already allocated")
+        if isinstance(shape, int):
+            shape = (shape,)
+        if not shape or any(dim <= 0 for dim in shape):
+            raise ValueError(f"array {name!r} must have positive dimensions")
+        if element_bytes <= 0:
+            raise ValueError("element_bytes must be positive")
+        align = alignment or self.alignment
+        if align & (align - 1):
+            raise ValueError("alignment must be a power of two")
+        base = (self._next + align - 1) // align * align
+        spec = ArraySpec(name=name, base=base, element_bytes=element_bytes,
+                         shape=tuple(shape))
+        self._next = spec.end
+        self._arrays[name] = spec
+        return spec
+
+    def __getitem__(self, name: str) -> ArraySpec:
+        return self._arrays[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._arrays
+
+    def __iter__(self) -> Iterator[ArraySpec]:
+        return iter(self._arrays.values())
+
+    def get(self, name: str) -> Optional[ArraySpec]:
+        """Look up an array by name (None when absent)."""
+        return self._arrays.get(name)
+
+    @property
+    def footprint_bytes(self) -> int:
+        """Total bytes spanned by all allocations (including alignment gaps)."""
+        if not self._arrays:
+            return 0
+        start = min(spec.base for spec in self._arrays.values())
+        end = max(spec.end for spec in self._arrays.values())
+        return end - start
+
+    def overlapping(self) -> bool:
+        """True if any two arrays overlap (should never happen)."""
+        spans = sorted((spec.base, spec.end) for spec in self._arrays.values())
+        for (_, prev_end), (next_base, _) in zip(spans, spans[1:]):
+            if next_base < prev_end:
+                return True
+        return False

@@ -1,0 +1,31 @@
+"""Timing simulation of compiled kernel programs.
+
+Two engines are provided:
+
+* :mod:`repro.sim.fast` — the production executor.  It walks the loop nest
+  of a compiled program, charges each segment iteration its scheduled
+  initiation interval, evaluates the address of every memory operation and
+  adds the run-time stall cycles (cache misses, bank conflicts, non-unit
+  stride vector accesses, coherency write-backs) exactly as the paper's
+  stall-on-violation machine model prescribes.
+* :mod:`repro.sim.vliw` — a cycle-stepping engine for a single segment
+  instance, used to cross-validate the fast executor and to animate small
+  kernels cycle by cycle (e.g. the Figure-4 schedule).
+
+Both produce :class:`repro.sim.stats.RunStats`, the per-region cycle and
+operation accounting that the experiment layer turns into the paper's
+figures and tables.
+"""
+
+from repro.sim.stats import RegionStats, RunStats
+from repro.sim.fast import ExecutionEngine, execute_program
+from repro.sim.vliw import CycleAccurateEngine, CycleTrace
+
+__all__ = [
+    "RegionStats",
+    "RunStats",
+    "ExecutionEngine",
+    "execute_program",
+    "CycleAccurateEngine",
+    "CycleTrace",
+]

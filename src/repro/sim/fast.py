@@ -1,0 +1,181 @@
+"""The production executor: loop-nest walker with stall accounting.
+
+The machine of the paper is statically scheduled and in-order; at run time
+the only deviations from the compile-time schedule are pipeline stalls
+caused by memory behaviour the compiler did not (or could not) anticipate:
+
+* a scalar/µSIMD access that misses in the L1;
+* a vector access that misses in the L2 vector cache;
+* a vector access whose stride is not one (served at one element per cycle
+  instead of the wide-port rate assumed by the schedule);
+* bank conflicts in the two-bank vector cache;
+* coherency write-backs when the vector path touches a line dirty in the L1.
+
+Hence the executed time of one segment iteration is its scheduled initiation
+interval plus the sum of the extra latencies of its memory operations.  The
+executor walks the loop nest, evaluates every memory operation's affine
+address for the current loop indices, asks the memory hierarchy for the
+actual latency and accumulates the difference against the scheduled
+("assumed") latency.
+
+Loops whose bodies contain no memory operations are executed analytically
+(#iterations × initiation interval) which keeps pure-computation kernels
+cheap to simulate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.compiler.ir import KernelProgram, LoopNode, LoopVar, Segment
+from repro.compiler.scheduler import CompiledProgram, Schedule, compile_program
+from repro.machine.config import MachineConfig
+from repro.machine.latency import LatencyModel
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.sim.stats import RunStats
+
+__all__ = ["ExecutionEngine", "execute_program"]
+
+
+class ExecutionEngine:
+    """Executes a compiled program against a memory hierarchy."""
+
+    def __init__(self, compiled: CompiledProgram, hierarchy: MemoryHierarchy) -> None:
+        self.compiled = compiled
+        self.hierarchy = hierarchy
+        self._memory_free: Dict[int, bool] = {}
+
+    # ------------------------------------------------------------------ run
+
+    def run(self) -> RunStats:
+        """Execute the whole program once and return its statistics."""
+        program = self.compiled.program
+        stats = RunStats(program_name=program.name,
+                         config_name=self.compiled.config.name,
+                         flavor=program.flavor.value)
+        for name, info in program.regions.items():
+            stats.region(name, vectorizable=info.vectorizable)
+        env: Dict[LoopVar, int] = {}
+        self._execute_nodes(program.body, env, stats)
+        return stats
+
+    # ----------------------------------------------------------- traversal
+
+    def _execute_nodes(self, nodes, env: Dict[LoopVar, int], stats: RunStats) -> None:
+        for node in nodes:
+            if isinstance(node, Segment):
+                self._execute_segment(node, env, stats)
+            elif isinstance(node, LoopNode):
+                self._execute_loop(node, env, stats)
+            else:  # pragma: no cover - defensive
+                raise TypeError(f"unexpected node {node!r}")
+
+    def _execute_loop(self, loop: LoopNode, env: Dict[LoopVar, int],
+                      stats: RunStats) -> None:
+        if loop.trip_count == 0:
+            return
+        if self._memory_free_subtree(loop):
+            # No memory operations anywhere inside: every iteration costs the
+            # same, so execute one representative iteration and scale.
+            marker = _StatsMarker(stats)
+            env[loop.var] = 0
+            self._execute_nodes(loop.body, env, stats)
+            del env[loop.var]
+            marker.scale(loop.trip_count)
+            return
+        for iteration in range(loop.trip_count):
+            env[loop.var] = iteration
+            self._execute_nodes(loop.body, env, stats)
+        del env[loop.var]
+
+    def _memory_free_subtree(self, loop: LoopNode) -> bool:
+        key = id(loop)
+        cached = self._memory_free.get(key)
+        if cached is not None:
+            return cached
+        result = True
+        for node in loop.body:
+            if isinstance(node, Segment):
+                if any(op.is_memory for op in node.operations):
+                    result = False
+                    break
+            elif isinstance(node, LoopNode):
+                if not self._memory_free_subtree(node):
+                    result = False
+                    break
+        self._memory_free[key] = result
+        return result
+
+    # ------------------------------------------------------------- segments
+
+    def _execute_segment(self, segment: Segment, env: Dict[LoopVar, int],
+                         stats: RunStats) -> None:
+        schedule = self.compiled.schedule_for(segment)
+        if not schedule.entries:
+            return
+        stall_cycles = 0
+        accesses = 0
+        for entry in schedule.memory_operations():
+            op = entry.operation
+            address = op.address.evaluate(env)
+            if op.is_vector_memory:
+                result = self.hierarchy.vector_access(
+                    address, op.stride_bytes, op.vector_length, is_store=op.is_store)
+            else:
+                result = self.hierarchy.scalar_access(address, is_store=op.is_store)
+            accesses += 1
+            stall_cycles += max(0, result.latency - entry.assumed_latency)
+
+        cycles = schedule.initiation_interval + stall_cycles
+        region_info = self.compiled.program.regions.get(segment.region)
+        region = stats.region(segment.region,
+                              vectorizable=bool(region_info and region_info.vectorizable))
+        region.add_segment(
+            cycles=cycles,
+            operations=len(segment.operations),
+            micro_ops=segment.static_micro_ops,
+            stall_cycles=stall_cycles,
+            memory_accesses=accesses,
+        )
+
+
+class _StatsMarker:
+    """Snapshot of a RunStats used to scale memory-free loop bodies."""
+
+    def __init__(self, stats: RunStats) -> None:
+        self.stats = stats
+        self.before = {
+            name: (r.cycles, r.operations, r.micro_ops, r.segment_executions)
+            for name, r in stats.regions.items()
+        }
+
+    def scale(self, factor: int) -> None:
+        """Multiply everything accumulated since the snapshot by ``factor``."""
+        for name, region in self.stats.regions.items():
+            cycles0, ops0, uops0, segs0 = self.before.get(name, (0, 0, 0, 0))
+            region.cycles = cycles0 + (region.cycles - cycles0) * factor
+            region.operations = ops0 + (region.operations - ops0) * factor
+            region.micro_ops = uops0 + (region.micro_ops - uops0) * factor
+            region.segment_executions = (segs0
+                                         + (region.segment_executions - segs0) * factor)
+
+
+def execute_program(program: KernelProgram, config: MachineConfig,
+                    perfect_memory: bool = False,
+                    latency_model: Optional[LatencyModel] = None,
+                    hierarchy: Optional[MemoryHierarchy] = None) -> RunStats:
+    """Compile and execute ``program`` on ``config`` in one call.
+
+    ``perfect_memory`` selects the Figure-5(a) methodology (every access hits
+    with its level's latency and vector accesses stream at the stride-one
+    rate).  A pre-existing ``hierarchy`` can be passed to model cache state
+    shared across several programs; by default each call gets a cold one.
+    """
+    compiled = compile_program(program, config, latency_model)
+    if hierarchy is None:
+        hierarchy = MemoryHierarchy(config.memory, l1_ports=config.l1_ports,
+                                    l2_port_words=config.l2_port_words,
+                                    perfect=perfect_memory)
+    engine = ExecutionEngine(compiled, hierarchy)
+    return engine.run()

@@ -1,0 +1,214 @@
+"""Execution statistics: per-region cycles, operations and micro-operations.
+
+The paper's evaluation splits every benchmark into regions (R0 = the scalar
+part, R1..R3 = the vectorised kernels of Table 1) and reports, per region
+and for the whole application: cycles, speed-up, operations per cycle (OPC)
+and micro-operations per cycle (µOPC).  :class:`RunStats` is the container
+all of those are derived from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Mapping, Optional
+
+__all__ = ["RegionStats", "RunStats"]
+
+
+@dataclass
+class RegionStats:
+    """Accumulated statistics of one region of one program run."""
+
+    name: str
+    vectorizable: bool = False
+    cycles: int = 0
+    operations: int = 0
+    micro_ops: int = 0
+    memory_stall_cycles: int = 0
+    memory_accesses: int = 0
+    segment_executions: int = 0
+
+    def add_segment(self, cycles: int, operations: int, micro_ops: int,
+                    stall_cycles: int, memory_accesses: int) -> None:
+        """Fold one segment execution into the region totals."""
+        self.cycles += cycles
+        self.operations += operations
+        self.micro_ops += micro_ops
+        self.memory_stall_cycles += stall_cycles
+        self.memory_accesses += memory_accesses
+        self.segment_executions += 1
+
+    @property
+    def opc(self) -> float:
+        """Operations per cycle in this region."""
+        return self.operations / self.cycles if self.cycles else 0.0
+
+    @property
+    def uopc(self) -> float:
+        """Micro-operations per cycle in this region."""
+        return self.micro_ops / self.cycles if self.cycles else 0.0
+
+    def merged_with(self, other: "RegionStats") -> "RegionStats":
+        """Return a new RegionStats combining two runs of the same region."""
+        if other.name != self.name:
+            raise ValueError("cannot merge statistics of different regions")
+        merged = RegionStats(name=self.name,
+                             vectorizable=self.vectorizable or other.vectorizable)
+        for source in (self, other):
+            merged.cycles += source.cycles
+            merged.operations += source.operations
+            merged.micro_ops += source.micro_ops
+            merged.memory_stall_cycles += source.memory_stall_cycles
+            merged.memory_accesses += source.memory_accesses
+            merged.segment_executions += source.segment_executions
+        return merged
+
+
+@dataclass
+class RunStats:
+    """Statistics of one complete program run on one machine configuration."""
+
+    program_name: str
+    config_name: str
+    flavor: str
+    regions: Dict[str, RegionStats] = field(default_factory=dict)
+
+    def region(self, name: str, vectorizable: bool = False) -> RegionStats:
+        """Get (or create) the statistics record for one region."""
+        if name not in self.regions:
+            self.regions[name] = RegionStats(name=name, vectorizable=vectorizable)
+        return self.regions[name]
+
+    # -- totals ---------------------------------------------------------------
+
+    @property
+    def total_cycles(self) -> int:
+        return sum(r.cycles for r in self.regions.values())
+
+    @property
+    def total_operations(self) -> int:
+        return sum(r.operations for r in self.regions.values())
+
+    @property
+    def total_micro_ops(self) -> int:
+        return sum(r.micro_ops for r in self.regions.values())
+
+    @property
+    def total_stall_cycles(self) -> int:
+        return sum(r.memory_stall_cycles for r in self.regions.values())
+
+    @property
+    def opc(self) -> float:
+        """Whole-application operations per cycle."""
+        return self.total_operations / self.total_cycles if self.total_cycles else 0.0
+
+    @property
+    def uopc(self) -> float:
+        """Whole-application micro-operations per cycle."""
+        return self.total_micro_ops / self.total_cycles if self.total_cycles else 0.0
+
+    # -- scalar / vector split ------------------------------------------------
+
+    def _select(self, vectorizable: bool) -> Iterable[RegionStats]:
+        return (r for r in self.regions.values() if r.vectorizable is vectorizable)
+
+    @property
+    def vector_region_cycles(self) -> int:
+        """Cycles spent in the vectorisable regions (R1..R3)."""
+        return sum(r.cycles for r in self._select(True))
+
+    @property
+    def scalar_region_cycles(self) -> int:
+        """Cycles spent in the scalar region (R0)."""
+        return sum(r.cycles for r in self._select(False))
+
+    @property
+    def vector_region_operations(self) -> int:
+        return sum(r.operations for r in self._select(True))
+
+    @property
+    def scalar_region_operations(self) -> int:
+        return sum(r.operations for r in self._select(False))
+
+    @property
+    def vector_region_micro_ops(self) -> int:
+        return sum(r.micro_ops for r in self._select(True))
+
+    @property
+    def scalar_region_micro_ops(self) -> int:
+        return sum(r.micro_ops for r in self._select(False))
+
+    @property
+    def vectorization_fraction(self) -> float:
+        """Fraction of execution time spent in the vectorisable regions."""
+        total = self.total_cycles
+        return self.vector_region_cycles / total if total else 0.0
+
+    def scalar_opc(self) -> float:
+        """Operations per cycle restricted to the scalar region."""
+        cycles = self.scalar_region_cycles
+        return self.scalar_region_operations / cycles if cycles else 0.0
+
+    def vector_opc(self) -> float:
+        """Operations per cycle restricted to the vector regions."""
+        cycles = self.vector_region_cycles
+        return self.vector_region_operations / cycles if cycles else 0.0
+
+    def scalar_uopc(self) -> float:
+        """Micro-operations per cycle restricted to the scalar region."""
+        cycles = self.scalar_region_cycles
+        return self.scalar_region_micro_ops / cycles if cycles else 0.0
+
+    def vector_uopc(self) -> float:
+        """Micro-operations per cycle restricted to the vector regions."""
+        cycles = self.vector_region_cycles
+        return self.vector_region_micro_ops / cycles if cycles else 0.0
+
+    # -- comparisons ----------------------------------------------------------
+
+    def speedup_over(self, baseline: "RunStats") -> float:
+        """Whole-application speed-up of this run over ``baseline``."""
+        if self.total_cycles == 0:
+            return 0.0
+        return baseline.total_cycles / self.total_cycles
+
+    def vector_region_speedup_over(self, baseline: "RunStats") -> float:
+        """Speed-up restricted to the vector regions."""
+        cycles = self.vector_region_cycles
+        if cycles == 0:
+            return 0.0
+        return baseline.vector_region_cycles / cycles
+
+    def scalar_region_speedup_over(self, baseline: "RunStats") -> float:
+        """Speed-up restricted to the scalar regions."""
+        cycles = self.scalar_region_cycles
+        if cycles == 0:
+            return 0.0
+        return baseline.scalar_region_cycles / cycles
+
+    def normalized_operations(self, baseline: "RunStats") -> float:
+        """Dynamic operation count normalised to ``baseline`` (Figure 7)."""
+        if baseline.total_operations == 0:
+            return 0.0
+        return self.total_operations / baseline.total_operations
+
+    def region_operation_breakdown(self) -> Dict[str, int]:
+        """Dynamic operation count per region name."""
+        return {name: stats.operations for name, stats in self.regions.items()}
+
+    def summary(self) -> Dict[str, object]:
+        """Flat dictionary used by the report writers."""
+        return {
+            "program": self.program_name,
+            "config": self.config_name,
+            "flavor": self.flavor,
+            "cycles": self.total_cycles,
+            "operations": self.total_operations,
+            "micro_ops": self.total_micro_ops,
+            "stall_cycles": self.total_stall_cycles,
+            "opc": self.opc,
+            "uopc": self.uopc,
+            "vector_cycles": self.vector_region_cycles,
+            "scalar_cycles": self.scalar_region_cycles,
+            "vectorization": self.vectorization_fraction,
+        }

@@ -1,0 +1,37 @@
+"""Workloads: the six Mediabench-style applications of the paper's evaluation.
+
+Each benchmark (JPEG encode/decode, MPEG-2 encode/decode, GSM encode/decode)
+is expressed twice:
+
+* **functionally** — the DLP kernels of Table 1 are implemented as plain
+  NumPy reference code *and* as µSIMD / Vector-µSIMD versions written
+  against the emulation layer (:mod:`repro.isa`), so the tests can prove the
+  three versions compute identical results;
+* **as kernel programs** — IR builders produce, for each ISA flavour, the
+  region-tagged loop nests the compiler schedules and the simulator times.
+  The scalar (R0) regions — Huffman/VLC coding, bit I/O, LPC recurrences,
+  table look-ups — are shared by all three flavours, exactly as in the
+  paper, and are built from dependence structures that limit their ILP.
+
+The original Mediabench inputs are replaced by deterministic synthetic media
+(:mod:`repro.workloads.data`); sizes are reduced so a pure-Python simulator
+stays tractable and are recorded in EXPERIMENTS.md.
+"""
+
+from repro.workloads.data import synthetic_image, synthetic_video, synthetic_speech
+from repro.workloads.suite import (
+    BENCHMARK_NAMES,
+    build_benchmark,
+    build_suite,
+    SuiteParameters,
+)
+
+__all__ = [
+    "synthetic_image",
+    "synthetic_video",
+    "synthetic_speech",
+    "BENCHMARK_NAMES",
+    "build_benchmark",
+    "build_suite",
+    "SuiteParameters",
+]

@@ -1,0 +1,377 @@
+"""Shared IR-building patterns used by the benchmark modules.
+
+The six applications are built from a small number of recurring code
+shapes; this module provides emitters for them so each benchmark module can
+focus on the parameters that make it that benchmark (arrays, operation
+mixes, loop extents):
+
+* **element-wise streaming kernels** (colour conversion, quantisation,
+  up-sampling, add-block): one or more input streams are loaded, a fixed
+  per-element operation mix is applied and one or more output streams are
+  stored.  Emitters exist for the three ISA flavours;
+* **8×8 block transforms** (forward/inverse DCT): two passes over the block
+  with a butterfly-style operation mix;
+* **reduction kernels** (SAD motion estimation, autocorrelation, LTP
+  search) built around packed accumulators in the vector flavour;
+* **scalar-region shapes**: bit-stream encoding with a bit-buffer
+  recurrence and table look-ups (Huffman/VLC), table-driven decoding with a
+  data-dependent chain (VLD), and recursive filters (LPC/short-term
+  synthesis).  These are the code shapes whose ILP does not scale with
+  issue width, which is the behaviour the paper's scalar regions exhibit.
+
+Operation mixes are expressed as sequences of ``(opcode, count)`` pairs and
+emitted as two interleaved dependence chains, which yields the moderate ILP
+(2–3) typical of hand-optimised DSP code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.compiler.builder import KernelBuilder
+from repro.compiler.ir import AddressExpr, LoopVar
+from repro.isa.operations import Opcode
+from repro.memory.layout import ArraySpec
+
+__all__ = [
+    "OpMix",
+    "emit_scalar_mix",
+    "emit_packed_mix",
+    "emit_vector_mix",
+    "emit_elementwise_scalar",
+    "emit_elementwise_usimd",
+    "emit_elementwise_vector",
+    "emit_block_transform_scalar",
+    "emit_block_transform_usimd",
+    "emit_block_transform_vector",
+    "emit_bitstream_encoder",
+    "emit_table_decoder",
+    "emit_recursive_filter",
+]
+
+#: An operation mix: ``(opcode, how_many)`` pairs applied per element / word.
+OpMix = Sequence[Tuple[Opcode, int]]
+
+
+# ---------------------------------------------------------------------------
+# operation-mix emitters
+# ---------------------------------------------------------------------------
+
+def _expand(mix: OpMix) -> List[Opcode]:
+    expanded: List[Opcode] = []
+    for opcode, count in mix:
+        expanded.extend([opcode] * count)
+    return expanded
+
+
+#: Default number of interleaved dependence chains in the DLP kernels.  The
+#: hand-optimised media kernels of the paper expose enough ILP that the
+#: vector regions scale with issue width (Figure 1); four parallel chains
+#: reproduce that behaviour, while the scalar-region shapes below override
+#: this with two chains (or true recurrences) to model their limited ILP.
+DEFAULT_CHAINS = 4
+
+
+def emit_scalar_mix(builder: KernelBuilder, mix: OpMix,
+                    seeds: Sequence = (), comment: str = "",
+                    chains: int = DEFAULT_CHAINS) -> List:
+    """Emit a scalar operation mix as ``chains`` interleaved dependence chains.
+
+    ``seeds`` (typically freshly loaded values) prime the chains; the return
+    value is the list of live results (chain tails), which callers usually
+    feed into stores.
+    """
+    chains = max(1, int(chains))
+    lanes: List = list(seeds[:chains]) if seeds else []
+    while len(lanes) < chains:
+        lanes.append(builder.iop(Opcode.MOV, comment=comment or "init"))
+    for index, opcode in enumerate(_expand(mix)):
+        lane = index % chains
+        source = lanes[lane]
+        lanes[lane] = builder.iop(opcode, srcs=(source,), comment=comment)
+    return lanes
+
+
+def emit_packed_mix(builder: KernelBuilder, mix: OpMix,
+                    seeds: Sequence = (), subwords: Optional[int] = None,
+                    comment: str = "", chains: int = DEFAULT_CHAINS) -> List:
+    """Emit a µSIMD operation mix as ``chains`` interleaved dependence chains."""
+    chains = max(1, int(chains))
+    lanes: List = list(seeds[:chains]) if seeds else []
+    while len(lanes) < chains:
+        lanes.append(builder.simd(Opcode.PLOGICAL, comment=comment or "init"))
+    for index, opcode in enumerate(_expand(mix)):
+        lane = index % chains
+        source = lanes[lane]
+        lanes[lane] = builder.simd(opcode, source, subwords=subwords, comment=comment)
+    return lanes
+
+
+def emit_vector_mix(builder: KernelBuilder, mix: OpMix, vl: int,
+                    seeds: Sequence = (), subwords: Optional[int] = None,
+                    comment: str = "", chains: int = DEFAULT_CHAINS) -> List:
+    """Emit a Vector-µSIMD operation mix as ``chains`` interleaved chains."""
+    chains = max(1, int(chains))
+    lanes: List = list(seeds[:chains]) if seeds else []
+    while len(lanes) < chains:
+        lanes.append(builder.vop(Opcode.VLOGICAL, vl=vl, comment=comment or "init"))
+    for index, opcode in enumerate(_expand(mix)):
+        lane = index % chains
+        source = lanes[lane]
+        lanes[lane] = builder.vop(opcode, source, vl=vl, subwords=subwords,
+                                  comment=comment)
+    return lanes
+
+
+# ---------------------------------------------------------------------------
+# element-wise streaming kernels
+# ---------------------------------------------------------------------------
+
+def emit_elementwise_scalar(builder: KernelBuilder, inputs: Sequence[ArraySpec],
+                            outputs: Sequence[ArraySpec], rows: int, cols: int,
+                            mix: OpMix, element_bytes: int = 1,
+                            label: str = "") -> None:
+    """Scalar per-element streaming loop nest.
+
+    One iteration of the inner loop processes one element: it loads one
+    value from every input array, applies the scalar operation mix and
+    stores one value to every output array.
+    """
+    with builder.loop(rows, name=f"{label}_row") as row:
+        with builder.loop(cols, name=f"{label}_col") as col:
+            seeds = []
+            for array in inputs:
+                addr = AddressExpr(base=array.base).with_term(
+                    row, array.shape[-1] * element_bytes).with_term(col, element_bytes)
+                seeds.append(builder.load8(addr, comment=f"load {array.name}"))
+            chains = emit_scalar_mix(builder, mix, seeds=seeds, comment=label)
+            for index, array in enumerate(outputs):
+                addr = AddressExpr(base=array.base).with_term(
+                    row, array.shape[-1] * element_bytes).with_term(col, element_bytes)
+                builder.store8(addr, chains[index % len(chains)],
+                               comment=f"store {array.name}")
+
+
+def emit_elementwise_usimd(builder: KernelBuilder, inputs: Sequence[ArraySpec],
+                           outputs: Sequence[ArraySpec], rows: int, cols: int,
+                           mix: OpMix, element_bytes: int = 1,
+                           label: str = "") -> None:
+    """µSIMD per-packed-word streaming loop nest (8 bytes per iteration)."""
+    bytes_per_row = cols * element_bytes
+    words_per_row = max(1, bytes_per_row // 8)
+    with builder.loop(rows, name=f"{label}_row") as row:
+        with builder.loop(words_per_row, name=f"{label}_word") as word:
+            seeds = []
+            for array in inputs:
+                addr = AddressExpr(base=array.base).with_term(
+                    row, array.shape[-1] * element_bytes).with_term(word, 8)
+                seeds.append(builder.mload(addr, comment=f"mload {array.name}"))
+            chains = emit_packed_mix(builder, mix, seeds=seeds, comment=label)
+            for index, array in enumerate(outputs):
+                addr = AddressExpr(base=array.base).with_term(
+                    row, array.shape[-1] * element_bytes).with_term(word, 8)
+                builder.mstore(addr, chains[index % len(chains)],
+                               comment=f"mstore {array.name}")
+
+
+def emit_elementwise_vector(builder: KernelBuilder, inputs: Sequence[ArraySpec],
+                            outputs: Sequence[ArraySpec], rows: int, cols: int,
+                            mix: OpMix, vl: int = 16, element_bytes: int = 1,
+                            label: str = "") -> None:
+    """Vector-µSIMD streaming loop nest (``vl`` packed words per iteration).
+
+    Rows are processed ``vl * 8 / element_bytes`` elements at a time with
+    stride-one vector loads/stores, which is exactly how the colour
+    conversion and up-sampling kernels of the paper use the vector cache.
+    """
+    bytes_per_row = cols * element_bytes
+    words_per_row = max(1, bytes_per_row // 8)
+    vl = max(1, min(vl, 16, words_per_row))
+    chunks_per_row = max(1, words_per_row // vl)
+    with builder.loop(rows, name=f"{label}_row") as row:
+        with builder.loop(chunks_per_row, name=f"{label}_chunk") as chunk:
+            builder.setvl(vl)
+            seeds = []
+            for array in inputs:
+                addr = AddressExpr(base=array.base).with_term(
+                    row, array.shape[-1] * element_bytes).with_term(chunk, vl * 8)
+                seeds.append(builder.vload(addr, vl=vl, stride_bytes=8,
+                                           comment=f"vload {array.name}"))
+            chains = emit_vector_mix(builder, mix, vl=vl, seeds=seeds, comment=label)
+            for index, array in enumerate(outputs):
+                addr = AddressExpr(base=array.base).with_term(
+                    row, array.shape[-1] * element_bytes).with_term(chunk, vl * 8)
+                builder.vstore(addr, chains[index % len(chains)], vl=vl,
+                               stride_bytes=8, comment=f"vstore {array.name}")
+
+
+# ---------------------------------------------------------------------------
+# 8x8 block transforms (DCT / IDCT shape)
+# ---------------------------------------------------------------------------
+
+def emit_block_transform_scalar(builder: KernelBuilder, source: ArraySpec,
+                                destination: ArraySpec, blocks: int,
+                                point_mix: OpMix, element_bytes: int = 2,
+                                label: str = "dct") -> None:
+    """Scalar two-pass 8×8 transform.
+
+    Each pass processes the eight 8-point vectors of the block: eight loads,
+    the 1-D butterfly operation mix, eight stores.  The per-point operation
+    mix is supplied by the caller (e.g. the LLM DCT uses roughly 11
+    multiplies and 29 additions per 8-point transform).
+    """
+    with builder.loop(blocks, name=f"{label}_blk") as blk:
+        for pass_name in ("rows", "cols"):
+            with builder.loop(8, name=f"{label}_{pass_name}") as line:
+                values = []
+                for k in range(8):
+                    addr = AddressExpr(base=source.base).with_term(
+                        blk, 64 * element_bytes).with_term(line, 8 * element_bytes)
+                    values.append(builder.load(addr.shifted(k * element_bytes),
+                                               comment=f"{label} load"))
+                chains = emit_scalar_mix(builder, point_mix, seeds=values[:2],
+                                         comment=f"{label} {pass_name}")
+                for k in range(8):
+                    addr = AddressExpr(base=destination.base).with_term(
+                        blk, 64 * element_bytes).with_term(line, 8 * element_bytes)
+                    builder.store(addr.shifted(k * element_bytes),
+                                  chains[k % len(chains)], comment=f"{label} store")
+
+
+def emit_block_transform_usimd(builder: KernelBuilder, source: ArraySpec,
+                               destination: ArraySpec, blocks: int,
+                               word_mix: OpMix, element_bytes: int = 2,
+                               label: str = "dct") -> None:
+    """µSIMD two-pass 8×8 transform (four 16-bit lanes per packed word).
+
+    Per pass the block is held as 16 packed words (8 rows × 2 words); the
+    supplied mix is the per-pass packed-operation budget of a hand written
+    MMX transform (transpose + butterflies).
+    """
+    with builder.loop(blocks, name=f"{label}_blk") as blk:
+        for pass_name in ("rows", "cols"):
+            with builder.loop(2, name=f"{label}_{pass_name}") as half:
+                words = []
+                for k in range(8):
+                    addr = AddressExpr(base=source.base).with_term(
+                        blk, 64 * element_bytes).with_term(half, 8)
+                    words.append(builder.mload(addr.shifted(k * 8 * element_bytes),
+                                               comment=f"{label} mload"))
+                chains = emit_packed_mix(builder, word_mix, seeds=words[:2],
+                                         subwords=4, comment=f"{label} {pass_name}")
+                for k in range(8):
+                    addr = AddressExpr(base=destination.base).with_term(
+                        blk, 64 * element_bytes).with_term(half, 8)
+                    builder.mstore(addr.shifted(k * 8 * element_bytes),
+                                   chains[k % len(chains)], comment=f"{label} mstore")
+
+
+def emit_block_transform_vector(builder: KernelBuilder, source: ArraySpec,
+                                destination: ArraySpec, blocks: int,
+                                vector_mix: OpMix, element_bytes: int = 2,
+                                label: str = "dct") -> None:
+    """Vector-µSIMD two-pass 8×8 transform.
+
+    A whole 8×8 16-bit block is 16 packed words, i.e. one full vector
+    register (``VL = 16``); each pass loads the block with two stride-one
+    vector loads of length 8, applies the vector operation mix and stores it
+    back.  This is the "larger loop sizes benefit from more vector units"
+    case the paper highlights for the DCTs.
+    """
+    with builder.loop(blocks, name=f"{label}_blk") as blk:
+        for pass_name in ("rows", "cols"):
+            builder.setvl(8)
+            base = AddressExpr(base=source.base).with_term(blk, 64 * element_bytes)
+            low = builder.vload(base, vl=8, stride_bytes=8,
+                                comment=f"{label} vload lo")
+            high = builder.vload(base.shifted(64), vl=8, stride_bytes=8,
+                                 comment=f"{label} vload hi")
+            chains = emit_vector_mix(builder, vector_mix, vl=8, seeds=[low, high],
+                                     subwords=4, comment=f"{label} {pass_name}")
+            out = AddressExpr(base=destination.base).with_term(blk, 64 * element_bytes)
+            builder.vstore(out, chains[0], vl=8, stride_bytes=8,
+                           comment=f"{label} vstore lo")
+            builder.vstore(out.shifted(64), chains[1], vl=8, stride_bytes=8,
+                           comment=f"{label} vstore hi")
+
+
+# ---------------------------------------------------------------------------
+# scalar-region shapes
+# ---------------------------------------------------------------------------
+
+def emit_bitstream_encoder(builder: KernelBuilder, symbols: ArraySpec,
+                           table: ArraySpec, output: ArraySpec, count: int,
+                           work_mix: OpMix, lookups: int = 2,
+                           label: str = "huffman") -> None:
+    """Huffman/VLC style encoder: per symbol, table look-ups feeding a
+    bit-buffer recurrence.
+
+    The bit buffer is a genuine first-order recurrence (every symbol's shift
+    and OR depend on the previous symbol's result), which is why this region
+    does not scale with issue width.
+    """
+    bitbuf = builder.iop(Opcode.MOV, comment=f"{label} bitbuf init")
+    with builder.loop(count, name=f"{label}_sym") as sym:
+        value = builder.load8(AddressExpr(base=symbols.base).with_term(sym, 1),
+                              comment=f"{label} load symbol")
+        looked = value
+        for _ in range(max(1, lookups)):
+            looked = builder.table_lookup(table, looked, comment=f"{label} code lookup")
+        emit_scalar_mix(builder, work_mix, seeds=[looked, value], comment=label,
+                        chains=2)
+        # bit-buffer recurrence: shift in the new code, spill one byte
+        bitbuf = builder.iop(Opcode.SHL, srcs=(bitbuf,), comment=f"{label} bitbuf <<")
+        bitbuf = builder.iop(Opcode.OR, srcs=(bitbuf, looked), comment=f"{label} bitbuf |")
+        builder.store8(AddressExpr(base=output.base).with_term(sym, 1), bitbuf,
+                       comment=f"{label} emit byte")
+
+
+def emit_table_decoder(builder: KernelBuilder, bitstream: ArraySpec,
+                       table: ArraySpec, output: ArraySpec, count: int,
+                       work_mix: OpMix, lookups: int = 2,
+                       label: str = "vld") -> None:
+    """VLD/Huffman-decode shape: data-dependent look-up chain per symbol.
+
+    Each decoded symbol's table index depends on the bits left over from the
+    previous symbol, so the look-ups form a serial chain across iterations —
+    the worst case for wide issue.
+    """
+    state = builder.iop(Opcode.MOV, comment=f"{label} decoder state")
+    with builder.loop(count, name=f"{label}_sym") as sym:
+        raw = builder.load8(AddressExpr(base=bitstream.base).with_term(sym, 1),
+                            comment=f"{label} refill")
+        state = builder.iop(Opcode.OR, srcs=(state, raw), comment=f"{label} refill merge")
+        looked = state
+        for _ in range(max(1, lookups)):
+            looked = builder.table_lookup(table, looked, comment=f"{label} decode lookup")
+        state = builder.iop(Opcode.SHL, srcs=(looked,), comment=f"{label} consume bits")
+        chains = emit_scalar_mix(builder, work_mix, seeds=[looked, raw], comment=label,
+                                 chains=2)
+        builder.store8(AddressExpr(base=output.base).with_term(sym, 1),
+                       chains[0], comment=f"{label} store symbol")
+
+
+def emit_recursive_filter(builder: KernelBuilder, source: ArraySpec,
+                          destination: ArraySpec, samples: int, taps: int,
+                          work_mix: OpMix = (), element_bytes: int = 2,
+                          label: str = "filter") -> None:
+    """First-order-recurrence filter (LPC lattice / short-term synthesis).
+
+    Every output sample depends on the previous output sample through a
+    multiply-add chain of ``taps`` stages; independent bookkeeping from
+    ``work_mix`` can overlap with it, but the recurrence bounds the ILP.
+    """
+    state = builder.iop(Opcode.MOV, comment=f"{label} state init")
+    with builder.loop(samples, name=f"{label}_n") as n:
+        sample = builder.load(AddressExpr(base=source.base).with_term(n, element_bytes),
+                              comment=f"{label} load sample")
+        value = sample
+        for _ in range(max(1, taps)):
+            value = builder.iop(Opcode.MUL, srcs=(value, state), comment=f"{label} mac")
+            value = builder.iop(Opcode.ADD, srcs=(value,), comment=f"{label} acc")
+        state = builder.iop(Opcode.ADD, srcs=(state, value), comment=f"{label} recurrence")
+        if work_mix:
+            emit_scalar_mix(builder, work_mix, seeds=[sample], comment=label, chains=2)
+        builder.store(AddressExpr(base=destination.base).with_term(n, element_bytes),
+                      state, comment=f"{label} store sample")

@@ -1,0 +1,18 @@
+"""GSM 06.10 full-rate speech codec workloads.
+
+Vector regions (Table 1 of the paper):
+
+* **encoder** — LTP parameter computation (the long-term-prediction lag
+  search, a cross-correlation maximisation) and the autocorrelation of the
+  LPC analysis (18.7 % of the 2-issue µSIMD execution time);
+* **decoder** — long-term filtering only (0.9 %; essentially the whole
+  decoder is scalar, dominated by the short-term synthesis filter's
+  recurrences).
+
+Functional implementations of the autocorrelation and the LTP lag search
+exist in scalar/µSIMD/Vector-µSIMD form and are checked for exact agreement.
+"""
+
+from repro.workloads.gsm import autocorr, ltp, programs
+
+__all__ = ["autocorr", "ltp", "programs"]

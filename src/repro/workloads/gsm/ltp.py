@@ -1,0 +1,122 @@
+"""Long-term prediction (GSM encoder vector region R1, decoder region R1).
+
+The GSM encoder searches, for each 40-sample sub-segment, the lag in
+[40, 120] of the previously reconstructed short-term residual that maximises
+the cross-correlation with the current sub-segment; the lag and a quantised
+gain form the LTP parameters.  The decoder's long-term filtering
+reconstructs the residual by adding the gain-scaled delayed signal.
+
+Three functional flavours of the lag search are provided (reference, µSIMD
+``pmaddwd`` based and vector packed-accumulator based); all return the same
+lag and correlation values.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.isa import packed, vectorops
+
+__all__ = [
+    "LTP_MIN_LAG",
+    "LTP_MAX_LAG",
+    "SUBSEGMENT_SAMPLES",
+    "ltp_parameters_reference",
+    "ltp_parameters_usimd",
+    "ltp_parameters_vector",
+    "long_term_filter_reference",
+]
+
+#: GSM 06.10 long-term predictor lag range (in samples).
+LTP_MIN_LAG = 40
+LTP_MAX_LAG = 120
+#: Samples per sub-segment (a 160-sample frame has four of them).
+SUBSEGMENT_SAMPLES = 40
+
+
+def _cross_correlation_reference(current: np.ndarray, history: np.ndarray,
+                                 lag: int) -> int:
+    """Correlation of the sub-segment with the history delayed by ``lag``."""
+    window = history[history.shape[0] - lag:history.shape[0] - lag + current.shape[0]]
+    return int(np.dot(current.astype(np.int64), window.astype(np.int64)))
+
+
+def ltp_parameters_reference(current: np.ndarray, history: np.ndarray) -> Tuple[int, int]:
+    """Reference LTP lag search: returns ``(best_lag, best_correlation)``."""
+    current = np.asarray(current, dtype=np.int64)
+    history = np.asarray(history, dtype=np.int64)
+    if current.shape[0] != SUBSEGMENT_SAMPLES:
+        raise ValueError(f"sub-segment must have {SUBSEGMENT_SAMPLES} samples")
+    if history.shape[0] < LTP_MAX_LAG:
+        raise ValueError(f"history must hold at least {LTP_MAX_LAG} samples")
+    best_lag, best_value = LTP_MIN_LAG, None
+    for lag in range(LTP_MIN_LAG, LTP_MAX_LAG + 1):
+        value = _cross_correlation_reference(current, history, lag)
+        if best_value is None or value > best_value:
+            best_lag, best_value = lag, value
+    return best_lag, int(best_value)
+
+
+def _dot_usimd(a: np.ndarray, b: np.ndarray) -> int:
+    """Packed-word dot product via ``pmaddwd`` (exactly like the MMX kernel)."""
+    a = np.asarray(a, dtype=np.int16)
+    b = np.asarray(b, dtype=np.int16)
+    a_words = packed.to_packed(a, packed.LANES_16)
+    b_words = packed.to_packed(b, packed.LANES_16)
+    total = 0
+    for index in range(a_words.shape[0]):
+        total += int(packed.pmaddwd(a_words[index], b_words[index]).astype(np.int64).sum())
+    return total
+
+
+def ltp_parameters_usimd(current: np.ndarray, history: np.ndarray) -> Tuple[int, int]:
+    """µSIMD LTP lag search (per-lag packed dot product)."""
+    current = np.asarray(current, dtype=np.int16)
+    history = np.asarray(history, dtype=np.int16)
+    best_lag, best_value = LTP_MIN_LAG, None
+    for lag in range(LTP_MIN_LAG, LTP_MAX_LAG + 1):
+        window = history[history.shape[0] - lag:history.shape[0] - lag + current.shape[0]]
+        value = _dot_usimd(current, window)
+        if best_value is None or value > best_value:
+            best_lag, best_value = lag, value
+    return best_lag, int(best_value)
+
+
+def _dot_vector(a: np.ndarray, b: np.ndarray, max_vl: int = 16) -> int:
+    """Vector dot product with a packed accumulator and a final reduction."""
+    a_words = np.asarray(a, dtype=np.int64).reshape(-1, packed.LANES_16)
+    b_words = np.asarray(b, dtype=np.int64).reshape(-1, packed.LANES_16)
+    acc = vectorops.accumulator_zero(packed.LANES_16)
+    for start in range(0, a_words.shape[0], max_vl):
+        stop = min(start + max_vl, a_words.shape[0])
+        acc = vectorops.vmac_accumulate(acc, a_words[start:stop], b_words[start:stop])
+    return vectorops.accumulator_sum(acc)
+
+
+def ltp_parameters_vector(current: np.ndarray, history: np.ndarray) -> Tuple[int, int]:
+    """Vector-µSIMD LTP lag search (per-lag vector multiply-accumulate)."""
+    current = np.asarray(current, dtype=np.int16)
+    history = np.asarray(history, dtype=np.int16)
+    best_lag, best_value = LTP_MIN_LAG, None
+    for lag in range(LTP_MIN_LAG, LTP_MAX_LAG + 1):
+        window = history[history.shape[0] - lag:history.shape[0] - lag + current.shape[0]]
+        value = _dot_vector(current, window)
+        if best_value is None or value > best_value:
+            best_lag, best_value = lag, value
+    return best_lag, int(best_value)
+
+
+def long_term_filter_reference(residual: np.ndarray, history: np.ndarray,
+                               lag: int, gain_q6: int) -> np.ndarray:
+    """Decoder long-term filtering: residual + (gain × delayed history) >> 6.
+
+    ``gain_q6`` is the quantised gain in Q6 fixed point (the GSM tables use
+    values 0..55 roughly covering gains 0..0.86).
+    """
+    residual = np.asarray(residual, dtype=np.int64)
+    history = np.asarray(history, dtype=np.int64)
+    window = history[history.shape[0] - lag:history.shape[0] - lag + residual.shape[0]]
+    reconstructed = residual + ((gain_q6 * window) >> 6)
+    return np.clip(reconstructed, -32768, 32767).astype(np.int16)

@@ -1,0 +1,279 @@
+"""Kernel programs (timing models) for the GSM encoder and decoder.
+
+Region structure (Table 1 of the paper):
+
+GSM encoder
+    * R1 — LTP parameter computation: for each of the four 40-sample
+      sub-segments, a cross-correlation against the reconstructed residual
+      is maximised over the 81 lags in [40, 120]
+    * R2 — autocorrelation: nine lags over the 160-sample frame
+    * R0 — everything else: pre-processing, the Schur recursion of the LPC
+      analysis, reflection-coefficient quantisation, the weighting filter,
+      RPE grid selection and bit packing.  These parts are dominated by
+      first-order recurrences and table work, which is why they do not
+      scale with issue width.
+
+GSM decoder
+    * R1 — long-term filtering (the only vector region; well under 1 % of
+      the execution time)
+    * R0 — RPE decoding, the short-term synthesis (lattice) filter — a
+      serial recurrence over every sample — and post-processing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.compiler.builder import KernelBuilder
+from repro.compiler.ir import ISAFlavor, KernelProgram
+from repro.isa.operations import Opcode
+from repro.memory.layout import AddressSpace, ArraySpec
+from repro.workloads import common
+from repro.workloads.gsm.autocorr import GSM_FRAME_SAMPLES, GSM_LAGS
+from repro.workloads.gsm.ltp import LTP_MAX_LAG, LTP_MIN_LAG, SUBSEGMENT_SAMPLES
+
+__all__ = ["GsmParameters", "build_gsm_enc_program", "build_gsm_dec_program"]
+
+
+@dataclass(frozen=True)
+class GsmParameters:
+    """Input geometry of the GSM benchmarks."""
+
+    #: number of 160-sample speech frames processed
+    frames: int = 4
+    #: lag sub-sampling of the LTP search (1 = all 81 lags; 3 keeps every third)
+    lag_step: int = 3
+    #: extra scalar work per sample in the LPC/weighting part
+    scalar_work: int = 22
+    #: taps of the short-term analysis/synthesis lattice filters
+    synthesis_taps: int = 8
+
+    def __post_init__(self) -> None:
+        if self.frames < 1:
+            raise ValueError("need at least one speech frame")
+        if self.lag_step < 1:
+            raise ValueError("lag_step must be >= 1")
+
+    @property
+    def subsegments(self) -> int:
+        return 4
+
+    @property
+    def lags_searched(self) -> int:
+        return len(range(LTP_MIN_LAG, LTP_MAX_LAG + 1, self.lag_step))
+
+
+# per-MAC scalar work of a dot-product step (load, multiply, accumulate)
+_MAC_SCALAR_MIX = ((Opcode.MUL, 1), (Opcode.ADD, 2))
+_SCHUR_WORK_MIX = ((Opcode.MUL, 2), (Opcode.ADD, 3), (Opcode.SHR, 1), (Opcode.CMP, 1))
+_RPE_WORK_MIX = ((Opcode.ADD, 4), (Opcode.CMP, 2), (Opcode.SHR, 2))
+
+
+def _emit_dot_product(builder: KernelBuilder, a: ArraySpec, a_offset, b: ArraySpec,
+                      b_offset, samples: int, label: str) -> None:
+    """One fixed-length 16-bit dot product in the current ISA flavour.
+
+    ``a_offset`` / ``b_offset`` are affine address expressions pointing at
+    the first sample of each operand (already including any loop terms of
+    the caller).
+    """
+    words = max(1, samples // 4)
+    if builder.flavor is ISAFlavor.VECTOR:
+        vl = min(16, words)
+        chunks = max(1, words // vl)
+        builder.setvl(vl)
+        acc = builder.acc_clear(comment=f"{label} acc=0")
+        with builder.loop(chunks, name=f"{label}_chunk") as chunk:
+            va = builder.vload(a_offset.with_term(chunk, vl * 8), vl=vl, stride_bytes=8,
+                               comment=f"{label} vload a")
+            vb = builder.vload(b_offset.with_term(chunk, vl * 8), vl=vl, stride_bytes=8,
+                               comment=f"{label} vload b")
+            builder.vmac(acc, va, vb, vl=vl, comment=f"{label} vmac")
+        builder.vsum(acc, comment=f"{label} sum")
+    elif builder.flavor is ISAFlavor.USIMD:
+        total = builder.iop(Opcode.MOV, comment=f"{label} acc=0")
+        with builder.loop(words, name=f"{label}_word") as word:
+            ma = builder.mload(a_offset.with_term(word, 8), comment=f"{label} mload a")
+            mb = builder.mload(b_offset.with_term(word, 8), comment=f"{label} mload b")
+            prod = builder.simd(Opcode.PMADDWD, ma, mb, subwords=4,
+                                comment=f"{label} pmaddwd")
+            partial = builder.simd(Opcode.PADDW, prod, subwords=2,
+                                   comment=f"{label} pair add")
+            total = builder.iop(Opcode.ADD, srcs=(total,), comment=f"{label} acc +=")
+    else:
+        total = builder.iop(Opcode.MOV, comment=f"{label} acc=0")
+        with builder.loop(samples, name=f"{label}_n") as n:
+            va = builder.load(a_offset.with_term(n, 2), comment=f"{label} load a")
+            vb = builder.load(b_offset.with_term(n, 2), comment=f"{label} load b")
+            prod = builder.iop(Opcode.MUL, srcs=(va, vb), comment=f"{label} mul")
+            total = builder.iop(Opcode.ADD, srcs=(total, prod), comment=f"{label} acc +=")
+
+
+def build_gsm_enc_program(flavor: ISAFlavor,
+                          params: GsmParameters = GsmParameters()) -> KernelProgram:
+    """GSM full-rate encoder program in the requested ISA flavour."""
+    space = AddressSpace()
+    samples = space.allocate("samples", (params.frames * GSM_FRAME_SAMPLES,),
+                             element_bytes=2)
+    residual = space.allocate("residual", (params.frames * GSM_FRAME_SAMPLES,),
+                              element_bytes=2)
+    history = space.allocate("history", (LTP_MAX_LAG + SUBSEGMENT_SAMPLES,),
+                             element_bytes=2)
+    acf = space.allocate("acf", (GSM_LAGS,), element_bytes=8)
+    reflection = space.allocate("reflection", (8,), element_bytes=2)
+    coded = space.allocate("coded", (params.frames * 76,), element_bytes=1)
+    tables = space.allocate("quant_tables", (256,), element_bytes=2)
+
+    builder = KernelBuilder("gsm_enc", flavor, address_space=space)
+    frame_bytes = GSM_FRAME_SAMPLES * 2
+
+    with builder.loop(params.frames, name="frame") as frame:
+        frame_base = builder.addr(samples, (frame, frame_bytes))
+        residual_base = builder.addr(residual, (frame, frame_bytes))
+
+        # R2: autocorrelation of the frame (nine lags)
+        with builder.region("R2", "Autocorrelation", vectorizable=True):
+            with builder.loop(GSM_LAGS, name="lag") as lag:
+                _emit_dot_product(builder, samples, frame_base.with_term(lag, 2),
+                                  samples, frame_base, GSM_FRAME_SAMPLES, label="acf")
+                builder.store(builder.addr(acf, (lag, 8)),
+                              builder.iop(Opcode.MOV, comment="acf value"),
+                              comment="store acf[k]")
+
+        # R0 (part 1): pre-processing (offset compensation + pre-emphasis),
+        # the Schur recursion and the short-term analysis lattice filter
+        with builder.region("R0", "LPC analysis, weighting, RPE, packing",
+                            vectorizable=False):
+            common.emit_recursive_filter(builder, samples, residual,
+                                         samples=GSM_FRAME_SAMPLES, taps=2,
+                                         work_mix=((Opcode.ADD, params.scalar_work // 2),),
+                                         label="preprocess")
+            common.emit_recursive_filter(builder, samples, residual,
+                                         samples=GSM_FRAME_SAMPLES, taps=4,
+                                         work_mix=_SCHUR_WORK_MIX
+                                         + ((Opcode.ADD, params.scalar_work),),
+                                         label="lpc")
+            common.emit_recursive_filter(builder, samples, residual,
+                                         samples=GSM_FRAME_SAMPLES,
+                                         taps=params.synthesis_taps,
+                                         work_mix=((Opcode.ADD, params.scalar_work),),
+                                         label="st_analysis")
+            common.emit_recursive_filter(builder, residual, residual,
+                                         samples=GSM_FRAME_SAMPLES,
+                                         taps=params.synthesis_taps // 2,
+                                         work_mix=((Opcode.ADD, params.scalar_work // 2),),
+                                         label="weighting")
+
+        # R1: LTP parameter search per sub-segment
+        with builder.region("R1", "LTP parameters", vectorizable=True):
+            with builder.loop(params.subsegments, name="sub") as sub:
+                with builder.loop(params.lags_searched, name="ltp_lag") as lag:
+                    _emit_dot_product(
+                        builder, residual,
+                        residual_base.with_term(sub, SUBSEGMENT_SAMPLES * 2),
+                        history, builder.addr(history, (lag, 2 * params.lag_step)),
+                        SUBSEGMENT_SAMPLES, label="ltp")
+                    builder.iop(Opcode.CMP, comment="corr > best?")
+                    builder.iop(Opcode.MOV, comment="update best lag")
+
+        # R0 (part 2): RPE grid selection, APCM quantisation and bit packing
+        with builder.region("R0", "LPC analysis, weighting, RPE, packing",
+                            vectorizable=False):
+            common.emit_recursive_filter(builder, residual, residual,
+                                         samples=GSM_FRAME_SAMPLES, taps=3,
+                                         work_mix=_RPE_WORK_MIX
+                                         + ((Opcode.ADD, params.scalar_work // 2),),
+                                         label="rpe_grid")
+            common.emit_bitstream_encoder(builder, residual, tables, coded,
+                                          count=76 + 4 * 13,
+                                          work_mix=_RPE_WORK_MIX
+                                          + ((Opcode.ADD, params.scalar_work),),
+                                          lookups=2, label="rpe")
+    return builder.program()
+
+
+def build_gsm_dec_program(flavor: ISAFlavor,
+                          params: GsmParameters = GsmParameters()) -> KernelProgram:
+    """GSM full-rate decoder program in the requested ISA flavour."""
+    space = AddressSpace()
+    coded = space.allocate("coded", (params.frames * 76,), element_bytes=1)
+    residual = space.allocate("residual", (params.frames * GSM_FRAME_SAMPLES,),
+                              element_bytes=2)
+    history = space.allocate("history", (LTP_MAX_LAG + SUBSEGMENT_SAMPLES,),
+                             element_bytes=2)
+    speech = space.allocate("speech", (params.frames * GSM_FRAME_SAMPLES,),
+                            element_bytes=2)
+    tables = space.allocate("decode_tables", (256,), element_bytes=2)
+
+    builder = KernelBuilder("gsm_dec", flavor, address_space=space)
+    frame_bytes = GSM_FRAME_SAMPLES * 2
+
+    with builder.loop(params.frames, name="frame") as frame:
+        residual_base = builder.addr(residual, (frame, frame_bytes))
+        speech_base = builder.addr(speech, (frame, frame_bytes))
+
+        # R0 (part 1): parameter unpacking and RPE decoding
+        with builder.region("R0", "RPE decoding and short-term synthesis",
+                            vectorizable=False):
+            common.emit_table_decoder(builder, coded, tables, residual, count=76,
+                                      work_mix=_RPE_WORK_MIX
+                                      + ((Opcode.ADD, params.scalar_work),),
+                                      lookups=2, label="unpack")
+
+        # R1: long-term filtering per sub-segment (the only vector region)
+        with builder.region("R1", "Long term filtering", vectorizable=True):
+            with builder.loop(params.subsegments, name="sub") as sub:
+                sub_addr = residual_base.with_term(sub, SUBSEGMENT_SAMPLES * 2)
+                hist_addr = builder.addr(history)
+                words = SUBSEGMENT_SAMPLES // 4
+                if flavor is ISAFlavor.VECTOR:
+                    vl = min(16, words)
+                    builder.setvl(vl)
+                    ve = builder.vload(sub_addr, vl=vl, stride_bytes=8,
+                                       comment="vload residual")
+                    vh = builder.vload(hist_addr, vl=vl, stride_bytes=8,
+                                       comment="vload history")
+                    scaled = builder.vop(Opcode.VMULHW, vh, vl=vl, subwords=4,
+                                         comment="gain * history")
+                    summed = builder.vop(Opcode.VADDW, ve, scaled, vl=vl, subwords=4,
+                                         comment="residual + ltp")
+                    builder.vstore(sub_addr, summed, vl=vl, stride_bytes=8,
+                                   comment="vstore reconstructed")
+                elif flavor is ISAFlavor.USIMD:
+                    with builder.loop(words, name="ltw") as word:
+                        me = builder.mload(sub_addr.with_term(word, 8),
+                                           comment="mload residual")
+                        mh = builder.mload(hist_addr.with_term(word, 8),
+                                           comment="mload history")
+                        scaled = builder.simd(Opcode.PMULHW, mh, subwords=4,
+                                              comment="gain * history")
+                        summed = builder.simd(Opcode.PADDW, me, scaled, subwords=4,
+                                              comment="residual + ltp")
+                        builder.mstore(sub_addr.with_term(word, 8), summed,
+                                       comment="mstore reconstructed")
+                else:
+                    with builder.loop(SUBSEGMENT_SAMPLES, name="ltn") as n:
+                        value = builder.load(sub_addr.with_term(n, 2),
+                                             comment="load residual")
+                        hist = builder.load(hist_addr.with_term(n, 2),
+                                            comment="load history")
+                        prod = builder.iop(Opcode.MUL, srcs=(hist,), comment="gain mul")
+                        total = builder.iop(Opcode.ADD, srcs=(value, prod),
+                                            comment="residual + ltp")
+                        builder.store(sub_addr.with_term(n, 2), total,
+                                      comment="store reconstructed")
+
+        # R0 (part 2): short-term synthesis lattice filter, de-emphasis,
+        # upscaling and truncation of the output samples
+        with builder.region("R0", "RPE decoding and short-term synthesis",
+                            vectorizable=False):
+            common.emit_recursive_filter(builder, residual, speech,
+                                         samples=GSM_FRAME_SAMPLES,
+                                         taps=params.synthesis_taps,
+                                         work_mix=((Opcode.ADD, params.scalar_work),),
+                                         label="synth")
+            common.emit_recursive_filter(builder, speech, speech,
+                                         samples=GSM_FRAME_SAMPLES, taps=3,
+                                         work_mix=((Opcode.ADD, params.scalar_work),),
+                                         label="postprocess")
+    return builder.program()

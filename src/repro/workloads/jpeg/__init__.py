@@ -1,0 +1,22 @@
+"""JPEG encoder / decoder workloads.
+
+Vector regions (Table 1 of the paper):
+
+* **encoder** — RGB→YCbCr colour conversion, forward DCT, quantisation
+  (29.6 % of the 2-issue µSIMD execution time);
+* **decoder** — YCbCr→RGB colour conversion and h2v2 chroma up-sampling
+  (18.5 %).
+
+The scalar regions are entropy coding (Huffman encode/decode with its
+bit-buffer recurrences) plus the decoder's inverse DCT, which the paper
+keeps in the scalar part for this benchmark.
+
+Functional implementations of the colour conversions, quantisation and
+up-sampling exist in scalar/µSIMD/Vector-µSIMD form and are checked for
+bit-exact agreement by the test-suite; the DCT has an integer reference
+implementation used for energy/round-trip tests.
+"""
+
+from repro.workloads.jpeg import color, dct, quant, upsample, huffman, programs
+
+__all__ = ["color", "dct", "quant", "upsample", "huffman", "programs"]

@@ -1,0 +1,169 @@
+"""Colour conversion kernels (JPEG encoder R1 / decoder R1).
+
+The JPEG encoder converts interleaved RGB pixels to YCbCr before the DCT;
+the decoder converts back.  Both directions are implemented three times:
+
+* :func:`rgb_to_ycc_reference` / :func:`ycc_to_rgb_reference` — plain NumPy
+  integer arithmetic, the ground truth;
+* :func:`rgb_to_ycc_usimd` — per packed word of eight pixels, using the
+  µSIMD emulation layer (unpack to 16 bits, fixed-point multiplies, pack);
+* :func:`rgb_to_ycc_vector` — the same packed arithmetic applied to a whole
+  vector register of pixels at a time (the Vector-µSIMD version).
+
+All three use the libjpeg fixed-point coefficients (scaled by 2^16) so the
+results agree bit-exactly, which the tests assert.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.isa import packed
+
+__all__ = [
+    "rgb_to_ycc_reference",
+    "rgb_to_ycc_usimd",
+    "rgb_to_ycc_vector",
+    "ycc_to_rgb_reference",
+]
+
+# libjpeg fixed-point coefficients, scaled by 2^16 and rounded.
+_FIX = 1 << 16
+_HALF = _FIX // 2
+_CY = (19595, 38470, 7471)          # 0.29900, 0.58700, 0.11400
+_CCB = (-11059, -21709, 32768)      # -0.16874, -0.33126, 0.50000
+_CCR = (32768, -27439, -5329)       # 0.50000, -0.41869, -0.08131
+_OFFSET = 128 << 16
+
+
+def rgb_to_ycc_reference(rgb: np.ndarray) -> np.ndarray:
+    """Reference RGB→YCbCr conversion on a ``(h, w, 3)`` uint8 image."""
+    rgb = np.asarray(rgb, dtype=np.int64)
+    if rgb.ndim != 3 or rgb.shape[-1] != 3:
+        raise ValueError("expected an (h, w, 3) RGB image")
+    r, g, b = rgb[..., 0], rgb[..., 1], rgb[..., 2]
+    y = (_CY[0] * r + _CY[1] * g + _CY[2] * b + _HALF) >> 16
+    cb = (_CCB[0] * r + _CCB[1] * g + _CCB[2] * b + _OFFSET + _HALF - 1) >> 16
+    cr = (_CCR[0] * r + _CCR[1] * g + _CCR[2] * b + _OFFSET + _HALF - 1) >> 16
+    out = np.stack([y, cb, cr], axis=-1)
+    return np.clip(out, 0, 255).astype(np.uint8)
+
+
+def _convert_rows_packed(r16: np.ndarray, g16: np.ndarray, b16: np.ndarray,
+                         coefficients: Tuple[int, int, int],
+                         rounding: int) -> np.ndarray:
+    """Fixed-point channel combination on int64 lanes (shared helper).
+
+    The µSIMD and vector versions call this with arrays whose last axis is
+    the 4-lane (16-bit) axis; the arithmetic mirrors what a pmaddwd-based
+    inner loop computes, carried in wide precision exactly like the 32-bit
+    intermediate of the hardware.
+    """
+    acc = (coefficients[0] * r16.astype(np.int64)
+           + coefficients[1] * g16.astype(np.int64)
+           + coefficients[2] * b16.astype(np.int64)
+           + rounding)
+    return acc >> 16
+
+
+def rgb_to_ycc_usimd(rgb_planar: Tuple[np.ndarray, np.ndarray, np.ndarray]) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """µSIMD RGB→YCbCr on planar channel arrays of shape ``(n,)`` (n % 8 == 0).
+
+    Processes eight pixels per iteration: unpack each channel's packed word
+    to two 4×16-bit halves, run the fixed-point combination per half, then
+    pack the results back to bytes with unsigned saturation — the classic
+    MMX colour-conversion inner loop.
+    """
+    r_plane, g_plane, b_plane = (np.asarray(p, dtype=np.uint8) for p in rgb_planar)
+    n = r_plane.shape[0]
+    if n % packed.LANES_8:
+        raise ValueError("planar length must be a multiple of 8 pixels")
+    y_out = np.empty(n, dtype=np.uint8)
+    cb_out = np.empty(n, dtype=np.uint8)
+    cr_out = np.empty(n, dtype=np.uint8)
+
+    r_words = packed.to_packed(r_plane, packed.LANES_8)
+    g_words = packed.to_packed(g_plane, packed.LANES_8)
+    b_words = packed.to_packed(b_plane, packed.LANES_8)
+
+    for index in range(r_words.shape[0]):
+        r_lo, r_hi = packed.unpack_u8_to_s16(r_words[index])
+        g_lo, g_hi = packed.unpack_u8_to_s16(g_words[index])
+        b_lo, b_hi = packed.unpack_u8_to_s16(b_words[index])
+        halves = {}
+        for name, coefficients, rounding in (
+                ("y", _CY, _HALF),
+                ("cb", _CCB, _OFFSET + _HALF - 1),
+                ("cr", _CCR, _OFFSET + _HALF - 1)):
+            lo = _convert_rows_packed(r_lo, g_lo, b_lo, coefficients, rounding)
+            hi = _convert_rows_packed(r_hi, g_hi, b_hi, coefficients, rounding)
+            halves[name] = packed.packuswb(lo, hi)
+        sl = slice(index * 8, index * 8 + 8)
+        y_out[sl] = halves["y"]
+        cb_out[sl] = halves["cb"]
+        cr_out[sl] = halves["cr"]
+    return y_out, cb_out, cr_out
+
+
+def rgb_to_ycc_vector(rgb_planar: Tuple[np.ndarray, np.ndarray, np.ndarray],
+                      max_vl: int = 16) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Vector-µSIMD RGB→YCbCr: whole vector registers of pixels per operation.
+
+    Identical arithmetic to :func:`rgb_to_ycc_usimd`, but each operation
+    covers up to ``max_vl`` packed words (128 pixels), the way the vector
+    version strip-mines a row of the image.
+    """
+    r_plane, g_plane, b_plane = (np.asarray(p, dtype=np.uint8) for p in rgb_planar)
+    n = r_plane.shape[0]
+    if n % packed.LANES_8:
+        raise ValueError("planar length must be a multiple of 8 pixels")
+    y_out = np.empty(n, dtype=np.uint8)
+    cb_out = np.empty(n, dtype=np.uint8)
+    cr_out = np.empty(n, dtype=np.uint8)
+
+    r_words = packed.to_packed(r_plane, packed.LANES_8)
+    g_words = packed.to_packed(g_plane, packed.LANES_8)
+    b_words = packed.to_packed(b_plane, packed.LANES_8)
+    total_words = r_words.shape[0]
+
+    for start in range(0, total_words, max_vl):
+        stop = min(start + max_vl, total_words)
+        r_vec = r_words[start:stop]
+        g_vec = g_words[start:stop]
+        b_vec = b_words[start:stop]
+        r_lo = r_vec.astype(np.int16)[..., :4]
+        r_hi = r_vec.astype(np.int16)[..., 4:]
+        g_lo = g_vec.astype(np.int16)[..., :4]
+        g_hi = g_vec.astype(np.int16)[..., 4:]
+        b_lo = b_vec.astype(np.int16)[..., :4]
+        b_hi = b_vec.astype(np.int16)[..., 4:]
+        outs = {}
+        for name, coefficients, rounding in (
+                ("y", _CY, _HALF),
+                ("cb", _CCB, _OFFSET + _HALF - 1),
+                ("cr", _CCR, _OFFSET + _HALF - 1)):
+            lo = _convert_rows_packed(r_lo, g_lo, b_lo, coefficients, rounding)
+            hi = _convert_rows_packed(r_hi, g_hi, b_hi, coefficients, rounding)
+            outs[name] = packed.packuswb(lo, hi)
+        sl = slice(start * 8, stop * 8)
+        y_out[sl] = outs["y"].reshape(-1)
+        cb_out[sl] = outs["cb"].reshape(-1)
+        cr_out[sl] = outs["cr"].reshape(-1)
+    return y_out, cb_out, cr_out
+
+
+def ycc_to_rgb_reference(ycc: np.ndarray) -> np.ndarray:
+    """Reference YCbCr→RGB conversion (decoder direction) on uint8 data."""
+    ycc = np.asarray(ycc, dtype=np.int64)
+    if ycc.ndim != 3 or ycc.shape[-1] != 3:
+        raise ValueError("expected an (h, w, 3) YCbCr image")
+    y = ycc[..., 0]
+    cb = ycc[..., 1] - 128
+    cr = ycc[..., 2] - 128
+    r = y + ((91881 * cr + _HALF) >> 16)
+    g = y - ((22554 * cb + 46802 * cr + _HALF) >> 16)
+    b = y + ((116130 * cb + _HALF) >> 16)
+    out = np.stack([r, g, b], axis=-1)
+    return np.clip(out, 0, 255).astype(np.uint8)

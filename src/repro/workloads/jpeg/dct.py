@@ -1,0 +1,87 @@
+"""8×8 integer DCT / IDCT (JPEG encoder R2, MPEG-2 encoder R2/R3, decoder R2).
+
+The forward and inverse transforms are implemented as separable fixed-point
+matrix transforms in 32-bit intermediate precision, the same arithmetic
+regime as libjpeg's ``jpeg_fdct_islow`` / ``jpeg_idct_islow``.  They serve as
+the functional reference for the DCT-shaped kernel programs and as the
+source of the quantised coefficients fed to the entropy-coding (scalar
+region) models.
+
+A forward/inverse round trip is accurate to within ±1 per sample for 8-bit
+inputs, which the tests assert.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = ["forward_dct_block", "inverse_dct_block", "forward_dct_image",
+           "inverse_dct_image", "dct_matrix"]
+
+_SCALE_BITS = 13
+
+
+def dct_matrix() -> np.ndarray:
+    """The 8-point DCT-II basis matrix in fixed point (scaled by 2^13)."""
+    basis = np.zeros((8, 8), dtype=np.float64)
+    for k in range(8):
+        for n in range(8):
+            scale = math.sqrt(1.0 / 8.0) if k == 0 else math.sqrt(2.0 / 8.0)
+            basis[k, n] = scale * math.cos(math.pi * (2 * n + 1) * k / 16.0)
+    return np.round(basis * (1 << _SCALE_BITS)).astype(np.int64)
+
+
+_DCT = dct_matrix()
+
+
+def forward_dct_block(block: np.ndarray) -> np.ndarray:
+    """Forward 8×8 DCT of one block of samples (level shifted by -128).
+
+    Input: ``(8, 8)`` uint8/int; output: ``(8, 8)`` int16 coefficients.
+    """
+    block = np.asarray(block, dtype=np.int64)
+    if block.shape != (8, 8):
+        raise ValueError("forward_dct_block expects an 8x8 block")
+    centered = block - 128
+    rows = (_DCT @ centered + (1 << (_SCALE_BITS - 1))) >> _SCALE_BITS
+    full = (rows @ _DCT.T + (1 << (_SCALE_BITS - 1))) >> _SCALE_BITS
+    return np.clip(full, -32768, 32767).astype(np.int16)
+
+
+def inverse_dct_block(coefficients: np.ndarray) -> np.ndarray:
+    """Inverse 8×8 DCT; returns uint8 samples (level shifted back by +128)."""
+    coefficients = np.asarray(coefficients, dtype=np.int64)
+    if coefficients.shape != (8, 8):
+        raise ValueError("inverse_dct_block expects an 8x8 block")
+    rows = (_DCT.T @ coefficients + (1 << (_SCALE_BITS - 1))) >> _SCALE_BITS
+    full = (rows @ _DCT + (1 << (_SCALE_BITS - 1))) >> _SCALE_BITS
+    return np.clip(full + 128, 0, 255).astype(np.uint8)
+
+
+def _iter_blocks(plane: np.ndarray):
+    height, width = plane.shape
+    if height % 8 or width % 8:
+        raise ValueError("plane dimensions must be multiples of 8")
+    for by in range(0, height, 8):
+        for bx in range(0, width, 8):
+            yield by, bx
+
+
+def forward_dct_image(plane: np.ndarray) -> np.ndarray:
+    """Forward DCT of every 8×8 block of a luminance/chrominance plane."""
+    plane = np.asarray(plane)
+    out = np.empty(plane.shape, dtype=np.int16)
+    for by, bx in _iter_blocks(plane):
+        out[by:by + 8, bx:bx + 8] = forward_dct_block(plane[by:by + 8, bx:bx + 8])
+    return out
+
+
+def inverse_dct_image(coefficients: np.ndarray) -> np.ndarray:
+    """Inverse DCT of every 8×8 block of a coefficient plane."""
+    coefficients = np.asarray(coefficients)
+    out = np.empty(coefficients.shape, dtype=np.uint8)
+    for by, bx in _iter_blocks(coefficients):
+        out[by:by + 8, bx:bx + 8] = inverse_dct_block(coefficients[by:by + 8, bx:bx + 8])
+    return out

@@ -1,0 +1,187 @@
+"""Entropy coding (the JPEG scalar region R0).
+
+The encoder's non-DLP time is dominated by zig-zag scanning, run-length
+coding and Huffman bit packing; the decoder's by the inverse.  This module
+provides a functional entropy coder over quantised DCT blocks that captures
+the computational character of that code (per-symbol table work feeding a
+serial bit buffer) and round-trips exactly, which the tests verify.
+
+For simplicity the prefix code is an exponential-Golomb style code rather
+than the baseline JPEG Huffman tables; the structure of the work per symbol
+(look-up, magnitude/size computation, buffer shift/or, byte spill) is the
+same, which is what matters for the scalar-region timing model built from
+:func:`repro.workloads.common.emit_bitstream_encoder`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Tuple
+
+import numpy as np
+
+__all__ = ["ZIGZAG_ORDER", "zigzag_scan", "inverse_zigzag", "run_length_encode",
+           "run_length_decode", "BitWriter", "BitReader", "encode_block",
+           "decode_block"]
+
+
+def _build_zigzag() -> np.ndarray:
+    order = []
+    for diagonal in range(15):
+        cells = [(y, diagonal - y) for y in range(8) if 0 <= diagonal - y < 8]
+        if diagonal % 2 == 0:
+            cells.reverse()
+        order.extend(cells)
+    indices = np.array([y * 8 + x for y, x in order], dtype=np.int64)
+    return indices
+
+
+#: Zig-zag scan order of an 8×8 block (row-major indices).
+ZIGZAG_ORDER = _build_zigzag()
+
+
+def zigzag_scan(block: np.ndarray) -> np.ndarray:
+    """Scan an 8×8 block into the 64-entry zig-zag order."""
+    block = np.asarray(block)
+    if block.shape != (8, 8):
+        raise ValueError("zigzag_scan expects an 8x8 block")
+    return block.reshape(-1)[ZIGZAG_ORDER]
+
+
+def inverse_zigzag(sequence: np.ndarray) -> np.ndarray:
+    """Reassemble an 8×8 block from its zig-zag sequence."""
+    sequence = np.asarray(sequence)
+    if sequence.shape != (64,):
+        raise ValueError("inverse_zigzag expects 64 values")
+    block = np.zeros(64, dtype=sequence.dtype)
+    block[ZIGZAG_ORDER] = sequence
+    return block.reshape(8, 8)
+
+
+def run_length_encode(sequence: np.ndarray) -> List[Tuple[int, int]]:
+    """(zero-run, value) pairs of the non-zero entries, plus an end marker."""
+    pairs: List[Tuple[int, int]] = []
+    run = 0
+    for value in np.asarray(sequence, dtype=np.int64):
+        if value == 0:
+            run += 1
+            continue
+        pairs.append((run, int(value)))
+        run = 0
+    pairs.append((0, 0))  # end-of-block
+    return pairs
+
+
+def run_length_decode(pairs: Iterable[Tuple[int, int]], length: int = 64) -> np.ndarray:
+    """Inverse of :func:`run_length_encode`."""
+    out = np.zeros(length, dtype=np.int64)
+    index = 0
+    for run, value in pairs:
+        if run == 0 and value == 0:
+            break
+        index += run
+        if index >= length:
+            raise ValueError("run-length data overruns the block")
+        out[index] = value
+        index += 1
+    return out
+
+
+class BitWriter:
+    """Serial most-significant-bit-first bit packer (the encoder bit buffer)."""
+
+    def __init__(self) -> None:
+        self._bits: List[int] = []
+
+    def write(self, value: int, width: int) -> None:
+        if width < 0:
+            raise ValueError("bit width cannot be negative")
+        for position in range(width - 1, -1, -1):
+            self._bits.append((value >> position) & 1)
+
+    def write_unary(self, count: int) -> None:
+        """``count`` one bits followed by a zero (prefix of the Golomb code)."""
+        self._bits.extend([1] * count)
+        self._bits.append(0)
+
+    def getvalue(self) -> bytes:
+        padded = list(self._bits)
+        while len(padded) % 8:
+            padded.append(0)
+        data = bytearray()
+        for start in range(0, len(padded), 8):
+            byte = 0
+            for bit in padded[start:start + 8]:
+                byte = (byte << 1) | bit
+            data.append(byte)
+        return bytes(data)
+
+    def __len__(self) -> int:
+        return len(self._bits)
+
+
+class BitReader:
+    """Serial bit unpacker matching :class:`BitWriter`."""
+
+    def __init__(self, data: bytes) -> None:
+        self._bits: List[int] = []
+        for byte in data:
+            for position in range(7, -1, -1):
+                self._bits.append((byte >> position) & 1)
+        self._cursor = 0
+
+    def read(self, width: int) -> int:
+        value = 0
+        for _ in range(width):
+            value = (value << 1) | self._bits[self._cursor]
+            self._cursor += 1
+        return value
+
+    def read_unary(self) -> int:
+        count = 0
+        while self._bits[self._cursor] == 1:
+            count += 1
+            self._cursor += 1
+        self._cursor += 1  # consume the terminating zero
+        return count
+
+    @property
+    def remaining(self) -> int:
+        return len(self._bits) - self._cursor
+
+
+def _magnitude_size(value: int) -> int:
+    return int(abs(value)).bit_length()
+
+
+def encode_block(block: np.ndarray, writer: BitWriter) -> None:
+    """Entropy-encode one quantised 8×8 block into ``writer``."""
+    sequence = zigzag_scan(block)
+    for run, value in run_length_encode(sequence):
+        if run == 0 and value == 0:
+            writer.write_unary(0)
+            writer.write(0, 4)
+            continue
+        size = _magnitude_size(value)
+        writer.write_unary(run + 1)
+        writer.write(size, 4)
+        sign = 1 if value < 0 else 0
+        writer.write(sign, 1)
+        writer.write(abs(value), size)
+
+
+def decode_block(reader: BitReader) -> np.ndarray:
+    """Decode one 8×8 block previously written by :func:`encode_block`."""
+    pairs: List[Tuple[int, int]] = []
+    while True:
+        prefix = reader.read_unary()
+        size = reader.read(4)
+        if prefix == 0 and size == 0:
+            pairs.append((0, 0))
+            break
+        run = prefix - 1
+        sign = reader.read(1)
+        magnitude = reader.read(size)
+        value = -magnitude if sign else magnitude
+        pairs.append((run, value))
+    sequence = run_length_decode(pairs)
+    return inverse_zigzag(sequence)

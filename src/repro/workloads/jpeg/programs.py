@@ -1,0 +1,295 @@
+"""Kernel programs (timing models) for the JPEG encoder and decoder.
+
+Each builder returns a :class:`~repro.compiler.ir.KernelProgram` for one ISA
+flavour.  Region structure follows Table 1 of the paper:
+
+JPEG encoder
+    * R1 — RGB→YCbCr colour conversion (streaming, stride-one)
+    * R2 — forward DCT (8×8 blocks, 16-bit arithmetic)
+    * R3 — quantisation (streaming, 16-bit)
+    * R0 — zig-zag + Huffman encoding (bit-buffer recurrence, table look-ups)
+
+JPEG decoder
+    * R1 — YCbCr→RGB colour conversion
+    * R2 — h2v2 chroma up-sampling
+    * R0 — Huffman decoding (serial table look-ups) and the inverse DCT,
+      which the paper keeps in the scalar part for this benchmark
+
+The operation mixes are derived from the classic scalar and MMX
+implementations (libjpeg ``jpeg_fdct_islow``, Intel application-note colour
+conversion and quantisation loops); their absolute counts are approximate
+but the ratios between the scalar, µSIMD and vector versions — which drive
+every figure of the paper — follow directly from the data widths
+(8/16-bit), the packed word width (8 or 4 elements) and the vector length.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.compiler.builder import KernelBuilder
+from repro.compiler.ir import ISAFlavor, KernelProgram
+from repro.isa.operations import Opcode
+from repro.memory.layout import AddressSpace
+from repro.workloads import common
+
+__all__ = ["JpegParameters", "build_jpeg_enc_program", "build_jpeg_dec_program"]
+
+
+@dataclass(frozen=True)
+class JpegParameters:
+    """Input geometry of the JPEG benchmarks (reduced Mediabench stand-in)."""
+
+    width: int = 64
+    height: int = 64
+    #: entropy-coded symbols per 8×8 block (non-zero coefficients + EOB)
+    symbols_per_block: int = 32
+    #: extra scalar bookkeeping operations per entropy symbol (encoder side:
+    #: magnitude/size computation, DC prediction, marker handling)
+    scalar_work: int = 36
+    #: extra scalar bookkeeping operations per entropy symbol (decoder side)
+    decoder_scalar_work: int = 8
+
+    def __post_init__(self) -> None:
+        if self.width % 16 or self.height % 16:
+            raise ValueError("JPEG dimensions must be multiples of 16 "
+                             "(8x8 blocks plus 2x2 chroma sub-sampling)")
+
+    @property
+    def luma_blocks(self) -> int:
+        return (self.width // 8) * (self.height // 8)
+
+    @property
+    def chroma_blocks(self) -> int:
+        return 2 * (self.width // 16) * (self.height // 16)
+
+    @property
+    def total_blocks(self) -> int:
+        return self.luma_blocks + self.chroma_blocks
+
+
+# ---------------------------------------------------------------------------
+# operation mixes (per element / packed word / vector operation)
+# ---------------------------------------------------------------------------
+
+# scalar colour conversion: 3 multiplies, 2 adds and a shift per output channel
+_COLOR_SCALAR_MIX = ((Opcode.MUL, 9), (Opcode.ADD, 8), (Opcode.SHR, 3))
+# µSIMD colour conversion per packed word of 8 pixels (unpack, fixed-point
+# multiply-accumulate per channel, pack)
+_COLOR_PACKED_MIX = ((Opcode.UNPACK, 6), (Opcode.PMULLW, 9), (Opcode.PMULHW, 3),
+                     (Opcode.PADDW, 8), (Opcode.PSHIFT, 3), (Opcode.PACK, 3))
+_COLOR_VECTOR_MIX = ((Opcode.VUNPACK, 6), (Opcode.VMULLW, 9), (Opcode.VMULHW, 3),
+                     (Opcode.VADDW, 8), (Opcode.VSHIFT, 3), (Opcode.VPACK, 3))
+
+# 8-point DCT pass (LLM): ~11 multiplies, ~29 add/sub, descaling shifts
+_DCT_SCALAR_MIX = ((Opcode.MUL, 11), (Opcode.ADD, 18), (Opcode.SUB, 11), (Opcode.SHR, 8))
+# per half-block pass of a hand written MMX DCT
+_DCT_PACKED_MIX = ((Opcode.PMULLW, 12), (Opcode.PMULHW, 12), (Opcode.PADDW, 20),
+                   (Opcode.PSUBW, 12), (Opcode.PSHIFT, 6), (Opcode.UNPACK, 4),
+                   (Opcode.PACK, 4))
+# per block pass of the vector version (each op covers VL=8 packed words)
+_DCT_VECTOR_MIX = ((Opcode.VMULLW, 6), (Opcode.VMULHW, 6), (Opcode.VADDW, 8),
+                   (Opcode.VSUBW, 4), (Opcode.VSHIFT, 3), (Opcode.VUNPACK, 2),
+                   (Opcode.VPACK, 2))
+
+# quantisation: reciprocal multiply, round, shift, sign fix-up
+_QUANT_SCALAR_MIX = ((Opcode.MUL, 1), (Opcode.ADD, 2), (Opcode.SHR, 2), (Opcode.CMP, 1))
+_QUANT_PACKED_MIX = ((Opcode.PMULHW, 2), (Opcode.PADDW, 2), (Opcode.PSHIFT, 2),
+                     (Opcode.PCMP, 1), (Opcode.PLOGICAL, 1))
+_QUANT_VECTOR_MIX = ((Opcode.VMULHW, 2), (Opcode.VADDW, 2), (Opcode.VSHIFT, 2),
+                     (Opcode.VLOGICAL, 2))
+
+# chroma up-sampling: packed rounded averages plus interleaving
+_UPSAMPLE_SCALAR_MIX = ((Opcode.ADD, 6), (Opcode.SHR, 3), (Opcode.MOV, 2))
+_UPSAMPLE_PACKED_MIX = ((Opcode.PAVGB, 4), (Opcode.UNPACK, 2), (Opcode.PACK, 2),
+                        (Opcode.PLOGICAL, 2))
+_UPSAMPLE_VECTOR_MIX = ((Opcode.VPAVGB, 4), (Opcode.VUNPACK, 2), (Opcode.VPACK, 2),
+                        (Opcode.VLOGICAL, 2))
+
+# per-symbol entropy-coding work besides the bit-buffer recurrence
+_HUFFMAN_WORK_MIX = ((Opcode.ADD, 4), (Opcode.CMP, 2), (Opcode.SHR, 2), (Opcode.AND, 2))
+_VLD_WORK_MIX = ((Opcode.ADD, 3), (Opcode.CMP, 2), (Opcode.SHL, 1), (Opcode.AND, 2))
+
+
+# ---------------------------------------------------------------------------
+# helpers shared by the encoder and decoder builders
+# ---------------------------------------------------------------------------
+
+def _allocate_enc_arrays(params: JpegParameters) -> AddressSpace:
+    space = AddressSpace()
+    h, w = params.height, params.width
+    for name in ("red", "green", "blue", "luma", "cb", "cr"):
+        space.allocate(name, (h, w), element_bytes=1)
+    space.allocate("coeffs", (h, w), element_bytes=2)
+    space.allocate("quantised", (h, w), element_bytes=2)
+    space.allocate("qtable", (8, 8), element_bytes=2)
+    space.allocate("recip", (8, 8), element_bytes=2)
+    space.allocate("symbols", (params.total_blocks * params.symbols_per_block,),
+                   element_bytes=1)
+    space.allocate("hufftable", (512,), element_bytes=4)
+    space.allocate("bitstream", (params.total_blocks * params.symbols_per_block,),
+                   element_bytes=1)
+    return space
+
+
+def _allocate_dec_arrays(params: JpegParameters) -> AddressSpace:
+    space = AddressSpace()
+    h, w = params.height, params.width
+    space.allocate("bitstream", (params.total_blocks * params.symbols_per_block,),
+                   element_bytes=1)
+    space.allocate("vldtable", (512,), element_bytes=4)
+    space.allocate("coeffs", (h, w), element_bytes=2)
+    space.allocate("samples", (h, w), element_bytes=2)
+    for name in ("luma", "cb_small", "cr_small"):
+        shape = (h, w) if name == "luma" else (h // 2, w // 2)
+        space.allocate(name, shape, element_bytes=1)
+    for name in ("cb_full", "cr_full", "red", "green", "blue"):
+        space.allocate(name, (h, w), element_bytes=1)
+    return space
+
+
+def _emit_color_conversion(builder: KernelBuilder, space: AddressSpace,
+                           params: JpegParameters, inputs, outputs,
+                           region: str, description: str) -> None:
+    arrays_in = [space[name] for name in inputs]
+    arrays_out = [space[name] for name in outputs]
+    with builder.region(region, description, vectorizable=True):
+        if builder.flavor is ISAFlavor.SCALAR:
+            common.emit_elementwise_scalar(builder, arrays_in, arrays_out,
+                                           params.height, params.width,
+                                           _COLOR_SCALAR_MIX, label="color")
+        elif builder.flavor is ISAFlavor.USIMD:
+            common.emit_elementwise_usimd(builder, arrays_in, arrays_out,
+                                          params.height, params.width,
+                                          _COLOR_PACKED_MIX, label="color")
+        else:
+            common.emit_elementwise_vector(builder, arrays_in, arrays_out,
+                                           params.height, params.width,
+                                           _COLOR_VECTOR_MIX, vl=min(16, params.width // 8),
+                                           label="color")
+
+
+def _emit_dct(builder: KernelBuilder, space: AddressSpace, params: JpegParameters,
+              source: str, destination: str, region: str, description: str) -> None:
+    with builder.region(region, description, vectorizable=True):
+        if builder.flavor is ISAFlavor.SCALAR:
+            common.emit_block_transform_scalar(builder, space[source], space[destination],
+                                               params.total_blocks, _DCT_SCALAR_MIX,
+                                               label="fdct")
+        elif builder.flavor is ISAFlavor.USIMD:
+            common.emit_block_transform_usimd(builder, space[source], space[destination],
+                                              params.total_blocks, _DCT_PACKED_MIX,
+                                              label="fdct")
+        else:
+            common.emit_block_transform_vector(builder, space[source], space[destination],
+                                               params.total_blocks, _DCT_VECTOR_MIX,
+                                               label="fdct")
+
+
+def _emit_quantisation(builder: KernelBuilder, space: AddressSpace,
+                       params: JpegParameters, region: str) -> None:
+    inputs = [space["coeffs"], space["recip"]]
+    outputs = [space["quantised"]]
+    with builder.region(region, "Quantification", vectorizable=True):
+        if builder.flavor is ISAFlavor.SCALAR:
+            common.emit_elementwise_scalar(builder, inputs, outputs,
+                                           params.height, params.width,
+                                           _QUANT_SCALAR_MIX, element_bytes=2,
+                                           label="quant")
+        elif builder.flavor is ISAFlavor.USIMD:
+            common.emit_elementwise_usimd(builder, inputs, outputs,
+                                          params.height, params.width,
+                                          _QUANT_PACKED_MIX, element_bytes=2,
+                                          label="quant")
+        else:
+            common.emit_elementwise_vector(builder, inputs, outputs,
+                                           params.height, params.width,
+                                           _QUANT_VECTOR_MIX, vl=16, element_bytes=2,
+                                           label="quant")
+
+
+# ---------------------------------------------------------------------------
+# encoder
+# ---------------------------------------------------------------------------
+
+def build_jpeg_enc_program(flavor: ISAFlavor,
+                           params: JpegParameters = JpegParameters()) -> KernelProgram:
+    """JPEG encoder program in the requested ISA flavour."""
+    space = _allocate_enc_arrays(params)
+    builder = KernelBuilder("jpeg_enc", flavor, address_space=space)
+
+    _emit_color_conversion(builder, space, params,
+                           inputs=("red", "green", "blue"),
+                           outputs=("luma", "cb", "cr"),
+                           region="R1", description="RGB to YCC color conversion")
+    _emit_dct(builder, space, params, source="luma", destination="coeffs",
+              region="R2", description="Forward DCT")
+    _emit_quantisation(builder, space, params, region="R3")
+
+    # scalar region: chroma down-sampling (not vectorised in the paper's
+    # Table 1) plus zig-zag and Huffman bit packing over every block's symbols
+    symbol_count = params.total_blocks * params.symbols_per_block
+    with builder.region("R0", "Entropy coding", vectorizable=False):
+        common.emit_elementwise_scalar(
+            builder, [space["cb"], space["cr"]], [space["cb"], space["cr"]],
+            params.height // 2, params.width // 2,
+            ((Opcode.ADD, 6), (Opcode.SHR, 2), (Opcode.MOV, 2)),
+            label="downsample")
+        common.emit_bitstream_encoder(
+            builder, space["symbols"], space["hufftable"], space["bitstream"],
+            count=symbol_count,
+            work_mix=_HUFFMAN_WORK_MIX + ((Opcode.ADD, params.scalar_work),),
+            lookups=2, label="huffman")
+    return builder.program()
+
+
+# ---------------------------------------------------------------------------
+# decoder
+# ---------------------------------------------------------------------------
+
+def build_jpeg_dec_program(flavor: ISAFlavor,
+                           params: JpegParameters = JpegParameters()) -> KernelProgram:
+    """JPEG decoder program in the requested ISA flavour."""
+    space = _allocate_dec_arrays(params)
+    builder = KernelBuilder("jpeg_dec", flavor, address_space=space)
+
+    symbol_count = params.total_blocks * params.symbols_per_block
+
+    # scalar region first (entropy decode feeds everything else), exactly as
+    # the real decoder interleaves VLD -> IDCT -> upsample -> colour.
+    with builder.region("R0", "Entropy decoding and inverse DCT", vectorizable=False):
+        common.emit_table_decoder(
+            builder, space["bitstream"], space["vldtable"], space["coeffs"],
+            count=symbol_count,
+            work_mix=_VLD_WORK_MIX + ((Opcode.ADD, params.decoder_scalar_work),),
+            lookups=2, label="vld")
+        # the decoder's inverse DCT stays in the scalar region for this
+        # benchmark (Table 1 lists only colour conversion and up-sampling)
+        common.emit_block_transform_scalar(
+            builder, space["coeffs"], space["samples"], params.total_blocks,
+            _DCT_SCALAR_MIX, label="idct")
+
+    # R2: h2v2 up-sampling of both chroma planes
+    with builder.region("R2", "H2v2 up-sample", vectorizable=True):
+        for small, full in (("cb_small", "cb_full"), ("cr_small", "cr_full")):
+            inputs = [space[small]]
+            outputs = [space[full]]
+            rows, cols = space[small].shape
+            if builder.flavor is ISAFlavor.SCALAR:
+                common.emit_elementwise_scalar(builder, inputs, outputs, rows, cols,
+                                               _UPSAMPLE_SCALAR_MIX, label="h2v2")
+            elif builder.flavor is ISAFlavor.USIMD:
+                common.emit_elementwise_usimd(builder, inputs, outputs, rows, cols,
+                                              _UPSAMPLE_PACKED_MIX, label="h2v2")
+            else:
+                common.emit_elementwise_vector(builder, inputs, outputs, rows, cols,
+                                               _UPSAMPLE_VECTOR_MIX,
+                                               vl=min(16, max(1, cols // 8)),
+                                               label="h2v2")
+
+    # R1: YCbCr -> RGB colour conversion of the full-resolution image
+    _emit_color_conversion(builder, space, params,
+                           inputs=("luma", "cb_full", "cr_full"),
+                           outputs=("red", "green", "blue"),
+                           region="R1", description="YCC to RGB color conversion")
+    return builder.program()

@@ -1,0 +1,118 @@
+"""Quantisation / dequantisation (JPEG encoder R3).
+
+Quantisation divides each DCT coefficient by a table entry; hand-written
+SIMD implementations replace the division by a multiply with the
+reciprocal in fixed point followed by a shift.  All three flavours here use
+that multiply-and-shift formulation so they agree bit-exactly (and agree
+with a true rounding division for the quality-50 luminance table used in
+the tests).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.isa import packed
+
+__all__ = [
+    "LUMINANCE_QTABLE",
+    "CHROMINANCE_QTABLE",
+    "reciprocal_table",
+    "quantize_reference",
+    "quantize_usimd",
+    "quantize_vector",
+    "dequantize_reference",
+]
+
+#: Annex-K luminance quantisation table (quality 50).
+LUMINANCE_QTABLE = np.array([
+    [16, 11, 10, 16, 24, 40, 51, 61],
+    [12, 12, 14, 19, 26, 58, 60, 55],
+    [14, 13, 16, 24, 40, 57, 69, 56],
+    [14, 17, 22, 29, 51, 87, 80, 62],
+    [18, 22, 37, 56, 68, 109, 103, 77],
+    [24, 35, 55, 64, 81, 104, 113, 92],
+    [49, 64, 78, 87, 103, 121, 120, 101],
+    [72, 92, 95, 98, 112, 100, 103, 99],
+], dtype=np.int32)
+
+#: Annex-K chrominance quantisation table (quality 50).
+CHROMINANCE_QTABLE = np.array([
+    [17, 18, 24, 47, 99, 99, 99, 99],
+    [18, 21, 26, 66, 99, 99, 99, 99],
+    [24, 26, 56, 99, 99, 99, 99, 99],
+    [47, 66, 99, 99, 99, 99, 99, 99],
+    [99, 99, 99, 99, 99, 99, 99, 99],
+    [99, 99, 99, 99, 99, 99, 99, 99],
+    [99, 99, 99, 99, 99, 99, 99, 99],
+    [99, 99, 99, 99, 99, 99, 99, 99],
+], dtype=np.int32)
+
+_RECIP_BITS = 16
+
+
+def reciprocal_table(qtable: np.ndarray) -> np.ndarray:
+    """Fixed-point reciprocals ``round(2^16 / q)`` of a quantisation table."""
+    qtable = np.asarray(qtable, dtype=np.int64)
+    if np.any(qtable <= 0):
+        raise ValueError("quantisation table entries must be positive")
+    return ((1 << _RECIP_BITS) + qtable // 2) // qtable
+
+
+def quantize_reference(coefficients: np.ndarray, qtable: np.ndarray) -> np.ndarray:
+    """Reference quantisation via reciprocal multiply (sign-magnitude rounding)."""
+    coefficients = np.asarray(coefficients, dtype=np.int64)
+    recip = reciprocal_table(qtable)
+    tiled = np.tile(recip, (coefficients.shape[0] // 8, coefficients.shape[1] // 8))
+    magnitude = np.abs(coefficients)
+    quantised = (magnitude * tiled + (1 << (_RECIP_BITS - 1))) >> _RECIP_BITS
+    return (np.sign(coefficients) * quantised).astype(np.int16)
+
+
+def _quantize_words(words: np.ndarray, recip_words: np.ndarray) -> np.ndarray:
+    """Quantise packed 4×16-bit words against matching reciprocal words."""
+    magnitude = np.abs(words.astype(np.int64))
+    quantised = (magnitude * recip_words.astype(np.int64)
+                 + (1 << (_RECIP_BITS - 1))) >> _RECIP_BITS
+    return (np.sign(words.astype(np.int64)) * quantised).astype(np.int16)
+
+
+def quantize_usimd(coefficients: np.ndarray, qtable: np.ndarray) -> np.ndarray:
+    """µSIMD quantisation: one packed word (four coefficients) per step."""
+    coefficients = np.asarray(coefficients, dtype=np.int16)
+    recip = reciprocal_table(qtable)
+    tiled = np.tile(recip, (coefficients.shape[0] // 8, coefficients.shape[1] // 8))
+    flat = coefficients.reshape(-1)
+    flat_recip = tiled.reshape(-1)
+    out = np.empty_like(flat)
+    words = packed.to_packed(flat, packed.LANES_16)
+    recip_words = packed.to_packed(flat_recip.astype(np.int32), packed.LANES_16)
+    for index in range(words.shape[0]):
+        out[index * 4:(index + 1) * 4] = _quantize_words(words[index], recip_words[index])
+    return out.reshape(coefficients.shape)
+
+
+def quantize_vector(coefficients: np.ndarray, qtable: np.ndarray,
+                    max_vl: int = 16) -> np.ndarray:
+    """Vector-µSIMD quantisation: up to 16 packed words per operation."""
+    coefficients = np.asarray(coefficients, dtype=np.int16)
+    recip = reciprocal_table(qtable)
+    tiled = np.tile(recip, (coefficients.shape[0] // 8, coefficients.shape[1] // 8))
+    flat = coefficients.reshape(-1)
+    flat_recip = tiled.reshape(-1).astype(np.int32)
+    out = np.empty_like(flat)
+    words = packed.to_packed(flat, packed.LANES_16)
+    recip_words = packed.to_packed(flat_recip, packed.LANES_16)
+    for start in range(0, words.shape[0], max_vl):
+        stop = min(start + max_vl, words.shape[0])
+        out[start * 4:stop * 4] = _quantize_words(
+            words[start:stop], recip_words[start:stop]).reshape(-1)
+    return out.reshape(coefficients.shape)
+
+
+def dequantize_reference(quantised: np.ndarray, qtable: np.ndarray) -> np.ndarray:
+    """Dequantisation (decoder side): multiply back by the table entries."""
+    quantised = np.asarray(quantised, dtype=np.int64)
+    qtable = np.asarray(qtable, dtype=np.int64)
+    tiled = np.tile(qtable, (quantised.shape[0] // 8, quantised.shape[1] // 8))
+    return np.clip(quantised * tiled, -32768, 32767).astype(np.int16)

@@ -1,0 +1,120 @@
+"""h2v2 chroma up-sampling (JPEG decoder R2).
+
+The decoder stores chroma at quarter resolution (2×2 sub-sampling); the
+"h2v2 fancy upsample" of libjpeg reconstructs the full-resolution plane with
+a 3:1 weighted average of the nearest chroma samples.  The µSIMD and vector
+versions use the rounded packed-average idiom on bytes and therefore compute
+exactly the same triangular filter as the reference.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.isa import packed
+
+__all__ = ["downsample_h2v2", "upsample_h2v2_reference", "upsample_h2v2_usimd",
+           "upsample_h2v2_vector"]
+
+
+def downsample_h2v2(plane: np.ndarray) -> np.ndarray:
+    """2×2 box down-sampling (the encoder-side operation, used to build inputs)."""
+    plane = np.asarray(plane, dtype=np.int32)
+    if plane.shape[0] % 2 or plane.shape[1] % 2:
+        raise ValueError("plane dimensions must be even")
+    return ((plane[0::2, 0::2] + plane[0::2, 1::2]
+             + plane[1::2, 0::2] + plane[1::2, 1::2] + 2) >> 2).astype(np.uint8)
+
+
+def upsample_h2v2_reference(chroma: np.ndarray) -> np.ndarray:
+    """Reference 2×2 up-sampling by sample replication with rounding average.
+
+    Uses the simple replicate-then-smooth formulation: each output pixel is
+    the rounded average of its nearest low-resolution sample and the
+    replicated neighbour, which is what the packed implementations compute
+    with ``pavgb``.
+    """
+    chroma = np.asarray(chroma, dtype=np.uint8)
+    height, width = chroma.shape
+    out = np.empty((height * 2, width * 2), dtype=np.uint8)
+    widened = chroma.astype(np.int32)
+    right = np.roll(widened, -1, axis=1)
+    # the bottom edge clamps (replicates the last row) rather than wrapping,
+    # matching the way the row-wise packed kernels handle the image border
+    down = np.concatenate([widened[1:], widened[-1:]], axis=0)
+    down_right = np.concatenate([right[1:], right[-1:]], axis=0)
+    out[0::2, 0::2] = chroma
+    out[0::2, 1::2] = ((widened + right + 1) >> 1).astype(np.uint8)
+    out[1::2, 0::2] = ((widened + down + 1) >> 1).astype(np.uint8)
+    out[1::2, 1::2] = ((((widened + right + 1) >> 1)
+                        + ((down + down_right + 1) >> 1) + 1) >> 1).astype(np.uint8)
+    return out
+
+
+def _upsample_rows_packed(row: np.ndarray, next_row: np.ndarray):
+    """Produce the two output rows for one input chroma row (packed arithmetic)."""
+    right = np.roll(row, -1)
+    next_right = np.roll(next_row, -1)
+    words = packed.to_packed(row, packed.LANES_8)
+    right_words = packed.to_packed(right, packed.LANES_8)
+    down_words = packed.to_packed(next_row, packed.LANES_8)
+    down_right_words = packed.to_packed(next_right, packed.LANES_8)
+
+    horizontal = packed.pavgb(words, right_words)
+    vertical = packed.pavgb(words, down_words)
+    diagonal = packed.pavgb(down_words, down_right_words)
+    center = packed.pavgb(horizontal, diagonal)
+
+    top = np.empty(row.shape[0] * 2, dtype=np.uint8)
+    bottom = np.empty(row.shape[0] * 2, dtype=np.uint8)
+    top[0::2] = packed.from_packed(words)
+    top[1::2] = packed.from_packed(horizontal)
+    bottom[0::2] = packed.from_packed(vertical)
+    bottom[1::2] = packed.from_packed(center)
+    return top, bottom
+
+
+def upsample_h2v2_usimd(chroma: np.ndarray) -> np.ndarray:
+    """µSIMD h2v2 up-sampling, eight chroma samples per packed operation."""
+    chroma = np.asarray(chroma, dtype=np.uint8)
+    height, width = chroma.shape
+    if width % packed.LANES_8:
+        raise ValueError("chroma width must be a multiple of 8")
+    out = np.empty((height * 2, width * 2), dtype=np.uint8)
+    for row_index in range(height):
+        row = chroma[row_index]
+        next_row = chroma[min(row_index + 1, height - 1)]
+        top, bottom = _upsample_rows_packed(row, next_row)
+        out[2 * row_index] = top
+        out[2 * row_index + 1] = bottom
+    return out
+
+
+def upsample_h2v2_vector(chroma: np.ndarray, max_vl: int = 16) -> np.ndarray:
+    """Vector-µSIMD h2v2 up-sampling.
+
+    Identical arithmetic to the µSIMD version but each vector operation
+    covers up to ``max_vl`` packed words of a row; functionally the result
+    is the same, which is what the equivalence tests check (the timing
+    difference is captured by the kernel programs, not here).
+    """
+    chroma = np.asarray(chroma, dtype=np.uint8)
+    height, width = chroma.shape
+    if width % packed.LANES_8:
+        raise ValueError("chroma width must be a multiple of 8")
+    words_per_row = width // packed.LANES_8
+    out = np.empty((height * 2, width * 2), dtype=np.uint8)
+    for row_index in range(height):
+        row = chroma[row_index]
+        next_row = chroma[min(row_index + 1, height - 1)]
+        top = np.empty(width * 2, dtype=np.uint8)
+        bottom = np.empty(width * 2, dtype=np.uint8)
+        for start in range(0, words_per_row, max_vl):
+            stop = min(start + max_vl, words_per_row)
+            sl = slice(start * 8, stop * 8)
+            chunk_top, chunk_bottom = _upsample_rows_packed(row, next_row)
+            top[sl.start * 2:sl.stop * 2] = chunk_top[sl.start * 2:sl.stop * 2]
+            bottom[sl.start * 2:sl.stop * 2] = chunk_bottom[sl.start * 2:sl.stop * 2]
+        out[2 * row_index] = top
+        out[2 * row_index + 1] = bottom
+    return out

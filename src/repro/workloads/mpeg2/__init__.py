@@ -1,0 +1,20 @@
+"""MPEG-2 encoder / decoder workloads.
+
+Vector regions (Table 1 of the paper):
+
+* **encoder** — motion estimation (SAD full search), forward DCT and
+  inverse DCT (52.3 % of the 2-issue µSIMD execution time);
+* **decoder** — form component prediction (motion-compensated prediction),
+  inverse DCT and add-block (23.1 %).
+
+The scalar regions are the variable-length (de)coding, quantisation control
+and bit-stream handling.  Motion estimation is the paper's running example
+(Figure 4): its vector version needs only 16 operations per 8×16 block where
+the µSIMD version needs 172, but its vector loads have a stride equal to the
+image width, which is why the realistic-memory results of Figure 5(b) punish
+this benchmark.
+"""
+
+from repro.workloads.mpeg2 import motion, predict, programs
+
+__all__ = ["motion", "predict", "programs"]

@@ -1,0 +1,157 @@
+"""Form component prediction and add-block (MPEG-2 decoder R1 / R3).
+
+*Form component prediction* builds the motion-compensated prediction of a
+macroblock by copying (or, for half-pel vectors, averaging) pixels from the
+reference frame at the decoded motion vector.  *Add block* adds the IDCT
+residual to that prediction with unsigned saturation.  Both are classic
+byte-wise streaming kernels; all three flavours here are bit-identical,
+which the tests verify.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.isa import packed
+
+__all__ = [
+    "form_prediction_reference",
+    "form_prediction_usimd",
+    "form_prediction_vector",
+    "add_block_reference",
+    "add_block_usimd",
+    "add_block_vector",
+]
+
+
+def form_prediction_reference(reference: np.ndarray, top: int, left: int,
+                              block: Tuple[int, int] = (16, 16),
+                              half_pel_x: bool = False,
+                              half_pel_y: bool = False) -> np.ndarray:
+    """Reference motion-compensated prediction with optional half-pel averaging."""
+    bh, bw = block
+    region = reference[top:top + bh + 1, left:left + bw + 1].astype(np.int32)
+    base = region[:bh, :bw]
+    if half_pel_x and half_pel_y:
+        predicted = (region[:bh, :bw] + region[:bh, 1:bw + 1]
+                     + region[1:bh + 1, :bw] + region[1:bh + 1, 1:bw + 1] + 2) >> 2
+    elif half_pel_x:
+        predicted = (region[:bh, :bw] + region[:bh, 1:bw + 1] + 1) >> 1
+    elif half_pel_y:
+        predicted = (region[:bh, :bw] + region[1:bh + 1, :bw] + 1) >> 1
+    else:
+        predicted = base
+    return predicted.astype(np.uint8)
+
+
+def form_prediction_usimd(reference: np.ndarray, top: int, left: int,
+                          block: Tuple[int, int] = (16, 16),
+                          half_pel_x: bool = False,
+                          half_pel_y: bool = False) -> np.ndarray:
+    """µSIMD prediction using ``pavgb`` for the half-pel cases.
+
+    Note the full half-pel (x and y) case uses two rounded averages, which
+    matches the reference only when the reference uses the same two-stage
+    rounding — so that case intentionally uses the same formulation here and
+    in :func:`form_prediction_vector` (single-stage ``+2 >> 2`` rounding is
+    what the MPEG-2 standard specifies, so full half-pel falls back to it).
+    """
+    bh, bw = block
+    if bw % packed.LANES_8:
+        raise ValueError("block width must be a multiple of 8")
+    if half_pel_x and half_pel_y:
+        # the exact (+2 >> 2) rounding cannot be composed from two pavgb
+        # without bias; real MMX code uses a correction term, so we keep the
+        # reference arithmetic here (the timing model is unaffected).
+        return form_prediction_reference(reference, top, left, block, True, True)
+    out = np.empty((bh, bw), dtype=np.uint8)
+    for row in range(bh):
+        base_row = reference[top + row, left:left + bw].astype(np.uint8)
+        words = packed.to_packed(base_row, packed.LANES_8)
+        if half_pel_x:
+            shifted = reference[top + row, left + 1:left + bw + 1].astype(np.uint8)
+            words = packed.pavgb(words, packed.to_packed(shifted, packed.LANES_8))
+        if half_pel_y:
+            below = reference[top + row + 1, left:left + bw].astype(np.uint8)
+            words = packed.pavgb(words, packed.to_packed(below, packed.LANES_8))
+        out[row] = packed.from_packed(words)
+    return out
+
+
+def form_prediction_vector(reference: np.ndarray, top: int, left: int,
+                           block: Tuple[int, int] = (16, 16),
+                           half_pel_x: bool = False,
+                           half_pel_y: bool = False,
+                           max_vl: int = 16) -> np.ndarray:
+    """Vector-µSIMD prediction: whole columns of packed words per operation."""
+    bh, bw = block
+    if bw % packed.LANES_8:
+        raise ValueError("block width must be a multiple of 8")
+    if half_pel_x and half_pel_y:
+        return form_prediction_reference(reference, top, left, block, True, True)
+    out = np.empty((bh, bw), dtype=np.uint8)
+    for start in range(0, bh, max_vl):
+        stop = min(start + max_vl, bh)
+        rows = slice(top + start, top + stop)
+        base = reference[rows, left:left + bw].astype(np.uint8)
+        base_words = base.reshape(stop - start, bw // 8, 8)
+        result = base_words
+        if half_pel_x:
+            shifted = reference[rows, left + 1:left + bw + 1].astype(np.uint8)
+            result = packed.pavgb(result, shifted.reshape(result.shape))
+        if half_pel_y:
+            below = reference[top + start + 1:top + stop + 1, left:left + bw].astype(np.uint8)
+            result = packed.pavgb(result, below.reshape(result.shape))
+        out[start:stop] = result.reshape(stop - start, bw)
+    return out
+
+
+def add_block_reference(prediction: np.ndarray, residual: np.ndarray) -> np.ndarray:
+    """Reference add-block: prediction + IDCT residual, clamped to [0, 255]."""
+    prediction = np.asarray(prediction, dtype=np.int32)
+    residual = np.asarray(residual, dtype=np.int32)
+    if prediction.shape != residual.shape:
+        raise ValueError("prediction and residual must have the same shape")
+    return np.clip(prediction + residual, 0, 255).astype(np.uint8)
+
+
+def add_block_usimd(prediction: np.ndarray, residual: np.ndarray) -> np.ndarray:
+    """µSIMD add-block: unpack to 16 bits, add, pack with unsigned saturation."""
+    prediction = np.asarray(prediction, dtype=np.uint8)
+    residual = np.asarray(residual, dtype=np.int16)
+    if prediction.shape != residual.shape:
+        raise ValueError("prediction and residual must have the same shape")
+    rows, cols = prediction.shape
+    if cols % packed.LANES_8:
+        raise ValueError("block width must be a multiple of 8")
+    out = np.empty_like(prediction)
+    for row in range(rows):
+        pred_words = packed.to_packed(prediction[row], packed.LANES_8)
+        res_row = residual[row]
+        lo_res = packed.to_packed(res_row, packed.LANES_16)[0::2]
+        hi_res = packed.to_packed(res_row, packed.LANES_16)[1::2]
+        lo_pred, hi_pred = packed.unpack_u8_to_s16(pred_words)
+        lo = packed.paddw(lo_pred, lo_res)
+        hi = packed.paddw(hi_pred, hi_res)
+        out[row] = packed.from_packed(packed.packuswb(lo, hi))
+    return out
+
+
+def add_block_vector(prediction: np.ndarray, residual: np.ndarray,
+                     max_vl: int = 16) -> np.ndarray:
+    """Vector-µSIMD add-block: identical arithmetic over vector registers."""
+    prediction = np.asarray(prediction, dtype=np.uint8)
+    residual = np.asarray(residual, dtype=np.int16)
+    rows, cols = prediction.shape
+    if cols % packed.LANES_8:
+        raise ValueError("block width must be a multiple of 8")
+    out = np.empty_like(prediction)
+    for start in range(0, rows, max_vl):
+        stop = min(start + max_vl, rows)
+        pred = prediction[start:stop].reshape(stop - start, cols // 8, 8)
+        res = residual[start:stop].astype(np.int64)
+        wide = pred.astype(np.int64).reshape(stop - start, cols) + res
+        out[start:stop] = np.clip(wide, 0, 255).astype(np.uint8)
+    return out

@@ -1,0 +1,375 @@
+"""Kernel programs (timing models) for the MPEG-2 encoder and decoder.
+
+Region structure (Table 1 of the paper):
+
+MPEG-2 encoder
+    * R1 — motion estimation: exhaustive SAD search over a ±radius window
+      for every 16×16 macroblock of every P frame.  The vector flavour is
+      the Figure-4 kernel per candidate (two packed accumulators, vector
+      loads whose stride is the image width); the µSIMD flavour is the
+      ~172-operation MMX loop; the scalar flavour the pixel-by-pixel loop.
+    * R2 — forward DCT of the residual blocks
+    * R3 — inverse DCT (the encoder reconstructs reference frames)
+    * R0 — variable-length coding, quantiser control and bit-stream output
+
+MPEG-2 decoder
+    * R1 — form component prediction (motion-compensated copy / average)
+    * R2 — inverse DCT
+    * R3 — add block (saturating residual add)
+    * R0 — variable-length decoding and header/bit-stream handling
+
+The non-unit-stride vector memory accesses of the motion-estimation and
+prediction kernels are the reason mpeg2_enc degrades so much under realistic
+memory in the paper's Figure 5(b); they appear here as ``stride_bytes`` equal
+to the frame width.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.compiler.builder import KernelBuilder
+from repro.compiler.ir import ISAFlavor, KernelProgram
+from repro.isa.operations import Opcode
+from repro.memory.layout import AddressSpace, ArraySpec
+from repro.workloads import common
+
+__all__ = ["Mpeg2Parameters", "build_mpeg2_enc_program", "build_mpeg2_dec_program"]
+
+
+@dataclass(frozen=True)
+class Mpeg2Parameters:
+    """Input geometry of the MPEG-2 benchmarks (reduced Mediabench stand-in)."""
+
+    width: int = 64
+    height: int = 64
+    #: number of predicted (P) frames processed
+    frames: int = 2
+    #: motion search radius in pixels (full search over (2r+1)^2 candidates)
+    search_radius: int = 1
+    #: entropy symbols per 8×8 block
+    symbols_per_block: int = 22
+    #: extra scalar work per symbol (rate control, header bookkeeping)
+    scalar_work: int = 30
+    #: header/motion-vector/CBP decoding symbols per macroblock (decoder R0)
+    mb_overhead_symbols: int = 56
+    #: extra scalar work per decoder symbol (VLD escape handling, MV reconstruction)
+    decoder_scalar_work: int = 26
+
+    def __post_init__(self) -> None:
+        if self.width % 16 or self.height % 16:
+            raise ValueError("MPEG-2 dimensions must be multiples of 16")
+        if self.search_radius < 0:
+            raise ValueError("search radius cannot be negative")
+
+    @property
+    def macroblocks(self) -> int:
+        return (self.width // 16) * (self.height // 16)
+
+    @property
+    def blocks_per_frame(self) -> int:
+        return (self.width // 8) * (self.height // 8)
+
+    @property
+    def candidates(self) -> int:
+        return (2 * self.search_radius + 1) ** 2
+
+
+# DCT mixes are shared with the JPEG benchmark (same transform).
+from repro.workloads.jpeg.programs import (  # noqa: E402  (intentional reuse)
+    _DCT_SCALAR_MIX, _DCT_PACKED_MIX, _DCT_VECTOR_MIX,
+    _VLD_WORK_MIX, _HUFFMAN_WORK_MIX,
+)
+
+# form component prediction: copy / rounded average per byte
+_PREDICT_SCALAR_MIX = ((Opcode.ADD, 3), (Opcode.SHR, 1), (Opcode.MOV, 1))
+_PREDICT_PACKED_MIX = ((Opcode.PAVGB, 2), (Opcode.PLOGICAL, 1))
+_PREDICT_VECTOR_MIX = ((Opcode.VPAVGB, 2), (Opcode.VLOGICAL, 1))
+
+# add block: unpack, saturating add of the residual, pack
+_ADDBLOCK_SCALAR_MIX = ((Opcode.ADD, 2), (Opcode.CMP, 1), (Opcode.MOV, 1))
+_ADDBLOCK_PACKED_MIX = ((Opcode.UNPACK, 2), (Opcode.PADDW, 2), (Opcode.PACK, 1))
+_ADDBLOCK_VECTOR_MIX = ((Opcode.VUNPACK, 2), (Opcode.VADDW, 2), (Opcode.VPACK, 1))
+
+
+# ---------------------------------------------------------------------------
+# motion estimation emitters
+# ---------------------------------------------------------------------------
+
+def _emit_motion_estimation(builder: KernelBuilder, current: ArraySpec,
+                            reference: ArraySpec, best: ArraySpec,
+                            params: Mpeg2Parameters) -> None:
+    """Full-search motion estimation over every macroblock of one frame."""
+    mb_rows = params.height // 16
+    mb_cols = params.width // 16
+    row_stride = current.row_stride_bytes()
+    window = 2 * params.search_radius + 1
+
+    with builder.loop(mb_rows, name="mby") as mby:
+        with builder.loop(mb_cols, name="mbx") as mbx:
+            with builder.loop(window, name="dy") as dy:
+                with builder.loop(window, name="dx") as dx:
+                    cur_addr = builder.addr(current, (mby, 16 * row_stride), (mbx, 16))
+                    ref_addr = builder.addr(reference, (mby, 16 * row_stride), (mbx, 16),
+                                            (dy, row_stride), (dx, 1),
+                                            offset=-params.search_radius * (row_stride + 1))
+                    if builder.flavor is ISAFlavor.VECTOR:
+                        _emit_sad_vector(builder, cur_addr, ref_addr, row_stride)
+                    elif builder.flavor is ISAFlavor.USIMD:
+                        _emit_sad_usimd(builder, cur_addr, ref_addr, row_stride)
+                    else:
+                        _emit_sad_scalar(builder, cur_addr, ref_addr, row_stride)
+                    # best-SAD tracking (compare and conditional update)
+                    builder.iop(Opcode.CMP, comment="sad < best?")
+                    builder.iop(Opcode.MOV, comment="update best")
+            builder.store(builder.addr(best, (mby, 8 * mb_cols), (mbx, 8)),
+                          builder.iop(Opcode.MOV, comment="best vector"),
+                          comment="store motion vector")
+
+
+def _emit_sad_vector(builder: KernelBuilder, cur_addr, ref_addr, row_stride: int) -> None:
+    """One Figure-4 style vector SAD of a 16×16 candidate (VL=16, two columns)."""
+    builder.setvs(row_stride // 8)
+    builder.setvl(16)
+    acc1 = builder.acc_clear("A1=0")
+    acc2 = builder.acc_clear("A2=0")
+    v1 = builder.vload(cur_addr, vl=16, stride_bytes=row_stride, comment="V1=cur[:,0:8]")
+    v2 = builder.vload(ref_addr, vl=16, stride_bytes=row_stride, comment="V2=ref[:,0:8]")
+    v3 = builder.vload(cur_addr.shifted(8), vl=16, stride_bytes=row_stride,
+                       comment="V3=cur[:,8:16]")
+    v4 = builder.vload(ref_addr.shifted(8), vl=16, stride_bytes=row_stride,
+                       comment="V4=ref[:,8:16]")
+    builder.vsad(acc1, v1, v2, vl=16, comment="A1=SAD(V1,V2)")
+    builder.vsad(acc2, v3, v4, vl=16, comment="A2=SAD(V3,V4)")
+    r5 = builder.vsum(acc1, comment="R5=SUM(A1)")
+    r6 = builder.vsum(acc2, comment="R6=SUM(A2)")
+    builder.iop(Opcode.ADD, srcs=(r5, r6), comment="sad=R5+R6")
+
+
+def _emit_sad_usimd(builder: KernelBuilder, cur_addr, ref_addr, row_stride: int) -> None:
+    """The MMX SAD loop over the sixteen rows of a 16×16 candidate."""
+    total = builder.iop(Opcode.MOV, comment="sad=0")
+    with builder.loop(16, name="sadrow") as row:
+        left_cur = builder.mload(cur_addr.with_term(row, row_stride), comment="cur lo")
+        left_ref = builder.mload(ref_addr.with_term(row, row_stride), comment="ref lo")
+        right_cur = builder.mload(cur_addr.with_term(row, row_stride).shifted(8),
+                                  comment="cur hi")
+        right_ref = builder.mload(ref_addr.with_term(row, row_stride).shifted(8),
+                                  comment="ref hi")
+        left = builder.psad(left_cur, left_ref, comment="psadbw lo")
+        right = builder.psad(right_cur, right_ref, comment="psadbw hi")
+        builder.iop(Opcode.ADD, srcs=(total, left), comment="sad += lo")
+        total = builder.iop(Opcode.ADD, srcs=(total, right), comment="sad += hi")
+        builder.iop(Opcode.ADD, comment="advance pointers")
+
+
+def _emit_sad_scalar(builder: KernelBuilder, cur_addr, ref_addr, row_stride: int) -> None:
+    """Pixel-by-pixel SAD of a 16×16 candidate (the plain VLIW code)."""
+    total = builder.iop(Opcode.MOV, comment="sad=0")
+    with builder.loop(16, name="sadrow") as row:
+        with builder.loop(16, name="sadcol") as col:
+            cur = builder.load8(cur_addr.with_term(row, row_stride).with_term(col, 1),
+                                comment="cur pixel")
+            ref = builder.load8(ref_addr.with_term(row, row_stride).with_term(col, 1),
+                                comment="ref pixel")
+            diff = builder.iop(Opcode.SUB, srcs=(cur, ref), comment="diff")
+            builder.iop(Opcode.CMP, srcs=(diff,), comment="abs test")
+            absolute = builder.iop(Opcode.SUB, srcs=(diff,), comment="abs")
+            total = builder.iop(Opcode.ADD, srcs=(total, absolute), comment="sad +=")
+
+
+# ---------------------------------------------------------------------------
+# encoder
+# ---------------------------------------------------------------------------
+
+def build_mpeg2_enc_program(flavor: ISAFlavor,
+                            params: Mpeg2Parameters = Mpeg2Parameters()) -> KernelProgram:
+    """MPEG-2 encoder program in the requested ISA flavour."""
+    space = AddressSpace()
+    h, w = params.height, params.width
+    current = space.allocate("current", (h, w), element_bytes=1)
+    reference = space.allocate("reference", (h, w), element_bytes=1)
+    best = space.allocate("motion_vectors", (params.macroblocks, 8), element_bytes=1)
+    residual = space.allocate("residual", (h, w), element_bytes=2)
+    coeffs = space.allocate("coeffs", (h, w), element_bytes=2)
+    recon = space.allocate("recon", (h, w), element_bytes=2)
+    symbols = space.allocate("symbols",
+                             (params.frames * params.blocks_per_frame
+                              * params.symbols_per_block,), element_bytes=1)
+    vlc_table = space.allocate("vlc_table", (512,), element_bytes=4)
+    bitstream = space.allocate("bitstream", (symbols.shape[0],), element_bytes=1)
+
+    builder = KernelBuilder("mpeg2_enc", flavor, address_space=space)
+
+    with builder.loop(params.frames, name="frame", control=True):
+        # R1: motion estimation over the whole frame
+        with builder.region("R1", "Motion estimation", vectorizable=True):
+            _emit_motion_estimation(builder, current, reference, best, params)
+
+        # R2: forward DCT of the residual macroblocks
+        with builder.region("R2", "Forward DCT", vectorizable=True):
+            if flavor is ISAFlavor.SCALAR:
+                common.emit_block_transform_scalar(builder, residual, coeffs,
+                                                   params.blocks_per_frame,
+                                                   _DCT_SCALAR_MIX, label="fdct")
+            elif flavor is ISAFlavor.USIMD:
+                common.emit_block_transform_usimd(builder, residual, coeffs,
+                                                  params.blocks_per_frame,
+                                                  _DCT_PACKED_MIX, label="fdct")
+            else:
+                common.emit_block_transform_vector(builder, residual, coeffs,
+                                                   params.blocks_per_frame,
+                                                   _DCT_VECTOR_MIX, label="fdct")
+
+        # R3: inverse DCT (reconstruction of the reference frame)
+        with builder.region("R3", "Inverse DCT", vectorizable=True):
+            if flavor is ISAFlavor.SCALAR:
+                common.emit_block_transform_scalar(builder, coeffs, recon,
+                                                   params.blocks_per_frame,
+                                                   _DCT_SCALAR_MIX, label="idct")
+            elif flavor is ISAFlavor.USIMD:
+                common.emit_block_transform_usimd(builder, coeffs, recon,
+                                                  params.blocks_per_frame,
+                                                  _DCT_PACKED_MIX, label="idct")
+            else:
+                common.emit_block_transform_vector(builder, coeffs, recon,
+                                                   params.blocks_per_frame,
+                                                   _DCT_VECTOR_MIX, label="idct")
+
+        # R0: VLC coding, macroblock mode decisions and rate control
+        with builder.region("R0", "VLC coding and rate control", vectorizable=False):
+            common.emit_bitstream_encoder(
+                builder, symbols, vlc_table, bitstream,
+                count=params.blocks_per_frame * params.symbols_per_block,
+                work_mix=_HUFFMAN_WORK_MIX + ((Opcode.ADD, params.scalar_work),),
+                lookups=2, label="vlc")
+            common.emit_bitstream_encoder(
+                builder, symbols, vlc_table, bitstream,
+                count=params.macroblocks * 24,
+                work_mix=_HUFFMAN_WORK_MIX + ((Opcode.ADD, params.scalar_work),),
+                lookups=2, label="mbdecision")
+    return builder.program()
+
+
+# ---------------------------------------------------------------------------
+# decoder
+# ---------------------------------------------------------------------------
+
+def build_mpeg2_dec_program(flavor: ISAFlavor,
+                            params: Mpeg2Parameters = Mpeg2Parameters()) -> KernelProgram:
+    """MPEG-2 decoder program in the requested ISA flavour."""
+    space = AddressSpace()
+    h, w = params.height, params.width
+    reference = space.allocate("reference", (h, w), element_bytes=1)
+    prediction = space.allocate("prediction", (h, w), element_bytes=1)
+    residual = space.allocate("residual", (h, w), element_bytes=2)
+    coeffs = space.allocate("coeffs", (h, w), element_bytes=2)
+    output = space.allocate("output", (h, w), element_bytes=1)
+    symbols = space.allocate("symbols",
+                             (params.frames * params.blocks_per_frame
+                              * params.symbols_per_block,), element_bytes=1)
+    vld_table = space.allocate("vld_table", (512,), element_bytes=4)
+    bitstream = space.allocate("bitstream", (symbols.shape[0],), element_bytes=1)
+
+    builder = KernelBuilder("mpeg2_dec", flavor, address_space=space)
+
+    with builder.loop(params.frames, name="frame", control=True):
+        # R0: variable length decoding of all coefficients plus the
+        # macroblock-layer work (headers, motion vectors, CBP reconstruction)
+        with builder.region("R0", "VLD and bit-stream handling", vectorizable=False):
+            common.emit_table_decoder(
+                builder, bitstream, vld_table, symbols,
+                count=params.blocks_per_frame * params.symbols_per_block,
+                work_mix=_VLD_WORK_MIX + ((Opcode.ADD, params.decoder_scalar_work),),
+                lookups=2, label="vld")
+            common.emit_table_decoder(
+                builder, bitstream, vld_table, symbols,
+                count=params.macroblocks * params.mb_overhead_symbols,
+                work_mix=_VLD_WORK_MIX + ((Opcode.ADD, params.decoder_scalar_work),),
+                lookups=3, label="mbheader")
+
+        # R1: form component prediction for every macroblock
+        with builder.region("R1", "Form component prediction", vectorizable=True):
+            _emit_prediction(builder, reference, prediction, params)
+
+        # R2: inverse DCT of the residual blocks
+        with builder.region("R2", "Inverse DCT", vectorizable=True):
+            if flavor is ISAFlavor.SCALAR:
+                common.emit_block_transform_scalar(builder, coeffs, residual,
+                                                   params.blocks_per_frame,
+                                                   _DCT_SCALAR_MIX, label="idct")
+            elif flavor is ISAFlavor.USIMD:
+                common.emit_block_transform_usimd(builder, coeffs, residual,
+                                                  params.blocks_per_frame,
+                                                  _DCT_PACKED_MIX, label="idct")
+            else:
+                common.emit_block_transform_vector(builder, coeffs, residual,
+                                                   params.blocks_per_frame,
+                                                   _DCT_VECTOR_MIX, label="idct")
+
+        # R3: add block (prediction + residual with saturation)
+        with builder.region("R3", "Add block", vectorizable=True):
+            inputs = [prediction, residual]
+            outputs = [output]
+            if flavor is ISAFlavor.SCALAR:
+                common.emit_elementwise_scalar(builder, inputs, outputs, h, w,
+                                               _ADDBLOCK_SCALAR_MIX, label="addblk")
+            elif flavor is ISAFlavor.USIMD:
+                common.emit_elementwise_usimd(builder, inputs, outputs, h, w,
+                                              _ADDBLOCK_PACKED_MIX, label="addblk")
+            else:
+                common.emit_elementwise_vector(builder, inputs, outputs, h, w,
+                                               _ADDBLOCK_VECTOR_MIX,
+                                               vl=min(16, w // 8), label="addblk")
+    return builder.program()
+
+
+def _emit_prediction(builder: KernelBuilder, reference: ArraySpec,
+                     prediction: ArraySpec, params: Mpeg2Parameters) -> None:
+    """Motion-compensated prediction of every macroblock of one frame.
+
+    The vector flavour reads each 16-pixel-wide macroblock column with
+    vector loads whose stride is the frame width — the same non-unit-stride
+    pattern as motion estimation, but executed once per macroblock instead
+    of once per search candidate.
+    """
+    mb_rows = params.height // 16
+    mb_cols = params.width // 16
+    row_stride = reference.row_stride_bytes()
+    with builder.loop(mb_rows, name="pmby") as mby:
+        with builder.loop(mb_cols, name="pmbx") as mbx:
+            ref_addr = builder.addr(reference, (mby, 16 * row_stride), (mbx, 16))
+            pred_addr = builder.addr(prediction, (mby, 16 * row_stride), (mbx, 16))
+            if builder.flavor is ISAFlavor.VECTOR:
+                builder.setvs(row_stride // 8)
+                builder.setvl(16)
+                for half in range(2):
+                    loaded = builder.vload(ref_addr.shifted(8 * half), vl=16,
+                                           stride_bytes=row_stride,
+                                           comment="vload ref half")
+                    averaged = builder.vop(Opcode.VPAVGB, loaded, vl=16,
+                                           comment="half-pel average")
+                    builder.vstore(pred_addr.shifted(8 * half), averaged, vl=16,
+                                   stride_bytes=row_stride, comment="vstore pred half")
+            elif builder.flavor is ISAFlavor.USIMD:
+                with builder.loop(16, name="prow") as row:
+                    for half in range(2):
+                        loaded = builder.mload(
+                            ref_addr.with_term(row, row_stride).shifted(8 * half),
+                            comment="mload ref")
+                        averaged = builder.simd(Opcode.PAVGB, loaded,
+                                                comment="half-pel average")
+                        builder.mstore(
+                            pred_addr.with_term(row, row_stride).shifted(8 * half),
+                            averaged, comment="mstore pred")
+            else:
+                with builder.loop(16, name="prow") as row:
+                    with builder.loop(16, name="pcol") as col:
+                        value = builder.load8(
+                            ref_addr.with_term(row, row_stride).with_term(col, 1),
+                            comment="load ref pixel")
+                        chains = common.emit_scalar_mix(builder, _PREDICT_SCALAR_MIX,
+                                                        seeds=[value], comment="predict")
+                        builder.store8(
+                            pred_addr.with_term(row, row_stride).with_term(col, 1),
+                            chains[0], comment="store pred pixel")

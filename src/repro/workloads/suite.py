@@ -1,0 +1,91 @@
+"""The benchmark suite: the six applications of the paper's evaluation.
+
+:func:`build_suite` constructs every benchmark as a
+:class:`~repro.core.runner.BenchmarkSpec` (three programs — scalar, µSIMD and
+Vector-µSIMD — sharing the same scalar-region code).  Input sizes come from
+:class:`SuiteParameters`; the defaults are the reduced Mediabench stand-ins
+used for the published EXPERIMENTS.md numbers, and :meth:`SuiteParameters.tiny`
+gives a much smaller variant the unit tests use to keep simulation cheap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Iterable, Tuple
+
+from repro.compiler.ir import ISAFlavor, KernelProgram
+from repro.core.runner import BenchmarkSpec
+from repro.workloads.gsm.programs import GsmParameters, build_gsm_dec_program, build_gsm_enc_program
+from repro.workloads.jpeg.programs import JpegParameters, build_jpeg_dec_program, build_jpeg_enc_program
+from repro.workloads.mpeg2.programs import Mpeg2Parameters, build_mpeg2_dec_program, build_mpeg2_enc_program
+
+__all__ = ["BENCHMARK_NAMES", "SuiteParameters", "build_benchmark", "build_suite"]
+
+#: Benchmarks in the order the paper's figures present them.
+BENCHMARK_NAMES: Tuple[str, ...] = (
+    "jpeg_enc", "jpeg_dec", "mpeg2_enc", "mpeg2_dec", "gsm_enc", "gsm_dec",
+)
+
+
+@dataclass(frozen=True)
+class SuiteParameters:
+    """Input sizes for the whole suite (see DESIGN.md §6, reduced inputs)."""
+
+    jpeg: JpegParameters = JpegParameters(width=64, height=64)
+    mpeg2: Mpeg2Parameters = Mpeg2Parameters(width=64, height=64, frames=2,
+                                             search_radius=1)
+    gsm: GsmParameters = GsmParameters(frames=4)
+
+    @staticmethod
+    def default() -> "SuiteParameters":
+        """The sizes used for the published results in EXPERIMENTS.md."""
+        return SuiteParameters()
+
+    @staticmethod
+    def tiny() -> "SuiteParameters":
+        """Much smaller inputs for unit tests (seconds, not minutes)."""
+        return SuiteParameters(
+            jpeg=JpegParameters(width=32, height=32),
+            mpeg2=Mpeg2Parameters(width=32, height=32, frames=1, search_radius=1),
+            gsm=GsmParameters(frames=1),
+        )
+
+
+_BUILDERS = {
+    "jpeg_enc": ("jpeg", build_jpeg_enc_program,
+                 "JPEG encoder: colour conversion, forward DCT, quantisation"),
+    "jpeg_dec": ("jpeg", build_jpeg_dec_program,
+                 "JPEG decoder: colour conversion, h2v2 up-sampling"),
+    "mpeg2_enc": ("mpeg2", build_mpeg2_enc_program,
+                  "MPEG-2 encoder: motion estimation, forward/inverse DCT"),
+    "mpeg2_dec": ("mpeg2", build_mpeg2_dec_program,
+                  "MPEG-2 decoder: prediction, inverse DCT, add block"),
+    "gsm_enc": ("gsm", build_gsm_enc_program,
+                "GSM encoder: LTP parameters, autocorrelation"),
+    "gsm_dec": ("gsm", build_gsm_dec_program,
+                "GSM decoder: long-term filtering"),
+}
+
+
+def build_benchmark(name: str,
+                    params: SuiteParameters | None = None,
+                    flavors: Iterable[ISAFlavor] = (ISAFlavor.SCALAR, ISAFlavor.USIMD,
+                                                    ISAFlavor.VECTOR)) -> BenchmarkSpec:
+    """Build one benchmark (all requested ISA flavours) by name."""
+    params = params or SuiteParameters.default()
+    try:
+        family, builder, description = _BUILDERS[name]
+    except KeyError as exc:
+        raise KeyError(f"unknown benchmark {name!r}; known: {BENCHMARK_NAMES}") from exc
+    family_params = getattr(params, family)
+    programs: Dict[ISAFlavor, KernelProgram] = {
+        flavor: builder(flavor, family_params) for flavor in flavors
+    }
+    return BenchmarkSpec(name=name, programs=programs, description=description)
+
+
+def build_suite(params: SuiteParameters | None = None,
+                names: Iterable[str] = BENCHMARK_NAMES) -> Dict[str, BenchmarkSpec]:
+    """Build the full suite (or a subset) keyed by benchmark name."""
+    params = params or SuiteParameters.default()
+    return {name: build_benchmark(name, params) for name in names}

@@ -1,0 +1,52 @@
+"""Shared fixtures for the test-suite.
+
+The heavy fixtures (the tiny-input suite evaluation) are session scoped so
+the integration and experiment tests share one sweep of the simulator.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.evaluation import SuiteEvaluation
+from repro.machine.config import get_config
+from repro.machine.latency import LatencyModel
+from repro.workloads.suite import SuiteParameters, build_suite
+
+
+@pytest.fixture(scope="session")
+def tiny_parameters() -> SuiteParameters:
+    """Reduced input sizes used by every integration test."""
+    return SuiteParameters.tiny()
+
+
+@pytest.fixture(scope="session")
+def tiny_suite(tiny_parameters):
+    """The six benchmarks built with tiny inputs (all three flavours)."""
+    return build_suite(tiny_parameters)
+
+
+@pytest.fixture(scope="session")
+def tiny_evaluation(tiny_parameters) -> SuiteEvaluation:
+    """A shared, memoised evaluation over the tiny suite."""
+    return SuiteEvaluation(parameters=tiny_parameters)
+
+
+@pytest.fixture
+def latency_model() -> LatencyModel:
+    return LatencyModel()
+
+
+@pytest.fixture
+def vector2_2w():
+    return get_config("vector2-2w")
+
+
+@pytest.fixture
+def usimd_2w():
+    return get_config("usimd-2w")
+
+
+@pytest.fixture
+def vliw_2w():
+    return get_config("vliw-2w")

@@ -1,0 +1,397 @@
+"""Tests for the IR, the builder, dependence analysis and the scheduler."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compiler.builder import KernelBuilder
+from repro.compiler.dataflow import (DependenceKind, build_dependence_graph,
+                                     loop_carried_registers)
+from repro.compiler.ir import (AddressExpr, ISAFlavor, KernelProgram, LoopNode,
+                               LoopVar, Operation, Segment)
+from repro.compiler.regalloc import check_register_pressure, segment_pressure
+from repro.compiler.scheduler import compile_program, schedule_segment
+from repro.isa.operations import Opcode
+from repro.isa.registers import RegisterClass
+from repro.machine.config import get_config
+from repro.machine.latency import LatencyModel
+from repro.memory.layout import AddressSpace
+from repro.sim.vliw import verify_schedule
+
+
+# ---------------------------------------------------------------------------
+# IR
+# ---------------------------------------------------------------------------
+
+class TestAddressExpr:
+    def test_constant(self):
+        assert AddressExpr(base=100).evaluate({}) == 100
+
+    def test_affine_terms(self):
+        i = LoopVar.fresh("i")
+        j = LoopVar.fresh("j")
+        expr = AddressExpr(base=1000).with_term(i, 64).with_term(j, 2)
+        assert expr.evaluate({i: 3, j: 5}) == 1000 + 192 + 10
+
+    def test_unbound_variable_raises(self):
+        i = LoopVar.fresh("i")
+        with pytest.raises(KeyError):
+            AddressExpr(base=0).with_term(i, 4).evaluate({})
+
+    def test_wrap_bytes(self):
+        i = LoopVar.fresh("i")
+        expr = AddressExpr(base=1000, wrap_bytes=64).with_term(i, 48)
+        assert expr.evaluate({i: 3}) == 1000 + (144 % 64)
+
+    def test_shifted_and_structural_equality(self):
+        i = LoopVar.fresh("i")
+        a = AddressExpr(base=10).with_term(i, 4)
+        assert a.shifted(6).base == 16
+        assert a.structurally_equal(AddressExpr(base=10, terms=((i, 4),)))
+        assert not a.structurally_equal(a.shifted(1))
+
+    def test_zero_coefficient_dropped(self):
+        i = LoopVar.fresh("i")
+        assert AddressExpr(base=0).with_term(i, 0).terms == ()
+
+
+class TestOperation:
+    def test_memory_operation_requires_address(self):
+        with pytest.raises(ValueError):
+            Operation(Opcode.LOAD)
+
+    def test_micro_ops_delegated(self):
+        op = Operation(Opcode.VADDB, vector_length=8)
+        assert op.micro_ops() == 64
+
+    def test_classification(self):
+        load = Operation(Opcode.VLOAD, address=AddressExpr(0), vector_length=4)
+        assert load.is_memory and load.is_vector_memory and load.is_vector
+        assert not load.is_store
+        store = Operation(Opcode.STORE, address=AddressExpr(0))
+        assert store.is_store and store.is_memory
+
+    def test_invalid_vector_length(self):
+        with pytest.raises(ValueError):
+            Operation(Opcode.VADDW, vector_length=0)
+
+
+# ---------------------------------------------------------------------------
+# builder
+# ---------------------------------------------------------------------------
+
+def build_small_vector_kernel():
+    space = AddressSpace()
+    data = space.allocate("data", (64,), element_bytes=8)
+    out = space.allocate("out", (64,), element_bytes=8)
+    b = KernelBuilder("k", ISAFlavor.VECTOR, address_space=space)
+    with b.region("R1", "kernel", vectorizable=True):
+        with b.loop(4, name="i") as i:
+            b.setvl(8)
+            v = b.vload(b.addr(data, (i, 64)), vl=8)
+            r = b.vop(Opcode.VADDW, v, vl=8)
+            b.vstore(b.addr(out, (i, 64)), r, vl=8)
+    return b.program()
+
+
+class TestBuilder:
+    def test_program_structure(self):
+        program = build_small_vector_kernel()
+        assert program.flavor is ISAFlavor.VECTOR
+        assert program.region_names() == ["R1"]
+        assert program.address_space is not None
+        segments = program.segments()
+        assert len(segments) == 1
+        # setvl + vload + vop + vstore + 3 loop-control ops
+        assert len(segments[0]) == 7
+
+    def test_dynamic_counts_scale_with_trip_count(self):
+        program = build_small_vector_kernel()
+        assert program.dynamic_operation_count() == 4 * 7
+        assert program.dynamic_micro_op_count() > program.dynamic_operation_count()
+
+    def test_vector_op_in_scalar_program_rejected(self):
+        b = KernelBuilder("bad", ISAFlavor.SCALAR)
+        with pytest.raises(ValueError):
+            b.vop(Opcode.VADDW, vl=4)
+
+    def test_simd_op_in_scalar_program_rejected(self):
+        b = KernelBuilder("bad", ISAFlavor.SCALAR)
+        with pytest.raises(ValueError):
+            b.simd(Opcode.PADDB)
+
+    def test_simd_allowed_in_vector_program(self):
+        b = KernelBuilder("ok", ISAFlavor.VECTOR)
+        b.simd(Opcode.PADDB)
+        assert len(b.program().segments()[0]) == 1
+
+    def test_loop_without_control(self):
+        b = KernelBuilder("k", ISAFlavor.SCALAR)
+        with b.loop(4, control=False):
+            b.iop(Opcode.ADD)
+        assert len(b.program().segments()[0]) == 1
+
+    def test_unbalanced_loop_detected(self):
+        b = KernelBuilder("k", ISAFlavor.SCALAR)
+        ctx = b.loop(4)
+        ctx.__enter__()
+        with pytest.raises(RuntimeError):
+            b.program()
+
+    def test_region_counts(self):
+        b = KernelBuilder("k", ISAFlavor.SCALAR)
+        b.iop(Opcode.ADD)
+        with b.region("R1", "vec", vectorizable=True):
+            b.iop(Opcode.ADD)
+        program = b.program()
+        counts = program.dynamic_counts_by_region()
+        assert counts["R0"] == (1, 1)
+        assert counts["R1"] == (1, 1)
+
+    def test_dependent_chain_and_independent_ops(self):
+        b = KernelBuilder("k", ISAFlavor.SCALAR)
+        b.dependent_chain(5)
+        b.independent_ops(3)
+        ops = b.program().segments()[0].operations
+        assert len(ops) == 1 + 5 + 3
+
+    def test_table_lookup_wraps_in_table(self):
+        space = AddressSpace()
+        table = space.allocate("table", (256,), element_bytes=4)
+        b = KernelBuilder("k", ISAFlavor.SCALAR)
+        index = b.iop(Opcode.MOV)
+        b.table_lookup(table, index)
+        op = b.program().segments()[0].operations[-1]
+        assert op.address.wrap_bytes == table.size_bytes
+
+    def test_concatenated_programs(self):
+        first = build_small_vector_kernel()
+        second = build_small_vector_kernel()
+        combined = first.concatenated(second)
+        assert combined.dynamic_operation_count() == 2 * first.dynamic_operation_count()
+        scalar = KernelBuilder("s", ISAFlavor.SCALAR).program()
+        with pytest.raises(ValueError):
+            first.concatenated(scalar)
+
+
+# ---------------------------------------------------------------------------
+# dataflow
+# ---------------------------------------------------------------------------
+
+class TestDataflow:
+    def test_raw_edge(self):
+        b = KernelBuilder("k", ISAFlavor.SCALAR)
+        x = b.iop(Opcode.ADD)
+        b.iop(Opcode.SUB, srcs=(x,))
+        graph = build_dependence_graph(b.program().segments()[0])
+        assert any(e.kind is DependenceKind.RAW for e in graph.edges)
+
+    def test_waw_and_war_edges_for_accumulator(self):
+        b = KernelBuilder("k", ISAFlavor.VECTOR)
+        acc = b.acc_clear()
+        v = b.vop(Opcode.VADDW, vl=4)
+        b.vsad(acc, v, v, vl=4)
+        b.vsad(acc, v, v, vl=4)
+        graph = build_dependence_graph(b.program().segments()[0])
+        kinds = {e.kind for e in graph.edges}
+        assert DependenceKind.RAW in kinds
+        assert DependenceKind.WAW in kinds
+
+    def test_memory_ordering_same_address(self):
+        space = AddressSpace()
+        buf = space.allocate("buf", (8,), element_bytes=8)
+        b = KernelBuilder("k", ISAFlavor.SCALAR)
+        value = b.iop(Opcode.MOV)
+        b.store(b.addr(buf), value)
+        b.load(b.addr(buf))
+        graph = build_dependence_graph(b.program().segments()[0])
+        assert any(e.kind is DependenceKind.MEMORY for e in graph.edges)
+
+    def test_no_memory_edge_for_disambiguated_addresses(self):
+        space = AddressSpace()
+        a = space.allocate("a", (8,), element_bytes=8)
+        c = space.allocate("c", (8,), element_bytes=8)
+        b = KernelBuilder("k", ISAFlavor.SCALAR)
+        value = b.iop(Opcode.MOV)
+        b.store(b.addr(a), value)
+        b.load(b.addr(c))
+        graph = build_dependence_graph(b.program().segments()[0])
+        assert not any(e.kind is DependenceKind.MEMORY for e in graph.edges)
+
+    def test_edges_point_forward(self):
+        program = build_small_vector_kernel()
+        graph = build_dependence_graph(program.segments()[0])
+        assert all(e.producer < e.consumer for e in graph.edges)
+
+    def test_loop_carried_registers_detects_induction_variable(self):
+        b = KernelBuilder("k", ISAFlavor.SCALAR)
+        with b.loop(4):
+            b.iop(Opcode.ADD)
+        carried = loop_carried_registers(b.program().segments()[0])
+        assert carried  # the loop index register
+
+    def test_loop_carried_accumulator(self):
+        b = KernelBuilder("k", ISAFlavor.VECTOR)
+        acc = b.accum_reg()
+        v = b.vop(Opcode.VADDW, vl=4)
+        b.emit(Operation(Opcode.VSAD, dests=(acc,), srcs=(acc, v, v), vector_length=4))
+        carried = loop_carried_registers(b.program().segments()[0])
+        assert any(cls is RegisterClass.ACCUM for _, cls in carried.values())
+
+
+# ---------------------------------------------------------------------------
+# scheduler
+# ---------------------------------------------------------------------------
+
+def random_segment_strategy():
+    """Hypothesis strategy producing small random vector/scalar segments."""
+    opcode = st.sampled_from([Opcode.ADD, Opcode.MUL, Opcode.PADDW, Opcode.PSADBW,
+                              Opcode.VADDW, Opcode.VMULLW, Opcode.LOAD, Opcode.MLOAD,
+                              Opcode.VLOAD, Opcode.STORE])
+    return st.lists(st.tuples(opcode, st.integers(1, 16), st.booleans()),
+                    min_size=1, max_size=16)
+
+
+def build_segment_from_spec(spec):
+    builder = KernelBuilder("random", ISAFlavor.VECTOR)
+    space = AddressSpace()
+    data = space.allocate("data", (4096,), element_bytes=8)
+    previous = None
+    for opcode, vl, use_previous in spec:
+        srcs = (previous,) if (use_previous and previous is not None) else ()
+        if opcode in (Opcode.LOAD, Opcode.MLOAD):
+            previous = (builder.load if opcode is Opcode.LOAD else builder.mload)(
+                builder.addr(data))
+        elif opcode is Opcode.VLOAD:
+            previous = builder.vload(builder.addr(data), vl=vl)
+        elif opcode is Opcode.STORE:
+            value = previous if previous is not None else builder.iop(Opcode.MOV)
+            builder.store(builder.addr(data), value)
+        elif opcode in (Opcode.VADDW, Opcode.VMULLW):
+            previous = builder.vop(opcode, *srcs, vl=vl)
+        elif opcode in (Opcode.PADDW, Opcode.PSADBW):
+            previous = builder.simd(opcode, *srcs)
+        else:
+            previous = builder.iop(opcode, srcs=srcs)
+    return builder.program().segments()[0]
+
+
+class TestScheduler:
+    def test_empty_segment(self, vector2_2w):
+        schedule = schedule_segment(Segment(), vector2_2w)
+        assert schedule.initiation_interval == 0
+
+    def test_issue_width_limits_parallelism(self, vliw_2w):
+        b = KernelBuilder("k", ISAFlavor.SCALAR)
+        b.independent_ops(8)
+        schedule = schedule_segment(b.program().segments()[0], vliw_2w)
+        assert schedule.initiation_interval >= 4  # 8 ops / 2-issue
+
+    def test_wider_machine_schedules_faster(self):
+        b = KernelBuilder("k", ISAFlavor.SCALAR)
+        b.independent_ops(16)
+        segment = b.program().segments()[0]
+        narrow = schedule_segment(segment, get_config("vliw-2w")).initiation_interval
+        wide = schedule_segment(segment, get_config("vliw-8w")).initiation_interval
+        assert wide < narrow
+
+    def test_dependence_chain_bounds_schedule(self, vliw_2w):
+        b = KernelBuilder("k", ISAFlavor.SCALAR)
+        b.dependent_chain(10, opcode=Opcode.MUL)
+        schedule = schedule_segment(b.program().segments()[0], vliw_2w)
+        # ten dependent multiplies of latency 4 behind the seeding move
+        assert schedule.initiation_interval >= 1 + 4 * 9
+
+    def test_chaining_allows_overlap(self, vector2_2w, latency_model):
+        b = KernelBuilder("k", ISAFlavor.VECTOR)
+        space = AddressSpace()
+        data = space.allocate("data", (64,), element_bytes=8)
+        v = b.vload(b.addr(data), vl=16)
+        b.vop(Opcode.VADDW, v, vl=16)
+        schedule = schedule_segment(b.program().segments()[0], vector2_2w, latency_model)
+        cycles = {e.operation.opcode: e.cycle for e in schedule.entries}
+        # chained: the dependent vector op starts after the load's flow
+        # latency (5), well before its full completion (5 + ceil(15/4) = 9)
+        assert cycles["vaddw"] - cycles["vload"] == latency_model.chain_latency(
+            Opcode.VLOAD, vector2_2w)
+
+    def test_accumulator_dependency_not_chained(self, vector2_2w, latency_model):
+        b = KernelBuilder("k", ISAFlavor.VECTOR)
+        acc = b.acc_clear()
+        v = b.vop(Opcode.VADDW, vl=16)
+        b.vsad(acc, v, v, vl=16)
+        b.vsum(acc)
+        schedule = schedule_segment(b.program().segments()[0], vector2_2w, latency_model)
+        cycles = {e.operation.opcode: e.cycle for e in schedule.entries}
+        vsad_latency = latency_model.result_latency(Opcode.VSAD, 16, vector2_2w)
+        assert cycles["vsum"] >= cycles["vsad"] + vsad_latency
+
+    def test_recurrence_bounds_initiation_interval(self, vector2_2w):
+        b = KernelBuilder("k", ISAFlavor.VECTOR)
+        acc = b.accum_reg()
+        v = b.vop(Opcode.VADDW, vl=16)
+        b.emit(Operation(Opcode.VSAD, dests=(acc,), srcs=(acc, v, v), vector_length=16))
+        schedule = schedule_segment(b.program().segments()[0], vector2_2w)
+        assert schedule.recurrence_interval > 0
+        assert schedule.initiation_interval >= schedule.recurrence_interval
+
+    def test_figure4_kernel_matches_paper_shape(self, vector2_2w):
+        from repro.workloads.mpeg2.motion import build_sad_kernel_program
+        program = build_sad_kernel_program(ISAFlavor.VECTOR)
+        assert program.dynamic_operation_count() == 16
+        schedule = schedule_segment(program.segments()[0], vector2_2w)
+        assert 14 <= schedule.initiation_interval <= 24
+        assert verify_schedule(schedule, vector2_2w) == []
+
+    def test_schedules_are_legal_for_all_workload_kernels(self, vector2_2w):
+        program = build_small_vector_kernel()
+        compiled = compile_program(program, vector2_2w)
+        for schedule in compiled.schedules.values():
+            assert verify_schedule(schedule, vector2_2w) == []
+
+    @given(random_segment_strategy())
+    @settings(max_examples=25, deadline=None)
+    def test_random_segments_schedule_legally(self, spec):
+        segment = build_segment_from_spec(spec)
+        config = get_config("vector2-2w")
+        schedule = schedule_segment(segment, config)
+        assert len(schedule.entries) == len(segment.operations)
+        assert verify_schedule(schedule, config) == []
+
+    @given(random_segment_strategy())
+    @settings(max_examples=15, deadline=None)
+    def test_wider_vector_machine_never_slower(self, spec):
+        segment = build_segment_from_spec(spec)
+        narrow = schedule_segment(segment, get_config("vector2-2w")).initiation_interval
+        wide = schedule_segment(segment, get_config("vector2-4w")).initiation_interval
+        assert wide <= narrow
+
+
+# ---------------------------------------------------------------------------
+# register pressure
+# ---------------------------------------------------------------------------
+
+class TestRegisterPressure:
+    def test_segment_pressure_counts_classes(self):
+        program = build_small_vector_kernel()
+        pressure = segment_pressure(program.segments()[0])
+        assert pressure[RegisterClass.VECTOR] >= 1
+        assert pressure[RegisterClass.INT] >= 1
+
+    def test_workload_programs_fit_register_files(self, vector2_2w):
+        program = build_small_vector_kernel()
+        report = check_register_pressure(program, vector2_2w)
+        assert report.ok, report.violations
+
+    def test_violation_detected_for_missing_file(self, vliw_2w):
+        b = KernelBuilder("k", ISAFlavor.USIMD)
+        b.simd(Opcode.PADDB)
+        report = check_register_pressure(b.program(), vliw_2w)
+        assert not report.ok
+
+    def test_merge_reports(self):
+        from repro.compiler.regalloc import RegisterPressureReport
+        first = RegisterPressureReport(max_live={RegisterClass.INT: 3})
+        second = RegisterPressureReport(max_live={RegisterClass.INT: 5})
+        first.merge(second)
+        assert first.max_live[RegisterClass.INT] == 5

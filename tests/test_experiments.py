@@ -1,0 +1,125 @@
+"""Tests of the experiment harness (tables and figures of the paper)."""
+
+import pytest
+
+from repro.experiments import (figure1, figure3, figure4, figure5, figure6, figure7,
+                               table1, table2, table3)
+from repro.experiments.evaluation import SuiteEvaluation
+
+
+class TestStaticExperiments:
+    def test_table2_has_ten_rows_matching_paper(self):
+        rows = table2.generate()
+        assert len(rows) == 10
+        by_name = {row["name"]: row for row in rows}
+        assert by_name["vector2-4w"]["vector_units"] == "4 x4"
+        assert by_name["usimd-8w"]["simd_units"] == 8
+        assert by_name["vector1-2w"]["l2_ports"] == "1 x4"
+        assert "VLIW" in table2.render()
+
+    def test_figure3_descriptor_formulas(self):
+        rows = figure3.generate()
+        by_key = {(r["operation"], r["vector_length"]): r for r in rows}
+        assert by_key[("scalar alu", 16)]["latest_write"] == 1
+        assert by_key[("vector alu", 16)]["latest_write"] == 2 + 4   # L + ceil(15/4)
+        assert by_key[("vector load", 8)]["latest_write"] == 5 + 2
+        assert by_key[("vector alu", 1)]["latest_read"] == 0
+        assert "Figure 3" in figure3.render()
+
+    def test_figure4_reproduces_operation_counts(self):
+        data = figure4.generate()
+        assert data["vector_operations"] == figure4.PAPER_VECTOR_OPS
+        # the µSIMD count should be within ~25 % of the paper's 172
+        assert abs(data["usimd_operations"] - figure4.PAPER_USIMD_OPS) <= 45
+        assert data["scalar_operations"] > data["usimd_operations"]
+        assert 14 <= data["schedule_cycles"] <= 24
+        assert "cycle" in data["listing"]
+        assert "Figure 4" in figure4.render()
+
+
+class TestSuiteExperiments:
+    def test_table1_percentages(self, tiny_evaluation):
+        rows = {r["benchmark"]: r for r in table1.generate(tiny_evaluation)}
+        assert set(rows) == set(tiny_evaluation.benchmark_names)
+        # mpeg2_enc is the most vectorised benchmark, gsm_dec the least
+        assert rows["mpeg2_enc"]["measured_percent"] > rows["jpeg_dec"]["measured_percent"]
+        assert rows["gsm_dec"]["measured_percent"] < 10.0
+        for row in rows.values():
+            assert 0.0 <= row["measured_percent"] <= 100.0
+        assert "Table 1" in table1.render(tiny_evaluation)
+
+    def test_figure1_scalar_regions_saturate(self, tiny_evaluation):
+        summary = figure1.average_scalability(tiny_evaluation)
+        scalar_4w = summary["usimd-4w"]["scalar"]
+        scalar_8w = summary["usimd-8w"]["scalar"]
+        vector_8w = summary["usimd-8w"]["vector"]
+        # scalar regions gain little beyond 4-issue; vector regions keep gaining
+        assert scalar_8w - scalar_4w < 0.25
+        assert vector_8w > scalar_8w
+        assert summary["usimd-2w"]["application"] == pytest.approx(1.0)
+
+    def test_figure5_perfect_vs_realistic(self, tiny_evaluation):
+        perfect = figure5.average_speedups(tiny_evaluation, perfect_memory=True)
+        realistic = figure5.average_speedups(tiny_evaluation, perfect_memory=False)
+        # vector configurations dominate the same-width µSIMD in vector regions
+        assert perfect["vector2-2w"] > perfect["usimd-2w"]
+        assert perfect["vector2-2w"] > perfect["usimd-8w"]
+        assert realistic["vector2-2w"] > realistic["usimd-2w"]
+        # the 2-issue vector machine also beats the 8-issue plain VLIW
+        assert realistic["vector2-2w"] > realistic["vliw-8w"]
+
+    def test_figure5_mpeg2_enc_degrades_most(self, tiny_evaluation):
+        degradation = figure5.memory_degradation(tiny_evaluation)
+        worst = max(degradation, key=degradation.get)
+        assert worst == "mpeg2_enc"
+        assert degradation["mpeg2_enc"] > 1.2
+        assert degradation["jpeg_enc"] < degradation["mpeg2_enc"]
+
+    def test_figure6_average_ordering(self, tiny_evaluation):
+        averages = figure6.average_speedups(tiny_evaluation)
+        assert averages["vliw-2w"] == pytest.approx(1.0)
+        # µSIMD beats plain VLIW, vector beats µSIMD of the same width
+        assert averages["usimd-2w"] > averages["vliw-2w"]
+        assert averages["vector2-2w"] > averages["usimd-2w"]
+        assert averages["vector2-4w"] > averages["vector2-2w"]
+        # the 4-issue Vector2 is at least on par with the 8-issue µSIMD
+        assert averages["vector2-4w"] >= 0.95 * averages["usimd-8w"]
+
+    def test_figure6_wider_issue_never_slower(self, tiny_evaluation):
+        averages = figure6.average_speedups(tiny_evaluation)
+        assert averages["vliw-4w"] >= averages["vliw-2w"]
+        assert averages["vliw-8w"] >= averages["vliw-4w"]
+        assert averages["usimd-8w"] >= averages["usimd-4w"] >= averages["usimd-2w"]
+
+    def test_figure7_operation_reduction(self, tiny_evaluation):
+        rows = figure7.generate(tiny_evaluation)
+        by_key = {(r["benchmark"], r["config"]): r for r in rows}
+        for benchmark in tiny_evaluation.benchmark_names:
+            vliw_total = by_key[(benchmark, "vliw-2w")]["normalized_total"]
+            usimd_total = by_key[(benchmark, "usimd-2w")]["normalized_total"]
+            vector_total = by_key[(benchmark, "vector2-2w")]["normalized_total"]
+            assert vliw_total == pytest.approx(1.0)
+            assert vector_total <= usimd_total <= vliw_total
+        reduction = figure7.vector_region_op_reduction(tiny_evaluation)
+        assert 0.5 <= reduction <= 0.98   # paper: 84 %
+
+    def test_table3_structure_and_trends(self, tiny_evaluation):
+        rows = {r["config"]: r for r in table3.generate(tiny_evaluation)}
+        assert set(rows) == set(tiny_evaluation.config_names)
+        # vector machines: fewer ops fetched per cycle but far more micro-ops
+        assert rows["vector2-2w"]["vector_uopc"] > rows["usimd-2w"]["vector_uopc"]
+        assert rows["vector2-2w"]["vector_opc"] < rows["usimd-2w"]["vector_opc"]
+        # scalar-region speed-up at 8-issue stays modest
+        assert rows["usimd-8w"]["scalar_speedup"] < 2.0
+        assert rows["vliw-2w"]["app_speedup"] == pytest.approx(1.0)
+        assert "Table 3" in table3.render(tiny_evaluation)
+
+    def test_evaluation_memoises_runs(self, tiny_evaluation):
+        first = tiny_evaluation.run("gsm_dec", "vliw-2w")
+        second = tiny_evaluation.run("gsm_dec", "vliw-2w")
+        assert first is second
+
+    def test_runs_for_benchmark_subset(self, tiny_evaluation):
+        runs = tiny_evaluation.runs_for_benchmark("gsm_dec",
+                                                  config_names=["vliw-2w", "usimd-2w"])
+        assert set(runs) == {"vliw-2w", "usimd-2w"}

@@ -1,0 +1,252 @@
+"""Unit and property tests for the µSIMD packed-operation semantics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.isa import packed
+
+
+def u8_words(count=1):
+    return hnp.arrays(np.uint8, (count, 8))
+
+
+def s16_words(count=1):
+    return hnp.arrays(np.int16, (count, 4))
+
+
+class TestShapesAndHelpers:
+    def test_ensure_lanes_accepts_correct_shape(self):
+        arr = np.zeros((3, 8), dtype=np.uint8)
+        assert packed.ensure_lanes(arr, 8).shape == (3, 8)
+
+    def test_ensure_lanes_rejects_wrong_lane_count(self):
+        with pytest.raises(ValueError):
+            packed.ensure_lanes(np.zeros((3, 4)), 8)
+
+    def test_ensure_lanes_rejects_scalar(self):
+        with pytest.raises(ValueError):
+            packed.ensure_lanes(np.array(3), 8)
+
+    def test_to_packed_roundtrip(self):
+        flat = np.arange(32, dtype=np.uint8)
+        words = packed.to_packed(flat, 8)
+        assert words.shape == (4, 8)
+        np.testing.assert_array_equal(packed.from_packed(words), flat)
+
+    def test_to_packed_rejects_partial_word(self):
+        with pytest.raises(ValueError):
+            packed.to_packed(np.arange(10, dtype=np.uint8), 8)
+
+    def test_saturate_unsigned_byte(self):
+        out = packed.saturate(np.array([-5, 0, 200, 300]), np.uint8)
+        np.testing.assert_array_equal(out, [0, 0, 200, 255])
+
+    def test_saturate_signed_word(self):
+        out = packed.saturate(np.array([-40000, -3, 5, 40000]), np.int16)
+        np.testing.assert_array_equal(out, [-32768, -3, 5, 32767])
+
+    def test_saturate_rejects_float_dtype(self):
+        with pytest.raises(TypeError):
+            packed.saturate(np.array([1.0]), np.float32)
+
+
+class TestArithmetic:
+    def test_paddb_wraps(self):
+        out = packed.paddb(np.full(8, 250, np.uint8), np.full(8, 10, np.uint8))
+        assert out.dtype == np.uint8
+        np.testing.assert_array_equal(out, np.full(8, 4))
+
+    def test_paddusb_saturates(self):
+        out = packed.paddusb(np.full(8, 250, np.uint8), np.full(8, 10, np.uint8))
+        np.testing.assert_array_equal(out, np.full(8, 255))
+
+    def test_paddsw_saturates_both_ends(self):
+        a = np.array([32000, -32000, 100, 0], dtype=np.int16)
+        b = np.array([32000, -32000, -50, 0], dtype=np.int16)
+        np.testing.assert_array_equal(packed.paddsw(a, b), [32767, -32768, 50, 0])
+
+    def test_psubusb_clamps_at_zero(self):
+        out = packed.psubusb(np.full(8, 10, np.uint8), np.full(8, 20, np.uint8))
+        np.testing.assert_array_equal(out, np.zeros(8))
+
+    def test_psubw_wraps(self):
+        out = packed.psubw(np.array([-32768] * 4, np.int16), np.ones(4, np.int16))
+        np.testing.assert_array_equal(out, np.full(4, 32767))
+
+    def test_pmullw_low_half(self):
+        a = np.array([300, -300, 2, 0], dtype=np.int16)
+        b = np.array([300, 300, 3, 7], dtype=np.int16)
+        expected = ((a.astype(np.int32) * b.astype(np.int32)) & 0xFFFF).astype(np.uint16).astype(np.int16)
+        np.testing.assert_array_equal(packed.pmullw(a, b), expected)
+
+    def test_pmulhw_high_half(self):
+        a = np.array([30000, -30000, 2, 0], dtype=np.int16)
+        b = np.array([30000, 30000, 3, 7], dtype=np.int16)
+        expected = ((a.astype(np.int32) * b.astype(np.int32)) >> 16).astype(np.int16)
+        np.testing.assert_array_equal(packed.pmulhw(a, b), expected)
+
+    def test_pmaddwd_pairwise(self):
+        a = np.array([1, 2, 3, 4], dtype=np.int16)
+        b = np.array([5, 6, 7, 8], dtype=np.int16)
+        np.testing.assert_array_equal(packed.pmaddwd(a, b), [17, 53])
+
+    def test_pavgb_rounds_up(self):
+        out = packed.pavgb(np.array([1] * 8, np.uint8), np.array([2] * 8, np.uint8))
+        np.testing.assert_array_equal(out, np.full(8, 2))
+
+    def test_psadbw_matches_reference(self):
+        a = np.arange(8, dtype=np.uint8)
+        b = np.arange(8, dtype=np.uint8)[::-1].copy()
+        assert packed.psadbw(a, b) == int(np.abs(a.astype(int) - b.astype(int)).sum())
+
+    def test_psadbw_batched(self):
+        a = np.zeros((3, 8), dtype=np.uint8)
+        b = np.full((3, 8), 2, dtype=np.uint8)
+        np.testing.assert_array_equal(packed.psadbw(a, b), [16, 16, 16])
+
+    def test_min_max(self):
+        a = np.array([1, 200, 3, 4, 5, 6, 7, 8], dtype=np.uint8)
+        b = np.array([2, 100, 3, 0, 9, 6, 1, 8], dtype=np.uint8)
+        np.testing.assert_array_equal(packed.pminub(a, b), np.minimum(a, b))
+        np.testing.assert_array_equal(packed.pmaxub(a, b), np.maximum(a, b))
+
+    def test_pabs(self):
+        np.testing.assert_array_equal(packed.pabsb(np.array([-1, 3], np.int8)), [1, 3])
+        np.testing.assert_array_equal(packed.pabsw(np.array([-7, 7], np.int16)), [7, 7])
+
+
+class TestLogicalAndCompare:
+    def test_pcmpeqb_mask_values(self):
+        a = np.array([1, 2, 3, 4, 5, 6, 7, 8], np.uint8)
+        b = np.array([1, 0, 3, 0, 5, 0, 7, 0], np.uint8)
+        out = packed.pcmpeqb(a, b)
+        np.testing.assert_array_equal(out, [255, 0, 255, 0, 255, 0, 255, 0])
+
+    def test_pcmpgtw_mask_values(self):
+        out = packed.pcmpgtw(np.array([5, -3, 0, 9], np.int16),
+                             np.array([1, 0, 0, 10], np.int16))
+        np.testing.assert_array_equal(out, [-1, 0, 0, 0])
+
+    def test_pandn(self):
+        a = np.array([0xF0] * 8, np.uint8)
+        b = np.array([0xFF] * 8, np.uint8)
+        np.testing.assert_array_equal(packed.pandn(a, b), np.full(8, 0x0F))
+
+    def test_logical_ops(self):
+        a = np.array([0b1100] * 4, np.int16)
+        b = np.array([0b1010] * 4, np.int16)
+        np.testing.assert_array_equal(packed.pand(a, b), np.full(4, 0b1000))
+        np.testing.assert_array_equal(packed.por(a, b), np.full(4, 0b1110))
+        np.testing.assert_array_equal(packed.pxor(a, b), np.full(4, 0b0110))
+
+
+class TestShifts:
+    def test_psllw_discards_overflow(self):
+        out = packed.psllw(np.array([0x4000, 1, -1, 3], np.int16), 2)
+        assert out.dtype == np.int16
+        assert out[1] == 4
+
+    def test_psrlw_logical(self):
+        out = packed.psrlw(np.array([0x8000, 16, 2, 4], np.uint16), 1)
+        np.testing.assert_array_equal(out, [0x4000, 8, 1, 2])
+
+    def test_psraw_arithmetic(self):
+        out = packed.psraw(np.array([-16, 16, -1, 7], np.int16), 2)
+        np.testing.assert_array_equal(out, [-4, 4, -1, 1])
+
+    def test_pslld_psrld_psrad(self):
+        a32 = np.array([-8, 8], np.int32)
+        np.testing.assert_array_equal(packed.pslld(a32, 1), [-16, 16])
+        np.testing.assert_array_equal(packed.psrad(a32, 1), [-4, 4])
+        assert packed.psrld(np.array([8, 8], np.uint32), 2).tolist() == [2, 2]
+
+
+class TestPackUnpack:
+    def test_packuswb_saturates(self):
+        lo = np.array([-5, 100, 300, 20], np.int16)
+        hi = np.array([255, 256, 0, -1], np.int16)
+        np.testing.assert_array_equal(packed.packuswb(lo, hi),
+                                      [0, 100, 255, 20, 255, 255, 0, 0])
+
+    def test_packsswb_saturates_signed(self):
+        lo = np.array([-200, 100, 300, 20], np.int16)
+        hi = np.array([127, -128, 0, -1], np.int16)
+        np.testing.assert_array_equal(packed.packsswb(lo, hi),
+                                      [-128, 100, 127, 20, 127, -128, 0, -1])
+
+    def test_packssdw(self):
+        lo = np.array([70000, -70000], np.int32)
+        hi = np.array([5, -5], np.int32)
+        np.testing.assert_array_equal(packed.packssdw(lo, hi),
+                                      [32767, -32768, 5, -5])
+
+    def test_unpack_interleave_low_high(self):
+        a = np.arange(8, dtype=np.uint8)
+        b = np.arange(8, 16, dtype=np.uint8)
+        np.testing.assert_array_equal(packed.punpcklbw(a, b),
+                                      [0, 8, 1, 9, 2, 10, 3, 11])
+        np.testing.assert_array_equal(packed.punpckhbw(a, b),
+                                      [4, 12, 5, 13, 6, 14, 7, 15])
+
+    def test_unpack_words(self):
+        a = np.array([0, 1, 2, 3], np.int16)
+        b = np.array([4, 5, 6, 7], np.int16)
+        np.testing.assert_array_equal(packed.punpcklwd(a, b), [0, 4, 1, 5])
+        np.testing.assert_array_equal(packed.punpckhwd(a, b), [2, 6, 3, 7])
+
+    def test_unpack_u8_to_s16_roundtrip(self):
+        a = np.array([0, 1, 127, 128, 200, 255, 3, 4], np.uint8)
+        lo, hi = packed.unpack_u8_to_s16(a)
+        assert lo.dtype == np.int16
+        np.testing.assert_array_equal(packed.pack_s16_to_u8(lo, hi), a)
+
+    def test_pshufw(self):
+        a = np.array([10, 11, 12, 13], np.int16)
+        np.testing.assert_array_equal(packed.pshufw(a, (3, 2, 1, 0)), [13, 12, 11, 10])
+
+    def test_pshufw_rejects_bad_order(self):
+        with pytest.raises(ValueError):
+            packed.pshufw(np.zeros(4, np.int16), (0, 1, 2))
+
+
+class TestProperties:
+    @given(u8_words(2))
+    @settings(max_examples=50)
+    def test_paddusb_never_exceeds_255(self, words):
+        out = packed.paddusb(words[0], words[1])
+        reference = np.minimum(words[0].astype(int) + words[1].astype(int), 255)
+        np.testing.assert_array_equal(out, reference)
+
+    @given(u8_words(2))
+    @settings(max_examples=50)
+    def test_psadbw_equals_reference(self, words):
+        expected = int(np.abs(words[0].astype(int) - words[1].astype(int)).sum())
+        assert packed.psadbw(words[0], words[1]) == expected
+
+    @given(u8_words(2))
+    @settings(max_examples=50)
+    def test_pavgb_equals_rounded_mean(self, words):
+        expected = (words[0].astype(int) + words[1].astype(int) + 1) // 2
+        np.testing.assert_array_equal(packed.pavgb(words[0], words[1]), expected)
+
+    @given(s16_words(2))
+    @settings(max_examples=50)
+    def test_paddsw_matches_clipped_sum(self, words):
+        expected = np.clip(words[0].astype(int) + words[1].astype(int), -32768, 32767)
+        np.testing.assert_array_equal(packed.paddsw(words[0], words[1]), expected)
+
+    @given(u8_words(1))
+    @settings(max_examples=50)
+    def test_unpack_pack_is_identity(self, words):
+        lo, hi = packed.unpack_u8_to_s16(words[0])
+        np.testing.assert_array_equal(packed.pack_s16_to_u8(lo, hi), words[0])
+
+    @given(s16_words(2))
+    @settings(max_examples=50)
+    def test_pmaddwd_equals_pairwise_dot(self, words):
+        a, b = words[0].astype(np.int64), words[1].astype(np.int64)
+        expected = np.array([a[0] * b[0] + a[1] * b[1], a[2] * b[2] + a[3] * b[3]])
+        np.testing.assert_array_equal(packed.pmaddwd(words[0], words[1]), expected)

@@ -1,0 +1,207 @@
+"""Tests for the Vector-µSIMD functional layer and the register metadata."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.isa import packed, vectorops
+from repro.isa.operations import (OpClass, Opcode, OperationDescriptor,
+                                  descriptor_for, micro_ops_for, register_opcode)
+from repro.isa.registers import (AccumulatorValue, RegisterClass, RegisterFileSpec,
+                                 VectorRegisterValue)
+
+
+class TestVectorState:
+    def test_defaults(self):
+        state = vectorops.VectorState()
+        assert state.vl == 16 and state.vs == 1
+
+    def test_vl_bounds(self):
+        state = vectorops.VectorState()
+        state.vl = 1
+        state.vl = 16
+        with pytest.raises(ValueError):
+            state.vl = 0
+        with pytest.raises(ValueError):
+            state.vl = 17
+
+    def test_vs_bounds(self):
+        state = vectorops.VectorState()
+        state.vs = 5
+        with pytest.raises(ValueError):
+            state.vs = 0
+
+
+class TestVectorMemory:
+    def test_vload_stride_one(self):
+        memory = np.arange(64, dtype=np.int16).reshape(8, 8)
+        out = vectorops.vload_words(memory, base_word=2, vl=3, vs=1)
+        np.testing.assert_array_equal(out, memory[2:5])
+
+    def test_vload_strided(self):
+        memory = np.arange(64, dtype=np.int16).reshape(8, 8)
+        out = vectorops.vload_words(memory, base_word=0, vl=4, vs=2)
+        np.testing.assert_array_equal(out, memory[[0, 2, 4, 6]])
+
+    def test_vload_out_of_bounds(self):
+        memory = np.zeros((4, 8))
+        with pytest.raises(IndexError):
+            vectorops.vload_words(memory, base_word=0, vl=4, vs=2)
+
+    def test_vstore_roundtrip(self):
+        memory = np.zeros((8, 8), dtype=np.int16)
+        value = np.arange(16, dtype=np.int16).reshape(2, 8)
+        vectorops.vstore_words(memory, base_word=3, value=value, vs=2)
+        np.testing.assert_array_equal(memory[3], value[0])
+        np.testing.assert_array_equal(memory[5], value[1])
+
+    def test_vload_respects_state(self):
+        memory = np.arange(32, dtype=np.int16).reshape(4, 8)
+        state = vectorops.VectorState(vl=2, vs=2)
+        out = vectorops.vload(memory, 0, state)
+        np.testing.assert_array_equal(out, memory[[0, 2]])
+
+
+class TestVectorCompute:
+    def test_vmap2_length_mismatch(self):
+        with pytest.raises(ValueError):
+            vectorops.vmap2(packed.paddw, np.zeros((2, 4)), np.zeros((3, 4)))
+
+    def test_vaddw_elementwise(self):
+        a = np.full((4, 4), 10, np.int16)
+        b = np.full((4, 4), 5, np.int16)
+        np.testing.assert_array_equal(vectorops.vaddw(a, b), np.full((4, 4), 15))
+
+    def test_vsubb_saturates(self):
+        a = np.full((2, 8), 5, np.uint8)
+        b = np.full((2, 8), 9, np.uint8)
+        np.testing.assert_array_equal(vectorops.vsubb(a, b), np.zeros((2, 8)))
+
+    def test_vunpack_widens(self):
+        a = np.arange(16, dtype=np.uint8).reshape(2, 8)
+        lo, hi = vectorops.vunpack_u8_to_s16(a)
+        assert lo.shape == (2, 4) and lo.dtype == np.int16
+
+    def test_vmaddwd_shape(self):
+        a = np.ones((3, 4), np.int16)
+        out = vectorops.vmaddwd(a, a)
+        assert out.shape == (3, 2)
+        np.testing.assert_array_equal(out, np.full((3, 2), 2))
+
+
+class TestAccumulators:
+    def test_vsad_accumulate_matches_reference(self):
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, 256, (8, 8), dtype=np.uint8)
+        b = rng.integers(0, 256, (8, 8), dtype=np.uint8)
+        acc = vectorops.accumulator_zero()
+        acc = vectorops.vsad_accumulate(acc, a, b)
+        assert vectorops.accumulator_sum(acc) == int(
+            np.abs(a.astype(int) - b.astype(int)).sum())
+
+    def test_vmac_accumulate_matches_dot(self):
+        a = np.arange(8, dtype=np.int64).reshape(2, 4)
+        b = np.arange(8, 16, dtype=np.int64).reshape(2, 4)
+        acc = vectorops.accumulator_zero(4)
+        acc = vectorops.vmac_accumulate(acc, a, b)
+        assert vectorops.accumulator_sum(acc) == int((a * b).sum())
+
+    def test_accumulator_value_range_check(self):
+        acc = AccumulatorValue(lanes=8)
+        acc.accumulate(np.full(8, 100))
+        assert acc.check_range()
+        acc.slots[:] = 1 << 40
+        assert not acc.check_range()
+
+    def test_accumulator_clear_and_reduce(self):
+        acc = AccumulatorValue(lanes=4)
+        acc.accumulate(np.array([1, 2, 3, 4]))
+        assert acc.reduce() == 10
+        acc.clear()
+        assert acc.reduce() == 0
+
+    @given(hnp.arrays(np.uint8, (5, 8)), hnp.arrays(np.uint8, (5, 8)))
+    @settings(max_examples=30)
+    def test_vsad_property(self, a, b):
+        acc = vectorops.vsad_accumulate(vectorops.accumulator_zero(), a, b)
+        assert vectorops.accumulator_sum(acc) == int(
+            np.abs(a.astype(int) - b.astype(int)).sum())
+
+
+class TestRegisterMetadata:
+    def test_register_file_spec_capacity(self):
+        spec = RegisterFileSpec(RegisterClass.VECTOR, 20, 64,
+                                words_per_register=16, lanes=4)
+        assert spec.total_bits == 20 * 64 * 16
+
+    def test_register_file_spec_validation(self):
+        with pytest.raises(ValueError):
+            RegisterFileSpec(RegisterClass.INT, -1)
+        with pytest.raises(ValueError):
+            RegisterFileSpec(RegisterClass.INT, 4, words_per_register=0)
+
+    def test_vector_register_value(self):
+        value = VectorRegisterValue(np.zeros((8, 8)), element_bits=8)
+        assert value.vector_length == 8 and value.lanes == 8
+        assert value.as_matrix().shape == (8, 8)
+
+    def test_vector_register_value_limits(self):
+        with pytest.raises(ValueError):
+            VectorRegisterValue(np.zeros((17, 8)))
+        with pytest.raises(ValueError):
+            VectorRegisterValue(np.zeros(8))
+
+    def test_accumulator_slot_bits(self):
+        assert AccumulatorValue(lanes=8).slot_bits == 24
+        assert AccumulatorValue(lanes=4).slot_bits == 48
+
+
+class TestOpcodeMetadata:
+    def test_descriptor_lookup(self):
+        desc = descriptor_for(Opcode.VSAD)
+        assert desc.op_class is OpClass.VECTOR_SAD
+
+    def test_descriptor_lookup_by_string(self):
+        assert descriptor_for("paddb").op_class is OpClass.SIMD_ALU
+
+    def test_unknown_opcode_raises(self):
+        with pytest.raises(KeyError):
+            descriptor_for("nonexistent_op")
+
+    def test_register_duplicate_opcode_raises(self):
+        with pytest.raises(ValueError):
+            register_opcode(OperationDescriptor("add", OpClass.INT_ALU))
+
+    def test_micro_ops_scalar(self):
+        assert micro_ops_for(Opcode.ADD) == 1
+
+    def test_micro_ops_simd(self):
+        assert micro_ops_for(Opcode.PADDB) == 8
+        assert micro_ops_for(Opcode.PADDW) == 4
+
+    def test_micro_ops_vector(self):
+        assert micro_ops_for(Opcode.VADDB, vector_length=16) == 128
+        assert micro_ops_for(Opcode.VADDW, vector_length=8) == 32
+
+    def test_micro_ops_vector_memory(self):
+        assert micro_ops_for(Opcode.VLOAD, vector_length=8) == 64
+
+    def test_micro_ops_subword_override(self):
+        assert micro_ops_for(Opcode.VADDB, vector_length=4, subwords=2) == 8
+
+    def test_micro_ops_rejects_bad_vl(self):
+        with pytest.raises(ValueError):
+            micro_ops_for(Opcode.VADDB, vector_length=17)
+        with pytest.raises(ValueError):
+            micro_ops_for(Opcode.VADDB, vector_length=0)
+
+    def test_op_class_predicates(self):
+        assert OpClass.VECTOR_LOAD.is_vector_memory
+        assert OpClass.VECTOR_LOAD.is_memory
+        assert not OpClass.VECTOR_LOAD.is_vector
+        assert OpClass.VECTOR_SAD.is_vector
+        assert OpClass.SIMD_ALU.is_simd
+        assert OpClass.STORE.is_store
+        assert not OpClass.LOAD.is_store

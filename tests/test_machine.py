@@ -1,0 +1,240 @@
+"""Tests for the machine configurations, latency model and reservation tables."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa.operations import Opcode
+from repro.machine.config import (ArchitectureFamily, MachineConfig, MemoryConfig,
+                                  PAPER_CONFIGS, PAPER_CONFIG_ORDER, baseline_config,
+                                  get_config, usimd_configs, vector_configs, vliw_configs)
+from repro.machine.latency import DEFAULT_FLOW_LATENCIES, LatencyDescriptor, LatencyModel
+from repro.machine.resources import (ReservationTable, ResourceKind, ResourceRequest,
+                                     UnschedulableOperationError, capacities_for,
+                                     requests_for)
+
+
+class TestConfigurations:
+    def test_all_ten_configs_present(self):
+        assert len(PAPER_CONFIGS) == 10
+        assert set(PAPER_CONFIG_ORDER) == set(PAPER_CONFIGS)
+
+    @pytest.mark.parametrize("name,issue,int_units,simd_units,vector_units,l1_ports", [
+        ("vliw-2w", 2, 2, 0, 0, 1),
+        ("vliw-4w", 4, 4, 0, 0, 2),
+        ("vliw-8w", 8, 8, 0, 0, 3),
+        ("usimd-2w", 2, 2, 2, 0, 1),
+        ("usimd-4w", 4, 4, 4, 0, 2),
+        ("usimd-8w", 8, 8, 8, 0, 3),
+        ("vector1-2w", 2, 2, 0, 1, 1),
+        ("vector1-4w", 4, 4, 0, 2, 1),
+        ("vector2-2w", 2, 2, 0, 2, 1),
+        ("vector2-4w", 4, 4, 0, 4, 2),
+    ])
+    def test_table2_resources(self, name, issue, int_units, simd_units,
+                              vector_units, l1_ports):
+        config = get_config(name)
+        assert config.issue_width == issue
+        assert config.int_units == int_units
+        assert config.simd_units == simd_units
+        assert config.vector_units == vector_units
+        assert config.l1_ports == l1_ports
+
+    def test_table2_register_files(self):
+        assert get_config("vliw-8w").int_regs == 128
+        assert get_config("usimd-4w").simd_regs == 96
+        assert get_config("vector1-2w").vector_regs == 20
+        assert get_config("vector2-4w").vector_regs == 32
+        assert get_config("vector2-4w").accum_regs == 6
+
+    def test_vector_configs_have_wide_l2_port(self):
+        for config in vector_configs():
+            assert config.l2_ports == 1
+            assert config.l2_port_words == 4
+            assert config.vector_lanes == 4
+
+    def test_family_capabilities(self):
+        assert not get_config("vliw-2w").has_usimd
+        assert get_config("usimd-2w").has_usimd
+        assert not get_config("usimd-2w").has_vector
+        assert get_config("vector1-4w").has_vector
+
+    def test_unknown_config_raises(self):
+        with pytest.raises(KeyError):
+            get_config("superscalar-4w")
+
+    def test_baseline_is_2wide_vliw(self):
+        assert baseline_config().name == "vliw-2w"
+
+    def test_family_groupings(self):
+        assert [c.issue_width for c in vliw_configs()] == [2, 4, 8]
+        assert [c.issue_width for c in usimd_configs()] == [2, 4, 8]
+        assert len(vector_configs()) == 4
+
+    def test_memory_defaults_match_paper(self):
+        memory = MemoryConfig()
+        assert memory.l1_size == 16 * 1024
+        assert memory.l2_size == 256 * 1024
+        assert memory.l3_size == 1024 * 1024
+        assert (memory.l1_latency, memory.l2_latency,
+                memory.l3_latency, memory.memory_latency) == (1, 5, 12, 500)
+        assert memory.l2_banks == 2
+
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(ValueError):
+            MachineConfig(name="bad", family=ArchitectureFamily.VECTOR1,
+                          issue_width=2, int_units=2, vector_units=0, l2_ports=1)
+        with pytest.raises(ValueError):
+            MachineConfig(name="bad", family=ArchitectureFamily.VLIW,
+                          issue_width=0, int_units=2)
+        with pytest.raises(ValueError):
+            MachineConfig(name="bad", family=ArchitectureFamily.VLIW,
+                          issue_width=2, int_units=2, simd_units=2)
+
+    def test_peak_micro_ops(self):
+        assert get_config("vliw-2w").peak_micro_ops_per_cycle() == 2
+        assert get_config("usimd-2w").peak_micro_ops_per_cycle() == 2 + 2 * 8
+        assert get_config("vector2-2w").peak_micro_ops_per_cycle() == 2 + 2 * 4 * 8
+
+    def test_register_files_mapping(self):
+        files = get_config("vector2-2w").register_files()
+        from repro.isa.registers import RegisterClass
+        assert files[RegisterClass.VECTOR].words_per_register == 16
+        assert files[RegisterClass.ACCUM].width_bits == 192
+
+    def test_with_memory_replaces_only_memory(self):
+        config = get_config("vliw-2w")
+        other = config.with_memory(MemoryConfig(memory_latency=100))
+        assert other.memory.memory_latency == 100
+        assert other.issue_width == config.issue_width
+
+
+class TestLatencyModel:
+    def test_scalar_descriptor(self, latency_model, vector2_2w):
+        d = latency_model.descriptor(Opcode.ADD, 1, vector2_2w)
+        assert (d.earliest_read, d.latest_read, d.earliest_write) == (0, 0, 0)
+        assert d.latest_write == 1
+
+    @pytest.mark.parametrize("vl,expected_tail", [(1, 0), (4, 1), (5, 1), (8, 2),
+                                                  (13, 3), (16, 4)])
+    def test_vector_alu_descriptor_formula(self, latency_model, vector2_2w, vl, expected_tail):
+        d = latency_model.descriptor(Opcode.VADDW, vl, vector2_2w)
+        assert d.latest_read == expected_tail
+        assert d.latest_write == DEFAULT_FLOW_LATENCIES["vector_alu"] + expected_tail
+
+    def test_vector_memory_descriptor_uses_port_width(self, latency_model, vector2_2w):
+        d = latency_model.descriptor(Opcode.VLOAD, 8, vector2_2w)
+        # 5-cycle vector cache + ceil((8-1)/4) extra
+        assert d.latest_write == 5 + 2
+
+    def test_occupancy_vector_compute(self, latency_model, vector2_2w):
+        assert latency_model.occupancy(Opcode.VADDW, 16, vector2_2w) == 4
+        assert latency_model.occupancy(Opcode.VADDW, 4, vector2_2w) == 1
+
+    def test_occupancy_vector_memory_stride(self, latency_model, vector2_2w):
+        assert latency_model.occupancy(Opcode.VLOAD, 16, vector2_2w, stride_one=True) == 4
+        assert latency_model.occupancy(Opcode.VLOAD, 16, vector2_2w, stride_one=False) == 16
+
+    def test_occupancy_scalar_is_one(self, latency_model, vliw_2w):
+        assert latency_model.occupancy(Opcode.MUL, 1, vliw_2w) == 1
+
+    def test_chain_latency_is_flow_latency(self, latency_model, vector2_2w):
+        assert latency_model.chain_latency(Opcode.VLOAD, vector2_2w) == 5
+        assert latency_model.chain_latency(Opcode.VADDW, vector2_2w) == 2
+
+    def test_overrides(self, vector2_2w):
+        model = LatencyModel().with_overrides(vector_load=9)
+        assert model.flow_latency(Opcode.VLOAD, vector2_2w) == 9
+        with pytest.raises(KeyError):
+            LatencyModel().with_overrides(nonexistent=3)
+
+    def test_descriptor_validation(self):
+        with pytest.raises(ValueError):
+            LatencyDescriptor(0, -1, 0, 3)
+        with pytest.raises(ValueError):
+            LatencyDescriptor(0, 0, 2, 1)
+
+    @given(st.integers(min_value=1, max_value=16))
+    @settings(max_examples=20)
+    def test_descriptor_monotone_in_vl(self, vl):
+        model = LatencyModel()
+        config = get_config("vector2-2w")
+        small = model.descriptor(Opcode.VADDW, vl, config).latest_write
+        larger = model.descriptor(Opcode.VADDW, min(16, vl + 1), config).latest_write
+        assert larger >= small
+
+
+class TestResources:
+    def test_capacities(self, vector2_2w):
+        caps = capacities_for(vector2_2w)
+        assert caps[ResourceKind.ISSUE] == 2
+        assert caps[ResourceKind.VECTOR_UNIT] == 2
+        assert caps[ResourceKind.L2_PORT] == 1
+
+    def test_requests_scalar_alu(self, vliw_2w, latency_model):
+        kinds = {r.kind for r in requests_for(Opcode.ADD, 1, vliw_2w, latency_model)}
+        assert kinds == {ResourceKind.ISSUE, ResourceKind.INT_UNIT}
+
+    def test_requests_memory(self, vliw_2w, latency_model):
+        kinds = {r.kind for r in requests_for(Opcode.LOAD, 1, vliw_2w, latency_model)}
+        assert kinds == {ResourceKind.ISSUE, ResourceKind.L1_PORT}
+
+    def test_requests_simd_on_usimd_machine(self, usimd_2w, latency_model):
+        kinds = {r.kind for r in requests_for(Opcode.PADDB, 1, usimd_2w, latency_model)}
+        assert ResourceKind.SIMD_UNIT in kinds
+
+    def test_requests_simd_on_vector_machine_uses_vector_unit(self, vector2_2w, latency_model):
+        kinds = {r.kind for r in requests_for(Opcode.PADDB, 1, vector2_2w, latency_model)}
+        assert ResourceKind.VECTOR_UNIT in kinds
+
+    def test_requests_vector_occupancy(self, vector2_2w, latency_model):
+        requests = requests_for(Opcode.VADDW, 16, vector2_2w, latency_model)
+        vector_request = next(r for r in requests if r.kind is ResourceKind.VECTOR_UNIT)
+        assert vector_request.duration == 4
+
+    def test_simd_on_plain_vliw_rejected(self, vliw_2w, latency_model):
+        with pytest.raises(UnschedulableOperationError):
+            requests_for(Opcode.PADDB, 1, vliw_2w, latency_model)
+
+    def test_vector_on_usimd_rejected(self, usimd_2w, latency_model):
+        with pytest.raises(UnschedulableOperationError):
+            requests_for(Opcode.VLOAD, 8, usimd_2w, latency_model)
+
+    def test_reservation_table_fits_and_reserves(self, vector2_2w):
+        table = ReservationTable(capacities_for(vector2_2w))
+        request = [ResourceRequest(ResourceKind.ISSUE, 1), ResourceRequest(ResourceKind.INT_UNIT, 1)]
+        assert table.fits(0, request)
+        table.reserve(0, request)
+        table.reserve(0, request)  # two issue slots, two int units
+        assert not table.fits(0, request)
+        assert table.earliest_fit(0, request) == 1
+
+    def test_reservation_table_duration(self, vector2_2w):
+        table = ReservationTable(capacities_for(vector2_2w))
+        long_request = [ResourceRequest(ResourceKind.L2_PORT, duration=4)]
+        table.reserve(0, long_request)
+        assert table.earliest_fit(0, long_request) == 4
+
+    def test_reservation_table_zero_capacity(self, vliw_2w):
+        table = ReservationTable(capacities_for(vliw_2w))
+        with pytest.raises(UnschedulableOperationError):
+            table.earliest_fit(0, [ResourceRequest(ResourceKind.VECTOR_UNIT, 1)])
+
+    def test_reserve_without_fit_raises(self, vliw_2w):
+        table = ReservationTable(capacities_for(vliw_2w))
+        request = [ResourceRequest(ResourceKind.ISSUE, 1)]
+        table.reserve(0, request)
+        table.reserve(0, request)
+        with pytest.raises(ValueError):
+            table.reserve(0, request)
+
+    def test_high_water_mark(self, vector2_2w):
+        table = ReservationTable(capacities_for(vector2_2w))
+        table.reserve(3, [ResourceRequest(ResourceKind.ISSUE, 1)])
+        assert table.high_water_mark()[ResourceKind.ISSUE] == 1
+
+    def test_resource_request_validation(self):
+        with pytest.raises(ValueError):
+            ResourceRequest(ResourceKind.ISSUE, duration=0)
+        with pytest.raises(ValueError):
+            ResourceRequest(ResourceKind.ISSUE, count=0)

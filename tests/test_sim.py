@@ -1,0 +1,170 @@
+"""Tests for the execution engines and the statistics layer."""
+
+import pytest
+
+from repro.compiler.builder import KernelBuilder
+from repro.compiler.ir import ISAFlavor
+from repro.compiler.scheduler import compile_program
+from repro.core.architecture import VectorMicroSimdVliwMachine
+from repro.isa.operations import Opcode
+from repro.machine.config import get_config
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.memory.layout import AddressSpace
+from repro.sim.fast import ExecutionEngine, execute_program
+from repro.sim.stats import RegionStats, RunStats
+from repro.sim.vliw import CycleAccurateEngine
+
+
+def build_streaming_program(vl=8, iterations=8, stride_bytes=8):
+    space = AddressSpace()
+    data = space.allocate("data", (4096,), element_bytes=8)
+    out = space.allocate("out", (4096,), element_bytes=8)
+    b = KernelBuilder("stream", ISAFlavor.VECTOR, address_space=space)
+    with b.region("R1", "stream", vectorizable=True):
+        with b.loop(iterations, name="i") as i:
+            b.setvl(vl)
+            v = b.vload(b.addr(data, (i, vl * 8)), vl=vl, stride_bytes=stride_bytes)
+            r = b.vop(Opcode.VADDW, v, vl=vl)
+            b.vstore(b.addr(out, (i, vl * 8)), r, vl=vl, stride_bytes=stride_bytes)
+    return b.program()
+
+
+def build_compute_only_program(iterations=100):
+    b = KernelBuilder("compute", ISAFlavor.SCALAR)
+    with b.loop(iterations, name="i"):
+        b.independent_ops(6)
+    return b.program()
+
+
+class TestFastExecutor:
+    def test_compute_only_loop_scales_analytically(self, vliw_2w):
+        program = build_compute_only_program(iterations=100)
+        stats = execute_program(program, vliw_2w)
+        per_iteration = stats.total_cycles / 100
+        assert stats.total_operations == 100 * 9  # 6 ops + 3 loop-control
+        assert 4 <= per_iteration <= 8
+
+    def test_cycles_scale_with_trip_count(self, vliw_2w):
+        small = execute_program(build_compute_only_program(10), vliw_2w)
+        large = execute_program(build_compute_only_program(100), vliw_2w)
+        assert large.total_cycles == pytest.approx(10 * small.total_cycles, rel=0.01)
+
+    def test_perfect_memory_faster_than_cold(self, vector2_2w):
+        program = build_streaming_program()
+        perfect = execute_program(program, vector2_2w, perfect_memory=True)
+        cold = execute_program(program, vector2_2w, perfect_memory=False)
+        assert perfect.total_cycles < cold.total_cycles
+        assert perfect.total_stall_cycles == 0
+
+    def test_warm_hierarchy_removes_most_stalls(self, vector2_2w):
+        machine = VectorMicroSimdVliwMachine(vector2_2w)
+        program = build_streaming_program()
+        warm = machine.run(program, warm=True)
+        cold = machine.run(program, warm=False)
+        assert warm.total_stall_cycles < cold.total_stall_cycles
+        assert warm.total_cycles < cold.total_cycles
+
+    def test_non_unit_stride_stalls(self, vector2_2w):
+        machine = VectorMicroSimdVliwMachine(vector2_2w)
+        unit = machine.run(build_streaming_program(stride_bytes=8))
+        strided = machine.run(build_streaming_program(stride_bytes=256))
+        assert strided.total_stall_cycles > unit.total_stall_cycles
+        assert strided.total_cycles > unit.total_cycles
+
+    def test_region_accounting(self, vector2_2w):
+        program = build_streaming_program()
+        stats = execute_program(program, vector2_2w, perfect_memory=True)
+        assert set(stats.regions) == {"R0", "R1"}
+        assert stats.regions["R1"].vectorizable
+        assert stats.vector_region_cycles == stats.regions["R1"].cycles
+        assert stats.regions["R1"].operations == program.dynamic_operation_count()
+
+    def test_opc_and_uopc(self, vector2_2w):
+        program = build_streaming_program()
+        stats = execute_program(program, vector2_2w, perfect_memory=True)
+        assert stats.opc > 0
+        assert stats.uopc > stats.opc  # vector ops pack many micro-ops
+
+    def test_same_program_same_result_is_deterministic(self, vector2_2w):
+        program = build_streaming_program()
+        first = execute_program(program, vector2_2w)
+        second = execute_program(program, vector2_2w)
+        assert first.total_cycles == second.total_cycles
+
+
+class TestCycleAccurateEngine:
+    def test_matches_fast_executor_for_one_iteration(self, vector2_2w):
+        program = build_streaming_program(iterations=1)
+        compiled = compile_program(program, vector2_2w)
+        segment = program.segments()[0]
+        schedule = compiled.schedule_for(segment)
+
+        fast_hierarchy = MemoryHierarchy(vector2_2w.memory, perfect=True)
+        fast_stats = ExecutionEngine(compiled, fast_hierarchy).run()
+
+        loop = next(node for node in program.body if hasattr(node, "var"))
+        engine = CycleAccurateEngine(vector2_2w)
+        trace = engine.run_segment(schedule,
+                                   MemoryHierarchy(vector2_2w.memory, perfect=True),
+                                   env={loop.var: 0})
+        # the loop body is the only segment with operations; the fast model
+        # charges II + stalls, the cycle engine additionally drains.
+        assert trace.issue_cycles - trace.stall_cycles == schedule.initiation_interval
+        assert fast_stats.regions["R1"].cycles == schedule.initiation_interval
+
+    def test_stall_events_recorded(self, vector2_2w):
+        program = build_streaming_program(iterations=1, stride_bytes=512)
+        compiled = compile_program(program, vector2_2w)
+        segment = [s for s in program.segments() if s.operations][0]
+        schedule = compiled.schedule_for(segment)
+        loop = next(node for node in program.body if hasattr(node, "var"))
+        hierarchy = MemoryHierarchy(vector2_2w.memory)
+        trace = CycleAccurateEngine(vector2_2w).run_segment(schedule, hierarchy,
+                                                            env={loop.var: 0})
+        assert trace.stall_cycles > 0
+        assert any("stall" in text for _, text in trace.events)
+        assert "total:" in trace.format_log()
+
+
+class TestStats:
+    def test_region_stats_rates(self):
+        region = RegionStats("R1", vectorizable=True)
+        region.add_segment(cycles=10, operations=20, micro_ops=40,
+                           stall_cycles=2, memory_accesses=4)
+        assert region.opc == 2.0
+        assert region.uopc == 4.0
+
+    def test_region_merge(self):
+        a = RegionStats("R1", cycles=10, operations=5)
+        b = RegionStats("R1", cycles=20, operations=15)
+        merged = a.merged_with(b)
+        assert merged.cycles == 30 and merged.operations == 20
+        with pytest.raises(ValueError):
+            a.merged_with(RegionStats("R2"))
+
+    def test_run_stats_aggregation(self):
+        run = RunStats("bench", "vliw-2w", "scalar")
+        run.region("R0", vectorizable=False).add_segment(100, 150, 150, 0, 10)
+        run.region("R1", vectorizable=True).add_segment(50, 200, 800, 5, 20)
+        assert run.total_cycles == 150
+        assert run.vector_region_cycles == 50
+        assert run.scalar_region_cycles == 100
+        assert run.vectorization_fraction == pytest.approx(1 / 3)
+        assert run.vector_opc() == 4.0
+        assert run.scalar_opc() == 1.5
+        assert run.summary()["cycles"] == 150
+
+    def test_speedups(self):
+        base = RunStats("b", "vliw-2w", "scalar")
+        base.region("R1", True).add_segment(100, 10, 10, 0, 0)
+        fast = RunStats("b", "vector2-2w", "vector")
+        fast.region("R1", True).add_segment(25, 10, 10, 0, 0)
+        assert fast.speedup_over(base) == 4.0
+        assert fast.vector_region_speedup_over(base) == 4.0
+        assert fast.normalized_operations(base) == 1.0
+
+    def test_empty_run_stats(self):
+        run = RunStats("b", "c", "scalar")
+        assert run.opc == 0.0
+        assert run.vectorization_fraction == 0.0
+        assert run.speedup_over(run) == 0.0

@@ -1,0 +1,149 @@
+"""Tests of the benchmark kernel programs (the timing models)."""
+
+import pytest
+
+from repro.compiler.ir import ISAFlavor
+from repro.compiler.regalloc import check_register_pressure
+from repro.core.architecture import VectorMicroSimdVliwMachine
+from repro.core.runner import flavor_for_config, run_benchmark
+from repro.machine.config import get_config
+from repro.workloads.suite import BENCHMARK_NAMES, SuiteParameters, build_benchmark, build_suite
+
+FLAVORS = (ISAFlavor.SCALAR, ISAFlavor.USIMD, ISAFlavor.VECTOR)
+
+#: Vector-region names the paper lists per benchmark (Table 1).
+EXPECTED_REGIONS = {
+    "jpeg_enc": {"R0", "R1", "R2", "R3"},
+    "jpeg_dec": {"R0", "R1", "R2"},
+    "mpeg2_enc": {"R0", "R1", "R2", "R3"},
+    "mpeg2_dec": {"R0", "R1", "R2", "R3"},
+    "gsm_enc": {"R0", "R1", "R2"},
+    "gsm_dec": {"R0", "R1"},
+}
+
+
+@pytest.fixture(scope="module")
+def suite(tiny_parameters):
+    return build_suite(tiny_parameters)
+
+
+class TestProgramConstruction:
+    @pytest.mark.parametrize("name", BENCHMARK_NAMES)
+    def test_all_flavours_build(self, suite, name):
+        spec = suite[name]
+        assert set(spec.programs) == set(FLAVORS)
+        for program in spec.programs.values():
+            assert program.dynamic_operation_count() > 0
+
+    @pytest.mark.parametrize("name", BENCHMARK_NAMES)
+    def test_region_structure_matches_table1(self, suite, name):
+        for program in suite[name].programs.values():
+            assert set(program.region_names()) == EXPECTED_REGIONS[name]
+
+    @pytest.mark.parametrize("name", BENCHMARK_NAMES)
+    def test_scalar_region_identical_across_flavours(self, suite, name):
+        """R0 is shared code: its dynamic op count must not depend on the flavour."""
+        counts = {flavor: spec_counts.get("R0", (0, 0))[0]
+                  for flavor, spec_counts in
+                  ((f, suite[name].programs[f].dynamic_counts_by_region())
+                   for f in FLAVORS)}
+        assert counts[ISAFlavor.SCALAR] == counts[ISAFlavor.USIMD] == counts[ISAFlavor.VECTOR]
+
+    @pytest.mark.parametrize("name", BENCHMARK_NAMES)
+    def test_vector_regions_need_fewer_operations(self, suite, name):
+        """Figure-7 property: scalar > µSIMD > vector dynamic op counts."""
+        def vector_region_ops(flavor):
+            counts = suite[name].programs[flavor].dynamic_counts_by_region()
+            return sum(ops for region, (ops, _) in counts.items() if region != "R0")
+
+        scalar_ops = vector_region_ops(ISAFlavor.SCALAR)
+        usimd_ops = vector_region_ops(ISAFlavor.USIMD)
+        vector_ops = vector_region_ops(ISAFlavor.VECTOR)
+        assert scalar_ops > usimd_ops > vector_ops
+
+    @pytest.mark.parametrize("name", BENCHMARK_NAMES)
+    def test_vector_program_packs_more_micro_ops_per_op(self, suite, name):
+        vector_program = suite[name].programs[ISAFlavor.VECTOR]
+        usimd_program = suite[name].programs[ISAFlavor.USIMD]
+        vector_ratio = (vector_program.dynamic_micro_op_count()
+                        / vector_program.dynamic_operation_count())
+        usimd_ratio = (usimd_program.dynamic_micro_op_count()
+                       / usimd_program.dynamic_operation_count())
+        assert vector_ratio > usimd_ratio
+
+    @pytest.mark.parametrize("name", BENCHMARK_NAMES)
+    def test_register_pressure_fits_target_machines(self, suite, name):
+        for config_name in ("vliw-2w", "usimd-2w", "vector1-2w", "vector2-4w"):
+            config = get_config(config_name)
+            program = suite[name].program_for(config)
+            report = check_register_pressure(program, config)
+            assert report.ok, (name, config_name, report.violations)
+
+    def test_invalid_benchmark_name(self):
+        with pytest.raises(KeyError):
+            build_benchmark("mp3_dec")
+
+    def test_parameter_validation(self):
+        from repro.workloads.jpeg.programs import JpegParameters
+        from repro.workloads.mpeg2.programs import Mpeg2Parameters
+        from repro.workloads.gsm.programs import GsmParameters
+        with pytest.raises(ValueError):
+            JpegParameters(width=20, height=20)
+        with pytest.raises(ValueError):
+            Mpeg2Parameters(width=24, height=24)
+        with pytest.raises(ValueError):
+            Mpeg2Parameters(search_radius=-1)
+        with pytest.raises(ValueError):
+            GsmParameters(frames=0)
+
+
+class TestProgramExecution:
+    def test_flavor_for_config(self):
+        assert flavor_for_config(get_config("vliw-4w")) is ISAFlavor.SCALAR
+        assert flavor_for_config(get_config("usimd-8w")) is ISAFlavor.USIMD
+        assert flavor_for_config(get_config("vector1-2w")) is ISAFlavor.VECTOR
+
+    def test_run_benchmark_subset(self, suite):
+        result = run_benchmark(suite["gsm_dec"], config_names=["vliw-2w", "vector2-2w"])
+        assert set(result.config_names()) == {"vliw-2w", "vector2-2w"}
+        assert result["vliw-2w"].total_cycles > 0
+        assert result.speedup_over("vector2-2w", "vliw-2w") >= 1.0
+
+    @pytest.mark.parametrize("name", BENCHMARK_NAMES)
+    def test_usimd_and_vector_never_slower_than_vliw(self, tiny_evaluation, name):
+        base = tiny_evaluation.run(name, "vliw-2w")
+        for config in ("usimd-2w", "vector2-2w"):
+            assert tiny_evaluation.run(name, config).speedup_over(base) >= 1.0
+
+    @pytest.mark.parametrize("name", BENCHMARK_NAMES)
+    def test_vector_beats_usimd_in_vector_regions(self, tiny_evaluation, name):
+        usimd = tiny_evaluation.vector_region_speedup(name, "usimd-2w")
+        vector = tiny_evaluation.vector_region_speedup(name, "vector2-2w")
+        assert vector > usimd
+
+    def test_mpeg2_enc_has_highest_vectorization(self, tiny_evaluation):
+        fractions = {name: tiny_evaluation.vectorization_percentage(name)
+                     for name in BENCHMARK_NAMES}
+        assert max(fractions, key=fractions.get) == "mpeg2_enc"
+        assert min(fractions, key=fractions.get) == "gsm_dec"
+
+    def test_gsm_dec_vectorization_is_tiny(self, tiny_evaluation):
+        assert tiny_evaluation.vectorization_percentage("gsm_dec") < 10.0
+
+    def test_machine_rejects_wrong_flavor(self, suite):
+        machine = VectorMicroSimdVliwMachine.from_name("vliw-2w")
+        vector_program = suite["jpeg_enc"].programs[ISAFlavor.VECTOR]
+        with pytest.raises(ValueError):
+            machine.run(vector_program)
+
+    def test_spec_falls_back_to_scalar(self, tiny_parameters):
+        spec = build_benchmark("gsm_dec", tiny_parameters, flavors=[ISAFlavor.SCALAR])
+        program = spec.program_for(get_config("vector2-2w"))
+        assert program.flavor is ISAFlavor.SCALAR
+
+    def test_spec_requires_scalar_program(self, suite):
+        from repro.core.runner import BenchmarkSpec
+        with pytest.raises(ValueError):
+            BenchmarkSpec(name="broken",
+                          programs={ISAFlavor.USIMD:
+                                    suite["gsm_dec"].programs[ISAFlavor.USIMD]})

@@ -1,0 +1,374 @@
+"""Functional equivalence tests: scalar vs µSIMD vs Vector-µSIMD kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis.extra import numpy as hnp
+
+from repro.workloads.data import (synthetic_blocks, synthetic_image, synthetic_speech,
+                                  synthetic_video)
+from repro.workloads.gsm import autocorr, ltp
+from repro.workloads.jpeg import color, dct, huffman, quant, upsample
+from repro.workloads.mpeg2 import motion, predict
+
+
+@pytest.fixture(scope="module")
+def image():
+    return synthetic_image(64, 48, channels=3, seed=7)
+
+
+@pytest.fixture(scope="module")
+def video():
+    return synthetic_video(3, 64, 48, dx=2, dy=1, seed=7)
+
+
+@pytest.fixture(scope="module")
+def speech():
+    return synthetic_speech(480, seed=7)
+
+
+class TestSyntheticData:
+    def test_image_shape_and_range(self, image):
+        assert image.shape == (48, 64, 3)
+        assert image.dtype == np.uint8
+
+    def test_image_deterministic(self):
+        a = synthetic_image(32, 32, seed=1)
+        b = synthetic_image(32, 32, seed=1)
+        np.testing.assert_array_equal(a, b)
+        assert not np.array_equal(a, synthetic_image(32, 32, seed=2))
+
+    def test_video_translates(self, video):
+        assert video.shape == (3, 48, 64)
+        # consecutive frames differ but are correlated
+        assert not np.array_equal(video[0], video[1])
+        correlation = np.corrcoef(video[0].ravel(), video[1].ravel())[0, 1]
+        assert correlation > 0.3
+
+    def test_speech_range(self, speech):
+        assert speech.dtype == np.int16
+        assert np.abs(speech).max() <= 4095
+
+    def test_blocks_shape(self):
+        blocks = synthetic_blocks(5)
+        assert blocks.shape == (5, 8, 8)
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            synthetic_image(0, 10)
+        with pytest.raises(ValueError):
+            synthetic_video(0, 8, 8)
+        with pytest.raises(ValueError):
+            synthetic_speech(0)
+
+
+class TestColorConversion:
+    def test_usimd_matches_reference(self, image):
+        reference = color.rgb_to_ycc_reference(image)
+        planar = (image[..., 0].ravel(), image[..., 1].ravel(), image[..., 2].ravel())
+        y, cb, cr = color.rgb_to_ycc_usimd(planar)
+        np.testing.assert_array_equal(y, reference[..., 0].ravel())
+        np.testing.assert_array_equal(cb, reference[..., 1].ravel())
+        np.testing.assert_array_equal(cr, reference[..., 2].ravel())
+
+    def test_vector_matches_reference(self, image):
+        reference = color.rgb_to_ycc_reference(image)
+        planar = (image[..., 0].ravel(), image[..., 1].ravel(), image[..., 2].ravel())
+        y, cb, cr = color.rgb_to_ycc_vector(planar)
+        np.testing.assert_array_equal(y, reference[..., 0].ravel())
+        np.testing.assert_array_equal(cb, reference[..., 1].ravel())
+        np.testing.assert_array_equal(cr, reference[..., 2].ravel())
+
+    def test_vector_and_usimd_identical(self, image):
+        planar = (image[..., 0].ravel(), image[..., 1].ravel(), image[..., 2].ravel())
+        for a, b in zip(color.rgb_to_ycc_usimd(planar), color.rgb_to_ycc_vector(planar)):
+            np.testing.assert_array_equal(a, b)
+
+    def test_grey_input_maps_to_neutral_chroma(self):
+        grey = np.full((8, 8, 3), 120, dtype=np.uint8)
+        out = color.rgb_to_ycc_reference(grey)
+        assert np.all(out[..., 0] == 120)
+        assert np.all(np.abs(out[..., 1].astype(int) - 128) <= 1)
+        assert np.all(np.abs(out[..., 2].astype(int) - 128) <= 1)
+
+    def test_roundtrip_is_close(self, image):
+        ycc = color.rgb_to_ycc_reference(image)
+        rgb = color.ycc_to_rgb_reference(ycc)
+        error = np.abs(rgb.astype(int) - image.astype(int))
+        assert error.mean() < 3.0
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            color.rgb_to_ycc_reference(np.zeros((4, 4)))
+        with pytest.raises(ValueError):
+            color.rgb_to_ycc_usimd((np.zeros(5), np.zeros(5), np.zeros(5)))
+
+    @given(hnp.arrays(np.uint8, (3, 16)))
+    @settings(max_examples=25)
+    def test_usimd_property_equivalence(self, planes):
+        planar = (planes[0], planes[1], planes[2])
+        rgb = np.stack(planar, axis=-1).reshape(1, -1, 3)
+        reference = color.rgb_to_ycc_reference(rgb)
+        y, cb, cr = color.rgb_to_ycc_usimd(planar)
+        np.testing.assert_array_equal(y, reference[..., 0].ravel())
+        np.testing.assert_array_equal(cb, reference[..., 1].ravel())
+        np.testing.assert_array_equal(cr, reference[..., 2].ravel())
+
+
+class TestDct:
+    def test_flat_block_concentrates_in_dc(self):
+        block = np.full((8, 8), 200, dtype=np.uint8)
+        coefficients = dct.forward_dct_block(block)
+        assert abs(int(coefficients[0, 0])) > 0
+        assert np.abs(coefficients[1:, :]).max() <= 1
+        assert np.abs(coefficients[:, 1:]).max() <= 1
+
+    def test_roundtrip_accuracy(self):
+        blocks = synthetic_blocks(10, seed=3)
+        for block in blocks:
+            recovered = dct.inverse_dct_block(dct.forward_dct_block(block))
+            assert np.abs(recovered.astype(int) - block.astype(int)).max() <= 1
+
+    def test_image_roundtrip(self):
+        plane = synthetic_image(32, 32, channels=1, seed=5)[:, :, 0]
+        recovered = dct.inverse_dct_image(dct.forward_dct_image(plane))
+        assert np.abs(recovered.astype(int) - plane.astype(int)).max() <= 2
+
+    def test_energy_preservation(self):
+        block = synthetic_blocks(1, seed=9)[0]
+        coefficients = dct.forward_dct_block(block).astype(np.float64)
+        spatial_energy = ((block.astype(np.float64) - 128) ** 2).sum()
+        freq_energy = (coefficients ** 2).sum()
+        assert freq_energy == pytest.approx(spatial_energy, rel=0.05)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            dct.forward_dct_block(np.zeros((4, 4)))
+        with pytest.raises(ValueError):
+            dct.forward_dct_image(np.zeros((12, 12)))
+
+
+class TestQuantisation:
+    def test_usimd_matches_reference(self):
+        coefficients = dct.forward_dct_image(synthetic_image(32, 32, 1, seed=2)[:, :, 0])
+        reference = quant.quantize_reference(coefficients, quant.LUMINANCE_QTABLE)
+        np.testing.assert_array_equal(
+            quant.quantize_usimd(coefficients, quant.LUMINANCE_QTABLE), reference)
+
+    def test_vector_matches_reference(self):
+        coefficients = dct.forward_dct_image(synthetic_image(32, 32, 1, seed=2)[:, :, 0])
+        reference = quant.quantize_reference(coefficients, quant.CHROMINANCE_QTABLE)
+        np.testing.assert_array_equal(
+            quant.quantize_vector(coefficients, quant.CHROMINANCE_QTABLE), reference)
+
+    def test_quantisation_reduces_magnitude(self):
+        coefficients = dct.forward_dct_image(synthetic_image(32, 32, 1, seed=2)[:, :, 0])
+        quantised = quant.quantize_reference(coefficients, quant.LUMINANCE_QTABLE)
+        assert np.abs(quantised).sum() < np.abs(coefficients).sum()
+
+    def test_dequantize_roundtrip_error_bounded(self):
+        coefficients = dct.forward_dct_image(synthetic_image(32, 32, 1, seed=2)[:, :, 0])
+        quantised = quant.quantize_reference(coefficients, quant.LUMINANCE_QTABLE)
+        restored = quant.dequantize_reference(quantised, quant.LUMINANCE_QTABLE)
+        tiled = np.tile(quant.LUMINANCE_QTABLE, (4, 4))
+        assert np.all(np.abs(restored.astype(int) - coefficients.astype(int)) <= tiled)
+
+    def test_reciprocal_table_validation(self):
+        with pytest.raises(ValueError):
+            quant.reciprocal_table(np.zeros((8, 8), dtype=int))
+
+
+class TestUpsample:
+    def test_usimd_matches_reference(self):
+        chroma = synthetic_image(32, 16, 1, seed=4)[:, :, 0]
+        np.testing.assert_array_equal(upsample.upsample_h2v2_usimd(chroma),
+                                      upsample.upsample_h2v2_reference(chroma))
+
+    def test_vector_matches_reference(self):
+        chroma = synthetic_image(32, 16, 1, seed=4)[:, :, 0]
+        np.testing.assert_array_equal(upsample.upsample_h2v2_vector(chroma),
+                                      upsample.upsample_h2v2_reference(chroma))
+
+    def test_output_shape(self):
+        chroma = np.zeros((8, 16), dtype=np.uint8)
+        assert upsample.upsample_h2v2_reference(chroma).shape == (16, 32)
+
+    def test_constant_plane_stays_constant(self):
+        chroma = np.full((8, 16), 77, dtype=np.uint8)
+        out = upsample.upsample_h2v2_reference(chroma)
+        assert np.all(out == 77)
+
+    def test_down_then_up_is_close(self):
+        plane = synthetic_image(32, 32, 1, seed=6)[:, :, 0]
+        down = upsample.downsample_h2v2(plane)
+        up = upsample.upsample_h2v2_reference(down)
+        assert np.abs(up.astype(int) - plane.astype(int)).mean() < 12
+
+    def test_width_validation(self):
+        with pytest.raises(ValueError):
+            upsample.upsample_h2v2_usimd(np.zeros((4, 6), dtype=np.uint8))
+
+
+class TestHuffman:
+    def test_zigzag_permutation(self):
+        block = np.arange(64).reshape(8, 8)
+        scanned = huffman.zigzag_scan(block)
+        assert sorted(scanned.tolist()) == list(range(64))
+        np.testing.assert_array_equal(huffman.inverse_zigzag(scanned), block)
+
+    def test_zigzag_starts_with_dc_neighbours(self):
+        block = np.arange(64).reshape(8, 8)
+        scanned = huffman.zigzag_scan(block)
+        assert scanned[0] == 0 and set(scanned[1:3].tolist()) == {1, 8}
+
+    def test_run_length_roundtrip(self):
+        sequence = np.zeros(64, dtype=np.int64)
+        sequence[[0, 5, 20, 63]] = [10, -3, 7, 1]
+        pairs = huffman.run_length_encode(sequence)
+        np.testing.assert_array_equal(huffman.run_length_decode(pairs), sequence)
+
+    def test_bit_writer_reader_roundtrip(self):
+        writer = huffman.BitWriter()
+        writer.write(0b1011, 4)
+        writer.write_unary(3)
+        writer.write(0, 1)
+        reader = huffman.BitReader(writer.getvalue())
+        assert reader.read(4) == 0b1011
+        assert reader.read_unary() == 3
+        assert reader.read(1) == 0
+
+    def test_block_roundtrip(self):
+        blocks = synthetic_blocks(4, seed=11)
+        for block in blocks:
+            quantised = quant.quantize_reference(
+                dct.forward_dct_block(block).astype(np.int16).reshape(8, 8),
+                quant.LUMINANCE_QTABLE)
+            writer = huffman.BitWriter()
+            huffman.encode_block(quantised, writer)
+            decoded = huffman.decode_block(huffman.BitReader(writer.getvalue()))
+            np.testing.assert_array_equal(decoded, quantised)
+
+    def test_compression_happens(self):
+        quantised = np.zeros((8, 8), dtype=np.int16)
+        quantised[0, 0] = 5
+        writer = huffman.BitWriter()
+        huffman.encode_block(quantised, writer)
+        assert len(writer.getvalue()) < 64  # far fewer bytes than raw
+
+
+class TestMotion:
+    def test_usimd_and_vector_sad_match_reference(self):
+        blocks = synthetic_blocks(2, block=(16, 16), seed=13)
+        reference_value = motion.sad_block_reference(blocks[0], blocks[1])
+        assert motion.sad_block_usimd(blocks[0], blocks[1]) == reference_value
+        assert motion.sad_block_vector(blocks[0], blocks[1]) == reference_value
+
+    def test_sad_of_identical_blocks_is_zero(self):
+        block = synthetic_blocks(1, block=(16, 16), seed=14)[0]
+        assert motion.sad_block_reference(block, block) == 0
+        assert motion.sad_block_vector(block, block) == 0
+
+    def test_full_search_recovers_synthetic_motion(self, video):
+        # frame 1 is frame 0 shifted by (dy=1, dx=2): searching frame1's block
+        # in frame 0 should find displacement (-1, -2) (modulo border effects).
+        (dy, dx), sad = motion.full_search_reference(video[0], video[1],
+                                                     mb_row=16, mb_col=16, radius=3)
+        assert (dy, dx) == (-1, -2)
+
+    def test_full_search_zero_motion_for_same_frame(self, video):
+        (dy, dx), sad = motion.full_search_reference(video[0], video[0], 16, 16, 2)
+        assert (dy, dx) == (0, 0) and sad == 0
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            motion.sad_block_reference(np.zeros((8, 8)), np.zeros((8, 16)))
+        with pytest.raises(ValueError):
+            motion.sad_block_usimd(np.zeros((8, 10), dtype=np.uint8),
+                                   np.zeros((8, 10), dtype=np.uint8))
+
+
+class TestPrediction:
+    def test_full_pel_prediction_is_copy(self, video):
+        out = predict.form_prediction_reference(video[0], 8, 8)
+        np.testing.assert_array_equal(out, video[0][8:24, 8:24])
+
+    def test_half_pel_usimd_matches_reference(self, video):
+        for half_x, half_y in ((True, False), (False, True), (False, False)):
+            reference_block = predict.form_prediction_reference(
+                video[0], 8, 8, half_pel_x=half_x, half_pel_y=half_y)
+            usimd_block = predict.form_prediction_usimd(
+                video[0], 8, 8, half_pel_x=half_x, half_pel_y=half_y)
+            np.testing.assert_array_equal(usimd_block, reference_block)
+
+    def test_vector_matches_reference(self, video):
+        reference_block = predict.form_prediction_reference(video[0], 8, 8,
+                                                            half_pel_x=True)
+        vector_block = predict.form_prediction_vector(video[0], 8, 8, half_pel_x=True)
+        np.testing.assert_array_equal(vector_block, reference_block)
+
+    def test_add_block_saturation(self):
+        prediction = np.full((8, 8), 250, dtype=np.uint8)
+        residual = np.full((8, 8), 20, dtype=np.int16)
+        out = predict.add_block_reference(prediction, residual)
+        assert np.all(out == 255)
+        negative = predict.add_block_reference(np.zeros((8, 8), np.uint8),
+                                               np.full((8, 8), -5, np.int16))
+        assert np.all(negative == 0)
+
+    def test_add_block_flavours_match(self):
+        rng = np.random.default_rng(15)
+        prediction = rng.integers(0, 256, (16, 16), dtype=np.uint8)
+        residual = rng.integers(-64, 64, (16, 16)).astype(np.int16)
+        reference_block = predict.add_block_reference(prediction, residual)
+        np.testing.assert_array_equal(predict.add_block_usimd(prediction, residual),
+                                      reference_block)
+        np.testing.assert_array_equal(predict.add_block_vector(prediction, residual),
+                                      reference_block)
+
+
+class TestGsmKernels:
+    def test_autocorrelation_flavours_match(self, speech):
+        frame = speech[:autocorr.GSM_FRAME_SAMPLES]
+        reference_acf = autocorr.autocorrelation_reference(frame)
+        np.testing.assert_array_equal(autocorr.autocorrelation_usimd(frame), reference_acf)
+        np.testing.assert_array_equal(autocorr.autocorrelation_vector(frame), reference_acf)
+
+    def test_autocorrelation_lag_zero_is_energy(self, speech):
+        frame = speech[:160].astype(np.int64)
+        acf = autocorr.autocorrelation_reference(frame)
+        assert acf[0] == int((frame * frame).sum())
+        assert acf[0] >= np.abs(acf[1:]).max()
+
+    def test_ltp_flavours_match(self, speech):
+        history = speech[:ltp.LTP_MAX_LAG]
+        current = speech[ltp.LTP_MAX_LAG:ltp.LTP_MAX_LAG + ltp.SUBSEGMENT_SAMPLES]
+        reference_result = ltp.ltp_parameters_reference(current, history)
+        assert ltp.ltp_parameters_usimd(current, history) == reference_result
+        assert ltp.ltp_parameters_vector(current, history) == reference_result
+
+    def test_ltp_finds_planted_lag(self):
+        # plant an exact copy of the current sub-segment at lag 60: the search
+        # must find it (it maximises the cross-correlation by construction)
+        rng = np.random.default_rng(3)
+        current = (1500 * np.sin(np.arange(40) / 3.0)).astype(np.int16)
+        history = rng.integers(-200, 200, ltp.LTP_MAX_LAG).astype(np.int16)
+        lag_planted = 60
+        start = ltp.LTP_MAX_LAG - lag_planted
+        history[start:start + ltp.SUBSEGMENT_SAMPLES] = current
+        lag, value = ltp.ltp_parameters_reference(current, history)
+        assert lag == lag_planted
+        assert value == int((current.astype(np.int64) ** 2).sum())
+
+    def test_long_term_filter_gain_zero_is_identity(self, speech):
+        residual = speech[:40]
+        history = speech[:120]
+        out = ltp.long_term_filter_reference(residual, history, lag=60, gain_q6=0)
+        np.testing.assert_array_equal(out, residual)
+
+    def test_validation(self, speech):
+        with pytest.raises(ValueError):
+            ltp.ltp_parameters_reference(speech[:10], speech[:200])
+        with pytest.raises(ValueError):
+            ltp.ltp_parameters_reference(speech[:40], speech[:30])
+        with pytest.raises(ValueError):
+            autocorr.autocorrelation_reference(np.zeros((2, 2)))
