@@ -5,12 +5,37 @@ a few minutes; EXPERIMENTS.md records the default-size results produced by
 ``python -m repro.experiments.report``.  Heavy whole-suite benchmarks are
 executed with a single round (``benchmark.pedantic``) because one evaluation
 sweep is already seconds long.
+
+The shared :class:`SuiteEvaluation` runs through the experiment engine: the
+``REPRO_JOBS`` environment variable (default: the CPU count) sets how many
+worker processes each batched sweep may use.  Serial and parallel sweeps
+produce byte-identical statistics, so the benchmark numbers are comparable
+across job counts.
+
+Everything in this directory is also marked ``slow`` so that a plain
+``pytest -m "not slow"`` (the default CI lane) skips the benchmark suite.
 """
+
+import pathlib
 
 import pytest
 
+from repro.core.runner import default_jobs
 from repro.experiments.evaluation import SuiteEvaluation
 from repro.workloads.suite import SuiteParameters
+
+_BENCH_DIR = pathlib.Path(__file__).parent.resolve()
+
+
+def pytest_collection_modifyitems(items):
+    """Mark every benchmark in this directory as ``slow``."""
+    for item in items:
+        try:
+            in_bench_dir = _BENCH_DIR in pathlib.Path(str(item.fspath)).resolve().parents
+        except OSError:  # pragma: no cover - defensive
+            in_bench_dir = False
+        if in_bench_dir:
+            item.add_marker(pytest.mark.slow)
 
 
 @pytest.fixture(scope="session")
@@ -21,4 +46,4 @@ def bench_parameters() -> SuiteParameters:
 @pytest.fixture(scope="session")
 def bench_evaluation(bench_parameters) -> SuiteEvaluation:
     """Shared evaluation cache; each benchmark touches the slices it needs."""
-    return SuiteEvaluation(parameters=bench_parameters)
+    return SuiteEvaluation(parameters=bench_parameters, jobs=default_jobs())

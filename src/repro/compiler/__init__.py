@@ -16,7 +16,10 @@ configuration.  This package plays that role:
   operations into VLIW instructions subject to the reservation table, the
   latency descriptors and vector chaining;
 * :mod:`repro.compiler.regalloc` — register-pressure verification against
-  the register files of the target configuration.
+  the register files of the target configuration;
+* :mod:`repro.compiler.cache` — the content-addressed compile cache that
+  lets the experiment sweeps schedule each distinct (program,
+  configuration) pair exactly once.
 """
 
 from repro.compiler.ir import (
@@ -30,11 +33,15 @@ from repro.compiler.ir import (
     KernelProgram,
 )
 from repro.compiler.builder import KernelBuilder
+from repro.compiler.cache import CompileCache, GLOBAL_COMPILE_CACHE, compile_cached
 from repro.compiler.dataflow import DependenceGraph, build_dependence_graph
 from repro.compiler.scheduler import Schedule, ScheduledOperation, schedule_segment, compile_program, CompiledProgram
 from repro.compiler.regalloc import RegisterPressureReport, check_register_pressure
 
 __all__ = [
+    "CompileCache",
+    "GLOBAL_COMPILE_CACHE",
+    "compile_cached",
     "ISAFlavor",
     "VirtualRegister",
     "AddressExpr",

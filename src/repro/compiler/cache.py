@@ -1,0 +1,290 @@
+"""Content-addressed compile cache.
+
+Scheduling a kernel program is pure: the resulting
+:class:`~repro.compiler.scheduler.CompiledProgram` depends only on the
+program's IR, the target machine configuration and the latency model.  The
+experiment sweeps exploit very little of that purity — the Table-2 sweep
+compiles the same three program flavours once per configuration *and once
+per memory mode*, and every fresh :class:`SuiteEvaluation` starts from
+scratch.  This module provides the missing memoisation layer:
+
+* :func:`fingerprint_program` — a stable content hash of a kernel program's
+  IR.  Register and loop-variable identities (process-global counters) are
+  normalised to first-appearance indices, so two structurally identical
+  programs built at different times — or in different worker processes —
+  hash identically.  Cosmetic fields (labels, comments, the program name)
+  are excluded.
+* :class:`CompileCache` — maps ``(program, config, latency model)``
+  fingerprints to compiled programs.  A hit for a *different but
+  structurally identical* program object is served by rebinding the cached
+  schedule's timing onto the new program's operations (cycle assignments
+  are positional, so no re-scheduling is needed).
+* :data:`GLOBAL_COMPILE_CACHE` / :func:`compile_cached` — the process-wide
+  instance every machine object and experiment engine shares by default.
+
+The cache is in-memory and per-process; the multiprocessing executor in
+:mod:`repro.core.runner` gives each worker its own instance, which is
+exactly the right scope because compiled schedules hold references to live
+IR objects and must not cross process boundaries.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.compiler.ir import KernelProgram, LoopNode, Operation, Segment
+from repro.compiler.scheduler import (
+    CompiledProgram,
+    Schedule,
+    ScheduledOperation,
+    compile_program,
+)
+from repro.machine.config import MachineConfig
+from repro.machine.latency import LatencyModel
+
+__all__ = [
+    "CompileCacheStats",
+    "CompileCache",
+    "GLOBAL_COMPILE_CACHE",
+    "compile_cached",
+    "fingerprint_program",
+    "fingerprint_config",
+    "fingerprint_latency_model",
+]
+
+
+# ---------------------------------------------------------------------------
+# Fingerprints
+# ---------------------------------------------------------------------------
+
+class _Normalizer:
+    """First-appearance numbering for process-global identities."""
+
+    def __init__(self) -> None:
+        self._ids: Dict[int, int] = {}
+
+    def __call__(self, ident: int) -> int:
+        return self._ids.setdefault(ident, len(self._ids))
+
+
+def _operation_key(op: Operation, regs: _Normalizer, loops: _Normalizer) -> tuple:
+    address_key = None
+    if op.address is not None:
+        address_key = (
+            op.address.base,
+            tuple(sorted((loops(var.ident), coef) for var, coef in op.address.terms)),
+            op.address.wrap_bytes,
+        )
+    return (
+        op.opcode,
+        tuple((reg.reg_class.value, regs(reg.ident)) for reg in op.dests),
+        tuple((reg.reg_class.value, regs(reg.ident)) for reg in op.srcs),
+        address_key,
+        op.stride_bytes,
+        op.vector_length,
+        op.subwords,
+    )
+
+
+def _node_key(node, regs: _Normalizer, loops: _Normalizer) -> tuple:
+    if isinstance(node, Segment):
+        return ("seg", node.region,
+                tuple(_operation_key(op, regs, loops) for op in node.operations))
+    if isinstance(node, LoopNode):
+        return ("loop", node.region, loops(node.var.ident), node.trip_count,
+                tuple(_node_key(child, regs, loops) for child in node.body))
+    raise TypeError(f"unexpected program node {node!r}")  # pragma: no cover
+
+
+def fingerprint_program(program: KernelProgram) -> str:
+    """Stable content hash of a program's IR (names/labels excluded).
+
+    Two programs with the same loop structure, regions and operations get
+    the same fingerprint even when their virtual-register and loop-variable
+    identities differ (those are process-global counters).
+    """
+    regs = _Normalizer()
+    loops = _Normalizer()
+    key = (
+        program.flavor.value,
+        tuple(sorted((name, info.vectorizable) for name, info in program.regions.items())),
+        tuple(_node_key(node, regs, loops) for node in program.body),
+    )
+    return hashlib.sha256(repr(key).encode()).hexdigest()
+
+
+def fingerprint_config(config: MachineConfig) -> str:
+    """Content hash of a machine configuration (all scheduling inputs)."""
+    return hashlib.sha256(repr(config).encode()).hexdigest()
+
+
+def _latency_table_key(latency_model: LatencyModel) -> tuple:
+    """The latency model's content as a hashable key (shared by cache + hash)."""
+    return tuple(sorted(latency_model.flow_latencies.items()))
+
+
+def fingerprint_latency_model(latency_model: LatencyModel) -> str:
+    """Content hash of a latency model's flow-latency table."""
+    return hashlib.sha256(repr(_latency_table_key(latency_model)).encode()).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# The cache
+# ---------------------------------------------------------------------------
+
+@dataclass
+class CompileCacheStats:
+    """Hit/miss counters of one compile cache."""
+
+    hits: int = 0
+    misses: int = 0
+    rebinds: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def snapshot(self) -> Dict[str, float]:
+        return {"hits": self.hits, "misses": self.misses,
+                "rebinds": self.rebinds, "hit_rate": self.hit_rate}
+
+
+def _rebind(compiled: CompiledProgram, program: KernelProgram) -> CompiledProgram:
+    """Transfer a cached compilation onto a structurally identical program.
+
+    Schedules assign cycles positionally (entry *i* times operation *i* of
+    its segment), so an equal program needs no re-scheduling — only new
+    :class:`ScheduledOperation` records pointing at its own operation
+    objects, whose address expressions reference its own loop variables.
+    """
+    fresh = CompiledProgram(program=program, config=compiled.config,
+                            latency_model=compiled.latency_model)
+    old_segments = compiled.program.segments()
+    new_segments = program.segments()
+    if len(old_segments) != len(new_segments):  # pragma: no cover - defensive
+        raise ValueError("cannot rebind schedules: segment count differs")
+    for old_seg, new_seg in zip(old_segments, new_segments):
+        schedule = compiled.schedules[id(old_seg)]
+        if len(old_seg.operations) != len(new_seg.operations):  # pragma: no cover
+            raise ValueError("cannot rebind schedules: operation count differs")
+        entries = [
+            ScheduledOperation(operation=new_op, cycle=entry.cycle,
+                               occupancy=entry.occupancy,
+                               assumed_latency=entry.assumed_latency)
+            for new_op, entry in zip(new_seg.operations, schedule.entries)
+        ]
+        fresh.schedules[id(new_seg)] = Schedule(
+            segment=new_seg, config_name=schedule.config_name, entries=entries,
+            recurrence_interval=schedule.recurrence_interval)
+    return fresh
+
+
+class CompileCache:
+    """Content-addressed cache of compiled (scheduled) programs.
+
+    Lookups are two-tier: an identity memo keyed on the live program object
+    and the (value-hashed) configuration — no IR hashing on the hot path —
+    backed by the content-addressed store keyed on
+    :func:`fingerprint_program` so structurally identical programs built
+    independently still share one scheduling pass.
+
+    Both tiers are bounded LRU maps; ``max_entries`` covers the full
+    Table-2 sweep (≈ 20 distinct (program, configuration) pairs per
+    benchmark) many times over while keeping long-lived processes from
+    accumulating every program they ever compiled.  An identity entry's
+    :class:`CompiledProgram` keeps its program alive, so a live entry's
+    ``id(program)`` key can never be recycled; eviction drops key and
+    value together.
+    """
+
+    def __init__(self, max_entries: int = 1024) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.max_entries = max_entries
+        self._by_identity: "OrderedDict[tuple, CompiledProgram]" = OrderedDict()
+        self._by_content: "OrderedDict[tuple, CompiledProgram]" = OrderedDict()
+        self.stats = CompileCacheStats()
+
+    def get(self, program: KernelProgram, config: MachineConfig,
+            latency_model: Optional[LatencyModel] = None) -> CompiledProgram:
+        """The compiled form of ``program`` on ``config`` (compiling on miss)."""
+        latency_model = latency_model if latency_model is not None else _DEFAULT_LATENCY_MODEL
+        # Reading the table on every lookup (rather than memoising per model
+        # object) means an in-place mutation of ``flow_latencies`` is picked
+        # up like the seed's always-recompile path did: the key changes, the
+        # lookup misses and the program is rescheduled.
+        latency_fp = _latency_table_key(latency_model)
+        # the frozen MachineConfig hashes by value, so same-name variants
+        # derived with dataclasses.replace / with_memory key separately
+        identity_key = (id(program), config, latency_fp)
+        cached = self._by_identity.get(identity_key)
+        if cached is not None:
+            self._by_identity.move_to_end(identity_key)
+            self.stats.hits += 1
+            return cached
+
+        content_key = (fingerprint_program(program),
+                       fingerprint_config(config), latency_fp)
+        cached = self._by_content.get(content_key)
+        if cached is not None:
+            self._by_content.move_to_end(content_key)
+            self.stats.hits += 1
+            self.stats.rebinds += 1
+            rebound = _rebind(cached, program)
+            self._remember(identity_key, content_key, rebound)
+            return rebound
+
+        self.stats.misses += 1
+        compiled = compile_program(program, config, latency_model)
+        self._remember(identity_key, content_key, compiled)
+        return compiled
+
+    def _remember(self, identity_key, content_key,
+                  compiled: CompiledProgram) -> None:
+        self._by_identity[identity_key] = compiled
+        self._by_identity.move_to_end(identity_key)
+        while len(self._by_identity) > self.max_entries:
+            self._by_identity.popitem(last=False)
+        if content_key not in self._by_content:
+            self._by_content[content_key] = compiled
+        self._by_content.move_to_end(content_key)
+        while len(self._by_content) > self.max_entries:
+            self._by_content.popitem(last=False)
+
+    def __len__(self) -> int:
+        return len(self._by_content)
+
+    def clear(self) -> None:
+        """Drop every cached compilation (counters are reset too)."""
+        self._by_identity.clear()
+        self._by_content.clear()
+        self.stats = CompileCacheStats()
+
+
+#: Shared default so callers that pass no latency model hit the memoised
+#: fingerprint instead of re-hashing a fresh ``LatencyModel()`` every call.
+_DEFAULT_LATENCY_MODEL = LatencyModel()
+
+
+#: The process-wide cache shared by machines and the experiment engine.
+GLOBAL_COMPILE_CACHE = CompileCache()
+
+
+def compile_cached(program: KernelProgram, config: MachineConfig,
+                   latency_model: Optional[LatencyModel] = None,
+                   cache: Optional[CompileCache] = None) -> CompiledProgram:
+    """Schedule ``program`` for ``config`` through a compile cache.
+
+    Drop-in replacement for
+    :func:`repro.compiler.scheduler.compile_program`; pass ``cache=None``
+    (the default) to share :data:`GLOBAL_COMPILE_CACHE`.
+    """
+    target = cache if cache is not None else GLOBAL_COMPILE_CACHE
+    return target.get(program, config, latency_model)

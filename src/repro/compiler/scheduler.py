@@ -30,7 +30,14 @@ from repro.compiler.dataflow import (
     build_dependence_graph,
     loop_carried_registers,
 )
-from repro.compiler.ir import KernelProgram, LoopNode, Operation, ProgramNode, Segment
+from repro.compiler.ir import (
+    AddressExpr,
+    KernelProgram,
+    LoopNode,
+    Operation,
+    ProgramNode,
+    Segment,
+)
 from repro.isa.registers import RegisterClass
 from repro.machine.config import MachineConfig
 from repro.machine.latency import LatencyModel
@@ -44,6 +51,8 @@ __all__ = [
     "ScheduledOperation",
     "Schedule",
     "schedule_segment",
+    "MemoryOpSummary",
+    "SegmentSummary",
     "CompiledProgram",
     "compile_program",
 ]
@@ -233,6 +242,43 @@ def schedule_segment(segment: Segment, config: MachineConfig,
                     recurrence_interval=recurrence)
 
 
+@dataclass(frozen=True)
+class MemoryOpSummary:
+    """Loop-invariant execution facts of one scheduled memory operation.
+
+    Everything the executor needs per dynamic instance except the concrete
+    address: which path the access takes, its geometry and the latency the
+    schedule assumed.  Precomputing these removes every per-iteration
+    opcode-descriptor lookup from the simulation hot loop.
+    """
+
+    address: AddressExpr
+    is_vector: bool
+    stride_bytes: int
+    vector_length: int
+    is_store: bool
+    assumed_latency: int
+
+
+@dataclass(frozen=True)
+class SegmentSummary:
+    """Loop-invariant execution facts of one scheduled segment.
+
+    The fast executor charges every dynamic execution of a segment its
+    initiation interval plus run-time memory stalls; the interval, the
+    operation/micro-operation counts and the memory-operation metadata are
+    all static, so they are computed once per compilation instead of once
+    per iteration (the dominant cost of the seed simulator).
+    """
+
+    region: str
+    vectorizable: bool
+    initiation_interval: int
+    operations: int
+    micro_ops: int
+    memory_ops: Tuple[MemoryOpSummary, ...]
+
+
 @dataclass
 class CompiledProgram:
     """A program together with the per-segment schedules for one configuration."""
@@ -241,10 +287,45 @@ class CompiledProgram:
     config: MachineConfig
     latency_model: LatencyModel
     schedules: Dict[int, Schedule] = field(default_factory=dict)
+    _summaries: Dict[int, SegmentSummary] = field(default_factory=dict, repr=False)
 
     def schedule_for(self, segment: Segment) -> Schedule:
         """Schedule of one segment (segments are identified by object id)."""
         return self.schedules[id(segment)]
+
+    def summary_for(self, segment: Segment) -> SegmentSummary:
+        """Loop-invariant execution summary of one segment (memoised).
+
+        Summaries live on the compiled program so every execution engine —
+        and, through the compile cache, every run of the same (program,
+        configuration) pair — shares one precomputation.
+        """
+        key = id(segment)
+        summary = self._summaries.get(key)
+        if summary is None:
+            schedule = self.schedules[key]
+            region_info = self.program.regions.get(segment.region)
+            memory_ops = tuple(
+                MemoryOpSummary(
+                    address=entry.operation.address,
+                    is_vector=entry.operation.is_vector_memory,
+                    stride_bytes=entry.operation.stride_bytes,
+                    vector_length=entry.operation.vector_length,
+                    is_store=entry.operation.is_store,
+                    assumed_latency=entry.assumed_latency,
+                )
+                for entry in schedule.memory_operations()
+            )
+            summary = SegmentSummary(
+                region=segment.region,
+                vectorizable=bool(region_info and region_info.vectorizable),
+                initiation_interval=schedule.initiation_interval,
+                operations=len(segment.operations),
+                micro_ops=segment.static_micro_ops,
+                memory_ops=memory_ops,
+            )
+            self._summaries[key] = summary
+        return summary
 
     def total_static_cycles(self) -> int:
         """Sum of the initiation intervals of all segments (diagnostic only)."""

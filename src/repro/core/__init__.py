@@ -14,7 +14,15 @@ library manipulates:
 """
 
 from repro.core.architecture import VectorMicroSimdVliwMachine
-from repro.core.runner import BenchmarkSpec, BenchmarkResult, run_benchmark, flavor_for_config
+from repro.core.runner import (
+    BenchmarkSpec,
+    BenchmarkResult,
+    run_benchmark,
+    run_benchmarks,
+    execute_requests,
+    default_jobs,
+    flavor_for_config,
+)
 from repro.core.metrics import (
     arithmetic_mean,
     geometric_mean,
@@ -27,6 +35,9 @@ __all__ = [
     "BenchmarkSpec",
     "BenchmarkResult",
     "run_benchmark",
+    "run_benchmarks",
+    "execute_requests",
+    "default_jobs",
     "flavor_for_config",
     "arithmetic_mean",
     "geometric_mean",

@@ -21,9 +21,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
+from repro.compiler.cache import compile_cached
 from repro.compiler.ir import ISAFlavor, KernelProgram, Segment
 from repro.compiler.regalloc import RegisterPressureReport, check_register_pressure
-from repro.compiler.scheduler import CompiledProgram, Schedule, compile_program, schedule_segment
+from repro.compiler.scheduler import CompiledProgram, Schedule, schedule_segment
 from repro.machine.config import MachineConfig, get_config
 from repro.machine.latency import LatencyModel
 from repro.memory.hierarchy import MemoryHierarchy
@@ -69,11 +70,16 @@ class VectorMicroSimdVliwMachine:
     # ------------------------------------------------------------ compilation
 
     def compile(self, program: KernelProgram) -> CompiledProgram:
-        """Statically schedule ``program`` for this machine."""
+        """Statically schedule ``program`` for this machine.
+
+        Compilation goes through the process-wide content-addressed compile
+        cache, so the ten Table-2 configurations and the perfect/realistic
+        memory modes share one scheduling pass per distinct program.
+        """
         if not self.supports(program.flavor):
             raise ValueError(
                 f"{self.config.name} cannot execute {program.flavor.value} programs")
-        return compile_program(program, self.config, self.latency_model)
+        return compile_cached(program, self.config, self.latency_model)
 
     def schedule_segment(self, segment: Segment) -> Schedule:
         """Schedule a single segment (useful for kernels and examples)."""

@@ -17,20 +17,39 @@ VLIW          scalar
 configuration (optionally with perfect memory) and returns the per-config
 :class:`~repro.sim.stats.RunStats` keyed by configuration name, which is the
 raw material of every figure and table in :mod:`repro.experiments`.
+
+:func:`run_benchmarks` is the batched, parallel entry point: it expands a
+set of benchmarks into an :class:`~repro.sim.plan.ExperimentPlan`, executes
+the independent (benchmark × configuration × memory-mode) runs either
+serially or across a ``multiprocessing`` pool (``jobs=N``), and merges the
+per-worker shards deterministically — a parallel sweep is byte-identical to
+a serial one.
 """
 
 from __future__ import annotations
 
+import multiprocessing
+import os
+import sys
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Mapping, Optional, Sequence
+from typing import Dict, Iterable, Mapping, Optional, Sequence, Union
 
 from repro.compiler.ir import ISAFlavor, KernelProgram
 from repro.core.architecture import VectorMicroSimdVliwMachine
 from repro.machine.config import MachineConfig, PAPER_CONFIG_ORDER, get_config
 from repro.machine.latency import LatencyModel
-from repro.sim.stats import RunStats
+from repro.sim.plan import ExperimentPlan, RunRequest, execute_plan
+from repro.sim.stats import RunStats, merge_run_maps
 
-__all__ = ["BenchmarkSpec", "BenchmarkResult", "flavor_for_config", "run_benchmark"]
+__all__ = [
+    "BenchmarkSpec",
+    "BenchmarkResult",
+    "flavor_for_config",
+    "run_benchmark",
+    "run_benchmarks",
+    "execute_requests",
+    "default_jobs",
+]
 
 
 def flavor_for_config(config: MachineConfig) -> ISAFlavor:
@@ -114,3 +133,117 @@ def run_benchmark(spec: BenchmarkSpec,
         program = spec.program_for(config)
         result.runs[name] = machine.run(program)
     return result
+
+
+# ---------------------------------------------------------------------------
+# Batched / parallel execution
+# ---------------------------------------------------------------------------
+
+def default_jobs() -> int:
+    """Worker count used when callers ask for "parallel" without a number.
+
+    ``REPRO_JOBS`` overrides; otherwise the CPU count (at least 1).
+    """
+    env = os.environ.get("REPRO_JOBS")
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError as exc:
+            raise ValueError(
+                f"REPRO_JOBS must be an integer worker count, got {env!r}") from exc
+    return max(1, os.cpu_count() or 1)
+
+
+#: Per-worker state: the benchmark specs and latency model of the current
+#: pool.  Workers re-use the process-wide compile cache across tasks, so a
+#: worker that simulates several configurations of one benchmark schedules
+#: each distinct (program, configuration) pair once.
+_WORKER_STATE: Optional[tuple] = None
+
+
+def _worker_init(specs: Mapping[str, BenchmarkSpec],
+                 latency_model: Optional[LatencyModel]) -> None:
+    global _WORKER_STATE
+    _WORKER_STATE = (specs, latency_model)
+
+
+def _worker_run(request: RunRequest) -> RunStats:
+    specs, latency_model = _WORKER_STATE
+    shard = execute_plan(ExperimentPlan([request]), specs,
+                         latency_model=latency_model)
+    return shard[request]
+
+
+def _as_spec_map(specs: Union[Mapping[str, BenchmarkSpec], Iterable[BenchmarkSpec]]
+                 ) -> Dict[str, BenchmarkSpec]:
+    if isinstance(specs, Mapping):
+        return dict(specs)
+    if isinstance(specs, BenchmarkSpec):
+        specs = [specs]
+    return {spec.name: spec for spec in specs}
+
+
+def execute_requests(requests: Iterable[RunRequest],
+                     specs: Union[Mapping[str, BenchmarkSpec], Iterable[BenchmarkSpec]],
+                     jobs: int = 1,
+                     latency_model: Optional[LatencyModel] = None
+                     ) -> Dict[RunRequest, RunStats]:
+    """Execute a batch of runs, optionally across worker processes.
+
+    Every request is independent (its own warmed memory hierarchy), so the
+    batch parallelises trivially.  Results are merged with
+    :func:`repro.sim.stats.merge_run_maps` in request order regardless of
+    completion order, making ``jobs=N`` byte-identical to ``jobs=1``.
+
+    ``jobs < 2`` — or a batch too small to amortise a pool — runs in
+    process through the same serial fast path workers use.
+    """
+    plan = requests if isinstance(requests, ExperimentPlan) else ExperimentPlan(requests)
+    spec_map = _as_spec_map(specs)
+    missing = [r.benchmark for r in plan if r.benchmark not in spec_map]
+    if missing:
+        raise KeyError(f"no spec for benchmarks {sorted(set(missing))!r}")
+    if jobs < 2 or len(plan) < 2:
+        return execute_plan(plan, spec_map, latency_model=latency_model)
+
+    # Fork shares the already-built program IR with the workers for free;
+    # macOS/Windows use spawn (fork is unsafe under Objective-C frameworks
+    # and threaded BLAS) and pickle the specs once per worker instead.
+    context = multiprocessing.get_context(
+        "fork" if sys.platform == "linux" else "spawn")
+    workers = min(jobs, len(plan))
+    chunksize = max(1, len(plan) // (workers * 4))
+    with context.Pool(processes=workers, initializer=_worker_init,
+                      initargs=(spec_map, latency_model)) as pool:
+        results = pool.map(_worker_run, plan.requests, chunksize=chunksize)
+    shards = [{request: stats} for request, stats in zip(plan.requests, results)]
+    return merge_run_maps(shards, order=plan.requests)
+
+
+def run_benchmarks(specs: Union[Mapping[str, BenchmarkSpec], Iterable[BenchmarkSpec]],
+                   config_names: Optional[Iterable[str]] = None,
+                   perfect_memory: bool = False,
+                   jobs: int = 1,
+                   latency_model: Optional[LatencyModel] = None
+                   ) -> Dict[str, BenchmarkResult]:
+    """Run several benchmarks over several configurations, possibly in parallel.
+
+    The batched, engine-backed counterpart of :func:`run_benchmark`: the
+    (benchmark × configuration) cross product becomes one
+    :class:`~repro.sim.plan.ExperimentPlan`, compilations are shared through
+    the compile cache, and ``jobs=N`` distributes the independent runs over
+    ``N`` worker processes.  Returns one :class:`BenchmarkResult` per
+    benchmark, keyed and ordered by benchmark name as supplied.
+    """
+    spec_map = _as_spec_map(specs)
+    names = list(config_names) if config_names is not None else list(PAPER_CONFIG_ORDER)
+    plan = ExperimentPlan.from_sweep(list(spec_map), names,
+                                     memory_modes=(perfect_memory,))
+    runs = execute_requests(plan, spec_map, jobs=jobs, latency_model=latency_model)
+    results: Dict[str, BenchmarkResult] = {}
+    for benchmark in spec_map:
+        result = BenchmarkResult(benchmark=benchmark, perfect_memory=perfect_memory)
+        for name in names:
+            result.runs[name] = runs[RunRequest(benchmark, name, perfect_memory)]
+        results[benchmark] = result
+    return results

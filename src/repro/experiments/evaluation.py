@@ -2,20 +2,34 @@
 
 Running the six benchmarks over the ten configurations (twice, for perfect
 and realistic memory) is the expensive part of regenerating the paper's
-evaluation; :class:`SuiteEvaluation` does it lazily and memoises the
-per-run :class:`~repro.sim.stats.RunStats`, so each figure/table module only
-asks for the runs it needs and repeated queries are free.
+evaluation.  :class:`SuiteEvaluation` memoises the per-run
+:class:`~repro.sim.stats.RunStats` and executes the runs through the
+experiment engine:
+
+* each figure/table module declares the slice of the sweep it needs as an
+  :class:`~repro.sim.plan.ExperimentSweep` (data, not loops) and calls
+  :meth:`SuiteEvaluation.ensure` before reading results;
+* :meth:`ensure` batches every *missing* run into one
+  :class:`~repro.sim.plan.ExperimentPlan` and executes it — serially, or
+  over ``jobs`` worker processes via
+  :func:`repro.core.runner.execute_requests`;
+* compilations are shared through the process-wide compile cache, so the
+  ten Table-2 configurations and both memory modes schedule each distinct
+  program once.
+
+Parallel and serial execution produce byte-identical statistics (see
+``tests/test_engine.py``), so ``jobs`` is purely a wall-clock knob.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Optional, Tuple
+from typing import Dict, Iterable, Optional, Tuple, Union
 
-from repro.core.runner import BenchmarkSpec, flavor_for_config
-from repro.core.architecture import VectorMicroSimdVliwMachine
-from repro.machine.config import PAPER_CONFIG_ORDER, get_config
+from repro.core.runner import BenchmarkSpec, execute_requests
+from repro.machine.config import PAPER_CONFIG_ORDER
 from repro.machine.latency import LatencyModel
+from repro.sim.plan import ExperimentPlan, ExperimentSweep, RunRequest
 from repro.sim.stats import RunStats
 from repro.workloads.suite import BENCHMARK_NAMES, SuiteParameters, build_suite
 
@@ -29,12 +43,18 @@ TABLE1_CONFIG = "usimd-2w"
 
 @dataclass
 class SuiteEvaluation:
-    """Lazily evaluated (benchmark × configuration × memory mode) result cache."""
+    """Lazily evaluated (benchmark × configuration × memory mode) result cache.
+
+    ``jobs`` controls how many worker processes :meth:`ensure` may use for a
+    batch of missing runs; ``jobs=1`` (the default) executes in process.
+    Either way, repeated queries are free and results are identical.
+    """
 
     parameters: SuiteParameters = field(default_factory=SuiteParameters.default)
     benchmark_names: Tuple[str, ...] = BENCHMARK_NAMES
     config_names: Tuple[str, ...] = PAPER_CONFIG_ORDER
     latency_model: Optional[LatencyModel] = None
+    jobs: int = 1
 
     def __post_init__(self) -> None:
         self._suite: Dict[str, BenchmarkSpec] = {}
@@ -48,6 +68,38 @@ class SuiteEvaluation:
             self._suite.update(build_suite(self.parameters, names=[benchmark]))
         return self._suite[benchmark]
 
+    # --------------------------------------------------------------- batching
+
+    def ensure(self, sweep: Union[ExperimentSweep, ExperimentPlan,
+                                  Iterable[RunRequest]]) -> None:
+        """Make every run of ``sweep`` available in the memo, batched.
+
+        Accepts an :class:`ExperimentSweep` (``None`` fields expand to this
+        evaluation's benchmarks/configurations), an
+        :class:`ExperimentPlan`, or any iterable of
+        :class:`RunRequest`.  Only missing runs are executed; with
+        ``jobs > 1`` they are distributed over worker processes and merged
+        deterministically.
+        """
+        if isinstance(sweep, ExperimentSweep):
+            requests = sweep.requests(self.benchmark_names, self.config_names)
+        elif isinstance(sweep, ExperimentPlan):
+            requests = sweep.requests
+        else:
+            requests = tuple(sweep)
+        plan = ExperimentPlan(r for r in requests if r.key() not in self._runs)
+        if not len(plan):
+            return
+        specs = {name: self.spec(name) for name in plan.benchmarks()}
+        results = execute_requests(plan, specs, jobs=self.jobs,
+                                   latency_model=self.latency_model)
+        for request, stats in results.items():
+            self._runs[request.key()] = stats
+
+    def prefetch(self, memory_modes: Tuple[bool, ...] = (False, True)) -> None:
+        """Execute the full sweep (all benchmarks × configs × modes) up front."""
+        self.ensure(ExperimentSweep(memory_modes=memory_modes))
+
     # ------------------------------------------------------------------- runs
 
     def run(self, benchmark: str, config_name: str,
@@ -55,12 +107,7 @@ class SuiteEvaluation:
         """Statistics of one benchmark on one configuration (memoised)."""
         key = (benchmark, config_name, perfect_memory)
         if key not in self._runs:
-            spec = self.spec(benchmark)
-            config = get_config(config_name)
-            machine = VectorMicroSimdVliwMachine(config, latency_model=self.latency_model,
-                                                 perfect_memory=perfect_memory)
-            program = spec.program_for(config)
-            self._runs[key] = machine.run(program)
+            self.ensure([RunRequest(benchmark, config_name, perfect_memory)])
         return self._runs[key]
 
     def runs_for_benchmark(self, benchmark: str, perfect_memory: bool = False,
@@ -68,6 +115,7 @@ class SuiteEvaluation:
                            ) -> Dict[str, RunStats]:
         """All configurations' statistics for one benchmark."""
         names = tuple(config_names) if config_names is not None else self.config_names
+        self.ensure(RunRequest(benchmark, name, perfect_memory) for name in names)
         return {name: self.run(benchmark, name, perfect_memory) for name in names}
 
     # ------------------------------------------------------------ derived data

@@ -14,15 +14,22 @@ from typing import Dict, List
 
 from repro.core.metrics import arithmetic_mean, format_table
 from repro.experiments.evaluation import SuiteEvaluation
+from repro.sim.plan import ExperimentSweep
 
-__all__ = ["USIMD_WIDTH_CONFIGS", "generate", "render", "average_scalability"]
+__all__ = ["USIMD_WIDTH_CONFIGS", "SWEEP", "generate", "render",
+           "average_scalability"]
 
 #: The µSIMD-VLIW configurations of the figure, in issue-width order.
 USIMD_WIDTH_CONFIGS = ("usimd-2w", "usimd-4w", "usimd-8w")
 
+#: The slice of the evaluation this figure needs, as data: every benchmark
+#: on the three µSIMD widths with realistic memory.
+SWEEP = ExperimentSweep(config_names=USIMD_WIDTH_CONFIGS, memory_modes=(False,))
+
 
 def generate(evaluation: SuiteEvaluation) -> List[Dict[str, object]]:
     """One row per (benchmark, config): the three speed-ups over usimd-2w."""
+    evaluation.ensure(SWEEP)
     rows: List[Dict[str, object]] = []
     for benchmark in evaluation.benchmark_names:
         reference = evaluation.run(benchmark, USIMD_WIDTH_CONFIGS[0])

@@ -20,12 +20,23 @@ from typing import Dict, List
 
 from repro.core.metrics import arithmetic_mean, format_table
 from repro.experiments.evaluation import SuiteEvaluation
+from repro.sim.plan import ExperimentSweep
 
-__all__ = ["generate", "render", "average_speedups", "memory_degradation"]
+__all__ = ["SWEEP", "DEGRADATION_SWEEP", "generate", "render",
+           "average_speedups", "memory_degradation"]
+
+#: The figure needs every benchmark on every configuration in both memory
+#: modes (panel a: perfect, panel b: realistic).
+SWEEP = ExperimentSweep(memory_modes=(True, False))
+
+#: The degradation summary compares the two modes on the 4-issue Vector2.
+DEGRADATION_SWEEP = ExperimentSweep(config_names=("vector2-4w",),
+                                    memory_modes=(True, False))
 
 
 def generate(evaluation: SuiteEvaluation, perfect_memory: bool) -> List[Dict[str, object]]:
     """One row per (benchmark, configuration) with the vector-region speed-up."""
+    evaluation.ensure(ExperimentSweep(memory_modes=(perfect_memory,)))
     rows: List[Dict[str, object]] = []
     for benchmark in evaluation.benchmark_names:
         for config_name in evaluation.config_names:
@@ -56,6 +67,7 @@ def memory_degradation(evaluation: SuiteEvaluation) -> Dict[str, float]:
     ``perfect_cycles⁻¹ / realistic_cycles⁻¹`` (values > 1 mean degradation);
     mpeg2_enc should be the clear outlier, as in the paper (close to 3×).
     """
+    evaluation.ensure(DEGRADATION_SWEEP)
     out: Dict[str, float] = {}
     for benchmark in evaluation.benchmark_names:
         perfect = evaluation.run(benchmark, "vector2-4w", perfect_memory=True)

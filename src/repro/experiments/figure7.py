@@ -14,16 +14,22 @@ from typing import Dict, List
 
 from repro.core.metrics import arithmetic_mean, format_table
 from repro.experiments.evaluation import SuiteEvaluation
+from repro.sim.plan import ExperimentSweep
 
-__all__ = ["FAMILY_CONFIGS", "generate", "render", "vector_region_op_reduction"]
+__all__ = ["FAMILY_CONFIGS", "SWEEP", "generate", "render",
+           "vector_region_op_reduction"]
 
 #: One representative configuration per architecture family (op counts do not
 #: depend on the issue width, only on the ISA flavour executed).
 FAMILY_CONFIGS = ("vliw-2w", "usimd-2w", "vector2-2w")
 
+#: Every benchmark on one configuration per family, realistic memory.
+SWEEP = ExperimentSweep(config_names=FAMILY_CONFIGS, memory_modes=(False,))
+
 
 def generate(evaluation: SuiteEvaluation) -> List[Dict[str, object]]:
     """One row per (benchmark, family): per-region op counts normalised to VLIW."""
+    evaluation.ensure(SWEEP)
     rows: List[Dict[str, object]] = []
     for benchmark in evaluation.benchmark_names:
         baseline_total = evaluation.run(benchmark, FAMILY_CONFIGS[0]).total_operations
@@ -44,6 +50,7 @@ def generate(evaluation: SuiteEvaluation) -> List[Dict[str, object]]:
 
 def vector_region_op_reduction(evaluation: SuiteEvaluation) -> float:
     """Average reduction of vector-region operations, vector vs µSIMD (paper: 84 %)."""
+    evaluation.ensure(SWEEP)
     reductions = []
     for benchmark in evaluation.benchmark_names:
         usimd = evaluation.run(benchmark, "usimd-2w").vector_region_operations

@@ -4,8 +4,12 @@ Usage::
 
     python -m repro.experiments.report            # default (reduced) inputs
     python -m repro.experiments.report --tiny     # test-sized inputs
+    python -m repro.experiments.report --jobs 8   # parallel sweep
 
-The output is the text recorded in EXPERIMENTS.md.
+The output is the text recorded in EXPERIMENTS.md.  The full sweep (every
+benchmark × configuration × memory mode) is prefetched through the
+experiment engine before rendering, so ``--jobs N`` parallelises all of it
+at once; the rendered numbers are identical for any job count.
 """
 
 from __future__ import annotations
@@ -24,6 +28,7 @@ __all__ = ["full_report", "main"]
 
 def full_report(evaluation: SuiteEvaluation) -> str:
     """Render every experiment against one shared evaluation cache."""
+    evaluation.prefetch()
     sections = [
         table2.render(),
         figure3.render(),
@@ -42,9 +47,11 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--tiny", action="store_true",
                         help="use the small test-sized inputs instead of the defaults")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes for the simulation sweep")
     args = parser.parse_args(argv)
     parameters = SuiteParameters.tiny() if args.tiny else SuiteParameters.default()
-    evaluation = SuiteEvaluation(parameters=parameters)
+    evaluation = SuiteEvaluation(parameters=parameters, jobs=args.jobs)
     start = time.time()
     text = full_report(evaluation)
     elapsed = time.time() - start

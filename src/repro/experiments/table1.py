@@ -11,8 +11,13 @@ from typing import Dict, List, Tuple
 
 from repro.core.metrics import format_table
 from repro.experiments.evaluation import SuiteEvaluation, TABLE1_CONFIG
+from repro.sim.plan import ExperimentSweep
 
-__all__ = ["PAPER_PERCENTAGES", "VECTOR_REGION_DESCRIPTIONS", "generate", "render"]
+__all__ = ["PAPER_PERCENTAGES", "VECTOR_REGION_DESCRIPTIONS", "SWEEP",
+           "generate", "render"]
+
+#: Every benchmark on the 2-issue µSIMD machine, realistic memory.
+SWEEP = ExperimentSweep(config_names=(TABLE1_CONFIG,), memory_modes=(False,))
 
 #: Percent of execution time in the vector regions (paper, Table 1).
 PAPER_PERCENTAGES: Dict[str, float] = {
@@ -37,6 +42,7 @@ VECTOR_REGION_DESCRIPTIONS: Dict[str, Tuple[str, ...]] = {
 
 def generate(evaluation: SuiteEvaluation) -> List[Dict[str, object]]:
     """One row per benchmark: measured vs paper vectorisation percentage."""
+    evaluation.ensure(SWEEP)
     rows: List[Dict[str, object]] = []
     for benchmark in evaluation.benchmark_names:
         measured = evaluation.vectorization_percentage(benchmark, TABLE1_CONFIG)

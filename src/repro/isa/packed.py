@@ -264,14 +264,20 @@ def pmulhw(a: np.ndarray, b: np.ndarray) -> np.ndarray:
 
 
 def pmaddwd(a: np.ndarray, b: np.ndarray) -> np.ndarray:
-    """Packed multiply-add: 4×16-bit products summed pairwise to 2×32-bit.
+    """Packed multiply-add: 4×16-bit products summed pairwise per word.
 
     ``result[..., j] = a[..., 2j]*b[..., 2j] + a[..., 2j+1]*b[..., 2j+1]``
+
+    The arithmetic is carried out in 64-bit so the pairwise dot product is
+    exact for every 16-bit input, including the MMX corner case where two
+    ``(-32768)²`` products sum to ``2³¹`` and would wrap a 32-bit result.
+    The paper's machine feeds these partial sums into wide (192-bit) packed
+    accumulators, so no saturation or wrap-around is applied.
     """
-    a = ensure_lanes(np.asarray(a, dtype=np.int32), LANES_16)
-    b = ensure_lanes(np.asarray(b, dtype=np.int32), LANES_16)
+    a = ensure_lanes(np.asarray(a, dtype=np.int64), LANES_16)
+    b = ensure_lanes(np.asarray(b, dtype=np.int64), LANES_16)
     prod = a * b
-    return (prod[..., 0::2] + prod[..., 1::2]).astype(np.int32)
+    return prod[..., 0::2] + prod[..., 1::2]
 
 
 # ---------------------------------------------------------------------------

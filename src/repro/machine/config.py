@@ -241,7 +241,28 @@ def _vector(width: int, variant: int, int_regs: int, vector_regs: int,
     )
 
 
-#: The ten configurations of Table 2, keyed by canonical name.
+#: The ten configurations of Table 2, keyed by canonical name
+#: (``"<family>-<issue width>w"``, e.g. ``"vector2-4w"``).
+#:
+#: ============  ====== ========= =========== ==================== ========
+#: name          issue  int units µSIMD units vector units × lanes L1 ports
+#: ============  ====== ========= =========== ==================== ========
+#: vliw-2w       2      2         —           —                    1
+#: vliw-4w       4      4         —           —                    2
+#: vliw-8w       8      8         —           —                    3
+#: usimd-2w      2      2         2           —                    1
+#: usimd-4w      4      4         4           —                    2
+#: usimd-8w      8      8         8           —                    3
+#: vector1-2w    2      2         —           1 × 4                1
+#: vector1-4w    4      4         —           2 × 4                1
+#: vector2-2w    2      2         —           2 × 4                1
+#: vector2-4w    4      4         —           4 × 4                2
+#: ============  ====== ========= =========== ==================== ========
+#:
+#: Every vector configuration adds a 4×64-bit L2 vector-cache port, vector
+#: registers of 16 packed words (20 at 2-issue, 32 at 4-issue) and packed
+#: accumulators (4 / 6).  See ``docs/configurations.md`` for the full
+#: resource and latency tables.
 PAPER_CONFIGS: Dict[str, MachineConfig] = {
     cfg.name: cfg
     for cfg in [
@@ -268,7 +289,16 @@ PAPER_CONFIG_ORDER: Tuple[str, ...] = (
 
 
 def get_config(name: str) -> MachineConfig:
-    """Look up a paper configuration by name (e.g. ``"vector2-4w"``)."""
+    """Look up a Table-2 configuration by canonical name.
+
+    Names follow ``"<family>-<issue width>w"`` with families ``vliw``,
+    ``usimd``, ``vector1`` and ``vector2`` — e.g. ``get_config("vliw-8w")``
+    or ``get_config("vector2-4w")``.  The returned :class:`MachineConfig`
+    is frozen and shared; derive experimental variants with
+    :func:`dataclasses.replace` or :meth:`MachineConfig.with_memory`
+    rather than mutating it.  Unknown names raise ``KeyError`` listing the
+    known configurations.
+    """
     try:
         return PAPER_CONFIGS[name]
     except KeyError as exc:

@@ -15,17 +15,30 @@ Two engines are provided:
 Both produce :class:`repro.sim.stats.RunStats`, the per-region cycle and
 operation accounting that the experiment layer turns into the paper's
 figures and tables.
+
+Batched execution is expressed through :mod:`repro.sim.plan`: a
+:class:`~repro.sim.plan.RunRequest` names one (benchmark, configuration,
+memory-mode) run, an :class:`~repro.sim.plan.ExperimentPlan` is an ordered
+batch of them, and :func:`~repro.sim.plan.execute_plan` executes a plan
+with compilations shared through the compile cache.  Shards from parallel
+workers are recombined with :func:`repro.sim.stats.merge_run_maps`.
 """
 
-from repro.sim.stats import RegionStats, RunStats
+from repro.sim.stats import RegionStats, RunStats, merge_run_maps
 from repro.sim.fast import ExecutionEngine, execute_program
+from repro.sim.plan import ExperimentPlan, ExperimentSweep, RunRequest, execute_plan
 from repro.sim.vliw import CycleAccurateEngine, CycleTrace
 
 __all__ = [
     "RegionStats",
     "RunStats",
+    "merge_run_maps",
     "ExecutionEngine",
     "execute_program",
+    "ExperimentPlan",
+    "ExperimentSweep",
+    "RunRequest",
+    "execute_plan",
     "CycleAccurateEngine",
     "CycleTrace",
 ]

@@ -18,22 +18,32 @@ address for the current loop indices, asks the memory hierarchy for the
 actual latency and accumulates the difference against the scheduled
 ("assumed") latency.
 
-Loops whose bodies contain no memory operations are executed analytically
-(#iterations × initiation interval) which keeps pure-computation kernels
-cheap to simulate.
+Two analytic fast paths keep the walk cheap:
+
+* loops whose bodies contain no memory operations cost the same every
+  iteration, so one representative iteration is executed and scaled;
+* under a *perfect* memory hierarchy every access latency is an
+  address-independent constant, so **every** loop is cost-invariant and the
+  whole nest collapses the same way (the Figure-5a sweep becomes almost
+  free).
+
+Per-segment constants (initiation interval, operation and micro-operation
+counts, memory-operation metadata) are precomputed once per compilation as
+:class:`~repro.compiler.scheduler.SegmentSummary` records — the seed
+executor recomputed them on every dynamic iteration, which dominated its
+run time.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
 from repro.compiler.ir import KernelProgram, LoopNode, LoopVar, Segment
-from repro.compiler.scheduler import CompiledProgram, Schedule, compile_program
+from repro.compiler.scheduler import CompiledProgram
 from repro.machine.config import MachineConfig
 from repro.machine.latency import LatencyModel
 from repro.memory.hierarchy import MemoryHierarchy
-from repro.sim.stats import RunStats
+from repro.sim.stats import RegionStats, RunStats
 
 __all__ = ["ExecutionEngine", "execute_program"]
 
@@ -45,6 +55,8 @@ class ExecutionEngine:
         self.compiled = compiled
         self.hierarchy = hierarchy
         self._memory_free: Dict[int, bool] = {}
+        # per-run cache: id(segment) -> (summary, RegionStats of current run)
+        self._segment_state: Dict[int, tuple] = {}
 
     # ------------------------------------------------------------------ run
 
@@ -56,6 +68,7 @@ class ExecutionEngine:
                          flavor=program.flavor.value)
         for name, info in program.regions.items():
             stats.region(name, vectorizable=info.vectorizable)
+        self._segment_state = {}
         env: Dict[LoopVar, int] = {}
         self._execute_nodes(program.body, env, stats)
         return stats
@@ -73,21 +86,34 @@ class ExecutionEngine:
 
     def _execute_loop(self, loop: LoopNode, env: Dict[LoopVar, int],
                       stats: RunStats) -> None:
-        if loop.trip_count == 0:
+        trip_count = loop.trip_count
+        if trip_count == 0:
             return
-        if self._memory_free_subtree(loop):
-            # No memory operations anywhere inside: every iteration costs the
-            # same, so execute one representative iteration and scale.
-            marker = _StatsMarker(stats)
+        if trip_count > 1 and self._invariant_subtree(loop):
+            # Every iteration costs the same, so execute one representative
+            # iteration and scale the accumulated statistics.
+            marker = _StatsMarker(stats, self.hierarchy)
             env[loop.var] = 0
             self._execute_nodes(loop.body, env, stats)
             del env[loop.var]
-            marker.scale(loop.trip_count)
+            marker.scale(trip_count)
             return
-        for iteration in range(loop.trip_count):
+        for iteration in range(trip_count):
             env[loop.var] = iteration
             self._execute_nodes(loop.body, env, stats)
         del env[loop.var]
+
+    def _invariant_subtree(self, loop: LoopNode) -> bool:
+        """True when one iteration of ``loop`` is representative of all.
+
+        Holds when the body performs no memory accesses at all, or when the
+        hierarchy is perfect — then every access completes in a constant,
+        address-independent latency (Figure 5a methodology), so the loop
+        index cannot influence the cost.
+        """
+        if self.hierarchy.perfect:
+            return True
+        return self._memory_free_subtree(loop)
 
     def _memory_free_subtree(self, loop: LoopNode) -> bool:
         key = id(loop)
@@ -111,54 +137,73 @@ class ExecutionEngine:
 
     def _execute_segment(self, segment: Segment, env: Dict[LoopVar, int],
                          stats: RunStats) -> None:
-        schedule = self.compiled.schedule_for(segment)
-        if not schedule.entries:
+        key = id(segment)
+        state = self._segment_state.get(key)
+        if state is None:
+            summary = self.compiled.summary_for(segment)
+            region = stats.region(summary.region, vectorizable=summary.vectorizable)
+            state = (summary, region)
+            self._segment_state[key] = state
+        summary, region = state
+        if not summary.operations:
             return
         stall_cycles = 0
-        accesses = 0
-        for entry in schedule.memory_operations():
-            op = entry.operation
-            address = op.address.evaluate(env)
-            if op.is_vector_memory:
-                result = self.hierarchy.vector_access(
-                    address, op.stride_bytes, op.vector_length, is_store=op.is_store)
+        hierarchy = self.hierarchy
+        for mem in summary.memory_ops:
+            address = mem.address.evaluate(env)
+            if mem.is_vector:
+                result = hierarchy.vector_access(
+                    address, mem.stride_bytes, mem.vector_length,
+                    is_store=mem.is_store)
             else:
-                result = self.hierarchy.scalar_access(address, is_store=op.is_store)
-            accesses += 1
-            stall_cycles += max(0, result.latency - entry.assumed_latency)
-
-        cycles = schedule.initiation_interval + stall_cycles
-        region_info = self.compiled.program.regions.get(segment.region)
-        region = stats.region(segment.region,
-                              vectorizable=bool(region_info and region_info.vectorizable))
+                result = hierarchy.scalar_access(address, is_store=mem.is_store)
+            extra = result.latency - mem.assumed_latency
+            if extra > 0:
+                stall_cycles += extra
         region.add_segment(
-            cycles=cycles,
-            operations=len(segment.operations),
-            micro_ops=segment.static_micro_ops,
+            cycles=summary.initiation_interval + stall_cycles,
+            operations=summary.operations,
+            micro_ops=summary.micro_ops,
             stall_cycles=stall_cycles,
-            memory_accesses=accesses,
+            memory_accesses=len(summary.memory_ops),
         )
 
 
 class _StatsMarker:
-    """Snapshot of a RunStats used to scale memory-free loop bodies."""
+    """Snapshot of run and hierarchy counters used to scale invariant loops."""
 
-    def __init__(self, stats: RunStats) -> None:
+    _REGION_FIELDS = ("cycles", "operations", "micro_ops",
+                      "memory_stall_cycles", "memory_accesses",
+                      "segment_executions")
+    _PATH_FIELDS = ("scalar_accesses", "vector_accesses",
+                    "vector_non_unit_stride", "coherency_writebacks")
+
+    def __init__(self, stats: RunStats, hierarchy: MemoryHierarchy) -> None:
         self.stats = stats
+        self.hierarchy = hierarchy
         self.before = {
-            name: (r.cycles, r.operations, r.micro_ops, r.segment_executions)
+            name: tuple(getattr(r, f) for f in self._REGION_FIELDS)
             for name, r in stats.regions.items()
         }
+        self.path_before = tuple(getattr(hierarchy.stats, f)
+                                 for f in self._PATH_FIELDS)
+        self.levels_before = dict(hierarchy.stats.level_hits)
 
     def scale(self, factor: int) -> None:
         """Multiply everything accumulated since the snapshot by ``factor``."""
+        zeros = (0,) * len(self._REGION_FIELDS)
         for name, region in self.stats.regions.items():
-            cycles0, ops0, uops0, segs0 = self.before.get(name, (0, 0, 0, 0))
-            region.cycles = cycles0 + (region.cycles - cycles0) * factor
-            region.operations = ops0 + (region.operations - ops0) * factor
-            region.micro_ops = uops0 + (region.micro_ops - uops0) * factor
-            region.segment_executions = (segs0
-                                         + (region.segment_executions - segs0) * factor)
+            before = self.before.get(name, zeros)
+            for field_name, base in zip(self._REGION_FIELDS, before):
+                current = getattr(region, field_name)
+                setattr(region, field_name, base + (current - base) * factor)
+        path = self.hierarchy.stats
+        for field_name, base in zip(self._PATH_FIELDS, self.path_before):
+            current = getattr(path, field_name)
+            setattr(path, field_name, base + (current - base) * factor)
+        for level, count in path.level_hits.items():
+            base = self.levels_before.get(level, 0)
+            path.level_hits[level] = base + (count - base) * factor
 
 
 def execute_program(program: KernelProgram, config: MachineConfig,
@@ -171,8 +216,12 @@ def execute_program(program: KernelProgram, config: MachineConfig,
     with its level's latency and vector accesses stream at the stride-one
     rate).  A pre-existing ``hierarchy`` can be passed to model cache state
     shared across several programs; by default each call gets a cold one.
+    Compilation goes through the process-wide compile cache, so repeated
+    executions of the same (program, configuration) pair schedule once.
     """
-    compiled = compile_program(program, config, latency_model)
+    from repro.compiler.cache import compile_cached
+
+    compiled = compile_cached(program, config, latency_model)
     if hierarchy is None:
         hierarchy = MemoryHierarchy(config.memory, l1_ports=config.l1_ports,
                                     l2_port_words=config.l2_port_words,

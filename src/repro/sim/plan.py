@@ -1,0 +1,141 @@
+"""Declarative experiment plans: batched (benchmark × config × memory) runs.
+
+The paper's evaluation is a sweep: six benchmarks, ten Table-2
+configurations, perfect and realistic memory.  The seed code hand-rolled
+that sweep in every figure/table module; this module makes the sweep a
+*value* so one engine can execute it — deduplicating compilations through
+the content-addressed compile cache, skipping runs that are already
+memoised, and (via :func:`repro.core.runner.run_benchmarks` /
+``execute_requests``) fanning independent runs out over worker processes.
+
+* :class:`RunRequest` — one (benchmark, configuration, memory-mode) run.
+  Hashable and totally ordered, so requests can key caches and merge
+  deterministically.
+* :class:`ExperimentSweep` — the data form in which an experiment module
+  declares what it needs (``None`` fields mean "whatever the evaluation
+  provides"); see the ``SWEEP`` constants in :mod:`repro.experiments`.
+* :class:`ExperimentPlan` — an ordered, de-duplicated batch of requests.
+* :func:`execute_plan` — the serial fast path: compile each distinct
+  (program, configuration) pair once, then run every request against a
+  fresh (warmed) hierarchy.  Parallel execution lives in
+  :mod:`repro.core.runner`, which splits a plan over workers and merges
+  shards with :func:`repro.sim.stats.merge_run_maps`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple
+
+from repro.sim.stats import RunStats, merge_run_maps
+
+__all__ = ["RunRequest", "ExperimentSweep", "ExperimentPlan", "execute_plan"]
+
+
+@dataclass(frozen=True, order=True)
+class RunRequest:
+    """One simulation: a benchmark on a configuration in one memory mode."""
+
+    benchmark: str
+    config_name: str
+    perfect_memory: bool = False
+
+    def key(self) -> Tuple[str, str, bool]:
+        """The memoisation key used by :class:`SuiteEvaluation`."""
+        return (self.benchmark, self.config_name, self.perfect_memory)
+
+
+@dataclass(frozen=True)
+class ExperimentSweep:
+    """What one experiment needs, as data.
+
+    ``benchmarks=None`` and ``config_names=None`` mean "all benchmarks /
+    configurations of the evaluation"; ``memory_modes`` lists the
+    ``perfect_memory`` values required (most experiments use realistic
+    memory only, Figure 5 needs both).
+    """
+
+    benchmarks: Optional[Tuple[str, ...]] = None
+    config_names: Optional[Tuple[str, ...]] = None
+    memory_modes: Tuple[bool, ...] = (False,)
+
+    def requests(self, default_benchmarks: Sequence[str],
+                 default_configs: Sequence[str]) -> Tuple[RunRequest, ...]:
+        """Expand the sweep against an evaluation's defaults."""
+        benchmarks = self.benchmarks if self.benchmarks is not None else tuple(default_benchmarks)
+        configs = self.config_names if self.config_names is not None else tuple(default_configs)
+        return tuple(RunRequest(benchmark, config, perfect)
+                     for benchmark in benchmarks
+                     for config in configs
+                     for perfect in self.memory_modes)
+
+
+class ExperimentPlan:
+    """An ordered, de-duplicated batch of :class:`RunRequest` instances."""
+
+    def __init__(self, requests: Iterable[RunRequest] = ()) -> None:
+        seen: Dict[RunRequest, None] = {}
+        for request in requests:
+            seen.setdefault(request)
+        self._requests: Tuple[RunRequest, ...] = tuple(seen)
+
+    @classmethod
+    def from_sweep(cls, benchmarks: Sequence[str], config_names: Sequence[str],
+                   memory_modes: Sequence[bool] = (False,)) -> "ExperimentPlan":
+        """The full cross product, in deterministic presentation order."""
+        sweep = ExperimentSweep(benchmarks=tuple(benchmarks),
+                                config_names=tuple(config_names),
+                                memory_modes=tuple(bool(m) for m in memory_modes))
+        return cls(sweep.requests((), ()))
+
+    @property
+    def requests(self) -> Tuple[RunRequest, ...]:
+        return self._requests
+
+    def __len__(self) -> int:
+        return len(self._requests)
+
+    def __iter__(self):
+        return iter(self._requests)
+
+    def without(self, done: Iterable[RunRequest]) -> "ExperimentPlan":
+        """The sub-plan of requests not yet satisfied."""
+        done_set = set(done)
+        return ExperimentPlan(r for r in self._requests if r not in done_set)
+
+    def benchmarks(self) -> Tuple[str, ...]:
+        """Benchmark names touched by the plan, in first-appearance order."""
+        seen: Dict[str, None] = {}
+        for request in self._requests:
+            seen.setdefault(request.benchmark)
+        return tuple(seen)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ExperimentPlan({len(self._requests)} runs)"
+
+
+def execute_plan(plan: ExperimentPlan,
+                 specs: Mapping[str, "BenchmarkSpec"],
+                 latency_model=None) -> Dict[RunRequest, RunStats]:
+    """Execute every request of ``plan`` serially, sharing compilations.
+
+    ``specs`` maps benchmark names to
+    :class:`~repro.core.runner.BenchmarkSpec` objects.  Each request gets
+    its own (warmed) memory hierarchy — runs are fully independent, which
+    is the invariant the parallel executor relies on — while the
+    process-wide compile cache collapses the schedule work of the ten
+    configurations and two memory modes onto one pass per distinct
+    (program, configuration) pair.
+    """
+    from repro.core.architecture import VectorMicroSimdVliwMachine
+    from repro.machine.config import get_config
+
+    results: Dict[RunRequest, RunStats] = {}
+    for request in plan:
+        spec = specs[request.benchmark]
+        config = get_config(request.config_name)
+        machine = VectorMicroSimdVliwMachine(
+            config, latency_model=latency_model,
+            perfect_memory=request.perfect_memory)
+        results[request] = machine.run(spec.program_for(config))
+    return merge_run_maps([results], order=plan.requests)

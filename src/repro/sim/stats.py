@@ -9,10 +9,11 @@ all of those are derived from.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Mapping, Optional
+from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Sequence, Tuple
 
-__all__ = ["RegionStats", "RunStats"]
+__all__ = ["RegionStats", "RunStats", "merge_run_maps"]
 
 
 @dataclass
@@ -212,3 +213,88 @@ class RunStats:
             "scalar_cycles": self.scalar_region_cycles,
             "vectorization": self.vectorization_fraction,
         }
+
+    # -- serialisation --------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        """Complete, lossless plain-data form (regions with all counters)."""
+        return {
+            "program": self.program_name,
+            "config": self.config_name,
+            "flavor": self.flavor,
+            "regions": {
+                name: {
+                    "vectorizable": region.vectorizable,
+                    "cycles": region.cycles,
+                    "operations": region.operations,
+                    "micro_ops": region.micro_ops,
+                    "memory_stall_cycles": region.memory_stall_cycles,
+                    "memory_accesses": region.memory_accesses,
+                    "segment_executions": region.segment_executions,
+                }
+                for name, region in sorted(self.regions.items())
+            },
+        }
+
+    def canonical_json(self) -> str:
+        """Deterministic byte-for-byte serialisation of this run.
+
+        Two runs compare equal under this encoding iff every counter of
+        every region matches — the equality the parallel executor's
+        determinism guarantees are stated (and tested) in.
+        """
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "RunStats":
+        """Inverse of :meth:`to_dict`."""
+        run = cls(program_name=str(data["program"]),
+                  config_name=str(data["config"]),
+                  flavor=str(data["flavor"]))
+        for name, fields in dict(data["regions"]).items():
+            region = run.region(name, vectorizable=bool(fields["vectorizable"]))
+            region.cycles = int(fields["cycles"])
+            region.operations = int(fields["operations"])
+            region.micro_ops = int(fields["micro_ops"])
+            region.memory_stall_cycles = int(fields["memory_stall_cycles"])
+            region.memory_accesses = int(fields["memory_accesses"])
+            region.segment_executions = int(fields["segment_executions"])
+        return run
+
+
+def merge_run_maps(shards: Iterable[Mapping[Hashable, "RunStats"]],
+                   order: Optional[Sequence[Hashable]] = None
+                   ) -> Dict[Hashable, "RunStats"]:
+    """Deterministically merge result shards from (possibly parallel) workers.
+
+    ``shards`` are mappings from a run key — e.g. a
+    :class:`~repro.sim.plan.RunRequest` — to its :class:`RunStats`.  The
+    merged dictionary's iteration order is fixed by ``order`` when given
+    (keys absent from ``order`` follow, sorted by ``repr``); otherwise keys
+    are sorted by ``repr``.  The merge is therefore independent of shard
+    arrival order, which is what makes parallel sweeps byte-identical to
+    serial ones.
+
+    Duplicate keys are tolerated only when both runs serialise identically
+    (idempotent re-execution); a conflicting duplicate raises ``ValueError``
+    because it means two workers disagreed on a deterministic simulation.
+    """
+    merged: Dict[Hashable, RunStats] = {}
+    for shard in shards:
+        for key, stats in shard.items():
+            existing = merged.get(key)
+            if existing is not None:
+                if existing.canonical_json() != stats.canonical_json():
+                    raise ValueError(
+                        f"conflicting results for run {key!r}: deterministic "
+                        f"simulation produced two different statistics")
+                continue
+            merged[key] = stats
+    if order is not None:
+        ordering = {key: index for index, key in enumerate(order)}
+        tail = len(ordering)
+        keys = sorted(merged,
+                      key=lambda k: (ordering.get(k, tail), repr(k)))
+    else:
+        keys = sorted(merged, key=repr)
+    return {key: merged[key] for key in keys}

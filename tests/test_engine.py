@@ -1,0 +1,282 @@
+"""Tests for the parallel, cached experiment engine.
+
+Covers the three guarantees the engine makes:
+
+* the content-addressed compile cache hits for structurally identical
+  programs (including ones rebuilt from scratch) and never changes results;
+* ``jobs=1`` and ``jobs=N`` produce byte-identical statistics;
+* result merging is deterministic regardless of shard arrival order.
+"""
+
+import pytest
+
+from repro.compiler.cache import (
+    CompileCache,
+    fingerprint_config,
+    fingerprint_latency_model,
+    fingerprint_program,
+)
+from repro.compiler.ir import ISAFlavor
+from repro.core.runner import execute_requests, run_benchmark, run_benchmarks
+from repro.experiments.evaluation import SuiteEvaluation
+from repro.machine.config import get_config
+from repro.machine.latency import LatencyModel
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.sim.fast import ExecutionEngine, execute_program
+from repro.sim.plan import ExperimentPlan, ExperimentSweep, RunRequest, execute_plan
+from repro.sim.stats import RunStats, merge_run_maps
+from repro.workloads.suite import SuiteParameters, build_benchmark
+from tests.test_sim import build_streaming_program
+
+#: A small, fast slice of the suite used by the parallel-equality tests.
+SMALL_BENCHMARKS = ("gsm_enc", "gsm_dec")
+SMALL_CONFIGS = ("vliw-2w", "usimd-2w", "vector2-2w")
+
+
+def small_specs(params=None):
+    params = params or SuiteParameters.tiny()
+    return {name: build_benchmark(name, params) for name in SMALL_BENCHMARKS}
+
+
+class TestCompileCache:
+    def test_miss_then_identity_hit(self, vector2_2w):
+        cache = CompileCache()
+        program = build_streaming_program()
+        first = cache.get(program, vector2_2w)
+        second = cache.get(program, vector2_2w)
+        assert first is second
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 1
+        assert cache.stats.rebinds == 0
+
+    def test_content_hit_rebinds_fresh_program(self, vector2_2w):
+        cache = CompileCache()
+        first_program = build_streaming_program()
+        second_program = build_streaming_program()  # same IR, new objects
+        first = cache.get(first_program, vector2_2w)
+        second = cache.get(second_program, vector2_2w)
+        assert cache.stats.misses == 1
+        assert cache.stats.rebinds == 1
+        assert second is not first
+        assert second.program is second_program
+        # the rebound schedules reference the new program's own segments
+        for segment in second_program.segments():
+            schedule = second.schedule_for(segment)
+            assert schedule.segment is segment
+
+    def test_rebound_compilation_runs_identically(self, vector2_2w):
+        cache = CompileCache()
+        baseline_program = build_streaming_program()
+        rebuilt_program = build_streaming_program()
+        baseline = cache.get(baseline_program, vector2_2w)
+        rebound = cache.get(rebuilt_program, vector2_2w)
+        stats_a = ExecutionEngine(
+            baseline, MemoryHierarchy(vector2_2w.memory, perfect=True)).run()
+        stats_b = ExecutionEngine(
+            rebound, MemoryHierarchy(vector2_2w.memory, perfect=True)).run()
+        assert stats_a.canonical_json() == stats_b.canonical_json()
+
+    def test_different_config_misses(self, vector2_2w):
+        cache = CompileCache()
+        program = build_streaming_program()
+        cache.get(program, vector2_2w)
+        cache.get(program, get_config("vector1-2w"))
+        assert cache.stats.misses == 2
+
+    def test_same_name_config_variant_is_not_aliased(self, vector2_2w):
+        """A replace()-derived config keeps its name but must not share
+        the original's schedule (the design-space sweeps rely on this)."""
+        import dataclasses
+        cache = CompileCache()
+        program = build_streaming_program(vl=8)
+        wide = cache.get(program, vector2_2w)
+        narrow = cache.get(program,
+                           dataclasses.replace(vector2_2w, vector_lanes=1))
+        assert cache.stats.misses == 2
+        segment = next(s for s in program.segments() if s.operations)
+        assert (narrow.schedule_for(segment).initiation_interval
+                > wide.schedule_for(segment).initiation_interval)
+
+    def test_lru_eviction_bounds_memory(self, vector2_2w):
+        cache = CompileCache(max_entries=2)
+        programs = [build_streaming_program(iterations=n) for n in (1, 2, 3)]
+        for program in programs:
+            cache.get(program, vector2_2w)
+        assert len(cache._by_content) == 2
+        assert len(cache._by_identity) == 2
+        # the evicted program recompiles correctly instead of aliasing
+        again = cache.get(programs[0], vector2_2w)
+        assert again.program is programs[0]
+
+    def test_different_latency_model_misses(self, vector2_2w):
+        cache = CompileCache()
+        program = build_streaming_program()
+        cache.get(program, vector2_2w)
+        cache.get(program, vector2_2w,
+                  LatencyModel().with_overrides(vector_load=9))
+        assert cache.stats.misses == 2
+
+    def test_in_place_latency_mutation_recompiles(self, vector2_2w):
+        """Mutating a latency model's table must invalidate, as the seed's
+        always-recompile path did."""
+        cache = CompileCache()
+        program = build_streaming_program(vl=8)
+        model = LatencyModel()
+        slow = cache.get(program, vector2_2w, model)
+        model.flow_latencies["vector_load"] = 11
+        fast = cache.get(program, vector2_2w, model)
+        assert cache.stats.misses == 2
+        segment = next(s for s in program.segments() if s.operations)
+        assert (fast.schedule_for(segment).initiation_interval
+                != slow.schedule_for(segment).initiation_interval)
+
+    def test_clear_resets(self, vector2_2w):
+        cache = CompileCache()
+        cache.get(build_streaming_program(), vector2_2w)
+        assert len(cache) == 1
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats.lookups == 0
+
+
+class TestFingerprints:
+    def test_stable_across_rebuilds(self):
+        assert (fingerprint_program(build_streaming_program())
+                == fingerprint_program(build_streaming_program()))
+
+    def test_sensitive_to_structure(self):
+        assert (fingerprint_program(build_streaming_program(vl=8))
+                != fingerprint_program(build_streaming_program(vl=4)))
+        assert (fingerprint_program(build_streaming_program(iterations=8))
+                != fingerprint_program(build_streaming_program(iterations=4)))
+
+    def test_config_and_latency_fingerprints(self, vector2_2w):
+        assert fingerprint_config(vector2_2w) != fingerprint_config(
+            get_config("vector2-4w"))
+        assert fingerprint_latency_model(LatencyModel()) != fingerprint_latency_model(
+            LatencyModel().with_overrides(int_mul=5))
+
+
+class TestPerfectMemoryFastPath:
+    def test_analytic_collapse_matches_full_walk(self, vector2_2w, monkeypatch):
+        """The perfect-memory loop collapse must be exact, not approximate."""
+        program = build_streaming_program(vl=8, iterations=16)
+        collapsed = execute_program(program, vector2_2w, perfect_memory=True)
+        # force the engine to walk every iteration despite the perfect hierarchy
+        monkeypatch.setattr(ExecutionEngine, "_invariant_subtree",
+                            ExecutionEngine._memory_free_subtree)
+        walked = execute_program(program, vector2_2w, perfect_memory=True)
+        assert collapsed.canonical_json() == walked.canonical_json()
+
+    def test_hierarchy_counters_scale_exactly(self, vector2_2w, monkeypatch):
+        program = build_streaming_program(vl=8, iterations=16)
+        fast = MemoryHierarchy(vector2_2w.memory, perfect=True)
+        execute_program(program, vector2_2w, hierarchy=fast)
+        monkeypatch.setattr(ExecutionEngine, "_invariant_subtree",
+                            ExecutionEngine._memory_free_subtree)
+        slow = MemoryHierarchy(vector2_2w.memory, perfect=True)
+        execute_program(program, vector2_2w, hierarchy=slow)
+        assert fast.stats.snapshot() == slow.stats.snapshot()
+
+
+class TestPlans:
+    def test_plan_dedup_preserves_order(self):
+        plan = ExperimentPlan([
+            RunRequest("a", "vliw-2w"), RunRequest("b", "vliw-2w"),
+            RunRequest("a", "vliw-2w"),
+        ])
+        assert plan.requests == (RunRequest("a", "vliw-2w"),
+                                 RunRequest("b", "vliw-2w"))
+        assert plan.benchmarks() == ("a", "b")
+
+    def test_without(self):
+        plan = ExperimentPlan.from_sweep(["a"], ["vliw-2w", "usimd-2w"])
+        remaining = plan.without([RunRequest("a", "vliw-2w")])
+        assert remaining.requests == (RunRequest("a", "usimd-2w"),)
+
+    def test_sweep_expansion_defaults(self):
+        sweep = ExperimentSweep(memory_modes=(True,))
+        requests = sweep.requests(["x"], ["vliw-2w"])
+        assert requests == (RunRequest("x", "vliw-2w", True),)
+
+    def test_execute_plan_requires_specs(self):
+        plan = ExperimentPlan([RunRequest("nope", "vliw-2w")])
+        with pytest.raises(KeyError):
+            execute_requests(plan, {})
+
+
+class TestParallelEquality:
+    @pytest.fixture(scope="class")
+    def specs(self):
+        return small_specs()
+
+    def test_jobs_equal_serial(self, specs):
+        plan = ExperimentPlan.from_sweep(SMALL_BENCHMARKS, SMALL_CONFIGS,
+                                         memory_modes=(False, True))
+        serial = execute_requests(plan, specs, jobs=1)
+        parallel = execute_requests(plan, specs, jobs=2)
+        assert list(serial) == list(parallel) == list(plan.requests)
+        for request in plan:
+            assert (serial[request].canonical_json()
+                    == parallel[request].canonical_json())
+
+    def test_run_benchmarks_matches_run_benchmark(self, specs):
+        batched = run_benchmarks(specs, config_names=SMALL_CONFIGS, jobs=2)
+        for name, spec in specs.items():
+            single = run_benchmark(spec, config_names=SMALL_CONFIGS)
+            for config in SMALL_CONFIGS:
+                assert (batched[name][config].canonical_json()
+                        == single[config].canonical_json())
+
+    def test_evaluation_jobs_equal_serial(self):
+        params = SuiteParameters.tiny()
+        serial = SuiteEvaluation(parameters=params,
+                                 benchmark_names=SMALL_BENCHMARKS,
+                                 config_names=SMALL_CONFIGS, jobs=1)
+        parallel = SuiteEvaluation(parameters=params,
+                                   benchmark_names=SMALL_BENCHMARKS,
+                                   config_names=SMALL_CONFIGS, jobs=2)
+        serial.prefetch()
+        parallel.prefetch()
+        assert sorted(serial._runs) == sorted(parallel._runs)
+        for key, stats in serial._runs.items():
+            assert stats.canonical_json() == parallel._runs[key].canonical_json()
+
+
+class TestMergeDeterminism:
+    @staticmethod
+    def run_stats(name, cycles):
+        stats = RunStats(name, "vliw-2w", "scalar")
+        stats.region("R0").add_segment(cycles, 1, 1, 0, 0)
+        return stats
+
+    def test_shard_order_irrelevant(self):
+        a = {RunRequest("a", "vliw-2w"): self.run_stats("a", 10)}
+        b = {RunRequest("b", "vliw-2w"): self.run_stats("b", 20)}
+        order = (RunRequest("b", "vliw-2w"), RunRequest("a", "vliw-2w"))
+        merged_ab = merge_run_maps([a, b], order=order)
+        merged_ba = merge_run_maps([b, a], order=order)
+        assert list(merged_ab) == list(merged_ba) == list(order)
+
+    def test_identical_duplicates_tolerated(self):
+        key = RunRequest("a", "vliw-2w")
+        merged = merge_run_maps([{key: self.run_stats("a", 10)},
+                                 {key: self.run_stats("a", 10)}])
+        assert len(merged) == 1
+
+    def test_conflicting_duplicates_raise(self):
+        key = RunRequest("a", "vliw-2w")
+        with pytest.raises(ValueError):
+            merge_run_maps([{key: self.run_stats("a", 10)},
+                            {key: self.run_stats("a", 11)}])
+
+    def test_unordered_merge_sorts_by_repr(self):
+        a = {RunRequest("zeta", "vliw-2w"): self.run_stats("zeta", 1)}
+        b = {RunRequest("alpha", "vliw-2w"): self.run_stats("alpha", 2)}
+        merged = merge_run_maps([a, b])
+        assert list(merged)[0].benchmark == "alpha"
+
+    def test_round_trip_serialisation(self):
+        stats = self.run_stats("a", 10)
+        clone = RunStats.from_dict(stats.to_dict())
+        assert clone.canonical_json() == stats.canonical_json()
