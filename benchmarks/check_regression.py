@@ -1,0 +1,93 @@
+"""Gate sweep wall-clock against the committed baseline.
+
+Usage::
+
+    python benchmarks/check_regression.py BENCH_sweep.json benchmarks/BENCH_baseline.json
+
+Compares every experiment of the current ``BENCH_sweep.json`` (written by
+:mod:`benchmarks.sweep_timing`) against the committed baseline and exits
+non-zero when any *calibration-normalised* time regressed by more than the
+threshold (25 % by default).  Normalising by the calibration workload makes
+the check meaningful across machines of different speeds; an absolute floor
+ignores experiments too short for the ratio to be stable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+#: Experiments faster than this (in current-run seconds) are too noisy to
+#: gate on a ratio; they only fail if they also exceed the baseline by the
+#: same absolute amount.
+NOISE_FLOOR_S = 0.25
+
+
+def load(path: str) -> dict:
+    with open(path) as handle:
+        return json.load(handle)
+
+
+def compare(current: dict, baseline: dict, threshold: float):
+    """Yield (name, key, ratio, regressed) for every comparable timing.
+
+    The ``jobs_s`` lane is only compared when both files were measured
+    with the same worker count — otherwise the ratio would measure
+    parallel speedup (or pool overhead), not a code regression.
+    """
+    current_cal = float(current["calibration_s"])
+    baseline_cal = float(baseline["calibration_s"])
+    same_jobs = current.get("jobs") == baseline.get("jobs")
+    for name, base_times in sorted(baseline["experiments"].items()):
+        cur_times = current["experiments"].get(name)
+        if cur_times is None:
+            continue
+        keys = ("serial_s", "jobs_s") if same_jobs else ("serial_s",)
+        for key in keys:
+            if key not in base_times or key not in cur_times:
+                continue
+            cur = float(cur_times[key])
+            base = float(base_times[key])
+            ratio = (cur / current_cal) / (base / baseline_cal) if base else float("inf")
+            regressed = (ratio > 1.0 + threshold
+                         and cur > base * current_cal / baseline_cal + NOISE_FLOOR_S)
+            yield name, key, ratio, regressed
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("current", help="BENCH_sweep.json of this run")
+    parser.add_argument("baseline", help="committed baseline JSON")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="allowed normalised slowdown (default 0.25 = 25%%)")
+    args = parser.parse_args(argv)
+
+    current = load(args.current)
+    baseline = load(args.baseline)
+    for field in ("parameters", "engine"):
+        if current.get(field) != baseline.get(field):
+            print(f"error: current run used {field}={current.get(field)!r} but "
+                  f"the baseline was recorded with {baseline.get(field)!r}; "
+                  f"the comparison would be meaningless", file=sys.stderr)
+            return 2
+    if current.get("jobs") != baseline.get("jobs"):
+        print(f"note: worker counts differ (current {current.get('jobs')}, "
+              f"baseline {baseline.get('jobs')}); only the serial lane is "
+              f"compared", file=sys.stderr)
+
+    failures = 0
+    for name, key, ratio, regressed in compare(current, baseline, args.threshold):
+        verdict = "REGRESSED" if regressed else "ok"
+        print(f"{name:20s} {key:9s} normalised x{ratio:5.2f}  {verdict}")
+        failures += regressed
+    if failures:
+        print(f"\n{failures} timing(s) regressed by more than "
+              f"{args.threshold:.0%} vs {args.baseline}", file=sys.stderr)
+        return 1
+    print("\nall sweep timings within budget")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,136 @@
+"""Wall-clock benchmark of the paper sweep; writes ``BENCH_sweep.json``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/sweep_timing.py --output BENCH_sweep.json
+    PYTHONPATH=src python benchmarks/sweep_timing.py --tiny --jobs 8
+
+Each experiment is timed twice — serially and with ``--jobs`` worker
+processes — against a fresh :class:`~repro.experiments.evaluation.SuiteEvaluation`,
+and the process-wide compile cache is cleared before every timed region, so
+each measurement includes its own compilation work and nothing leaks
+between lanes.  The JSON also records a *calibration* time (a fixed pure
+Python + NumPy workload) so that :mod:`benchmarks.check_regression` can
+compare runs from machines of different speeds: regressions are judged on
+calibration-normalised times, not raw seconds.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+
+import numpy as np
+
+
+def _fresh_evaluation(tiny: bool, jobs: int, engine: str):
+    from repro.experiments.evaluation import SuiteEvaluation
+    from repro.workloads.suite import SuiteParameters
+
+    parameters = SuiteParameters.tiny() if tiny else SuiteParameters.default()
+    return SuiteEvaluation(parameters=parameters, jobs=jobs, engine=engine)
+
+
+def _sweep(evaluation, perfect: bool) -> None:
+    from repro.sim.plan import ExperimentSweep
+
+    evaluation.ensure(ExperimentSweep(memory_modes=(perfect,)))
+
+
+def _render(evaluation) -> None:
+    from repro.experiments.report import full_report
+
+    full_report(evaluation)
+
+
+def calibrate() -> float:
+    """Seconds a fixed reference workload takes on this machine.
+
+    Mixes NumPy throughput and Python interpreter dispatch in roughly the
+    proportions of the simulator's hot paths.
+    """
+    start = time.perf_counter()
+    total = 0
+    for _ in range(4):
+        array = np.arange(2_000_000, dtype=np.int64)
+        total += int(((array * 3) // 7).sum())
+        row = [0] * 64
+        for value in range(200_000):
+            row[value % 64] = value
+            total += row[(value * 7) % 64]
+    assert total != 0
+    return time.perf_counter() - start
+
+
+def time_experiments(tiny: bool, jobs: int, engine: str):
+    """Measure every experiment serially and with ``jobs`` workers."""
+    experiments = {}
+
+    from repro.compiler.cache import GLOBAL_COMPILE_CACHE
+
+    def measure(name, prepare, run, repeats=2):
+        # best-of-N: wall-clock gates on shared CI runners are only as good
+        # as their noise floor
+        timings = {}
+        for key, job_count in (("serial_s", 1), ("jobs_s", jobs)):
+            best = None
+            for _ in range(repeats):
+                evaluation = _fresh_evaluation(tiny, job_count, engine)
+                prepare(evaluation)
+                GLOBAL_COMPILE_CACHE.clear()
+                start = time.perf_counter()
+                run(evaluation)
+                elapsed = time.perf_counter() - start
+                best = elapsed if best is None else min(best, elapsed)
+            timings[key] = round(best, 4)
+        experiments[name] = timings
+
+    measure("sweep_realistic", lambda ev: None, lambda ev: _sweep(ev, False))
+    measure("sweep_perfect", lambda ev: None, lambda ev: _sweep(ev, True))
+    # rendering alone: the sweep is prefetched outside the timed region
+    measure("report_render", lambda ev: ev.prefetch(), _render)
+    return experiments
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--output", default="BENCH_sweep.json",
+                        help="where to write the timing JSON")
+    parser.add_argument("--tiny", action="store_true",
+                        help="use the test-sized inputs instead of the defaults")
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="worker count for the parallel measurements "
+                             "(default: REPRO_JOBS / CPU count)")
+    parser.add_argument("--engine", default="trace",
+                        choices=("trace", "interpreter"),
+                        help="execution tier to benchmark")
+    args = parser.parse_args(argv)
+
+    from repro.core.runner import default_jobs
+
+    jobs = args.jobs if args.jobs is not None else default_jobs()
+    calibration = calibrate()
+    experiments = time_experiments(args.tiny, jobs, args.engine)
+    payload = {
+        "schema": 1,
+        "engine": args.engine,
+        "parameters": "tiny" if args.tiny else "default",
+        "jobs": jobs,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "calibration_s": round(calibration, 4),
+        "experiments": experiments,
+    }
+    with open(args.output, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    print(f"\n[written to {args.output}]", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

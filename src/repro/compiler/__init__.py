@@ -36,6 +36,7 @@ from repro.compiler.builder import KernelBuilder
 from repro.compiler.cache import CompileCache, GLOBAL_COMPILE_CACHE, compile_cached
 from repro.compiler.dataflow import DependenceGraph, build_dependence_graph
 from repro.compiler.scheduler import Schedule, ScheduledOperation, schedule_segment, compile_program, CompiledProgram
+from repro.compiler.trace import TraceProgram, trace_program
 from repro.compiler.regalloc import RegisterPressureReport, check_register_pressure
 
 __all__ = [
@@ -58,6 +59,8 @@ __all__ = [
     "schedule_segment",
     "compile_program",
     "CompiledProgram",
+    "TraceProgram",
+    "trace_program",
     "RegisterPressureReport",
     "check_register_pressure",
 ]

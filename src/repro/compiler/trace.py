@@ -1,0 +1,256 @@
+"""Trace compilation: lowering a scheduled program to address streams.
+
+The interpreting executor (:mod:`repro.sim.fast`) walks the loop nest in
+Python and evaluates every memory operation's affine address once per
+dynamic instance.  But nothing about that walk is data dependent: trip
+counts are static, addresses are affine in the loop indices, and the order
+in which memory operations reach the hierarchy is fixed by the tree shape
+and the per-segment schedules.  This module exploits that by lowering each
+compiled program to *closed form*:
+
+* every memory operation gets, per enclosing loop, an **address
+  coefficient** (bytes per iteration, summed over the expression's terms)
+  and a **position stride** (how many stream slots one iteration of that
+  loop advances — the combined memory-operation count of the loop body);
+* the dynamic instances of one operation therefore live at
+  ``pos_base + Σ index_k·pos_stride_k`` in the global access stream and
+  touch ``base + Σ index_k·addr_coef_k`` (optionally wrapped), both affine
+  over the same iteration grid;
+* :meth:`TraceProgram.materialize` evaluates both lattices with NumPy
+  broadcasting over a *chunk* of stream positions and scatters the results
+  into one interleaved ``(op_index, address)`` stream — byte-for-byte the
+  order the interpreter would have produced, without executing a single
+  Python-level loop iteration.
+
+Positions are strictly increasing in the C-order instance index of each
+operation (inner loops advance by less than one iteration of any outer
+loop), which is what lets a chunk boundary be located by binary search.
+
+Everything here is static per (program, configuration) pair, so the result
+is memoised on the :class:`~repro.compiler.scheduler.CompiledProgram`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.compiler.ir import LoopNode, Segment
+from repro.compiler.scheduler import CompiledProgram, MemoryOpSummary
+
+__all__ = ["TraceOp", "SegmentCounts", "TraceProgram", "trace_program"]
+
+
+@dataclass(frozen=True)
+class TraceOp:
+    """One memory operation lowered to its address/position lattices.
+
+    ``trips``/``pos_strides``/``addr_coefs`` are aligned outermost→innermost
+    over the enclosing loops; ``weights`` are the C-order digit weights
+    (suffix products of ``trips``) used to decompose a flat instance index.
+    """
+
+    op: MemoryOpSummary
+    region: str
+    pos_base: int
+    trips: Tuple[int, ...]
+    weights: Tuple[int, ...]
+    pos_strides: Tuple[int, ...]
+    addr_coefs: Tuple[int, ...]
+    base: int
+    wrap: int  # 0 = no wrapping
+    count: int
+
+    def position_of(self, instance: int) -> int:
+        """Stream position of one dynamic instance (C-order index)."""
+        position = self.pos_base
+        remainder = instance
+        for weight, stride in zip(self.weights, self.pos_strides):
+            digit, remainder = divmod(remainder, weight)
+            position += digit * stride
+        return position
+
+    def first_instance_at(self, position: int) -> int:
+        """Smallest instance index whose stream position is >= ``position``."""
+        low, high = 0, self.count
+        while low < high:
+            mid = (low + high) // 2
+            if self.position_of(mid) >= position:
+                high = mid
+            else:
+                low = mid + 1
+        return low
+
+
+@dataclass(frozen=True)
+class SegmentCounts:
+    """Analytic (state-independent) execution facts of one segment.
+
+    Everything the executor accounts per dynamic segment execution except
+    memory stalls is loop invariant, so the whole nest contributes
+    ``executions`` times the static quantities.
+    """
+
+    region: str
+    vectorizable: bool
+    executions: int
+    initiation_interval: int
+    operations: int
+    micro_ops: int
+    memory_ops: int
+
+
+@dataclass
+class TraceProgram:
+    """A compiled program lowered to its (static) global access stream."""
+
+    compiled: CompiledProgram
+    segments: List[SegmentCounts]
+    ops: List[TraceOp]
+    stream_length: int
+
+    def chunks(self, chunk_size: int) -> Iterator[Tuple[int, int]]:
+        """Split the stream into bounded position ranges."""
+        if chunk_size <= 0:
+            raise ValueError("chunk size must be positive")
+        for low in range(0, self.stream_length, chunk_size):
+            yield low, min(low + chunk_size, self.stream_length)
+
+    def materialize(self, low: int, high: int) -> Tuple[np.ndarray, np.ndarray]:
+        """The interleaved ``(op_index, address)`` stream for positions [low, high).
+
+        Exactly the accesses the interpreter would issue at those global
+        stream positions, in the same order.
+        """
+        total = high - low
+        op_index = np.empty(total, dtype=np.int64)
+        addresses = np.empty(total, dtype=np.int64)
+        filled = 0
+        for index, trace_op in enumerate(self.ops):
+            first = trace_op.first_instance_at(low)
+            last = trace_op.first_instance_at(high)
+            if last <= first:
+                continue
+            instances = np.arange(first, last, dtype=np.int64)
+            positions = np.full(instances.shape, trace_op.pos_base, dtype=np.int64)
+            offsets = np.zeros(instances.shape, dtype=np.int64)
+            remainder = instances
+            for weight, stride, coef in zip(trace_op.weights,
+                                            trace_op.pos_strides,
+                                            trace_op.addr_coefs):
+                digits = remainder // weight
+                remainder = remainder - digits * weight
+                if stride:
+                    positions += digits * stride
+                if coef:
+                    offsets += digits * coef
+            if trace_op.wrap:
+                offsets %= trace_op.wrap
+            slots = positions - low
+            op_index[slots] = index
+            addresses[slots] = trace_op.base + offsets
+            filled += int(instances.shape[0])
+        if filled != total:  # pragma: no cover - lowering invariant
+            raise RuntimeError(
+                f"trace stream positions [{low}, {high}) covered {filled} slots")
+        return op_index, addresses
+
+
+def _stream_length(node, compiled: CompiledProgram, memo: Dict[int, int]) -> int:
+    """Memory accesses one execution of ``node`` feeds into the stream."""
+    key = id(node)
+    cached = memo.get(key)
+    if cached is not None:
+        return cached
+    if isinstance(node, Segment):
+        summary = compiled.summary_for(node)
+        length = len(summary.memory_ops)
+    elif isinstance(node, LoopNode):
+        length = node.trip_count * sum(
+            _stream_length(child, compiled, memo) for child in node.body)
+    else:  # pragma: no cover - defensive
+        raise TypeError(f"unexpected program node {node!r}")
+    memo[key] = length
+    return length
+
+
+def _lower(nodes: Sequence, compiled: CompiledProgram,
+           dims: Tuple[Tuple[object, int, int], ...], base: int,
+           segments: List[SegmentCounts], ops: List[TraceOp],
+           memo: Dict[int, int]) -> int:
+    """Assign stream positions to every memory operation under ``nodes``."""
+    for node in nodes:
+        if isinstance(node, Segment):
+            summary = compiled.summary_for(node)
+            executions = 1
+            for _, trip, _ in dims:
+                executions *= trip
+            segments.append(SegmentCounts(
+                region=summary.region,
+                vectorizable=summary.vectorizable,
+                executions=executions,
+                initiation_interval=summary.initiation_interval,
+                operations=summary.operations,
+                micro_ops=summary.micro_ops,
+                memory_ops=len(summary.memory_ops),
+            ))
+            for slot, mem in enumerate(summary.memory_ops):
+                coef_by_var: Dict[object, int] = {}
+                for var, coef in mem.address.terms:
+                    coef_by_var[var] = coef_by_var.get(var, 0) + coef
+                known = {var for var, _, _ in dims}
+                unknown = set(coef_by_var) - known
+                if unknown:
+                    raise ValueError(
+                        f"address of {mem!r} references loop variables "
+                        f"{sorted(map(repr, unknown))} not bound by the nest")
+                trips = tuple(trip for _, trip, _ in dims)
+                weights: List[int] = []
+                weight = 1
+                for trip in reversed(trips):
+                    weights.append(weight)
+                    weight *= trip
+                weights.reverse()
+                count = weight
+                ops.append(TraceOp(
+                    op=mem,
+                    region=summary.region,
+                    pos_base=base + slot,
+                    trips=trips,
+                    weights=tuple(weights),
+                    pos_strides=tuple(stride for _, _, stride in dims),
+                    addr_coefs=tuple(coef_by_var.get(var, 0) for var, _, _ in dims),
+                    base=mem.address.base,
+                    wrap=mem.address.wrap_bytes or 0,
+                    count=count,
+                ))
+            base += len(summary.memory_ops)
+        elif isinstance(node, LoopNode):
+            if node.trip_count == 0:
+                continue
+            body_length = sum(_stream_length(child, compiled, memo)
+                              for child in node.body)
+            _lower(node.body, compiled,
+                   dims + ((node.var, node.trip_count, body_length),),
+                   base, segments, ops, memo)
+            base += node.trip_count * body_length
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unexpected program node {node!r}")
+    return base
+
+
+def trace_program(compiled: CompiledProgram) -> TraceProgram:
+    """Lower ``compiled`` to its global access stream (memoised)."""
+    cached = getattr(compiled, "_trace_program", None)
+    if cached is not None:
+        return cached
+    segments: List[SegmentCounts] = []
+    ops: List[TraceOp] = []
+    memo: Dict[int, int] = {}
+    length = _lower(compiled.program.body, compiled, (), 0, segments, ops, memo)
+    trace = TraceProgram(compiled=compiled, segments=segments, ops=ops,
+                         stream_length=length)
+    compiled._trace_program = trace
+    return trace

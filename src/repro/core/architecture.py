@@ -28,6 +28,7 @@ from repro.compiler.scheduler import CompiledProgram, Schedule, schedule_segment
 from repro.machine.config import MachineConfig, get_config
 from repro.machine.latency import LatencyModel
 from repro.memory.hierarchy import MemoryHierarchy
+from repro.sim.engines import make_engine
 from repro.sim.fast import ExecutionEngine
 from repro.sim.stats import RunStats
 
@@ -116,24 +117,27 @@ class VectorMicroSimdVliwMachine:
 
     def run(self, program: KernelProgram,
             hierarchy: Optional[MemoryHierarchy] = None,
-            warm: bool = True) -> RunStats:
+            warm: bool = True, engine: Optional[str] = None) -> RunStats:
         """Compile and execute ``program``; returns per-region statistics.
 
         By default the memory hierarchy starts with the program's working
         set resident in the L2/L3 (see :meth:`warmed_hierarchy`); pass
         ``warm=False`` to measure a completely cold start instead.
+
+        ``engine`` selects the execution tier — ``"trace"`` (default) or
+        ``"interpreter"`` — which is purely a wall-clock knob: the two
+        tiers produce identical statistics.
         """
         compiled = self.compile(program)
         if hierarchy is None:
             hierarchy = self.warmed_hierarchy(program) if warm else self.new_hierarchy()
-        engine = ExecutionEngine(compiled, hierarchy)
-        return engine.run()
+        return make_engine(engine, compiled, hierarchy).run()
 
     def run_compiled(self, compiled: CompiledProgram,
-                     hierarchy: Optional[MemoryHierarchy] = None) -> RunStats:
+                     hierarchy: Optional[MemoryHierarchy] = None,
+                     engine: Optional[str] = None) -> RunStats:
         """Execute an already compiled program (reuses schedules)."""
-        engine = ExecutionEngine(compiled, hierarchy or self.new_hierarchy())
-        return engine.run()
+        return make_engine(engine, compiled, hierarchy or self.new_hierarchy()).run()
 
     # ---------------------------------------------------------------- cosmetics
 

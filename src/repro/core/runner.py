@@ -117,12 +117,14 @@ class BenchmarkResult:
 def run_benchmark(spec: BenchmarkSpec,
                   config_names: Optional[Iterable[str]] = None,
                   perfect_memory: bool = False,
-                  latency_model: Optional[LatencyModel] = None) -> BenchmarkResult:
+                  latency_model: Optional[LatencyModel] = None,
+                  engine: Optional[str] = None) -> BenchmarkResult:
     """Run ``spec`` on every configuration in ``config_names``.
 
     ``config_names`` defaults to the full Table-2 set in the paper's
     presentation order.  Every configuration gets a cold memory hierarchy —
     the programs themselves model the reuse between their regions.
+    ``engine`` selects the execution tier (trace-compiled by default).
     """
     names = list(config_names) if config_names is not None else list(PAPER_CONFIG_ORDER)
     result = BenchmarkResult(benchmark=spec.name, perfect_memory=perfect_memory)
@@ -131,7 +133,7 @@ def run_benchmark(spec: BenchmarkSpec,
         machine = VectorMicroSimdVliwMachine(config, latency_model=latency_model,
                                              perfect_memory=perfect_memory)
         program = spec.program_for(config)
-        result.runs[name] = machine.run(program)
+        result.runs[name] = machine.run(program, engine=engine)
     return result
 
 
@@ -162,15 +164,16 @@ _WORKER_STATE: Optional[tuple] = None
 
 
 def _worker_init(specs: Mapping[str, BenchmarkSpec],
-                 latency_model: Optional[LatencyModel]) -> None:
+                 latency_model: Optional[LatencyModel],
+                 engine: Optional[str]) -> None:
     global _WORKER_STATE
-    _WORKER_STATE = (specs, latency_model)
+    _WORKER_STATE = (specs, latency_model, engine)
 
 
 def _worker_run(request: RunRequest) -> RunStats:
-    specs, latency_model = _WORKER_STATE
+    specs, latency_model, engine = _WORKER_STATE
     shard = execute_plan(ExperimentPlan([request]), specs,
-                         latency_model=latency_model)
+                         latency_model=latency_model, engine=engine)
     return shard[request]
 
 
@@ -186,7 +189,8 @@ def _as_spec_map(specs: Union[Mapping[str, BenchmarkSpec], Iterable[BenchmarkSpe
 def execute_requests(requests: Iterable[RunRequest],
                      specs: Union[Mapping[str, BenchmarkSpec], Iterable[BenchmarkSpec]],
                      jobs: int = 1,
-                     latency_model: Optional[LatencyModel] = None
+                     latency_model: Optional[LatencyModel] = None,
+                     engine: Optional[str] = None
                      ) -> Dict[RunRequest, RunStats]:
     """Execute a batch of runs, optionally across worker processes.
 
@@ -196,7 +200,9 @@ def execute_requests(requests: Iterable[RunRequest],
     completion order, making ``jobs=N`` byte-identical to ``jobs=1``.
 
     ``jobs < 2`` — or a batch too small to amortise a pool — runs in
-    process through the same serial fast path workers use.
+    process through the same serial fast path workers use.  ``engine``
+    selects the execution tier (trace-compiled by default); serial,
+    parallel, trace and interpreter all produce byte-identical statistics.
     """
     plan = requests if isinstance(requests, ExperimentPlan) else ExperimentPlan(requests)
     spec_map = _as_spec_map(specs)
@@ -204,7 +210,8 @@ def execute_requests(requests: Iterable[RunRequest],
     if missing:
         raise KeyError(f"no spec for benchmarks {sorted(set(missing))!r}")
     if jobs < 2 or len(plan) < 2:
-        return execute_plan(plan, spec_map, latency_model=latency_model)
+        return execute_plan(plan, spec_map, latency_model=latency_model,
+                            engine=engine)
 
     # Fork shares the already-built program IR with the workers for free;
     # macOS/Windows use spawn (fork is unsafe under Objective-C frameworks
@@ -214,7 +221,7 @@ def execute_requests(requests: Iterable[RunRequest],
     workers = min(jobs, len(plan))
     chunksize = max(1, len(plan) // (workers * 4))
     with context.Pool(processes=workers, initializer=_worker_init,
-                      initargs=(spec_map, latency_model)) as pool:
+                      initargs=(spec_map, latency_model, engine)) as pool:
         results = pool.map(_worker_run, plan.requests, chunksize=chunksize)
     shards = [{request: stats} for request, stats in zip(plan.requests, results)]
     return merge_run_maps(shards, order=plan.requests)
@@ -224,7 +231,8 @@ def run_benchmarks(specs: Union[Mapping[str, BenchmarkSpec], Iterable[BenchmarkS
                    config_names: Optional[Iterable[str]] = None,
                    perfect_memory: bool = False,
                    jobs: int = 1,
-                   latency_model: Optional[LatencyModel] = None
+                   latency_model: Optional[LatencyModel] = None,
+                   engine: Optional[str] = None
                    ) -> Dict[str, BenchmarkResult]:
     """Run several benchmarks over several configurations, possibly in parallel.
 
@@ -234,12 +242,14 @@ def run_benchmarks(specs: Union[Mapping[str, BenchmarkSpec], Iterable[BenchmarkS
     the compile cache, and ``jobs=N`` distributes the independent runs over
     ``N`` worker processes.  Returns one :class:`BenchmarkResult` per
     benchmark, keyed and ordered by benchmark name as supplied.
+    ``engine`` selects the execution tier (trace-compiled by default).
     """
     spec_map = _as_spec_map(specs)
     names = list(config_names) if config_names is not None else list(PAPER_CONFIG_ORDER)
     plan = ExperimentPlan.from_sweep(list(spec_map), names,
                                      memory_modes=(perfect_memory,))
-    runs = execute_requests(plan, spec_map, jobs=jobs, latency_model=latency_model)
+    runs = execute_requests(plan, spec_map, jobs=jobs, latency_model=latency_model,
+                            engine=engine)
     results: Dict[str, BenchmarkResult] = {}
     for benchmark in spec_map:
         result = BenchmarkResult(benchmark=benchmark, perfect_memory=perfect_memory)

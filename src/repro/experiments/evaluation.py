@@ -47,7 +47,9 @@ class SuiteEvaluation:
 
     ``jobs`` controls how many worker processes :meth:`ensure` may use for a
     batch of missing runs; ``jobs=1`` (the default) executes in process.
-    Either way, repeated queries are free and results are identical.
+    ``engine`` selects the execution tier (``"trace"`` by default,
+    ``"interpreter"`` for the reference oracle).  Either way, repeated
+    queries are free and results are identical.
     """
 
     parameters: SuiteParameters = field(default_factory=SuiteParameters.default)
@@ -55,6 +57,7 @@ class SuiteEvaluation:
     config_names: Tuple[str, ...] = PAPER_CONFIG_ORDER
     latency_model: Optional[LatencyModel] = None
     jobs: int = 1
+    engine: Optional[str] = None
 
     def __post_init__(self) -> None:
         self._suite: Dict[str, BenchmarkSpec] = {}
@@ -92,7 +95,8 @@ class SuiteEvaluation:
             return
         specs = {name: self.spec(name) for name in plan.benchmarks()}
         results = execute_requests(plan, specs, jobs=self.jobs,
-                                   latency_model=self.latency_model)
+                                   latency_model=self.latency_model,
+                                   engine=self.engine)
         for request, stats in results.items():
             self._runs[request.key()] = stats
 

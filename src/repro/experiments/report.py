@@ -21,6 +21,7 @@ import time
 from repro.experiments import (figure1, figure3, figure4, figure5, figure6, figure7,
                                table1, table2, table3)
 from repro.experiments.evaluation import SuiteEvaluation
+from repro.sim.engines import DEFAULT_ENGINE, ENGINE_NAMES
 from repro.workloads.suite import SuiteParameters
 
 __all__ = ["full_report", "main"]
@@ -49,9 +50,15 @@ def main(argv=None) -> int:
                         help="use the small test-sized inputs instead of the defaults")
     parser.add_argument("--jobs", type=int, default=1, metavar="N",
                         help="worker processes for the simulation sweep")
+    parser.add_argument("--engine", choices=list(ENGINE_NAMES),
+                        default=DEFAULT_ENGINE,
+                        help="execution tier: the trace-compiled engine "
+                             "(default) or the interpreting reference "
+                             "engine; the rendered report is identical")
     args = parser.parse_args(argv)
     parameters = SuiteParameters.tiny() if args.tiny else SuiteParameters.default()
-    evaluation = SuiteEvaluation(parameters=parameters, jobs=args.jobs)
+    evaluation = SuiteEvaluation(parameters=parameters, jobs=args.jobs,
+                                 engine=args.engine)
     start = time.time()
     text = full_report(evaluation)
     elapsed = time.time() - start

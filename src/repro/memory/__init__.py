@@ -25,6 +25,7 @@ charge the difference as a pipeline stall.
 from repro.memory.cache import SetAssociativeCache, CacheStats
 from repro.memory.vector_cache import VectorCache
 from repro.memory.hierarchy import MemoryHierarchy, AccessResult, AccessKind
+from repro.memory.stream import AccessStream, StreamOp, StreamResult
 from repro.memory.layout import ArraySpec, AddressSpace
 
 __all__ = [
@@ -34,6 +35,9 @@ __all__ = [
     "MemoryHierarchy",
     "AccessResult",
     "AccessKind",
+    "AccessStream",
+    "StreamOp",
+    "StreamResult",
     "ArraySpec",
     "AddressSpace",
 ]

@@ -3,15 +3,48 @@
 This is the building block for all three cache levels.  It tracks tags only
 (the functional data lives in the workload's NumPy arrays); the timing
 simulator only needs hit/miss/eviction behaviour and dirty-line bookkeeping.
+
+The tag store is *array based*: three per-set matrices — a tag matrix, an
+LRU timestamp matrix and a dirty matrix (``num_sets`` rows of ``assoc``
+ways) — instead of the per-set ordered dictionaries of the seed model.  The
+row layout is what makes the batched entry point possible:
+
+* :meth:`SetAssociativeCache.access` serves the interpreting executor one
+  access at a time, exactly as before;
+* :meth:`SetAssociativeCache.replay_events` serves the trace-compiled
+  executor a whole *address stream* at once.  The set/tag decomposition, the
+  tag-equality lookups for repeated touches of the resident line and the
+  counter arithmetic are all vectorised with NumPy; only the genuinely
+  serial effects — allocations, LRU evictions, dirty write-backs and
+  coherency invalidations, whose outcome feeds the next event of the same
+  set — run through a (lean) Python state machine over the matrix rows.
+
+The LRU policy is expressed with timestamps: every access stamps the line
+with a monotonically increasing clock and the victim of an allocation is
+the valid way with the smallest stamp.  Timestamps are only ever *compared
+within one set*, so batched replay may renumber them as long as the
+relative per-set order is preserved.
 """
 
 from __future__ import annotations
 
-from collections import OrderedDict
-from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+import contextlib
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple, Union
 
-__all__ = ["CacheStats", "SetAssociativeCache", "LineState"]
+import numpy as np
+
+__all__ = ["CacheStats", "SetAssociativeCache"]
+
+#: Tag value of an empty way.  Addresses (and therefore tags) must be
+#: non-negative, which every workload allocator guarantees.
+_EMPTY = -1
+
+#: Result codes of :meth:`SetAssociativeCache.replay_events`.
+#: For access events (``coherency`` False): 0 = miss, 1 = hit.
+#: For coherency probes (``coherency`` True): 0 = line absent or clean
+#: load (no action), 1 = clean line invalidated by a store probe, 2 =
+#: dirty line invalidated (the caller charges the write-back).
 
 
 @dataclass
@@ -53,13 +86,22 @@ class CacheStats:
             "hit_rate": self.hit_rate,
         }
 
+    @contextlib.contextmanager
+    def stats_frozen(self) -> Iterator["CacheStats"]:
+        """Run a block without letting it pollute the counters.
 
-@dataclass
-class LineState:
-    """State of one resident cache line."""
-
-    tag: int
-    dirty: bool = False
+        Accesses performed inside the block still change *cache state*
+        (lines move, evict, dirty) but every counter is restored on exit —
+        the behaviour warm-up traffic such as
+        :meth:`repro.memory.hierarchy.MemoryHierarchy.preload` needs.
+        """
+        saved = (self.accesses, self.hits, self.misses,
+                 self.evictions, self.writebacks, self.invalidations)
+        try:
+            yield self
+        finally:
+            (self.accesses, self.hits, self.misses,
+             self.evictions, self.writebacks, self.invalidations) = saved
 
 
 class SetAssociativeCache:
@@ -90,8 +132,14 @@ class SetAssociativeCache:
         self.line_bytes = line_bytes
         self.num_sets = size_bytes // (assoc * line_bytes)
         self.stats = CacheStats()
-        # each set is an OrderedDict tag -> LineState, LRU order = insertion order
-        self._sets: Dict[int, OrderedDict] = {}
+        # tag / LRU-timestamp / dirty matrices: one row of `assoc` ways per
+        # set.  Rows are plain Python lists so the serial state machine of
+        # replay_events (and the single-access path) runs without per-call
+        # NumPy overhead; the batched passes build ndarray views on demand.
+        self._tags: List[List[int]] = [[_EMPTY] * assoc for _ in range(self.num_sets)]
+        self._stamps: List[List[int]] = [[0] * assoc for _ in range(self.num_sets)]
+        self._dirty: List[List[bool]] = [[False] * assoc for _ in range(self.num_sets)]
+        self._clock = 0
 
     # -- address helpers -----------------------------------------------------
 
@@ -100,6 +148,8 @@ class SetAssociativeCache:
         return (address // self.line_bytes) * self.line_bytes
 
     def _index_tag(self, address: int) -> Tuple[int, int]:
+        if address < 0:
+            raise ValueError(f"{self.name}: negative address {address}")
         line = address // self.line_bytes
         return line % self.num_sets, line // self.num_sets
 
@@ -108,17 +158,20 @@ class SetAssociativeCache:
     def contains(self, address: int) -> bool:
         """True if the line holding ``address`` is resident."""
         index, tag = self._index_tag(address)
-        return tag in self._sets.get(index, {})
+        return tag in self._tags[index]
 
     def is_dirty(self, address: int) -> bool:
         """True if the line holding ``address`` is resident and dirty."""
         index, tag = self._index_tag(address)
-        line = self._sets.get(index, {}).get(tag)
-        return bool(line and line.dirty)
+        try:
+            way = self._tags[index].index(tag)
+        except ValueError:
+            return False
+        return self._dirty[index][way]
 
     def resident_lines(self) -> int:
         """Number of lines currently resident (useful for tests)."""
-        return sum(len(s) for s in self._sets.values())
+        return sum(1 for row in self._tags for tag in row if tag != _EMPTY)
 
     # -- state-changing operations --------------------------------------------
 
@@ -131,44 +184,198 @@ class SetAssociativeCache:
         allocate the line (write-allocate policy).
         """
         index, tag = self._index_tag(address)
-        cache_set = self._sets.setdefault(index, OrderedDict())
-        self.stats.accesses += 1
+        stats = self.stats
+        stats.accesses += 1
+        row = self._tags[index]
+        self._clock += 1
 
-        if tag in cache_set:
-            self.stats.hits += 1
-            line = cache_set.pop(tag)
+        try:
+            way = row.index(tag)
+        except ValueError:
+            way = -1
+        if way >= 0:
+            stats.hits += 1
+            self._stamps[index][way] = self._clock
             if is_store:
-                line.dirty = True
-            cache_set[tag] = line  # move to MRU position
+                self._dirty[index][way] = True
             return True, None
 
-        self.stats.misses += 1
+        stats.misses += 1
         writeback_address: Optional[int] = None
-        if len(cache_set) >= self.assoc:
-            victim_tag, victim = cache_set.popitem(last=False)
-            self.stats.evictions += 1
-            if victim.dirty:
-                self.stats.writebacks += 1
-                victim_line = (victim_tag * self.num_sets + index) * self.line_bytes
-                writeback_address = victim_line
-        cache_set[tag] = LineState(tag=tag, dirty=is_store)
+        try:
+            way = row.index(_EMPTY)
+        except ValueError:
+            stamps = self._stamps[index]
+            way = stamps.index(min(stamps))
+            stats.evictions += 1
+            if self._dirty[index][way]:
+                stats.writebacks += 1
+                writeback_address = (row[way] * self.num_sets + index) * self.line_bytes
+        row[way] = tag
+        self._dirty[index][way] = is_store
+        self._stamps[index][way] = self._clock
         return False, writeback_address
 
     def invalidate(self, address: int) -> bool:
         """Drop the line containing ``address``; returns True if it was dirty."""
         index, tag = self._index_tag(address)
-        cache_set = self._sets.get(index)
-        if not cache_set or tag not in cache_set:
+        row = self._tags[index]
+        try:
+            way = row.index(tag)
+        except ValueError:
             return False
-        line = cache_set.pop(tag)
+        row[way] = _EMPTY
         self.stats.invalidations += 1
-        return line.dirty
+        dirty = self._dirty[index][way]
+        self._dirty[index][way] = False
+        return dirty
 
     def flush(self) -> int:
         """Empty the cache; returns the number of dirty lines that were lost."""
-        dirty = sum(1 for s in self._sets.values() for line in s.values() if line.dirty)
-        self._sets.clear()
+        dirty = sum(1 for row, drow in zip(self._tags, self._dirty)
+                    for tag, d in zip(row, drow) if tag != _EMPTY and d)
+        assoc = self.assoc
+        for index in range(self.num_sets):
+            self._tags[index] = [_EMPTY] * assoc
+            self._dirty[index] = [False] * assoc
+            self._stamps[index] = [0] * assoc
         return dirty
+
+    # -- batched replay --------------------------------------------------------
+
+    def access_batch(self, addresses: np.ndarray,
+                     stores: Union[bool, np.ndarray] = False) -> np.ndarray:
+        """Access a whole address stream in order; returns the hit mask.
+
+        Semantically identical to calling :meth:`access` once per element of
+        ``addresses`` (same final tag/LRU/dirty state, same counters), but
+        executed through the vectorised replay engine.
+        """
+        results = self.replay_events(np.asarray(addresses, dtype=np.int64), stores)
+        return results == 1
+
+    def replay_events(self, addresses: np.ndarray,
+                      stores: Union[bool, np.ndarray] = False,
+                      coherency: Optional[np.ndarray] = None) -> np.ndarray:
+        """Replay an in-order event stream against the tag store.
+
+        ``addresses`` are byte addresses in execution order.  ``stores`` is a
+        boolean array (or scalar) marking store events.  ``coherency``
+        optionally marks events that are *coherency probes* instead of
+        accesses: a probe invalidates the addressed line when it is dirty
+        (result code 2, the caller charges a write-back) or when it is clean
+        but the probing request is a store (code 1); otherwise it does
+        nothing (code 0).  Access events return 1 for a hit and 0 for a miss.
+
+        The engine is exact: the resulting cache state and counters match a
+        one-at-a-time replay of the same events.  Vectorisation comes from
+        *run collapsing* — consecutive touches of one line with no
+        intervening event in the same set are hits by construction (only a
+        same-set event can displace the line), so only the head of each run
+        reaches the serial state machine.
+        """
+        n = int(addresses.shape[0])
+        results = np.zeros(n, dtype=np.uint8)
+        if n == 0:
+            return results
+        if addresses.min() < 0:
+            raise ValueError(f"{self.name}: negative address in batch")
+        lines = addresses // self.line_bytes
+        sets = lines % self.num_sets
+        tags = lines // self.num_sets
+        if coherency is None:
+            coherency = np.zeros(n, dtype=bool)
+        if isinstance(stores, (bool, np.bool_)):
+            stores = np.full(n, bool(stores), dtype=bool)
+
+        # group by set, keeping execution order inside each group
+        order = np.argsort(sets, kind="stable")
+        set_s = sets[order]
+        tag_s = tags[order]
+        coh_s = coherency[order]
+        store_s = stores[order]
+
+        # run heads: first event of each maximal run of same-set same-tag
+        # plain accesses.  Coherency probes never collapse (they must observe
+        # and mutate state at their exact point in the sequence).
+        head = np.ones(n, dtype=bool)
+        if n > 1:
+            head[1:] = ~((set_s[1:] == set_s[:-1]) & (tag_s[1:] == tag_s[:-1])
+                         & ~coh_s[1:] & ~coh_s[:-1])
+        head_idx = np.nonzero(head)[0]
+        # a run's net dirty contribution: the head allocates (or re-touches)
+        # the line and any store in the run leaves it dirty.
+        store_any = np.bitwise_or.reduceat(store_s, head_idx)
+
+        result_s = np.ones(n, dtype=np.uint8)  # collapsed tails: guaranteed hits
+
+        # serial state machine over run heads (allocations, evictions,
+        # invalidations — the effects the next event of the set depends on)
+        tags_m, stamps_m, dirty_m = self._tags, self._stamps, self._dirty
+        clock = self._clock
+        hits = misses = evictions = writebacks = invalidations = 0
+        head_out: List[int] = []
+        append = head_out.append
+        for s, t, st, coh in zip(set_s[head_idx].tolist(), tag_s[head_idx].tolist(),
+                                 store_any.tolist(), coh_s[head_idx].tolist()):
+            row = tags_m[s]
+            try:
+                way = row.index(t)
+            except ValueError:
+                way = -1
+            if coh:
+                if way >= 0:
+                    if dirty_m[s][way]:
+                        row[way] = _EMPTY
+                        dirty_m[s][way] = False
+                        invalidations += 1
+                        append(2)
+                    elif st:
+                        row[way] = _EMPTY
+                        invalidations += 1
+                        append(1)
+                    else:
+                        append(0)
+                else:
+                    append(0)
+                continue
+            clock += 1
+            if way >= 0:
+                hits += 1
+                stamps_m[s][way] = clock
+                if st:
+                    dirty_m[s][way] = True
+                append(1)
+                continue
+            misses += 1
+            try:
+                way = row.index(_EMPTY)
+            except ValueError:
+                srow = stamps_m[s]
+                way = srow.index(min(srow))
+                evictions += 1
+                if dirty_m[s][way]:
+                    writebacks += 1
+            row[way] = t
+            dirty_m[s][way] = st
+            stamps_m[s][way] = clock
+            append(0)
+        result_s[head_idx] = head_out
+        self._clock = clock
+
+        # counters: collapsed tails are all hits of plain accesses
+        access_events = n - int(coherency.sum())
+        tail_hits = access_events - int((~coh_s[head_idx]).sum())
+        stats = self.stats
+        stats.accesses += access_events
+        stats.hits += hits + tail_hits
+        stats.misses += misses
+        stats.evictions += evictions
+        stats.writebacks += writebacks
+        stats.invalidations += invalidations
+
+        results[order] = result_s
+        return results
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (f"SetAssociativeCache({self.name!r}, {self.size_bytes}B, "

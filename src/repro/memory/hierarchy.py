@@ -23,12 +23,25 @@ vector access streams at the stride-one rate.
 
 from __future__ import annotations
 
+import contextlib
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
 
 from repro.machine.config import MemoryConfig
 from repro.memory.cache import SetAssociativeCache
+from repro.memory.stream import (
+    AccessStream,
+    LEVEL_L1,
+    LEVEL_L2,
+    LEVEL_L3,
+    LEVEL_MEMORY,
+    LEVEL_NAMES,
+    StreamOp,
+    StreamResult,
+)
 from repro.memory.vector_cache import VectorCache
 
 __all__ = ["AccessKind", "AccessResult", "MemoryHierarchy"]
@@ -65,6 +78,14 @@ class AccessResult:
     level that ultimately served the access ("l1", "l2", "l3", "memory").
     ``stride_one`` and ``bank_conflicts`` are only meaningful for vector
     accesses.
+
+    ``hit`` deliberately means *hit in the level the static schedule
+    assumed* — the L1 for the scalar path, the L2 vector cache for the
+    vector path — not "found in some cache".  A scalar access served by the
+    L2 or L3 therefore reports ``hit=False`` (it stalled the pipeline even
+    though no memory traffic occurred); ``level`` names the actual server.
+    Use :attr:`l1_hit` / :attr:`served_level` when the distinction matters.
+    The trace-compiled tier reproduces exactly this accounting.
     """
 
     latency: int
@@ -73,6 +94,16 @@ class AccessResult:
     stride_one: bool = True
     bank_conflicts: int = 0
     coherency_penalty: int = 0
+
+    @property
+    def l1_hit(self) -> bool:
+        """True only when the L1 itself served the access."""
+        return self.level == "l1" and self.hit
+
+    @property
+    def served_level(self) -> str:
+        """Alias of ``level``: the hierarchy level that served the access."""
+        return self.level
 
 
 @dataclass
@@ -114,6 +145,10 @@ class MemoryHierarchy:
         self.l3 = SetAssociativeCache(
             config.l3_size, config.l3_assoc, config.l3_line_bytes, name="L3")
         self.stats = HierarchyStats()
+        # memo of vector access decompositions: a plan is a pure function of
+        # (base alignment within a line*banks window, stride, VL), so the
+        # batched path computes each distinct pattern once.
+        self._plan_patterns: Dict[Tuple[int, int, int], Tuple[Tuple[int, ...], int, int]] = {}
 
     # ------------------------------------------------------------------ utils
 
@@ -141,24 +176,16 @@ class MemoryHierarchy:
         """
         if size_bytes <= 0:
             return
-        saved_l2 = self.l2.stats.snapshot()
-        saved_l3 = self.l3.stats.snapshot()
-        saved_l1 = self.l1.stats.snapshot()
         line = self.l2.cache.line_bytes
-        for addr in range(base_address - base_address % line,
-                          base_address + size_bytes, line):
-            self.l2.cache.access(addr, is_store=False)
-            self.l3.access(addr, is_store=False)
+        addresses = np.arange(base_address - base_address % line,
+                              base_address + size_bytes, line, dtype=np.int64)
+        with contextlib.ExitStack() as stack:
+            for cache in (self.l1, self.l2.cache, self.l3):
+                stack.enter_context(cache.stats.stats_frozen())
+            self.l2.cache.access_batch(addresses)
+            self.l3.access_batch(addresses)
             if include_l1:
-                self.l1.access(addr, is_store=False)
-        for cache, saved in ((self.l2.cache, saved_l2), (self.l3, saved_l3),
-                             (self.l1, saved_l1)):
-            cache.stats.accesses = int(saved["accesses"])
-            cache.stats.hits = int(saved["hits"])
-            cache.stats.misses = int(saved["misses"])
-            cache.stats.evictions = int(saved["evictions"])
-            cache.stats.writebacks = int(saved["writebacks"])
-            cache.stats.invalidations = int(saved["invalidations"])
+                self.l1.access_batch(addresses)
 
     # ----------------------------------------------------------- scalar path
 
@@ -219,8 +246,7 @@ class MemoryHierarchy:
         if self.perfect:
             # Perfect memory: every vector access behaves like a stride-one
             # L2 hit streaming at the full port rate (Figure 5a methodology).
-            transfer = -(-vector_length // self.l2.port_words)
-            latency = cfg.l2_latency + transfer - 1
+            latency = self.perfect_vector_latency(vector_length)
             self.stats.record_level("l2")
             return AccessResult(latency=latency, level="l2", hit=True,
                                 stride_one=True, bank_conflicts=0)
@@ -259,6 +285,245 @@ class MemoryHierarchy:
             bank_conflicts=plan.bank_conflict_cycles,
             coherency_penalty=coherency_penalty,
         )
+
+    def perfect_vector_latency(self, vector_length: int) -> int:
+        """Latency of a vector access under the Figure-5(a) methodology.
+
+        A stride-one L2 hit streaming at the full port rate; the single
+        definition shared by the serial path, the batched path and the
+        trace engine's closed-form perfect pass.
+        """
+        transfer = -(-vector_length // self.l2.port_words)
+        return self.config.l2_latency + transfer - 1
+
+    # ------------------------------------------------------------ batched path
+
+    def _plan_pattern(self, base: int, stride: int, vl: int) -> Tuple[int, Tuple[int, ...], int, int]:
+        """Line-touch pattern of a vector access, memoised by base alignment.
+
+        Returns ``(anchor, relative_lines, transfer_cycles, conflict_cycles)``
+        where the absolute line addresses are ``anchor + r`` for each
+        relative line ``r``.  Exact because shifting the base by a multiple
+        of ``line_bytes * banks`` shifts every touched line by the same
+        amount and preserves the bank of every line.
+        """
+        window = self.l2.cache.line_bytes * self.l2.banks
+        canonical = base % window
+        key = (canonical, stride, vl)
+        pattern = self._plan_patterns.get(key)
+        if pattern is None:
+            plan = self.l2.plan(canonical, stride, vl)
+            pattern = (plan.line_addresses, plan.transfer_cycles,
+                       plan.bank_conflict_cycles)
+            self._plan_patterns[key] = pattern
+        return base - canonical, pattern[0], pattern[1], pattern[2]
+
+    def _record_level_counts(self, counts: Dict[str, int]) -> None:
+        """Fold batched per-level counts into ``stats.level_hits``.
+
+        Zero counts are skipped so the populated keys match a
+        one-access-at-a-time walk of the same stream.
+        """
+        for name, count in counts.items():
+            if count:
+                self.stats.level_hits[name] = (
+                    self.stats.level_hits.get(name, 0) + int(count))
+
+    def scalar_access_batch(self, addresses: np.ndarray,
+                            is_store: bool = False) -> StreamResult:
+        """Batched :meth:`scalar_access`: one in-order stream of L1-path accesses.
+
+        Exact: final cache state and every counter match a serial walk.
+        """
+        addresses = np.asarray(addresses, dtype=np.int64)
+        stream = AccessStream(
+            ops=(StreamOp(is_vector=False, is_store=is_store),),
+            op_index=np.zeros(len(addresses), dtype=np.int64),
+            addresses=addresses)
+        return self.replay_stream(stream)
+
+    def vector_access_batch(self, base_addresses: np.ndarray, stride_bytes: int,
+                            vector_length: int, is_store: bool = False) -> StreamResult:
+        """Batched :meth:`vector_access`: one in-order stream of vector accesses."""
+        base_addresses = np.asarray(base_addresses, dtype=np.int64)
+        stream = AccessStream(
+            ops=(StreamOp(is_vector=True, is_store=is_store,
+                          stride_bytes=stride_bytes, vector_length=vector_length),),
+            op_index=np.zeros(len(base_addresses), dtype=np.int64),
+            addresses=base_addresses)
+        return self.replay_stream(stream)
+
+    def replay_stream(self, stream: AccessStream) -> StreamResult:
+        """Replay a mixed scalar/vector access stream exactly, but batched.
+
+        The stream is processed in three phases that preserve the serial
+        semantics because the levels' states are causally layered: the L1
+        outcome of every access depends only on earlier L1 traffic (scalar
+        accesses plus vector coherency probes), the L2 stream is the L1 miss
+        stream interleaved — at the original stream positions — with the
+        vector line touches, and the L3 stream is the L2 miss stream.
+        Within each phase the set/tag arithmetic and hit classification are
+        vectorised (:meth:`repro.memory.cache.SetAssociativeCache.replay_events`);
+        eviction/coherency effects run serially per set.
+        """
+        ops = stream.ops
+        op_index = stream.op_index
+        addresses = stream.addresses
+        n = len(stream)
+        latencies = np.zeros(n, dtype=np.int64)
+        levels = np.zeros(n, dtype=np.uint8)
+        result = StreamResult(latencies=latencies, levels=levels)
+        if n == 0:
+            return result
+        cfg = self.config
+        element_bytes = self.l2.element_bytes
+        op_vector = np.fromiter((op.is_vector for op in ops), dtype=bool,
+                                count=len(ops))
+        op_store = np.fromiter((op.is_store for op in ops), dtype=bool,
+                               count=len(ops))
+        vec_mask = op_vector[op_index]
+        vec_pos = np.nonzero(vec_mask)[0]
+        scalar_pos = np.nonzero(~vec_mask)[0]
+        n_vec = int(vec_pos.shape[0])
+        n_scalar = n - n_vec
+        self.stats.scalar_accesses += n_scalar
+        self.stats.vector_accesses += n_vec
+        op_non_unit = np.fromiter(
+            (op.is_vector and op.stride_bytes != element_bytes for op in ops),
+            dtype=bool, count=len(ops))
+        self.stats.vector_non_unit_stride += int(op_non_unit[op_index].sum())
+
+        if self.perfect:
+            # Figure-5(a) methodology: constant latencies, no cache state.
+            op_latency = np.fromiter(
+                (self.perfect_vector_latency(op.vector_length)
+                 if op.is_vector else cfg.l1_latency for op in ops),
+                dtype=np.int64, count=len(ops))
+            latencies[:] = op_latency[op_index]
+            levels[vec_pos] = LEVEL_L2
+            self._record_level_counts({"l1": n_scalar, "l2": n_vec})
+            return result
+
+        # ---- vector access decomposition (static, state independent)
+        vec_ops = op_index[vec_pos]
+        touch_addr: List[int] = []
+        touch_owner: List[int] = []
+        touch_key: List[int] = []
+        touch_store: List[bool] = []
+        vec_transfer = np.zeros(n_vec, dtype=np.int64)
+        vec_conflicts = np.zeros(n_vec, dtype=np.int64)
+        max_lines = 1
+        if n_vec:
+            vec_bases = addresses[vec_pos].tolist()
+            vec_positions = vec_pos.tolist()
+            for k, (o, base, pos) in enumerate(zip(vec_ops.tolist(), vec_bases,
+                                                   vec_positions)):
+                op = ops[o]
+                anchor, rel_lines, transfer, conflicts = self._plan_pattern(
+                    base, op.stride_bytes, op.vector_length)
+                vec_transfer[k] = transfer
+                vec_conflicts[k] = conflicts
+                store = bool(op_store[o])
+                if len(rel_lines) > max_lines:
+                    max_lines = len(rel_lines)
+                for j, rel in enumerate(rel_lines):
+                    touch_addr.append(anchor + rel)
+                    touch_owner.append(k)
+                    # unique ordering key: (stream position, line sub-index)
+                    touch_key.append((pos, j))
+                    touch_store.append(store)
+        sub_radix = max_lines + 1
+        touch_addr_arr = np.array(touch_addr, dtype=np.int64)
+        touch_owner_arr = np.array(touch_owner, dtype=np.int64)
+        touch_store_arr = np.array(touch_store, dtype=bool)
+        touch_key_arr = np.array([pos * sub_radix + j + 1 for pos, j in touch_key],
+                                 dtype=np.int64)
+
+        # ---- phase 1: the L1 sees scalar accesses and vector coherency probes
+        l1_addr = np.concatenate([addresses[scalar_pos], touch_addr_arr])
+        l1_store = np.concatenate([op_store[op_index[scalar_pos]], touch_store_arr])
+        l1_coh = np.concatenate([np.zeros(n_scalar, dtype=bool),
+                                 np.ones(len(touch_addr), dtype=bool)])
+        l1_key = np.concatenate([scalar_pos * sub_radix, touch_key_arr])
+        l1_order = np.argsort(l1_key)
+        l1_res_sorted = self.l1.replay_events(
+            l1_addr[l1_order], l1_store[l1_order], l1_coh[l1_order])
+        l1_res = np.empty(len(l1_key), dtype=np.uint8)
+        l1_res[l1_order] = l1_res_sorted
+        scalar_hit = l1_res[:n_scalar] == 1
+        touch_codes = l1_res[n_scalar:]
+
+        dirty_probe = touch_codes == 2
+        coh_counts = np.bincount(touch_owner_arr[dirty_probe],
+                                 minlength=max(n_vec, 1))[:n_vec]
+        self.stats.coherency_writebacks += int(dirty_probe.sum())
+
+        # ---- phase 2: the L2 sees the L1 miss stream and every vector line
+        miss_ord = np.nonzero(~scalar_hit)[0]
+        sc_miss_pos = scalar_pos[miss_ord]
+        l2_line = self.l2.cache.line_bytes
+        sc_miss_lines = (addresses[sc_miss_pos] // l2_line) * l2_line
+        l2_addr = np.concatenate([sc_miss_lines, touch_addr_arr])
+        l2_store = np.concatenate([np.zeros(len(miss_ord), dtype=bool),
+                                   touch_store_arr])
+        l2_key = np.concatenate([sc_miss_pos * sub_radix, touch_key_arr])
+        l2_order = np.argsort(l2_key)
+        l2_res_sorted = self.l2.cache.replay_events(
+            l2_addr[l2_order], l2_store[l2_order])
+        l2_res = np.empty(len(l2_key), dtype=np.uint8)
+        l2_res[l2_order] = l2_res_sorted
+        sc_l2_hit = l2_res[:len(miss_ord)] == 1
+        touch_l2_miss = l2_res[len(miss_ord):] == 0
+
+        # ---- phase 3: the L3 sees the L2 miss stream
+        miss2_ord = miss_ord[~sc_l2_hit]            # scalar ordinals
+        sc_miss2_pos = scalar_pos[miss2_ord]
+        miss_touch = np.nonzero(touch_l2_miss)[0]   # vector line ordinals
+        l3_addr = np.concatenate([addresses[sc_miss2_pos],
+                                  touch_addr_arr[miss_touch]])
+        l3_key = np.concatenate([sc_miss2_pos * sub_radix,
+                                 touch_key_arr[miss_touch]])
+        l3_order = np.argsort(l3_key)
+        l3_res_sorted = self.l3.replay_events(
+            l3_addr[l3_order], np.zeros(len(l3_addr), dtype=bool))
+        l3_res = np.empty(len(l3_key), dtype=np.uint8)
+        l3_res[l3_order] = l3_res_sorted
+        sc_l3_hit = l3_res[:len(miss2_ord)] == 1
+        touch_l3_hit = l3_res[len(miss2_ord):] == 1
+
+        # ---- scalar latencies and levels
+        scalar_levels = np.zeros(n_scalar, dtype=np.uint8)
+        scalar_levels[miss_ord] = LEVEL_L2
+        scalar_levels[miss2_ord] = LEVEL_L3
+        scalar_levels[miss2_ord[~sc_l3_hit]] = LEVEL_MEMORY
+        level_latency = np.array([cfg.l1_latency, cfg.l2_latency,
+                                  cfg.l3_latency, cfg.memory_latency],
+                                 dtype=np.int64)
+        levels[scalar_pos] = scalar_levels
+        latencies[scalar_pos] = level_latency[scalar_levels]
+
+        # ---- vector latencies and levels
+        if n_vec:
+            owners = touch_owner_arr[miss_touch]
+            miss_counts = np.bincount(owners, minlength=n_vec)
+            l3_served = np.bincount(owners[touch_l3_hit], minlength=n_vec)
+            mem_served = miss_counts - l3_served
+            miss_penalty = (l3_served * (cfg.l3_latency - cfg.l2_latency)
+                            + mem_served * (cfg.memory_latency - cfg.l2_latency))
+            vec_levels = np.where(
+                miss_counts == 0, LEVEL_L2,
+                np.where(mem_served > 0, LEVEL_MEMORY, LEVEL_L3)).astype(np.uint8)
+            vec_latency = (cfg.l2_latency + vec_transfer - 1 + vec_conflicts
+                           + miss_penalty
+                           + coh_counts * COHERENCY_WRITEBACK_PENALTY)
+            levels[vec_pos] = vec_levels
+            latencies[vec_pos] = vec_latency
+
+        level_counts = np.bincount(levels, minlength=4)
+        self._record_level_counts(
+            {name: int(level_counts[code])
+             for code, name in enumerate(LEVEL_NAMES)})
+        return result
 
     # --------------------------------------------------------------- reports
 

@@ -1,0 +1,93 @@
+"""Address streams: the batched currency between compiler, sim and memory.
+
+A trace-compiled execution does not ask the memory hierarchy one question
+per dynamic memory operation; it hands over an :class:`AccessStream` — the
+complete, in-order sequence of memory accesses of (a chunk of) a program
+run, with the per-operation metadata factored out into a small table — and
+receives a :class:`StreamResult` with one latency and one serving level per
+access.  The hierarchy replays the stream exactly (same cache state, same
+counters as a one-at-a-time walk) but does the address arithmetic, tag
+bookkeeping and result aggregation over whole NumPy arrays.
+
+The stream types deliberately know nothing about the compiler IR: a stream
+is just "operation *k* of this table touches address *a*, next".  The
+trace compiler (:mod:`repro.compiler.trace`) lowers affine address
+expressions into these arrays; tests can also write streams by hand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["StreamOp", "AccessStream", "StreamResult",
+           "LEVEL_L1", "LEVEL_L2", "LEVEL_L3", "LEVEL_MEMORY", "LEVEL_NAMES"]
+
+#: Serving-level codes used in :class:`StreamResult.levels`.
+LEVEL_L1 = 0
+LEVEL_L2 = 1
+LEVEL_L3 = 2
+LEVEL_MEMORY = 3
+LEVEL_NAMES = ("l1", "l2", "l3", "memory")
+
+
+@dataclass(frozen=True)
+class StreamOp:
+    """Static facts of one memory operation appearing in a stream.
+
+    Scalar operations (``is_vector`` False) take the L1 path; vector
+    operations take the L2 vector-cache path with the given element stride
+    and vector length.
+    """
+
+    is_vector: bool
+    is_store: bool
+    stride_bytes: int = 8
+    vector_length: int = 1
+
+
+@dataclass
+class AccessStream:
+    """An in-order batch of dynamic memory accesses.
+
+    ``op_index[i]`` names the :class:`StreamOp` performing access *i* and
+    ``addresses[i]`` its (base) byte address; index order *is* execution
+    order.  For vector operations the address is the base of the vector
+    access, exactly as :meth:`repro.memory.hierarchy.MemoryHierarchy.vector_access`
+    takes it.
+    """
+
+    ops: Tuple[StreamOp, ...]
+    op_index: np.ndarray
+    addresses: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.op_index = np.ascontiguousarray(self.op_index, dtype=np.int64)
+        self.addresses = np.ascontiguousarray(self.addresses, dtype=np.int64)
+        if self.op_index.shape != self.addresses.shape:
+            raise ValueError("op_index and addresses must have the same length")
+        if self.op_index.size and (int(self.op_index.min()) < 0
+                                   or int(self.op_index.max()) >= len(self.ops)):
+            raise ValueError("op_index out of range of the operation table")
+
+    def __len__(self) -> int:
+        return int(self.op_index.shape[0])
+
+
+@dataclass
+class StreamResult:
+    """Per-access outcome of replaying one :class:`AccessStream`.
+
+    ``latencies[i]`` is the actual completion latency of access *i* — the
+    value :class:`~repro.memory.hierarchy.AccessResult.latency` would have
+    carried — and ``levels[i]`` the serving level as a ``LEVEL_*`` code.
+    """
+
+    latencies: np.ndarray
+    levels: np.ndarray
+
+    def level_names(self) -> np.ndarray:
+        """The serving levels as strings (diagnostic helper)."""
+        return np.array(LEVEL_NAMES)[self.levels]

@@ -1,20 +1,27 @@
 """Timing simulation of compiled kernel programs.
 
-Two engines are provided:
+Three execution tiers are provided (see ``docs/performance.md``):
 
-* :mod:`repro.sim.fast` — the production executor.  It walks the loop nest
-  of a compiled program, charges each segment iteration its scheduled
-  initiation interval, evaluates the address of every memory operation and
-  adds the run-time stall cycles (cache misses, bank conflicts, non-unit
-  stride vector accesses, coherency write-backs) exactly as the paper's
-  stall-on-violation machine model prescribes.
+* :mod:`repro.sim.trace` — the production executor.  Replays the
+  trace-compiled address streams of a program
+  (:mod:`repro.compiler.trace`) through the batched memory hierarchy; no
+  per-iteration Python work survives on the hot path.
+* :mod:`repro.sim.fast` — the interpreting reference executor.  It walks
+  the loop nest of a compiled program, charges each segment iteration its
+  scheduled initiation interval, evaluates the address of every memory
+  operation and adds the run-time stall cycles (cache misses, bank
+  conflicts, non-unit stride vector accesses, coherency write-backs)
+  exactly as the paper's stall-on-violation machine model prescribes.
+  The trace tier is defined to be — and property-tested to stay —
+  statistics-identical to this walk.
 * :mod:`repro.sim.vliw` — a cycle-stepping engine for a single segment
-  instance, used to cross-validate the fast executor and to animate small
+  instance, used to cross-validate the other tiers and to animate small
   kernels cycle by cycle (e.g. the Figure-4 schedule).
 
-Both produce :class:`repro.sim.stats.RunStats`, the per-region cycle and
+All produce :class:`repro.sim.stats.RunStats`, the per-region cycle and
 operation accounting that the experiment layer turns into the paper's
-figures and tables.
+figures and tables.  :func:`repro.sim.engines.make_engine` resolves the
+``engine=`` argument every batched entry point accepts.
 
 Batched execution is expressed through :mod:`repro.sim.plan`: a
 :class:`~repro.sim.plan.RunRequest` names one (benchmark, configuration,
@@ -26,6 +33,8 @@ workers are recombined with :func:`repro.sim.stats.merge_run_maps`.
 
 from repro.sim.stats import RegionStats, RunStats, merge_run_maps
 from repro.sim.fast import ExecutionEngine, execute_program
+from repro.sim.trace import TraceExecutionEngine
+from repro.sim.engines import DEFAULT_ENGINE, ENGINE_NAMES, make_engine
 from repro.sim.plan import ExperimentPlan, ExperimentSweep, RunRequest, execute_plan
 from repro.sim.vliw import CycleAccurateEngine, CycleTrace
 
@@ -34,6 +43,10 @@ __all__ = [
     "RunStats",
     "merge_run_maps",
     "ExecutionEngine",
+    "TraceExecutionEngine",
+    "DEFAULT_ENGINE",
+    "ENGINE_NAMES",
+    "make_engine",
     "execute_program",
     "ExperimentPlan",
     "ExperimentSweep",

@@ -1,0 +1,47 @@
+"""Execution-tier selection.
+
+Three engines can execute a compiled program (see ``docs/performance.md``):
+
+``"trace"``
+    :class:`repro.sim.trace.TraceExecutionEngine` — the default.  Compiles
+    the run to batched address streams and replays them through the
+    vectorized memory hierarchy.  Statistics are identical to the
+    interpreter's.
+``"interpreter"``
+    :class:`repro.sim.fast.ExecutionEngine` — the reference oracle.  Walks
+    the loop nest in Python, one dynamic memory access at a time.
+
+(The third tier, :class:`repro.sim.vliw.CycleAccurateEngine`, steps single
+segments cycle by cycle and is driven directly by tests and examples, not
+through this registry.)
+
+Every batched entry point (``execute_program``, ``machine.run``,
+``run_benchmarks``, ``SuiteEvaluation``, the report CLI) accepts an
+``engine=`` escape hatch resolved here.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.compiler.scheduler import CompiledProgram
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.sim.fast import ExecutionEngine
+from repro.sim.trace import TraceExecutionEngine
+
+__all__ = ["DEFAULT_ENGINE", "ENGINE_NAMES", "make_engine"]
+
+DEFAULT_ENGINE = "trace"
+ENGINE_NAMES = ("trace", "interpreter")
+
+
+def make_engine(engine: Optional[str], compiled: CompiledProgram,
+                hierarchy: MemoryHierarchy):
+    """Instantiate the execution engine named ``engine`` (None = default)."""
+    name = engine or DEFAULT_ENGINE
+    if name == "trace":
+        return TraceExecutionEngine(compiled, hierarchy)
+    if name == "interpreter":
+        return ExecutionEngine(compiled, hierarchy)
+    raise ValueError(
+        f"unknown execution engine {engine!r}; choose one of {ENGINE_NAMES}")

@@ -1,4 +1,9 @@
-"""The production executor: loop-nest walker with stall accounting.
+"""The interpreting executor: loop-nest walker with stall accounting.
+
+Since the trace-compiled tier (:mod:`repro.sim.trace`) became the default,
+this engine serves as the *reference oracle* — the executable definition of
+the machine model that the trace tier is property-tested against — and as
+the ``engine="interpreter"`` escape hatch.
 
 The machine of the paper is statically scheduled and in-order; at run time
 the only deviations from the compile-time schedule are pipeline stalls
@@ -209,7 +214,8 @@ class _StatsMarker:
 def execute_program(program: KernelProgram, config: MachineConfig,
                     perfect_memory: bool = False,
                     latency_model: Optional[LatencyModel] = None,
-                    hierarchy: Optional[MemoryHierarchy] = None) -> RunStats:
+                    hierarchy: Optional[MemoryHierarchy] = None,
+                    engine: Optional[str] = None) -> RunStats:
     """Compile and execute ``program`` on ``config`` in one call.
 
     ``perfect_memory`` selects the Figure-5(a) methodology (every access hits
@@ -218,13 +224,17 @@ def execute_program(program: KernelProgram, config: MachineConfig,
     shared across several programs; by default each call gets a cold one.
     Compilation goes through the process-wide compile cache, so repeated
     executions of the same (program, configuration) pair schedule once.
+
+    ``engine`` selects the execution tier (``"trace"`` by default,
+    ``"interpreter"`` for the reference oracle); both produce identical
+    statistics.
     """
     from repro.compiler.cache import compile_cached
+    from repro.sim.engines import make_engine
 
     compiled = compile_cached(program, config, latency_model)
     if hierarchy is None:
         hierarchy = MemoryHierarchy(config.memory, l1_ports=config.l1_ports,
                                     l2_port_words=config.l2_port_words,
                                     perfect=perfect_memory)
-    engine = ExecutionEngine(compiled, hierarchy)
-    return engine.run()
+    return make_engine(engine, compiled, hierarchy).run()

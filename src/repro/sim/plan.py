@@ -116,7 +116,8 @@ class ExperimentPlan:
 
 def execute_plan(plan: ExperimentPlan,
                  specs: Mapping[str, "BenchmarkSpec"],
-                 latency_model=None) -> Dict[RunRequest, RunStats]:
+                 latency_model=None,
+                 engine: Optional[str] = None) -> Dict[RunRequest, RunStats]:
     """Execute every request of ``plan`` serially, sharing compilations.
 
     ``specs`` maps benchmark names to
@@ -125,7 +126,8 @@ def execute_plan(plan: ExperimentPlan,
     is the invariant the parallel executor relies on — while the
     process-wide compile cache collapses the schedule work of the ten
     configurations and two memory modes onto one pass per distinct
-    (program, configuration) pair.
+    (program, configuration) pair.  ``engine`` selects the execution tier
+    (trace-compiled by default); the statistics are tier independent.
     """
     from repro.core.architecture import VectorMicroSimdVliwMachine
     from repro.machine.config import get_config
@@ -137,5 +139,5 @@ def execute_plan(plan: ExperimentPlan,
         machine = VectorMicroSimdVliwMachine(
             config, latency_model=latency_model,
             perfect_memory=request.perfect_memory)
-        results[request] = machine.run(spec.program_for(config))
+        results[request] = machine.run(spec.program_for(config), engine=engine)
     return merge_run_maps([results], order=plan.requests)

@@ -1,0 +1,154 @@
+"""The trace-compiled executor: batched address streams, vectorized memory.
+
+:class:`TraceExecutionEngine` produces statistics *identical* — field for
+field, counter for counter — to the interpreting
+:class:`~repro.sim.fast.ExecutionEngine`, but without walking the loop nest:
+
+* every per-execution quantity except memory stalls (initiation interval,
+  operation and micro-operation counts, access counts) is loop invariant,
+  so the per-region totals are ``executions × static value`` — pure
+  arithmetic over the :class:`~repro.compiler.trace.SegmentCounts` records;
+* the memory stalls are computed by materializing the program's global
+  address stream in bounded chunks
+  (:meth:`~repro.compiler.trace.TraceProgram.materialize`) and replaying
+  each chunk through the batched memory hierarchy
+  (:meth:`~repro.memory.hierarchy.MemoryHierarchy.replay_stream`), which
+  preserves the interpreter's exact access interleaving;
+* under a *perfect* hierarchy every latency is a static function of the
+  operation, so even the stall pass collapses to closed form and no
+  address is ever materialized.
+
+The interpreter remains the reference oracle; the equivalence is enforced
+by the property-based tests in ``tests/test_trace_engine.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compiler.scheduler import CompiledProgram
+from repro.compiler.trace import TraceProgram, trace_program
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.memory.stream import AccessStream, StreamOp
+from repro.sim.stats import RunStats
+
+__all__ = ["TraceExecutionEngine", "DEFAULT_CHUNK_SIZE"]
+
+#: Upper bound on the number of access instances materialized at once;
+#: keeps the working set of one chunk to a few tens of megabytes no matter
+#: how long the simulated program runs.
+DEFAULT_CHUNK_SIZE = 1 << 20
+
+
+class TraceExecutionEngine:
+    """Executes a compiled program by replaying its compiled address trace."""
+
+    def __init__(self, compiled: CompiledProgram, hierarchy: MemoryHierarchy,
+                 chunk_size: int = DEFAULT_CHUNK_SIZE) -> None:
+        self.compiled = compiled
+        self.hierarchy = hierarchy
+        self.chunk_size = chunk_size
+
+    # ------------------------------------------------------------------ run
+
+    def run(self) -> RunStats:
+        """Execute the whole program once and return its statistics."""
+        program = self.compiled.program
+        stats = RunStats(program_name=program.name,
+                         config_name=self.compiled.config.name,
+                         flavor=program.flavor.value)
+        for name, info in program.regions.items():
+            stats.region(name, vectorizable=info.vectorizable)
+        trace = trace_program(self.compiled)
+
+        # analytic base statistics (everything but memory stalls)
+        for segment in trace.segments:
+            region = stats.region(segment.region,
+                                  vectorizable=segment.vectorizable)
+            if not segment.operations:
+                continue
+            executions = segment.executions
+            region.cycles += executions * segment.initiation_interval
+            region.operations += executions * segment.operations
+            region.micro_ops += executions * segment.micro_ops
+            region.memory_accesses += executions * segment.memory_ops
+            region.segment_executions += executions
+
+        if not trace.ops:
+            return stats
+        if self.hierarchy.perfect:
+            self._run_perfect(trace, stats)
+        else:
+            self._run_realistic(trace, stats)
+        return stats
+
+    # ------------------------------------------------------------- realistic
+
+    def _run_realistic(self, trace: TraceProgram, stats: RunStats) -> None:
+        stream_ops = tuple(
+            StreamOp(is_vector=t.op.is_vector, is_store=t.op.is_store,
+                     stride_bytes=t.op.stride_bytes,
+                     vector_length=t.op.vector_length)
+            for t in trace.ops)
+        assumed = np.array([t.op.assumed_latency for t in trace.ops],
+                           dtype=np.int64)
+        region_names = list(stats.regions)
+        region_index = {name: i for i, name in enumerate(region_names)}
+        op_region = np.array([region_index[t.region] for t in trace.ops],
+                             dtype=np.int64)
+        stalls = np.zeros(len(region_names), dtype=np.int64)
+        hierarchy = self.hierarchy
+        for low, high in trace.chunks(self.chunk_size):
+            op_index, addresses = trace.materialize(low, high)
+            result = hierarchy.replay_stream(AccessStream(
+                ops=stream_ops, op_index=op_index, addresses=addresses))
+            extra = result.latencies - assumed[op_index]
+            np.maximum(extra, 0, out=extra)
+            # integer-exact: the weighted bincount sums int64 values well
+            # below the float64 integer range
+            chunk = np.bincount(op_region[op_index], weights=extra,
+                                minlength=len(region_names))
+            stalls += chunk.astype(np.int64)
+        for name, stall in zip(region_names, stalls.tolist()):
+            if stall:
+                region = stats.regions[name]
+                region.cycles += stall
+                region.memory_stall_cycles += stall
+
+    # --------------------------------------------------------------- perfect
+
+    def _run_perfect(self, trace: TraceProgram, stats: RunStats) -> None:
+        """Closed-form stall/counter pass for the Figure-5(a) methodology.
+
+        Every access latency is a static function of the operation, so the
+        per-region stall totals and the hierarchy path counters scale with
+        the instance counts; no address stream is materialized.
+        """
+        hierarchy = self.hierarchy
+        cfg = hierarchy.config
+        path = hierarchy.stats
+        element_bytes = hierarchy.l2.element_bytes
+        scalar_count = 0
+        vector_count = 0
+        for t in trace.ops:
+            op = t.op
+            count = t.count
+            if op.is_vector:
+                vector_count += count
+                if op.stride_bytes != element_bytes:
+                    path.vector_non_unit_stride += count
+                latency = hierarchy.perfect_vector_latency(op.vector_length)
+            else:
+                scalar_count += count
+                latency = cfg.l1_latency
+            extra = latency - op.assumed_latency
+            if extra > 0:
+                region = stats.regions[t.region]
+                region.cycles += count * extra
+                region.memory_stall_cycles += count * extra
+        path.scalar_accesses += scalar_count
+        path.vector_accesses += vector_count
+        if scalar_count:
+            path.level_hits["l1"] = path.level_hits.get("l1", 0) + scalar_count
+        if vector_count:
+            path.level_hits["l2"] = path.level_hits.get("l2", 0) + vector_count

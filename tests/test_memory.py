@@ -1,5 +1,6 @@
 """Tests for the caches, the vector cache, the hierarchy and the layout."""
 
+import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -8,6 +9,7 @@ from repro.machine.config import MemoryConfig
 from repro.memory.cache import SetAssociativeCache
 from repro.memory.hierarchy import COHERENCY_WRITEBACK_PENALTY, MemoryHierarchy
 from repro.memory.layout import AddressSpace, ArraySpec
+from repro.memory.stream import LEVEL_NAMES, AccessStream, StreamOp
 from repro.memory.vector_cache import VectorCache
 
 
@@ -87,6 +89,38 @@ class TestSetAssociativeCache:
         # re-accessing the most recent address is always a hit
         hit, _ = cache.access(addresses[-1])
         assert hit
+
+    def test_negative_address_rejected(self):
+        cache = self.make()
+        with pytest.raises(ValueError):
+            cache.access(-8)
+
+    def test_stats_frozen_restores_counters_but_keeps_state(self):
+        cache = self.make()
+        cache.access(0x100)
+        before = cache.stats.snapshot()
+        with cache.stats.stats_frozen():
+            cache.access(0x900, is_store=True)
+            cache.access(0x100)
+        assert cache.stats.snapshot() == before
+        assert cache.contains(0x900)
+        assert cache.is_dirty(0x900)
+
+    @given(st.lists(st.tuples(st.integers(0, 2048), st.booleans()),
+                    min_size=1, max_size=120))
+    @settings(max_examples=30)
+    def test_access_batch_equals_serial_walk(self, events):
+        serial = SetAssociativeCache(256, 2, 32)
+        batched = SetAssociativeCache(256, 2, 32)
+        expected = [serial.access(address, is_store=store)[0]
+                    for address, store in events]
+        addresses = np.array([address for address, _ in events], dtype=np.int64)
+        stores = np.array([store for _, store in events], dtype=bool)
+        hits = batched.access_batch(addresses, stores)
+        assert hits.tolist() == expected
+        assert serial.stats.snapshot() == batched.stats.snapshot()
+        assert serial._tags == batched._tags
+        assert serial._dirty == batched._dirty
 
 
 class TestVectorCache:
@@ -217,6 +251,124 @@ class TestHierarchy:
         hierarchy.reset_stats()
         assert hierarchy.l1.stats.accesses == 0
         assert hierarchy.stats.scalar_accesses == 0
+
+    def test_preload_include_l1(self):
+        hierarchy = self.make()
+        hierarchy.preload(0x4000, 4096, include_l1=True)
+        result = hierarchy.scalar_access(0x4000)
+        assert result.level == "l1"
+        assert hierarchy.l1.stats.accesses == 1  # only the probe above
+
+
+class TestAccessResultSemantics:
+    """``hit`` means "hit in the level the schedule assumed", deliberately.
+
+    The compiler schedules every scalar access as a 1-cycle L1 hit, so a
+    scalar access served by the L2 or L3 *stalled the pipeline* and reports
+    ``hit=False`` even though it never reached memory; ``level`` (alias
+    ``served_level``) names the server and ``l1_hit`` isolates the true L1
+    case.  The trace tier reproduces exactly this accounting (its level
+    counters are tested against the interpreter's), so the semantics are
+    pinned down here.
+    """
+
+    def make(self):
+        return MemoryHierarchy(MemoryConfig(), l1_ports=1, l2_port_words=4)
+
+    def test_scalar_l1_hit(self):
+        hierarchy = self.make()
+        hierarchy.scalar_access(0x2000)
+        result = hierarchy.scalar_access(0x2000)
+        assert result.hit and result.l1_hit
+        assert result.served_level == "l1"
+
+    def test_scalar_l2_hit_reports_schedule_miss(self):
+        hierarchy = self.make()
+        hierarchy.preload(0x4000, 256)
+        result = hierarchy.scalar_access(0x4000)
+        assert result.served_level == "l2"
+        assert result.hit is False      # the schedule assumed an L1 hit
+        assert result.l1_hit is False
+        assert result.latency == hierarchy.config.l2_latency
+
+    def test_scalar_l3_and_memory(self):
+        hierarchy = self.make()
+        cold = hierarchy.scalar_access(0x9000)
+        assert cold.served_level == "memory" and not cold.hit
+        hierarchy.l1.flush()
+        hierarchy.l2.cache.flush()
+        warm = hierarchy.scalar_access(0x9000)
+        assert warm.served_level == "l3" and not warm.hit
+
+    def test_vector_hit_is_l2_hit(self):
+        hierarchy = self.make()
+        hierarchy.preload(0x8000, 4096)
+        result = hierarchy.vector_access(0x8000, stride_bytes=8, vector_length=16)
+        assert result.hit                 # the vector path's target level is L2
+        assert result.l1_hit is False     # ... which is not the L1
+        assert result.served_level == "l2"
+
+
+class TestBatchedHierarchy:
+    def make(self):
+        return MemoryHierarchy(MemoryConfig(), l1_ports=1, l2_port_words=4)
+
+    def test_scalar_access_batch_matches_serial(self):
+        serial, batched = self.make(), self.make()
+        addresses = np.array([0x100, 0x100, 0x5000, 0x100, 0x5008, 0x9000],
+                             dtype=np.int64)
+        expected = [serial.scalar_access(int(a)) for a in addresses]
+        result = batched.scalar_access_batch(addresses)
+        assert result.latencies.tolist() == [r.latency for r in expected]
+        assert ([LEVEL_NAMES[code] for code in result.levels.tolist()]
+                == [r.level for r in expected])
+        assert serial.statistics() == batched.statistics()
+
+    def test_vector_access_batch_matches_serial(self):
+        serial, batched = self.make(), self.make()
+        serial.preload(0x8000, 2048)
+        batched.preload(0x8000, 2048)
+        bases = np.array([0x8000, 0x8080, 0x8000, 0xA000], dtype=np.int64)
+        expected = [serial.vector_access(int(b), stride_bytes=8, vector_length=16)
+                    for b in bases]
+        result = batched.vector_access_batch(bases, stride_bytes=8,
+                                             vector_length=16)
+        assert result.latencies.tolist() == [r.latency for r in expected]
+        assert serial.statistics() == batched.statistics()
+
+    def test_batched_perfect_memory_matches_serial(self):
+        serial = MemoryHierarchy(MemoryConfig(), perfect=True)
+        batched = MemoryHierarchy(MemoryConfig(), perfect=True)
+        addresses = np.array([0x100, 0x2000, 0x100], dtype=np.int64)
+        scalar = batched.scalar_access_batch(addresses)
+        assert scalar.latencies.tolist() == [
+            serial.scalar_access(int(a)).latency for a in addresses]
+        vector = batched.vector_access_batch(addresses, stride_bytes=256,
+                                             vector_length=9)
+        assert vector.latencies.tolist() == [
+            serial.vector_access(int(a), 256, 9).latency for a in addresses]
+        assert serial.statistics() == batched.statistics()
+
+    def test_replay_stream_interleaves_scalar_and_vector(self):
+        serial, batched = self.make(), self.make()
+        ops = (StreamOp(is_vector=False, is_store=True),
+               StreamOp(is_vector=True, is_store=False,
+                        stride_bytes=8, vector_length=8))
+        op_index = np.array([0, 1, 0, 1, 0, 1], dtype=np.int64)
+        addresses = np.array([0x8000, 0x8000, 0x8040, 0x8040, 0x8000, 0x8000],
+                             dtype=np.int64)
+        expected = []
+        for op_id, address in zip(op_index.tolist(), addresses.tolist()):
+            if ops[op_id].is_vector:
+                expected.append(serial.vector_access(address, 8, 8))
+            else:
+                expected.append(serial.scalar_access(address, is_store=True))
+        result = batched.replay_stream(AccessStream(
+            ops=ops, op_index=op_index, addresses=addresses))
+        assert result.latencies.tolist() == [r.latency for r in expected]
+        assert serial.statistics() == batched.statistics()
+        # the stream contained scalar stores that vector accesses hit on
+        assert batched.stats.coherency_writebacks > 0
 
 
 class TestAddressSpace:

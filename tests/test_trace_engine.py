@@ -1,0 +1,264 @@
+"""Equivalence tests for the trace-compiled execution tier.
+
+The trace engine's contract is *identity*, not approximation: for any
+program, configuration and memory mode it must produce the same
+:class:`~repro.sim.stats.RunStats` — field for field — and leave the memory
+hierarchy in the same state (same counters, same cache contents) as the
+interpreting reference executor.  These tests enforce the contract with
+hand-written kernels, the benchmark suite, and property-based random
+programs with random loop nests, and cross-check both engines against the
+cycle-accurate engine on single segments.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compiler.builder import KernelBuilder
+from repro.compiler.ir import ISAFlavor
+from repro.compiler.scheduler import compile_program
+from repro.compiler.trace import trace_program
+from repro.core.architecture import VectorMicroSimdVliwMachine
+from repro.isa.operations import Opcode
+from repro.machine.config import get_config
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.sim.engines import make_engine
+from repro.sim.fast import ExecutionEngine, execute_program
+from repro.sim.trace import TraceExecutionEngine
+from repro.sim.vliw import CycleAccurateEngine
+from tests.test_compiler import build_segment_from_spec, random_segment_strategy
+from tests.test_sim import build_streaming_program
+
+
+def _hierarchy(config, perfect=False, preload_span=None):
+    hierarchy = MemoryHierarchy(config.memory, l1_ports=config.l1_ports,
+                                l2_port_words=config.l2_port_words,
+                                perfect=perfect)
+    if preload_span is not None and not perfect:
+        hierarchy.preload(*preload_span)
+    return hierarchy
+
+
+def assert_engines_identical(program, config, perfect=False, preload_span=None,
+                             chunk_size=None):
+    """Interpreter and trace tier must agree on stats and hierarchy state."""
+    compiled = compile_program(program, config)
+    ref_hierarchy = _hierarchy(config, perfect, preload_span)
+    trace_hierarchy = _hierarchy(config, perfect, preload_span)
+    reference = ExecutionEngine(compiled, ref_hierarchy).run()
+    engine = TraceExecutionEngine(compiled, trace_hierarchy)
+    if chunk_size is not None:
+        engine.chunk_size = chunk_size
+    traced = engine.run()
+    assert traced.to_dict() == reference.to_dict()
+    assert traced.canonical_json() == reference.canonical_json()
+    assert trace_hierarchy.statistics() == ref_hierarchy.statistics()
+    return reference
+
+
+# ---------------------------------------------------------------------------
+# deterministic cases
+# ---------------------------------------------------------------------------
+
+class TestTraceEngineBasics:
+    @pytest.mark.parametrize("perfect", [False, True])
+    @pytest.mark.parametrize("stride", [8, 256])
+    def test_streaming_kernel(self, vector2_2w, perfect, stride):
+        program = build_streaming_program(stride_bytes=stride)
+        assert_engines_identical(program, vector2_2w, perfect=perfect)
+
+    def test_chunked_replay_matches_unchunked(self, vector2_2w):
+        program = build_streaming_program(iterations=16)
+        for chunk in (1, 3, 7):
+            assert_engines_identical(program, vector2_2w, chunk_size=chunk)
+
+    def test_zero_and_one_trip_loops(self, vector2_2w):
+        builder = KernelBuilder("edge", ISAFlavor.VECTOR)
+        with builder.loop(0, name="never"):
+            builder.load(builder.addr(0x1000))
+        with builder.loop(1, name="once") as i:
+            builder.store(builder.addr(0x2000, (i, 8)), builder.iop(Opcode.MOV))
+        assert_engines_identical(builder.program(), vector2_2w)
+
+    def test_memory_free_program(self, vliw_2w):
+        builder = KernelBuilder("compute", ISAFlavor.SCALAR)
+        with builder.loop(50, name="i"):
+            builder.independent_ops(4)
+        assert_engines_identical(builder.program(), vliw_2w)
+        assert_engines_identical(builder.program(), vliw_2w, perfect=True)
+
+    def test_wrapped_table_lookup_addresses(self, vector2_2w):
+        builder = KernelBuilder("lut", ISAFlavor.VECTOR)
+        with builder.loop(13, name="i") as i:
+            builder.load(builder.addr(0x4000, (i, 40), wrap_bytes=256))
+        assert_engines_identical(builder.program(), vector2_2w)
+
+    def test_coherency_traffic(self, vector2_2w):
+        builder = KernelBuilder("coherent", ISAFlavor.VECTOR)
+        with builder.loop(8, name="i") as i:
+            value = builder.load(builder.addr(0x8000, (i, 64)))
+            builder.store(builder.addr(0x8000, (i, 64)), value)
+            builder.vload(builder.addr(0x8000, (i, 64)), vl=16)
+        assert_engines_identical(builder.program(), vector2_2w,
+                                 preload_span=(0x8000, 4096))
+
+    def test_engine_escape_hatch(self, vector2_2w):
+        program = build_streaming_program()
+        default = execute_program(program, vector2_2w)
+        interp = execute_program(program, vector2_2w, engine="interpreter")
+        traced = execute_program(program, vector2_2w, engine="trace")
+        assert default.canonical_json() == interp.canonical_json()
+        assert default.canonical_json() == traced.canonical_json()
+
+    def test_machine_run_accepts_engine(self, vector2_2w):
+        machine = VectorMicroSimdVliwMachine(vector2_2w)
+        program = build_streaming_program()
+        a = machine.run(program, engine="interpreter")
+        b = machine.run(program, engine="trace")
+        assert a.canonical_json() == b.canonical_json()
+
+    def test_unknown_engine_rejected(self, vector2_2w):
+        compiled = compile_program(build_streaming_program(), vector2_2w)
+        with pytest.raises(ValueError, match="unknown execution engine"):
+            make_engine("warp-drive", compiled,
+                        MemoryHierarchy(vector2_2w.memory))
+
+    def test_trace_lowering_covers_every_access(self, vector2_2w):
+        program = build_streaming_program(iterations=8)
+        trace = trace_program(compile_program(program, vector2_2w))
+        op_index, addresses = trace.materialize(0, trace.stream_length)
+        assert len(op_index) == trace.stream_length
+        # interleaving: the two memory ops of the loop body alternate
+        assert sorted(set(op_index.tolist())) == list(range(len(trace.ops)))
+        assert addresses.min() >= 0
+
+
+# ---------------------------------------------------------------------------
+# benchmark suite
+# ---------------------------------------------------------------------------
+
+class TestSuiteEquivalence:
+    @pytest.mark.parametrize("benchmark_name", ["gsm_enc", "jpeg_enc"])
+    @pytest.mark.parametrize("config_name", ["vliw-2w", "vector2-2w"])
+    @pytest.mark.parametrize("perfect", [False, True])
+    def test_benchmark_runs_identical(self, tiny_suite, benchmark_name,
+                                      config_name, perfect):
+        config = get_config(config_name)
+        program = tiny_suite[benchmark_name].program_for(config)
+        machine = VectorMicroSimdVliwMachine(config, perfect_memory=perfect)
+        reference = machine.run(program, engine="interpreter")
+        traced = machine.run(program, engine="trace")
+        assert traced.to_dict() == reference.to_dict()
+
+    def test_tiny_report_byte_identical_across_engines(self, tiny_parameters):
+        from repro.experiments.evaluation import SuiteEvaluation
+        from repro.experiments.report import full_report
+
+        traced = full_report(SuiteEvaluation(parameters=tiny_parameters,
+                                             engine="trace"))
+        interpreted = full_report(SuiteEvaluation(parameters=tiny_parameters,
+                                                  engine="interpreter"))
+        assert traced == interpreted
+
+
+# ---------------------------------------------------------------------------
+# property-based equivalence on random programs
+# ---------------------------------------------------------------------------
+
+_SCALAR_STRIDES = (0, 1, 3, 8, 32, 64)
+_VECTOR_STRIDES = (8, 16, 24, 64, 256)
+
+
+@st.composite
+def random_programs(draw):
+    """A random kernel program with a random loop nest and address mix."""
+    builder = KernelBuilder("prop", ISAFlavor.VECTOR)
+    bases = [draw(st.integers(0, 1 << 12)) * 8 for _ in range(3)]
+    active_vars = []
+
+    def emit_segment():
+        for _ in range(draw(st.integers(1, 3))):
+            kind = draw(st.sampled_from(
+                ["load", "store", "vload", "vstore", "compute"]))
+            base = draw(st.sampled_from(bases))
+            terms = tuple((var, draw(st.sampled_from(_SCALAR_STRIDES)))
+                          for var in active_vars
+                          if draw(st.booleans()))
+            wrap = draw(st.sampled_from((None, None, 128, 512)))
+            address = builder.addr(base, *terms, wrap_bytes=wrap)
+            if kind == "load":
+                builder.load(address)
+            elif kind == "store":
+                builder.store(address, builder.iop(Opcode.MOV))
+            elif kind == "vload":
+                builder.vload(address, vl=draw(st.integers(1, 16)),
+                              stride_bytes=draw(st.sampled_from(_VECTOR_STRIDES)))
+            elif kind == "vstore":
+                builder.vstore(address, builder.vop(Opcode.VADDW, vl=4),
+                               vl=draw(st.integers(1, 16)),
+                               stride_bytes=draw(st.sampled_from(_VECTOR_STRIDES)))
+            else:
+                builder.independent_ops(draw(st.integers(1, 2)))
+
+    def emit_block(depth):
+        for _ in range(draw(st.integers(1, 2))):
+            if depth < 2 and draw(st.booleans()):
+                trip = draw(st.sampled_from((0, 1, 2, 3, 5)))
+                with builder.loop(trip, name=f"i{depth}",
+                                  control=draw(st.booleans())) as var:
+                    active_vars.append(var)
+                    emit_block(depth + 1)
+                    active_vars.pop()
+            else:
+                if draw(st.booleans()):
+                    with builder.region("R1", "vector region", vectorizable=True):
+                        emit_segment()
+                else:
+                    emit_segment()
+
+    emit_block(0)
+    return builder.program()
+
+
+class TestPropertyEquivalence:
+    @given(program=random_programs(),
+           config_name=st.sampled_from(["vector2-2w", "vector1-4w"]),
+           perfect=st.booleans(),
+           preload=st.booleans(),
+           chunk=st.sampled_from([13, 1 << 20]))
+    @settings(max_examples=30, deadline=None)
+    def test_trace_equals_interpreter(self, program, config_name, perfect,
+                                      preload, chunk):
+        config = get_config(config_name)
+        span = (0, 1 << 14) if preload else None
+        assert_engines_identical(program, config, perfect=perfect,
+                                 preload_span=span, chunk_size=chunk)
+
+    @given(spec=random_segment_strategy())
+    @settings(max_examples=20, deadline=None)
+    def test_single_segments_consistent_with_cycle_engine(self, spec):
+        """fast == trace == cycle-accurate (minus drain) on one segment."""
+        config = get_config("vector2-2w")
+        segment = build_segment_from_spec(spec)
+        builder_program = _single_segment_program(segment)
+        compiled = compile_program(builder_program, config)
+
+        reference = ExecutionEngine(compiled,
+                                    _hierarchy(config)).run()
+        traced = TraceExecutionEngine(compiled, _hierarchy(config)).run()
+        assert traced.to_dict() == reference.to_dict()
+
+        schedule = compiled.schedule_for(builder_program.segments()[0])
+        cycle_trace = CycleAccurateEngine(config).run_segment(
+            schedule, _hierarchy(config))
+        assert (cycle_trace.cycles - cycle_trace.drain_cycles
+                == reference.total_cycles)
+        assert cycle_trace.stall_cycles == reference.total_stall_cycles
+
+
+def _single_segment_program(segment):
+    from repro.compiler.ir import KernelProgram
+
+    return KernelProgram(name="single", flavor=ISAFlavor.VECTOR,
+                         body=[segment])
