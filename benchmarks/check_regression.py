@@ -76,11 +76,24 @@ def main(argv=None) -> int:
               f"baseline {baseline.get('jobs')}); only the serial lane is "
               f"compared", file=sys.stderr)
 
+    missing = sorted(set(baseline["experiments"]) - set(current["experiments"]))
+    if missing:
+        print(f"error: baseline experiment(s) {missing} absent from the "
+              f"current run; the gate would silently stop covering them — "
+              f"update the baseline and this check together", file=sys.stderr)
+        return 2
+
     failures = 0
+    compared = 0
     for name, key, ratio, regressed in compare(current, baseline, args.threshold):
         verdict = "REGRESSED" if regressed else "ok"
         print(f"{name:20s} {key:9s} normalised x{ratio:5.2f}  {verdict}")
         failures += regressed
+        compared += 1
+    if not compared:
+        print("error: no timings were comparable between current run and "
+              "baseline; the gate checked nothing", file=sys.stderr)
+        return 2
     if failures:
         print(f"\n{failures} timing(s) regressed by more than "
               f"{args.threshold:.0%} vs {args.baseline}", file=sys.stderr)

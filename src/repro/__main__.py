@@ -1,0 +1,152 @@
+"""Unified command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``report``
+    Regenerate every figure and table of the paper's evaluation
+    (:mod:`repro.experiments.report`).  With a warm result store this is
+    pure rendering — zero simulations.
+``sweep``
+    Populate the result store with the full paper grid (benchmarks ×
+    Table-2 configurations × memory modes) without rendering anything —
+    the warm-up command for CI caches and shared stores.
+``explore``
+    Design-space exploration beyond Table 2 (:mod:`repro.explore`):
+    generate parameterised configurations, sweep them resumably through
+    the store, and print Pareto frontiers of speed-up vs issue slots.
+
+All commands share the store flags: ``--store DIR`` selects a persistent
+result store, ``--no-store`` disables it, and the ``REPRO_STORE``
+environment variable supplies the default.  Unlike the older module entry
+points, the unified CLI defaults to a store at ``.repro-store`` so
+repeated invocations get warm-start behaviour out of the box.  ``--jobs``
+(default ``REPRO_JOBS``, else 1) parallelises simulation; results are
+byte-identical for any job count.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments.evaluation import SuiteEvaluation
+from repro.experiments.report import (
+    add_store_arguments,
+    resolve_jobs,
+    resolve_store,
+)
+from repro.experiments.report import main as report_main
+from repro.sim.engines import DEFAULT_ENGINE, ENGINE_NAMES
+from repro.workloads.suite import BENCHMARK_NAMES, SuiteParameters
+
+__all__ = ["main"]
+
+#: Store directory the unified CLI uses when neither ``--store`` nor
+#: ``REPRO_STORE`` names one.
+DEFAULT_STORE_PATH = ".repro-store"
+
+
+def _add_common(parser: argparse.ArgumentParser, tiny_flag: bool = True) -> None:
+    if tiny_flag:
+        parser.add_argument("--tiny", action="store_true",
+                            help="test-sized inputs instead of the defaults")
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="worker processes (default: $REPRO_JOBS, else 1)")
+    parser.add_argument("--engine", choices=list(ENGINE_NAMES),
+                        default=DEFAULT_ENGINE,
+                        help="execution tier (statistics are identical)")
+    add_store_arguments(parser)
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    store = resolve_store(args, default_path=DEFAULT_STORE_PATH)
+    parameters = SuiteParameters.tiny() if args.tiny else SuiteParameters.default()
+    evaluation = SuiteEvaluation(parameters=parameters,
+                                 jobs=resolve_jobs(args.jobs),
+                                 engine=args.engine, store=store)
+    start = time.time()
+    evaluation.prefetch()
+    elapsed = time.time() - start
+    total = len(evaluation.benchmark_names) * len(evaluation.config_names) * 2
+    loaded = total - evaluation.simulated_runs
+    where = store.root if store is not None else "(no store)"
+    print(f"swept {total} runs in {elapsed:.1f} s: {loaded} already stored, "
+          f"{evaluation.simulated_runs} simulated -> {where}")
+    return 0
+
+
+def _cmd_explore(args: argparse.Namespace) -> int:
+    from repro.explore import DesignSpace, run_exploration
+
+    space = DesignSpace.smoke() if args.space == "smoke" else DesignSpace.default()
+    store = resolve_store(args, default_path=DEFAULT_STORE_PATH)
+    parameters = (SuiteParameters.default() if args.full_inputs
+                  else SuiteParameters.tiny())
+    start = time.time()
+    result = run_exploration(
+        space=space,
+        benchmarks=tuple(args.benchmarks),
+        parameters=parameters,
+        store=store,
+        jobs=resolve_jobs(args.jobs),
+        engine=args.engine,
+        shard_size=args.shard_size,
+        max_shards=args.max_shards,
+        progress=lambda line: print(line, file=sys.stderr),
+    )
+    print(result.summary())
+    print(f"[explored in {time.time() - start:.1f} s]", file=sys.stderr)
+    return 0 if result.complete else 3
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser(
+        "report", add_help=False,
+        help="regenerate every figure and table (see report --help)")
+
+    sweep = sub.add_parser(
+        "sweep", help="populate the result store with the full paper grid")
+    _add_common(sweep)
+
+    # explore defaults to the tiny inputs already (a 108-point sweep at full
+    # size is a long run), so it exposes the opposite flag instead of --tiny
+    explore = sub.add_parser(
+        "explore", help="sweep generated configurations; print Pareto summary")
+    _add_common(explore, tiny_flag=False)
+    explore.add_argument("--space", choices=("default", "smoke"),
+                         default="default",
+                         help="configuration space: the 108-point default "
+                              "or an 8-point smoke space")
+    explore.add_argument("--benchmarks", nargs="+", metavar="NAME",
+                         default=None, choices=BENCHMARK_NAMES,
+                         help="benchmarks to explore (default: gsm_enc jpeg_enc)")
+    explore.add_argument("--full-inputs", action="store_true",
+                         help="use the full report input sizes (slow); the "
+                              "default is the tiny test inputs")
+    explore.add_argument("--shard-size", type=int, default=40, metavar="N",
+                         help="runs per resumable shard (default 40)")
+    explore.add_argument("--max-shards", type=int, default=None, metavar="N",
+                         help="stop after N shards (partial, resumable sweep)")
+
+    if argv is None:
+        argv = sys.argv[1:]
+    # `report` keeps its own argument parser (it predates this CLI); pass
+    # everything after the subcommand through, adding the store default.
+    if argv and argv[0] == "report":
+        return report_main(argv[1:], default_store=DEFAULT_STORE_PATH)
+    args = parser.parse_args(argv)
+    if args.command == "explore" and args.benchmarks is None:
+        from repro.explore import DEFAULT_BENCHMARKS
+        args.benchmarks = list(DEFAULT_BENCHMARKS)
+    return {"sweep": _cmd_sweep, "explore": _cmd_explore}[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

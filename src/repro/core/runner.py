@@ -32,11 +32,19 @@ import multiprocessing
 import os
 import sys
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Mapping, Optional, Sequence, Union
+from typing import TYPE_CHECKING, Dict, Iterable, Mapping, Optional, Sequence, Union
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (store imports IR)
+    from repro.store import ResultStore
 
 from repro.compiler.ir import ISAFlavor, KernelProgram
 from repro.core.architecture import VectorMicroSimdVliwMachine
-from repro.machine.config import MachineConfig, PAPER_CONFIG_ORDER, get_config
+from repro.machine.config import (
+    MachineConfig,
+    PAPER_CONFIG_ORDER,
+    get_config,
+    register_config,
+)
 from repro.machine.latency import LatencyModel
 from repro.sim.plan import ExperimentPlan, RunRequest, execute_plan
 from repro.sim.stats import RunStats, merge_run_maps
@@ -165,8 +173,13 @@ _WORKER_STATE: Optional[tuple] = None
 
 def _worker_init(specs: Mapping[str, BenchmarkSpec],
                  latency_model: Optional[LatencyModel],
-                 engine: Optional[str]) -> None:
+                 engine: Optional[str],
+                 extra_configs: Mapping[str, MachineConfig] = ()) -> None:
     global _WORKER_STATE
+    # non-paper configurations (design-space points) are registered per
+    # worker so ``get_config`` resolves them under spawn as well as fork
+    for config in dict(extra_configs).values():
+        register_config(config, overwrite=True)
     _WORKER_STATE = (specs, latency_model, engine)
 
 
@@ -186,11 +199,56 @@ def _as_spec_map(specs: Union[Mapping[str, BenchmarkSpec], Iterable[BenchmarkSpe
     return {spec.name: spec for spec in specs}
 
 
+def _request_fingerprints(plan: ExperimentPlan,
+                          spec_map: Mapping[str, BenchmarkSpec],
+                          latency_model: Optional[LatencyModel]
+                          ) -> Dict[RunRequest, str]:
+    """Content fingerprint of every request of ``plan`` (see repro.store).
+
+    A plan spans few distinct programs and configurations, so the component
+    hashes — especially the program IR walk — are memoised across the
+    requests (safe by identity: ``spec_map`` keeps every program alive for
+    the duration of this call).
+    """
+    from repro.compiler.cache import (
+        fingerprint_config,
+        fingerprint_latency_model,
+        fingerprint_program,
+    )
+    from repro.store import run_fingerprint
+
+    latency_fp = fingerprint_latency_model(
+        latency_model if latency_model is not None else LatencyModel())
+    program_fps: Dict[int, str] = {}
+    config_fps: Dict[str, str] = {}
+    fingerprints: Dict[RunRequest, str] = {}
+    for request in plan:
+        config = get_config(request.config_name)
+        program = spec_map[request.benchmark].program_for(config)
+        program_fp = program_fps.get(id(program))
+        if program_fp is None:
+            program_fp = program_fps.setdefault(id(program),
+                                                fingerprint_program(program))
+        config_fp = config_fps.get(request.config_name)
+        if config_fp is None:
+            config_fp = config_fps.setdefault(request.config_name,
+                                              fingerprint_config(config))
+        fingerprints[request] = run_fingerprint(
+            program, config, latency_model=latency_model,
+            perfect_memory=request.perfect_memory,
+            program_fingerprint=program_fp,
+            config_fingerprint=config_fp,
+            latency_fingerprint=latency_fp)
+    return fingerprints
+
+
 def execute_requests(requests: Iterable[RunRequest],
                      specs: Union[Mapping[str, BenchmarkSpec], Iterable[BenchmarkSpec]],
                      jobs: int = 1,
                      latency_model: Optional[LatencyModel] = None,
-                     engine: Optional[str] = None
+                     engine: Optional[str] = None,
+                     store: Optional["ResultStore"] = None,
+                     extra_configs: Optional[Mapping[str, MachineConfig]] = None
                      ) -> Dict[RunRequest, RunStats]:
     """Execute a batch of runs, optionally across worker processes.
 
@@ -203,28 +261,58 @@ def execute_requests(requests: Iterable[RunRequest],
     process through the same serial fast path workers use.  ``engine``
     selects the execution tier (trace-compiled by default); serial,
     parallel, trace and interpreter all produce byte-identical statistics.
+
+    ``store`` names a persistent :class:`~repro.store.ResultStore`: every
+    request whose content fingerprint is already stored — by an earlier
+    invocation, another worker pool, or a concurrent CI job — is served
+    from disk instead of simulated, and freshly simulated results are
+    written back.  The deterministic merge is unchanged, so a warm store is
+    byte-identical to a cold one.  ``extra_configs`` publishes non-paper
+    configurations (design-space points) to this process and every worker.
     """
     plan = requests if isinstance(requests, ExperimentPlan) else ExperimentPlan(requests)
     spec_map = _as_spec_map(specs)
+    if extra_configs:
+        for config in extra_configs.values():
+            register_config(config, overwrite=True)
     missing = [r.benchmark for r in plan if r.benchmark not in spec_map]
     if missing:
         raise KeyError(f"no spec for benchmarks {sorted(set(missing))!r}")
-    if jobs < 2 or len(plan) < 2:
-        return execute_plan(plan, spec_map, latency_model=latency_model,
-                            engine=engine)
 
-    # Fork shares the already-built program IR with the workers for free;
-    # macOS/Windows use spawn (fork is unsafe under Objective-C frameworks
-    # and threaded BLAS) and pickle the specs once per worker instead.
-    context = multiprocessing.get_context(
-        "fork" if sys.platform == "linux" else "spawn")
-    workers = min(jobs, len(plan))
-    chunksize = max(1, len(plan) // (workers * 4))
-    with context.Pool(processes=workers, initializer=_worker_init,
-                      initargs=(spec_map, latency_model, engine)) as pool:
-        results = pool.map(_worker_run, plan.requests, chunksize=chunksize)
-    shards = [{request: stats} for request, stats in zip(plan.requests, results)]
-    return merge_run_maps(shards, order=plan.requests)
+    stored: Dict[RunRequest, RunStats] = {}
+    fingerprints: Dict[RunRequest, str] = {}
+    pending = plan
+    if store is not None:
+        fingerprints = _request_fingerprints(plan, spec_map, latency_model)
+        stored = store.get_many(fingerprints)
+        pending = plan.without(stored)
+
+    if len(pending) == 0:
+        fresh: Dict[RunRequest, RunStats] = {}
+    elif jobs < 2 or len(pending) < 2:
+        fresh = execute_plan(pending, spec_map, latency_model=latency_model,
+                             engine=engine)
+    else:
+        # Fork shares the already-built program IR with the workers for free;
+        # macOS/Windows use spawn (fork is unsafe under Objective-C frameworks
+        # and threaded BLAS) and pickle the specs once per worker instead.
+        context = multiprocessing.get_context(
+            "fork" if sys.platform == "linux" else "spawn")
+        workers = min(jobs, len(pending))
+        chunksize = max(1, len(pending) // (workers * 4))
+        with context.Pool(processes=workers, initializer=_worker_init,
+                          initargs=(spec_map, latency_model, engine,
+                                    dict(extra_configs or {}))) as pool:
+            results = pool.map(_worker_run, pending.requests, chunksize=chunksize)
+        fresh = dict(zip(pending.requests, results))
+
+    if store is not None:
+        for request, stats in fresh.items():
+            store.put(fingerprints[request], stats,
+                      context={"benchmark": request.benchmark,
+                               "config": request.config_name,
+                               "perfect_memory": request.perfect_memory})
+    return merge_run_maps([stored, fresh], order=plan.requests)
 
 
 def run_benchmarks(specs: Union[Mapping[str, BenchmarkSpec], Iterable[BenchmarkSpec]],

@@ -31,6 +31,7 @@ from repro.machine.config import PAPER_CONFIG_ORDER
 from repro.machine.latency import LatencyModel
 from repro.sim.plan import ExperimentPlan, ExperimentSweep, RunRequest
 from repro.sim.stats import RunStats
+from repro.store import ResultStore
 from repro.workloads.suite import BENCHMARK_NAMES, SuiteParameters, build_suite
 
 __all__ = ["SuiteEvaluation"]
@@ -50,6 +51,15 @@ class SuiteEvaluation:
     ``engine`` selects the execution tier (``"trace"`` by default,
     ``"interpreter"`` for the reference oracle).  Either way, repeated
     queries are free and results are identical.
+
+    ``store`` adds a second, *persistent* memo level below the in-process
+    one: a :class:`~repro.store.ResultStore` instance, a directory path, or
+    the default ``"auto"``, which opens the store named by the
+    ``REPRO_STORE`` environment variable (no store when unset).  Runs
+    answered by the store are never simulated, and fresh runs are written
+    back — so separate processes, test sessions and CI jobs pointing at one
+    store each simulate a given point at most once.  Pass ``store=None``
+    to force a store-free evaluation.
     """
 
     parameters: SuiteParameters = field(default_factory=SuiteParameters.default)
@@ -58,10 +68,16 @@ class SuiteEvaluation:
     latency_model: Optional[LatencyModel] = None
     jobs: int = 1
     engine: Optional[str] = None
+    store: Union[ResultStore, str, None] = "auto"
 
     def __post_init__(self) -> None:
         self._suite: Dict[str, BenchmarkSpec] = {}
         self._runs: Dict[Tuple[str, str, bool], RunStats] = {}
+        self.simulated_runs = 0
+        if self.store == "auto":
+            self.store = ResultStore.from_env()
+        elif isinstance(self.store, str):
+            self.store = ResultStore(self.store)
 
     # ------------------------------------------------------------------ suite
 
@@ -82,7 +98,9 @@ class SuiteEvaluation:
         :class:`ExperimentPlan`, or any iterable of
         :class:`RunRequest`.  Only missing runs are executed; with
         ``jobs > 1`` they are distributed over worker processes and merged
-        deterministically.
+        deterministically.  When a persistent store is attached, runs the
+        store already holds (from any process, ever) are loaded instead of
+        simulated; ``simulated_runs`` counts what actually ran.
         """
         if isinstance(sweep, ExperimentSweep):
             requests = sweep.requests(self.benchmark_names, self.config_names)
@@ -94,9 +112,13 @@ class SuiteEvaluation:
         if not len(plan):
             return
         specs = {name: self.spec(name) for name in plan.benchmarks()}
+        store_hits_before = self.store.stats.hits if self.store is not None else 0
         results = execute_requests(plan, specs, jobs=self.jobs,
                                    latency_model=self.latency_model,
-                                   engine=self.engine)
+                                   engine=self.engine, store=self.store)
+        store_hits = (self.store.stats.hits - store_hits_before
+                      if self.store is not None else 0)
+        self.simulated_runs += len(plan) - store_hits
         for request, stats in results.items():
             self._runs[request.key()] = stats
 

@@ -6,25 +6,36 @@ Usage::
     python -m repro.experiments.report --tiny     # test-sized inputs
     python -m repro.experiments.report --jobs 8   # parallel sweep
 
+(Or, equivalently, ``python -m repro report`` — the unified CLI, which also
+enables the persistent result store by default.)
+
 The output is the text recorded in EXPERIMENTS.md.  The full sweep (every
 benchmark × configuration × memory mode) is prefetched through the
 experiment engine before rendering, so ``--jobs N`` parallelises all of it
-at once; the rendered numbers are identical for any job count.
+at once; the rendered numbers are identical for any job count.  With
+``--store DIR`` (or ``REPRO_STORE``), runs already persisted by any earlier
+process are loaded instead of simulated — a warm store regenerates the
+whole report with zero simulations, byte-identical to a cold run.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
+from typing import Optional
 
 from repro.experiments import (figure1, figure3, figure4, figure5, figure6, figure7,
                                table1, table2, table3)
 from repro.experiments.evaluation import SuiteEvaluation
 from repro.sim.engines import DEFAULT_ENGINE, ENGINE_NAMES
+from repro.store import ResultStore
+from repro.store.result_store import STORE_ENV_VAR
 from repro.workloads.suite import SuiteParameters
 
-__all__ = ["full_report", "main"]
+__all__ = ["full_report", "add_store_arguments", "resolve_store",
+           "resolve_jobs", "main"]
 
 
 def full_report(evaluation: SuiteEvaluation) -> str:
@@ -44,26 +55,64 @@ def full_report(evaluation: SuiteEvaluation) -> str:
     return "\n\n\n".join(sections)
 
 
-def main(argv=None) -> int:
+def add_store_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the shared ``--store`` / ``--no-store`` options."""
+    group = parser.add_mutually_exclusive_group()
+    group.add_argument("--store", metavar="DIR", default=None,
+                       help="persistent result-store directory (default: "
+                            f"${STORE_ENV_VAR}, else the CLI default)")
+    group.add_argument("--no-store", action="store_true",
+                       help="disable the persistent result store")
+
+
+def resolve_store(args: argparse.Namespace,
+                  default_path: Optional[str] = None) -> Optional[ResultStore]:
+    """Open the store the CLI flags select: flag > environment > default."""
+    if args.no_store:
+        return None
+    path = args.store or os.environ.get(STORE_ENV_VAR, "").strip() or default_path
+    return ResultStore(path) if path else None
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Worker count a ``--jobs`` value selects: flag > ``$REPRO_JOBS`` > 1.
+
+    The single policy shared by every CLI entry point (``report``,
+    ``sweep``, ``explore``).
+    """
+    if jobs is not None:
+        return max(1, jobs)
+    from repro.core.runner import default_jobs
+    return default_jobs() if os.environ.get("REPRO_JOBS") else 1
+
+
+def main(argv=None, default_store: Optional[str] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--tiny", action="store_true",
                         help="use the small test-sized inputs instead of the defaults")
-    parser.add_argument("--jobs", type=int, default=1, metavar="N",
-                        help="worker processes for the simulation sweep")
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="worker processes for the simulation sweep "
+                             "(default: $REPRO_JOBS, else 1)")
     parser.add_argument("--engine", choices=list(ENGINE_NAMES),
                         default=DEFAULT_ENGINE,
                         help="execution tier: the trace-compiled engine "
                              "(default) or the interpreting reference "
                              "engine; the rendered report is identical")
+    add_store_arguments(parser)
     args = parser.parse_args(argv)
     parameters = SuiteParameters.tiny() if args.tiny else SuiteParameters.default()
-    evaluation = SuiteEvaluation(parameters=parameters, jobs=args.jobs,
-                                 engine=args.engine)
+    store = resolve_store(args, default_path=default_store)
+    evaluation = SuiteEvaluation(parameters=parameters, jobs=resolve_jobs(args.jobs),
+                                 engine=args.engine, store=store)
     start = time.time()
     text = full_report(evaluation)
     elapsed = time.time() - start
     print(text)
-    print(f"\n[report generated in {elapsed:.1f} s]", file=sys.stderr)
+    if store is not None:
+        loaded = store.stats.hits
+        print(f"[store {store.root}: {loaded} runs loaded, "
+              f"{evaluation.simulated_runs} simulated]", file=sys.stderr)
+    print(f"[report generated in {elapsed:.1f} s]", file=sys.stderr)
     return 0
 
 

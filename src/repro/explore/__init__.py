@@ -1,0 +1,45 @@
+"""Design-space exploration beyond the paper's ten configurations.
+
+The paper's evaluation freezes the machine space at Table 2.  This package
+opens it:
+
+* :mod:`repro.explore.space` — parameterised configuration generation
+  (issue width × vector units × lanes × port width × vector-cache
+  geometry), each point a named, registered
+  :class:`~repro.machine.config.MachineConfig`;
+* :mod:`repro.explore.sweep` — resumable sharded sweeps of those
+  configurations through the experiment engine and the persistent result
+  store (:mod:`repro.store`), so a 100+-point sweep survives interruption
+  and never re-simulates a stored point;
+* :mod:`repro.explore.pareto` — Pareto-frontier extraction for the
+  speed-up-vs-issue-slots summaries the sweep reports.
+
+CLI: ``python -m repro explore`` (see ``docs/store.md``).
+"""
+
+from repro.explore.pareto import ParetoPoint, pareto_frontier
+from repro.explore.space import (
+    DesignPoint,
+    DesignSpace,
+    generate_configs,
+    point_config,
+)
+from repro.explore.sweep import (
+    BASELINE_CONFIG,
+    DEFAULT_BENCHMARKS,
+    ExplorationResult,
+    run_exploration,
+)
+
+__all__ = [
+    "ParetoPoint",
+    "pareto_frontier",
+    "DesignPoint",
+    "DesignSpace",
+    "generate_configs",
+    "point_config",
+    "ExplorationResult",
+    "run_exploration",
+    "BASELINE_CONFIG",
+    "DEFAULT_BENCHMARKS",
+]

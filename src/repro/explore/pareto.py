@@ -1,0 +1,35 @@
+"""Pareto-frontier extraction for design-space summaries."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Tuple
+
+__all__ = ["ParetoPoint", "pareto_frontier"]
+
+
+@dataclass(frozen=True)
+class ParetoPoint:
+    """One candidate: a name, a cost to minimise and a value to maximise."""
+
+    name: str
+    cost: float
+    value: float
+
+
+def pareto_frontier(points: Iterable[ParetoPoint]) -> Tuple[ParetoPoint, ...]:
+    """The non-dominated subset of ``points``, in increasing cost order.
+
+    A point is dominated when another point has cost ≤ and value ≥ with at
+    least one inequality strict.  Ties (same cost, same value) keep only the
+    lexicographically first name, so the frontier is deterministic for any
+    input order.
+    """
+    ordered = sorted(points, key=lambda p: (p.cost, -p.value, p.name))
+    frontier = []
+    best_value = float("-inf")
+    for point in ordered:
+        if point.value > best_value:
+            frontier.append(point)
+            best_value = point.value
+    return tuple(frontier)

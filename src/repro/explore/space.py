@@ -1,0 +1,144 @@
+"""Parameterised machine-configuration generation.
+
+The paper evaluates ten fixed configurations (Table 2).  This module opens
+that grid: a :class:`DesignSpace` is a cross product over the axes the
+paper holds constant — issue width, vector units, lanes per unit, vector
+cache port width and bank count, L2 capacity — and every point materialises
+as a frozen :class:`~repro.machine.config.MachineConfig` with a canonical,
+content-describing name (``dse-2w-vu2-ln4-pw4-b2-l2s256k``).  Generated
+configurations are published through
+:func:`repro.machine.config.register_config` so the experiment engine, the
+result store and worker processes resolve them exactly like the paper grid.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, replace
+from typing import Dict, Iterator, Tuple
+
+from repro.machine.config import (
+    ArchitectureFamily,
+    MachineConfig,
+    MemoryConfig,
+    register_config,
+)
+
+__all__ = ["DesignPoint", "DesignSpace", "point_config", "generate_configs"]
+
+
+@dataclass(frozen=True, order=True)
+class DesignPoint:
+    """One coordinate of the design space (all axes explicit)."""
+
+    issue_width: int
+    vector_units: int
+    vector_lanes: int
+    port_words: int
+    l2_banks: int
+    l2_size: int
+
+    @property
+    def name(self) -> str:
+        """Canonical configuration name encoding every axis value."""
+        return (f"dse-{self.issue_width}w-vu{self.vector_units}"
+                f"-ln{self.vector_lanes}-pw{self.port_words}"
+                f"-b{self.l2_banks}-l2s{self.l2_size // 1024}k")
+
+    @property
+    def issue_slots(self) -> int:
+        """Hardware-cost proxy used by the Pareto summaries.
+
+        Scalar issue slots plus the vector lane slots a configuration can
+        sustain per cycle — the quantity the paper trades against when it
+        positions short vectors as an alternative to wider issue.
+        """
+        return self.issue_width + self.vector_units * self.vector_lanes
+
+
+@dataclass(frozen=True)
+class DesignSpace:
+    """A cross product of configuration axes around the paper's vector machines.
+
+    The defaults span 108 configurations: the paper's two issue widths, one
+    to four vector units of two to eight lanes, a 2/4/8-word vector-cache
+    port and two or four banks.  ``DesignSpace.smoke()`` is the eight-point
+    variant the tests and examples use.
+    """
+
+    issue_widths: Tuple[int, ...] = (2, 4)
+    vector_units: Tuple[int, ...] = (1, 2, 4)
+    vector_lanes: Tuple[int, ...] = (2, 4, 8)
+    port_words: Tuple[int, ...] = (2, 4, 8)
+    l2_banks: Tuple[int, ...] = (2, 4)
+    l2_sizes: Tuple[int, ...] = (256 * 1024,)
+
+    @staticmethod
+    def default() -> "DesignSpace":
+        return DesignSpace()
+
+    @staticmethod
+    def smoke() -> "DesignSpace":
+        """A deliberately small space for tests, examples and quick looks."""
+        return DesignSpace(issue_widths=(2,), vector_units=(1, 2),
+                           vector_lanes=(4,), port_words=(2, 4),
+                           l2_banks=(2, 4), l2_sizes=(256 * 1024,))
+
+    def __len__(self) -> int:
+        return (len(self.issue_widths) * len(self.vector_units)
+                * len(self.vector_lanes) * len(self.port_words)
+                * len(self.l2_banks) * len(self.l2_sizes))
+
+    def points(self) -> Iterator[DesignPoint]:
+        """Every coordinate, in deterministic lexicographic axis order."""
+        for iw, vu, ln, pw, banks, l2 in itertools.product(
+                self.issue_widths, self.vector_units, self.vector_lanes,
+                self.port_words, self.l2_banks, self.l2_sizes):
+            yield DesignPoint(issue_width=iw, vector_units=vu, vector_lanes=ln,
+                              port_words=pw, l2_banks=banks, l2_size=l2)
+
+
+def point_config(point: DesignPoint) -> MachineConfig:
+    """Materialise one design point as a machine configuration.
+
+    Non-swept resources follow the paper's vector machines at the same
+    issue width (register files, L1 ports, the single wide L2 port), so a
+    point differs from Table 2 only along the explored axes.
+    """
+    wide = point.issue_width >= 4
+    memory = replace(MemoryConfig(), l2_size=point.l2_size,
+                     l2_banks=point.l2_banks)
+    return MachineConfig(
+        name=point.name,
+        family=ArchitectureFamily.VECTOR2,
+        issue_width=point.issue_width,
+        int_units=point.issue_width,
+        vector_units=point.vector_units,
+        vector_lanes=point.vector_lanes,
+        l1_ports=2 if wide else 1,
+        l2_ports=1,
+        l2_port_words=point.port_words,
+        int_regs=96 if wide else 64,
+        vector_regs=32 if wide else 20,
+        vector_reg_words=16,
+        accum_regs=6 if wide else 4,
+        memory=memory,
+    )
+
+
+def generate_configs(space: DesignSpace,
+                     register: bool = True) -> Dict[str, MachineConfig]:
+    """All configurations of ``space``, keyed by name, in generation order.
+
+    ``register`` (default) publishes every configuration to the
+    process-wide registry so plain ``get_config`` — and therefore the
+    experiment engine and ``VectorMicroSimdVliwMachine.from_name`` —
+    resolves them.
+    """
+    configs: Dict[str, MachineConfig] = {}
+    for point in space.points():
+        config = point_config(point)
+        if register:
+            register_config(config, overwrite=True)
+        configs[config.name] = config
+    return configs

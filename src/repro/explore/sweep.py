@@ -1,0 +1,204 @@
+"""Resumable design-space sweeps through the experiment engine and the store.
+
+:func:`run_exploration` is the orchestrator: it generates the
+configurations of a :class:`~repro.explore.space.DesignSpace`, expands them
+against a set of benchmarks into one
+:class:`~repro.sim.plan.ExperimentPlan`, and executes the plan in
+*shards* through :func:`repro.core.runner.execute_requests` — each shard
+optionally parallel (``jobs``) and each shard's results persisted to the
+:class:`~repro.store.ResultStore` the moment it completes.  Interrupting a
+sweep therefore loses at most one shard, and re-running it skips every
+stored point, which is what makes 100+-configuration explorations cheap to
+iterate on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.runner import execute_requests
+from repro.explore.pareto import ParetoPoint, pareto_frontier
+from repro.explore.space import DesignPoint, DesignSpace, generate_configs
+from repro.machine.config import MachineConfig
+from repro.machine.latency import LatencyModel
+from repro.sim.plan import ExperimentPlan, RunRequest
+from repro.sim.stats import RunStats
+from repro.store import ResultStore
+from repro.workloads.suite import SuiteParameters, build_suite
+
+__all__ = ["ExplorationResult", "run_exploration", "DEFAULT_BENCHMARKS",
+           "BASELINE_CONFIG"]
+
+#: Benchmarks explored by default: one short-vector kernel suite (GSM) and
+#: one with larger, reuse-heavy working sets (JPEG) — the two ends of the
+#: paper's workload spectrum.
+DEFAULT_BENCHMARKS: Tuple[str, ...] = ("gsm_enc", "jpeg_enc")
+
+#: Every speed-up is normalised against the paper's baseline machine.
+BASELINE_CONFIG = "vliw-2w"
+
+
+@dataclass
+class ExplorationResult:
+    """Runs and derived metrics of one design-space sweep."""
+
+    space: DesignSpace
+    benchmarks: Tuple[str, ...]
+    points: Tuple[DesignPoint, ...]
+    configs: Dict[str, MachineConfig]
+    runs: Dict[RunRequest, RunStats] = field(default_factory=dict)
+    simulated_runs: int = 0
+    stored_runs: int = 0
+    completed_shards: int = 0
+    total_shards: int = 0
+
+    @property
+    def complete(self) -> bool:
+        return self.completed_shards == self.total_shards
+
+    # ------------------------------------------------------------- metrics
+
+    def stats(self, benchmark: str, config_name: str) -> RunStats:
+        return self.runs[RunRequest(benchmark, config_name, False)]
+
+    def covered_configs(self) -> Tuple[str, ...]:
+        """Configurations every benchmark (and the baseline) has runs for.
+
+        A partial sweep — interrupted, or capped with ``max_shards`` — can
+        only rank what it measured; frontiers and summaries are restricted
+        to this set and say so.
+        """
+        def complete(name: str) -> bool:
+            return all(RunRequest(benchmark, name, False) in self.runs
+                       for benchmark in self.benchmarks)
+
+        if not complete(BASELINE_CONFIG):
+            return ()
+        return tuple(name for name in self.configs if complete(name))
+
+    def speedup(self, benchmark: str, config_name: str) -> float:
+        """Whole-application speed-up over the 2-issue VLIW baseline."""
+        baseline = self.stats(benchmark, BASELINE_CONFIG)
+        return self.stats(benchmark, config_name).speedup_over(baseline)
+
+    def geomean_speedup(self, config_name: str) -> float:
+        """Geometric-mean speed-up across the explored benchmarks."""
+        product = 1.0
+        for benchmark in self.benchmarks:
+            product *= self.speedup(benchmark, config_name)
+        return product ** (1.0 / len(self.benchmarks))
+
+    # ------------------------------------------------------------- frontiers
+
+    def _points_for(self, metric: Callable[[str], float]) -> List[ParetoPoint]:
+        by_name = {point.name: point for point in self.points}
+        return [ParetoPoint(name=name, cost=by_name[name].issue_slots,
+                            value=metric(name))
+                for name in self.covered_configs()]
+
+    def frontier(self, benchmark: Optional[str] = None) -> Tuple[ParetoPoint, ...]:
+        """Pareto frontier of speed-up vs issue slots.
+
+        ``benchmark=None`` uses the geometric mean over all explored
+        benchmarks; otherwise the named benchmark's speed-up.
+        """
+        if benchmark is None:
+            metric = self.geomean_speedup
+        else:
+            metric = lambda name: self.speedup(benchmark, name)  # noqa: E731
+        return pareto_frontier(self._points_for(metric))
+
+    # -------------------------------------------------------------- rendering
+
+    def summary(self) -> str:
+        """Human-readable Pareto summary of the sweep."""
+        covered = self.covered_configs()
+        lines = [
+            "=== Design-space exploration "
+            f"({len(self.configs)} configurations x "
+            f"{len(self.benchmarks)} benchmarks) ===",
+            f"baseline: {BASELINE_CONFIG}; cost = issue slots "
+            "(issue width + vector units x lanes)",
+            f"runs: {self.stored_runs} from store, "
+            f"{self.simulated_runs} simulated"
+            + ("" if self.complete else
+               f"  [PARTIAL: {self.completed_shards}/{self.total_shards} shards]"),
+        ]
+        if len(covered) < len(self.configs):
+            lines.append(f"frontiers cover the {len(covered)}/"
+                         f"{len(self.configs)} configurations fully swept "
+                         "so far (re-run to resume)")
+        lines += [
+            "",
+            "Pareto frontier, geomean speedup over "
+            + "+".join(self.benchmarks) + ":",
+            "  slots  speedup  configuration",
+        ]
+        for point in self.frontier():
+            lines.append(f"  {point.cost:5.0f}  {point.value:7.2f}  {point.name}")
+        for benchmark in self.benchmarks:
+            lines.append("")
+            lines.append(f"Pareto frontier, {benchmark}:")
+            lines.append("  slots  speedup  configuration")
+            for point in self.frontier(benchmark):
+                lines.append(
+                    f"  {point.cost:5.0f}  {point.value:7.2f}  {point.name}")
+        return "\n".join(lines)
+
+
+def run_exploration(space: Optional[DesignSpace] = None,
+                    benchmarks: Sequence[str] = DEFAULT_BENCHMARKS,
+                    parameters: Optional[SuiteParameters] = None,
+                    store: Optional[ResultStore] = None,
+                    jobs: int = 1,
+                    engine: Optional[str] = None,
+                    latency_model: Optional[LatencyModel] = None,
+                    shard_size: int = 40,
+                    max_shards: Optional[int] = None,
+                    progress: Optional[Callable[[str], None]] = None
+                    ) -> ExplorationResult:
+    """Sweep every configuration of ``space`` over ``benchmarks``.
+
+    The sweep runs in shards of ``shard_size`` requests; with a ``store``
+    each completed shard is persisted immediately, so an interrupted sweep
+    resumes where it stopped.  ``max_shards`` caps how many shards this
+    invocation executes (the programmatic form of an interruption — used by
+    tests and by incremental CI lanes); the returned result is then marked
+    partial.  ``parameters`` defaults to the tiny test inputs, which keep a
+    100+-configuration sweep in tens of seconds on one core.
+    """
+    space = space if space is not None else DesignSpace.default()
+    parameters = parameters if parameters is not None else SuiteParameters.tiny()
+    benchmarks = tuple(benchmarks)
+    points = tuple(space.points())
+    configs = generate_configs(space)
+    specs = build_suite(parameters, names=list(benchmarks))
+
+    config_names = (BASELINE_CONFIG,) + tuple(configs)
+    # config-major order: every configuration's runs (all benchmarks) are
+    # consecutive, so each shard completes whole configurations and a
+    # partial sweep can already rank what it covered
+    plan = ExperimentPlan(RunRequest(benchmark, config, False)
+                          for config in config_names
+                          for benchmark in benchmarks)
+    shards = plan.shards(shard_size)
+    result = ExplorationResult(space=space, benchmarks=benchmarks,
+                               points=points, configs=configs,
+                               total_shards=len(shards))
+    for index, shard in enumerate(shards):
+        if max_shards is not None and index >= max_shards:
+            break
+        hits_before = store.stats.hits if store is not None else 0
+        runs = execute_requests(shard, specs, jobs=jobs,
+                                latency_model=latency_model, engine=engine,
+                                store=store, extra_configs=configs)
+        stored = (store.stats.hits - hits_before) if store is not None else 0
+        result.runs.update(runs)
+        result.stored_runs += stored
+        result.simulated_runs += len(shard) - stored
+        result.completed_shards = index + 1
+        if progress is not None:
+            progress(f"shard {index + 1}/{len(shards)}: "
+                     f"{len(shard)} runs ({stored} from store)")
+    return result

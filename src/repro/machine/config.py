@@ -39,6 +39,9 @@ __all__ = [
     "PAPER_CONFIGS",
     "PAPER_CONFIG_ORDER",
     "get_config",
+    "register_config",
+    "unregister_config",
+    "registered_configs",
     "baseline_config",
     "vector_configs",
     "usimd_configs",
@@ -288,22 +291,67 @@ PAPER_CONFIG_ORDER: Tuple[str, ...] = (
 )
 
 
-def get_config(name: str) -> MachineConfig:
-    """Look up a Table-2 configuration by canonical name.
+#: Process-local registry of configurations beyond Table 2 — the design
+#: space explorer (:mod:`repro.explore`) publishes its generated machines
+#: here so the experiment engine can resolve them by name exactly like the
+#: paper grid.  Worker processes re-register on initialisation (see
+#: :mod:`repro.core.runner`), so the registry never has to cross a process
+#: boundary itself.
+_CUSTOM_CONFIGS: Dict[str, MachineConfig] = {}
 
-    Names follow ``"<family>-<issue width>w"`` with families ``vliw``,
-    ``usimd``, ``vector1`` and ``vector2`` — e.g. ``get_config("vliw-8w")``
-    or ``get_config("vector2-4w")``.  The returned :class:`MachineConfig`
-    is frozen and shared; derive experimental variants with
-    :func:`dataclasses.replace` or :meth:`MachineConfig.with_memory`
-    rather than mutating it.  Unknown names raise ``KeyError`` listing the
-    known configurations.
+
+def register_config(config: MachineConfig, overwrite: bool = False) -> MachineConfig:
+    """Make a non-paper configuration resolvable through :func:`get_config`.
+
+    Re-registering the *same* configuration is a no-op; registering a
+    different configuration under an existing name raises unless
+    ``overwrite`` is set (the Table-2 names can never be shadowed).
+    Returns ``config`` for chaining.
     """
-    try:
-        return PAPER_CONFIGS[name]
-    except KeyError as exc:
+    if config.name in PAPER_CONFIGS:
+        raise ValueError(
+            f"{config.name!r} is a paper (Table-2) configuration and cannot "
+            f"be overridden")
+    existing = _CUSTOM_CONFIGS.get(config.name)
+    if existing is not None and existing != config and not overwrite:
+        raise ValueError(
+            f"a different configuration is already registered as "
+            f"{config.name!r}; pass overwrite=True to replace it")
+    _CUSTOM_CONFIGS[config.name] = config
+    return config
+
+
+def unregister_config(name: str) -> None:
+    """Remove a registered configuration (missing names are ignored)."""
+    _CUSTOM_CONFIGS.pop(name, None)
+
+
+def registered_configs() -> Dict[str, MachineConfig]:
+    """Snapshot of the custom-configuration registry."""
+    return dict(_CUSTOM_CONFIGS)
+
+
+def get_config(name: str) -> MachineConfig:
+    """Look up a configuration by canonical name.
+
+    Table-2 names follow ``"<family>-<issue width>w"`` with families
+    ``vliw``, ``usimd``, ``vector1`` and ``vector2`` — e.g.
+    ``get_config("vliw-8w")`` or ``get_config("vector2-4w")``;
+    configurations published with :func:`register_config` (the design-space
+    explorer's generated machines) resolve the same way.  The returned
+    :class:`MachineConfig` is frozen and shared; derive experimental
+    variants with :func:`dataclasses.replace` or
+    :meth:`MachineConfig.with_memory` rather than mutating it.  Unknown
+    names raise ``KeyError`` listing the known configurations.
+    """
+    config = PAPER_CONFIGS.get(name)
+    if config is None:
+        config = _CUSTOM_CONFIGS.get(name)
+    if config is None:
         known = ", ".join(sorted(PAPER_CONFIGS))
-        raise KeyError(f"unknown configuration {name!r}; known: {known}") from exc
+        extra = f" (+{len(_CUSTOM_CONFIGS)} registered)" if _CUSTOM_CONFIGS else ""
+        raise KeyError(f"unknown configuration {name!r}; known: {known}{extra}")
+    return config
 
 
 def baseline_config() -> MachineConfig:

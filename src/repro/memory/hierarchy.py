@@ -156,6 +156,7 @@ class MemoryHierarchy:
         """Zero all counters (cache contents are preserved)."""
         self.l1.stats.reset()
         self.l2.stats.reset()
+        self.l2.request_stats.reset()
         self.l3.stats.reset()
         self.stats = HierarchyStats()
 
@@ -506,6 +507,11 @@ class MemoryHierarchy:
         if n_vec:
             owners = touch_owner_arr[miss_touch]
             miss_counts = np.bincount(owners, minlength=n_vec)
+            # request-level L2 counters: one event per vector request, a hit
+            # only when every line of the request was resident (the batched
+            # mirror of VectorCache.access_lines)
+            self.l2.request_stats.requests += n_vec
+            self.l2.request_stats.hits += int((miss_counts == 0).sum())
             l3_served = np.bincount(owners[touch_l3_hit], minlength=n_vec)
             mem_served = miss_counts - l3_served
             miss_penalty = (l3_served * (cfg.l3_latency - cfg.l2_latency)
@@ -531,7 +537,13 @@ class MemoryHierarchy:
         """All counters of the hierarchy as a nested dictionary."""
         return {
             "l1": self.l1.stats.snapshot(),
+            # line level: one event per line touched (denominator grows with
+            # the vector request footprint) ...
             "l2": self.l2.stats.snapshot(),
+            # ... request level: one event per vector request (a hit only
+            # when the whole request was resident).  The paper's figures use
+            # neither directly — they derive from RunStats cycle counts.
+            "l2_requests": self.l2.request_stats.snapshot(),
             "l3": self.l3.stats.snapshot(),
             "paths": self.stats.snapshot(),
             "perfect": self.perfect,

@@ -19,11 +19,57 @@ memory) is orchestrated by :class:`repro.memory.hierarchy.MemoryHierarchy`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import Dict, List, Sequence, Set, Tuple
 
 from repro.memory.cache import SetAssociativeCache
 
-__all__ = ["VectorCache", "VectorAccessPlan"]
+__all__ = ["VectorCache", "VectorAccessPlan", "VectorRequestStats"]
+
+
+@dataclass
+class VectorRequestStats:
+    """Request-level counters of the vector cache.
+
+    The underlying tag store counts *line touches*: one VL-element request
+    that spans four lines bumps ``cache.stats.accesses`` four times, so the
+    tag-store hit rate is a *line* hit rate whose denominator grows with the
+    request footprint.  These counters count *vector requests*: one
+    increment per :meth:`VectorCache.access_lines` call, with a request
+    counted as a hit only when **every** line it touches was resident.
+
+    The paper's figures consume neither directly — they are derived from
+    :class:`~repro.sim.stats.RunStats` cycle counts, into which the
+    hierarchy folds per-line miss penalties — but diagnostics and the
+    design-space explorer read both levels, so
+    :meth:`repro.memory.hierarchy.MemoryHierarchy.statistics` reports them
+    side by side (``"l2"`` = line level, ``"l2_requests"`` = request level).
+    """
+
+    requests: int = 0
+    hits: int = 0
+
+    @property
+    def misses(self) -> int:
+        return self.requests - self.hits
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of whole requests served entirely from resident lines."""
+        if self.requests == 0:
+            return 0.0
+        return self.hits / self.requests
+
+    def reset(self) -> None:
+        self.requests = 0
+        self.hits = 0
+
+    def snapshot(self) -> Dict[str, float]:
+        return {
+            "requests": self.requests,
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate,
+        }
 
 
 @dataclass(frozen=True)
@@ -65,6 +111,7 @@ class VectorCache:
         self.port_words = port_words
         self.element_bytes = element_bytes
         self.name = name
+        self.request_stats = VectorRequestStats()
 
     # -- geometry helpers ----------------------------------------------------
 
@@ -92,14 +139,15 @@ class VectorCache:
              vector_length: int) -> VectorAccessPlan:
         """Decompose a vector request into line touches and transfer timing."""
         addresses = self.element_addresses(base_address, stride_bytes, vector_length)
+        # the element spans two lines only if it straddles a boundary,
+        # which aligned 64-bit elements never do; keep the check cheap.
         lines: List[int] = []
+        seen: Set[int] = set()
         for addr in addresses:
             line = self.cache.line_address(addr)
-            # the element spans two lines only if it straddles a boundary,
-            # which aligned 64-bit elements never do; keep the check cheap.
-            if not lines or lines[-1] != line:
-                if line not in lines:
-                    lines.append(line)
+            if line not in seen:
+                seen.add(line)
+                lines.append(line)
         stride_one = stride_bytes == self.element_bytes
         if stride_one:
             transfer = -(-vector_length // self.port_words)
@@ -133,7 +181,13 @@ class VectorCache:
 
     def access_lines(self, plan: VectorAccessPlan,
                      is_store: bool) -> Tuple[List[int], List[int]]:
-        """Access every line of ``plan``; returns (missing_lines, writebacks)."""
+        """Access every line of ``plan``; returns (missing_lines, writebacks).
+
+        The underlying tag store counts each line touched; the request-level
+        :attr:`request_stats` counts the whole plan once (a hit only when
+        every line was resident).  See :class:`VectorRequestStats` for why
+        both levels exist.
+        """
         missing: List[int] = []
         writebacks: List[int] = []
         for line in plan.line_addresses:
@@ -142,6 +196,9 @@ class VectorCache:
                 missing.append(line)
             if writeback is not None:
                 writebacks.append(writeback)
+        self.request_stats.requests += 1
+        if not missing:
+            self.request_stats.hits += 1
         return missing, writebacks
 
     def invalidate(self, line_address: int) -> bool:

@@ -99,9 +99,29 @@ class ExperimentPlan:
         return iter(self._requests)
 
     def without(self, done: Iterable[RunRequest]) -> "ExperimentPlan":
-        """The sub-plan of requests not yet satisfied."""
+        """The sub-plan of requests not yet satisfied.
+
+        ``done`` can be any iterable of satisfied requests — the keys of an
+        in-process memo, or of the batch a persistent
+        :class:`~repro.store.ResultStore` answered
+        (:func:`repro.core.runner.execute_requests` consults the store with
+        exactly this method before simulating anything).
+        """
         done_set = set(done)
         return ExperimentPlan(r for r in self._requests if r not in done_set)
+
+    def shards(self, size: int) -> Tuple["ExperimentPlan", ...]:
+        """Split the plan into consecutive sub-plans of at most ``size`` runs.
+
+        Sharding is what makes long design-space sweeps resumable: each
+        shard's results are persisted to the store as soon as the shard
+        completes, so an interrupted sweep loses at most one shard of work
+        and a re-run skips everything already stored.
+        """
+        if size < 1:
+            raise ValueError("shard size must be >= 1")
+        return tuple(ExperimentPlan(self._requests[i:i + size])
+                     for i in range(0, len(self._requests), size))
 
     def benchmarks(self) -> Tuple[str, ...]:
         """Benchmark names touched by the plan, in first-appearance order."""

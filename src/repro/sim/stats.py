@@ -13,7 +13,16 @@ import json
 from dataclasses import dataclass, field
 from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Sequence, Tuple
 
-__all__ = ["RegionStats", "RunStats", "merge_run_maps"]
+__all__ = ["STATS_SCHEMA_VERSION", "RegionStats", "RunStats", "merge_run_maps"]
+
+#: Version of the :class:`RunStats` serialisation schema *and* of the engine
+#: semantics it captures.  The persistent result store
+#: (:mod:`repro.store`) namespaces every entry under this number, so bump it
+#: whenever a change alters what a simulation reports for the same inputs —
+#: new/renamed region counters, a fixed timing bug, a changed stall model.
+#: Old store entries are then simply never consulted again (invalidation by
+#: namespace, not by deletion).
+STATS_SCHEMA_VERSION = 1
 
 
 @dataclass

@@ -1,0 +1,287 @@
+"""On-disk content-addressed store of simulation results.
+
+Design goals, in order:
+
+* **Correctness** — a stored result is only ever served for a run whose
+  *content* matches: the fingerprint covers the kernel IR (via
+  :func:`repro.compiler.cache.fingerprint_program`, so structurally
+  identical programs built in different processes key identically), the
+  machine configuration, the latency model, the memory mode and the
+  warm-up footprint.  The engine tier is deliberately *not* part of the
+  key: the tiers are tested to produce identical statistics, and the
+  schema version namespace covers any change to those semantics.
+* **Concurrency** — writes go through a temporary file in the target
+  directory followed by :func:`os.replace`, which is atomic on POSIX and
+  Windows; two workers (or two CI jobs sharing a cache) racing on the same
+  key both write the same bytes, so last-writer-wins is safe.  Reads treat
+  missing, truncated or corrupt files as misses.
+* **Shardability** — entries are spread over 256 subdirectories by the
+  first fingerprint byte so no directory grows unboundedly and directory
+  listings stay cheap on network filesystems.
+
+The default serialisation is canonical JSON (byte-stable, diffable,
+greppable).  ``msgpack`` is supported when the package is available but is
+never required — the container image does not ship it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, Mapping, Optional, Union
+
+from repro.compiler.cache import (
+    fingerprint_config,
+    fingerprint_latency_model,
+    fingerprint_program,
+)
+from repro.compiler.ir import KernelProgram
+from repro.machine.config import MachineConfig
+from repro.machine.latency import LatencyModel
+from repro.sim.stats import STATS_SCHEMA_VERSION, RunStats
+
+try:  # optional accelerator; the toolchain does not guarantee it
+    import msgpack  # type: ignore
+except ImportError:  # pragma: no cover - absent in the reference image
+    msgpack = None
+
+__all__ = ["ResultStore", "StoreStats", "run_fingerprint"]
+
+#: Environment variable naming the default store directory.  Unset (or
+#: empty) means "no persistent store" — library entry points stay
+#: side-effect free unless the caller or the CLI opts in.
+STORE_ENV_VAR = "REPRO_STORE"
+
+_DEFAULT_LATENCY_MODEL = LatencyModel()
+
+
+def run_fingerprint(program: KernelProgram, config: MachineConfig,
+                    latency_model: Optional[LatencyModel] = None,
+                    perfect_memory: bool = False,
+                    program_fingerprint: Optional[str] = None,
+                    config_fingerprint: Optional[str] = None,
+                    latency_fingerprint: Optional[str] = None) -> str:
+    """Content fingerprint of one (program × config × memory-mode) run.
+
+    Everything the deterministic simulators derive statistics from is
+    covered: the IR fingerprint family the compile cache uses, plus the
+    warm-up spans (``program.address_space``) that seed the L2/L3 before
+    timing, plus the memory mode.  The stats schema version namespaces the
+    whole key, so a semantic change invalidates every old entry at once.
+
+    The ``*_fingerprint`` parameters accept precomputed component hashes so
+    batched callers (a plan walks few distinct programs/configs across many
+    requests) can skip the repeated IR walks; when given they must be the
+    corresponding :mod:`repro.compiler.cache` fingerprints of the same
+    arguments.
+    """
+    latency_model = latency_model if latency_model is not None else _DEFAULT_LATENCY_MODEL
+    spans = ()
+    space = getattr(program, "address_space", None)
+    if space is not None and not perfect_memory:
+        # iteration (= preload) order, not sorted: the order spans are
+        # installed in is LRU-observable once a warm working set exceeds a
+        # set's associativity, so it is part of the run's content
+        spans = tuple((spec.base, spec.size_bytes) for spec in space)
+    key = (
+        STATS_SCHEMA_VERSION,
+        program_fingerprint or fingerprint_program(program),
+        config_fingerprint or fingerprint_config(config),
+        latency_fingerprint or fingerprint_latency_model(latency_model),
+        bool(perfect_memory),
+        spans,
+    )
+    return hashlib.sha256(repr(key).encode()).hexdigest()
+
+
+@dataclass
+class StoreStats:
+    """Hit/miss/write counters of one :class:`ResultStore` instance."""
+
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+    corrupt: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def snapshot(self) -> Dict[str, float]:
+        return {"hits": self.hits, "misses": self.misses, "writes": self.writes,
+                "corrupt": self.corrupt, "hit_rate": self.hit_rate}
+
+
+class ResultStore:
+    """Persistent content-addressed map from run fingerprints to ``RunStats``.
+
+    Layout::
+
+        <root>/v<schema>/<fp[:2]>/<fp>.json        # canonical JSON envelope
+        <root>/v<schema>/<fp[:2]>/<fp>.msgpack     # optional msgpack form
+
+    ``schema_version`` defaults to the library's
+    :data:`~repro.sim.stats.STATS_SCHEMA_VERSION`; overriding it exists for
+    tests that exercise the invalidation-by-namespace behaviour.
+    """
+
+    def __init__(self, root: Union[str, Path],
+                 serialization: str = "json",
+                 schema_version: int = STATS_SCHEMA_VERSION) -> None:
+        if serialization not in ("json", "msgpack"):
+            raise ValueError(
+                f"unknown serialization {serialization!r} (json or msgpack)")
+        if serialization == "msgpack" and msgpack is None:
+            raise RuntimeError(
+                "msgpack serialization requested but the msgpack package is "
+                "not installed; use the default JSON serialization")
+        self.root = Path(root)
+        self.serialization = serialization
+        self.schema_version = schema_version
+        self.stats = StoreStats()
+
+    @classmethod
+    def from_env(cls) -> Optional["ResultStore"]:
+        """The store named by ``REPRO_STORE``, or ``None`` when unset."""
+        root = os.environ.get(STORE_ENV_VAR, "").strip()
+        return cls(root) if root else None
+
+    # ------------------------------------------------------------------ paths
+
+    @property
+    def version_dir(self) -> Path:
+        return self.root / f"v{self.schema_version}"
+
+    def _entry_path(self, fingerprint: str, serialization: str) -> Path:
+        suffix = "json" if serialization == "json" else "msgpack"
+        return self.version_dir / fingerprint[:2] / f"{fingerprint}.{suffix}"
+
+    # ------------------------------------------------------------------ reads
+
+    def get(self, fingerprint: str) -> Optional[RunStats]:
+        """The stored result for ``fingerprint``, or ``None`` on a miss.
+
+        Truncated or otherwise undecodable entries (a crashed writer on a
+        filesystem without atomic replace, a corrupted CI cache) count as
+        misses — the caller re-simulates and the next :meth:`put`
+        overwrites the bad entry.
+        """
+        for serialization in ("json", "msgpack"):
+            if serialization == "msgpack" and msgpack is None:
+                continue
+            path = self._entry_path(fingerprint, serialization)
+            try:
+                payload = path.read_bytes()
+            except OSError:
+                continue
+            envelope = self._decode(payload, serialization)
+            if envelope is None:
+                self.stats.corrupt += 1
+                continue
+            try:
+                stats = RunStats.from_dict(envelope["stats"])
+            except (KeyError, TypeError, ValueError):
+                self.stats.corrupt += 1
+                continue
+            self.stats.hits += 1
+            return stats
+        self.stats.misses += 1
+        return None
+
+    def get_many(self, fingerprints: Mapping[object, str]
+                 ) -> Dict[object, RunStats]:
+        """Look up a batch; returns only the keys that hit."""
+        found: Dict[object, RunStats] = {}
+        for key, fingerprint in fingerprints.items():
+            stats = self.get(fingerprint)
+            if stats is not None:
+                found[key] = stats
+        return found
+
+    def _decode(self, payload: bytes, serialization: str) -> Optional[dict]:
+        try:
+            if serialization == "json":
+                envelope = json.loads(payload.decode("utf-8"))
+            else:
+                envelope = msgpack.unpackb(payload, raw=False)
+        except Exception:
+            return None
+        if not isinstance(envelope, dict):
+            return None
+        if envelope.get("schema") != self.schema_version:
+            return None
+        return envelope
+
+    # ----------------------------------------------------------------- writes
+
+    def put(self, fingerprint: str, stats: RunStats,
+            context: Optional[Mapping[str, object]] = None) -> Path:
+        """Persist one result atomically; returns the entry path.
+
+        ``context`` is advisory human-readable metadata (benchmark name,
+        configuration name, memory mode) stored alongside the payload for
+        debugging; it is never part of the lookup.
+        """
+        envelope = {
+            "schema": self.schema_version,
+            "fingerprint": fingerprint,
+            "context": dict(context) if context else {},
+            "stats": stats.to_dict(),
+        }
+        if self.serialization == "json":
+            payload = json.dumps(envelope, sort_keys=True,
+                                 separators=(",", ":")).encode("utf-8")
+        else:
+            payload = msgpack.packb(envelope, use_bin_type=True)
+        path = self._entry_path(fingerprint, self.serialization)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        # atomic publish: write to a unique sibling, then rename over the
+        # target.  Concurrent writers of one key write identical bytes, so
+        # whichever replace lands last leaves a complete, correct entry.
+        fd, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=f".{fingerprint[:8]}.", suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(payload)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self.stats.writes += 1
+        return path
+
+    def put_many(self, entries: Iterable[tuple]) -> None:
+        """Persist ``(fingerprint, stats)`` or ``(fingerprint, stats, context)``."""
+        for entry in entries:
+            self.put(*entry)
+
+    # ------------------------------------------------------------- bookkeeping
+
+    def __len__(self) -> int:
+        """Number of distinct entries in this store's schema namespace.
+
+        A fingerprint stored in both serialisations (a json-configured and
+        a msgpack-configured writer sharing one root) counts once.
+        """
+        if not self.version_dir.is_dir():
+            return 0
+        stems = {entry.stem
+                 for shard in self.version_dir.iterdir() if shard.is_dir()
+                 for entry in shard.iterdir()
+                 if entry.suffix in (".json", ".msgpack")}
+        return len(stems)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"ResultStore({str(self.root)!r}, v{self.schema_version}, "
+                f"{self.serialization})")

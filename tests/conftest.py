@@ -6,12 +6,33 @@ the integration and experiment tests share one sweep of the simulator.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.experiments.evaluation import SuiteEvaluation
 from repro.machine.config import get_config
 from repro.machine.latency import LatencyModel
 from repro.workloads.suite import SuiteParameters, build_suite
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolate_result_store():
+    """Keep the unit tests blind to a developer's ``REPRO_STORE``.
+
+    Several tests assert *equivalences* (trace == interpreter, parallel ==
+    serial) that a shared persistent store would satisfy trivially — the
+    second run would be served from entries the first just wrote — besides
+    polluting the user's store.  Tests that need the variable set it
+    explicitly with ``monkeypatch.setenv``.  (The ``benchmarks/`` lane is
+    not covered: its evaluations intentionally use the CI-cached store.)
+    """
+    saved = os.environ.pop("REPRO_STORE", None)
+    try:
+        yield
+    finally:
+        if saved is not None:
+            os.environ["REPRO_STORE"] = saved
 
 
 @pytest.fixture(scope="session")
@@ -28,8 +49,14 @@ def tiny_suite(tiny_parameters):
 
 @pytest.fixture(scope="session")
 def tiny_evaluation(tiny_parameters) -> SuiteEvaluation:
-    """A shared, memoised evaluation over the tiny suite."""
-    return SuiteEvaluation(parameters=tiny_parameters)
+    """A shared, memoised evaluation over the tiny suite.
+
+    ``store=None`` pins the unit tests store-free: a developer's
+    ``REPRO_STORE`` must never feed stale persisted results into the
+    golden-hash report lock (or any other assertion) — these tests are
+    exactly the guard that detects when a schema bump is needed.
+    """
+    return SuiteEvaluation(parameters=tiny_parameters, store=None)
 
 
 @pytest.fixture

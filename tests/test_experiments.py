@@ -123,3 +123,37 @@ class TestSuiteExperiments:
         runs = tiny_evaluation.runs_for_benchmark("gsm_dec",
                                                   config_names=["vliw-2w", "usimd-2w"])
         assert set(runs) == {"vliw-2w", "usimd-2w"}
+
+
+class TestReportOutputLock:
+    """Regression lock on the rendered evaluation.
+
+    The satellite counters of the vector cache (request level vs line
+    level) and the persistent result store must not change a single byte
+    of the figures and tables.  This golden hash was recorded from the
+    tiny-input report before those changes; anything that alters simulated
+    timing — intentionally or not — trips it.  When a change is *meant* to
+    alter results, regenerate the hash (see the command below) and bump
+    ``repro.sim.stats.STATS_SCHEMA_VERSION`` so persistent stores are
+    invalidated with it.
+    """
+
+    # PYTHONPATH=src python -c "import hashlib; \
+    #   from repro.experiments.report import full_report; \
+    #   from repro.experiments.evaluation import SuiteEvaluation; \
+    #   from repro.workloads.suite import SuiteParameters; \
+    #   print(hashlib.sha256(full_report(SuiteEvaluation( \
+    #     parameters=SuiteParameters.tiny(), store=None)).encode()).hexdigest())"
+    TINY_REPORT_SHA256 = (
+        "12ad7c399579d5dec200dfaca53b9f1eebf960f21029d97f5bd51c1decc591b8")
+
+    def test_tiny_report_is_byte_locked(self, tiny_evaluation):
+        import hashlib
+
+        from repro.experiments.report import full_report
+
+        text = full_report(tiny_evaluation)
+        digest = hashlib.sha256(text.encode()).hexdigest()
+        assert digest == self.TINY_REPORT_SHA256, (
+            "the rendered tiny report changed; if intentional, update "
+            "TINY_REPORT_SHA256 and bump STATS_SCHEMA_VERSION")

@@ -1,0 +1,198 @@
+"""Design-space exploration: config generation, Pareto math, resumable sweeps."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.architecture import VectorMicroSimdVliwMachine
+from repro.explore import (
+    BASELINE_CONFIG,
+    DesignSpace,
+    ParetoPoint,
+    generate_configs,
+    pareto_frontier,
+    point_config,
+    run_exploration,
+)
+from repro.machine.config import (
+    PAPER_CONFIGS,
+    get_config,
+    register_config,
+    registered_configs,
+    unregister_config,
+)
+from repro.store import ResultStore
+from repro.workloads.suite import SuiteParameters
+
+
+class TestDesignSpace:
+    def test_default_space_has_at_least_100_points(self):
+        space = DesignSpace.default()
+        points = list(space.points())
+        assert len(space) == len(points) >= 100
+
+    def test_points_are_unique_and_deterministic(self):
+        space = DesignSpace.default()
+        first = [p.name for p in space.points()]
+        second = [p.name for p in space.points()]
+        assert first == second
+        assert len(set(first)) == len(first)
+
+    def test_every_point_materialises_as_a_valid_config(self):
+        # MachineConfig.__post_init__ validates; constructing is the test
+        for point in DesignSpace.default().points():
+            config = point_config(point)
+            assert config.name == point.name
+            assert config.has_vector
+            assert config.memory.l2_banks == point.l2_banks
+
+    def test_name_encodes_axes(self):
+        point = next(iter(DesignSpace.smoke().points()))
+        name = point.name
+        assert f"{point.issue_width}w" in name
+        assert f"vu{point.vector_units}" in name
+        assert f"pw{point.port_words}" in name
+
+    def test_issue_slots_cost(self):
+        point = next(p for p in DesignSpace.default().points()
+                     if p.vector_units == 2 and p.vector_lanes == 4
+                     and p.issue_width == 2)
+        assert point.issue_slots == 2 + 2 * 4
+
+
+class TestConfigRegistry:
+    def test_register_resolves_through_get_config(self):
+        config = point_config(next(iter(DesignSpace.smoke().points())))
+        register_config(config, overwrite=True)
+        try:
+            assert get_config(config.name) is config
+            assert config.name in registered_configs()
+            # a registered config drives a machine end to end
+            machine = VectorMicroSimdVliwMachine.from_name(config.name)
+            assert machine.config is config
+        finally:
+            unregister_config(config.name)
+        with pytest.raises(KeyError):
+            get_config(config.name)
+
+    def test_paper_names_cannot_be_shadowed(self):
+        vector = PAPER_CONFIGS["vector2-2w"]
+        with pytest.raises(ValueError, match="Table-2"):
+            register_config(vector)
+
+    def test_conflicting_reregistration_rejected(self):
+        points = iter(DesignSpace.default().points())
+        a = point_config(next(points))
+        b = point_config(next(points))
+        register_config(a, overwrite=True)
+        try:
+            register_config(a)  # same content: no-op
+            from dataclasses import replace
+            impostor = replace(b, name=a.name)
+            with pytest.raises(ValueError, match="already registered"):
+                register_config(impostor)
+            register_config(impostor, overwrite=True)
+            assert get_config(a.name) == impostor
+        finally:
+            unregister_config(a.name)
+
+
+class TestParetoFrontier:
+    def test_dominated_points_are_dropped(self):
+        points = [
+            ParetoPoint("cheap-slow", cost=2, value=1.0),
+            ParetoPoint("mid", cost=4, value=2.0),
+            ParetoPoint("mid-dominated", cost=4, value=1.5),
+            ParetoPoint("pricey-dominated", cost=8, value=1.9),
+            ParetoPoint("pricey-best", cost=8, value=3.0),
+        ]
+        frontier = pareto_frontier(points)
+        assert [p.name for p in frontier] == ["cheap-slow", "mid", "pricey-best"]
+
+    def test_order_independent_and_tie_broken_by_name(self):
+        points = [
+            ParetoPoint("b", cost=1, value=1.0),
+            ParetoPoint("a", cost=1, value=1.0),
+        ]
+        assert pareto_frontier(points) == pareto_frontier(reversed(points))
+        assert [p.name for p in pareto_frontier(points)] == ["a"]
+
+    def test_empty(self):
+        assert pareto_frontier([]) == ()
+
+
+class TestRunExploration:
+    def _smoke(self, tmp_path, **kwargs):
+        return run_exploration(space=DesignSpace.smoke(),
+                               benchmarks=("gsm_enc",),
+                               parameters=SuiteParameters.tiny(),
+                               store=ResultStore(tmp_path),
+                               shard_size=4, **kwargs)
+
+    def test_end_to_end_smoke(self, tmp_path):
+        result = self._smoke(tmp_path)
+        assert result.complete
+        assert set(result.covered_configs()) == set(result.configs)
+        for name in result.configs:
+            assert result.speedup("gsm_enc", name) > 0
+        frontier = result.frontier()
+        assert frontier
+        costs = [p.cost for p in frontier]
+        values = [p.value for p in frontier]
+        assert costs == sorted(costs) and values == sorted(values)
+        summary = result.summary()
+        assert "Pareto frontier" in summary and BASELINE_CONFIG in summary
+
+    def test_baseline_speedup_is_one(self, tmp_path):
+        result = self._smoke(tmp_path)
+        baseline = result.stats("gsm_enc", BASELINE_CONFIG)
+        assert baseline.speedup_over(baseline) == 1.0
+
+    def test_interrupted_sweep_resumes_from_store(self, tmp_path):
+        partial = self._smoke(tmp_path, max_shards=1)
+        assert not partial.complete
+        assert partial.simulated_runs == 4
+        assert "PARTIAL" in partial.summary()
+
+        resumed = self._smoke(tmp_path)
+        assert resumed.complete
+        assert resumed.stored_runs == 4          # the interrupted shard
+        assert resumed.simulated_runs == len(resumed.runs) - 4
+        # and a third run is pure store reads with identical conclusions
+        third = self._smoke(tmp_path)
+        assert third.simulated_runs == 0
+        assert third.frontier() == resumed.frontier()
+        assert third.frontier("gsm_enc") == resumed.frontier("gsm_enc")
+
+    def test_geomean_over_two_benchmarks(self, tmp_path):
+        result = run_exploration(space=DesignSpace.smoke(),
+                                 benchmarks=("gsm_enc", "jpeg_enc"),
+                                 parameters=SuiteParameters.tiny(),
+                                 store=ResultStore(tmp_path), shard_size=8)
+        name = next(iter(result.configs))
+        expected = (result.speedup("gsm_enc", name)
+                    * result.speedup("jpeg_enc", name)) ** 0.5
+        assert result.geomean_speedup(name) == pytest.approx(expected)
+
+
+class TestExploreCli:
+    def test_explore_smoke_cli(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        code = main(["explore", "--space", "smoke",
+                     "--benchmarks", "gsm_enc",
+                     "--store", str(tmp_path / "store")])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Pareto frontier" in out
+
+    def test_sweep_cli_warm_second_run(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        store = str(tmp_path / "store")
+        assert main(["sweep", "--tiny", "--store", store]) == 0
+        first = capsys.readouterr().out
+        assert main(["sweep", "--tiny", "--store", store]) == 0
+        second = capsys.readouterr().out
+        assert ", 120 simulated" in first
+        assert "120 already stored, 0 simulated" in second

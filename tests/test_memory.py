@@ -431,3 +431,226 @@ class TestAddressSpace:
         for index, (count, width) in enumerate(shapes):
             space.allocate(f"a{index}", (count,), element_bytes=width)
         assert not space.overlapping()
+
+
+class TestVectorPlanDeduplication:
+    """``VectorCache.plan`` dedups line addresses with a seen-set (O(VL)).
+
+    The seed implementation ran an O(VL**2) ``line not in lines`` scan per
+    element; the property test pins the replacement to the same observable
+    behaviour — first-appearance order, no duplicates — against a naive
+    reference, including the long strided requests where the quadratic
+    scan used to hurt.
+    """
+
+    def make(self):
+        return VectorCache(size_bytes=4096, assoc=2, line_bytes=64,
+                           banks=2, port_words=4)
+
+    @staticmethod
+    def naive_lines(cache, base, stride, vl):
+        lines = []
+        for i in range(vl):
+            line = cache.cache.line_address(base + i * stride)
+            if line not in lines:
+                lines.append(line)
+        return lines
+
+    @given(base=st.integers(min_value=0, max_value=1 << 20),
+           stride=st.integers(min_value=-512, max_value=512).filter(bool),
+           vl=st.integers(min_value=1, max_value=256))
+    @settings(max_examples=200, deadline=None)
+    def test_plan_matches_naive_reference(self, base, stride, vl):
+        # keep every element address non-negative for negative strides
+        base += 512 * vl
+        cache = self.make()
+        plan = cache.plan(base, stride, vl)
+        assert list(plan.line_addresses) == self.naive_lines(cache, base,
+                                                             stride, vl)
+
+    def test_long_strided_request(self):
+        cache = self.make()
+        # a 4096-element stride-48 request: repeated same-line runs and
+        # far-apart revisits, the pattern the quadratic scan was worst at
+        plan = cache.plan(0x40000, stride_bytes=48, vector_length=4096)
+        assert list(plan.line_addresses) == self.naive_lines(
+            cache, 0x40000, 48, 4096)
+        assert len(set(plan.line_addresses)) == len(plan.line_addresses)
+
+    def test_revisiting_a_line_is_not_duplicated(self):
+        cache = self.make()
+        # stride wraps within one pair of lines: 0, 72, 144 -> lines 0, 64, 128
+        # then back into line 64's neighbourhood
+        plan = cache.plan(0, stride_bytes=72, vector_length=4)
+        assert list(plan.line_addresses) == self.naive_lines(cache, 0, 72, 4)
+
+
+class TestVectorRequestStats:
+    """Request-level vs line-level counters of the vector cache.
+
+    One VL-element request that touches four lines bumps the tag-store
+    (line-level) counters four times; the request-level counters count it
+    once, as a hit only when every line was resident.  The paper's figures
+    consume neither directly (they derive from RunStats cycles); both
+    levels are reported side by side by ``MemoryHierarchy.statistics``.
+    """
+
+    def make(self):
+        return MemoryHierarchy(MemoryConfig(), l1_ports=1, l2_port_words=4)
+
+    def test_one_request_many_line_touches(self):
+        hierarchy = self.make()
+        # 32 stride-one 64-bit elements = 256 bytes = 4 lines of 64 B
+        hierarchy.vector_access(0x8000, stride_bytes=8, vector_length=32)
+        assert hierarchy.l2.stats.accesses == 4       # line level
+        assert hierarchy.l2.request_stats.requests == 1
+        assert hierarchy.l2.request_stats.hits == 0   # cold: all lines missed
+
+    def test_request_hit_requires_every_line(self):
+        hierarchy = self.make()
+        hierarchy.preload(0x8000, 128)                # first 2 of 4 lines
+        hierarchy.vector_access(0x8000, stride_bytes=8, vector_length=32)
+        assert hierarchy.l2.stats.hits == 2           # two lines were resident
+        assert hierarchy.l2.request_stats.hits == 0   # ... but not the request
+        hierarchy.vector_access(0x8000, stride_bytes=8, vector_length=32)
+        assert hierarchy.l2.request_stats.requests == 2
+        assert hierarchy.l2.request_stats.hits == 1   # now fully resident
+
+    def test_request_hit_rate_denominator_is_requests(self):
+        hierarchy = self.make()
+        hierarchy.preload(0x8000, 4096)
+        for _ in range(4):
+            hierarchy.vector_access(0x8000, stride_bytes=8, vector_length=32)
+        stats = hierarchy.statistics()
+        assert stats["l2_requests"]["requests"] == 4
+        assert stats["l2_requests"]["hit_rate"] == 1.0
+        # the line-level denominator keeps growing with the footprint
+        assert stats["l2"]["accesses"] == 16
+
+    def test_batched_path_matches_serial(self):
+        serial, batched = self.make(), self.make()
+        bases = np.array([0x8000, 0x8000, 0x9000], dtype=np.int64)
+        for base in bases.tolist():
+            serial.vector_access(base, stride_bytes=8, vector_length=32)
+        batched.vector_access_batch(bases, stride_bytes=8, vector_length=32)
+        assert (serial.l2.request_stats.snapshot()
+                == batched.l2.request_stats.snapshot())
+        assert serial.statistics() == batched.statistics()
+
+    def test_reset_clears_request_counters(self):
+        hierarchy = self.make()
+        hierarchy.vector_access(0x8000, stride_bytes=8, vector_length=8)
+        hierarchy.reset_stats()
+        assert hierarchy.l2.request_stats.requests == 0
+        assert hierarchy.l2.request_stats.hit_rate == 0.0
+
+    def test_preload_does_not_count_requests(self):
+        hierarchy = self.make()
+        hierarchy.preload(0x8000, 4096)
+        assert hierarchy.l2.request_stats.requests == 0
+
+
+class TestCoherencyWritebackPath:
+    """The write-back charged when coherency invalidates a dirty line.
+
+    Covers both mechanisms: the hierarchy path (a vector access finding the
+    line dirty in the L1 pays ``COHERENCY_WRITEBACK_PENALTY`` and charges
+    exactly one ``coherency_writebacks``) and the tag-store primitive the
+    batched engine uses (a store probe on a dirty line returns code 2 and
+    the caller charges exactly one write-back;
+    ``SetAssociativeCache.invalidate`` returns the dirty bit).
+    """
+
+    def make(self):
+        return MemoryHierarchy(MemoryConfig(), l1_ports=1, l2_port_words=4)
+
+    def test_exactly_one_writeback_per_dirty_line(self):
+        hierarchy = self.make()
+        hierarchy.preload(0x6000, 512)
+        hierarchy.scalar_access(0x6000, is_store=True)      # line 0x6000 dirty
+        result = hierarchy.vector_access(0x6000, stride_bytes=8,
+                                         vector_length=16)  # touches 2 lines
+        assert hierarchy.stats.coherency_writebacks == 1
+        assert result.coherency_penalty == COHERENCY_WRITEBACK_PENALTY
+        assert hierarchy.l1.stats.invalidations == 1
+        # the dirty copy is gone: repeating the access charges nothing more
+        again = hierarchy.vector_access(0x6000, stride_bytes=8,
+                                        vector_length=16)
+        assert again.coherency_penalty == 0
+        assert hierarchy.stats.coherency_writebacks == 1
+
+    def test_two_dirty_lines_charge_two_writebacks(self):
+        hierarchy = self.make()
+        hierarchy.preload(0x6000, 512)
+        hierarchy.scalar_access(0x6000, is_store=True)
+        hierarchy.scalar_access(0x6040, is_store=True)      # second L2 line
+        result = hierarchy.vector_access(0x6000, stride_bytes=8,
+                                         vector_length=16)
+        assert hierarchy.stats.coherency_writebacks == 2
+        assert result.coherency_penalty == 2 * COHERENCY_WRITEBACK_PENALTY
+
+    def test_clean_l1_line_costs_no_writeback(self):
+        hierarchy = self.make()
+        hierarchy.preload(0x6000, 512)
+        hierarchy.scalar_access(0x6000)                     # clean L1 copy
+        result = hierarchy.vector_access(0x6000, stride_bytes=8,
+                                         vector_length=8, is_store=True)
+        assert result.coherency_penalty == 0
+        assert hierarchy.stats.coherency_writebacks == 0
+        assert hierarchy.l1.stats.invalidations == 1        # exclusive bit
+
+    def test_vector_cache_invalidate_reports_dirty(self):
+        hierarchy = self.make()
+        hierarchy.preload(0x8000, 4096)
+        hierarchy.vector_access(0x8000, stride_bytes=8, vector_length=8,
+                                is_store=True)              # dirty in L2-vector
+        line = hierarchy.l2.cache.line_address(0x8000)
+        assert hierarchy.l2.cache.is_dirty(line)
+        assert hierarchy.l2.invalidate(line) is True        # dirty bit returned
+        assert hierarchy.l2.invalidate(line) is False
+        assert hierarchy.l2.stats.invalidations == 1
+
+    def test_store_probe_on_dirty_l2_line_charges_one_writeback(self):
+        # the batched engine's primitive: a store probe that invalidates a
+        # dirty line returns code 2 and the *caller* charges the write-back
+        hierarchy = self.make()
+        hierarchy.preload(0x8000, 4096)
+        hierarchy.vector_access(0x8000, stride_bytes=8, vector_length=8,
+                                is_store=True)
+        line = hierarchy.l2.cache.line_address(0x8000)
+        codes = hierarchy.l2.cache.replay_events(
+            np.array([line, line], dtype=np.int64),
+            stores=np.array([True, True]),
+            coherency=np.array([True, True]))
+        assert codes.tolist() == [2, 0]                     # dirty once, then gone
+        writebacks = int((codes == 2).sum())
+        assert writebacks == 1
+        assert hierarchy.l2.stats.invalidations == 1
+
+    def test_store_probe_on_clean_line_charges_nothing(self):
+        cache = SetAssociativeCache(1024, 2, 32, name="probe")
+        cache.access(0x40)                                  # clean resident line
+        codes = cache.replay_events(np.array([0x40], dtype=np.int64),
+                                    stores=np.array([True]),
+                                    coherency=np.array([True]))
+        assert codes.tolist() == [1]                        # invalidated, clean
+        assert int((codes == 2).sum()) == 0
+
+    def test_batched_stream_matches_serial_on_dirty_lines(self):
+        serial, batched = self.make(), self.make()
+        for hierarchy in (serial, batched):
+            hierarchy.preload(0x6000, 512)
+        ops = (StreamOp(is_vector=False, is_store=True),
+               StreamOp(is_vector=True, is_store=False,
+                        stride_bytes=8, vector_length=16))
+        op_index = np.array([0, 0, 1], dtype=np.int64)
+        addresses = np.array([0x6000, 0x6040, 0x6000], dtype=np.int64)
+        serial.scalar_access(0x6000, is_store=True)
+        serial.scalar_access(0x6040, is_store=True)
+        expected = serial.vector_access(0x6000, stride_bytes=8,
+                                        vector_length=16)
+        result = batched.replay_stream(AccessStream(
+            ops=ops, op_index=op_index, addresses=addresses))
+        assert result.latencies.tolist()[-1] == expected.latency
+        assert serial.stats.coherency_writebacks == 2
+        assert serial.statistics() == batched.statistics()

@@ -1,0 +1,243 @@
+"""The persistent content-addressed result store and its engine wiring.
+
+Covers the three layers separately:
+
+* :class:`repro.store.ResultStore` itself — round-tripping, atomicity of
+  the publish step, corruption tolerance, schema-version namespacing;
+* :func:`repro.core.runner.execute_requests` with a store — skip-if-stored,
+  write-back, determinism of the merged result;
+* :class:`repro.experiments.evaluation.SuiteEvaluation` — the ``ensure``
+  path that makes a warm ``report`` render with zero simulations.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.runner import execute_requests
+from repro.experiments.evaluation import SuiteEvaluation
+from repro.machine.config import get_config
+from repro.machine.latency import LatencyModel
+from repro.sim.plan import ExperimentPlan, RunRequest
+from repro.sim.stats import STATS_SCHEMA_VERSION, RunStats
+from repro.store import ResultStore, run_fingerprint
+from repro.workloads.suite import SuiteParameters, build_suite
+
+
+def _example_stats() -> RunStats:
+    run = RunStats(program_name="prog", config_name="cfg", flavor="vector")
+    region = run.region("R1", vectorizable=True)
+    region.cycles = 1234
+    region.operations = 99
+    region.micro_ops = 450
+    region.memory_stall_cycles = 17
+    region.memory_accesses = 40
+    region.segment_executions = 8
+    run.region("R0").cycles = 777
+    return run
+
+
+class TestResultStore:
+    def test_round_trip(self, tmp_path):
+        store = ResultStore(tmp_path)
+        stats = _example_stats()
+        store.put("ab" * 32, stats)
+        loaded = store.get("ab" * 32)
+        assert loaded is not None
+        assert loaded.canonical_json() == stats.canonical_json()
+        assert len(store) == 1
+
+    def test_miss(self, tmp_path):
+        store = ResultStore(tmp_path)
+        assert store.get("cd" * 32) is None
+        assert store.stats.misses == 1
+
+    def test_sharded_layout_and_atomic_publish(self, tmp_path):
+        store = ResultStore(tmp_path)
+        fingerprint = "ef" * 32
+        path = store.put(fingerprint, _example_stats())
+        assert path.parent.name == fingerprint[:2]
+        assert path.parent.parent.name == f"v{STATS_SCHEMA_VERSION}"
+        # no temporary droppings survive the publish
+        leftovers = [p for p in path.parent.iterdir() if p.suffix == ".tmp"]
+        assert leftovers == []
+
+    def test_double_put_is_idempotent(self, tmp_path):
+        store = ResultStore(tmp_path)
+        stats = _example_stats()
+        store.put("11" * 32, stats)
+        store.put("11" * 32, stats)
+        assert len(store) == 1
+        assert store.get("11" * 32).canonical_json() == stats.canonical_json()
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        store = ResultStore(tmp_path)
+        fingerprint = "22" * 32
+        path = store.put(fingerprint, _example_stats())
+        path.write_bytes(b"{ truncated nonsense")
+        assert store.get(fingerprint) is None
+        assert store.stats.corrupt == 1
+        # a fresh put repairs the entry
+        store.put(fingerprint, _example_stats())
+        assert store.get(fingerprint) is not None
+
+    def test_schema_envelope_mismatch_is_a_miss(self, tmp_path):
+        store = ResultStore(tmp_path)
+        fingerprint = "33" * 32
+        path = store.put(fingerprint, _example_stats())
+        envelope = json.loads(path.read_text())
+        envelope["schema"] = STATS_SCHEMA_VERSION + 1
+        path.write_text(json.dumps(envelope))
+        assert store.get(fingerprint) is None
+
+    def test_schema_bump_invalidates_by_namespace(self, tmp_path):
+        old = ResultStore(tmp_path, schema_version=STATS_SCHEMA_VERSION)
+        old.put("44" * 32, _example_stats())
+        bumped = ResultStore(tmp_path, schema_version=STATS_SCHEMA_VERSION + 1)
+        assert bumped.get("44" * 32) is None
+        assert len(bumped) == 0
+        assert len(old) == 1  # old entries untouched, just never consulted
+
+    def test_msgpack_requires_package(self, tmp_path):
+        try:
+            import msgpack  # noqa: F401
+        except ImportError:
+            with pytest.raises(RuntimeError, match="msgpack"):
+                ResultStore(tmp_path, serialization="msgpack")
+        else:
+            store = ResultStore(tmp_path, serialization="msgpack")
+            store.put("55" * 32, _example_stats())
+            assert store.get("55" * 32) is not None
+
+    def test_unknown_serialization_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            ResultStore(tmp_path, serialization="pickle")
+
+    def test_from_env(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_STORE", raising=False)
+        assert ResultStore.from_env() is None
+        monkeypatch.setenv("REPRO_STORE", str(tmp_path))
+        store = ResultStore.from_env()
+        assert store is not None and store.root == tmp_path
+
+
+class TestRunFingerprint:
+    def test_axes_are_distinguished(self, tiny_suite):
+        spec = tiny_suite["gsm_enc"]
+        cfg_a, cfg_b = get_config("vector2-2w"), get_config("vector1-2w")
+        base = run_fingerprint(spec.program_for(cfg_a), cfg_a)
+        assert run_fingerprint(spec.program_for(cfg_a), cfg_a) == base
+        assert run_fingerprint(spec.program_for(cfg_b), cfg_b) != base
+        assert run_fingerprint(spec.program_for(cfg_a), cfg_a,
+                               perfect_memory=True) != base
+        slow = LatencyModel().with_overrides(vector_load=9)
+        assert run_fingerprint(spec.program_for(cfg_a), cfg_a,
+                               latency_model=slow) != base
+
+    def test_structurally_identical_rebuilds_share_a_key(self, tiny_parameters):
+        config = get_config("vector2-2w")
+        first = build_suite(tiny_parameters, names=["gsm_enc"])["gsm_enc"]
+        second = build_suite(tiny_parameters, names=["gsm_enc"])["gsm_enc"]
+        assert first is not second
+        assert (run_fingerprint(first.program_for(config), config)
+                == run_fingerprint(second.program_for(config), config))
+
+
+class TestExecuteRequestsStore:
+    PLAN = ExperimentPlan([
+        RunRequest("gsm_enc", "vliw-2w", False),
+        RunRequest("gsm_enc", "vector2-2w", False),
+        RunRequest("gsm_enc", "vector2-2w", True),
+    ])
+
+    def test_write_back_then_skip(self, tiny_suite, tmp_path, monkeypatch):
+        store = ResultStore(tmp_path)
+        cold = execute_requests(self.PLAN, tiny_suite, store=store)
+        assert store.stats.writes == len(self.PLAN)
+        assert len(store) == len(self.PLAN)
+
+        # a second process (modelled by a fresh store handle) must not
+        # simulate anything: fail loudly if the engine is reached
+        import repro.core.runner as runner_module
+        monkeypatch.setattr(
+            runner_module, "execute_plan",
+            lambda *a, **k: pytest.fail("store should have answered every run"))
+        warm = execute_requests(self.PLAN, tiny_suite,
+                                store=ResultStore(tmp_path))
+        assert list(warm) == list(cold)
+        for request in self.PLAN:
+            assert warm[request].canonical_json() == cold[request].canonical_json()
+
+    def test_partial_store_simulates_only_the_gap(self, tiny_suite, tmp_path):
+        store = ResultStore(tmp_path)
+        first = ExperimentPlan(self.PLAN.requests[:1])
+        execute_requests(first, tiny_suite, store=store)
+        store2 = ResultStore(tmp_path)
+        execute_requests(self.PLAN, tiny_suite, store=store2)
+        assert store2.stats.hits == 1
+        assert store2.stats.writes == len(self.PLAN) - 1
+
+    def test_store_with_jobs_matches_serial_without(self, tiny_suite, tmp_path):
+        with_store = execute_requests(self.PLAN, tiny_suite, jobs=2,
+                                      store=ResultStore(tmp_path))
+        plain = execute_requests(self.PLAN, tiny_suite)
+        assert ([s.canonical_json() for s in with_store.values()]
+                == [s.canonical_json() for s in plain.values()])
+
+
+class TestSuiteEvaluationStore:
+    CONFIGS = ("vliw-2w", "usimd-2w", "vector2-2w")
+
+    def _evaluation(self, parameters, store):
+        return SuiteEvaluation(parameters=parameters,
+                               benchmark_names=("gsm_enc",),
+                               config_names=self.CONFIGS, store=store)
+
+    def test_ensure_consults_and_fills_the_store(self, tiny_parameters, tmp_path):
+        first = self._evaluation(tiny_parameters, ResultStore(tmp_path))
+        first.prefetch()
+        assert first.simulated_runs == len(self.CONFIGS) * 2
+
+        second = self._evaluation(tiny_parameters, ResultStore(tmp_path))
+        second.prefetch()
+        assert second.simulated_runs == 0
+        for name in self.CONFIGS:
+            assert (second.run("gsm_enc", name).canonical_json()
+                    == first.run("gsm_enc", name).canonical_json())
+
+    def test_store_disabled_by_default_without_env(self, tiny_parameters,
+                                                   monkeypatch):
+        monkeypatch.delenv("REPRO_STORE", raising=False)
+        evaluation = SuiteEvaluation(parameters=tiny_parameters)
+        assert evaluation.store is None
+
+    def test_store_from_env(self, tiny_parameters, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_STORE", str(tmp_path))
+        evaluation = SuiteEvaluation(parameters=tiny_parameters)
+        assert isinstance(evaluation.store, ResultStore)
+        assert evaluation.store.root == tmp_path
+
+    def test_store_path_string_accepted(self, tiny_parameters, tmp_path):
+        evaluation = SuiteEvaluation(parameters=tiny_parameters,
+                                     store=str(tmp_path / "s"))
+        assert isinstance(evaluation.store, ResultStore)
+
+
+class TestWarmReportByteIdentical:
+    """The acceptance criterion: warm store -> zero simulations, same bytes."""
+
+    def test_full_tiny_report(self, tmp_path):
+        from repro.experiments.report import full_report
+
+        cold_eval = SuiteEvaluation(parameters=SuiteParameters.tiny(),
+                                    store=ResultStore(tmp_path))
+        cold = full_report(cold_eval)
+        assert cold_eval.simulated_runs > 0
+
+        warm_eval = SuiteEvaluation(parameters=SuiteParameters.tiny(),
+                                    store=ResultStore(tmp_path))
+        warm = full_report(warm_eval)
+        assert warm_eval.simulated_runs == 0
+        assert warm == cold
