@@ -1,8 +1,9 @@
 """Shared fixtures for the benchmark harness.
 
 The benchmarks use the reduced (``tiny``) inputs so the full harness runs in
-a few minutes; EXPERIMENTS.md records the default-size results produced by
-``python -m repro.experiments.report``.  Heavy whole-suite benchmarks are
+a few minutes; ``python -m repro report`` regenerates the default-size
+results on demand (no transcript is checked in).  Heavy whole-suite
+benchmarks are
 executed with a single round (``benchmark.pedantic``) because one evaluation
 sweep is already seconds long.
 

@@ -1,9 +1,10 @@
 """Micro-benchmarks of the substrates plus ablation sweeps.
 
 These are not figures of the paper; they measure the cost of the simulator's
-own building blocks (useful when extending the model) and run the two
-ablations DESIGN.md calls out: the vector-cache latency and the number of
-vector lanes.
+own building blocks (useful when extending the model) and run two ablations
+beyond the paper's grid: the vector-cache latency and the number of vector
+lanes.  (An earlier ``DESIGN.md`` file described these; its content now
+lives in ``docs/architecture.md``.)
 """
 
 import numpy as np

@@ -1,0 +1,103 @@
+#!/usr/bin/env python
+"""Register a custom benchmark and run it like a shipped one.
+
+The workload registry (:mod:`repro.workloads.registry`) is the SDK for
+extending the benchmark suite — ``docs/workloads.md`` is the guide this
+example condenses.  We register a *stereo downmix* kernel (a streaming
+element-wise average of two int16 channels), then drive it through the
+exact machinery the paper's six applications use: ``build_benchmark``,
+the experiment engine (with a worker pool, to show that user
+registrations ride along to workers), and the registry-aware CLI
+selectors.
+
+Run with::
+
+    python examples/custom_workload.py
+"""
+
+from dataclasses import dataclass
+
+from repro.compiler.builder import KernelBuilder
+from repro.compiler.ir import ISAFlavor
+from repro.core.runner import execute_requests
+from repro.isa.operations import Opcode
+from repro.memory.layout import AddressSpace
+from repro.sim.plan import RunRequest
+from repro.workloads import common
+from repro.workloads.registry import register_workload, workload_names
+from repro.workloads.suite import SuiteParameters, build_benchmark
+
+
+@dataclass(frozen=True)
+class StereoMixParameters:
+    """Input geometry of the custom benchmark (frozen, like all families)."""
+
+    samples: int = 4096
+
+    def __post_init__(self) -> None:
+        if self.samples < 32 or self.samples % 32:
+            raise ValueError("samples must be a positive multiple of 32")
+
+
+#: per-element downmix work: the add, the rounding add and the shift
+_MIX_SCALAR = ((Opcode.ADD, 2), (Opcode.SHR, 1))
+_MIX_PACKED = ((Opcode.PADDW, 2), (Opcode.PSHIFT, 1))
+_MIX_VECTOR = ((Opcode.VADDW, 2), (Opcode.VSHIFT, 1))
+
+
+# The decorator publishes the definition; the builder stays an ordinary
+# module-level function (module-level matters: definitions are pickled to
+# pool workers, which re-register them on initialisation).
+@register_workload("stereo_mix", family="stereo", params=StereoMixParameters,
+                   tiny=StereoMixParameters(samples=256),
+                   description="Stereo downmix: element-wise average of two "
+                               "int16 channels",
+                   tags=("example", "streaming"))
+def build_stereo_mix_program(flavor: ISAFlavor,
+                             params: StereoMixParameters = StereoMixParameters()):
+    """The kernel program (timing model) in the requested ISA flavour."""
+    space = AddressSpace()
+    left = space.allocate("left", (1, params.samples), element_bytes=2)
+    right = space.allocate("right", (1, params.samples), element_bytes=2)
+    mono = space.allocate("mono", (1, params.samples), element_bytes=2)
+
+    builder = KernelBuilder("stereo_mix", flavor, address_space=space)
+    with builder.region("R1", "Stereo downmix", vectorizable=True):
+        emit = {ISAFlavor.SCALAR: (common.emit_elementwise_scalar, _MIX_SCALAR),
+                ISAFlavor.USIMD: (common.emit_elementwise_usimd, _MIX_PACKED),
+                ISAFlavor.VECTOR: (common.emit_elementwise_vector, _MIX_VECTOR)}
+        emitter, mix = emit[flavor]
+        emitter(builder, [left, right], [mono], 1, params.samples, mix,
+                element_bytes=2, label="downmix")
+    return builder.program()
+
+
+def main() -> None:
+    print("registered benchmarks:", ", ".join(workload_names()))
+    assert "stereo_mix" in workload_names()
+
+    # sizes for a custom family travel through SuiteParameters.extras
+    parameters = SuiteParameters.tiny().with_family(
+        "stereo", StereoMixParameters(samples=512))
+    spec = build_benchmark("stereo_mix", parameters)
+
+    # two worker processes: the registration rides along automatically
+    requests = [RunRequest("stereo_mix", config, False)
+                for config in ("vliw-2w", "usimd-2w", "vector2-2w")]
+    runs = execute_requests(requests, {"stereo_mix": spec}, jobs=2)
+
+    baseline = runs[requests[0]]
+    print(f"\n{'configuration':<14}{'cycles':>10}  speedup over vliw-2w")
+    for request in requests:
+        stats = runs[request]
+        print(f"{request.config_name:<14}{stats.total_cycles:>10}  "
+              f"{stats.speedup_over(baseline):.2f}x")
+
+    print("\nTakeaway: a purely streaming element-wise kernel vectorises "
+          "completely, so the\nvector machine wins on memory throughput — "
+          "compare adpcm_codec, whose per-sample\nrecurrence gains almost "
+          "nothing (python -m repro bench list shows both).")
+
+
+if __name__ == "__main__":
+    main()

@@ -8,37 +8,51 @@ Commands
     (:mod:`repro.experiments.report`).  With a warm result store this is
     pure rendering — zero simulations.
 ``sweep``
-    Populate the result store with the full paper grid (benchmarks ×
-    Table-2 configurations × memory modes) without rendering anything —
-    the warm-up command for CI caches and shared stores.
+    Populate the result store with a benchmark × Table-2-configuration ×
+    memory-mode grid without rendering anything — the warm-up command for
+    CI caches and shared stores.
 ``explore``
     Design-space exploration beyond Table 2 (:mod:`repro.explore`):
     generate parameterised configurations, sweep them resumably through
     the store, and print Pareto frontiers of speed-up vs issue slots.
+``bench``
+    Inspect the workload registry (:mod:`repro.workloads.registry`):
+    ``bench list`` prints every registered benchmark with its parameter
+    family, input sizes and tags.
 
-All commands share the store flags: ``--store DIR`` selects a persistent
-result store, ``--no-store`` disables it, and the ``REPRO_STORE``
-environment variable supplies the default.  Unlike the older module entry
-points, the unified CLI defaults to a store at ``.repro-store`` so
-repeated invocations get warm-start behaviour out of the box.  ``--jobs``
-(default ``REPRO_JOBS``, else 1) parallelises simulation; results are
-byte-identical for any job count.
+``report``, ``sweep`` and ``explore`` all take ``--benchmarks`` with the
+same selector syntax: registry names, ``tag:<tag>`` (every benchmark
+carrying the tag — e.g. ``tag:mediabench-plus`` for the extended
+ten-benchmark suite), or ``all``.  ``bench list`` shows what is
+selectable.
+
+All simulation commands share the store flags: ``--store DIR`` selects a
+persistent result store, ``--no-store`` disables it, and the
+``REPRO_STORE`` environment variable supplies the default.  Unlike the
+older module entry points, the unified CLI defaults to a store at
+``.repro-store`` so repeated invocations get warm-start behaviour out of
+the box.  ``--jobs`` (default ``REPRO_JOBS``, else 1) parallelises
+simulation; results are byte-identical for any job count.
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 import time
 
 from repro.experiments.evaluation import SuiteEvaluation
 from repro.experiments.report import (
+    add_benchmark_arguments,
     add_store_arguments,
+    resolve_benchmarks,
     resolve_jobs,
     resolve_store,
 )
 from repro.experiments.report import main as report_main
 from repro.sim.engines import DEFAULT_ENGINE, ENGINE_NAMES
+from repro.workloads.registry import registered_workloads, select_benchmarks
 from repro.workloads.suite import BENCHMARK_NAMES, SuiteParameters
 
 __all__ = ["main"]
@@ -65,6 +79,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     parameters = SuiteParameters.tiny() if args.tiny else SuiteParameters.default()
     evaluation = SuiteEvaluation(parameters=parameters,
                                  jobs=resolve_jobs(args.jobs),
+                                 benchmark_names=tuple(args.benchmarks),
                                  engine=args.engine, store=store)
     start = time.time()
     evaluation.prefetch()
@@ -74,6 +89,38 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     where = store.root if store is not None else "(no store)"
     print(f"swept {total} runs in {elapsed:.1f} s: {loaded} already stored, "
           f"{evaluation.simulated_runs} simulated -> {where}")
+    return 0
+
+
+def _params_summary(params: object) -> str:
+    """``field=value`` rendering of a parameter dataclass, compact."""
+    pairs = ((f.name, getattr(params, f.name))
+             for f in dataclasses.fields(params))
+    return " ".join(f"{name}={value}" for name, value in pairs)
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    definitions = registered_workloads()
+    if args.selectors is not None:  # already resolved to names by main()
+        definitions = {name: definitions[name] for name in args.selectors}
+    if not definitions:
+        print("no registered benchmarks match")
+        return 1
+    name_width = max(len("benchmark"), max(len(name) for name in definitions))
+    family_width = max(len("family"),
+                       max(len(d.family) for d in definitions.values()))
+    print(f"{'benchmark':<{name_width}}  {'family':<{family_width}}  "
+          f"tags / description / sizes")
+    for name, definition in definitions.items():
+        pad = " " * (name_width + family_width + 4)
+        print(f"{name:<{name_width}}  {definition.family:<{family_width}}  "
+              f"[{', '.join(definition.tags)}]")
+        if definition.description:
+            print(f"{pad}{definition.description}")
+        print(f"{pad}default: {_params_summary(definition.default_params)}")
+        print(f"{pad}tiny:    {_params_summary(definition.tiny_params)}")
+    tags = sorted({tag for d in definitions.values() for tag in d.tags})
+    print(f"\n{len(definitions)} benchmarks; tags: {', '.join(tags)}")
     return 0
 
 
@@ -114,6 +161,7 @@ def main(argv=None) -> int:
     sweep = sub.add_parser(
         "sweep", help="populate the result store with the full paper grid")
     _add_common(sweep)
+    add_benchmark_arguments(sweep)
 
     # explore defaults to the tiny inputs already (a 108-point sweep at full
     # size is a long run), so it exposes the opposite flag instead of --tiny
@@ -124,9 +172,7 @@ def main(argv=None) -> int:
                          default="default",
                          help="configuration space: the 108-point default "
                               "or an 8-point smoke space")
-    explore.add_argument("--benchmarks", nargs="+", metavar="NAME",
-                         default=None, choices=BENCHMARK_NAMES,
-                         help="benchmarks to explore (default: gsm_enc jpeg_enc)")
+    add_benchmark_arguments(explore, default="gsm_enc jpeg_enc")
     explore.add_argument("--full-inputs", action="store_true",
                          help="use the full report input sizes (slow); the "
                               "default is the tiny test inputs")
@@ -135,6 +181,15 @@ def main(argv=None) -> int:
     explore.add_argument("--max-shards", type=int, default=None, metavar="N",
                          help="stop after N shards (partial, resumable sweep)")
 
+    bench = sub.add_parser(
+        "bench", help="inspect the workload registry")
+    bench_sub = bench.add_subparsers(dest="bench_command", required=True)
+    bench_list = bench_sub.add_parser(
+        "list", help="list registered benchmarks (sizes, tags, families)")
+    bench_list.add_argument("selectors", nargs="*", metavar="SELECTOR",
+                            help="restrict to these names / tag:<tag> "
+                                 "selectors (default: every benchmark)")
+
     if argv is None:
         argv = sys.argv[1:]
     # `report` keeps its own argument parser (it predates this CLI); pass
@@ -142,10 +197,25 @@ def main(argv=None) -> int:
     if argv and argv[0] == "report":
         return report_main(argv[1:], default_store=DEFAULT_STORE_PATH)
     args = parser.parse_args(argv)
-    if args.command == "explore" and args.benchmarks is None:
-        from repro.explore import DEFAULT_BENCHMARKS
-        args.benchmarks = list(DEFAULT_BENCHMARKS)
-    return {"sweep": _cmd_sweep, "explore": _cmd_explore}[args.command](args)
+    # resolve the benchmark selectors up front (and only them) so a typo
+    # is a clean one-line error — the registry's message already lists the
+    # known names/tags — while failures inside a long run still traceback
+    try:
+        if args.command == "explore":
+            from repro.explore import DEFAULT_BENCHMARKS
+            args.benchmarks = list(resolve_benchmarks(args.benchmarks,
+                                                      DEFAULT_BENCHMARKS))
+        elif args.command == "sweep":
+            args.benchmarks = resolve_benchmarks(args.benchmarks,
+                                                 BENCHMARK_NAMES)
+        elif args.command == "bench":
+            args.selectors = (select_benchmarks(args.selectors)
+                              if args.selectors else None)
+    except (KeyError, ValueError) as exc:
+        print(f"error: {exc.args[0] if exc.args else exc}", file=sys.stderr)
+        return 2
+    return {"sweep": _cmd_sweep, "explore": _cmd_explore,
+            "bench": _cmd_bench}[args.command](args)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -54,7 +54,8 @@ def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
     """Render an ASCII table with right-aligned numeric columns.
 
     The experiment modules print their reproduced tables/figures through
-    this helper so EXPERIMENTS.md and the benchmark logs look consistent.
+    this helper so the report output and the benchmark logs look
+    consistent.
     """
     rendered_rows: List[List[str]] = []
     for row in rows:

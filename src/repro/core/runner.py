@@ -174,12 +174,19 @@ _WORKER_STATE: Optional[tuple] = None
 def _worker_init(specs: Mapping[str, BenchmarkSpec],
                  latency_model: Optional[LatencyModel],
                  engine: Optional[str],
-                 extra_configs: Mapping[str, MachineConfig] = ()) -> None:
+                 extra_configs: Mapping[str, MachineConfig] = (),
+                 extra_workloads: Mapping[str, object] = ()) -> None:
     global _WORKER_STATE
-    # non-paper configurations (design-space points) are registered per
-    # worker so ``get_config`` resolves them under spawn as well as fork
+    # non-paper configurations (design-space points) and non-shipped
+    # workloads (user registrations) are re-registered per worker so
+    # ``get_config`` / ``get_workload`` resolve them under spawn as well as
+    # fork — the registries themselves never cross a process boundary
     for config in dict(extra_configs).values():
         register_config(config, overwrite=True)
+    if extra_workloads:
+        from repro.workloads.registry import register_workload_definition
+        for definition in dict(extra_workloads).values():
+            register_workload_definition(definition, overwrite=True)
     _WORKER_STATE = (specs, latency_model, engine)
 
 
@@ -238,7 +245,8 @@ def _request_fingerprints(plan: ExperimentPlan,
             perfect_memory=request.perfect_memory,
             program_fingerprint=program_fp,
             config_fingerprint=config_fp,
-            latency_fingerprint=latency_fp)
+            latency_fingerprint=latency_fp,
+            benchmark=request.benchmark)
     return fingerprints
 
 
@@ -248,7 +256,8 @@ def execute_requests(requests: Iterable[RunRequest],
                      latency_model: Optional[LatencyModel] = None,
                      engine: Optional[str] = None,
                      store: Optional["ResultStore"] = None,
-                     extra_configs: Optional[Mapping[str, MachineConfig]] = None
+                     extra_configs: Optional[Mapping[str, MachineConfig]] = None,
+                     extra_workloads: Optional[Mapping[str, object]] = None
                      ) -> Dict[RunRequest, RunStats]:
     """Execute a batch of runs, optionally across worker processes.
 
@@ -268,7 +277,15 @@ def execute_requests(requests: Iterable[RunRequest],
     from disk instead of simulated, and freshly simulated results are
     written back.  The deterministic merge is unchanged, so a warm store is
     byte-identical to a cold one.  ``extra_configs`` publishes non-paper
-    configurations (design-space points) to this process and every worker.
+    configurations (design-space points) to this process and every worker
+    (workers resolve ``get_config(request.config_name)``, so this one is
+    load-bearing).  ``extra_workloads`` mirrors it for user-registered
+    workload definitions, defaulting to every user registration of the
+    calling process: execution itself runs from the pickled ``specs`` and
+    never needs the registry, but this keeps each worker's registry state
+    consistent with the parent's — under spawn, workers otherwise hold
+    only the shipped entries — so registry lookups from user builder code
+    or future worker-side spec construction resolve identically.
     """
     plan = requests if isinstance(requests, ExperimentPlan) else ExperimentPlan(requests)
     spec_map = _as_spec_map(specs)
@@ -298,11 +315,15 @@ def execute_requests(requests: Iterable[RunRequest],
         # and threaded BLAS) and pickle the specs once per worker instead.
         context = multiprocessing.get_context(
             "fork" if sys.platform == "linux" else "spawn")
+        if extra_workloads is None:
+            from repro.workloads.registry import user_workload_definitions
+            extra_workloads = user_workload_definitions()
         workers = min(jobs, len(pending))
         chunksize = max(1, len(pending) // (workers * 4))
         with context.Pool(processes=workers, initializer=_worker_init,
                           initargs=(spec_map, latency_model, engine,
-                                    dict(extra_configs or {}))) as pool:
+                                    dict(extra_configs or {}),
+                                    dict(extra_workloads))) as pool:
             results = pool.map(_worker_run, pending.requests, chunksize=chunksize)
         fresh = dict(zip(pending.requests, results))
 

@@ -18,8 +18,13 @@ figure6    Figure 6 — whole-application speed-up
 figure7    Figure 7 — normalised dynamic operation count per region
 ========== =========================================================
 
-``python -m repro.experiments.report`` regenerates everything and prints the
-text that EXPERIMENTS.md records.
+``python -m repro report`` (or ``python -m repro.experiments.report``)
+regenerates everything.  Every module iterates
+``evaluation.benchmark_names``, so an evaluation built over an extended
+benchmark set — e.g. ``--benchmarks tag:mediabench-plus``, resolved
+through :mod:`repro.workloads.registry` — renders the same figures and
+tables with extra rows.  (The report text was once checked in as an
+``EXPERIMENTS.md`` file; that file is gone — regenerating is cheap.)
 """
 
 from repro.experiments.evaluation import SuiteEvaluation

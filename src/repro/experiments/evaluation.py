@@ -1,10 +1,13 @@
 """Shared evaluation cache for the experiment modules.
 
-Running the six benchmarks over the ten configurations (twice, for perfect
-and realistic memory) is the expensive part of regenerating the paper's
-evaluation.  :class:`SuiteEvaluation` memoises the per-run
+Running the benchmark suite over the ten configurations (twice, for
+perfect and realistic memory) is the expensive part of regenerating the
+paper's evaluation.  :class:`SuiteEvaluation` memoises the per-run
 :class:`~repro.sim.stats.RunStats` and executes the runs through the
-experiment engine:
+experiment engine.  ``benchmark_names`` defaults to the paper's six
+applications and accepts any names the workload registry resolves
+(:mod:`repro.workloads.registry`) — e.g. the extended ten-benchmark
+``mediabench-plus`` suite, or user-registered workloads:
 
 * each figure/table module declares the slice of the sweep it needs as an
   :class:`~repro.sim.plan.ExperimentSweep` (data, not loops) and calls

@@ -1,8 +1,10 @@
 """Figure 6 — speed-up for complete applications.
 
 Whole-application speed-up of every configuration over the 2-issue VLIW for
-the six benchmarks plus the average.  ``PAPER_AVERAGE`` records the average
-bars of the paper's last panel so the report can compare shapes directly.
+the evaluation's benchmarks plus the average.  ``PAPER_AVERAGE`` records the
+average bars of the paper's last panel so the report can compare shapes
+directly (with an extended ``--benchmarks`` selection the measured average
+spans more benchmarks than the paper's).
 """
 
 from __future__ import annotations

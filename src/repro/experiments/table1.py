@@ -29,7 +29,9 @@ PAPER_PERCENTAGES: Dict[str, float] = {
     "gsm_dec": 0.91,
 }
 
-#: The vector regions the paper lists per benchmark (Table 1).
+#: The vector regions the paper lists per benchmark (Table 1).  The
+#: extended-suite kernels (tag ``mediabench-plus``) post-date the paper,
+#: so their regions are described here and their paper column renders "-".
 VECTOR_REGION_DESCRIPTIONS: Dict[str, Tuple[str, ...]] = {
     "jpeg_enc": ("RGB to YCC color conversion", "Forward DCT", "Quantification"),
     "jpeg_dec": ("YCC to RGB color conversion", "H2v2 up-sample"),
@@ -37,6 +39,10 @@ VECTOR_REGION_DESCRIPTIONS: Dict[str, Tuple[str, ...]] = {
     "mpeg2_dec": ("Form component prediction", "Inverse DCT", "Add block"),
     "gsm_enc": ("LTP parameters", "Autocorrelation"),
     "gsm_dec": ("Long term filtering",),
+    "viterbi_dec": ("Branch metrics and ACS",),
+    "fir_bank": ("FIR filter bank",),
+    "sobel_edge": ("3x3 gradient stencil",),
+    "adpcm_codec": ("Block de-interleave",),
 }
 
 
@@ -49,6 +55,7 @@ def generate(evaluation: SuiteEvaluation) -> List[Dict[str, object]]:
         rows.append({
             "benchmark": benchmark,
             "measured_percent": measured,
+            # None for benchmarks beyond the paper's six (no published value)
             "paper_percent": PAPER_PERCENTAGES.get(benchmark),
             "regions": ", ".join(VECTOR_REGION_DESCRIPTIONS.get(benchmark, ())),
         })
@@ -59,7 +66,9 @@ def render(evaluation: SuiteEvaluation) -> str:
     """Text rendering of the reproduced Table 1."""
     rows = generate(evaluation)
     table_rows = [
-        [row["benchmark"], row["measured_percent"], row["paper_percent"], row["regions"]]
+        [row["benchmark"], row["measured_percent"],
+         row["paper_percent"] if row["paper_percent"] is not None else "-",
+         row["regions"]]
         for row in rows
     ]
     return format_table(

@@ -3,8 +3,9 @@
 For every configuration the paper reports, separately for the scalar
 regions, the vector regions and the complete application: operations per
 cycle, micro-operations per cycle (for the ISAs with packed operations) and
-the speed-up over the 2-issue VLIW.  Averages are arithmetic means over the
-six benchmarks, as in the paper.
+the speed-up over the 2-issue VLIW.  Averages are arithmetic means over
+the evaluation's benchmarks — the paper's six by default, as in the paper
+(an extended ``--benchmarks`` selection widens the average).
 """
 
 from __future__ import annotations

@@ -1,7 +1,9 @@
 """Design-space exploration beyond the paper's ten configurations.
 
 The paper's evaluation freezes the machine space at Table 2.  This package
-opens it:
+opens it (as :mod:`repro.workloads.registry` opens the workload space —
+explorations accept any registered benchmark name, including user
+registrations and the extended ``mediabench-plus`` kernels):
 
 * :mod:`repro.explore.space` — parameterised configuration generation
   (issue width × vector units × lanes × port width × vector-cache
@@ -14,7 +16,10 @@ opens it:
 * :mod:`repro.explore.pareto` — Pareto-frontier extraction for the
   speed-up-vs-issue-slots summaries the sweep reports.
 
-CLI: ``python -m repro explore`` (see ``docs/store.md``).
+CLI: ``python -m repro explore`` (see ``docs/store.md``); benchmark
+selection uses the same ``--benchmarks`` name/tag selectors as ``report``
+and ``sweep``.  ``docs/architecture.md`` places this package in the
+end-to-end dataflow.
 """
 
 from repro.explore.pareto import ParetoPoint, pareto_frontier

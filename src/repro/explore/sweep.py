@@ -10,6 +10,13 @@ optionally parallel (``jobs``) and each shard's results persisted to the
 sweep therefore loses at most one shard, and re-running it skips every
 stored point, which is what makes 100+-configuration explorations cheap to
 iterate on.
+
+Benchmarks are registry names (:mod:`repro.workloads.registry`): the
+paper's six, the extended ``mediabench-plus`` kernels, or anything the
+caller registered — user registrations ride to pool workers automatically
+through :func:`~repro.core.runner.execute_requests`.  The benchmark name
+is part of each run's store key, so one shared store cleanly holds sweeps
+of many workloads.
 """
 
 from __future__ import annotations
@@ -32,7 +39,8 @@ __all__ = ["ExplorationResult", "run_exploration", "DEFAULT_BENCHMARKS",
 
 #: Benchmarks explored by default: one short-vector kernel suite (GSM) and
 #: one with larger, reuse-heavy working sets (JPEG) — the two ends of the
-#: paper's workload spectrum.
+#: paper's workload spectrum.  Any registered benchmark name is accepted
+#: (``python -m repro bench list`` shows them).
 DEFAULT_BENCHMARKS: Tuple[str, ...] = ("gsm_enc", "jpeg_enc")
 
 #: Every speed-up is normalised against the paper's baseline machine.

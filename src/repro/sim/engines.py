@@ -15,9 +15,27 @@ Three engines can execute a compiled program (see ``docs/performance.md``):
 segments cycle by cycle and is driven directly by tests and examples, not
 through this registry.)
 
+How selection flows
+-------------------
+
 Every batched entry point (``execute_program``, ``machine.run``,
-``run_benchmarks``, ``SuiteEvaluation``, the report CLI) accepts an
-``engine=`` escape hatch resolved here.
+``run_benchmarks``, ``execute_requests``, ``SuiteEvaluation``, the
+``--engine`` flag of every CLI command) accepts an ``engine=`` escape
+hatch; ``None`` means :data:`DEFAULT_ENGINE`.  The string is threaded down
+unchanged — worker pools receive it in their initialiser — and resolved
+here, at the last moment, into an engine instance per compiled program.
+
+Invariants the selection relies on:
+
+* the tiers produce **identical statistics** for every program, machine
+  configuration and memory mode — enforced field-for-field by
+  ``tests/test_trace_engine.py`` (random programs via Hypothesis, plus
+  every benchmark of the extended registry suite);
+* because of that, the engine name is deliberately **not** part of the
+  persistent result-store key (:mod:`repro.store.result_store`) — a run
+  simulated by either tier answers for both.  Anything that broke the
+  equivalence would be a bug, and the store's schema-version namespace is
+  the lever that retires stored results when statistics semantics change.
 """
 
 from __future__ import annotations

@@ -1,6 +1,7 @@
 """Declarative experiment plans: batched (benchmark × config × memory) runs.
 
-The paper's evaluation is a sweep: six benchmarks, ten Table-2
+The paper's evaluation is a sweep: the benchmark suite (the paper's six
+applications; any registered benchmark works), ten Table-2
 configurations, perfect and realistic memory.  The seed code hand-rolled
 that sweep in every figure/table module; this module makes the sweep a
 *value* so one engine can execute it — deduplicating compilations through

@@ -22,7 +22,10 @@ __all__ = ["STATS_SCHEMA_VERSION", "RegionStats", "RunStats", "merge_run_maps"]
 #: new/renamed region counters, a fixed timing bug, a changed stall model.
 #: Old store entries are then simply never consulted again (invalidation by
 #: namespace, not by deletion).
-STATS_SCHEMA_VERSION = 1
+#: v2: the benchmark registry name joined the run fingerprint and the
+#: µSIMD dot-product emitter gained its missing accumulate dependence —
+#: both change keys/timings, so v1 entries are retired wholesale.
+STATS_SCHEMA_VERSION = 2
 
 
 @dataclass

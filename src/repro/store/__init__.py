@@ -3,8 +3,9 @@
 The compile cache (:mod:`repro.compiler.cache`) made *scheduling* free
 within a process; this package makes *simulation results* free across
 processes.  A :class:`ResultStore` maps a content fingerprint of one run —
-kernel IR × machine configuration × latency model × memory mode × warm-up
-footprint, namespaced under the stats schema version — to the run's
+benchmark registry name × kernel IR × machine configuration × latency
+model × memory mode × warm-up footprint, namespaced under the stats
+schema version — to the run's
 :class:`~repro.sim.stats.RunStats`, persisted as sharded JSON files with
 atomic writes so parallel workers, concurrent CI jobs and repeated
 ``report`` invocations can all share one store.

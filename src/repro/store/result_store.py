@@ -7,9 +7,16 @@ Design goals, in order:
   :func:`repro.compiler.cache.fingerprint_program`, so structurally
   identical programs built in different processes key identically), the
   machine configuration, the latency model, the memory mode and the
-  warm-up footprint.  The engine tier is deliberately *not* part of the
-  key: the tiers are tested to produce identical statistics, and the
-  schema version namespace covers any change to those semantics.
+  warm-up footprint.  The benchmark's **registry name**
+  (:mod:`repro.workloads.registry`) is also part of the key — renaming or
+  re-registering a workload therefore never aliases another workload's
+  entries, and one benchmark's entries stay identifiable in a shared
+  store.  The engine tier is deliberately *not* part of the key: the
+  tiers are tested to produce identical statistics, and the schema
+  version namespace covers any change to those semantics.  Invariant:
+  everything a run's statistics can depend on is in the key; anything
+  proven not to affect them (the engine tier, job count, shard order) is
+  not.
 * **Concurrency** — writes go through a temporary file in the target
   directory followed by :func:`os.replace`, which is atomic on POSIX and
   Windows; two workers (or two CI jobs sharing a cache) racing on the same
@@ -64,14 +71,25 @@ def run_fingerprint(program: KernelProgram, config: MachineConfig,
                     perfect_memory: bool = False,
                     program_fingerprint: Optional[str] = None,
                     config_fingerprint: Optional[str] = None,
-                    latency_fingerprint: Optional[str] = None) -> str:
-    """Content fingerprint of one (program × config × memory-mode) run.
+                    latency_fingerprint: Optional[str] = None,
+                    benchmark: Optional[str] = None) -> str:
+    """Content fingerprint of one (benchmark × config × memory-mode) run.
 
     Everything the deterministic simulators derive statistics from is
     covered: the IR fingerprint family the compile cache uses, plus the
     warm-up spans (``program.address_space``) that seed the L2/L3 before
     timing, plus the memory mode.  The stats schema version namespaces the
     whole key, so a semantic change invalidates every old entry at once.
+
+    ``benchmark`` is the workload's **registry name**
+    (:mod:`repro.workloads.registry`) and is part of the key: benchmarks
+    are resolved through the registry everywhere, so a registry name plus
+    the content axes above *is* the identity of a run.  Keying on the name
+    keeps one benchmark's entries identifiable (and individually
+    retirable) in a shared store, and keeps a user registration that
+    happens to compile to the same IR as another workload from aliasing
+    its entries.  ``None`` (direct library calls that bypass the registry)
+    keys on content alone.
 
     The ``*_fingerprint`` parameters accept precomputed component hashes so
     batched callers (a plan walks few distinct programs/configs across many
@@ -89,6 +107,7 @@ def run_fingerprint(program: KernelProgram, config: MachineConfig,
         spans = tuple((spec.base, spec.size_bytes) for spec in space)
     key = (
         STATS_SCHEMA_VERSION,
+        benchmark,
         program_fingerprint or fingerprint_program(program),
         config_fingerprint or fingerprint_config(config),
         latency_fingerprint or fingerprint_latency_model(latency_model),

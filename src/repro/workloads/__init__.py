@@ -1,11 +1,10 @@
-"""Workloads: the six Mediabench-style applications of the paper's evaluation.
+"""Workloads: the paper's six applications plus a pluggable registry.
 
-Each benchmark (JPEG encode/decode, MPEG-2 encode/decode, GSM encode/decode)
-is expressed twice:
+Each benchmark is expressed twice:
 
-* **functionally** — the DLP kernels of Table 1 are implemented as plain
-  NumPy reference code *and* as µSIMD / Vector-µSIMD versions written
-  against the emulation layer (:mod:`repro.isa`), so the tests can prove the
+* **functionally** — the DLP kernels are implemented as plain NumPy
+  reference code *and* as µSIMD / Vector-µSIMD versions written against
+  the emulation layer (:mod:`repro.isa`), so the tests can prove the
   three versions compute identical results;
 * **as kernel programs** — IR builders produce, for each ISA flavour, the
   region-tagged loop nests the compiler schedules and the simulator times.
@@ -13,14 +12,36 @@ is expressed twice:
   table look-ups — are shared by all three flavours, exactly as in the
   paper, and are built from dependence structures that limit their ILP.
 
-The original Mediabench inputs are replaced by deterministic synthetic media
-(:mod:`repro.workloads.data`); sizes are reduced so a pure-Python simulator
-stays tractable and are recorded in EXPERIMENTS.md.
+Benchmarks resolve through the :mod:`repro.workloads.registry`
+(``register_workload``): the six applications of the paper's evaluation
+(JPEG, MPEG-2 and GSM encode/decode — tag ``mediabench``), the four
+access-pattern kernels of the extended suite (Viterbi ACS, FIR bank,
+Sobel stencil, ADPCM recurrence — completing tag ``mediabench-plus``),
+and any workload a user registers.  ``docs/workloads.md`` is the
+authoring guide.
+
+The original Mediabench inputs are replaced by deterministic synthetic
+media (:mod:`repro.workloads.data`); sizes are reduced so a pure-Python
+simulator stays tractable.  (The reduced sizes were once recorded in an
+``EXPERIMENTS.md`` file that no longer exists; today they are the
+``default``/``tiny`` parameters each workload registers, rendered by
+``python -m repro bench list``.)
 """
 
 from repro.workloads.data import synthetic_image, synthetic_video, synthetic_speech
+from repro.workloads.registry import (
+    WorkloadDefinition,
+    get_workload,
+    register_workload,
+    register_workload_definition,
+    registered_workloads,
+    select_benchmarks,
+    unregister_workload,
+    workload_names,
+)
 from repro.workloads.suite import (
     BENCHMARK_NAMES,
+    EXTENDED_BENCHMARK_NAMES,
     build_benchmark,
     build_suite,
     SuiteParameters,
@@ -31,7 +52,16 @@ __all__ = [
     "synthetic_video",
     "synthetic_speech",
     "BENCHMARK_NAMES",
+    "EXTENDED_BENCHMARK_NAMES",
     "build_benchmark",
     "build_suite",
     "SuiteParameters",
+    "WorkloadDefinition",
+    "register_workload",
+    "register_workload_definition",
+    "unregister_workload",
+    "get_workload",
+    "registered_workloads",
+    "workload_names",
+    "select_benchmarks",
 ]

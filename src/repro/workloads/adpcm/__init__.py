@@ -1,0 +1,31 @@
+"""IMA ADPCM speech codec (recurrence-limited, the anti-vector workload).
+
+IMA/DVI ADPCM compresses 16-bit samples to 4-bit codes by quantising the
+difference against an adaptive predictor.  Both the predictor and the
+step-size index are first-order recurrences over *every* sample, so the
+codec barely vectorises — within a block the only data parallelism is
+across independent blocks (the real-world IMA block format exists exactly
+for this reason).  The kernel is registered as a deliberate stress of the
+scalar/µSIMD gap: its scalar region dominates, so wider issue and vector
+hardware buy almost nothing — the opposite end of the spectrum from
+``mpeg2_enc``.
+
+* :mod:`repro.workloads.adpcm.codec` — functional encode/decode with the
+  block-parallel µSIMD and Vector-µSIMD decode flavours, bit-identical;
+* :mod:`repro.workloads.adpcm.programs` — the ``adpcm_codec`` kernel
+  program registered with the workload registry.
+"""
+
+from repro.workloads.adpcm.codec import (
+    adpcm_decode_reference,
+    adpcm_decode_usimd,
+    adpcm_decode_vector,
+    adpcm_encode_reference,
+)
+
+__all__ = [
+    "adpcm_encode_reference",
+    "adpcm_decode_reference",
+    "adpcm_decode_usimd",
+    "adpcm_decode_vector",
+]

@@ -1,0 +1,128 @@
+"""Kernel program (timing model) for the IMA ADPCM codec.
+
+Region structure:
+
+``adpcm_codec``
+    * R0 — essentially the whole benchmark: the encoder's
+      quantise-and-predict recurrence, the nibble packing (a bit-buffer
+      recurrence), the decoder's table-driven reconstruction and its
+      predictor recurrence.  Every sample depends on the previous one
+      through predictor *and* step index, so none of it vectorises —
+      this kernel is the deliberate stress of the scalar/µSIMD gap, the
+      opposite end of the suite's spectrum from ``mpeg2_enc``;
+    * R1 — the only data-parallel part: de-interleaving the decoded
+      blocks into the output stream (a short element-wise pass).
+
+Expect the Table-1-style vectorisation percentage of this benchmark to be
+the lowest of the extended suite, and its speed-up on every machine
+family to hug 1× — that is the point of shipping it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.compiler.builder import KernelBuilder
+from repro.compiler.ir import ISAFlavor, KernelProgram
+from repro.isa.operations import Opcode
+from repro.memory.layout import AddressSpace
+from repro.workloads import common
+from repro.workloads.registry import register_workload
+
+__all__ = ["AdpcmParameters", "build_adpcm_codec_program"]
+
+
+@dataclass(frozen=True)
+class AdpcmParameters:
+    """Input geometry of the ADPCM codec benchmark."""
+
+    #: independent IMA blocks (predictor and step index reset per block)
+    blocks: int = 8
+    #: samples per block
+    block_samples: int = 256
+    #: extra scalar work per sample (clamps, step adaptation, bookkeeping)
+    scalar_work: int = 12
+
+    def __post_init__(self) -> None:
+        if self.blocks < 1:
+            raise ValueError("need at least one block")
+        if self.block_samples < 8 or self.block_samples % 8:
+            raise ValueError("block_samples must be a positive multiple of 8")
+
+
+#: per-sample quantiser work besides the recurrence itself
+_QUANT_WORK_MIX = ((Opcode.SUB, 2), (Opcode.CMP, 3), (Opcode.SHR, 3),
+                   (Opcode.OR, 2))
+#: per-sample reconstruction work on the decode side
+_RECON_WORK_MIX = ((Opcode.ADD, 3), (Opcode.CMP, 2), (Opcode.SHR, 2),
+                   (Opcode.AND, 2))
+#: the tiny element-wise de-interleave pass (R1)
+_DEINTERLEAVE_SCALAR_MIX = ((Opcode.ADD, 2), (Opcode.SHR, 1))
+_DEINTERLEAVE_PACKED_MIX = ((Opcode.PADDW, 1), (Opcode.PSHIFT, 1),
+                            (Opcode.PLOGICAL, 1))
+_DEINTERLEAVE_VECTOR_MIX = ((Opcode.VADDW, 1), (Opcode.VSHIFT, 1),
+                            (Opcode.VLOGICAL, 1))
+
+
+@register_workload("adpcm_codec", family="adpcm", params=AdpcmParameters,
+                   tiny=AdpcmParameters(blocks=2, block_samples=64),
+                   description="IMA ADPCM encode+decode: per-sample "
+                               "recurrences, deliberately poor vectorisation",
+                   tags=("mediabench-plus", "speech", "recurrence"))
+def build_adpcm_codec_program(flavor: ISAFlavor,
+                              params: AdpcmParameters = AdpcmParameters()
+                              ) -> KernelProgram:
+    """IMA ADPCM encode+decode program in the requested ISA flavour."""
+    space = AddressSpace()
+    total = params.blocks * params.block_samples
+    samples = space.allocate("samples", (total,), element_bytes=2)
+    codes = space.allocate("codes", (total,), element_bytes=1)
+    decoded = space.allocate("decoded", (params.blocks, params.block_samples),
+                             element_bytes=2)
+    output = space.allocate("output", (params.blocks, params.block_samples),
+                            element_bytes=2)
+    step_table = space.allocate("step_table", (89,), element_bytes=2)
+    index_table = space.allocate("index_table", (16,), element_bytes=2)
+
+    builder = KernelBuilder("adpcm_codec", flavor, address_space=space)
+
+    with builder.loop(params.blocks, name="block"):
+        # R0: encode (predict + quantise + pack), then decode (unpack +
+        # reconstruct).  All four passes are per-sample recurrences.
+        with builder.region("R0", "Predictor recurrences and (de)quantisation",
+                            vectorizable=False):
+            common.emit_recursive_filter(
+                builder, samples, codes, samples=params.block_samples, taps=2,
+                work_mix=_QUANT_WORK_MIX + ((Opcode.ADD, params.scalar_work),),
+                label="enc_predict")
+            common.emit_bitstream_encoder(
+                builder, samples, step_table, codes,
+                count=params.block_samples,
+                work_mix=_QUANT_WORK_MIX, lookups=2, label="nibble_pack")
+            common.emit_table_decoder(
+                builder, codes, index_table, codes,
+                count=params.block_samples,
+                work_mix=_RECON_WORK_MIX + ((Opcode.ADD, params.scalar_work),),
+                lookups=2, label="dec_step")
+            common.emit_recursive_filter(
+                builder, codes, decoded, samples=params.block_samples, taps=2,
+                work_mix=_RECON_WORK_MIX, label="dec_predict")
+
+    # R1: the only data-parallel part — de-interleave the decoded blocks
+    with builder.region("R1", "Block de-interleave", vectorizable=True):
+        if flavor is ISAFlavor.SCALAR:
+            common.emit_elementwise_scalar(
+                builder, [decoded], [output], params.blocks,
+                params.block_samples, _DEINTERLEAVE_SCALAR_MIX,
+                element_bytes=2, label="deint")
+        elif flavor is ISAFlavor.USIMD:
+            common.emit_elementwise_usimd(
+                builder, [decoded], [output], params.blocks,
+                params.block_samples, _DEINTERLEAVE_PACKED_MIX,
+                element_bytes=2, label="deint")
+        else:
+            common.emit_elementwise_vector(
+                builder, [decoded], [output], params.blocks,
+                params.block_samples, _DEINTERLEAVE_VECTOR_MIX,
+                vl=16, element_bytes=2, label="deint")
+    return builder.program()

@@ -30,7 +30,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 from repro.compiler.builder import KernelBuilder
-from repro.compiler.ir import AddressExpr, LoopVar
+from repro.compiler.ir import AddressExpr, ISAFlavor, LoopVar
 from repro.isa.operations import Opcode
 from repro.memory.layout import ArraySpec
 
@@ -45,6 +45,7 @@ __all__ = [
     "emit_block_transform_scalar",
     "emit_block_transform_usimd",
     "emit_block_transform_vector",
+    "emit_dot_product",
     "emit_bitstream_encoder",
     "emit_table_decoder",
     "emit_recursive_filter",
@@ -294,6 +295,63 @@ def emit_block_transform_vector(builder: KernelBuilder, source: ArraySpec,
                            comment=f"{label} vstore lo")
             builder.vstore(out.shifted(64), chains[1], vl=8, stride_bytes=8,
                            comment=f"{label} vstore hi")
+
+
+# ---------------------------------------------------------------------------
+# reduction kernels
+# ---------------------------------------------------------------------------
+
+def emit_dot_product(builder: KernelBuilder, a: ArraySpec, a_offset, b: ArraySpec,
+                     b_offset, samples: int, label: str) -> None:
+    """One fixed-length 16-bit dot product in the current ISA flavour.
+
+    ``a_offset`` / ``b_offset`` are affine address expressions pointing at
+    the first sample of each operand (already including any loop terms of
+    the caller).  Vector flavour: multiply-accumulate into a packed
+    accumulator, reduced by ``SUM``; µSIMD: ``pmaddwd`` over packed words
+    of four samples; scalar: one multiply-add per sample.  Used by the GSM
+    correlation kernels and the FIR filter bank.
+    """
+    words = max(1, samples // 4)
+    if builder.flavor is ISAFlavor.VECTOR:
+        vl = min(16, words)
+        chunks, tail = divmod(words, vl)
+        builder.setvl(vl)
+        acc = builder.acc_clear(comment=f"{label} acc=0")
+        with builder.loop(chunks, name=f"{label}_chunk") as chunk:
+            va = builder.vload(a_offset.with_term(chunk, vl * 8), vl=vl, stride_bytes=8,
+                               comment=f"{label} vload a")
+            vb = builder.vload(b_offset.with_term(chunk, vl * 8), vl=vl, stride_bytes=8,
+                               comment=f"{label} vload b")
+            builder.vmac(acc, va, vb, vl=vl, comment=f"{label} vmac")
+        if tail:
+            # remainder words when the operand is not a whole number of
+            # vectors — the same MACs the other flavours model
+            builder.setvl(tail)
+            va = builder.vload(a_offset.shifted(chunks * vl * 8), vl=tail,
+                               stride_bytes=8, comment=f"{label} vload a tail")
+            vb = builder.vload(b_offset.shifted(chunks * vl * 8), vl=tail,
+                               stride_bytes=8, comment=f"{label} vload b tail")
+            builder.vmac(acc, va, vb, vl=tail, comment=f"{label} vmac tail")
+        builder.vsum(acc, comment=f"{label} sum")
+    elif builder.flavor is ISAFlavor.USIMD:
+        total = builder.iop(Opcode.MOV, comment=f"{label} acc=0")
+        with builder.loop(words, name=f"{label}_word") as word:
+            ma = builder.mload(a_offset.with_term(word, 8), comment=f"{label} mload a")
+            mb = builder.mload(b_offset.with_term(word, 8), comment=f"{label} mload b")
+            prod = builder.simd(Opcode.PMADDWD, ma, mb, subwords=4,
+                                comment=f"{label} pmaddwd")
+            partial = builder.simd(Opcode.PADDW, prod, subwords=2,
+                                   comment=f"{label} pair add")
+            total = builder.iop(Opcode.ADD, srcs=(total, partial),
+                                comment=f"{label} acc +=")
+    else:
+        total = builder.iop(Opcode.MOV, comment=f"{label} acc=0")
+        with builder.loop(samples, name=f"{label}_n") as n:
+            va = builder.load(a_offset.with_term(n, 2), comment=f"{label} load a")
+            vb = builder.load(b_offset.with_term(n, 2), comment=f"{label} load b")
+            prod = builder.iop(Opcode.MUL, srcs=(va, vb), comment=f"{label} mul")
+            total = builder.iop(Opcode.ADD, srcs=(total, prod), comment=f"{label} acc +=")
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,24 @@
+"""FIR filter bank (audio analysis front-end).
+
+A bank of FIR filters applied to one input stream — the shape of audio
+equalisers, sub-band coders (MP2/MPEG audio polyphase analysis) and
+feature front-ends.  Every output sample is an independent dot product of
+the tap vector with a window of the input, so the kernel is embarrassingly
+data-parallel, but unlike the paper's streaming kernels it reads **long
+strided streams**: each band walks the whole input again, and the windows
+of consecutive outputs overlap by all but one sample.
+
+* :mod:`repro.workloads.fir.filterbank` — functional NumPy reference plus
+  µSIMD (``pmaddwd``) and Vector-µSIMD (packed-accumulator ``VMAC``)
+  flavours, bit-identical;
+* :mod:`repro.workloads.fir.programs` — the ``fir_bank`` kernel program
+  registered with the workload registry.
+"""
+
+from repro.workloads.fir.filterbank import (
+    fir_bank_reference,
+    fir_bank_usimd,
+    fir_bank_vector,
+)
+
+__all__ = ["fir_bank_reference", "fir_bank_usimd", "fir_bank_vector"]

@@ -1,0 +1,102 @@
+"""Kernel program (timing model) for the FIR filter bank.
+
+Region structure:
+
+``fir_bank``
+    * R1 — the filter bank proper: for every band and every output
+      sample, a ``taps``-long dot product of the coefficient vector with
+      a sliding window of the input.  Unlike the suite's streaming
+      kernels, the memory behaviour is dominated by **long strided
+      streams**: every band re-walks the whole input, consecutive
+      windows overlap by all but one sample, and the interleaved output
+      is written with a ``bands``-element stride;
+    * R0 — gain normalisation (an AGC first-order recurrence over the
+      output) and stream bookkeeping, serial as in every scalar region.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.compiler.builder import KernelBuilder
+from repro.compiler.ir import ISAFlavor, KernelProgram
+from repro.isa.operations import Opcode
+from repro.memory.layout import AddressSpace
+from repro.workloads import common
+from repro.workloads.registry import register_workload
+
+__all__ = ["FirBankParameters", "build_fir_bank_program"]
+
+
+@dataclass(frozen=True)
+class FirBankParameters:
+    """Input geometry of the FIR filter-bank benchmark."""
+
+    #: filters in the bank (MPEG-audio style analysis uses 32; reduced)
+    bands: int = 8
+    #: taps per filter (multiple of four: packed-word alignment)
+    taps: int = 32
+    #: output samples computed per band
+    samples: int = 480
+    #: extra scalar work per output sample in the normalisation pass
+    scalar_work: int = 10
+
+    def __post_init__(self) -> None:
+        if self.bands < 1:
+            raise ValueError("need at least one band")
+        if self.taps < 4 or self.taps % 4:
+            raise ValueError("taps must be a positive multiple of 4")
+        if self.samples < 1:
+            raise ValueError("need at least one output sample")
+
+
+_AGC_WORK_MIX = ((Opcode.MUL, 1), (Opcode.ADD, 2), (Opcode.SHR, 1),
+                 (Opcode.CMP, 1))
+
+
+@register_workload("fir_bank", family="fir", params=FirBankParameters,
+                   tiny=FirBankParameters(bands=2, taps=16, samples=48),
+                   description="Audio FIR filter bank: long strided streams, "
+                               "packed multiply-accumulate",
+                   tags=("mediabench-plus", "speech", "streaming"))
+def build_fir_bank_program(flavor: ISAFlavor,
+                           params: FirBankParameters = FirBankParameters()
+                           ) -> KernelProgram:
+    """FIR filter-bank program in the requested ISA flavour."""
+    space = AddressSpace()
+    stream = space.allocate("stream", (params.samples + params.taps,),
+                            element_bytes=2)
+    coeffs = space.allocate("coeffs", (params.bands, params.taps),
+                            element_bytes=2)
+    outputs = space.allocate("outputs", (params.samples, params.bands),
+                             element_bytes=8)
+    gains = space.allocate("gains", (params.bands,), element_bytes=8)
+
+    builder = KernelBuilder("fir_bank", flavor, address_space=space)
+    taps_bytes = params.taps * 2
+    out_row = params.bands * 8
+
+    # R1: every band walks the whole input stream again (long streams); the
+    # window of output n starts at sample n (overlap of taps-1 samples)
+    with builder.region("R1", "FIR filter bank", vectorizable=True):
+        with builder.loop(params.bands, name="band") as band:
+            taps_base = builder.addr(coeffs, (band, taps_bytes))
+            with builder.loop(params.samples, name="out") as out:
+                window = builder.addr(stream, (out, 2))
+                common.emit_dot_product(builder, stream, window,
+                                        coeffs, taps_base, params.taps,
+                                        label="fir")
+                builder.store(builder.addr(outputs, (out, out_row), (band, 8)),
+                              builder.iop(Opcode.MOV, comment="fir result"),
+                              comment="store interleaved output")
+
+    # R0: AGC recurrence over the interleaved output plus bookkeeping
+    with builder.region("R0", "Gain normalisation", vectorizable=False):
+        common.emit_recursive_filter(
+            builder, outputs, outputs, samples=params.samples, taps=2,
+            work_mix=_AGC_WORK_MIX + ((Opcode.ADD, params.scalar_work),),
+            element_bytes=8, label="agc")
+        common.emit_bitstream_encoder(
+            builder, outputs, gains, outputs, count=params.bands * 8,
+            work_mix=_AGC_WORK_MIX, lookups=1, label="gain_pack")
+    return builder.program()

@@ -31,6 +31,7 @@ from repro.memory.layout import AddressSpace, ArraySpec
 from repro.workloads import common
 from repro.workloads.gsm.autocorr import GSM_FRAME_SAMPLES, GSM_LAGS
 from repro.workloads.gsm.ltp import LTP_MAX_LAG, LTP_MIN_LAG, SUBSEGMENT_SAMPLES
+from repro.workloads.registry import register_workload
 
 __all__ = ["GsmParameters", "build_gsm_enc_program", "build_gsm_dec_program"]
 
@@ -69,46 +70,16 @@ _SCHUR_WORK_MIX = ((Opcode.MUL, 2), (Opcode.ADD, 3), (Opcode.SHR, 1), (Opcode.CM
 _RPE_WORK_MIX = ((Opcode.ADD, 4), (Opcode.CMP, 2), (Opcode.SHR, 2))
 
 
-def _emit_dot_product(builder: KernelBuilder, a: ArraySpec, a_offset, b: ArraySpec,
-                      b_offset, samples: int, label: str) -> None:
-    """One fixed-length 16-bit dot product in the current ISA flavour.
-
-    ``a_offset`` / ``b_offset`` are affine address expressions pointing at
-    the first sample of each operand (already including any loop terms of
-    the caller).
-    """
-    words = max(1, samples // 4)
-    if builder.flavor is ISAFlavor.VECTOR:
-        vl = min(16, words)
-        chunks = max(1, words // vl)
-        builder.setvl(vl)
-        acc = builder.acc_clear(comment=f"{label} acc=0")
-        with builder.loop(chunks, name=f"{label}_chunk") as chunk:
-            va = builder.vload(a_offset.with_term(chunk, vl * 8), vl=vl, stride_bytes=8,
-                               comment=f"{label} vload a")
-            vb = builder.vload(b_offset.with_term(chunk, vl * 8), vl=vl, stride_bytes=8,
-                               comment=f"{label} vload b")
-            builder.vmac(acc, va, vb, vl=vl, comment=f"{label} vmac")
-        builder.vsum(acc, comment=f"{label} sum")
-    elif builder.flavor is ISAFlavor.USIMD:
-        total = builder.iop(Opcode.MOV, comment=f"{label} acc=0")
-        with builder.loop(words, name=f"{label}_word") as word:
-            ma = builder.mload(a_offset.with_term(word, 8), comment=f"{label} mload a")
-            mb = builder.mload(b_offset.with_term(word, 8), comment=f"{label} mload b")
-            prod = builder.simd(Opcode.PMADDWD, ma, mb, subwords=4,
-                                comment=f"{label} pmaddwd")
-            partial = builder.simd(Opcode.PADDW, prod, subwords=2,
-                                   comment=f"{label} pair add")
-            total = builder.iop(Opcode.ADD, srcs=(total,), comment=f"{label} acc +=")
-    else:
-        total = builder.iop(Opcode.MOV, comment=f"{label} acc=0")
-        with builder.loop(samples, name=f"{label}_n") as n:
-            va = builder.load(a_offset.with_term(n, 2), comment=f"{label} load a")
-            vb = builder.load(b_offset.with_term(n, 2), comment=f"{label} load b")
-            prod = builder.iop(Opcode.MUL, srcs=(va, vb), comment=f"{label} mul")
-            total = builder.iop(Opcode.ADD, srcs=(total, prod), comment=f"{label} acc +=")
+#: The fixed-length dot product all three GSM correlation kernels reduce
+#: to — now the shared :func:`repro.workloads.common.emit_dot_product`
+#: (the FIR filter bank of the extended suite uses the same emitter).
+_emit_dot_product = common.emit_dot_product
 
 
+@register_workload("gsm_enc", family="gsm", params=GsmParameters,
+                   tiny=GsmParameters(frames=1),
+                   description="GSM encoder: LTP parameters, autocorrelation",
+                   tags=("mediabench", "mediabench-plus", "speech"))
 def build_gsm_enc_program(flavor: ISAFlavor,
                           params: GsmParameters = GsmParameters()) -> KernelProgram:
     """GSM full-rate encoder program in the requested ISA flavour."""
@@ -192,6 +163,10 @@ def build_gsm_enc_program(flavor: ISAFlavor,
     return builder.program()
 
 
+@register_workload("gsm_dec", family="gsm", params=GsmParameters,
+                   tiny=GsmParameters(frames=1),
+                   description="GSM decoder: long-term filtering",
+                   tags=("mediabench", "mediabench-plus", "speech"))
 def build_gsm_dec_program(flavor: ISAFlavor,
                           params: GsmParameters = GsmParameters()) -> KernelProgram:
     """GSM full-rate decoder program in the requested ISA flavour."""

@@ -32,6 +32,7 @@ from repro.compiler.ir import ISAFlavor, KernelProgram
 from repro.isa.operations import Opcode
 from repro.memory.layout import AddressSpace
 from repro.workloads import common
+from repro.workloads.registry import register_workload
 
 __all__ = ["JpegParameters", "build_jpeg_enc_program", "build_jpeg_dec_program"]
 
@@ -212,6 +213,11 @@ def _emit_quantisation(builder: KernelBuilder, space: AddressSpace,
 # encoder
 # ---------------------------------------------------------------------------
 
+@register_workload("jpeg_enc", family="jpeg", params=JpegParameters,
+                   tiny=JpegParameters(width=32, height=32),
+                   description="JPEG encoder: colour conversion, forward DCT, "
+                               "quantisation",
+                   tags=("mediabench", "mediabench-plus", "image"))
 def build_jpeg_enc_program(flavor: ISAFlavor,
                            params: JpegParameters = JpegParameters()) -> KernelProgram:
     """JPEG encoder program in the requested ISA flavour."""
@@ -247,6 +253,11 @@ def build_jpeg_enc_program(flavor: ISAFlavor,
 # decoder
 # ---------------------------------------------------------------------------
 
+@register_workload("jpeg_dec", family="jpeg", params=JpegParameters,
+                   tiny=JpegParameters(width=32, height=32),
+                   description="JPEG decoder: colour conversion, h2v2 "
+                               "up-sampling",
+                   tags=("mediabench", "mediabench-plus", "image"))
 def build_jpeg_dec_program(flavor: ISAFlavor,
                            params: JpegParameters = JpegParameters()) -> KernelProgram:
     """JPEG decoder program in the requested ISA flavour."""

@@ -33,6 +33,7 @@ from repro.compiler.ir import ISAFlavor, KernelProgram
 from repro.isa.operations import Opcode
 from repro.memory.layout import AddressSpace, ArraySpec
 from repro.workloads import common
+from repro.workloads.registry import register_workload
 
 __all__ = ["Mpeg2Parameters", "build_mpeg2_enc_program", "build_mpeg2_dec_program"]
 
@@ -182,6 +183,12 @@ def _emit_sad_scalar(builder: KernelBuilder, cur_addr, ref_addr, row_stride: int
 # encoder
 # ---------------------------------------------------------------------------
 
+@register_workload("mpeg2_enc", family="mpeg2", params=Mpeg2Parameters,
+                   tiny=Mpeg2Parameters(width=32, height=32, frames=1,
+                                        search_radius=1),
+                   description="MPEG-2 encoder: motion estimation, "
+                               "forward/inverse DCT",
+                   tags=("mediabench", "mediabench-plus", "video"))
 def build_mpeg2_enc_program(flavor: ISAFlavor,
                             params: Mpeg2Parameters = Mpeg2Parameters()) -> KernelProgram:
     """MPEG-2 encoder program in the requested ISA flavour."""
@@ -255,6 +262,12 @@ def build_mpeg2_enc_program(flavor: ISAFlavor,
 # decoder
 # ---------------------------------------------------------------------------
 
+@register_workload("mpeg2_dec", family="mpeg2", params=Mpeg2Parameters,
+                   tiny=Mpeg2Parameters(width=32, height=32, frames=1,
+                                        search_radius=1),
+                   description="MPEG-2 decoder: prediction, inverse DCT, "
+                               "add block",
+                   tags=("mediabench", "mediabench-plus", "video"))
 def build_mpeg2_dec_program(flavor: ISAFlavor,
                             params: Mpeg2Parameters = Mpeg2Parameters()) -> KernelProgram:
     """MPEG-2 decoder program in the requested ISA flavour."""

@@ -1,0 +1,375 @@
+"""The pluggable workload registry.
+
+The paper's evaluation freezes the benchmark suite at six MediaBench-style
+applications.  This module opens the *workload* dimension the same way
+:func:`repro.machine.config.register_config` opened the *machine* dimension:
+every benchmark is a :class:`WorkloadDefinition` published through the
+:func:`register_workload` decorator, and everything downstream —
+:func:`repro.workloads.suite.build_suite`, the experiment engine, the
+result store, the design-space explorer and the ``python -m repro`` CLI —
+resolves benchmarks by registry name.
+
+A workload declares:
+
+* its **builders**: one function ``builder(flavor, params)`` returning a
+  :class:`~repro.compiler.ir.KernelProgram` for each of the three ISA
+  flavours (scalar / µSIMD / Vector-µSIMD) — one callable, dispatched on
+  ``flavor``, exactly like the six shipped benchmarks;
+* its **parameter family**: the name and dataclass of its input-geometry
+  parameters, plus canonical *default* (published-results) and *tiny*
+  (unit-test) instances.  Workloads of one application share a family
+  (``jpeg_enc`` and ``jpeg_dec`` both read ``params.jpeg``), and
+  :meth:`~repro.workloads.suite.SuiteParameters.tiny` is assembled from the
+  registered families;
+* its **tags**: free-form labels (``"mediabench"``, ``"mediabench-plus"``,
+  ``"stencil"``, …) the CLI's ``tag:`` selectors filter on.
+
+Registration is process-local, like the machine-config registry: worker
+processes re-register extra workloads on pool initialisation (see
+:func:`repro.core.runner.execute_requests`), so the registry itself never
+crosses a process boundary.  The shipped workloads are protected — their
+names cannot be shadowed — while user registrations behave exactly like
+the explorer's generated machine configurations.
+
+See ``docs/workloads.md`` for the authoring guide.
+"""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, Optional, Tuple
+
+__all__ = [
+    "WorkloadDefinition",
+    "register_workload",
+    "register_workload_definition",
+    "unregister_workload",
+    "get_workload",
+    "registered_workloads",
+    "workload_names",
+    "family_parameters",
+    "registered_families",
+    "select_benchmarks",
+    "user_workload_definitions",
+    "ensure_builtin_workloads",
+]
+
+#: Tag shared by the paper's original six benchmarks.
+MEDIABENCH_TAG = "mediabench"
+#: Tag shared by the extended ten-benchmark suite (the original six plus
+#: the four access-pattern kernels this registry added).
+MEDIABENCH_PLUS_TAG = "mediabench-plus"
+
+#: The program modules whose import populates the built-in registry (their
+#: ``@register_workload`` decorators run at import time).  Order matters:
+#: it fixes the presentation order of ``workload_names()`` and therefore of
+#: every figure/table that iterates an extended suite.
+_BUILTIN_MODULES: Tuple[str, ...] = (
+    "repro.workloads.jpeg.programs",
+    "repro.workloads.mpeg2.programs",
+    "repro.workloads.gsm.programs",
+    "repro.workloads.viterbi.programs",
+    "repro.workloads.fir.programs",
+    "repro.workloads.sobel.programs",
+    "repro.workloads.adpcm.programs",
+)
+
+#: Canonical presentation order of the shipped benchmarks (the paper's six
+#: in figure order, then the extended-suite kernels).  Registration order
+#: depends on which module happens to be imported first; this pins the
+#: order ``workload_names()`` and the CLI report in regardless.
+_BUILTIN_ORDER: Tuple[str, ...] = (
+    "jpeg_enc", "jpeg_dec", "mpeg2_enc", "mpeg2_dec", "gsm_enc", "gsm_dec",
+    "viterbi_dec", "fir_bank", "sobel_edge", "adpcm_codec",
+)
+
+
+@dataclass(frozen=True)
+class WorkloadDefinition:
+    """One registered benchmark: builders, parameters, description, tags."""
+
+    #: Registry name (the benchmark name used by ``RunRequest``, the CLI,
+    #: the store's advisory context and every report row).
+    name: str
+    #: Parameter-family name: the attribute of
+    #: :class:`~repro.workloads.suite.SuiteParameters` (or ``extras`` key)
+    #: holding this workload's parameter dataclass.
+    family: str
+    #: ``builder(flavor, params) -> KernelProgram`` for all three flavours.
+    #: Must be a module-level callable so definitions pickle across worker
+    #: processes.
+    builder: Callable
+    #: The parameter dataclass (``builder``'s second argument type).
+    params_type: type
+    #: Canonical full-size parameters (the published-results inputs).
+    default_params: object
+    #: Reduced parameters for unit tests (seconds, not minutes).
+    tiny_params: object
+    #: One-line description shown by ``python -m repro bench list``.
+    description: str = ""
+    #: Free-form labels for ``tag:`` selectors.
+    tags: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("a workload needs a non-empty name")
+        if not self.family:
+            raise ValueError(f"workload {self.name!r} needs a parameter family")
+        if not callable(self.builder):
+            raise TypeError(f"workload {self.name!r}: builder must be callable")
+        for params, label in ((self.default_params, "default"),
+                              (self.tiny_params, "tiny")):
+            if not isinstance(params, self.params_type):
+                raise TypeError(
+                    f"workload {self.name!r}: {label} parameters must be a "
+                    f"{self.params_type.__name__}, got {type(params).__name__}")
+
+    def has_tag(self, tag: str) -> bool:
+        return tag in self.tags
+
+
+#: name -> definition, in registration order (= presentation order).
+_WORKLOADS: Dict[str, WorkloadDefinition] = {}
+#: Names registered by the shipped program modules; protected from shadowing.
+_BUILTIN_NAMES: set = set()
+#: Families of the shipped benchmarks; their parameter contracts are
+#: protected from replacement (a corrupted contract would break the
+#: shipped builders through ``SuiteParameters``).
+_BUILTIN_FAMILIES: set = set()
+#: family -> (params_type, default, tiny); shared across a family's workloads.
+_FAMILIES: Dict[str, Tuple[type, object, object]] = {}
+
+_builtins_loaded = False
+
+
+def ensure_builtin_workloads() -> None:
+    """Import the shipped program modules so their registrations run.
+
+    Idempotent; called lazily by every lookup so library users never have
+    to know about import-time registration.
+    """
+    global _builtins_loaded
+    if _builtins_loaded:
+        return
+    _builtins_loaded = True  # set first: the imports below re-enter lookups
+    try:
+        for module in _BUILTIN_MODULES:
+            importlib.import_module(module)
+    except BaseException:
+        # a failed import must not poison the registry: leave it retryable
+        # so the *next* lookup surfaces the same root-cause ImportError
+        # instead of mysterious "unknown benchmark" KeyErrors forever after
+        _builtins_loaded = False
+        raise
+    _BUILTIN_NAMES.update(_WORKLOADS)
+    _BUILTIN_FAMILIES.update(d.family for d in _WORKLOADS.values())
+    # pin the canonical order: shipped benchmarks first (in _BUILTIN_ORDER),
+    # then anything a user registered before the builtins finished loading
+    ordered = {name: _WORKLOADS[name] for name in _BUILTIN_ORDER
+               if name in _WORKLOADS}
+    ordered.update(_WORKLOADS)
+    _WORKLOADS.clear()
+    _WORKLOADS.update(ordered)
+
+
+def register_workload_definition(definition: WorkloadDefinition,
+                                 overwrite: bool = False) -> WorkloadDefinition:
+    """Publish a workload definition (the non-decorator registration form).
+
+    Mirrors :func:`repro.machine.config.register_config`: re-registering an
+    identical definition is a no-op, registering a *different* definition
+    under an existing name raises unless ``overwrite`` is set, and the
+    shipped benchmark names can never be shadowed.  The family's parameter
+    contract (dataclass type, default and tiny instances) must agree with
+    any workload already registered in the same family.  Returns
+    ``definition`` for chaining.
+    """
+    if definition.name in _BUILTIN_NAMES:
+        raise ValueError(
+            f"{definition.name!r} is a shipped benchmark and cannot be "
+            f"overridden")
+    existing = _WORKLOADS.get(definition.name)
+    if existing is not None and existing != definition and not overwrite:
+        raise ValueError(
+            f"a different workload is already registered as "
+            f"{definition.name!r}; pass overwrite=True to replace it")
+    family = _FAMILIES.get(definition.family)
+    contract = (definition.params_type, definition.default_params,
+                definition.tiny_params)
+    if family is not None and family != contract:
+        # ``overwrite`` never licenses changing a contract out from under
+        # other workloads: the shipped families are permanently protected,
+        # and a user family can only be re-contracted once no *other*
+        # workload still builds with it (for_family would otherwise feed
+        # the wrong dataclass to the sibling's builder)
+        if definition.family in _BUILTIN_FAMILIES:
+            raise ValueError(
+                f"workload {definition.name!r}: {definition.family!r} is a "
+                f"shipped parameter family and its contract cannot be "
+                f"changed")
+        if not overwrite:
+            raise ValueError(
+                f"workload {definition.name!r} declares family "
+                f"{definition.family!r} with a parameter contract that "
+                f"differs from the family's registered one")
+        siblings = [d.name for d in _WORKLOADS.values()
+                    if d.family == definition.family
+                    and d.name != definition.name]
+        if siblings:
+            raise ValueError(
+                f"cannot change the parameter contract of family "
+                f"{definition.family!r}: workloads {siblings!r} still "
+                f"build with it")
+    _WORKLOADS[definition.name] = definition
+    _FAMILIES[definition.family] = contract
+    return definition
+
+
+def register_workload(name: str, *, family: str, params: type,
+                      default: object = None, tiny: object = None,
+                      description: str = "",
+                      tags: Iterable[str] = (),
+                      overwrite: bool = False) -> Callable:
+    """Decorator form of workload registration.
+
+    Apply to the builder function::
+
+        @register_workload("sobel_edge", family="sobel",
+                           params=SobelParameters,
+                           tiny=SobelParameters(width=32, height=24),
+                           description="3x3 Sobel gradient stencil",
+                           tags=("mediabench-plus", "stencil"))
+        def build_sobel_edge_program(flavor, params): ...
+
+    ``default`` falls back to ``params()`` (the dataclass default
+    construction) and ``tiny`` falls back to ``default`` — always provide
+    a real tiny size, or the test suites will simulate this workload at
+    full size.  Returns the builder unchanged so the module can still
+    export and call it directly.
+    """
+    default_params = default if default is not None else params()
+    tiny_params = tiny if tiny is not None else default_params
+
+    def decorate(builder: Callable) -> Callable:
+        register_workload_definition(
+            WorkloadDefinition(name=name, family=family, builder=builder,
+                               params_type=params,
+                               default_params=default_params,
+                               tiny_params=tiny_params,
+                               description=description, tags=tuple(tags)),
+            overwrite=overwrite)
+        return builder
+
+    return decorate
+
+
+def unregister_workload(name: str) -> None:
+    """Remove a user-registered workload (shipped names are protected).
+
+    The family's parameter contract is released with the last workload
+    registered in it, so the family name becomes reusable (possibly with
+    a different dataclass) and :meth:`SuiteParameters.tiny` stops carrying
+    sizes for it.
+    """
+    if name in _BUILTIN_NAMES:
+        raise ValueError(f"{name!r} is a shipped benchmark and cannot be "
+                         f"unregistered")
+    definition = _WORKLOADS.pop(name, None)
+    if definition is not None and not any(
+            d.family == definition.family for d in _WORKLOADS.values()):
+        _FAMILIES.pop(definition.family, None)
+
+
+def get_workload(name: str) -> WorkloadDefinition:
+    """Look up one workload by registry name.
+
+    Unknown names raise ``KeyError`` listing the known benchmarks, exactly
+    like :func:`repro.machine.config.get_config` does for machines.
+    """
+    ensure_builtin_workloads()
+    definition = _WORKLOADS.get(name)
+    if definition is None:
+        known = ", ".join(_WORKLOADS)
+        raise KeyError(f"unknown benchmark {name!r}; known: {known}")
+    return definition
+
+
+def registered_workloads() -> Dict[str, WorkloadDefinition]:
+    """Snapshot of the registry (shipped and user entries), in order."""
+    ensure_builtin_workloads()
+    return dict(_WORKLOADS)
+
+
+def workload_names(tag: Optional[str] = None) -> Tuple[str, ...]:
+    """Registered benchmark names, optionally restricted to one tag."""
+    ensure_builtin_workloads()
+    if tag is None:
+        return tuple(_WORKLOADS)
+    return tuple(name for name, definition in _WORKLOADS.items()
+                 if definition.has_tag(tag))
+
+
+def user_workload_definitions() -> Dict[str, WorkloadDefinition]:
+    """The registry entries users added on top of the shipped benchmarks.
+
+    These are the definitions that ride along to pool workers: a shipped
+    benchmark re-registers itself when its program module is imported, but
+    a user registration exists only in the process that made it.
+    :func:`repro.core.runner.execute_requests` forwards this mapping to
+    every worker's initialiser (the definitions must pickle — in practice,
+    the builder must be a module-level callable) to keep worker registry
+    state consistent with the parent's; the execution hot path itself runs
+    from pre-built, pickled specs and does not consult the registry.
+    """
+    ensure_builtin_workloads()
+    return {name: definition for name, definition in _WORKLOADS.items()
+            if name not in _BUILTIN_NAMES}
+
+
+def registered_families() -> Dict[str, Tuple[type, object, object]]:
+    """family -> (params_type, default, tiny) for every registered family."""
+    ensure_builtin_workloads()
+    return dict(_FAMILIES)
+
+
+def family_parameters(family: str, tiny: bool = False) -> object:
+    """The registered default (or tiny) parameter instance of one family."""
+    ensure_builtin_workloads()
+    try:
+        params_type, default, tiny_params = _FAMILIES[family]
+    except KeyError as exc:
+        known = ", ".join(_FAMILIES)
+        raise KeyError(f"unknown parameter family {family!r}; "
+                       f"known: {known}") from exc
+    return tiny_params if tiny else default
+
+
+def select_benchmarks(selectors: Iterable[str]) -> Tuple[str, ...]:
+    """Resolve CLI-style benchmark selectors to registry names.
+
+    Each selector is a benchmark name, ``tag:<tag>`` (every benchmark
+    carrying the tag), or ``all`` (every registered benchmark).  The result
+    is de-duplicated and ordered by registry (presentation) order.  Unknown
+    names raise ``KeyError``; a tag matching nothing raises ``ValueError``
+    so a typo cannot silently select an empty suite.
+    """
+    ensure_builtin_workloads()
+    chosen: Dict[str, None] = {}
+    for selector in selectors:
+        if selector == "all":
+            for name in _WORKLOADS:
+                chosen.setdefault(name)
+        elif selector.startswith("tag:"):
+            tag = selector[len("tag:"):]
+            matches = workload_names(tag)
+            if not matches:
+                known = sorted({t for d in _WORKLOADS.values() for t in d.tags})
+                raise ValueError(f"no benchmark carries tag {tag!r}; "
+                                 f"known tags: {', '.join(known)}")
+            for name in matches:
+                chosen.setdefault(name)
+        else:
+            chosen.setdefault(get_workload(selector).name)
+    ordered = tuple(name for name in _WORKLOADS if name in chosen)
+    return ordered

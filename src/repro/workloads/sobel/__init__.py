@@ -1,0 +1,24 @@
+"""Sobel edge detection (2-D stencil).
+
+The classic 3×3 gradient operator: every output pixel combines the eight
+neighbours of its input pixel through the two Sobel kernels and takes
+``|Gx| + |Gy|`` saturated to a byte.  As a memory access pattern this is a
+**2-D stencil with neighbour reuse**: three adjacent input rows are live
+per output row, and consecutive rows re-read two of the three — the reuse
+pattern the vector cache rewards and none of the paper's six benchmarks
+exhibits (their streaming kernels touch each input element once).
+
+* :mod:`repro.workloads.sobel.stencil` — functional NumPy reference plus
+  µSIMD and Vector-µSIMD flavours, bit-identical;
+* :mod:`repro.workloads.sobel.programs` — the ``sobel_edge`` kernel
+  program registered with the workload registry, with a worked authoring
+  walkthrough in ``docs/workloads.md``.
+"""
+
+from repro.workloads.sobel.stencil import (
+    sobel_reference,
+    sobel_usimd,
+    sobel_vector,
+)
+
+__all__ = ["sobel_reference", "sobel_usimd", "sobel_vector"]

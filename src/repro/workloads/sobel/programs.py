@@ -1,0 +1,160 @@
+"""Kernel program (timing model) for Sobel edge detection.
+
+Region structure:
+
+``sobel_edge``
+    * R1 — the 3×3 gradient stencil: every output row reads three
+      adjacent input rows (centre plus the rows above and below, each
+      also shifted left and right).  Consecutive iterations re-read two
+      of the three rows, so the vector cache sees **neighbour reuse** —
+      the access pattern this kernel adds to the suite (the streaming
+      benchmarks touch every input element exactly once);
+    * R0 — border handling and the edge-strength histogram: per-row
+      bookkeeping with a table-driven chain, serial as in every scalar
+      region.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.compiler.builder import KernelBuilder
+from repro.compiler.ir import AddressExpr, ISAFlavor, KernelProgram
+from repro.isa.operations import Opcode
+from repro.memory.layout import AddressSpace
+from repro.workloads import common
+from repro.workloads.registry import register_workload
+
+__all__ = ["SobelParameters", "build_sobel_edge_program"]
+
+
+@dataclass(frozen=True)
+class SobelParameters:
+    """Input geometry of the Sobel stencil benchmark."""
+
+    width: int = 128
+    height: int = 96
+    #: extra scalar work per border/histogram step
+    scalar_work: int = 6
+
+    def __post_init__(self) -> None:
+        if self.width % 8 or self.height < 3:
+            raise ValueError("width must be a multiple of 8 (packed words) "
+                             "and height at least 3 rows")
+
+
+# |Gx| + |Gy| per pixel: the six differences, the doubling shifts, the two
+# absolute values (compare + conditional negate) and the saturating clip
+_SOBEL_SCALAR_MIX = ((Opcode.SUB, 4), (Opcode.ADD, 6), (Opcode.SHL, 2),
+                     (Opcode.CMP, 2), (Opcode.MOV, 1))
+_SOBEL_PACKED_MIX = ((Opcode.PSUBW, 4), (Opcode.PADDW, 6), (Opcode.PSHIFT, 3),
+                     (Opcode.PMINMAX, 2), (Opcode.UNPACK, 2), (Opcode.PACK, 1))
+_SOBEL_VECTOR_MIX = ((Opcode.VSUBW, 4), (Opcode.VADDW, 6), (Opcode.VSHIFT, 3),
+                     (Opcode.VLOGICAL, 2), (Opcode.VUNPACK, 2), (Opcode.VPACK, 1))
+
+#: per-row border/histogram work (R0)
+_BORDER_WORK_MIX = ((Opcode.ADD, 4), (Opcode.CMP, 2), (Opcode.SHR, 1),
+                    (Opcode.AND, 1))
+
+
+@register_workload("sobel_edge", family="sobel", params=SobelParameters,
+                   tiny=SobelParameters(width=32, height=24),
+                   description="Sobel edge detection: 2-D stencil with "
+                               "neighbour reuse in the vector cache",
+                   tags=("mediabench-plus", "image", "stencil"))
+def build_sobel_edge_program(flavor: ISAFlavor,
+                             params: SobelParameters = SobelParameters()
+                             ) -> KernelProgram:
+    """Sobel edge-detection program in the requested ISA flavour."""
+    space = AddressSpace()
+    image = space.allocate("image", (params.height, params.width),
+                           element_bytes=1)
+    edges = space.allocate("edges", (params.height, params.width),
+                           element_bytes=1)
+    histogram = space.allocate("histogram", (64,), element_bytes=2)
+    border = space.allocate("border", (2 * (params.height + params.width),),
+                            element_bytes=1)
+
+    builder = KernelBuilder("sobel_edge", flavor, address_space=space)
+    row_bytes = params.width
+    inner_rows = params.height - 2
+    words_per_row = params.width // 8
+
+    def row_addr(array, row_var, row_shift: int, byte_shift: int = 0) -> AddressExpr:
+        return (AddressExpr(base=array.base)
+                .with_term(row_var, row_bytes)
+                .shifted(row_shift * row_bytes + byte_shift))
+
+    # R1: one output row per iteration from three live input rows
+    with builder.region("R1", "3x3 gradient stencil", vectorizable=True):
+        with builder.loop(inner_rows, name="row") as row:
+            if flavor is ISAFlavor.VECTOR:
+                vl = min(16, words_per_row)
+                chunks, tail = divmod(words_per_row, vl)
+
+                def emit_stencil_chunk(chunk_vl, term=None, base_bytes=0):
+                    builder.setvl(chunk_vl)
+                    loaded = []
+                    # three rows, plus the left/right-shifted reloads the
+                    # unaligned neighbour accesses cause
+                    for shift, byte_shift in ((0, 0), (1, 0), (2, 0),
+                                              (0, 1), (2, 1)):
+                        address = row_addr(image, row, shift,
+                                           byte_shift + base_bytes)
+                        if term is not None:
+                            address = address.with_term(term, chunk_vl * 8)
+                        loaded.append(builder.vload(
+                            address, vl=chunk_vl, stride_bytes=8,
+                            comment=f"vload row+{shift}"))
+                    chains = common.emit_vector_mix(
+                        builder, _SOBEL_VECTOR_MIX, vl=chunk_vl, seeds=loaded,
+                        subwords=4, comment="sobel")
+                    out = row_addr(edges, row, 1, base_bytes)
+                    if term is not None:
+                        out = out.with_term(term, chunk_vl * 8)
+                    builder.vstore(out, chains[0], vl=chunk_vl, stride_bytes=8,
+                                   comment="vstore edge row")
+
+                with builder.loop(chunks, name="chunk") as chunk:
+                    emit_stencil_chunk(vl, term=chunk)
+                if tail:
+                    # remainder words of a row not word-aligned to the
+                    # vector length — same work as the other flavours
+                    emit_stencil_chunk(tail, base_bytes=chunks * vl * 8)
+            elif flavor is ISAFlavor.USIMD:
+                with builder.loop(words_per_row, name="word") as word:
+                    loaded = []
+                    for shift, byte_shift in ((0, 0), (1, 0), (2, 0),
+                                              (0, 1), (2, 1)):
+                        address = row_addr(image, row, shift, byte_shift
+                                           ).with_term(word, 8)
+                        loaded.append(builder.mload(
+                            address, comment=f"mload row+{shift}"))
+                    chains = common.emit_packed_mix(
+                        builder, _SOBEL_PACKED_MIX, seeds=loaded,
+                        subwords=4, comment="sobel")
+                    builder.mstore(row_addr(edges, row, 1).with_term(word, 8),
+                                   chains[0], comment="mstore edge word")
+            else:
+                with builder.loop(params.width - 2, name="col") as col:
+                    loaded = []
+                    for shift, byte_shift in ((0, 0), (1, 0), (2, 0),
+                                              (0, 2), (2, 2)):
+                        address = row_addr(image, row, shift, byte_shift
+                                           ).with_term(col, 1)
+                        loaded.append(builder.load8(
+                            address, comment=f"load row+{shift}"))
+                    chains = common.emit_scalar_mix(
+                        builder, _SOBEL_SCALAR_MIX, seeds=loaded,
+                        comment="sobel")
+                    builder.store8(row_addr(edges, row, 1, 1).with_term(col, 1),
+                                   chains[0], comment="store edge pixel")
+
+    # R0: border clearing and the edge-strength histogram
+    with builder.region("R0", "Border handling and histogram",
+                        vectorizable=False):
+        common.emit_table_decoder(
+            builder, border, histogram, border, count=params.height,
+            work_mix=_BORDER_WORK_MIX + ((Opcode.ADD, params.scalar_work),),
+            lookups=2, label="histogram")
+    return builder.program()

@@ -1,11 +1,20 @@
-"""The benchmark suite: the six applications of the paper's evaluation.
+"""The benchmark suite: the paper's six applications plus registered extras.
 
-:func:`build_suite` constructs every benchmark as a
-:class:`~repro.core.runner.BenchmarkSpec` (three programs — scalar, µSIMD and
-Vector-µSIMD — sharing the same scalar-region code).  Input sizes come from
-:class:`SuiteParameters`; the defaults are the reduced Mediabench stand-ins
-used for the published EXPERIMENTS.md numbers, and :meth:`SuiteParameters.tiny`
-gives a much smaller variant the unit tests use to keep simulation cheap.
+:func:`build_suite` constructs benchmarks as
+:class:`~repro.core.runner.BenchmarkSpec` instances (three programs —
+scalar, µSIMD and Vector-µSIMD — sharing the same scalar-region code).
+Benchmarks resolve through the :mod:`repro.workloads.registry`: the six
+applications of the paper's evaluation (:data:`BENCHMARK_NAMES`, tag
+``mediabench``) are registered by their program modules, the four
+access-pattern kernels of the extended suite (tag ``mediabench-plus``)
+likewise, and user workloads registered with
+:func:`~repro.workloads.registry.register_workload` build the same way.
+
+Input sizes come from :class:`SuiteParameters`; the defaults are the
+reduced Mediabench stand-ins used for the published report numbers (the
+output of ``python -m repro report``), and :meth:`SuiteParameters.tiny` —
+assembled from the tiny sizes each workload registered — gives a much
+smaller variant the unit tests use to keep simulation cheap.
 """
 
 from __future__ import annotations
@@ -15,77 +24,129 @@ from typing import Dict, Iterable, Tuple
 
 from repro.compiler.ir import ISAFlavor, KernelProgram
 from repro.core.runner import BenchmarkSpec
-from repro.workloads.gsm.programs import GsmParameters, build_gsm_dec_program, build_gsm_enc_program
-from repro.workloads.jpeg.programs import JpegParameters, build_jpeg_dec_program, build_jpeg_enc_program
-from repro.workloads.mpeg2.programs import Mpeg2Parameters, build_mpeg2_dec_program, build_mpeg2_enc_program
+from repro.workloads import registry
 
-__all__ = ["BENCHMARK_NAMES", "SuiteParameters", "build_benchmark", "build_suite"]
+# Populate the registry in its canonical (presentation) order before any
+# other import of the program modules can register entries alphabetically.
+registry.ensure_builtin_workloads()
 
-#: Benchmarks in the order the paper's figures present them.
+from repro.workloads.adpcm.programs import AdpcmParameters  # noqa: E402
+from repro.workloads.fir.programs import FirBankParameters  # noqa: E402
+from repro.workloads.gsm.programs import GsmParameters  # noqa: E402
+from repro.workloads.jpeg.programs import JpegParameters  # noqa: E402
+from repro.workloads.mpeg2.programs import Mpeg2Parameters  # noqa: E402
+from repro.workloads.sobel.programs import SobelParameters  # noqa: E402
+from repro.workloads.viterbi.programs import ViterbiParameters  # noqa: E402
+
+__all__ = [
+    "BENCHMARK_NAMES",
+    "EXTENDED_BENCHMARK_NAMES",
+    "SuiteParameters",
+    "build_benchmark",
+    "build_suite",
+]
+
+#: The paper's six benchmarks, in the order the figures present them.
+#: Every default report iterates exactly this tuple, which is what keeps
+#: the published output byte-stable as the registry grows.
 BENCHMARK_NAMES: Tuple[str, ...] = (
     "jpeg_enc", "jpeg_dec", "mpeg2_enc", "mpeg2_dec", "gsm_enc", "gsm_dec",
+)
+
+#: The extended ten-benchmark suite (``tag:mediabench-plus``): the paper's
+#: six plus the four access-pattern kernels (Viterbi ACS, FIR bank, Sobel
+#: stencil, ADPCM recurrence).
+EXTENDED_BENCHMARK_NAMES: Tuple[str, ...] = BENCHMARK_NAMES + (
+    "viterbi_dec", "fir_bank", "sobel_edge", "adpcm_codec",
 )
 
 
 @dataclass(frozen=True)
 class SuiteParameters:
-    """Input sizes for the whole suite (see DESIGN.md §6, reduced inputs)."""
+    """Input sizes for the whole suite, one field per parameter family.
 
-    jpeg: JpegParameters = JpegParameters(width=64, height=64)
-    mpeg2: Mpeg2Parameters = Mpeg2Parameters(width=64, height=64, frames=2,
-                                             search_radius=1)
-    gsm: GsmParameters = GsmParameters(frames=4)
+    The per-family defaults are the reduced inputs used for the published
+    report numbers.  Workloads registered under a family not listed here
+    (user extensions) are parameterised through :attr:`extras` — see
+    :meth:`with_family` — and otherwise fall back to the sizes their
+    registry entry declared.
+    """
+
+    jpeg: JpegParameters = JpegParameters()
+    mpeg2: Mpeg2Parameters = Mpeg2Parameters()
+    gsm: GsmParameters = GsmParameters()
+    viterbi: ViterbiParameters = ViterbiParameters()
+    fir: FirBankParameters = FirBankParameters()
+    sobel: SobelParameters = SobelParameters()
+    adpcm: AdpcmParameters = AdpcmParameters()
+    #: ``(family, params)`` pairs for families beyond the fields above.
+    extras: Tuple[Tuple[str, object], ...] = ()
+    #: Set by :meth:`tiny`: families not pinned by a field or an extras
+    #: entry (e.g. workloads registered *after* this instance was built)
+    #: fall back to their registered **tiny** sizes instead of the
+    #: full-size defaults, so a tiny instance stays tiny.
+    tiny_fallback: bool = False
 
     @staticmethod
     def default() -> "SuiteParameters":
-        """The sizes used for the published results in EXPERIMENTS.md."""
+        """The sizes used for the published ``python -m repro report``."""
         return SuiteParameters()
 
     @staticmethod
     def tiny() -> "SuiteParameters":
-        """Much smaller inputs for unit tests (seconds, not minutes)."""
-        return SuiteParameters(
-            jpeg=JpegParameters(width=32, height=32),
-            mpeg2=Mpeg2Parameters(width=32, height=32, frames=1, search_radius=1),
-            gsm=GsmParameters(frames=1),
-        )
+        """Much smaller inputs for unit tests (seconds, not minutes).
 
+        Assembled from the tiny sizes the registered workload families
+        declare, so a new kernel's test sizing lives next to its builder.
+        """
+        sizes = {family: registry.family_parameters(family, tiny=True)
+                 for family in registry.registered_families()}
+        # "extras" is a reserved field name, never a parameter family — a
+        # user family called "extras" must ride in the extras tuple too
+        fields = {name: sizes.pop(name) for name in list(sizes)
+                  if name in SuiteParameters.__dataclass_fields__
+                  and name not in ("extras", "tiny_fallback")}
+        return SuiteParameters(extras=tuple(sorted(sizes.items())),
+                               tiny_fallback=True, **fields)
 
-_BUILDERS = {
-    "jpeg_enc": ("jpeg", build_jpeg_enc_program,
-                 "JPEG encoder: colour conversion, forward DCT, quantisation"),
-    "jpeg_dec": ("jpeg", build_jpeg_dec_program,
-                 "JPEG decoder: colour conversion, h2v2 up-sampling"),
-    "mpeg2_enc": ("mpeg2", build_mpeg2_enc_program,
-                  "MPEG-2 encoder: motion estimation, forward/inverse DCT"),
-    "mpeg2_dec": ("mpeg2", build_mpeg2_dec_program,
-                  "MPEG-2 decoder: prediction, inverse DCT, add block"),
-    "gsm_enc": ("gsm", build_gsm_enc_program,
-                "GSM encoder: LTP parameters, autocorrelation"),
-    "gsm_dec": ("gsm", build_gsm_dec_program,
-                "GSM decoder: long-term filtering"),
-}
+    def with_family(self, family: str, params: object) -> "SuiteParameters":
+        """A copy carrying ``params`` for a custom (extra) family."""
+        extras = tuple((name, value) for name, value in self.extras
+                       if name != family) + ((family, params),)
+        return replace(self, extras=extras)
+
+    def for_family(self, family: str) -> object:
+        """The parameter instance benchmarks of ``family`` build with.
+
+        Resolution order: an :attr:`extras` entry, a dataclass field of
+        this instance, then the family's registered default sizes.
+        """
+        for name, params in self.extras:
+            if name == family:
+                return params
+        if (family in SuiteParameters.__dataclass_fields__
+                and family not in ("extras", "tiny_fallback")):
+            return getattr(self, family)
+        return registry.family_parameters(family, tiny=self.tiny_fallback)
 
 
 def build_benchmark(name: str,
                     params: SuiteParameters | None = None,
                     flavors: Iterable[ISAFlavor] = (ISAFlavor.SCALAR, ISAFlavor.USIMD,
                                                     ISAFlavor.VECTOR)) -> BenchmarkSpec:
-    """Build one benchmark (all requested ISA flavours) by name."""
+    """Build one benchmark (all requested ISA flavours) by registry name."""
     params = params or SuiteParameters.default()
-    try:
-        family, builder, description = _BUILDERS[name]
-    except KeyError as exc:
-        raise KeyError(f"unknown benchmark {name!r}; known: {BENCHMARK_NAMES}") from exc
-    family_params = getattr(params, family)
+    definition = registry.get_workload(name)
+    family_params = params.for_family(definition.family)
     programs: Dict[ISAFlavor, KernelProgram] = {
-        flavor: builder(flavor, family_params) for flavor in flavors
+        flavor: definition.builder(flavor, family_params) for flavor in flavors
     }
-    return BenchmarkSpec(name=name, programs=programs, description=description)
+    return BenchmarkSpec(name=name, programs=programs,
+                         description=definition.description)
 
 
 def build_suite(params: SuiteParameters | None = None,
                 names: Iterable[str] = BENCHMARK_NAMES) -> Dict[str, BenchmarkSpec]:
-    """Build the full suite (or a subset) keyed by benchmark name."""
+    """Build the full suite (or any subset of registered names) keyed by name."""
     params = params or SuiteParameters.default()
     return {name: build_benchmark(name, params) for name in names}

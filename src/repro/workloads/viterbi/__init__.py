@@ -1,0 +1,37 @@
+"""Viterbi channel decoding (GSM-style convolutional code).
+
+The GSM full-rate channel coder protects the speech bits with a rate-1/2,
+constraint-length-5 convolutional code; the receiver decodes it with the
+Viterbi algorithm.  The kernel's hot loop is the *add-compare-select*
+(ACS): per received bit pair, every one of the 16 trellis states adds a
+branch metric to two predecessor path metrics, compares, and keeps the
+survivor.  The ACS is data-parallel **across states** (that is how real
+SIMD Viterbi implementations work) but strictly serial **across time
+steps**, and the final traceback is a data-dependent pointer chase —
+an access pattern none of the paper's six benchmarks exercises.
+
+* :mod:`repro.workloads.viterbi.trellis` — functional encode/decode in the
+  three flavours (NumPy reference, µSIMD packed ACS, Vector-µSIMD ACS);
+* :mod:`repro.workloads.viterbi.programs` — the ``viterbi_dec`` kernel
+  program (timing model) registered with the workload registry.
+"""
+
+from repro.workloads.viterbi.trellis import (
+    CODE_RATE,
+    CONSTRAINT_LENGTH,
+    NUM_STATES,
+    convolutional_encode_reference,
+    viterbi_decode_reference,
+    viterbi_decode_usimd,
+    viterbi_decode_vector,
+)
+
+__all__ = [
+    "CODE_RATE",
+    "CONSTRAINT_LENGTH",
+    "NUM_STATES",
+    "convolutional_encode_reference",
+    "viterbi_decode_reference",
+    "viterbi_decode_usimd",
+    "viterbi_decode_vector",
+]

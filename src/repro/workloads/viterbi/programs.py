@@ -1,0 +1,162 @@
+"""Kernel program (timing model) for the Viterbi channel decoder.
+
+Region structure:
+
+``viterbi_dec``
+    * R1 — branch metrics and add-compare-select: per received bit pair,
+      all 16 trellis states update in parallel.  The scalar version walks
+      the states one at a time; the µSIMD version processes four states
+      per packed word; the vector version updates the whole metric vector
+      with one short (VL = 4) vector operation sequence — the
+      short-vector end of the suite's spectrum, where issue width and
+      start-up overhead matter more than lanes;
+    * R0 — the traceback: a data-dependent pointer chase through the
+      decision array (each step's predecessor depends on the decision
+      read in the step before), plus output bit packing.  Serial by
+      construction, like every scalar region of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.compiler.builder import KernelBuilder
+from repro.compiler.ir import ISAFlavor, KernelProgram
+from repro.isa.operations import Opcode
+from repro.memory.layout import AddressSpace
+from repro.workloads import common
+from repro.workloads.registry import register_workload
+from repro.workloads.viterbi.trellis import CONSTRAINT_LENGTH, NUM_STATES
+
+__all__ = ["ViterbiParameters", "build_viterbi_dec_program"]
+
+
+@dataclass(frozen=True)
+class ViterbiParameters:
+    """Input geometry of the Viterbi decoding benchmark."""
+
+    #: payload bits per decoded frame (GSM class-1a+1b block is 189;
+    #: two blocks make the default)
+    bits: int = 378
+    #: decoded frames
+    frames: int = 2
+    #: extra scalar bookkeeping per traceback step (bit packing, CRC)
+    scalar_work: int = 8
+
+    def __post_init__(self) -> None:
+        if self.bits < CONSTRAINT_LENGTH:
+            raise ValueError("need at least one constraint length of bits")
+        if self.frames < 1:
+            raise ValueError("need at least one frame")
+
+    @property
+    def steps(self) -> int:
+        """Trellis steps per frame (payload plus flush bits)."""
+        return self.bits + CONSTRAINT_LENGTH - 1
+
+
+#: per-state scalar ACS work besides the loads/stores: two metric adds,
+#: the compare, the select and the decision-mask update
+_ACS_SCALAR_MIX = ((Opcode.ADD, 2), (Opcode.CMP, 1), (Opcode.MOV, 1),
+                   (Opcode.OR, 1))
+#: per-packed-word ACS work: packed adds, packed min, packed compare for
+#: the decision mask, and the word-level normalisation subtract
+_ACS_PACKED_MIX = ((Opcode.PADDW, 2), (Opcode.PMINMAX, 1), (Opcode.PCMP, 1),
+                   (Opcode.PSUBW, 1))
+_ACS_VECTOR_MIX = ((Opcode.VADDW, 2), (Opcode.VLOGICAL, 1), (Opcode.VSUBW, 2))
+
+#: per-step traceback work: predecessor reconstruction and bit packing
+_TRACEBACK_WORK_MIX = ((Opcode.AND, 2), (Opcode.SHR, 2), (Opcode.OR, 1),
+                       (Opcode.ADD, 2))
+
+
+@register_workload("viterbi_dec", family="viterbi", params=ViterbiParameters,
+                   tiny=ViterbiParameters(bits=48, frames=1),
+                   description="Viterbi channel decoder: data-dependent "
+                               "add-compare-select, serial traceback",
+                   tags=("mediabench-plus", "speech", "short-vector"))
+def build_viterbi_dec_program(flavor: ISAFlavor,
+                              params: ViterbiParameters = ViterbiParameters()
+                              ) -> KernelProgram:
+    """Viterbi decoder program in the requested ISA flavour."""
+    space = AddressSpace()
+    steps = params.steps
+    coded = space.allocate("coded", (params.frames * steps, 2), element_bytes=2)
+    metrics = space.allocate("metrics", (2, NUM_STATES), element_bytes=2)
+    branches = space.allocate("branches", (2, NUM_STATES), element_bytes=2)
+    decisions = space.allocate("decisions", (steps, NUM_STATES), element_bytes=2)
+    decoded = space.allocate("decoded", (params.frames * params.bits,),
+                             element_bytes=1)
+    pred_table = space.allocate("pred_table", (2 * NUM_STATES,), element_bytes=2)
+
+    builder = KernelBuilder("viterbi_dec", flavor, address_space=space)
+    state_words = NUM_STATES // 4  # packed words per metric vector
+    decision_row = NUM_STATES * 2  # bytes per step in the decision array
+
+    with builder.loop(params.frames, name="frame") as frame:
+        coded_base = builder.addr(coded, (frame, steps * 4))
+
+        # R1: per received pair, branch metrics + ACS across all states
+        with builder.region("R1", "Branch metrics and ACS", vectorizable=True):
+            with builder.loop(steps, name="step") as step:
+                pair = coded_base.with_term(step, 4)
+                received = builder.load(pair, comment="load received pair")
+                builder.iop(Opcode.XOR, srcs=(received,),
+                            comment="expected ^ received")
+                if flavor is ISAFlavor.VECTOR:
+                    builder.setvl(state_words)
+                    prev = builder.vload(builder.addr(metrics), vl=state_words,
+                                         stride_bytes=8, comment="vload metrics")
+                    bm = builder.vload(builder.addr(branches), vl=state_words,
+                                       stride_bytes=8, comment="vload branch metrics")
+                    chains = common.emit_vector_mix(
+                        builder, _ACS_VECTOR_MIX, vl=state_words,
+                        seeds=[prev, bm], subwords=4, comment="acs", chains=2)
+                    builder.vstore(builder.addr(metrics, offset=NUM_STATES * 2),
+                                   chains[0], vl=state_words, stride_bytes=8,
+                                   comment="vstore survivors")
+                    builder.vstore(builder.addr(decisions, (step, decision_row)),
+                                   chains[1], vl=state_words, stride_bytes=8,
+                                   comment="vstore decisions")
+                elif flavor is ISAFlavor.USIMD:
+                    with builder.loop(state_words, name="word") as word:
+                        prev = builder.mload(builder.addr(metrics, (word, 8)),
+                                             comment="mload metrics")
+                        bm = builder.mload(builder.addr(branches, (word, 8)),
+                                           comment="mload branch metrics")
+                        chains = common.emit_packed_mix(
+                            builder, _ACS_PACKED_MIX, seeds=[prev, bm],
+                            subwords=4, comment="acs", chains=2)
+                        builder.mstore(
+                            builder.addr(metrics, (word, 8),
+                                         offset=NUM_STATES * 2),
+                            chains[0], comment="mstore survivors")
+                        builder.mstore(
+                            builder.addr(decisions, (step, decision_row), (word, 8)),
+                            chains[1], comment="mstore decisions")
+                else:
+                    with builder.loop(NUM_STATES, name="state") as state:
+                        low = builder.load(builder.addr(metrics, (state, 2)),
+                                           comment="load low-pred metric")
+                        high = builder.load(builder.addr(metrics, (state, 2),
+                                                         offset=NUM_STATES),
+                                            comment="load high-pred metric")
+                        chains = common.emit_scalar_mix(
+                            builder, _ACS_SCALAR_MIX, seeds=[low, high],
+                            comment="acs", chains=2)
+                        builder.store(builder.addr(metrics, (state, 2),
+                                                   offset=NUM_STATES * 2),
+                                      chains[0], comment="store survivor")
+                        builder.store(
+                            builder.addr(decisions, (step, decision_row), (state, 2)),
+                            chains[1], comment="store decision")
+
+        # R0: the traceback — a serial pointer chase through the decisions
+        with builder.region("R0", "Traceback and bit packing",
+                            vectorizable=False):
+            common.emit_table_decoder(
+                builder, decisions, pred_table, decoded, count=params.bits,
+                work_mix=_TRACEBACK_WORK_MIX
+                + ((Opcode.ADD, params.scalar_work),),
+                lookups=2, label="traceback")
+    return builder.program()

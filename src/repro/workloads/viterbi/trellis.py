@@ -1,0 +1,184 @@
+"""Functional Viterbi decoding of a GSM-style convolutional code.
+
+The code is the GSM 06.10 channel code: rate 1/2, constraint length 5
+(16 trellis states), generators ``G0 = 1 + D^3 + D^4`` and
+``G1 = 1 + D + D^3 + D^4``.  Three flavours of the decoder are provided:
+
+* :func:`viterbi_decode_reference` — NumPy int64 path metrics, the oracle;
+* :func:`viterbi_decode_usimd` — the add-compare-select (ACS) arithmetic
+  performed with packed 16-bit operations (``paddw`` / ``pminsw`` /
+  ``pcmpgtw``) over four words of four states each, the way a hand written
+  MMX decoder lays the 16 metrics out.  The predecessor gather between
+  steps is expressed as an index permutation, standing in for the
+  unpack/interleave network of the real kernel;
+* :func:`viterbi_decode_vector` — the same ACS with the packed words
+  stacked into a vector-register value (shape ``(VL, lanes)``) and
+  operated on through :func:`repro.isa.vectorops.vmap2`.
+
+Path metrics are re-normalised (minimum subtracted) every step in *all*
+flavours, which keeps the 16-bit arithmetic exact and makes the three
+versions bit-identical — the tests assert it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.isa import packed, vectorops
+
+__all__ = [
+    "CODE_RATE",
+    "CONSTRAINT_LENGTH",
+    "NUM_STATES",
+    "convolutional_encode_reference",
+    "viterbi_decode_reference",
+    "viterbi_decode_usimd",
+    "viterbi_decode_vector",
+]
+
+#: Output bits per input bit.
+CODE_RATE = 2
+#: Constraint length of the GSM channel code (memory 4, 16 states).
+CONSTRAINT_LENGTH = 5
+NUM_STATES = 1 << (CONSTRAINT_LENGTH - 1)
+
+#: Generators, newest input bit at the LSB of the 5-bit window.
+_G0 = 0b11001  # 1 + D^3 + D^4
+_G1 = 0b11011  # 1 + D + D^3 + D^4
+
+
+def _parity(values: np.ndarray) -> np.ndarray:
+    out = np.zeros_like(values)
+    for shift in range(CONSTRAINT_LENGTH):
+        out ^= (values >> shift) & 1
+    return out
+
+
+def _branch_table() -> np.ndarray:
+    """``(2, NUM_STATES, 2)`` coded bit pair for (input bit, state) pairs.
+
+    Entry ``[b, s]`` is the output pair emitted when input bit ``b``
+    arrives in state ``s`` (the previous four input bits, newest at LSB).
+    """
+    states = np.arange(NUM_STATES)
+    table = np.zeros((2, NUM_STATES, 2), dtype=np.int64)
+    for bit in (0, 1):
+        window = (states << 1) | bit
+        table[bit, :, 0] = _parity(window & _G0)
+        table[bit, :, 1] = _parity(window & _G1)
+    return table
+
+
+_BRANCHES = _branch_table()
+
+#: Predecessor states of each new state ``n = ((s << 1) | b) & 0xF``:
+#: ``n`` is reached from ``n >> 1`` and ``(n >> 1) | 8``.
+_PRED_LOW = np.arange(NUM_STATES) >> 1
+_PRED_HIGH = _PRED_LOW | (NUM_STATES // 2)
+
+
+def convolutional_encode_reference(bits: np.ndarray) -> np.ndarray:
+    """Encode ``bits`` (plus 4 flush zeros) to ``2 * (n + 4)`` coded bits."""
+    bits = np.asarray(bits, dtype=np.int64).ravel()
+    if bits.size == 0:
+        raise ValueError("need at least one input bit")
+    padded = np.concatenate([bits, np.zeros(CONSTRAINT_LENGTH - 1, np.int64)])
+    coded = np.empty(padded.size * CODE_RATE, dtype=np.int64)
+    state = 0
+    for index, bit in enumerate(padded):
+        coded[2 * index:2 * index + 2] = _BRANCHES[bit, state]
+        state = ((state << 1) | int(bit)) & (NUM_STATES - 1)
+    return coded
+
+
+def _branch_metrics(pair: np.ndarray) -> np.ndarray:
+    """Hamming branch metric of every (input bit, state) transition."""
+    return np.abs(_BRANCHES[..., 0] - pair[0]) + np.abs(_BRANCHES[..., 1] - pair[1])
+
+
+def _acs_sweep(coded: np.ndarray, add, minimum, greater, gather):
+    """The shared trellis sweep; flavours differ only in the ACS arithmetic.
+
+    ``add``/``minimum``/``greater`` operate on a metric vector of
+    ``NUM_STATES`` 16-bit values in whatever layout the flavour uses;
+    ``gather`` permutes a metric vector by a state-index array.
+    """
+    coded = np.asarray(coded, dtype=np.int64).ravel()
+    if coded.size % CODE_RATE:
+        raise ValueError("coded stream must hold whole output pairs")
+    steps = coded.size // CODE_RATE
+    if steps < CONSTRAINT_LENGTH:
+        raise ValueError("coded stream shorter than one constraint length")
+    new_bits = np.arange(NUM_STATES) & 1
+    metrics = np.full(NUM_STATES, 64, dtype=np.int16)
+    metrics[0] = 0  # the encoder starts in state 0
+    decisions = np.zeros((steps, NUM_STATES), dtype=np.int8)
+    for t in range(steps):
+        bm = _branch_metrics(coded[2 * t:2 * t + 2])
+        # candidate path metrics through the low / high predecessor
+        low = add(gather(metrics, _PRED_LOW),
+                  bm[new_bits, _PRED_LOW].astype(np.int16))
+        high = add(gather(metrics, _PRED_HIGH),
+                   bm[new_bits, _PRED_HIGH].astype(np.int16))
+        decisions[t] = greater(low, high)  # 1: the high predecessor wins
+        survivors = minimum(low, high)
+        metrics = add(survivors, np.full(NUM_STATES, -int(survivors.min()),
+                                         dtype=np.int16))
+    # traceback from the best final state (the flush bits drive it to 0)
+    state = int(np.argmin(metrics))
+    decoded = np.zeros(steps, dtype=np.int64)
+    for t in range(steps - 1, -1, -1):
+        decoded[t] = state & 1
+        state = (state >> 1) | (int(decisions[t, state]) << (NUM_STATES.bit_length() - 2))
+    return decoded[:steps - (CONSTRAINT_LENGTH - 1)]
+
+
+def viterbi_decode_reference(coded: np.ndarray) -> np.ndarray:
+    """Reference decoder: plain NumPy arithmetic on the metric vector."""
+    return _acs_sweep(
+        coded,
+        add=lambda a, b: (a.astype(np.int64) + b).astype(np.int16),
+        minimum=np.minimum,
+        greater=lambda a, b: (b < a).astype(np.int8),
+        gather=lambda metrics, index: metrics[index],
+    )
+
+
+def viterbi_decode_usimd(coded: np.ndarray) -> np.ndarray:
+    """µSIMD decoder: packed 16-bit ACS over four words of four states."""
+
+    def to_words(flat):
+        return packed.to_packed(np.asarray(flat, dtype=np.int16), packed.LANES_16)
+
+    def add(a, b):
+        return packed.from_packed(packed.paddw(to_words(a), to_words(b)))
+
+    def minimum(a, b):
+        return packed.from_packed(packed.pminsw(to_words(a), to_words(b)))
+
+    def greater(a, b):
+        mask = packed.pcmpgtw(to_words(a), to_words(b))
+        return (packed.from_packed(mask) & 1).astype(np.int8)
+
+    return _acs_sweep(coded, add=add, minimum=minimum, greater=greater,
+                      gather=lambda metrics, index: metrics[index])
+
+
+def viterbi_decode_vector(coded: np.ndarray) -> np.ndarray:
+    """Vector-µSIMD decoder: the four packed words as one vector value."""
+
+    def to_vec(flat):
+        return packed.to_packed(np.asarray(flat, dtype=np.int16), packed.LANES_16)
+
+    def add(a, b):
+        return packed.from_packed(vectorops.vmap2(packed.paddw, to_vec(a), to_vec(b)))
+
+    def minimum(a, b):
+        return packed.from_packed(vectorops.vmap2(packed.pminsw, to_vec(a), to_vec(b)))
+
+    def greater(a, b):
+        mask = vectorops.vmap2(packed.pcmpgtw, to_vec(a), to_vec(b))
+        return (packed.from_packed(mask) & 1).astype(np.int8)
+
+    return _acs_sweep(coded, add=add, minimum=minimum, greater=greater,
+                      gather=lambda metrics, index: metrics[index])

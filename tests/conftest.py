@@ -13,7 +13,11 @@ import pytest
 from repro.experiments.evaluation import SuiteEvaluation
 from repro.machine.config import get_config
 from repro.machine.latency import LatencyModel
-from repro.workloads.suite import SuiteParameters, build_suite
+from repro.workloads.suite import (
+    EXTENDED_BENCHMARK_NAMES,
+    SuiteParameters,
+    build_suite,
+)
 
 
 @pytest.fixture(scope="session", autouse=True)
@@ -43,8 +47,8 @@ def tiny_parameters() -> SuiteParameters:
 
 @pytest.fixture(scope="session")
 def tiny_suite(tiny_parameters):
-    """The six benchmarks built with tiny inputs (all three flavours)."""
-    return build_suite(tiny_parameters)
+    """The extended ten-benchmark suite with tiny inputs (three flavours)."""
+    return build_suite(tiny_parameters, names=EXTENDED_BENCHMARK_NAMES)
 
 
 @pytest.fixture(scope="session")

@@ -139,7 +139,13 @@ class TestTraceEngineBasics:
 # ---------------------------------------------------------------------------
 
 class TestSuiteEquivalence:
-    @pytest.mark.parametrize("benchmark_name", ["gsm_enc", "jpeg_enc"])
+    # two of the paper's six plus every extended-suite kernel: the four
+    # new access patterns (data-dependent ACS, long strided streams, 2-D
+    # stencil reuse, recurrences) must not open a gap between the tiers
+    @pytest.mark.parametrize("benchmark_name", [
+        "gsm_enc", "jpeg_enc",
+        "viterbi_dec", "fir_bank", "sobel_edge", "adpcm_codec",
+    ])
     @pytest.mark.parametrize("config_name", ["vliw-2w", "vector2-2w"])
     @pytest.mark.parametrize("perfect", [False, True])
     def test_benchmark_runs_identical(self, tiny_suite, benchmark_name,

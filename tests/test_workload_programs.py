@@ -7,11 +7,18 @@ from repro.compiler.regalloc import check_register_pressure
 from repro.core.architecture import VectorMicroSimdVliwMachine
 from repro.core.runner import flavor_for_config, run_benchmark
 from repro.machine.config import get_config
-from repro.workloads.suite import BENCHMARK_NAMES, SuiteParameters, build_benchmark, build_suite
+from repro.workloads.suite import (
+    BENCHMARK_NAMES,
+    EXTENDED_BENCHMARK_NAMES,
+    SuiteParameters,
+    build_benchmark,
+    build_suite,
+)
 
 FLAVORS = (ISAFlavor.SCALAR, ISAFlavor.USIMD, ISAFlavor.VECTOR)
 
-#: Vector-region names the paper lists per benchmark (Table 1).
+#: Vector-region names per benchmark: the paper's six follow Table 1; the
+#: extended-suite kernels each pair one vector region with the serial R0.
 EXPECTED_REGIONS = {
     "jpeg_enc": {"R0", "R1", "R2", "R3"},
     "jpeg_dec": {"R0", "R1", "R2"},
@@ -19,28 +26,32 @@ EXPECTED_REGIONS = {
     "mpeg2_dec": {"R0", "R1", "R2", "R3"},
     "gsm_enc": {"R0", "R1", "R2"},
     "gsm_dec": {"R0", "R1"},
+    "viterbi_dec": {"R0", "R1"},
+    "fir_bank": {"R0", "R1"},
+    "sobel_edge": {"R0", "R1"},
+    "adpcm_codec": {"R0", "R1"},
 }
 
 
 @pytest.fixture(scope="module")
 def suite(tiny_parameters):
-    return build_suite(tiny_parameters)
+    return build_suite(tiny_parameters, names=EXTENDED_BENCHMARK_NAMES)
 
 
 class TestProgramConstruction:
-    @pytest.mark.parametrize("name", BENCHMARK_NAMES)
+    @pytest.mark.parametrize("name", EXTENDED_BENCHMARK_NAMES)
     def test_all_flavours_build(self, suite, name):
         spec = suite[name]
         assert set(spec.programs) == set(FLAVORS)
         for program in spec.programs.values():
             assert program.dynamic_operation_count() > 0
 
-    @pytest.mark.parametrize("name", BENCHMARK_NAMES)
+    @pytest.mark.parametrize("name", EXTENDED_BENCHMARK_NAMES)
     def test_region_structure_matches_table1(self, suite, name):
         for program in suite[name].programs.values():
             assert set(program.region_names()) == EXPECTED_REGIONS[name]
 
-    @pytest.mark.parametrize("name", BENCHMARK_NAMES)
+    @pytest.mark.parametrize("name", EXTENDED_BENCHMARK_NAMES)
     def test_scalar_region_identical_across_flavours(self, suite, name):
         """R0 is shared code: its dynamic op count must not depend on the flavour."""
         counts = {flavor: spec_counts.get("R0", (0, 0))[0]
@@ -49,7 +60,7 @@ class TestProgramConstruction:
                    for f in FLAVORS)}
         assert counts[ISAFlavor.SCALAR] == counts[ISAFlavor.USIMD] == counts[ISAFlavor.VECTOR]
 
-    @pytest.mark.parametrize("name", BENCHMARK_NAMES)
+    @pytest.mark.parametrize("name", EXTENDED_BENCHMARK_NAMES)
     def test_vector_regions_need_fewer_operations(self, suite, name):
         """Figure-7 property: scalar > µSIMD > vector dynamic op counts."""
         def vector_region_ops(flavor):
@@ -61,7 +72,7 @@ class TestProgramConstruction:
         vector_ops = vector_region_ops(ISAFlavor.VECTOR)
         assert scalar_ops > usimd_ops > vector_ops
 
-    @pytest.mark.parametrize("name", BENCHMARK_NAMES)
+    @pytest.mark.parametrize("name", EXTENDED_BENCHMARK_NAMES)
     def test_vector_program_packs_more_micro_ops_per_op(self, suite, name):
         vector_program = suite[name].programs[ISAFlavor.VECTOR]
         usimd_program = suite[name].programs[ISAFlavor.USIMD]
@@ -71,7 +82,7 @@ class TestProgramConstruction:
                        / usimd_program.dynamic_operation_count())
         assert vector_ratio > usimd_ratio
 
-    @pytest.mark.parametrize("name", BENCHMARK_NAMES)
+    @pytest.mark.parametrize("name", EXTENDED_BENCHMARK_NAMES)
     def test_register_pressure_fits_target_machines(self, suite, name):
         for config_name in ("vliw-2w", "usimd-2w", "vector1-2w", "vector2-4w"):
             config = get_config(config_name)
@@ -82,6 +93,36 @@ class TestProgramConstruction:
     def test_invalid_benchmark_name(self):
         with pytest.raises(KeyError):
             build_benchmark("mp3_dec")
+
+    def test_vector_flavour_models_non_aligned_remainders(self):
+        """Vector programs must charge the tail words of operands that are
+        not a whole number of vectors (regression: they used to drop them,
+        inflating vector speed-ups on non-aligned sizes)."""
+        from repro.workloads.fir.programs import FirBankParameters, build_fir_bank_program
+        from repro.workloads.sobel.programs import SobelParameters, build_sobel_edge_program
+
+        def region_micro_ops(program, region="R1"):
+            return program.dynamic_counts_by_region()[region][1]
+
+        # fir: 96 taps = one 16-word vector chunk + an 8-word tail; the
+        # vector region must carry ~1.5x the µops of the aligned 64-tap
+        # build (a truncating emitter would charge both the same chunk)
+        aligned = build_fir_bank_program(
+            ISAFlavor.VECTOR, FirBankParameters(bands=1, taps=64, samples=16))
+        with_tail = build_fir_bank_program(
+            ISAFlavor.VECTOR, FirBankParameters(bands=1, taps=96, samples=16))
+        ratio = region_micro_ops(with_tail) / region_micro_ops(aligned)
+        assert 1.3 < ratio < 1.7
+
+        # sobel: 200-pixel rows are 25 words = 16 + a 9-word tail vs the
+        # aligned 32-word rows of width 256 (a truncating emitter charges
+        # 16/32 = 0.5; the correct ratio is ~25/32)
+        aligned = build_sobel_edge_program(
+            ISAFlavor.VECTOR, SobelParameters(width=256, height=8))
+        with_tail = build_sobel_edge_program(
+            ISAFlavor.VECTOR, SobelParameters(width=200, height=8))
+        ratio = region_micro_ops(with_tail) / region_micro_ops(aligned)
+        assert 0.65 < ratio < 0.9
 
     def test_parameter_validation(self):
         from repro.workloads.jpeg.programs import JpegParameters
@@ -95,6 +136,28 @@ class TestProgramConstruction:
             Mpeg2Parameters(search_radius=-1)
         with pytest.raises(ValueError):
             GsmParameters(frames=0)
+
+    def test_extended_parameter_validation(self):
+        from repro.workloads.adpcm.programs import AdpcmParameters
+        from repro.workloads.fir.programs import FirBankParameters
+        from repro.workloads.sobel.programs import SobelParameters
+        from repro.workloads.viterbi.programs import ViterbiParameters
+        with pytest.raises(ValueError):
+            ViterbiParameters(bits=2)
+        with pytest.raises(ValueError):
+            ViterbiParameters(frames=0)
+        with pytest.raises(ValueError):
+            FirBankParameters(taps=6)
+        with pytest.raises(ValueError):
+            FirBankParameters(bands=0)
+        with pytest.raises(ValueError):
+            SobelParameters(width=30)
+        with pytest.raises(ValueError):
+            SobelParameters(height=2)
+        with pytest.raises(ValueError):
+            AdpcmParameters(block_samples=12)
+        with pytest.raises(ValueError):
+            AdpcmParameters(blocks=0)
 
 
 class TestProgramExecution:
@@ -130,6 +193,34 @@ class TestProgramExecution:
     def test_gsm_dec_vectorization_is_tiny(self, tiny_evaluation):
         assert tiny_evaluation.vectorization_percentage("gsm_dec") < 10.0
 
+    @pytest.mark.parametrize("name", EXTENDED_BENCHMARK_NAMES[len(BENCHMARK_NAMES):])
+    def test_new_kernels_never_slower_than_vliw(self, tiny_evaluation, name):
+        base = tiny_evaluation.run(name, "vliw-2w")
+        for config in ("usimd-2w", "vector2-2w"):
+            assert tiny_evaluation.run(name, config).speedup_over(base) >= 1.0
+
+    @pytest.mark.parametrize("name", EXTENDED_BENCHMARK_NAMES[len(BENCHMARK_NAMES):])
+    def test_new_kernels_vector_beats_usimd_in_vector_regions(self,
+                                                              tiny_evaluation,
+                                                              name):
+        usimd = tiny_evaluation.vector_region_speedup(name, "usimd-2w")
+        vector = tiny_evaluation.vector_region_speedup(name, "vector2-2w")
+        assert vector > usimd
+
+    def test_adpcm_is_the_anti_vector_workload(self, tiny_evaluation):
+        """adpcm_codec ships to stress the scalar/µSIMD gap: lowest
+        vectorisation of the extended suite, and near-flat speed-up."""
+        fractions = {name: tiny_evaluation.vectorization_percentage(name)
+                     for name in EXTENDED_BENCHMARK_NAMES}
+        assert min(fractions, key=fractions.get) in ("adpcm_codec", "gsm_dec")
+        assert fractions["adpcm_codec"] < 10.0
+        speedup = tiny_evaluation.application_speedup("adpcm_codec", "vector2-2w")
+        assert speedup < 1.5  # hugs 1x by construction
+
+    def test_streaming_kernels_vectorise_heavily(self, tiny_evaluation):
+        for name in ("fir_bank", "sobel_edge"):
+            assert tiny_evaluation.vectorization_percentage(name) > 50.0
+
     def test_machine_rejects_wrong_flavor(self, suite):
         machine = VectorMicroSimdVliwMachine.from_name("vliw-2w")
         vector_program = suite["jpeg_enc"].programs[ISAFlavor.VECTOR]
@@ -147,3 +238,25 @@ class TestProgramExecution:
             BenchmarkSpec(name="broken",
                           programs={ISAFlavor.USIMD:
                                     suite["gsm_dec"].programs[ISAFlavor.USIMD]})
+
+
+@pytest.mark.slow
+class TestNewKernelsFullSize:
+    """Default-size runs of the extended-suite kernels (slow lane only).
+
+    The fast lane covers the tiny sizes; these lock the full
+    (published-report) sizes through both engines so a report over
+    ``tag:mediabench-plus`` is exercised end to end before CI renders one.
+    """
+
+    @pytest.mark.parametrize("name", EXTENDED_BENCHMARK_NAMES[len(BENCHMARK_NAMES):])
+    def test_full_size_engines_identical(self, name):
+        spec = build_benchmark(name)  # default (full) sizes
+        for config_name in ("vliw-2w", "vector2-2w"):
+            config = get_config(config_name)
+            machine = VectorMicroSimdVliwMachine(config)
+            program = spec.program_for(config)
+            traced = machine.run(program, engine="trace")
+            interpreted = machine.run(program, engine="interpreter")
+            assert traced.to_dict() == interpreted.to_dict()
+            assert traced.total_cycles > 0

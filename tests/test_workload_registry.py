@@ -1,0 +1,356 @@
+"""Tests of the pluggable workload registry (repro.workloads.registry).
+
+Covers the registration API, the CLI-style selectors, the round trip of a
+user-registered workload through ``build_suite`` and the experiment
+engine — including re-registration in pool workers — and the extended
+(``mediabench-plus``) suite flowing through both execution engines and
+the persistent result store unchanged.
+"""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.compiler.builder import KernelBuilder
+from repro.compiler.ir import ISAFlavor
+from repro.core import runner as runner_module
+from repro.core.runner import execute_requests
+from repro.isa.operations import Opcode
+from repro.memory.layout import AddressSpace
+from repro.sim.plan import RunRequest
+from repro.store import ResultStore, run_fingerprint
+from repro.workloads import common
+from repro.workloads.registry import (
+    WorkloadDefinition,
+    get_workload,
+    register_workload,
+    register_workload_definition,
+    registered_workloads,
+    select_benchmarks,
+    unregister_workload,
+    user_workload_definitions,
+    workload_names,
+)
+from repro.workloads.suite import (
+    BENCHMARK_NAMES,
+    EXTENDED_BENCHMARK_NAMES,
+    SuiteParameters,
+    build_benchmark,
+    build_suite,
+)
+
+
+@dataclass(frozen=True)
+class ToyParameters:
+    samples: int = 256
+
+    def __post_init__(self) -> None:
+        if self.samples < 32 or self.samples % 32:
+            raise ValueError("samples must be a positive multiple of 32")
+
+
+_TOY_SCALAR = ((Opcode.ADD, 2), (Opcode.SHR, 1))
+_TOY_PACKED = ((Opcode.PADDW, 2), (Opcode.PSHIFT, 1))
+_TOY_VECTOR = ((Opcode.VADDW, 2), (Opcode.VSHIFT, 1))
+
+
+def build_toy_program(flavor: ISAFlavor, params: ToyParameters = ToyParameters()):
+    """A minimal three-flavour streaming kernel (module-level: must pickle)."""
+    space = AddressSpace()
+    source = space.allocate("source", (1, params.samples), element_bytes=2)
+    sink = space.allocate("sink", (1, params.samples), element_bytes=2)
+    builder = KernelBuilder("toy_stream", flavor, address_space=space)
+    with builder.region("R1", "Toy stream", vectorizable=True):
+        emit = {ISAFlavor.SCALAR: (common.emit_elementwise_scalar, _TOY_SCALAR),
+                ISAFlavor.USIMD: (common.emit_elementwise_usimd, _TOY_PACKED),
+                ISAFlavor.VECTOR: (common.emit_elementwise_vector, _TOY_VECTOR)}
+        emitter, mix = emit[flavor]
+        emitter(builder, [source], [sink], 1, params.samples, mix,
+                element_bytes=2, label="toy")
+    return builder.program()
+
+
+def _toy_definition(name: str = "toy_stream") -> WorkloadDefinition:
+    return WorkloadDefinition(
+        name=name, family="toy", builder=build_toy_program,
+        params_type=ToyParameters, default_params=ToyParameters(),
+        tiny_params=ToyParameters(samples=64),
+        description="toy streaming kernel", tags=("test", "streaming"))
+
+
+@pytest.fixture
+def toy_workload():
+    """A registered user workload, unregistered again afterwards."""
+    definition = register_workload_definition(_toy_definition())
+    yield definition
+    unregister_workload(definition.name)
+
+
+class TestRegistryBasics:
+    def test_builtin_names_and_order(self):
+        names = workload_names()
+        assert names[:len(BENCHMARK_NAMES)] == BENCHMARK_NAMES
+        assert names == EXTENDED_BENCHMARK_NAMES
+
+    def test_mediabench_plus_is_the_extended_suite(self):
+        assert workload_names("mediabench") == BENCHMARK_NAMES
+        assert workload_names("mediabench-plus") == EXTENDED_BENCHMARK_NAMES
+
+    def test_get_workload_unknown_name(self):
+        with pytest.raises(KeyError, match="jpeg_enc"):
+            get_workload("mp3_dec")
+
+    def test_definitions_are_complete(self):
+        for name, definition in registered_workloads().items():
+            assert definition.name == name
+            assert definition.description
+            assert definition.tags
+            assert isinstance(definition.default_params, definition.params_type)
+            assert isinstance(definition.tiny_params, definition.params_type)
+
+    def test_builtins_cannot_be_shadowed_or_removed(self):
+        with pytest.raises(ValueError, match="shipped"):
+            register_workload_definition(_toy_definition(name="jpeg_enc"))
+        with pytest.raises(ValueError, match="shipped"):
+            unregister_workload("gsm_dec")
+
+    def test_shipped_family_contracts_are_protected(self):
+        hijack = WorkloadDefinition(
+            name="toy_jpeg", family="jpeg", builder=build_toy_program,
+            params_type=ToyParameters, default_params=ToyParameters(),
+            tiny_params=ToyParameters(samples=64))
+        # not even overwrite=True may re-contract a shipped family — the
+        # shipped builders would crash on the foreign dataclass
+        with pytest.raises(ValueError, match="shipped parameter family"):
+            register_workload_definition(hijack, overwrite=True)
+
+    def test_family_contract_protected_while_siblings_use_it(self, toy_workload):
+        sibling = WorkloadDefinition(
+            name="toy_sibling", family="toy", builder=build_toy_program,
+            params_type=ToyParameters, default_params=ToyParameters(),
+            tiny_params=ToyParameters(samples=64))
+        register_workload_definition(sibling)
+        try:
+            recontract = WorkloadDefinition(
+                name="toy_sibling", family="toy", builder=build_toy_program,
+                params_type=ToyParameters,
+                default_params=ToyParameters(samples=96),
+                tiny_params=ToyParameters(samples=96))
+            with pytest.raises(ValueError, match="still"):
+                register_workload_definition(recontract, overwrite=True)
+        finally:
+            unregister_workload("toy_sibling")
+
+    def test_duplicate_user_registration(self, toy_workload):
+        # identical definition: a no-op; different one: an error
+        register_workload_definition(_toy_definition())
+        different = WorkloadDefinition(
+            name="toy_stream", family="toy", builder=build_toy_program,
+            params_type=ToyParameters, default_params=ToyParameters(),
+            tiny_params=ToyParameters(samples=96), description="different")
+        with pytest.raises(ValueError, match="overwrite"):
+            register_workload_definition(different)
+        register_workload_definition(different, overwrite=True)
+        assert get_workload("toy_stream").tiny_params.samples == 96
+        register_workload_definition(_toy_definition(), overwrite=True)
+
+    def test_definition_validation(self):
+        with pytest.raises(TypeError, match="tiny"):
+            WorkloadDefinition(name="bad", family="toy",
+                               builder=build_toy_program,
+                               params_type=ToyParameters,
+                               default_params=ToyParameters(),
+                               tiny_params=object())
+        with pytest.raises(TypeError, match="callable"):
+            WorkloadDefinition(name="bad", family="toy", builder="nope",
+                               params_type=ToyParameters,
+                               default_params=ToyParameters(),
+                               tiny_params=ToyParameters())
+        with pytest.raises(ValueError, match="family"):
+            WorkloadDefinition(name="bad", family="",
+                               builder=build_toy_program,
+                               params_type=ToyParameters,
+                               default_params=ToyParameters(),
+                               tiny_params=ToyParameters())
+
+    def test_decorator_returns_builder_unchanged(self):
+        decorated = register_workload(
+            "toy_decorated", family="toy_decorated", params=ToyParameters,
+            tags=("test",))(build_toy_program)
+        try:
+            assert decorated is build_toy_program
+            definition = get_workload("toy_decorated")
+            # default/tiny fall back to the dataclass defaults
+            assert definition.default_params == ToyParameters()
+            assert definition.tiny_params == ToyParameters()
+        finally:
+            unregister_workload("toy_decorated")
+
+
+class TestSelectors:
+    def test_names_tags_and_all(self):
+        assert select_benchmarks(["gsm_dec", "jpeg_enc"]) == ("jpeg_enc", "gsm_dec")
+        assert select_benchmarks(["tag:mediabench-plus"]) == EXTENDED_BENCHMARK_NAMES
+        assert select_benchmarks(["all"]) == workload_names()
+
+    def test_selection_is_deduplicated_and_ordered(self):
+        chosen = select_benchmarks(["sobel_edge", "tag:image", "jpeg_dec"])
+        assert chosen == ("jpeg_enc", "jpeg_dec", "sobel_edge")
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            select_benchmarks(["mp3_dec"])
+
+    def test_empty_tag_raises(self):
+        with pytest.raises(ValueError, match="known tags"):
+            select_benchmarks(["tag:nope"])
+
+
+class TestSuiteIntegration:
+    def test_tiny_parameters_come_from_the_registry(self):
+        tiny = SuiteParameters.tiny()
+        for name in EXTENDED_BENCHMARK_NAMES:
+            definition = get_workload(name)
+            assert tiny.for_family(definition.family) == definition.tiny_params
+
+    def test_build_suite_extended(self, tiny_parameters):
+        suite = build_suite(tiny_parameters, names=EXTENDED_BENCHMARK_NAMES)
+        assert tuple(suite) == EXTENDED_BENCHMARK_NAMES
+        for spec in suite.values():
+            assert set(spec.programs) == {ISAFlavor.SCALAR, ISAFlavor.USIMD,
+                                          ISAFlavor.VECTOR}
+
+    def test_user_workload_round_trip(self, toy_workload):
+        params = SuiteParameters.tiny().with_family("toy",
+                                                    ToyParameters(samples=128))
+        spec = build_benchmark("toy_stream", params)
+        assert spec.description == "toy streaming kernel"
+        assert set(spec.programs) == {ISAFlavor.SCALAR, ISAFlavor.USIMD,
+                                      ISAFlavor.VECTOR}
+
+    def test_user_family_defaults_to_registered_sizes(self, toy_workload):
+        # no extras entry: the registry's default/tiny sizes apply
+        assert (SuiteParameters.default().for_family("toy")
+                == ToyParameters())
+        assert (SuiteParameters.tiny().for_family("toy")
+                == ToyParameters(samples=64))
+
+    def test_unknown_family_raises(self):
+        with pytest.raises(KeyError, match="family"):
+            SuiteParameters.default().for_family("nope")
+
+    def test_unregister_releases_the_family_contract(self):
+        register_workload_definition(_toy_definition())
+        unregister_workload("toy_stream")
+        # the family name is reusable with a different contract, and
+        # tiny() carries no phantom extras for the removed family
+        assert not any(name == "toy" for name, _ in SuiteParameters.tiny().extras)
+        redefined = WorkloadDefinition(
+            name="toy_two", family="toy", builder=build_toy_program,
+            params_type=ToyParameters, default_params=ToyParameters(samples=96),
+            tiny_params=ToyParameters(samples=32))
+        register_workload_definition(redefined)  # must not raise
+        unregister_workload("toy_two")
+
+    def test_tiny_instance_stays_tiny_for_late_registrations(self):
+        # a tiny SuiteParameters built *before* the registration (the
+        # session-scoped fixture pattern) must still resolve the family
+        # to its registered tiny sizes, not the full-size defaults
+        tiny_before = SuiteParameters.tiny()
+        register_workload_definition(_toy_definition())
+        try:
+            assert tiny_before.for_family("toy") == ToyParameters(samples=64)
+            assert SuiteParameters.default().for_family("toy") == ToyParameters()
+        finally:
+            unregister_workload("toy_stream")
+
+
+class TestPoolRoundTrip:
+    def test_user_workload_definitions_excludes_builtins(self, toy_workload):
+        user = user_workload_definitions()
+        assert set(user) == {"toy_stream"}
+
+    def test_worker_init_re_registers(self, toy_workload):
+        """Simulate a spawn worker: strip the registration, re-init."""
+        definition = get_workload("toy_stream")
+        unregister_workload("toy_stream")
+        with pytest.raises(KeyError):
+            get_workload("toy_stream")
+        runner_module._worker_init({}, None, None,
+                                   extra_workloads={"toy_stream": definition})
+        assert get_workload("toy_stream") == definition
+
+    def test_parallel_matches_serial(self, toy_workload):
+        spec = build_benchmark("toy_stream", SuiteParameters.tiny())
+        requests = [RunRequest("toy_stream", config, False)
+                    for config in ("vliw-2w", "usimd-2w", "vector2-2w")]
+        serial = execute_requests(requests, {"toy_stream": spec}, jobs=1)
+        parallel = execute_requests(requests, {"toy_stream": spec}, jobs=2)
+        assert {r: s.to_dict() for r, s in serial.items()} \
+            == {r: s.to_dict() for r, s in parallel.items()}
+
+
+class TestStoreKeying:
+    def test_registry_name_is_part_of_the_store_key(self, tiny_suite):
+        from repro.machine.config import get_config
+        config = get_config("vector2-2w")
+        program = tiny_suite["gsm_enc"].program_for(config)
+        anonymous = run_fingerprint(program, config)
+        named = run_fingerprint(program, config, benchmark="gsm_enc")
+        renamed = run_fingerprint(program, config, benchmark="gsm_enc_v2")
+        assert len({anonymous, named, renamed}) == 3
+
+    def test_user_workload_results_persist(self, toy_workload, tmp_path,
+                                           monkeypatch):
+        spec = build_benchmark("toy_stream", SuiteParameters.tiny())
+        request = RunRequest("toy_stream", "vector2-2w", False)
+        store = ResultStore(tmp_path)
+        cold = execute_requests([request], {"toy_stream": spec}, store=store)
+        assert store.stats.writes == 1
+        monkeypatch.setattr(
+            runner_module, "execute_plan",
+            lambda *a, **k: pytest.fail("store should have answered"))
+        warm = execute_requests([request], {"toy_stream": spec},
+                                store=ResultStore(tmp_path))
+        assert warm[request].to_dict() == cold[request].to_dict()
+
+
+class TestExtendedSuiteEquivalence:
+    """The acceptance path: ten benchmarks, both engines, warm store."""
+
+    CONFIGS = ("vliw-2w", "usimd-2w", "vector2-2w")
+
+    def test_extended_suite_engines_byte_identical(self, tiny_parameters):
+        from repro.experiments.evaluation import SuiteEvaluation
+
+        sweeps = {}
+        for engine in ("trace", "interpreter"):
+            evaluation = SuiteEvaluation(
+                parameters=tiny_parameters,
+                benchmark_names=EXTENDED_BENCHMARK_NAMES,
+                config_names=self.CONFIGS, engine=engine, store=None)
+            evaluation.prefetch()
+            sweeps[engine] = {
+                (name, config, perfect):
+                    evaluation.run(name, config, perfect).to_dict()
+                for name in EXTENDED_BENCHMARK_NAMES
+                for config in self.CONFIGS
+                for perfect in (False, True)}
+        assert sweeps["trace"] == sweeps["interpreter"]
+
+    def test_extended_suite_warm_store_zero_simulations(self, tiny_parameters,
+                                                        tmp_path):
+        from repro.experiments.evaluation import SuiteEvaluation
+
+        def evaluate():
+            evaluation = SuiteEvaluation(
+                parameters=tiny_parameters,
+                benchmark_names=EXTENDED_BENCHMARK_NAMES,
+                config_names=self.CONFIGS, store=ResultStore(tmp_path))
+            evaluation.prefetch()
+            return evaluation
+
+        cold = evaluate()
+        assert cold.simulated_runs == len(EXTENDED_BENCHMARK_NAMES) * len(self.CONFIGS) * 2
+        warm = evaluate()
+        assert warm.simulated_runs == 0

@@ -3,13 +3,18 @@
 import numpy as np
 import pytest
 from hypothesis import given, settings
+from hypothesis import strategies as st
 from hypothesis.extra import numpy as hnp
 
+from repro.workloads.adpcm import codec
 from repro.workloads.data import (synthetic_blocks, synthetic_image, synthetic_speech,
                                   synthetic_video)
+from repro.workloads.fir import filterbank
 from repro.workloads.gsm import autocorr, ltp
 from repro.workloads.jpeg import color, dct, huffman, quant, upsample
 from repro.workloads.mpeg2 import motion, predict
+from repro.workloads.sobel import stencil
+from repro.workloads.viterbi import trellis
 
 
 @pytest.fixture(scope="module")
@@ -372,3 +377,200 @@ class TestGsmKernels:
             ltp.ltp_parameters_reference(speech[:40], speech[:30])
         with pytest.raises(ValueError):
             autocorr.autocorrelation_reference(np.zeros((2, 2)))
+
+
+# ---------------------------------------------------------------------------
+# extended-suite kernels (tag: mediabench-plus)
+# ---------------------------------------------------------------------------
+
+class TestViterbiKernels:
+    @pytest.fixture(scope="class")
+    def bits(self):
+        rng = np.random.default_rng(21)
+        return rng.integers(0, 2, 96).astype(np.int64)
+
+    def test_clean_channel_roundtrip(self, bits):
+        coded = trellis.convolutional_encode_reference(bits)
+        np.testing.assert_array_equal(trellis.viterbi_decode_reference(coded),
+                                      bits)
+
+    def test_corrects_scattered_bit_errors(self, bits):
+        # rate-1/2, K=5: a few well-separated flips must be corrected
+        coded = trellis.convolutional_encode_reference(bits)
+        corrupted = coded.copy()
+        corrupted[[7, 61, 140]] ^= 1
+        np.testing.assert_array_equal(trellis.viterbi_decode_reference(corrupted),
+                                      bits)
+
+    def test_usimd_matches_reference(self, bits):
+        coded = trellis.convolutional_encode_reference(bits)
+        coded[[10, 33]] ^= 1  # exercise non-trivial metrics too
+        np.testing.assert_array_equal(trellis.viterbi_decode_usimd(coded),
+                                      trellis.viterbi_decode_reference(coded))
+
+    def test_vector_matches_reference(self, bits):
+        coded = trellis.convolutional_encode_reference(bits)
+        coded[[10, 33]] ^= 1
+        np.testing.assert_array_equal(trellis.viterbi_decode_vector(coded),
+                                      trellis.viterbi_decode_reference(coded))
+
+    @given(hnp.arrays(np.int64, 40, elements=st.integers(0, 1)))
+    @settings(max_examples=15, deadline=None)
+    def test_property_roundtrip_and_flavour_equivalence(self, bits):
+        coded = trellis.convolutional_encode_reference(bits)
+        decoded = trellis.viterbi_decode_reference(coded)
+        np.testing.assert_array_equal(decoded, bits)
+        np.testing.assert_array_equal(trellis.viterbi_decode_usimd(coded), decoded)
+        np.testing.assert_array_equal(trellis.viterbi_decode_vector(coded), decoded)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            trellis.convolutional_encode_reference(np.zeros(0, dtype=np.int64))
+        with pytest.raises(ValueError):
+            trellis.viterbi_decode_reference(np.zeros(3, dtype=np.int64))
+        with pytest.raises(ValueError):
+            trellis.viterbi_decode_reference(np.zeros(4, dtype=np.int64))
+
+
+class TestFirBankKernels:
+    @pytest.fixture(scope="class")
+    def bank(self, speech):
+        rng = np.random.default_rng(22)
+        coeffs = rng.integers(-512, 512, (3, 16)).astype(np.int16)
+        return speech[:120].astype(np.int16), coeffs
+
+    def test_reference_shape_and_exactness(self, bank):
+        samples, coeffs = bank
+        out = filterbank.fir_bank_reference(samples, coeffs)
+        assert out.shape == (samples.shape[0] - coeffs.shape[1] + 1,
+                             coeffs.shape[0])
+        # spot-check one output against a hand dot product
+        n, band = 5, 1
+        window = samples[n:n + coeffs.shape[1]].astype(np.int64)
+        assert out[n, band] == int((window * coeffs[band].astype(np.int64)).sum())
+
+    def test_usimd_matches_reference(self, bank):
+        samples, coeffs = bank
+        np.testing.assert_array_equal(
+            filterbank.fir_bank_usimd(samples, coeffs),
+            filterbank.fir_bank_reference(samples, coeffs))
+
+    def test_vector_matches_reference(self, bank):
+        samples, coeffs = bank
+        np.testing.assert_array_equal(
+            filterbank.fir_bank_vector(samples, coeffs),
+            filterbank.fir_bank_reference(samples, coeffs))
+
+    def test_vector_short_vl_still_exact(self, bank):
+        samples, coeffs = bank
+        np.testing.assert_array_equal(
+            filterbank.fir_bank_vector(samples, coeffs, max_vl=2),
+            filterbank.fir_bank_reference(samples, coeffs))
+
+    def test_moving_average_of_constant_is_flat(self):
+        samples = np.full(64, 100, dtype=np.int16)
+        coeffs = np.ones((1, 8), dtype=np.int16)
+        out = filterbank.fir_bank_reference(samples, coeffs)
+        assert np.all(out == 800)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            filterbank.fir_bank_reference(np.zeros((2, 4)), np.zeros((1, 4)))
+        with pytest.raises(ValueError):
+            filterbank.fir_bank_reference(np.zeros(16), np.zeros(8))
+        with pytest.raises(ValueError):
+            filterbank.fir_bank_reference(np.zeros(16), np.zeros((1, 6)))
+        with pytest.raises(ValueError):
+            filterbank.fir_bank_reference(np.zeros(4), np.zeros((1, 8)))
+
+
+class TestSobelKernels:
+    @pytest.fixture(scope="class")
+    def grey(self):
+        return synthetic_image(48, 32, channels=1, seed=23)[:, :, 0]
+
+    def test_usimd_matches_reference(self, grey):
+        np.testing.assert_array_equal(stencil.sobel_usimd(grey),
+                                      stencil.sobel_reference(grey))
+
+    def test_vector_matches_reference(self, grey):
+        np.testing.assert_array_equal(stencil.sobel_vector(grey),
+                                      stencil.sobel_reference(grey))
+
+    def test_flat_image_has_no_edges(self):
+        flat = np.full((16, 16), 90, dtype=np.uint8)
+        assert np.all(stencil.sobel_reference(flat) == 0)
+
+    def test_vertical_step_yields_vertical_edge(self):
+        image = np.zeros((8, 16), dtype=np.uint8)
+        image[:, 8:] = 200
+        out = stencil.sobel_reference(image)
+        assert np.all(out[1:-1, 8] == 255)  # saturated |Gx| at the step
+        assert np.all(out[:, :7] == 0) and np.all(out[:, 10:] == 0)
+
+    def test_border_is_zero(self, grey):
+        out = stencil.sobel_reference(grey)
+        assert not out[[0, -1], :].any() and not out[:, [0, -1]].any()
+
+    @given(hnp.arrays(np.uint8, (5, 24)))
+    @settings(max_examples=20, deadline=None)
+    def test_property_flavour_equivalence(self, image):
+        reference = stencil.sobel_reference(image)
+        np.testing.assert_array_equal(stencil.sobel_usimd(image), reference)
+        np.testing.assert_array_equal(stencil.sobel_vector(image), reference)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            stencil.sobel_reference(np.zeros(8))
+        with pytest.raises(ValueError):
+            stencil.sobel_reference(np.zeros((2, 8)))
+
+
+class TestAdpcmKernels:
+    @pytest.fixture(scope="class")
+    def blocks(self, speech):
+        return speech[:480].reshape(4, 120)
+
+    def test_roundtrip_tracks_the_signal(self, blocks):
+        codes = codec.adpcm_encode_reference(blocks)
+        decoded = codec.adpcm_decode_reference(codes)
+        error = np.abs(decoded.astype(np.int64) - blocks.astype(np.int64))
+        # ADPCM is lossy; the adaptive step keeps the error a small
+        # fraction of the signal swing once the predictor locks on
+        assert error[:, 8:].mean() < 0.05 * np.abs(blocks).max()
+
+    def test_codes_are_nibbles(self, blocks):
+        codes = codec.adpcm_encode_reference(blocks)
+        assert codes.dtype == np.uint8
+        assert codes.max() <= 0xF
+
+    def test_usimd_matches_reference(self, blocks):
+        codes = codec.adpcm_encode_reference(blocks)
+        np.testing.assert_array_equal(codec.adpcm_decode_usimd(codes),
+                                      codec.adpcm_decode_reference(codes))
+
+    def test_vector_matches_reference(self, blocks):
+        codes = codec.adpcm_encode_reference(blocks)
+        np.testing.assert_array_equal(codec.adpcm_decode_vector(codes),
+                                      codec.adpcm_decode_reference(codes))
+
+    def test_blocks_are_independent(self, blocks):
+        # decoding a block alone equals decoding it within the batch
+        codes = codec.adpcm_encode_reference(blocks)
+        alone = codec.adpcm_decode_reference(codes[1:2])
+        together = codec.adpcm_decode_reference(codes)
+        np.testing.assert_array_equal(alone[0], together[1])
+
+    @given(hnp.arrays(np.int16, (3, 16)))
+    @settings(max_examples=20, deadline=None)
+    def test_property_flavour_equivalence(self, samples):
+        codes = codec.adpcm_encode_reference(samples)
+        reference = codec.adpcm_decode_reference(codes)
+        np.testing.assert_array_equal(codec.adpcm_decode_usimd(codes), reference)
+        np.testing.assert_array_equal(codec.adpcm_decode_vector(codes), reference)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            codec.adpcm_encode_reference(np.zeros(16, dtype=np.int16))
+        with pytest.raises(ValueError):
+            codec.adpcm_decode_reference(np.zeros((0, 4), dtype=np.int64))
