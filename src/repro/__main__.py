@@ -19,6 +19,11 @@ Commands
     Inspect the workload registry (:mod:`repro.workloads.registry`):
     ``bench list`` prints every registered benchmark with its parameter
     family, input sizes and tags.
+``fuzz``
+    The standing trace-vs-interpreter fuzz lane (:mod:`repro.fuzz`):
+    sweep synthetic-program seeds through both execution tiers, diff the
+    statistics field for field, and on a mismatch shrink the program and
+    write a replayable reproducer file.  Exit code 4 on mismatch.
 
 ``report``, ``sweep`` and ``explore`` all take ``--benchmarks`` with the
 same selector syntax: registry names, ``tag:<tag>`` (every benchmark
@@ -124,6 +129,31 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.fuzz import DEFAULT_CONFIGS, run_fuzz
+
+    result = run_fuzz(
+        args.seeds,
+        start_seed=args.start_seed,
+        scale=args.scale,
+        configs=tuple(args.configs) if args.configs else DEFAULT_CONFIGS,
+        budget_seconds=args.budget,
+        reproducer_dir=args.reproducer_dir,
+        shrink=not args.no_shrink,
+        progress=lambda line: print(line, file=sys.stderr),
+    )
+    note = " (budget exhausted)" if result.budget_exhausted else ""
+    print(f"fuzzed {result.seeds_run} seeds, {result.comparisons} engine "
+          f"comparisons{note}: {len(result.mismatches)} mismatch(es)")
+    for mismatch in result.mismatches:
+        where = f" -> {mismatch.reproducer}" if mismatch.reproducer else ""
+        print(f"  seed {mismatch.seed} [{mismatch.flavor} {mismatch.config} "
+              f"perfect={mismatch.perfect}] shrunk to "
+              f"{mismatch.statements} statement(s){where}")
+        print(f"    {mismatch.detail[:500]}")
+    return 0 if result.ok else 4
+
+
 def _cmd_explore(args: argparse.Namespace) -> int:
     from repro.explore import DesignSpace, run_exploration
 
@@ -181,6 +211,28 @@ def main(argv=None) -> int:
     explore.add_argument("--max-shards", type=int, default=None, metavar="N",
                          help="stop after N shards (partial, resumable sweep)")
 
+    fuzz = sub.add_parser(
+        "fuzz", help="sweep synthetic seeds through both engines and diff")
+    fuzz.add_argument("--seeds", type=int, default=50, metavar="N",
+                      help="number of consecutive seeds to sweep (default 50)")
+    fuzz.add_argument("--start-seed", type=int, default=0, metavar="K",
+                      help="first seed of the sweep (default 0)")
+    fuzz.add_argument("--budget", type=float, default=None, metavar="SECS",
+                      help="wall-clock budget; the sweep stops early when "
+                           "it runs out (checked between seeds)")
+    fuzz.add_argument("--scale", choices=("tiny", "default"), default="tiny",
+                      help="generated program sizes (default: tiny)")
+    fuzz.add_argument("--configs", nargs="*", default=None, metavar="CONFIG",
+                      help="machine configurations to compare on "
+                           "(default: vector2-2w)")
+    fuzz.add_argument("--reproducer-dir", default="fuzz-reproducers",
+                      metavar="DIR",
+                      help="where minimized reproducer files are written "
+                           "on mismatch (created lazily; default: "
+                           "fuzz-reproducers)")
+    fuzz.add_argument("--no-shrink", action="store_true",
+                      help="report mismatches without minimizing them")
+
     bench = sub.add_parser(
         "bench", help="inspect the workload registry")
     bench_sub = bench.add_subparsers(dest="bench_command", required=True)
@@ -208,6 +260,11 @@ def main(argv=None) -> int:
         elif args.command == "sweep":
             args.benchmarks = resolve_benchmarks(args.benchmarks,
                                                  BENCHMARK_NAMES)
+        elif args.command == "fuzz":
+            if args.configs:
+                from repro.machine.config import get_config
+                for name in args.configs:
+                    get_config(name)  # unknown names fail before the sweep
         elif args.command == "bench":
             args.selectors = (select_benchmarks(args.selectors)
                               if args.selectors else None)
@@ -215,7 +272,7 @@ def main(argv=None) -> int:
         print(f"error: {exc.args[0] if exc.args else exc}", file=sys.stderr)
         return 2
     return {"sweep": _cmd_sweep, "explore": _cmd_explore,
-            "bench": _cmd_bench}[args.command](args)
+            "bench": _cmd_bench, "fuzz": _cmd_fuzz}[args.command](args)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -355,9 +355,36 @@ class KernelBuilder:
     # ------------------------------------------------------------------ build
 
     def program(self) -> KernelProgram:
-        """Finish building and return the program."""
+        """Finish building and return the program.
+
+        Validates that every memory operation's address is affine over its
+        *enclosing* loop nest: an address term using a loop variable from a
+        sibling (or already-closed) loop would make the interpreter fault
+        mid-run and the trace tier reject the program at lowering, so the
+        builder reports it here, at construction time, with the operation
+        that caused it.
+        """
         if len(self._body_stack) != 1:
             raise RuntimeError("unbalanced loop() contexts while building program")
+        self._validate_addresses(self._top, frozenset())
         return KernelProgram(name=self.name, flavor=self.flavor,
                              body=self._top, regions=dict(self._regions),
                              address_space=self.address_space)
+
+    def _validate_addresses(self, nodes, bound: frozenset) -> None:
+        for node in nodes:
+            if isinstance(node, LoopNode):
+                self._validate_addresses(node.body, bound | {node.var})
+                continue
+            for operation in node.operations:
+                if operation.address is None:
+                    continue
+                unknown = {var for var, _ in operation.address.terms} - bound
+                if unknown:
+                    opcode = getattr(operation.opcode, "value",
+                                     operation.opcode)
+                    raise ValueError(
+                        f"{self.name}: address of {opcode} "
+                        f"references loop variables "
+                        f"{sorted(map(repr, unknown))} not bound by an "
+                        f"enclosing loop (non-affine over its nest)")

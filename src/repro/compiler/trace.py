@@ -40,7 +40,18 @@ import numpy as np
 from repro.compiler.ir import LoopNode, Segment
 from repro.compiler.scheduler import CompiledProgram, MemoryOpSummary
 
-__all__ = ["TraceOp", "SegmentCounts", "TraceProgram", "trace_program"]
+__all__ = ["TraceLoweringError", "TraceOp", "SegmentCounts", "TraceProgram",
+           "trace_program"]
+
+
+class TraceLoweringError(ValueError):
+    """A program outside the trace tier's closed-form (affine) contract.
+
+    Raised during lowering, before any statistics or hierarchy state is
+    touched, so :class:`~repro.sim.trace.TraceExecutionEngine` can fall
+    back to the interpreting oracle with an explicit, recorded reason
+    instead of producing wrong statistics silently.
+    """
 
 
 @dataclass(frozen=True)
@@ -203,7 +214,7 @@ def _lower(nodes: Sequence, compiled: CompiledProgram,
                 known = {var for var, _, _ in dims}
                 unknown = set(coef_by_var) - known
                 if unknown:
-                    raise ValueError(
+                    raise TraceLoweringError(
                         f"address of {mem!r} references loop variables "
                         f"{sorted(map(repr, unknown))} not bound by the nest")
                 trips = tuple(trip for _, trip, _ in dims)

@@ -1,0 +1,363 @@
+"""The trace-vs-interpreter fuzz lane: sweep, diff, shrink, reproduce.
+
+``python -m repro fuzz --seeds N`` sweeps synthetic-program seeds through
+both execution tiers and diffs their statistics field for field —
+:meth:`~repro.sim.stats.RunStats.to_dict` *and* the hierarchy counters —
+across ISA flavours, machine configurations and memory modes.  On a
+mismatch the driver shrinks the failing
+:class:`~repro.workloads.synthetic.spec.ProgramSpec` (drop statements and
+loops, reduce trip counts, simplify fields) while the mismatch still
+reproduces, then writes a minimal reproducer file that
+``tests/test_reproducers.py`` replays as a permanent regression case.
+
+The sweep is deterministic: seed ``k`` always generates the same programs
+(see :func:`repro.workloads.synthetic.generator.params_for_seed`), so a
+failure report is reproducible from its seed alone, and the reproducer
+file pins the minimized spec exactly even if the generator later drifts.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.compiler.cache import compile_cached
+from repro.compiler.ir import ISAFlavor
+from repro.machine.config import get_config
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.sim.engines import make_engine
+from repro.workloads.synthetic.generator import params_for_seed
+from repro.workloads.synthetic.spec import (
+    LoopSpec,
+    ProgramSpec,
+    Statement,
+    build_program,
+    canonical_spec_json,
+    count_statements,
+    spec_from_dict,
+    spec_to_dict,
+)
+from repro.workloads.synthetic import generate_spec
+
+__all__ = [
+    "DEFAULT_CONFIGS",
+    "FLAVORS",
+    "REPRODUCER_FORMAT",
+    "Mismatch",
+    "FuzzResult",
+    "compare_spec",
+    "shrink_spec",
+    "write_reproducer",
+    "load_reproducer",
+    "check_reproducer",
+    "run_fuzz",
+]
+
+#: Machine configurations the sweep compares on by default.  The vector
+#: machine exercises every operation class of all three program flavours.
+DEFAULT_CONFIGS: Tuple[str, ...] = ("vector2-2w",)
+
+#: Program flavours every seed is built and compared in.
+FLAVORS: Tuple[ISAFlavor, ...] = (ISAFlavor.SCALAR, ISAFlavor.USIMD,
+                                  ISAFlavor.VECTOR)
+
+#: Format tag of reproducer files (bumped on layout changes).
+REPRODUCER_FORMAT = "repro-fuzz-reproducer/1"
+
+#: Test-only fault-injection hook: called with ``(spec, stats)`` after the
+#: trace tier ran, before the diff.  ``None`` in production.
+CorruptHook = Optional[Callable[[ProgramSpec, object], None]]
+
+
+# ---------------------------------------------------------------------------
+# Field-for-field comparison
+# ---------------------------------------------------------------------------
+
+def _diff(prefix: str, a: object, b: object, out: List[str]) -> None:
+    if isinstance(a, dict) and isinstance(b, dict):
+        for key in sorted(set(a) | set(b)):
+            _diff(f"{prefix}.{key}", a.get(key), b.get(key), out)
+    elif isinstance(a, (list, tuple)) and isinstance(b, (list, tuple)):
+        if len(a) != len(b):
+            out.append(f"{prefix}: length {len(a)} != {len(b)}")
+        else:
+            for index, (x, y) in enumerate(zip(a, b)):
+                _diff(f"{prefix}[{index}]", x, y, out)
+    elif a != b:
+        out.append(f"{prefix}: trace={a!r} interpreter={b!r}")
+
+
+def compare_spec(spec: ProgramSpec, flavor: ISAFlavor, config_name: str,
+                 perfect: bool = False,
+                 corrupt: CorruptHook = None) -> Optional[str]:
+    """Run ``spec`` through both tiers; return a diff summary or ``None``.
+
+    The comparison covers the full :class:`RunStats` dictionary *and* the
+    memory-hierarchy counters, so a divergence anywhere in the model —
+    cycle totals, per-region break-downs, per-level hit/miss counts —
+    surfaces as a named field.
+    """
+    program = build_program(spec, flavor)
+    config = get_config(config_name)
+    compiled = compile_cached(program, config)
+    results = {}
+    for engine_name in ("trace", "interpreter"):
+        hierarchy = MemoryHierarchy(config.memory, l1_ports=config.l1_ports,
+                                    l2_port_words=config.l2_port_words,
+                                    perfect=perfect)
+        stats = make_engine(engine_name, compiled, hierarchy).run()
+        if corrupt is not None and engine_name == "trace":
+            corrupt(spec, stats)
+        results[engine_name] = (stats.to_dict(), hierarchy.statistics())
+    out: List[str] = []
+    _diff("stats", results["trace"][0], results["interpreter"][0], out)
+    _diff("hierarchy", results["trace"][1], results["interpreter"][1], out)
+    return "; ".join(out) if out else None
+
+
+# ---------------------------------------------------------------------------
+# Shrinking
+# ---------------------------------------------------------------------------
+
+def _transform_at(nodes: Tuple, path: Tuple[int, ...], fn):
+    """Rebuild ``nodes`` with ``fn`` applied at ``path`` (None = remove)."""
+    index, rest = path[0], path[1:]
+    new: List = list(nodes)
+    if rest:
+        node = new[index]
+        new[index] = replace(node, body=_transform_at(node.body, rest, fn))
+    else:
+        result = fn(new[index])
+        if result is None:
+            del new[index]
+        else:
+            new[index] = result
+    return tuple(new)
+
+
+def _paths(nodes: Tuple, prefix: Tuple[int, ...] = ()):
+    for index, node in enumerate(nodes):
+        path = prefix + (index,)
+        yield path, node
+        if isinstance(node, LoopSpec):
+            yield from _paths(node.body, path)
+
+
+def _reductions(spec: ProgramSpec):
+    """Yield candidate reduced specs, most aggressive first."""
+    # 1. drop whole nodes (outer nodes first: one removal can kill a
+    #    whole subtree of statements)
+    for path, _ in _paths(spec.body):
+        yield replace(spec, body=_transform_at(spec.body, path,
+                                               lambda node: None))
+    # 2. reduce loop trip counts
+    for path, node in _paths(spec.body):
+        if isinstance(node, LoopSpec) and node.trip > 1:
+            for trip in (1, node.trip // 2):
+                if trip != node.trip:
+                    yield replace(spec, body=_transform_at(
+                        spec.body, path,
+                        lambda n, t=trip: replace(n, trip=t)))
+    # 3. simplify statement fields
+    simplifiers = (
+        lambda s: replace(s, wrap=0) if s.wrap else None,
+        lambda s: replace(s, coefs=()) if any(s.coefs) else None,
+        lambda s: replace(s, stride=8) if s.stride != 8 else None,
+        lambda s: replace(s, vl=1) if s.vl > 1 else None,
+        lambda s: replace(s, length=1) if s.length > 1 else None,
+        lambda s: replace(s, offset=0) if s.offset else None,
+        lambda s: replace(s, store=False) if s.store else None,
+    )
+    for path, node in _paths(spec.body):
+        if isinstance(node, LoopSpec):
+            continue
+        for simplify in simplifiers:
+            reduced = simplify(node)
+            if reduced is not None:
+                yield replace(spec, body=_transform_at(
+                    spec.body, path, lambda n, r=reduced: r))
+
+
+def shrink_spec(spec: ProgramSpec,
+                still_fails: Callable[[ProgramSpec], bool],
+                max_steps: int = 2000) -> ProgramSpec:
+    """Greedy delta-debugging: keep the smallest spec that still fails.
+
+    Every accepted reduction strictly shrinks the spec (fewer nodes, a
+    smaller trip count, or a simpler field), so the loop terminates; the
+    ``max_steps`` cap bounds the number of *candidate evaluations* in the
+    worst case.
+    """
+    current = spec
+    steps = 0
+    improved = True
+    while improved and steps < max_steps:
+        improved = False
+        for candidate in _reductions(current):
+            steps += 1
+            if steps >= max_steps:
+                break
+            try:
+                if still_fails(candidate):
+                    current = candidate
+                    improved = True
+                    break
+            except Exception:
+                # a reduction that makes the program unbuildable or
+                # unrunnable is simply not taken
+                continue
+    return current
+
+
+# ---------------------------------------------------------------------------
+# Reproducer files
+# ---------------------------------------------------------------------------
+
+def write_reproducer(directory: Path, *, spec: ProgramSpec,
+                     flavor: ISAFlavor, config: str, perfect: bool,
+                     seed: Optional[int], detail: str) -> Path:
+    """Write a replayable reproducer JSON file; returns its path."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "format": REPRODUCER_FORMAT,
+        "seed": seed,
+        "flavor": flavor.value,
+        "config": config,
+        "perfect": perfect,
+        "detail": detail,
+        "spec": spec_to_dict(spec),
+    }
+    digest = hashlib.sha256(
+        canonical_spec_json(spec).encode("utf-8")
+        + f"|{flavor.value}|{config}|{perfect}".encode("utf-8")
+    ).hexdigest()[:12]
+    path = directory / f"reproducer_{digest}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                    encoding="utf-8")
+    return path
+
+
+def load_reproducer(path: Path) -> dict:
+    """Decode a reproducer file into its replay ingredients."""
+    data = json.loads(Path(path).read_text(encoding="utf-8"))
+    if data.get("format") != REPRODUCER_FORMAT:
+        raise ValueError(f"{path}: unsupported reproducer format "
+                         f"{data.get('format')!r}")
+    data["spec"] = spec_from_dict(data["spec"])
+    data["flavor"] = ISAFlavor(data["flavor"])
+    return data
+
+
+def check_reproducer(path: Path, corrupt: CorruptHook = None) -> Optional[str]:
+    """Replay one reproducer; return the diff summary or ``None`` if fixed."""
+    data = load_reproducer(path)
+    return compare_spec(data["spec"], data["flavor"], data["config"],
+                        perfect=bool(data["perfect"]), corrupt=corrupt)
+
+
+# ---------------------------------------------------------------------------
+# The sweep driver
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Mismatch:
+    """One engine divergence, after shrinking."""
+
+    seed: int
+    flavor: str
+    config: str
+    perfect: bool
+    detail: str
+    statements: int
+    reproducer: Optional[str] = None
+
+
+@dataclass
+class FuzzResult:
+    """Outcome of one :func:`run_fuzz` sweep."""
+
+    seeds_run: int = 0
+    comparisons: int = 0
+    budget_exhausted: bool = False
+    mismatches: List[Mismatch] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+
+def run_fuzz(seeds: int, *, start_seed: int = 0, scale: str = "tiny",
+             configs: Sequence[str] = DEFAULT_CONFIGS,
+             flavors: Sequence[ISAFlavor] = FLAVORS,
+             perfect_modes: Sequence[bool] = (False, True),
+             budget_seconds: Optional[float] = None,
+             reproducer_dir: Optional[Path] = None,
+             corrupt: CorruptHook = None,
+             shrink: bool = True,
+             progress: Optional[Callable[[str], None]] = None) -> FuzzResult:
+    """Sweep ``seeds`` consecutive seeds through both tiers and diff.
+
+    Stops early when ``budget_seconds`` runs out (checked between seeds).
+    On a mismatch: shrinks the failing spec while the same (flavor,
+    config, memory-mode) combination still diverges, writes a reproducer
+    into ``reproducer_dir`` (if given), records the find, and moves on to
+    the next seed.
+    """
+    result = FuzzResult()
+    started = time.monotonic()
+    for seed in range(start_seed, start_seed + seeds):
+        if budget_seconds is not None \
+                and time.monotonic() - started >= budget_seconds:
+            result.budget_exhausted = True
+            break
+        spec = generate_spec(params_for_seed(seed, scale))
+        result.seeds_run += 1
+        failure = None
+        for flavor in flavors:
+            for config in configs:
+                for perfect in perfect_modes:
+                    result.comparisons += 1
+                    detail = compare_spec(spec, flavor, config,
+                                          perfect=perfect, corrupt=corrupt)
+                    if detail is not None:
+                        failure = (flavor, config, perfect, detail)
+                        break
+                if failure:
+                    break
+            if failure:
+                break
+        if failure is None:
+            if progress is not None and (seed - start_seed) % 25 == 24:
+                progress(f"seed {seed}: clean "
+                         f"({result.comparisons} comparisons)")
+            continue
+        flavor, config, perfect, detail = failure
+        if progress is not None:
+            progress(f"seed {seed}: MISMATCH [{flavor.value} {config} "
+                     f"perfect={perfect}] {detail[:200]}")
+        if shrink:
+            spec = shrink_spec(
+                spec,
+                lambda candidate: compare_spec(
+                    candidate, flavor, config, perfect=perfect,
+                    corrupt=corrupt) is not None)
+            detail = compare_spec(spec, flavor, config, perfect=perfect,
+                                  corrupt=corrupt) or detail
+        mismatch = Mismatch(seed=seed, flavor=flavor.value, config=config,
+                            perfect=perfect, detail=detail,
+                            statements=count_statements(spec))
+        if reproducer_dir is not None:
+            path = write_reproducer(Path(reproducer_dir), spec=spec,
+                                    flavor=flavor, config=config,
+                                    perfect=perfect, seed=seed, detail=detail)
+            mismatch.reproducer = str(path)
+            if progress is not None:
+                progress(f"seed {seed}: shrunk to "
+                         f"{mismatch.statements} statement(s) -> {path}")
+        result.mismatches.append(mismatch)
+    return result

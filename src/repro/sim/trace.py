@@ -27,7 +27,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.compiler.scheduler import CompiledProgram
-from repro.compiler.trace import TraceProgram, trace_program
+from repro.compiler.trace import TraceLoweringError, TraceProgram, trace_program
 from repro.memory.hierarchy import MemoryHierarchy
 from repro.memory.stream import AccessStream, StreamOp
 from repro.sim.stats import RunStats
@@ -48,18 +48,34 @@ class TraceExecutionEngine:
         self.compiled = compiled
         self.hierarchy = hierarchy
         self.chunk_size = chunk_size
+        #: Set when :meth:`run` delegated to the interpreter because the
+        #: program fell outside the trace tier's affine contract; ``None``
+        #: after a normal trace-tier run.
+        self.fallback_reason: "str | None" = None
 
     # ------------------------------------------------------------------ run
 
     def run(self) -> RunStats:
         """Execute the whole program once and return its statistics."""
         program = self.compiled.program
+        try:
+            trace = trace_program(self.compiled)
+        except TraceLoweringError as exc:
+            # Outside the affine contract (e.g. an address using a loop
+            # variable from a sibling nest): delegate to the interpreting
+            # oracle, loudly.  Lowering happens before any hierarchy or
+            # stats mutation, so the hand-off is clean; the reason is
+            # recorded for callers and tests — never a silent wrong-stats
+            # path.
+            self.fallback_reason = str(exc)
+            from repro.sim.fast import ExecutionEngine
+            return ExecutionEngine(self.compiled, self.hierarchy).run()
+        self.fallback_reason = None
         stats = RunStats(program_name=program.name,
                          config_name=self.compiled.config.name,
                          flavor=program.flavor.value)
         for name, info in program.regions.items():
             stats.region(name, vectorizable=info.vectorizable)
-        trace = trace_program(self.compiled)
 
         # analytic base statistics (everything but memory stalls)
         for segment in trace.segments:

@@ -73,6 +73,7 @@ _BUILTIN_MODULES: Tuple[str, ...] = (
     "repro.workloads.fir.programs",
     "repro.workloads.sobel.programs",
     "repro.workloads.adpcm.programs",
+    "repro.workloads.synthetic.programs",
 )
 
 #: Canonical presentation order of the shipped benchmarks (the paper's six
@@ -82,6 +83,7 @@ _BUILTIN_MODULES: Tuple[str, ...] = (
 _BUILTIN_ORDER: Tuple[str, ...] = (
     "jpeg_enc", "jpeg_dec", "mpeg2_enc", "mpeg2_dec", "gsm_enc", "gsm_dec",
     "viterbi_dec", "fir_bank", "sobel_edge", "adpcm_codec",
+    "synthetic_stream", "synthetic_gather", "synthetic_deep",
 )
 
 

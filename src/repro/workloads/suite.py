@@ -41,6 +41,7 @@ from repro.workloads.viterbi.programs import ViterbiParameters  # noqa: E402
 __all__ = [
     "BENCHMARK_NAMES",
     "EXTENDED_BENCHMARK_NAMES",
+    "SYNTHETIC_BENCHMARK_NAMES",
     "SuiteParameters",
     "build_benchmark",
     "build_suite",
@@ -58,6 +59,16 @@ BENCHMARK_NAMES: Tuple[str, ...] = (
 #: stencil, ADPCM recurrence).
 EXTENDED_BENCHMARK_NAMES: Tuple[str, ...] = BENCHMARK_NAMES + (
     "viterbi_dec", "fir_bank", "sobel_edge", "adpcm_codec",
+)
+
+#: The seeded synthetic presets (``tag:synthetic``): deterministic random
+#: programs the trace-vs-interpreter fuzz lane sweeps (see
+#: :mod:`repro.workloads.synthetic` and ``python -m repro fuzz``).  They
+#: ship after the extended suite, so the published report tables — which
+#: iterate :data:`BENCHMARK_NAMES` / :data:`EXTENDED_BENCHMARK_NAMES` —
+#: stay byte-stable.
+SYNTHETIC_BENCHMARK_NAMES: Tuple[str, ...] = (
+    "synthetic_stream", "synthetic_gather", "synthetic_deep",
 )
 
 

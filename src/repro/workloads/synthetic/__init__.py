@@ -1,0 +1,49 @@
+"""Seeded synthetic workloads: deterministic random programs + fuzz specs.
+
+See :mod:`repro.workloads.synthetic.generator` for the parameter knobs,
+:mod:`repro.workloads.synthetic.spec` for the portable program-spec form
+the fuzz shrinker and reproducer files use, and
+:mod:`repro.workloads.synthetic.programs` for the registered presets.
+"""
+
+from repro.workloads.synthetic.functional import (
+    synthetic_payload,
+    synthetic_reference,
+    synthetic_usimd,
+    synthetic_vector,
+)
+from repro.workloads.synthetic.generator import (
+    SyntheticParameters,
+    build_synthetic_program,
+    generate_spec,
+    params_for_seed,
+)
+from repro.workloads.synthetic.spec import (
+    LoopSpec,
+    ProgramSpec,
+    Statement,
+    build_program,
+    canonical_spec_json,
+    count_statements,
+    spec_from_dict,
+    spec_to_dict,
+)
+
+__all__ = [
+    "SyntheticParameters",
+    "ProgramSpec",
+    "LoopSpec",
+    "Statement",
+    "generate_spec",
+    "build_program",
+    "build_synthetic_program",
+    "params_for_seed",
+    "canonical_spec_json",
+    "count_statements",
+    "spec_to_dict",
+    "spec_from_dict",
+    "synthetic_payload",
+    "synthetic_reference",
+    "synthetic_usimd",
+    "synthetic_vector",
+]

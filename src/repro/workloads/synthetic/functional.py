@@ -1,0 +1,112 @@
+"""Seed-derived functional references for the synthetic family.
+
+Like every shipped kernel, a synthetic workload carries a NumPy functional
+reference computed three ways — plain NumPy, packed µSIMD emulation and
+vector emulation — that must agree bit for bit.  The payload (an int16
+stream and a pipeline of packed-arithmetic steps) derives from the same
+``SyntheticParameters`` seed as the timing program, so checking the trio
+for a given parameter set pins the generator's data side exactly like
+``fir_bank_reference``/``fir_bank_usimd``/``fir_bank_vector`` pin FIR's.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Tuple
+
+import numpy as np
+
+from repro.isa import packed, vectorops
+from repro.workloads.synthetic.generator import SyntheticParameters
+
+__all__ = [
+    "synthetic_payload",
+    "synthetic_reference",
+    "synthetic_usimd",
+    "synthetic_vector",
+]
+
+#: Packed 16-bit pipeline steps the payload draws from; the two shifts
+#: take an immediate count, the rest a broadcast int16 operand.
+PIPELINE_OPS = ("paddw", "psubw", "pmullw", "pminsw", "pmaxsw",
+                "psllw", "psraw")
+_SHIFT_OPS = ("psllw", "psraw")
+
+
+def synthetic_payload(params: SyntheticParameters
+                      ) -> Tuple[np.ndarray, Tuple[Tuple[str, int], ...]]:
+    """The seed-derived data stream and op pipeline all flavours share."""
+    rng = random.Random(f"synthetic-data:{params.seed}")
+    words = max(16, min(256, (params.footprint_kb * 1024) // 64))
+    count = words * packed.LANES_16
+    data = np.array([rng.randrange(-32768, 32768) for _ in range(count)],
+                    dtype=np.int16)
+    pipeline = []
+    for _ in range(max(1, params.chain_length)):
+        name = rng.choice(PIPELINE_OPS)
+        operand = (rng.randrange(1, 8) if name in _SHIFT_OPS
+                   else rng.randrange(-32768, 32768))
+        pipeline.append((name, operand))
+    return data, tuple(pipeline)
+
+
+def synthetic_reference(params: SyntheticParameters) -> np.ndarray:
+    """Reference pipeline: flat NumPy int16 with explicit wrap-around."""
+    data, pipeline = synthetic_payload(params)
+    x = data.astype(np.int16)
+    for name, operand in pipeline:
+        if name == "paddw":
+            x = _wrap16(x.astype(np.int32) + operand)
+        elif name == "psubw":
+            x = _wrap16(x.astype(np.int32) - operand)
+        elif name == "pmullw":
+            x = _wrap16(x.astype(np.int32) * operand)
+        elif name == "pminsw":
+            x = np.minimum(x, np.int16(operand))
+        elif name == "pmaxsw":
+            x = np.maximum(x, np.int16(operand))
+        elif name == "psllw":
+            x = _wrap16(x.astype(np.int32) << operand)
+        elif name == "psraw":
+            x = (x >> operand).astype(np.int16)
+        else:  # pragma: no cover - defensive
+            raise ValueError(f"unknown pipeline op {name!r}")
+    return x
+
+
+def _wrap16(wide: np.ndarray) -> np.ndarray:
+    return (wide & 0xFFFF).astype(np.uint16).astype(np.int16)
+
+
+def _apply_packed(words: np.ndarray, name: str, operand: int) -> np.ndarray:
+    if name in _SHIFT_OPS:
+        return getattr(packed, name)(words, operand)
+    rhs = np.full(words.shape, operand, dtype=np.int16)
+    return getattr(packed, name)(words, rhs)
+
+
+def synthetic_usimd(params: SyntheticParameters) -> np.ndarray:
+    """µSIMD pipeline: packed words of four 16-bit lanes, one op at a time."""
+    data, pipeline = synthetic_payload(params)
+    words = packed.to_packed(data, packed.LANES_16)
+    out = np.empty_like(words)
+    for index in range(words.shape[0]):
+        word = words[index]
+        for name, operand in pipeline:
+            word = _apply_packed(word, name, operand)
+        out[index] = word
+    return packed.from_packed(out)
+
+
+def synthetic_vector(params: SyntheticParameters,
+                     max_vl: int = vectorops.MAX_VL) -> np.ndarray:
+    """Vector pipeline: up to ``max_vl`` packed words per operation."""
+    data, pipeline = synthetic_payload(params)
+    words = packed.to_packed(data, packed.LANES_16)
+    out = np.empty_like(words)
+    for start in range(0, words.shape[0], max_vl):
+        chunk = words[start:start + max_vl]
+        for name, operand in pipeline:
+            chunk = _apply_packed(chunk, name, operand)
+        out[start:start + chunk.shape[0]] = chunk
+    return packed.from_packed(out)

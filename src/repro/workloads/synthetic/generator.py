@@ -1,0 +1,194 @@
+"""Deterministic seed-parameterised random-program generation.
+
+:class:`SyntheticParameters` spans the knobs the fuzz lane sweeps — nest
+depth, trip counts, stride/gather density, dependence-chain length, the
+scalar/µSIMD/vector mix and the memory footprint — and
+:func:`generate_spec` expands one parameter set into a
+:class:`~repro.workloads.synthetic.spec.ProgramSpec` using nothing but
+``random.Random(seed)``, so the same seed yields a byte-identical spec
+(and therefore the same compile fingerprint and store key) in every
+process and on every platform.
+
+:func:`params_for_seed` is the fuzz driver's meta-generator: it derives a
+*whole parameter set* from one sweep seed, so a seed sweep explores the
+knob space too, not just one slice of it.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.compiler.ir import ISAFlavor, KernelProgram
+from repro.workloads.synthetic.spec import (
+    LoopSpec,
+    ProgramSpec,
+    Statement,
+    build_program,
+)
+
+__all__ = [
+    "SyntheticParameters",
+    "generate_spec",
+    "build_synthetic_program",
+    "params_for_seed",
+]
+
+_TRIP_DEGENERATE = (0, 1)
+_VL_CHOICES = (2, 4, 8, 16)
+_STRIDE_CHOICES = (16, 24, 32, 64)
+_COEF_FACTORS = (1, 2, 4, 8, 16)
+
+
+@dataclass(frozen=True)
+class SyntheticParameters:
+    """Input geometry of one synthetic program (the registry family)."""
+
+    #: Every structural decision derives from this seed alone.
+    seed: int = 0
+    #: Maximum loop-nest depth.
+    depth: int = 3
+    #: Statement budget (leaf count of the generated tree).
+    statements: int = 12
+    #: Trip-count range for non-degenerate loops.
+    min_trip: int = 1
+    max_trip: int = 8
+    #: Fraction of vector accesses with a non-unit stride.
+    stride_density: float = 0.25
+    #: Fraction of accesses with data-dependent (wrapped) addresses.
+    gather_density: float = 0.15
+    #: Maximum dependence-chain / compute-block length.
+    chain_length: int = 6
+    #: ISA mix weights for scalar / packed (µSIMD) / vector statements.
+    scalar_weight: int = 1
+    packed_weight: int = 2
+    vector_weight: int = 2
+    #: Total array footprint.
+    footprint_kb: int = 16
+    #: Fraction of loops forced degenerate (zero or single trip).
+    degenerate_density: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.seed < 0:
+            raise ValueError("seed must be >= 0")
+        if not 1 <= self.depth <= 8:
+            raise ValueError("depth must be in 1..8")
+        if self.statements < 1:
+            raise ValueError("the statement budget must be positive")
+        if not 0 <= self.min_trip <= self.max_trip:
+            raise ValueError("need 0 <= min_trip <= max_trip")
+        for name in ("stride_density", "gather_density", "degenerate_density"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1]")
+        if self.chain_length < 1:
+            raise ValueError("chain_length must be positive")
+        weights = (self.scalar_weight, self.packed_weight, self.vector_weight)
+        if min(weights) < 0 or sum(weights) == 0:
+            raise ValueError("ISA mix weights must be >= 0 and not all zero")
+        if self.footprint_kb < 1:
+            raise ValueError("footprint_kb must be positive")
+
+
+def generate_spec(params: SyntheticParameters) -> ProgramSpec:
+    """Expand ``params`` into its program spec (pure function of the seed)."""
+    rng = random.Random(params.seed)
+    n_arrays = 2 + rng.randrange(3)
+    size = max(256, ((params.footprint_kb * 1024) // n_arrays) & ~63)
+    arrays = tuple((f"buf{index}", size) for index in range(n_arrays))
+    units = (("scalar",) * params.scalar_weight
+             + ("packed",) * params.packed_weight
+             + ("vector",) * params.vector_weight)
+    budget = [params.statements]
+    labels = [0]
+
+    def pick_trip() -> int:
+        if rng.random() < params.degenerate_density:
+            return rng.choice(_TRIP_DEGENERATE)
+        if params.max_trip == params.min_trip:
+            return params.min_trip
+        return rng.randrange(params.min_trip, params.max_trip + 1)
+
+    def gen_statement(depth: int) -> Statement:
+        unit = rng.choice(units)
+        region = ("R0" if unit == "scalar" and rng.random() < 0.6
+                  else rng.choice(("R1", "R2")))
+        if rng.random() < 0.6:
+            array = rng.randrange(n_arrays)
+            coefs = tuple(
+                (8 * rng.choice(_COEF_FACTORS) if rng.random() < 0.75 else 0)
+                for _ in range(depth))
+            stride = (rng.choice(_STRIDE_CHOICES)
+                      if rng.random() < params.stride_density else 8)
+            return Statement(
+                kind="mem", unit=unit, region=region, array=array,
+                offset=8 * rng.randrange(size // 8),
+                coefs=coefs,
+                store=rng.random() < 0.35,
+                wrap=size if rng.random() < params.gather_density else 0,
+                vl=rng.choice(_VL_CHOICES), stride=stride)
+        return Statement(
+            kind="compute", unit=unit, region=region,
+            length=1 + rng.randrange(params.chain_length),
+            dependent=rng.random() < 0.7,
+            vl=rng.choice(_VL_CHOICES))
+
+    def gen_body(depth: int) -> Tuple:
+        nodes = []
+        while budget[0] > 0:
+            if depth < params.depth and rng.random() < 0.35:
+                labels[0] += 1
+                label = f"L{labels[0]}"
+                nodes.append(LoopSpec(trip=pick_trip(), label=label,
+                                      body=gen_body(depth + 1)))
+            else:
+                budget[0] -= 1
+                nodes.append(gen_statement(depth))
+            if depth > 0 and rng.random() < 0.3:
+                break
+        return tuple(nodes)
+
+    return ProgramSpec(name=f"synthetic_s{params.seed}", arrays=arrays,
+                       body=gen_body(0))
+
+
+def build_synthetic_program(flavor: ISAFlavor,
+                            params: SyntheticParameters) -> KernelProgram:
+    """The registered builder: generate the spec and lower it to IR."""
+    return build_program(generate_spec(params), flavor)
+
+
+def params_for_seed(seed: int, scale: str = "tiny") -> SyntheticParameters:
+    """Derive a whole knob configuration from one fuzz-sweep seed.
+
+    ``scale`` bounds the program size: ``"tiny"`` keeps a full
+    three-flavour comparison in the low milliseconds (the tier-1 sweep),
+    ``"default"`` generates report-sized programs for the slow lane.
+    """
+    rng = random.Random(f"synthetic-sweep:{seed}")
+    if scale == "tiny":
+        statements = 3 + rng.randrange(8)
+        depth = 1 + rng.randrange(3)
+        max_trip = 2 + rng.randrange(5)
+        footprint = 2
+    elif scale == "default":
+        statements = 8 + rng.randrange(25)
+        depth = 1 + rng.randrange(4)
+        max_trip = 4 + rng.randrange(29)
+        footprint = 8 * (1 + rng.randrange(8))
+    else:
+        raise ValueError(f"unknown fuzz scale {scale!r} "
+                         f"(choose 'tiny' or 'default')")
+    weights = rng.choice(((1, 1, 1), (1, 2, 2), (2, 1, 1),
+                          (0, 1, 2), (1, 0, 2), (1, 2, 0)))
+    return SyntheticParameters(
+        seed=seed, depth=depth, statements=statements,
+        min_trip=0, max_trip=max_trip,
+        stride_density=rng.choice((0.0, 0.25, 0.5, 1.0)),
+        gather_density=rng.choice((0.0, 0.2, 0.5)),
+        chain_length=1 + rng.randrange(8),
+        scalar_weight=weights[0], packed_weight=weights[1],
+        vector_weight=weights[2],
+        footprint_kb=footprint,
+        degenerate_density=rng.choice((0.0, 0.15, 0.4)))

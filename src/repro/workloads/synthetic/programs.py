@@ -1,0 +1,101 @@
+"""The registered synthetic benchmarks.
+
+Three presets of the seeded generator ship as ordinary registry entries,
+so ``bench list``, ``report --benchmarks tag:synthetic``, ``sweep`` and
+``explore`` all work on generated programs out of the box:
+
+``synthetic_stream``
+    Streaming-biased mix — mostly unit-stride packed/vector traffic,
+    shallow nests.  The shape the trace tier is fastest on.
+``synthetic_gather``
+    Gather/scatter and strided-access heavy — every wrapped-address and
+    non-unit-stride path through both engines.
+``synthetic_deep``
+    Deep nests, long dependence chains and a high degenerate-loop density
+    (zero-trip and single-iteration nests) — the lowering edge cases.
+
+Each preset is its own parameter family (families share one canonical
+default/tiny contract, and the presets differ in exactly those), all
+tagged ``synthetic`` so ``tag:synthetic`` selects the family.  The
+builders are plain module-level callables, so the definitions pickle to
+pool workers like any user registration.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.registry import register_workload
+from repro.workloads.synthetic.generator import (
+    SyntheticParameters,
+    build_synthetic_program,
+)
+
+__all__ = [
+    "build_synthetic_stream",
+    "build_synthetic_gather",
+    "build_synthetic_deep",
+]
+
+_TAGS = ("synthetic", "generated")
+
+
+@register_workload(
+    "synthetic_stream", family="synthetic_stream",
+    params=SyntheticParameters,
+    default=SyntheticParameters(seed=101, depth=2, statements=24,
+                                min_trip=4, max_trip=64,
+                                stride_density=0.1, gather_density=0.05,
+                                chain_length=4, scalar_weight=1,
+                                packed_weight=3, vector_weight=3,
+                                footprint_kb=64, degenerate_density=0.0),
+    tiny=SyntheticParameters(seed=101, depth=2, statements=8,
+                             min_trip=2, max_trip=6,
+                             stride_density=0.1, gather_density=0.05,
+                             chain_length=3, scalar_weight=1,
+                             packed_weight=3, vector_weight=3,
+                             footprint_kb=4, degenerate_density=0.0),
+    description="seeded random program, streaming-biased access mix",
+    tags=_TAGS)
+def build_synthetic_stream(flavor, params):
+    return build_synthetic_program(flavor, params)
+
+
+@register_workload(
+    "synthetic_gather", family="synthetic_gather",
+    params=SyntheticParameters,
+    default=SyntheticParameters(seed=202, depth=3, statements=20,
+                                min_trip=2, max_trip=32,
+                                stride_density=0.6, gather_density=0.5,
+                                chain_length=4, scalar_weight=1,
+                                packed_weight=2, vector_weight=3,
+                                footprint_kb=48, degenerate_density=0.05),
+    tiny=SyntheticParameters(seed=202, depth=2, statements=8,
+                             min_trip=1, max_trip=5,
+                             stride_density=0.6, gather_density=0.5,
+                             chain_length=3, scalar_weight=1,
+                             packed_weight=2, vector_weight=3,
+                             footprint_kb=4, degenerate_density=0.05),
+    description="seeded random program, gather/scatter and stride heavy",
+    tags=_TAGS)
+def build_synthetic_gather(flavor, params):
+    return build_synthetic_program(flavor, params)
+
+
+@register_workload(
+    "synthetic_deep", family="synthetic_deep",
+    params=SyntheticParameters,
+    default=SyntheticParameters(seed=303, depth=5, statements=18,
+                                min_trip=0, max_trip=12,
+                                stride_density=0.25, gather_density=0.15,
+                                chain_length=10, scalar_weight=2,
+                                packed_weight=2, vector_weight=1,
+                                footprint_kb=32, degenerate_density=0.35),
+    tiny=SyntheticParameters(seed=303, depth=4, statements=8,
+                             min_trip=0, max_trip=4,
+                             stride_density=0.25, gather_density=0.15,
+                             chain_length=5, scalar_weight=2,
+                             packed_weight=2, vector_weight=1,
+                             footprint_kb=4, degenerate_density=0.35),
+    description="seeded random program, deep nests and degenerate loops",
+    tags=_TAGS)
+def build_synthetic_deep(flavor, params):
+    return build_synthetic_program(flavor, params)

@@ -1,0 +1,286 @@
+"""JSON-serialisable program specs for the synthetic workload family.
+
+A :class:`ProgramSpec` is the *portable* form of a generated program: a
+tree of :class:`LoopSpec` and :class:`Statement` nodes plus an array
+table.  It exists so that
+
+* the generator (:mod:`repro.workloads.synthetic.generator`) can emit a
+  value that round-trips through JSON byte-identically — the seed
+  determinism tests and the store fingerprints both hang off the
+  canonical encoding;
+* the fuzz shrinker (:mod:`repro.fuzz`) can apply structural reductions
+  (drop a node, halve a trip count, zero a coefficient) as pure tree
+  transformations without touching IR internals;
+* a checked-in reproducer file (``tests/reproducers/``) can rebuild the
+  exact failing program years later, independent of generator drift.
+
+:func:`build_program` lowers a spec to a :class:`KernelProgram` through
+the ordinary :class:`~repro.compiler.builder.KernelBuilder` DSL, mapping
+statement units onto the target ISA flavour exactly like the shipped
+kernels do (vector statements degrade to packed words on the µSIMD
+machine and to scalar accesses on the scalar one).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple, Union
+
+from repro.compiler.builder import KernelBuilder
+from repro.compiler.ir import AddressExpr, ISAFlavor, KernelProgram
+from repro.isa.operations import Opcode
+from repro.memory.layout import AddressSpace
+
+__all__ = [
+    "SPEC_FORMAT",
+    "Statement",
+    "LoopSpec",
+    "ProgramSpec",
+    "spec_to_dict",
+    "spec_from_dict",
+    "canonical_spec_json",
+    "count_statements",
+    "build_program",
+]
+
+#: Format tag written into every serialised spec (and reproducer file).
+SPEC_FORMAT = "repro-synthetic-spec/1"
+
+#: Statement units, in degradation order: a ``vector`` statement runs as
+#: packed words on the µSIMD machine and as scalar code on the scalar one.
+UNITS = ("scalar", "packed", "vector")
+
+#: Statement kinds: a memory access or a block of computation.
+KINDS = ("mem", "compute")
+
+
+@dataclass(frozen=True)
+class Statement:
+    """One leaf of a synthetic program: a memory access or compute block.
+
+    ``coefs`` are byte coefficients per *enclosing* loop, outermost first;
+    coefficients beyond the actual nesting depth are ignored (which keeps
+    specs valid under the shrinker's loop removals).
+    """
+
+    kind: str  # "mem" | "compute"
+    unit: str  # "scalar" | "packed" | "vector"
+    region: str = "R1"
+    # --- memory statements
+    array: int = 0
+    offset: int = 0
+    coefs: Tuple[int, ...] = ()
+    store: bool = False
+    #: >0: data-dependent access scattering inside this many bytes
+    #: (gather/scatter, like ``KernelBuilder.table_lookup``).
+    wrap: int = 0
+    vl: int = 4
+    stride: int = 8
+    # --- compute statements
+    length: int = 1
+    dependent: bool = True
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown statement kind {self.kind!r}")
+        if self.unit not in UNITS:
+            raise ValueError(f"unknown statement unit {self.unit!r}")
+        if self.array < 0 or self.offset < 0 or self.wrap < 0:
+            raise ValueError("array index, offset and wrap must be >= 0")
+        if not 1 <= self.vl <= 16:
+            raise ValueError("vector length must be in 1..16")
+        if self.stride <= 0 or self.length < 1:
+            raise ValueError("stride and length must be positive")
+
+
+@dataclass(frozen=True)
+class LoopSpec:
+    """A counted loop around a sub-tree of nodes."""
+
+    trip: int
+    body: Tuple["SpecNode", ...] = ()
+    label: str = "L"
+
+    def __post_init__(self) -> None:
+        if self.trip < 0:
+            raise ValueError("trip count must be >= 0")
+
+
+SpecNode = Union[Statement, LoopSpec]
+
+
+@dataclass(frozen=True)
+class ProgramSpec:
+    """A whole synthetic program: array table plus node tree."""
+
+    name: str
+    #: ``(name, size_bytes)`` per array, allocated in order.
+    arrays: Tuple[Tuple[str, int], ...]
+    body: Tuple[SpecNode, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.arrays:
+            raise ValueError("a program spec needs at least one array")
+        for name, size in self.arrays:
+            if size <= 0:
+                raise ValueError(f"array {name!r} needs a positive size")
+
+
+# ---------------------------------------------------------------------------
+# JSON round trip
+# ---------------------------------------------------------------------------
+
+def _node_to_dict(node: SpecNode) -> Dict:
+    if isinstance(node, LoopSpec):
+        return {"loop": {"trip": node.trip, "label": node.label,
+                         "body": [_node_to_dict(child) for child in node.body]}}
+    return {"stmt": {"kind": node.kind, "unit": node.unit,
+                     "region": node.region, "array": node.array,
+                     "offset": node.offset, "coefs": list(node.coefs),
+                     "store": node.store, "wrap": node.wrap, "vl": node.vl,
+                     "stride": node.stride, "length": node.length,
+                     "dependent": node.dependent}}
+
+
+def _node_from_dict(data: Dict) -> SpecNode:
+    if "loop" in data:
+        loop = data["loop"]
+        return LoopSpec(trip=int(loop["trip"]), label=str(loop["label"]),
+                        body=tuple(_node_from_dict(child)
+                                   for child in loop["body"]))
+    stmt = data["stmt"]
+    return Statement(kind=stmt["kind"], unit=stmt["unit"],
+                     region=stmt["region"], array=int(stmt["array"]),
+                     offset=int(stmt["offset"]),
+                     coefs=tuple(int(c) for c in stmt["coefs"]),
+                     store=bool(stmt["store"]), wrap=int(stmt["wrap"]),
+                     vl=int(stmt["vl"]), stride=int(stmt["stride"]),
+                     length=int(stmt["length"]),
+                     dependent=bool(stmt["dependent"]))
+
+
+def spec_to_dict(spec: ProgramSpec) -> Dict:
+    return {"format": SPEC_FORMAT, "name": spec.name,
+            "arrays": [[name, size] for name, size in spec.arrays],
+            "body": [_node_to_dict(node) for node in spec.body]}
+
+
+def spec_from_dict(data: Dict) -> ProgramSpec:
+    if data.get("format") != SPEC_FORMAT:
+        raise ValueError(f"unsupported spec format {data.get('format')!r} "
+                         f"(expected {SPEC_FORMAT!r})")
+    return ProgramSpec(name=str(data["name"]),
+                       arrays=tuple((str(name), int(size))
+                                    for name, size in data["arrays"]),
+                       body=tuple(_node_from_dict(node)
+                                  for node in data["body"]))
+
+
+def canonical_spec_json(spec: ProgramSpec) -> str:
+    """The byte-stable encoding the determinism tests compare."""
+    return json.dumps(spec_to_dict(spec), sort_keys=True,
+                      separators=(",", ":"))
+
+
+def count_statements(spec: ProgramSpec) -> int:
+    """Number of :class:`Statement` leaves (the shrinker's size metric)."""
+    def walk(nodes: Sequence[SpecNode]) -> int:
+        total = 0
+        for node in nodes:
+            total += walk(node.body) if isinstance(node, LoopSpec) else 1
+        return total
+    return walk(spec.body)
+
+
+# ---------------------------------------------------------------------------
+# Lowering a spec to IR through the builder DSL
+# ---------------------------------------------------------------------------
+
+def _effective_unit(unit: str, flavor: ISAFlavor) -> str:
+    if flavor is ISAFlavor.SCALAR:
+        return "scalar"
+    if flavor is ISAFlavor.USIMD and unit == "vector":
+        return "packed"
+    return unit
+
+
+def _address(stmt: Statement, arrays, env) -> AddressExpr:
+    spec = arrays[stmt.array % len(arrays)]
+    terms = tuple((var, coef) for var, coef in zip(env, stmt.coefs) if coef)
+    wrap = min(stmt.wrap, spec.size_bytes) or None
+    return AddressExpr(base=spec.base + stmt.offset % spec.size_bytes,
+                       terms=terms, wrap_bytes=wrap)
+
+
+def _emit_mem(b: KernelBuilder, stmt: Statement, arrays, env) -> None:
+    unit = _effective_unit(stmt.unit, b.flavor)
+    address = _address(stmt, arrays, env)
+    if unit == "vector":
+        b.setvl(stmt.vl)
+        if stmt.stride != 8 and stmt.stride % 8 == 0:
+            b.setvs(stride_words=stmt.stride // 8)
+        if stmt.store:
+            value = b.vop(Opcode.VADDW, vl=stmt.vl, comment="synth value")
+            b.vstore(address, value, vl=stmt.vl, stride_bytes=stmt.stride)
+        else:
+            b.vload(address, vl=stmt.vl, stride_bytes=stmt.stride)
+    elif unit == "packed":
+        if stmt.store:
+            value = b.simd(Opcode.PADDW, comment="synth value")
+            b.mstore(address, value)
+        else:
+            b.mload(address)
+    else:
+        if stmt.store:
+            b.store(address, b.iop(Opcode.MOV, comment="synth value"))
+        else:
+            b.load(address)
+
+
+def _emit_compute(b: KernelBuilder, stmt: Statement) -> None:
+    unit = _effective_unit(stmt.unit, b.flavor)
+    if unit == "vector":
+        b.setvl(stmt.vl)
+        value = b.vop(Opcode.VADDW, vl=stmt.vl)
+        for _ in range(stmt.length - 1):
+            srcs = (value,) if stmt.dependent else ()
+            value = b.vop(Opcode.VADDW, *srcs, vl=stmt.vl)
+    elif unit == "packed":
+        value = b.simd(Opcode.PADDW)
+        for _ in range(stmt.length - 1):
+            srcs = (value,) if stmt.dependent else ()
+            value = b.simd(Opcode.PADDW, *srcs)
+    elif stmt.dependent:
+        b.dependent_chain(stmt.length)
+    else:
+        b.independent_ops(stmt.length)
+
+
+def _emit_nodes(b: KernelBuilder, nodes: Sequence[SpecNode], arrays,
+                env: List) -> None:
+    for node in nodes:
+        if isinstance(node, LoopSpec):
+            with b.loop(node.trip, name=node.label) as var:
+                env.append(var)
+                try:
+                    _emit_nodes(b, node.body, arrays, env)
+                finally:
+                    env.pop()
+        else:
+            with b.region(node.region, "synthetic region",
+                          vectorizable=node.region != "R0"):
+                if node.kind == "mem":
+                    _emit_mem(b, node, arrays, env)
+                else:
+                    _emit_compute(b, node)
+
+
+def build_program(spec: ProgramSpec, flavor: ISAFlavor) -> KernelProgram:
+    """Lower ``spec`` to a :class:`KernelProgram` for ``flavor``."""
+    space = AddressSpace()
+    arrays = [space.allocate(name, (size,), element_bytes=1)
+              for name, size in spec.arrays]
+    builder = KernelBuilder(spec.name, flavor, address_space=space)
+    _emit_nodes(builder, spec.body, arrays, [])
+    return builder.program()

@@ -1,0 +1,160 @@
+"""The standing trace-vs-interpreter fuzz lane (repro.fuzz).
+
+Tier-1 runs a bounded hypothesis-driven seed sweep at tiny sizes (kept
+well under ten seconds); the ``slow`` marker guards a wider sweep for the
+nightly lane.  The injected-bug tests prove the whole pipeline — sweep,
+field diff, shrinker, reproducer file — catches a deliberate engine
+mutation and minimizes it to a replayable case.
+"""
+
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fuzz import (
+    FLAVORS,
+    check_reproducer,
+    compare_spec,
+    load_reproducer,
+    run_fuzz,
+    shrink_spec,
+    write_reproducer,
+)
+from repro.workloads.synthetic import (
+    LoopSpec,
+    ProgramSpec,
+    Statement,
+    count_statements,
+    generate_spec,
+    params_for_seed,
+)
+
+
+class TestBoundedSweep:
+    """The tier-1 fast lane: a bounded seed sweep, trace == interpreter."""
+
+    @given(seed=st.integers(min_value=0, max_value=50_000))
+    @settings(max_examples=12, deadline=None)
+    def test_generated_programs_agree(self, seed):
+        spec = generate_spec(params_for_seed(seed, scale="tiny"))
+        for flavor in FLAVORS:
+            assert compare_spec(spec, flavor, "vector2-2w") is None
+
+    def test_run_fuzz_clean_sweep(self):
+        result = run_fuzz(6, perfect_modes=(False,))
+        assert result.ok
+        assert result.seeds_run == 6
+        assert result.comparisons == 6 * len(FLAVORS)
+
+    def test_budget_stops_early(self):
+        result = run_fuzz(10_000, budget_seconds=0.0)
+        assert result.budget_exhausted
+        assert result.seeds_run < 10_000
+
+    @pytest.mark.slow
+    def test_wide_sweep_both_memory_modes(self):
+        result = run_fuzz(60, perfect_modes=(False, True))
+        assert result.ok, [m.detail for m in result.mismatches]
+        assert result.comparisons == 60 * len(FLAVORS) * 2
+
+
+def _has_strided_vector_access(spec: ProgramSpec) -> bool:
+    def walk(nodes) -> bool:
+        for node in nodes:
+            if isinstance(node, LoopSpec):
+                if walk(node.body):
+                    return True
+            elif node.kind == "mem" and node.unit == "vector" \
+                    and node.stride != 8:
+                return True
+        return False
+    return walk(spec.body)
+
+
+def _inject_strided_bug(spec: ProgramSpec, stats) -> None:
+    """A deliberate engine bug: strided vector programs gain one cycle."""
+    if _has_strided_vector_access(spec):
+        next(iter(stats.regions.values())).cycles += 1
+
+
+class TestInjectedBug:
+    """Acceptance: a deliberate mutation is caught, shrunk and replayable."""
+
+    def test_bug_is_caught_shrunk_and_replayable(self, tmp_path):
+        result = run_fuzz(12, corrupt=_inject_strided_bug,
+                          reproducer_dir=tmp_path)
+        assert not result.ok, "the injected bug must be caught"
+        mismatch = result.mismatches[0]
+        assert mismatch.statements <= 20
+        assert mismatch.detail
+        path = Path(mismatch.reproducer)
+        assert path.is_file()
+        # while the bug is "in the engine", the reproducer still fails ...
+        assert check_reproducer(path, corrupt=_inject_strided_bug) is not None
+        # ... and once fixed, it passes: a permanent regression case
+        assert check_reproducer(path) is None
+
+    def test_shrunk_spec_keeps_the_trigger(self):
+        seed = next(
+            seed for seed in range(100)
+            if _has_strided_vector_access(
+                generate_spec(params_for_seed(seed, scale="tiny"))))
+        spec = generate_spec(params_for_seed(seed, scale="tiny"))
+
+        def still_fails(candidate):
+            return compare_spec(candidate, FLAVORS[2], "vector2-2w",
+                                corrupt=_inject_strided_bug) is not None
+
+        assert still_fails(spec)
+        shrunk = shrink_spec(spec, still_fails)
+        assert _has_strided_vector_access(shrunk)
+        assert count_statements(shrunk) <= count_statements(spec)
+        assert still_fails(shrunk)
+
+    def test_without_shrinking(self, tmp_path):
+        result = run_fuzz(12, corrupt=_inject_strided_bug,
+                          reproducer_dir=tmp_path, shrink=False)
+        assert not result.ok
+        assert Path(result.mismatches[0].reproducer).is_file()
+
+
+class TestReproducerFiles:
+    def test_write_load_round_trip(self, tmp_path):
+        from repro.compiler.ir import ISAFlavor
+
+        spec = generate_spec(params_for_seed(4, scale="tiny"))
+        path = write_reproducer(tmp_path, spec=spec, flavor=ISAFlavor.VECTOR,
+                                config="vector2-2w", perfect=False, seed=4,
+                                detail="example")
+        data = load_reproducer(path)
+        assert data["spec"] == spec
+        assert data["flavor"] is ISAFlavor.VECTOR
+        assert data["config"] == "vector2-2w"
+        assert data["perfect"] is False
+        assert data["seed"] == 4
+
+    def test_unknown_format_rejected(self, tmp_path):
+        bad = tmp_path / "reproducer_bad.json"
+        bad.write_text('{"format": "something-else/9"}')
+        with pytest.raises(ValueError, match="format"):
+            load_reproducer(bad)
+
+
+class TestFuzzCli:
+    def test_clean_run_exits_zero(self, capsys, tmp_path):
+        from repro.__main__ import main
+
+        assert main(["fuzz", "--seeds", "3",
+                     "--reproducer-dir", str(tmp_path / "out")]) == 0
+        out = capsys.readouterr().out
+        assert "0 mismatch(es)" in out
+        assert not (tmp_path / "out").exists()  # created lazily
+
+    def test_unknown_config_is_a_clean_error(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["fuzz", "--seeds", "1",
+                     "--configs", "warp-drive"]) == 2
+        assert "error:" in capsys.readouterr().err

@@ -1,0 +1,34 @@
+"""Replay checked-in fuzz reproducers as permanent regression cases.
+
+When ``python -m repro fuzz`` finds and shrinks an engine divergence, the
+minimized reproducer file gets checked in under ``tests/reproducers/``
+(see that directory's README).  Every file there replays here: the two
+execution tiers must agree on it field for field — forever.  The
+directory ships empty except for its README; the parametrization is
+empty-safe.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.fuzz import check_reproducer
+
+REPRODUCER_DIR = Path(__file__).resolve().parent / "reproducers"
+REPRODUCER_FILES = sorted(REPRODUCER_DIR.glob("*.json"))
+
+
+def test_reproducer_directory_exists():
+    """Keeps this module meaningful (and collectable) when no finds are
+    checked in yet."""
+    assert REPRODUCER_DIR.is_dir()
+    assert (REPRODUCER_DIR / "README.md").is_file()
+
+
+@pytest.mark.parametrize("path", REPRODUCER_FILES,
+                         ids=lambda p: p.name)
+def test_reproducer_replays_clean(path):
+    detail = check_reproducer(path)
+    assert detail is None, (
+        f"{path.name}: the engines diverge again on a previously fixed "
+        f"reproducer — {detail}")

@@ -1,0 +1,242 @@
+"""Tests of the synthetic workload family (repro.workloads.synthetic).
+
+Covers the spec JSON round trip, seed determinism, the degenerate-shape
+guarantees (zero-trip and single-iteration nests agree across engines),
+the builder's non-affine-address rejection, the trace tier's explicit
+interpreter fallback, and the three-way bit-identical functional
+references — the same guarantees every shipped kernel family carries.
+"""
+
+import numpy as np
+import pytest
+
+from repro.compiler.builder import KernelBuilder
+from repro.compiler.ir import ISAFlavor
+from repro.compiler.trace import TraceLoweringError
+from repro.machine.config import get_config
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.sim.fast import ExecutionEngine, execute_program
+from repro.sim.trace import TraceExecutionEngine
+from repro.workloads.suite import SYNTHETIC_BENCHMARK_NAMES, SuiteParameters, build_suite
+from repro.workloads.synthetic import (
+    LoopSpec,
+    ProgramSpec,
+    Statement,
+    SyntheticParameters,
+    build_program,
+    canonical_spec_json,
+    count_statements,
+    generate_spec,
+    params_for_seed,
+    spec_from_dict,
+    spec_to_dict,
+    synthetic_reference,
+    synthetic_usimd,
+    synthetic_vector,
+)
+
+FLAVORS = (ISAFlavor.SCALAR, ISAFlavor.USIMD, ISAFlavor.VECTOR)
+
+
+def _engines_identical(program, config_name="vector2-2w", perfect=False):
+    traced = execute_program(program, get_config(config_name),
+                             perfect_memory=perfect, engine="trace")
+    reference = execute_program(program, get_config(config_name),
+                                perfect_memory=perfect, engine="interpreter")
+    assert traced.to_dict() == reference.to_dict()
+
+
+class TestSpecRoundTrip:
+    def test_json_round_trip_is_identity(self):
+        spec = generate_spec(SyntheticParameters(seed=11, statements=10))
+        assert spec_from_dict(spec_to_dict(spec)) == spec
+
+    def test_canonical_json_is_deterministic(self):
+        params = SyntheticParameters(seed=3, statements=8)
+        assert (canonical_spec_json(generate_spec(params))
+                == canonical_spec_json(generate_spec(params)))
+
+    def test_different_seeds_differ(self):
+        a = generate_spec(SyntheticParameters(seed=0))
+        b = generate_spec(SyntheticParameters(seed=1))
+        assert canonical_spec_json(a) != canonical_spec_json(b)
+
+    def test_statement_budget_is_respected(self):
+        for seed in range(5):
+            params = SyntheticParameters(seed=seed, statements=7)
+            assert count_statements(generate_spec(params)) <= 7
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError, match="min_trip"):
+            SyntheticParameters(min_trip=5, max_trip=2)
+        with pytest.raises(ValueError, match="weights"):
+            SyntheticParameters(scalar_weight=0, packed_weight=0,
+                                vector_weight=0)
+        with pytest.raises(ValueError, match="gather_density"):
+            SyntheticParameters(gather_density=1.5)
+        with pytest.raises(ValueError, match="scale"):
+            params_for_seed(0, scale="huge")
+
+
+class TestDegenerateShapes:
+    """Zero-trip and single-iteration nests: no silent wrong-stats path."""
+
+    def _spec(self, body):
+        return ProgramSpec(name="degenerate", arrays=(("buf", 512),),
+                           body=body)
+
+    @pytest.mark.parametrize("flavor", FLAVORS, ids=lambda f: f.value)
+    def test_zero_trip_loop_agrees(self, flavor):
+        spec = self._spec((
+            LoopSpec(trip=0, label="Lz", body=(
+                Statement(kind="mem", unit="vector", coefs=(8,)),
+                Statement(kind="compute", unit="packed", length=4),
+            )),
+            Statement(kind="mem", unit="scalar", region="R0"),
+        ))
+        _engines_identical(build_program(spec, flavor))
+
+    @pytest.mark.parametrize("flavor", FLAVORS, ids=lambda f: f.value)
+    def test_single_iteration_nest_agrees(self, flavor):
+        spec = self._spec((
+            LoopSpec(trip=1, label="La", body=(
+                LoopSpec(trip=1, label="Lb", body=(
+                    Statement(kind="mem", unit="vector", coefs=(16, 8),
+                              store=True, stride=16),
+                )),
+            )),
+        ))
+        _engines_identical(build_program(spec, flavor))
+
+    def test_empty_body_loops_agree(self):
+        spec = self._spec((LoopSpec(trip=5, label="Le", body=()),))
+        for perfect in (False, True):
+            _engines_identical(build_program(spec, ISAFlavor.SCALAR),
+                               perfect=perfect)
+
+    def test_deep_preset_carries_degenerate_loops(self):
+        # the shipped preset actually exercises the degenerate paths
+        spec = generate_spec(SyntheticParameters(
+            seed=303, depth=4, statements=8, min_trip=0, max_trip=4,
+            degenerate_density=0.35, footprint_kb=4))
+        trips = []
+
+        def walk(nodes):
+            for node in nodes:
+                if isinstance(node, LoopSpec):
+                    trips.append(node.trip)
+                    walk(node.body)
+        walk(spec.body)
+        assert any(trip <= 1 for trip in trips)
+
+
+class TestNonAffineRejection:
+    """Out-of-scope address variables fail loudly, never silently."""
+
+    def test_builder_rejects_sibling_loop_variable(self):
+        builder = KernelBuilder("bad", ISAFlavor.SCALAR)
+        with builder.loop(4, "i") as i:
+            builder.iop()
+        with builder.loop(4, "j"):
+            builder.load(builder.addr(0x10000, (i, 8)))
+        with pytest.raises(ValueError, match="not bound by an enclosing"):
+            builder.program()
+
+    def test_trace_tier_falls_back_with_reason(self, monkeypatch):
+        """A lowering failure delegates to the interpreter, recorded."""
+        from repro.compiler.cache import compile_cached
+        import repro.sim.trace as sim_trace
+
+        program = build_program(
+            generate_spec(SyntheticParameters(seed=5, statements=5,
+                                              footprint_kb=2)),
+            ISAFlavor.VECTOR)
+        config = get_config("vector2-2w")
+        compiled = compile_cached(program, config)
+
+        def failing(compiled_program):
+            raise TraceLoweringError("synthetic: outside the affine contract")
+
+        monkeypatch.setattr(sim_trace, "trace_program", failing)
+
+        def hierarchy():
+            return MemoryHierarchy(config.memory, l1_ports=config.l1_ports,
+                                   l2_port_words=config.l2_port_words)
+
+        engine = TraceExecutionEngine(compiled, hierarchy())
+        stats = engine.run()
+        assert engine.fallback_reason == \
+            "synthetic: outside the affine contract"
+        reference = ExecutionEngine(compiled, hierarchy()).run()
+        assert stats.to_dict() == reference.to_dict()
+
+    def test_no_fallback_on_clean_programs(self):
+        from repro.compiler.cache import compile_cached
+
+        program = build_program(
+            generate_spec(SyntheticParameters(seed=5, statements=5,
+                                              footprint_kb=2)),
+            ISAFlavor.VECTOR)
+        config = get_config("vector2-2w")
+        engine = TraceExecutionEngine(
+            compile_cached(program, config),
+            MemoryHierarchy(config.memory, l1_ports=config.l1_ports,
+                            l2_port_words=config.l2_port_words))
+        engine.run()
+        assert engine.fallback_reason is None
+
+
+class TestFunctionalReferences:
+    """Reference / µSIMD / vector payload pipelines are bit-identical."""
+
+    @pytest.mark.parametrize("name", SYNTHETIC_BENCHMARK_NAMES)
+    def test_preset_trio_identical(self, name):
+        from repro.workloads.registry import get_workload
+
+        params = get_workload(name).tiny_params
+        reference = synthetic_reference(params)
+        assert reference.dtype == np.int16
+        np.testing.assert_array_equal(reference, synthetic_usimd(params))
+        np.testing.assert_array_equal(reference, synthetic_vector(params))
+
+    def test_seed_sweep_trio_identical(self):
+        for seed in range(12):
+            params = params_for_seed(seed)
+            reference = synthetic_reference(params)
+            np.testing.assert_array_equal(reference, synthetic_usimd(params))
+            np.testing.assert_array_equal(reference, synthetic_vector(params))
+
+    def test_payload_is_seed_deterministic(self):
+        a = synthetic_reference(SyntheticParameters(seed=9))
+        b = synthetic_reference(SyntheticParameters(seed=9))
+        np.testing.assert_array_equal(a, b)
+
+
+class TestSuiteAndCliIntegration:
+    def test_build_suite_synthetic(self):
+        suite = build_suite(SuiteParameters.tiny(),
+                            names=SYNTHETIC_BENCHMARK_NAMES)
+        assert tuple(suite) == SYNTHETIC_BENCHMARK_NAMES
+        for spec in suite.values():
+            assert set(spec.programs) == set(FLAVORS)
+
+    @pytest.mark.parametrize("name", SYNTHETIC_BENCHMARK_NAMES)
+    def test_preset_engines_identical_all_flavors(self, name):
+        suite = build_suite(SuiteParameters.tiny(), names=(name,))
+        for program in suite[name].programs.values():
+            _engines_identical(program)
+
+    def test_bench_list_shows_synthetic(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["bench", "list", "tag:synthetic"]) == 0
+        out = capsys.readouterr().out
+        for name in SYNTHETIC_BENCHMARK_NAMES:
+            assert name in out
+
+    def test_sweep_accepts_synthetic_selector(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["sweep", "--tiny", "--no-store",
+                     "--benchmarks", "synthetic_stream"]) == 0
+        assert "swept" in capsys.readouterr().out

@@ -34,6 +34,7 @@ from repro.workloads.registry import (
 from repro.workloads.suite import (
     BENCHMARK_NAMES,
     EXTENDED_BENCHMARK_NAMES,
+    SYNTHETIC_BENCHMARK_NAMES,
     SuiteParameters,
     build_benchmark,
     build_suite,
@@ -90,7 +91,7 @@ class TestRegistryBasics:
     def test_builtin_names_and_order(self):
         names = workload_names()
         assert names[:len(BENCHMARK_NAMES)] == BENCHMARK_NAMES
-        assert names == EXTENDED_BENCHMARK_NAMES
+        assert names == EXTENDED_BENCHMARK_NAMES + SYNTHETIC_BENCHMARK_NAMES
 
     def test_mediabench_plus_is_the_extended_suite(self):
         assert workload_names("mediabench") == BENCHMARK_NAMES
@@ -354,3 +355,73 @@ class TestExtendedSuiteEquivalence:
         assert cold.simulated_runs == len(EXTENDED_BENCHMARK_NAMES) * len(self.CONFIGS) * 2
         warm = evaluate()
         assert warm.simulated_runs == 0
+
+
+class TestSyntheticFamily:
+    """Registry coverage of the seeded synthetic workloads (PR 6)."""
+
+    def test_registered_with_tags_and_sizes(self):
+        for name in SYNTHETIC_BENCHMARK_NAMES:
+            definition = get_workload(name)
+            assert definition.has_tag("synthetic")
+            assert definition.tiny_params != definition.default_params
+        assert select_benchmarks(["tag:synthetic"]) == SYNTHETIC_BENCHMARK_NAMES
+
+    def test_seed_determinism_byte_identical(self):
+        from repro.compiler.cache import fingerprint_program
+        from repro.workloads.synthetic import (
+            SyntheticParameters,
+            build_synthetic_program,
+            canonical_spec_json,
+            generate_spec,
+        )
+
+        params = SyntheticParameters(seed=7, statements=6, footprint_kb=2)
+        assert (canonical_spec_json(generate_spec(params))
+                == canonical_spec_json(generate_spec(params)))
+        first = build_synthetic_program(ISAFlavor.VECTOR, params)
+        second = build_synthetic_program(ISAFlavor.VECTOR, params)
+        # fresh virtual-register ids differ, but the normalized compile
+        # fingerprint -- the store's keying -- must be identical
+        assert fingerprint_program(first) == fingerprint_program(second)
+        other = build_synthetic_program(
+            ISAFlavor.VECTOR, SyntheticParameters(seed=8, statements=6,
+                                                  footprint_kb=2))
+        assert fingerprint_program(first) != fingerprint_program(other)
+
+    def test_synthetic_parallel_matches_serial(self):
+        spec = build_benchmark("synthetic_stream", SuiteParameters.tiny())
+        requests = [RunRequest("synthetic_stream", config, False)
+                    for config in ("vliw-2w", "vector2-2w")]
+        serial = execute_requests(requests, {"synthetic_stream": spec}, jobs=1)
+        parallel = execute_requests(requests, {"synthetic_stream": spec},
+                                    jobs=2)
+        assert {r: s.to_dict() for r, s in serial.items()} \
+            == {r: s.to_dict() for r, s in parallel.items()}
+
+    def test_store_key_stable_across_processes(self):
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        from repro.machine.config import get_config
+
+        script = (
+            "from repro.compiler.ir import ISAFlavor\n"
+            "from repro.machine.config import get_config\n"
+            "from repro.store import run_fingerprint\n"
+            "from repro.workloads.registry import get_workload\n"
+            "d = get_workload('synthetic_gather')\n"
+            "program = d.builder(ISAFlavor.VECTOR, d.tiny_params)\n"
+            "print(run_fingerprint(program, get_config('vector2-2w'),\n"
+            "                      benchmark='synthetic_gather'))\n")
+        src = Path(__file__).resolve().parent.parent / "src"
+        child = subprocess.run([sys.executable, "-c", script],
+                               capture_output=True, text=True,
+                               env={"PYTHONPATH": str(src), "PATH": "/usr/bin:/bin"})
+        assert child.returncode == 0, child.stderr
+        definition = get_workload("synthetic_gather")
+        program = definition.builder(ISAFlavor.VECTOR, definition.tiny_params)
+        parent_key = run_fingerprint(program, get_config("vector2-2w"),
+                                     benchmark="synthetic_gather")
+        assert child.stdout.strip() == parent_key
