@@ -10,6 +10,11 @@ non-zero when any *calibration-normalised* time regressed by more than the
 threshold (25 % by default).  Normalising by the calibration workload makes
 the check meaningful across machines of different speeds; an absolute floor
 ignores experiments too short for the ratio to be stable.
+
+The gate also fails on *jobs-vs-serial inversions* within the current run:
+an experiment whose parallel lane is meaningfully slower than its own
+serial lane means worker dispatch regressed (see
+``repro.core.runner.PARALLEL_MIN_PENDING``), whatever the baseline says.
 """
 
 from __future__ import annotations
@@ -22,6 +27,11 @@ import sys
 #: gate on a ratio; they only fail if they also exceed the baseline by the
 #: same absolute amount.
 NOISE_FLOOR_S = 0.25
+
+#: A ``jobs_s`` lane may exceed its own ``serial_s`` lane by this fraction
+#: before it counts as an inversion — the pool is supposed to be a speed-up
+#: (or, below the runner's parallel cutover, a no-op), never a slowdown.
+INVERSION_TOLERANCE = 0.15
 
 
 def load(path: str) -> dict:
@@ -53,6 +63,27 @@ def compare(current: dict, baseline: dict, threshold: float):
             regressed = (ratio > 1.0 + threshold
                          and cur > base * current_cal / baseline_cal + NOISE_FLOOR_S)
             yield name, key, ratio, regressed
+
+
+def find_inversions(current: dict, tolerance: float = INVERSION_TOLERANCE):
+    """Yield (name, serial_s, jobs_s) where the worker pool lost to serial.
+
+    An inversion means parallel dispatch made the sweep *slower* — the
+    regression the runner's parallel cutover exists to prevent.  Only
+    meaningful when the run actually requested workers (``jobs > 1``), and
+    only flagged when the gap clears both the relative tolerance and the
+    absolute noise floor.
+    """
+    if current.get("jobs", 1) <= 1:
+        return
+    for name, times in sorted(current["experiments"].items()):
+        if "serial_s" not in times or "jobs_s" not in times:
+            continue
+        serial = float(times["serial_s"])
+        parallel = float(times["jobs_s"])
+        if (parallel > serial * (1.0 + tolerance)
+                and parallel - serial > NOISE_FLOOR_S):
+            yield name, serial, parallel
 
 
 def main(argv=None) -> int:
@@ -94,6 +125,10 @@ def main(argv=None) -> int:
         print("error: no timings were comparable between current run and "
               "baseline; the gate checked nothing", file=sys.stderr)
         return 2
+    for name, serial, parallel in find_inversions(current):
+        print(f"{name:20s} jobs-vs-serial INVERTED: jobs_s={parallel:.3f} "
+              f"> serial_s={serial:.3f} (+{parallel / serial - 1:.0%})")
+        failures += 1
     if failures:
         print(f"\n{failures} timing(s) regressed by more than "
               f"{args.threshold:.0%} vs {args.baseline}", file=sys.stderr)

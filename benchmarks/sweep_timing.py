@@ -103,6 +103,51 @@ def time_experiments(tiny: bool, jobs: int, engine: str):
     return experiments
 
 
+def time_phases(tiny: bool, engine: str, repeats: int = 2):
+    """Serial per-phase breakdown of one full evaluation.
+
+    Splits a complete report run into its three phases — scheduling every
+    (program, configuration) pair into the compile cache, simulating the
+    full sweep against that warm cache, and rendering the report from the
+    prefetched results — so a timing regression points at the layer that
+    caused it instead of a single opaque total.  Best-of-``repeats`` per
+    phase, like the experiment lanes.
+    """
+    from repro.compiler.cache import GLOBAL_COMPILE_CACHE
+    from repro.core.architecture import VectorMicroSimdVliwMachine
+    from repro.machine.config import get_config
+
+    best = {}
+
+    def record(key, elapsed):
+        previous = best.get(key)
+        best[key] = elapsed if previous is None else min(previous, elapsed)
+
+    for _ in range(repeats):
+        evaluation = _fresh_evaluation(tiny, 1, engine)
+        GLOBAL_COMPILE_CACHE.clear()
+        specs = {name: evaluation.spec(name)
+                 for name in evaluation.benchmark_names}
+
+        start = time.perf_counter()
+        for config_name in evaluation.config_names:
+            config = get_config(config_name)
+            machine = VectorMicroSimdVliwMachine(config)
+            for spec in specs.values():
+                machine.compile(spec.program_for(config))
+        record("compile_s", time.perf_counter() - start)
+
+        # the compile cache is warm now, so this times simulation proper
+        start = time.perf_counter()
+        evaluation.prefetch()
+        record("simulate_s", time.perf_counter() - start)
+
+        start = time.perf_counter()
+        _render(evaluation)
+        record("report_s", time.perf_counter() - start)
+    return {key: round(value, 4) for key, value in best.items()}
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--output", default="BENCH_sweep.json",
@@ -122,8 +167,9 @@ def main(argv=None) -> int:
     jobs = args.jobs if args.jobs is not None else default_jobs()
     calibration = calibrate()
     experiments = time_experiments(args.tiny, jobs, args.engine)
+    phases = time_phases(args.tiny, args.engine)
     payload = {
-        "schema": 1,
+        "schema": 2,
         "engine": args.engine,
         "parameters": "tiny" if args.tiny else "default",
         "jobs": jobs,
@@ -131,6 +177,7 @@ def main(argv=None) -> int:
         "machine": platform.machine(),
         "calibration_s": round(calibration, 4),
         "experiments": experiments,
+        "phases": phases,
     }
     with open(args.output, "w") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)

@@ -50,7 +50,9 @@ import time
 from repro.experiments.evaluation import SuiteEvaluation
 from repro.experiments.report import (
     add_benchmark_arguments,
+    add_profile_argument,
     add_store_arguments,
+    maybe_profile,
     resolve_benchmarks,
     resolve_jobs,
     resolve_store,
@@ -77,6 +79,7 @@ def _add_common(parser: argparse.ArgumentParser, tiny_flag: bool = True) -> None
                         default=DEFAULT_ENGINE,
                         help="execution tier (statistics are identical)")
     add_store_arguments(parser)
+    add_profile_argument(parser)
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
@@ -87,7 +90,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                                  benchmark_names=tuple(args.benchmarks),
                                  engine=args.engine, store=store)
     start = time.time()
-    evaluation.prefetch()
+    with maybe_profile(args.profile):
+        evaluation.prefetch()
     elapsed = time.time() - start
     total = len(evaluation.benchmark_names) * len(evaluation.config_names) * 2
     loaded = total - evaluation.simulated_runs
@@ -162,17 +166,18 @@ def _cmd_explore(args: argparse.Namespace) -> int:
     parameters = (SuiteParameters.default() if args.full_inputs
                   else SuiteParameters.tiny())
     start = time.time()
-    result = run_exploration(
-        space=space,
-        benchmarks=tuple(args.benchmarks),
-        parameters=parameters,
-        store=store,
-        jobs=resolve_jobs(args.jobs),
-        engine=args.engine,
-        shard_size=args.shard_size,
-        max_shards=args.max_shards,
-        progress=lambda line: print(line, file=sys.stderr),
-    )
+    with maybe_profile(args.profile):
+        result = run_exploration(
+            space=space,
+            benchmarks=tuple(args.benchmarks),
+            parameters=parameters,
+            store=store,
+            jobs=resolve_jobs(args.jobs),
+            engine=args.engine,
+            shard_size=args.shard_size,
+            max_shards=args.max_shards,
+            progress=lambda line: print(line, file=sys.stderr),
+        )
     print(result.summary())
     print(f"[explored in {time.time() - start:.1f} s]", file=sys.stderr)
     return 0 if result.complete else 3

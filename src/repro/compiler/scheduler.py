@@ -20,6 +20,7 @@ assumption stall the processor (handled in :mod:`repro.sim`).
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -144,12 +145,12 @@ def _edge_latency(edge: DependenceEdge, producer: ScheduledOperation | Operation
     """Minimum cycles between the issue of producer and consumer of ``edge``."""
     op = producer.operation if isinstance(producer, ScheduledOperation) else producer
     if edge.kind is DependenceKind.RAW:
+        op_class = op.op_class
         if (edge.register_class is RegisterClass.VECTOR
-                and op.op_class.is_vector or op.op_class.is_vector_memory):
-            if edge.register_class is RegisterClass.VECTOR:
-                # chaining: the consumer starts as soon as the first element
-                # of the producer is available.
-                return latency_model.chain_latency(op.opcode, config)
+                and (op_class.is_vector or op_class.is_vector_memory)):
+            # chaining: the consumer starts as soon as the first element
+            # of the producer is available.
+            return latency_model.chain_latency(op.opcode, config)
         return latency_model.result_latency(op.opcode, op.vector_length, config)
     if edge.kind is DependenceKind.WAW:
         return max(1, latency_model.occupancy(op.opcode, op.vector_length, config))
@@ -186,6 +187,11 @@ def schedule_segment(segment: Segment, config: MachineConfig,
     Operations are chosen greedily by critical-path priority among the ready
     set and placed at the earliest cycle where both their dependences and
     their resource requests are satisfied.
+
+    Timing facts (latencies, occupancies, edge weights) are resolved once per
+    operation/edge up front — the latency model memoises per configuration,
+    so the inner loop is pure integer bookkeeping plus reservation-table
+    probes.
     """
     latency_model = latency_model or LatencyModel()
     ops = list(segment.operations)
@@ -193,51 +199,93 @@ def schedule_segment(segment: Segment, config: MachineConfig,
         return Schedule(segment=segment, config_name=config.name, entries=[])
 
     graph = build_dependence_graph(segment)
-    priority = _priorities(graph, config, latency_model)
     table = ReservationTable(capacities_for(config))
+    count = len(ops)
 
-    indegree = [len(graph.predecessors(i)) for i in range(len(ops))]
-    ready = [i for i, deg in enumerate(indegree) if deg == 0]
-    earliest: Dict[int, int] = {i: 0 for i in ready}
-    placed: Dict[int, ScheduledOperation] = {}
+    # per-operation timing facts, resolved once
+    result_lat = [0] * count
+    latest_read = [0] * count
+    occupancy = [0] * count
+    chainable = [False] * count
+    chain_lat = [0] * count
+    for i, op in enumerate(ops):
+        descriptor = latency_model.descriptor(op.opcode, op.vector_length, config)
+        result_lat[i] = descriptor.latest_write
+        latest_read[i] = descriptor.latest_read
+        occupancy[i] = latency_model.occupancy(op.opcode, op.vector_length, config)
+        op_class = op.op_class
+        if op_class.is_vector or op_class.is_vector_memory:
+            chainable[i] = True
+            chain_lat[i] = latency_model.chain_latency(op.opcode, config)
+
+    # per-edge minimum issue distances (same classification as _edge_latency)
+    successors: List[List[Tuple[int, int]]] = [[] for _ in range(count)]
+    indegree = [0] * count
+    for edge in graph.edges:
+        producer = edge.producer
+        if edge.kind is DependenceKind.RAW:
+            if edge.register_class is RegisterClass.VECTOR and chainable[producer]:
+                latency = chain_lat[producer]
+            else:
+                latency = result_lat[producer]
+        elif edge.kind is DependenceKind.WAR:
+            latency = latest_read[producer]
+        else:  # WAW and MEMORY both wait out the producer's occupancy
+            latency = max(1, occupancy[producer])
+        successors[producer].append((edge.consumer, latency))
+        indegree[edge.consumer] += 1
+
+    # critical-path-to-sink priority (higher = schedule first); program order
+    # is a valid topological order, so one reverse sweep suffices
+    priority = [0] * count
+    for index in range(count - 1, -1, -1):
+        best = result_lat[index]
+        for consumer, latency in successors[index]:
+            candidate = latency + priority[consumer]
+            if candidate > best:
+                best = candidate
+        priority[index] = best
+
+    # highest priority first; ties broken by program order for stability
+    heap = [(-priority[i], i) for i in range(count) if indegree[i] == 0]
+    heapq.heapify(heap)
+    earliest = [0] * count
+    placed: List[Optional[ScheduledOperation]] = [None] * count
     scheduled_count = 0
 
-    while scheduled_count < len(ops):
-        if not ready:  # pragma: no cover - graph is a DAG by construction
-            raise RuntimeError("scheduler deadlock: no ready operations")
-        # highest priority first; ties broken by program order for stability
-        ready.sort(key=lambda i: (-priority[i], i))
-        index = ready.pop(0)
+    while heap:
+        _, index = heapq.heappop(heap)
         op = ops[index]
         requests = requests_for(op.opcode, op.vector_length, config, latency_model)
-        start = table.earliest_fit(earliest.get(index, 0), requests)
-        table.reserve(start, requests)
-        descriptor = latency_model.descriptor(op.opcode, op.vector_length, config)
+        start = table.earliest_fit(earliest[index], requests)
+        table.reserve(start, requests, verified=True)
         entry = ScheduledOperation(
             operation=op,
             cycle=start,
-            occupancy=latency_model.occupancy(op.opcode, op.vector_length, config),
-            assumed_latency=descriptor.latest_write,
+            occupancy=occupancy[index],
+            assumed_latency=result_lat[index],
         )
         placed[index] = entry
         scheduled_count += 1
 
-        for edge in graph.successors(index):
-            latency = _edge_latency(edge, entry, op.vector_length, config, latency_model)
+        for consumer, latency in successors[index]:
             bound = start + latency
-            earliest[edge.consumer] = max(earliest.get(edge.consumer, 0), bound)
-            indegree[edge.consumer] -= 1
-            if indegree[edge.consumer] == 0:
-                ready.append(edge.consumer)
+            if bound > earliest[consumer]:
+                earliest[consumer] = bound
+            indegree[consumer] -= 1
+            if indegree[consumer] == 0:
+                heapq.heappush(heap, (-priority[consumer], consumer))
+
+    if scheduled_count < count:  # pragma: no cover - graph is a DAG by construction
+        raise RuntimeError("scheduler deadlock: no ready operations")
 
     # loop-carried recurrence bound on the initiation interval
     recurrence = 0
     for reg, (writer_index, reg_class) in loop_carried_registers(segment).items():
-        writer = ops[writer_index]
-        recurrence = max(recurrence, latency_model.result_latency(
-            writer.opcode, writer.vector_length, config))
+        if result_lat[writer_index] > recurrence:
+            recurrence = result_lat[writer_index]
 
-    entries = [placed[i] for i in range(len(ops))]
+    entries = [placed[i] for i in range(count)]
     return Schedule(segment=segment, config_name=config.name, entries=entries,
                     recurrence_interval=recurrence)
 

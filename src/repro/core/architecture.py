@@ -111,8 +111,8 @@ class VectorMicroSimdVliwMachine:
         hierarchy = self.new_hierarchy()
         space = getattr(program, "address_space", None)
         if space is not None and not self.perfect_memory:
-            for spec in space:
-                hierarchy.preload(spec.base, spec.size_bytes)
+            hierarchy.preload_spans(
+                [(spec.base, spec.size_bytes) for spec in space])
         return hierarchy
 
     def run(self, program: KernelProgram,

@@ -32,10 +32,14 @@ command above to reproduce it.)
 from __future__ import annotations
 
 import argparse
+import contextlib
+import cProfile
+import io
 import os
+import pstats
 import sys
 import time
-from typing import Optional
+from typing import Iterator, Optional
 
 from repro.experiments import (figure1, figure3, figure4, figure5, figure6, figure7,
                                table1, table2, table3)
@@ -46,7 +50,41 @@ from repro.store.result_store import STORE_ENV_VAR
 from repro.workloads.suite import SuiteParameters
 
 __all__ = ["full_report", "add_store_arguments", "add_benchmark_arguments",
+           "add_profile_argument", "maybe_profile",
            "resolve_store", "resolve_jobs", "resolve_benchmarks", "main"]
+
+
+def add_profile_argument(parser: argparse.ArgumentParser) -> None:
+    """Install the shared ``--profile [N]`` flag on ``parser``."""
+    parser.add_argument("--profile", nargs="?", const=25, type=int,
+                        default=None, metavar="N",
+                        help="profile the run with cProfile and print the "
+                             "top N hot functions by cumulative time to "
+                             "stderr (default N: 25)")
+
+
+@contextlib.contextmanager
+def maybe_profile(top: Optional[int]) -> Iterator[None]:
+    """Profile the enclosed block when ``top`` is set; no-op otherwise.
+
+    On exit the top ``top`` functions by cumulative time are printed to
+    stderr — the working end of ``python -m repro report --profile`` and
+    ``sweep --profile``.  Profiling only the sweep/render block keeps
+    interpreter start-up and argument parsing out of the listing.
+    """
+    if top is None:
+        yield
+        return
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        yield
+    finally:
+        profiler.disable()
+        stream = io.StringIO()
+        stats = pstats.Stats(profiler, stream=stream)
+        stats.sort_stats("cumulative").print_stats(top)
+        print(stream.getvalue(), file=sys.stderr)
 
 
 def full_report(evaluation: SuiteEvaluation) -> str:
@@ -130,6 +168,7 @@ def main(argv=None, default_store: Optional[str] = None) -> int:
                              "(default) or the interpreting reference "
                              "engine; the rendered report is identical")
     add_store_arguments(parser)
+    add_profile_argument(parser)
     args = parser.parse_args(argv)
     parameters = SuiteParameters.tiny() if args.tiny else SuiteParameters.default()
     store = resolve_store(args, default_path=default_store)
@@ -143,7 +182,8 @@ def main(argv=None, default_store: Optional[str] = None) -> int:
                                  benchmark_names=benchmarks,
                                  engine=args.engine, store=store)
     start = time.time()
-    text = full_report(evaluation)
+    with maybe_profile(args.profile):
+        text = full_report(evaluation)
     elapsed = time.time() - start
     print(text)
     if store is not None:

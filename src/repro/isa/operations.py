@@ -75,40 +75,32 @@ class OpClass(enum.Enum):
     #: Explicit no-operation (fills unused issue slots in traces).
     NOP = "nop"
 
-    @property
-    def is_vector(self) -> bool:
-        """True for operations executed on the vector functional units."""
-        return self in {
-            OpClass.VECTOR_ALU,
-            OpClass.VECTOR_MUL,
-            OpClass.VECTOR_SAD,
-            OpClass.VECTOR_REDUCE,
-        }
+    # The classification predicates below (``is_vector`` & friends) are plain
+    # per-member attributes precomputed right after the class body; the
+    # scheduler and the dependence analysis query them millions of times per
+    # sweep, and an attribute read avoids a set-membership test (and the enum
+    # ``__hash__`` behind it) on every call.
+    is_vector: bool
+    is_vector_memory: bool
+    is_simd: bool
+    is_memory: bool
+    is_store: bool
 
-    @property
-    def is_vector_memory(self) -> bool:
-        """True for vector loads/stores (the L2 vector-cache path)."""
-        return self in {OpClass.VECTOR_LOAD, OpClass.VECTOR_STORE}
 
-    @property
-    def is_simd(self) -> bool:
-        """True for µSIMD (single packed word) computation operations."""
-        return self in {OpClass.SIMD_ALU, OpClass.SIMD_MUL, OpClass.SIMD_SAD}
-
-    @property
-    def is_memory(self) -> bool:
-        """True for any operation that touches the memory hierarchy."""
-        return self in {
-            OpClass.LOAD,
-            OpClass.STORE,
-            OpClass.VECTOR_LOAD,
-            OpClass.VECTOR_STORE,
-        }
-
-    @property
-    def is_store(self) -> bool:
-        """True for operations that write to memory."""
-        return self in {OpClass.STORE, OpClass.VECTOR_STORE}
+for _cls in OpClass:
+    #: True for operations executed on the vector functional units.
+    _cls.is_vector = _cls.value in ("vector_alu", "vector_mul", "vector_sad",
+                                    "vector_reduce")
+    #: True for vector loads/stores (the L2 vector-cache path).
+    _cls.is_vector_memory = _cls.value in ("vector_load", "vector_store")
+    #: True for µSIMD (single packed word) computation operations.
+    _cls.is_simd = _cls.value in ("simd_alu", "simd_mul", "simd_sad")
+    #: True for any operation that touches the memory hierarchy.
+    _cls.is_memory = _cls.value in ("load", "store", "vector_load",
+                                    "vector_store")
+    #: True for operations that write to memory.
+    _cls.is_store = _cls.value in ("store", "vector_store")
+del _cls
 
 
 class Opcode(str, enum.Enum):
@@ -316,6 +308,12 @@ def descriptor_for(opcode) -> OperationDescriptor:
         raise KeyError(f"unknown opcode {name!r}; register it first") from exc
 
 
+#: Memo of :func:`micro_ops_for` keyed on ``(opcode name, VL, subwords)``.
+#: Each entry carries the descriptor it was computed from so a re-registered
+#: opcode (``register_opcode(..., overwrite=True)``) invalidates by identity.
+_MICRO_OPS_MEMO: Dict[tuple, tuple] = {}
+
+
 def micro_ops_for(opcode, vector_length: int = 1, subwords: Optional[int] = None) -> int:
     """Micro-operation count of one dynamic instance of ``opcode``.
 
@@ -330,6 +328,17 @@ def micro_ops_for(opcode, vector_length: int = 1, subwords: Optional[int] = None
     opcode at a different element width than the table assumes.
     """
     desc = descriptor_for(opcode)
+    key = (desc.name, vector_length, subwords)
+    cached = _MICRO_OPS_MEMO.get(key)
+    if cached is not None and cached[0] is desc:
+        return cached[1]
+    count = _micro_ops_uncached(desc, vector_length, subwords)
+    _MICRO_OPS_MEMO[key] = (desc, count)
+    return count
+
+
+def _micro_ops_uncached(desc: OperationDescriptor, vector_length: int,
+                        subwords: Optional[int]) -> int:
     sub = desc.subwords if subwords is None else int(subwords)
     if sub < 1:
         raise ValueError("subwords must be >= 1")

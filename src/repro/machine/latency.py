@@ -108,6 +108,56 @@ def _ceil_div(a: int, b: int) -> int:
     return -(-a // b)
 
 
+class _FlowTable(dict):
+    """Flow-latency table that invalidates its owner's memo on mutation.
+
+    The scheduler resolves the same handful of ``(opcode, VL, config)``
+    triples tens of thousands of times per sweep, so :class:`LatencyModel`
+    memoises descriptors and occupancies per configuration.  Experiments are
+    allowed to mutate ``flow_latencies`` in place (the compile cache keys on
+    the table's *content* for exactly that reason), so every mutating dict
+    operation drops the memo.
+    """
+
+    __slots__ = ("_owner",)
+
+    def _touch(self) -> None:
+        owner = getattr(self, "_owner", None)
+        if owner is not None:
+            owner._drop_memos()
+
+    def __setitem__(self, key, value):
+        super().__setitem__(key, value)
+        self._touch()
+
+    def __delitem__(self, key):
+        super().__delitem__(key)
+        self._touch()
+
+    def update(self, *args, **kwargs):
+        super().update(*args, **kwargs)
+        self._touch()
+
+    def pop(self, *args):
+        result = super().pop(*args)
+        self._touch()
+        return result
+
+    def popitem(self):
+        result = super().popitem()
+        self._touch()
+        return result
+
+    def clear(self):
+        super().clear()
+        self._touch()
+
+    def setdefault(self, key, default=None):
+        result = super().setdefault(key, default)
+        self._touch()
+        return result
+
+
 @dataclass
 class LatencyModel:
     """Resolves opcodes to flow latencies, descriptors and occupancies.
@@ -115,20 +165,54 @@ class LatencyModel:
     The model is parameterised by a flow-latency table so experiments can
     explore alternative pipelines (one of the ablation benchmarks sweeps the
     vector-cache latency); the defaults reproduce the paper's values.
+
+    Lookups are memoised per configuration object: the answers depend only
+    on the opcode's descriptor, the vector length, the configuration and the
+    flow-latency table, and both mutation paths (rebinding the
+    ``flow_latencies`` attribute and in-place edits of the table) drop the
+    memo, so cached entries can never go stale.
     """
 
     flow_latencies: Dict[str, int] = field(
         default_factory=lambda: dict(DEFAULT_FLOW_LATENCIES))
 
+    def __setattr__(self, name, value):
+        if name == "flow_latencies":
+            table = _FlowTable(value)
+            table._owner = self
+            object.__setattr__(self, name, table)
+            self._drop_memos()
+            return
+        object.__setattr__(self, name, value)
+
+    def _drop_memos(self) -> None:
+        # keyed id(config) -> (config, {inner key -> (descriptor, value)});
+        # the strong config reference pins the id for the entry's lifetime.
+        object.__setattr__(self, "_memo_by_config", {})
+
+    def _memo_for(self, config) -> Dict[tuple, tuple]:
+        entry = self._memo_by_config.get(id(config))
+        if entry is None:
+            entry = (config, {})
+            self._memo_by_config[id(config)] = entry
+        return entry[1]
+
     def flow_latency(self, opcode, config: MachineConfig) -> int:
         """Per-(sub-)operation flow latency ``L`` of ``opcode``."""
         desc = self._descriptor(opcode)
-        key = desc.latency_class or _CLASS_TO_LATENCY[desc.op_class]
-        if key == "load" and config is not None:
-            return max(self.flow_latencies[key], config.memory.l1_latency)
-        if key == "vector_load" and config is not None:
-            return max(self.flow_latencies[key], config.memory.l2_latency)
-        return self.flow_latencies[key]
+        memo = self._memo_for(config)
+        key = ("flow", desc.name)
+        cached = memo.get(key)
+        if cached is not None and cached[0] is desc:
+            return cached[1]
+        lat_key = desc.latency_class or _CLASS_TO_LATENCY[desc.op_class]
+        latency = self.flow_latencies[lat_key]
+        if lat_key == "load" and config is not None:
+            latency = max(latency, config.memory.l1_latency)
+        elif lat_key == "vector_load" and config is not None:
+            latency = max(latency, config.memory.l2_latency)
+        memo[key] = (desc, latency)
+        return latency
 
     @staticmethod
     def _descriptor(opcode) -> OperationDescriptor:
@@ -156,23 +240,31 @@ class LatencyModel:
     def descriptor(self, opcode, vector_length: int, config: MachineConfig) -> LatencyDescriptor:
         """Latency descriptors of one operation instance (Figure 3)."""
         desc = self._descriptor(opcode)
-        latency = self.flow_latency(opcode, config)
         vl = max(1, int(vector_length))
+        memo = self._memo_for(config)
+        key = ("desc", desc.name, vl)
+        cached = memo.get(key)
+        if cached is not None and cached[0] is desc:
+            return cached[1]
+        latency = self.flow_latency(desc, config)
         if desc.op_class.is_vector or desc.op_class.is_vector_memory:
-            rate = self.element_rate(opcode, config)
+            rate = self.element_rate(desc, config)
             tail = _ceil_div(vl - 1, rate) if vl > 1 else 0
-            return LatencyDescriptor(
+            result = LatencyDescriptor(
                 earliest_read=0,
                 latest_read=tail,
                 earliest_write=0,
                 latest_write=latency + tail,
             )
-        return LatencyDescriptor(
-            earliest_read=0,
-            latest_read=0,
-            earliest_write=0,
-            latest_write=latency,
-        )
+        else:
+            result = LatencyDescriptor(
+                earliest_read=0,
+                latest_read=0,
+                earliest_write=0,
+                latest_write=latency,
+            )
+        memo[key] = (desc, result)
+        return result
 
     def result_latency(self, opcode, vector_length: int, config: MachineConfig) -> int:
         """Issue-to-full-result latency (``Tlw``) of one operation instance."""
@@ -199,13 +291,27 @@ class LatencyModel:
         """
         desc = self._descriptor(opcode)
         vl = max(1, int(vector_length))
+        memo = self._memo_for(config)
+        key = ("occ", desc.name, vl, stride_one)
+        cached = memo.get(key)
+        if cached is not None and cached[0] is desc:
+            return cached[1]
         if desc.op_class.is_vector:
-            return _ceil_div(vl, max(1, config.vector_lanes))
-        if desc.op_class.is_vector_memory:
-            if stride_one:
-                return _ceil_div(vl, max(1, config.l2_port_words))
-            return vl
-        return 1
+            result = _ceil_div(vl, max(1, config.vector_lanes))
+        elif desc.op_class.is_vector_memory:
+            result = _ceil_div(vl, max(1, config.l2_port_words)) if stride_one else vl
+        else:
+            result = 1
+        memo[key] = (desc, result)
+        return result
+
+    def __getstate__(self):
+        # memo entries reference live config objects; rebuild them lazily on
+        # the other side instead of shipping them across process boundaries.
+        return {"flow_latencies": dict(self.flow_latencies)}
+
+    def __setstate__(self, state):
+        self.flow_latencies = state["flow_latencies"]
 
     def with_overrides(self, **overrides: int) -> "LatencyModel":
         """Return a copy of the model with some flow latencies replaced."""

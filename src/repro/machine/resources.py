@@ -17,9 +17,10 @@ greedily find the earliest cycle where all of an operation's requests fit.
 from __future__ import annotations
 
 import enum
-from collections import defaultdict
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Sequence, Tuple
+
+import numpy as np
 
 from repro.isa.operations import OpClass, descriptor_for
 from repro.machine.config import MachineConfig
@@ -83,8 +84,16 @@ def capacities_for(config: MachineConfig) -> Dict[ResourceKind, int]:
     }
 
 
+#: Memo of :func:`requests_for`, keyed ``id(config) -> (config, inner)`` with
+#: ``inner`` keyed on ``(opcode name, VL)``.  Entries pin the config, the
+#: latency model and the descriptor they were computed from, so recycled ids,
+#: swapped models and re-registered opcodes all invalidate by identity.  The
+#: request tuples are immutable and shared between hits.
+_REQUESTS_MEMO: Dict[int, tuple] = {}
+
+
 def requests_for(opcode, vector_length: int, config: MachineConfig,
-                 latency_model: LatencyModel) -> List[ResourceRequest]:
+                 latency_model: LatencyModel) -> Sequence[ResourceRequest]:
     """Resource requests of one operation instance on ``config``.
 
     Every operation consumes one issue slot.  The remaining requests depend
@@ -93,6 +102,22 @@ def requests_for(opcode, vector_length: int, config: MachineConfig,
     strict superset of the µSIMD one).
     """
     desc = descriptor_for(opcode)
+    vl = max(1, int(vector_length))
+    entry = _REQUESTS_MEMO.get(id(config))
+    if entry is None or entry[0] is not config:
+        entry = (config, {})
+        _REQUESTS_MEMO[id(config)] = entry
+    inner = entry[1]
+    cached = inner.get((desc.name, vl))
+    if cached is not None and cached[0] is desc and cached[1] is latency_model:
+        return cached[2]
+    requests = tuple(_requests_uncached(desc, vl, config, latency_model))
+    inner[(desc.name, vl)] = (desc, latency_model, requests)
+    return requests
+
+
+def _requests_uncached(desc, vector_length: int, config: MachineConfig,
+                       latency_model: LatencyModel) -> List[ResourceRequest]:
     cls = desc.op_class
     requests = [ResourceRequest(ResourceKind.ISSUE, 1)]
 
@@ -118,13 +143,13 @@ def requests_for(opcode, vector_length: int, config: MachineConfig,
         if not config.vector_units:
             raise UnschedulableOperationError(
                 f"{config.name} cannot execute vector operation {desc.name}")
-        occupancy = latency_model.occupancy(opcode, vector_length, config)
+        occupancy = latency_model.occupancy(desc, vector_length, config)
         requests.append(ResourceRequest(ResourceKind.VECTOR_UNIT, occupancy))
     elif cls.is_vector_memory:
         if not config.l2_ports:
             raise UnschedulableOperationError(
                 f"{config.name} has no L2 vector-cache port for {desc.name}")
-        occupancy = latency_model.occupancy(opcode, vector_length, config)
+        occupancy = latency_model.occupancy(desc, vector_length, config)
         requests.append(ResourceRequest(ResourceKind.L2_PORT, occupancy))
     else:  # pragma: no cover - defensive
         raise UnschedulableOperationError(f"unhandled operation class {cls}")
@@ -132,20 +157,29 @@ def requests_for(opcode, vector_length: int, config: MachineConfig,
 
 
 class ReservationTable:
-    """Sparse per-cycle usage table for all resource kinds.
+    """Per-cycle usage table for all resource kinds.
 
-    The table is unbounded in time (schedules grow as needed) and sparse: a
-    ``defaultdict`` per resource kind maps cycle → units in use.  The
-    scheduler asks :meth:`fits` for a candidate issue cycle and then calls
-    :meth:`reserve`; the cycle-level simulator reuses the same structure to
-    replay and verify a schedule.
+    The table is unbounded in time (schedules grow as needed): a flat list
+    per resource kind holds the units in use at each cycle, and cycles at or
+    beyond ``_extent`` (one past the last reservation) are implicitly free.
+    The scheduler asks :meth:`fits` for a candidate issue cycle and then
+    calls :meth:`reserve`; the cycle-level simulator reuses the same
+    structure to replay and verify a schedule.  :meth:`earliest_fit` bounds
+    its scan by the extent — everything after it trivially fits — and
+    switches to a vectorized cumulative-sum scan when the congested region
+    is long.
     """
+
+    #: Scan length past which :meth:`earliest_fit` batches the feasibility
+    #: test for all candidate cycles at once instead of probing one by one.
+    BATCH_SCAN_THRESHOLD = 64
 
     def __init__(self, capacities: Dict[ResourceKind, int]) -> None:
         self._capacities = dict(capacities)
-        self._usage: Dict[ResourceKind, Dict[int, int]] = {
-            kind: defaultdict(int) for kind in ResourceKind
+        self._usage: Dict[ResourceKind, List[int]] = {
+            kind: [] for kind in ResourceKind
         }
+        self._extent = 0
 
     @property
     def capacities(self) -> Dict[ResourceKind, int]:
@@ -158,7 +192,8 @@ class ReservationTable:
 
     def usage(self, kind: ResourceKind, cycle: int) -> int:
         """Units of ``kind`` already reserved at ``cycle``."""
-        return self._usage[kind][cycle]
+        usage = self._usage[kind]
+        return usage[cycle] if 0 <= cycle < len(usage) else 0
 
     def fits(self, cycle: int, requests: Sequence[ResourceRequest]) -> bool:
         """True if all ``requests`` fit starting at ``cycle``."""
@@ -169,49 +204,100 @@ class ReservationTable:
             if capacity < request.count:
                 return False
             usage = self._usage[request.kind]
-            for offset in range(request.duration):
-                if usage[cycle + offset] + request.count > capacity:
+            limit = capacity - request.count
+            for offset in range(min(request.duration, len(usage) - cycle)):
+                if usage[cycle + offset] > limit:
                     return False
         return True
 
-    def reserve(self, cycle: int, requests: Sequence[ResourceRequest]) -> None:
-        """Reserve ``requests`` starting at ``cycle`` (must fit)."""
-        if not self.fits(cycle, requests):
+    def reserve(self, cycle: int, requests: Sequence[ResourceRequest],
+                verified: bool = False) -> None:
+        """Reserve ``requests`` starting at ``cycle`` (must fit).
+
+        ``verified=True`` skips the redundant feasibility re-check when the
+        caller just found ``cycle`` via :meth:`earliest_fit`.
+        """
+        if not verified and not self.fits(cycle, requests):
             raise ValueError(f"resource requests do not fit at cycle {cycle}")
         for request in requests:
             usage = self._usage[request.kind]
-            for offset in range(request.duration):
-                usage[cycle + offset] += request.count
+            end = cycle + request.duration
+            if end > len(usage):
+                usage.extend([0] * (end - len(usage)))
+            for offset in range(cycle, end):
+                usage[offset] += request.count
+            if end > self._extent:
+                self._extent = end
 
     def earliest_fit(self, not_before: int, requests: Sequence[ResourceRequest],
                      horizon: int = 100_000) -> int:
         """Earliest cycle >= ``not_before`` where all requests fit.
 
-        ``horizon`` bounds the search so that an impossible request (e.g. a
-        resource with zero capacity) raises instead of looping forever; the
-        capacity check in :meth:`fits` normally catches that case first.
+        ``horizon`` bounds the distance searched so that a pathologically
+        congested schedule raises instead of placing an operation absurdly
+        late; impossible requests (zero-capacity resources) raise
+        immediately.
         """
         for kind_request in requests:
             if self._capacities.get(kind_request.kind, 0) < kind_request.count:
                 raise UnschedulableOperationError(
                     f"no capacity for resource {kind_request.kind.value}")
         cycle = max(0, int(not_before))
-        for _ in range(horizon):
-            if self.fits(cycle, requests):
-                return cycle
-            cycle += 1
-        raise RuntimeError(
-            f"could not place operation within {horizon} cycles; "
-            "the schedule is pathologically congested")
+        if cycle >= self._extent:
+            # past every reservation: all cells are free
+            return cycle
+        if self._extent - cycle > self.BATCH_SCAN_THRESHOLD:
+            found = self._earliest_fit_batched(cycle, requests)
+        else:
+            found = self._extent
+            for candidate in range(cycle, self._extent):
+                if self.fits(candidate, requests):
+                    found = candidate
+                    break
+        if found - cycle >= horizon:
+            raise RuntimeError(
+                f"could not place operation within {horizon} cycles; "
+                "the schedule is pathologically congested")
+        return found
+
+    def _earliest_fit_batched(self, start: int,
+                              requests: Sequence[ResourceRequest]) -> int:
+        """Feasibility of every candidate in ``[start, extent]`` at once.
+
+        For each request a candidate cycle ``c`` is infeasible when any cell
+        of ``[c, c + duration)`` lacks headroom; a cumulative sum over the
+        per-cell "blocked" flags turns that window test into one subtraction
+        per candidate.  The candidate at ``extent`` touches only free cells,
+        so a fit always exists.
+        """
+        ncand = self._extent - start + 1
+        ok = np.ones(ncand, dtype=bool)
+        for request in requests:
+            capacity = self._capacities.get(request.kind, 0)
+            usage = self._usage[request.kind]
+            span = self._extent + request.duration - start
+            cells = np.zeros(span, dtype=np.int64)
+            tail = usage[start:min(start + span, len(usage))]
+            if tail:
+                cells[:len(tail)] = tail
+            blocked = cells + request.count > capacity
+            if request.duration == 1:
+                ok &= ~blocked[:ncand]
+            else:
+                sums = np.cumsum(blocked)
+                windows = sums[request.duration - 1:request.duration - 1 + ncand].copy()
+                windows[1:] -= sums[:ncand - 1]
+                ok &= windows == 0
+        return start + int(np.argmax(ok))
 
     def busy_cycles(self, kind: ResourceKind) -> Iterable[Tuple[int, int]]:
         """Iterate ``(cycle, units_in_use)`` pairs for one resource kind."""
         usage = self._usage[kind]
-        return sorted((c, u) for c, u in usage.items() if u)
+        return [(c, u) for c, u in enumerate(usage) if u]
 
     def high_water_mark(self) -> Dict[ResourceKind, int]:
         """Maximum simultaneous usage observed per resource kind."""
         return {
-            kind: (max(usage.values()) if usage else 0)
+            kind: max(usage, default=0)
             for kind, usage in self._usage.items()
         }

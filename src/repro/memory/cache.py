@@ -4,37 +4,58 @@ This is the building block for all three cache levels.  It tracks tags only
 (the functional data lives in the workload's NumPy arrays); the timing
 simulator only needs hit/miss/eviction behaviour and dirty-line bookkeeping.
 
-The tag store is *array based*: three per-set matrices — a tag matrix, an
-LRU timestamp matrix and a dirty matrix (``num_sets`` rows of ``assoc``
-ways) — instead of the per-set ordered dictionaries of the seed model.  The
-row layout is what makes the batched entry point possible:
+The tag store keeps *two* synchronized representations of the same state —
+per-set Python rows for the one-access-at-a-time interpreter path, and
+``(num_sets, assoc)`` NumPy matrices (tags, LRU generation stamps, dirty
+bits) for the batched replay engines.  Conversions happen lazily, only when
+an entry point of the other family runs, so neither path pays for the
+representation it does not use.
 
-* :meth:`SetAssociativeCache.access` serves the interpreting executor one
-  access at a time, exactly as before;
-* :meth:`SetAssociativeCache.replay_events` serves the trace-compiled
-  executor a whole *address stream* at once.  The set/tag decomposition, the
-  tag-equality lookups for repeated touches of the resident line and the
-  counter arithmetic are all vectorised with NumPy; only the genuinely
-  serial effects — allocations, LRU evictions, dirty write-backs and
-  coherency invalidations, whose outcome feeds the next event of the same
-  set — run through a (lean) Python state machine over the matrix rows.
+:meth:`SetAssociativeCache.replay_events` resolves a whole event stream
+through a tiered pipeline (fastest applicable tier wins; every tier is
+exact — state and counters match a one-at-a-time replay):
+
+1. **closed form** — a probe-free, uniform-store, line-monotone stream
+   hitting an empty cache (the preload / affine-warm-up shape produced by
+   ``compiler/trace.py`` lattices) never needs replay at all: per-set hit,
+   eviction and write-back counts and the final tag/stamp/dirty state are
+   direct formulas over the per-set run counts;
+2. **distance collapse** — a run head whose tag re-occurred within
+   ``assoc`` same-set events (no probes in the window) is a guaranteed hit
+   and, when its tag re-occurs again later with only guaranteed hits in
+   between, it cannot influence any future victim choice either, so it is
+   dropped before replay (its store flag is folded into the next
+   occurrence);
+3. **batched rounds** — the surviving heads are resolved one *generation*
+   at a time: round ``r`` takes the ``r``-th pending head of every set and
+   resolves all of them with matrix gathers (tag match, first-empty /
+   min-stamp victim, probe invalidation) — one vectorised step per round
+   instead of one Python iteration per head.  When no set has more than
+   one pending head (every L2/L3 stream chunk in practice) the whole call
+   is a single round with no Python loop at all;
+4. **serial machine** — short or adversarial streams (few heads per round)
+   fall back to the original lean Python state machine, which is also the
+   *reference path*: ``replay_events(..., engine="reference")``, the
+   module-level :func:`force_serial_replay` switch, or the
+   ``REPRO_SERIAL_LRU=1`` environment variable force it for debugging.
 
 The LRU policy is expressed with timestamps: every access stamps the line
 with a monotonically increasing clock and the victim of an allocation is
 the valid way with the smallest stamp.  Timestamps are only ever *compared
-within one set*, so batched replay may renumber them as long as the
-relative per-set order is preserved.
+within one set*, so batched replay may renumber them (one generation per
+round) as long as the relative per-set order is preserved.
 """
 
 from __future__ import annotations
 
 import contextlib
+import os
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Tuple, Union
 
 import numpy as np
 
-__all__ = ["CacheStats", "SetAssociativeCache"]
+__all__ = ["CacheStats", "SetAssociativeCache", "force_serial_replay"]
 
 #: Tag value of an empty way.  Addresses (and therefore tags) must be
 #: non-negative, which every workload allocator guarantees.
@@ -45,6 +66,39 @@ _EMPTY = -1
 #: For coherency probes (``coherency`` True): 0 = line absent or clean
 #: load (no action), 1 = clean line invalidated by a store probe, 2 =
 #: dirty line invalidated (the caller charges the write-back).
+
+#: Below this many surviving run heads the serial machine beats any
+#: batched engine (NumPy launch overhead dominates); measured on the dev
+#: machine, see docs/performance.md.
+_SERIAL_CUTOVER = 48
+
+#: Minimum average heads-per-round for the batched rounds engine to win
+#: over the serial machine (each round costs a fixed number of NumPy
+#: kernel launches regardless of how many sets participate).
+_ROUND_MIN_RATIO = 16
+
+#: When not ``None``, overrides the ``REPRO_SERIAL_LRU`` environment
+#: variable (see :func:`force_serial_replay`).
+_FORCE_SERIAL_OVERRIDE: Optional[bool] = None
+
+
+def force_serial_replay(enabled: Optional[bool]) -> None:
+    """Force (or stop forcing) the serial reference replay path.
+
+    ``True`` routes every :meth:`SetAssociativeCache.replay_events` call
+    through the serial reference machine, ``False`` forces the tiered
+    engines even if ``REPRO_SERIAL_LRU`` is set, and ``None`` restores the
+    environment-variable default.  Intended for debugging and equivalence
+    tests; the paths are exact either way.
+    """
+    global _FORCE_SERIAL_OVERRIDE
+    _FORCE_SERIAL_OVERRIDE = enabled
+
+
+def _serial_forced() -> bool:
+    if _FORCE_SERIAL_OVERRIDE is not None:
+        return _FORCE_SERIAL_OVERRIDE
+    return os.environ.get("REPRO_SERIAL_LRU", "") not in ("", "0", "false")
 
 
 @dataclass
@@ -132,14 +186,60 @@ class SetAssociativeCache:
         self.line_bytes = line_bytes
         self.num_sets = size_bytes // (assoc * line_bytes)
         self.stats = CacheStats()
-        # tag / LRU-timestamp / dirty matrices: one row of `assoc` ways per
-        # set.  Rows are plain Python lists so the serial state machine of
-        # replay_events (and the single-access path) runs without per-call
-        # NumPy overhead; the batched passes build ndarray views on demand.
-        self._tags: List[List[int]] = [[_EMPTY] * assoc for _ in range(self.num_sets)]
-        self._stamps: List[List[int]] = [[0] * assoc for _ in range(self.num_sets)]
-        self._dirty: List[List[bool]] = [[False] * assoc for _ in range(self.num_sets)]
+        # Dual state representation.  The serial entry points (access,
+        # invalidate, the reference replay machine) walk plain Python rows;
+        # the batched engines operate on (num_sets, assoc) matrices.  The
+        # `_rows_ok` / `_arrays_ok` flags track which family is current;
+        # conversion is lazy and only happens when paths are mixed.
+        self._tag_rows: List[List[int]] = []
+        self._stamp_rows: List[List[int]] = []
+        self._dirty_rows: List[List[bool]] = []
+        self._tags_a = np.full((self.num_sets, assoc), _EMPTY, dtype=np.int64)
+        self._stamps_a = np.zeros((self.num_sets, assoc), dtype=np.int64)
+        self._dirty_a = np.zeros((self.num_sets, assoc), dtype=bool)
+        # rows are materialised lazily: the batched engines never need them,
+        # so a fresh hierarchy costs three ndarray allocations, not
+        # O(num_sets) list building
+        self._rows_ok = False
+        self._arrays_ok = True
         self._clock = 0
+        # number of resident lines, maintained by every mutating path: the
+        # O(1) emptiness test the closed-form tier's eligibility check needs
+        self._resident = 0
+
+    # -- state representation sync --------------------------------------------
+
+    def _ensure_rows(self) -> None:
+        if not self._rows_ok:
+            self._tag_rows = self._tags_a.tolist()
+            self._stamp_rows = self._stamps_a.tolist()
+            self._dirty_rows = self._dirty_a.tolist()
+            self._rows_ok = True
+
+    def _ensure_arrays(self) -> None:
+        if not self._arrays_ok:
+            self._tags_a = np.array(self._tag_rows, dtype=np.int64)
+            self._stamps_a = np.array(self._stamp_rows, dtype=np.int64)
+            self._dirty_a = np.array(self._dirty_rows, dtype=bool)
+            self._arrays_ok = True
+
+    # Row views kept under the historical names: external introspection
+    # (tests compare `cache._tags` across instances) keeps working no
+    # matter which representation is current.
+    @property
+    def _tags(self) -> List[List[int]]:
+        self._ensure_rows()
+        return self._tag_rows
+
+    @property
+    def _stamps(self) -> List[List[int]]:
+        self._ensure_rows()
+        return self._stamp_rows
+
+    @property
+    def _dirty(self) -> List[List[bool]]:
+        self._ensure_rows()
+        return self._dirty_rows
 
     # -- address helpers -----------------------------------------------------
 
@@ -173,6 +273,10 @@ class SetAssociativeCache:
         """Number of lines currently resident (useful for tests)."""
         return sum(1 for row in self._tags for tag in row if tag != _EMPTY)
 
+    def _is_empty(self) -> bool:
+        """True when no line is resident (closed-form tier eligibility)."""
+        return self._resident == 0
+
     # -- state-changing operations --------------------------------------------
 
     def access(self, address: int, is_store: bool = False) -> Tuple[bool, Optional[int]]:
@@ -184,9 +288,11 @@ class SetAssociativeCache:
         allocate the line (write-allocate policy).
         """
         index, tag = self._index_tag(address)
+        self._ensure_rows()
+        self._arrays_ok = False
         stats = self.stats
         stats.accesses += 1
-        row = self._tags[index]
+        row = self._tag_rows[index]
         self._clock += 1
 
         try:
@@ -195,50 +301,55 @@ class SetAssociativeCache:
             way = -1
         if way >= 0:
             stats.hits += 1
-            self._stamps[index][way] = self._clock
+            self._stamp_rows[index][way] = self._clock
             if is_store:
-                self._dirty[index][way] = True
+                self._dirty_rows[index][way] = True
             return True, None
 
         stats.misses += 1
         writeback_address: Optional[int] = None
         try:
             way = row.index(_EMPTY)
+            self._resident += 1
         except ValueError:
-            stamps = self._stamps[index]
+            stamps = self._stamp_rows[index]
             way = stamps.index(min(stamps))
             stats.evictions += 1
-            if self._dirty[index][way]:
+            if self._dirty_rows[index][way]:
                 stats.writebacks += 1
                 writeback_address = (row[way] * self.num_sets + index) * self.line_bytes
         row[way] = tag
-        self._dirty[index][way] = is_store
-        self._stamps[index][way] = self._clock
+        self._dirty_rows[index][way] = is_store
+        self._stamp_rows[index][way] = self._clock
         return False, writeback_address
 
     def invalidate(self, address: int) -> bool:
         """Drop the line containing ``address``; returns True if it was dirty."""
         index, tag = self._index_tag(address)
-        row = self._tags[index]
+        self._ensure_rows()
+        row = self._tag_rows[index]
         try:
             way = row.index(tag)
         except ValueError:
             return False
+        self._arrays_ok = False
         row[way] = _EMPTY
+        self._resident -= 1
         self.stats.invalidations += 1
-        dirty = self._dirty[index][way]
-        self._dirty[index][way] = False
+        dirty = self._dirty_rows[index][way]
+        self._dirty_rows[index][way] = False
         return dirty
 
     def flush(self) -> int:
         """Empty the cache; returns the number of dirty lines that were lost."""
-        dirty = sum(1 for row, drow in zip(self._tags, self._dirty)
-                    for tag, d in zip(row, drow) if tag != _EMPTY and d)
-        assoc = self.assoc
-        for index in range(self.num_sets):
-            self._tags[index] = [_EMPTY] * assoc
-            self._dirty[index] = [False] * assoc
-            self._stamps[index] = [0] * assoc
+        self._ensure_arrays()
+        dirty = int(np.count_nonzero((self._tags_a != _EMPTY) & self._dirty_a))
+        self._tags_a.fill(_EMPTY)
+        self._stamps_a.fill(0)
+        self._dirty_a.fill(False)
+        self._rows_ok = False
+        self._arrays_ok = True
+        self._resident = 0
         return dirty
 
     # -- batched replay --------------------------------------------------------
@@ -256,7 +367,8 @@ class SetAssociativeCache:
 
     def replay_events(self, addresses: np.ndarray,
                       stores: Union[bool, np.ndarray] = False,
-                      coherency: Optional[np.ndarray] = None) -> np.ndarray:
+                      coherency: Optional[np.ndarray] = None,
+                      engine: Optional[str] = None) -> np.ndarray:
         """Replay an in-order event stream against the tag store.
 
         ``addresses`` are byte addresses in execution order.  ``stores`` is a
@@ -267,12 +379,16 @@ class SetAssociativeCache:
         but the probing request is a store (code 1); otherwise it does
         nothing (code 0).  Access events return 1 for a hit and 0 for a miss.
 
-        The engine is exact: the resulting cache state and counters match a
-        one-at-a-time replay of the same events.  Vectorisation comes from
-        *run collapsing* — consecutive touches of one line with no
-        intervening event in the same set are hits by construction (only a
-        same-set event can displace the line), so only the head of each run
-        reaches the serial state machine.
+        ``engine`` selects the resolution path: ``None`` (or ``"auto"``)
+        picks the fastest exact tier — closed form, distance collapse plus
+        the batched rounds engine, or the serial machine (see the module
+        docstring) — while ``"reference"`` forces the serial reference
+        machine over every run head (also forced globally by
+        :func:`force_serial_replay` / ``REPRO_SERIAL_LRU=1``).
+
+        Every path is exact: the resulting cache state and counters match a
+        one-at-a-time replay of the same events, with LRU stamps possibly
+        renumbered per call (per-set relative order is always preserved).
         """
         n = int(addresses.shape[0])
         results = np.zeros(n, dtype=np.uint8)
@@ -283,9 +399,23 @@ class SetAssociativeCache:
         lines = addresses // self.line_bytes
         sets = lines % self.num_sets
         tags = lines // self.num_sets
+        scalar_store = isinstance(stores, (bool, np.bool_))
+        if engine is None or engine == "auto":
+            engine = "reference" if _serial_forced() else "auto"
+        elif engine != "reference":
+            raise ValueError(f"unknown replay engine {engine!r}")
+
+        # ---- tier 1: closed form for the affine warm-up shape
+        if (engine == "auto" and scalar_store
+                and (coherency is None or not coherency.any())
+                and self._is_empty()
+                and bool(np.all(lines[1:] >= lines[:-1]))):
+            self._replay_closed_form(lines, sets, tags, bool(stores), results)
+            return results
+
         if coherency is None:
             coherency = np.zeros(n, dtype=bool)
-        if isinstance(stores, (bool, np.bool_)):
+        if scalar_store:
             stores = np.full(n, bool(stores), dtype=bool)
 
         # group by set, keeping execution order inside each group
@@ -308,26 +438,328 @@ class SetAssociativeCache:
         store_any = np.bitwise_or.reduceat(store_s, head_idx)
 
         result_s = np.ones(n, dtype=np.uint8)  # collapsed tails: guaranteed hits
+        access_events = n - int(coh_s.sum())
 
-        # serial state machine over run heads (allocations, evictions,
-        # invalidations — the effects the next event of the set depends on)
-        tags_m, stamps_m, dirty_m = self._tags, self._stamps, self._dirty
+        hs = set_s[head_idx]
+        ht = tag_s[head_idx]
+        hc = coh_s[head_idx]
+        hst = store_any
+        H = int(head_idx.shape[0])
+
+        if engine == "reference" or H < _SERIAL_CUTOVER:
+            codes, counters = self._replay_serial(hs, ht, hst, hc)
+            result_s[head_idx] = codes
+        else:
+            # ---- tier 2: distance collapse (guaranteed hits that cannot
+            # influence any future victim choice drop out before replay)
+            collapsed = self._collapse_distance(hs, ht, hst, hc)
+            kept_pos = head_idx
+            if collapsed is not None:
+                drop, hst = collapsed
+                keep = ~drop
+                hs, ht, hc, hst = hs[keep], ht[keep], hc[keep], hst[keep]
+                kept_pos = head_idx[keep]
+                H = int(hs.shape[0])
+            if H == 0:
+                counters = (0, 0, 0, 0)
+            else:
+                # per-set head counts (hs is sorted ascending)
+                boundary = np.ones(H, dtype=bool)
+                boundary[1:] = hs[1:] != hs[:-1]
+                starts = np.nonzero(boundary)[0]
+                counts = np.diff(np.append(starts, H))
+                rounds = int(counts.max())
+                if rounds > 1 and H / rounds < _ROUND_MIN_RATIO:
+                    codes, counters = self._replay_serial(hs, ht, hst, hc)
+                    result_s[kept_pos] = codes
+                else:
+                    # ---- tier 3: batched generation rounds
+                    codes = np.zeros(H, dtype=np.uint8)
+                    counters = self._replay_rounds(
+                        hs, ht, hst, hc, starts, counts, rounds, codes)
+                    result_s[kept_pos] = codes
+
+        misses, evictions, writebacks, invalidations = counters
+        stats = self.stats
+        stats.accesses += access_events
+        stats.hits += access_events - misses
+        stats.misses += misses
+        stats.evictions += evictions
+        stats.writebacks += writebacks
+        stats.invalidations += invalidations
+
+        results[order] = result_s
+        return results
+
+    # -- replay tiers ----------------------------------------------------------
+
+    def _replay_closed_form(self, lines: np.ndarray, sets: np.ndarray,
+                            tags: np.ndarray, store: bool,
+                            results: np.ndarray) -> None:
+        """Counter/state formulas for a line-monotone stream on an empty cache.
+
+        With non-decreasing line addresses every distinct line is touched in
+        one contiguous run and never revisited, so per set the run heads are
+        distinct tags in arrival order: the first ``assoc`` fill the ways
+        left to right, every further head evicts the oldest way cyclically,
+        and all non-head events are hits.  No replay needed — the final
+        state is the last ``min(k, assoc)`` lines of each set laid out at
+        way ``position % assoc``.
+        """
+        n = int(lines.shape[0])
+        head = np.ones(n, dtype=bool)
+        head[1:] = lines[1:] != lines[:-1]
+        head_idx = np.nonzero(head)[0]
+        H = int(head_idx.shape[0])
+        hs = sets[head_idx]
+        ht = tags[head_idx]
+
+        self._ensure_arrays()
+        self._rows_ok = False
+        order = np.argsort(hs, kind="stable")
+        hs_s = hs[order]
+        ht_s = ht[order]
+        boundary = np.ones(H, dtype=bool)
+        boundary[1:] = hs_s[1:] != hs_s[:-1]
+        starts = np.nonzero(boundary)[0]
+        counts = np.diff(np.append(starts, H))
+        within = np.arange(H, dtype=np.int64) - np.repeat(starts, counts)
+        keep = within >= np.repeat(counts, counts) - self.assoc
+        ways = within[keep] % self.assoc
+        ksets = hs_s[keep]
+        # generation stamps: one per head, ascending in per-set order (the
+        # only order LRU comparisons ever observe)
+        stamp_vals = self._clock + 1 + np.arange(H, dtype=np.int64)
+        self._tags_a[ksets, ways] = ht_s[keep]
+        self._stamps_a[ksets, ways] = stamp_vals[keep]
+        self._dirty_a[ksets, ways] = store
+        self._clock += H
+
+        overflow = counts - self.assoc
+        evictions = int(overflow[overflow > 0].sum())
+        self._resident += H - evictions
+        stats = self.stats
+        stats.accesses += n
+        stats.misses += H
+        stats.hits += n - H
+        stats.evictions += evictions
+        # evicted lines carry the uniform store flag (write-allocate)
+        stats.writebacks += evictions if store else 0
+
+        results.fill(1)
+        results[head_idx] = 0
+
+    def _collapse_distance(self, hs: np.ndarray, ht: np.ndarray,
+                           hst: np.ndarray,
+                           hc: np.ndarray) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+        """Drop run heads that are guaranteed hits with no victim influence.
+
+        A head whose tag already occurred ``d <= assoc`` heads earlier in
+        the same set, with no probe anywhere in the window, is a guaranteed
+        hit: at most ``d - 1 <= assoc - 1`` distinct other tags are stamped
+        after that anchor before the head resolves, so the line can never
+        become the LRU victim in between.  Such a head is *dropped* only if
+        its tag occurs again later with nothing but guaranteed hits in
+        between — then no eviction (the only stamp reader) and no probe
+        (the only dirty/residency reader) can observe the skipped re-stamp
+        before the next occurrence supersedes it.  Dropped stores are folded
+        into that next occurrence, which the same argument makes exact.
+
+        Returns ``(drop_mask, folded_store_flags)`` or ``None`` when nothing
+        collapses.
+        """
+        H = int(hs.shape[0])
+        if self.assoc < 2 or H < 3:
+            return None
+        gh = np.zeros(H, dtype=bool)
+        probes = np.cumsum(hc, dtype=np.int64)  # inclusive prefix counts
+        for d in range(2, self.assoc + 1):
+            if d >= H:
+                break
+            window = (ht[d:] == ht[:-d]) & (hs[d:] == hs[:-d])
+            # no probe in [i-d, i]: inclusive prefix difference is zero
+            span = probes[d:].copy()
+            span[1:] -= probes[:H - d - 1]
+            gh[d:] |= window & (span == 0)
+        if not gh.any():
+            return None
+        # next occurrence of each (set, tag) among the heads
+        occ = np.lexsort((ht, hs))  # stable: position-ascending chains
+        chain_set = hs[occ]
+        chain_tag = ht[occ]
+        same = (chain_set[1:] == chain_set[:-1]) & (chain_tag[1:] == chain_tag[:-1])
+        nxt = np.full(H, -1, dtype=np.int64)
+        nxt[occ[:-1][same]] = occ[1:][same]
+        drop = gh & (nxt >= 0)
+        candidates = np.nonzero(drop)[0]
+        if candidates.size:
+            # every head in (i, next(i)] must itself be a guaranteed hit
+            bad = np.cumsum(~gh, dtype=np.int64)
+            clean = bad[nxt[candidates]] - bad[candidates] == 0
+            drop[candidates[~clean]] = False
+        if not drop.any():
+            return None
+        # fold dropped store flags into the next kept occurrence: in chain
+        # order, each kept element absorbs the dropped run before it (the
+        # last element of every chain is kept, so segments never straddle
+        # chains)
+        kept_chain = ~drop[occ]
+        store_chain = hst[occ]
+        kept_q = np.nonzero(kept_chain)[0]
+        seg_starts = np.empty(kept_q.shape[0], dtype=np.int64)
+        seg_starts[0] = 0
+        seg_starts[1:] = kept_q[:-1] + 1
+        folded = np.bitwise_or.reduceat(store_chain, seg_starts)
+        hst = hst.copy()
+        hst[occ[kept_q]] = folded
+        return drop, hst
+
+    def _replay_rounds(self, hs: np.ndarray, ht: np.ndarray, hst: np.ndarray,
+                       hc: np.ndarray, starts: np.ndarray, counts: np.ndarray,
+                       rounds: int, codes: np.ndarray) -> Tuple[int, int, int, int]:
+        """Generation-round resolution: one vectorised step per round.
+
+        Round ``r`` resolves the ``r``-th pending head of every set that
+        still has one — a conflict-free batch (no two events share a set),
+        so tag matching, victim selection, probe invalidation and stamping
+        are plain matrix operations.  Stamps are renumbered as generations
+        (``clock + round``), preserving per-set relative order.
+        """
+        self._ensure_arrays()
+        self._rows_ok = False
         clock = self._clock
-        hits = misses = evictions = writebacks = invalidations = 0
-        head_out: List[int] = []
-        append = head_out.append
-        for s, t, st, coh in zip(set_s[head_idx].tolist(), tag_s[head_idx].tolist(),
-                                 store_any.tolist(), coh_s[head_idx].tolist()):
-            row = tags_m[s]
+        idx_all = np.arange(int(hs.shape[0]), dtype=np.int64)
+        if rounds == 1:
+            totals = self._resolve_generation(hs, ht, hst, hc, clock + 1,
+                                              codes, idx_all)
+        else:
+            perm = np.argsort(-counts, kind="stable")
+            starts_p = starts[perm]
+            group_sets = hs[starts_p]
+            counts_p = counts[perm]
+            groups = int(counts_p.shape[0])
+            # active-group count per round via the count histogram
+            cum = np.cumsum(np.bincount(counts_p))
+            totals = (0, 0, 0, 0)
+            for r in range(rounds):
+                k = groups - int(cum[r])
+                pick = starts_p[:k] + r
+                step = self._resolve_generation(
+                    group_sets[:k], ht[pick], hst[pick], hc[pick],
+                    clock + r + 1, codes, pick)
+                totals = tuple(a + b for a, b in zip(totals, step))
+        self._clock = clock + rounds
+        return totals
+
+    def _resolve_generation(self, srt: np.ndarray, t: np.ndarray,
+                            st: np.ndarray, coh: np.ndarray, gen: int,
+                            codes: np.ndarray,
+                            idx: np.ndarray) -> Tuple[int, int, int, int]:
+        """Resolve one conflict-free batch (each set appears at most once)."""
+        tags_a = self._tags_a
+        stamps_a = self._stamps_a
+        dirty_a = self._dirty_a
+        rows = tags_a[srt]
+        eq = rows == t[:, None]
+        found = eq.any(axis=1)
+        way = eq.argmax(axis=1)  # first match, same as list.index
+        misses = evictions = writebacks = invalidations = 0
+        if coh.any():
+            probe_hit = coh & found
+            if probe_hit.any():
+                psets = srt[probe_hit]
+                pways = way[probe_hit]
+                pdirty = dirty_a[psets, pways]
+                pstore = st[probe_hit]
+                kill = pdirty | pstore
+                codes[idx[probe_hit]] = np.where(
+                    pdirty, 2, np.where(pstore, 1, 0)).astype(np.uint8)
+                tags_a[psets[kill], pways[kill]] = _EMPTY
+                dirty_a[psets[kill], pways[kill]] = False
+                invalidations = int(kill.sum())
+            hit = ~coh & found
+            miss = ~coh & ~found
+        else:
+            hit = found
+            miss = ~found
+        if hit.any():
+            hsets = srt[hit]
+            hways = way[hit]
+            stamps_a[hsets, hways] = gen
+            hstore = st[hit]
+            if hstore.any():
+                dirty_a[hsets[hstore], hways[hstore]] = True
+            codes[idx[hit]] = 1
+        if miss.any():
+            msets = srt[miss]
+            empty = rows[miss] == _EMPTY
+            has_empty = empty.any(axis=1)
+            way_sel = empty.argmax(axis=1)  # first empty way
+            if not has_empty.all():
+                victim = ~has_empty
+                lru = stamps_a[msets].argmin(axis=1)  # first-minimum stamp
+                way_sel = np.where(has_empty, way_sel, lru)
+                evictions = int(victim.sum())
+                writebacks = int(dirty_a[msets[victim],
+                                         way_sel[victim]].sum())
+            tags_a[msets, way_sel] = t[miss]
+            dirty_a[msets, way_sel] = st[miss]
+            stamps_a[msets, way_sel] = gen
+            misses = int(miss.sum())
+        self._resident += (misses - evictions) - invalidations
+        return misses, evictions, writebacks, invalidations
+
+    def _replay_serial(self, hs: np.ndarray, ht: np.ndarray, hst: np.ndarray,
+                       hc: np.ndarray) -> Tuple[List[int], Tuple[int, int, int, int]]:
+        """The serial reference machine over run heads (original PR-2 path).
+
+        Walks Python rows one head at a time — allocations, LRU evictions,
+        dirty write-backs, coherency invalidations — exactly as
+        :meth:`access`/:meth:`invalidate` would.  Kept both as the fallback
+        for streams the batched engines cannot amortize and as the
+        debuggable reference path (see :func:`force_serial_replay`).
+
+        When the matrices hold the current state, only the touched sets are
+        materialised as rows (and scattered back afterwards): short streams
+        then cost O(heads × assoc) instead of a full-cache representation
+        flip each time the tier choice alternates.
+        """
+        if self._rows_ok:
+            self._arrays_ok = False
+            return self._serial_machine(self._tag_rows, self._stamp_rows,
+                                        self._dirty_rows, hs, ht, hst, hc)
+        touched = np.unique(hs)
+        touched_list = touched.tolist()
+        tag_rows = {s: self._tags_a[s].tolist() for s in touched_list}
+        stamp_rows = {s: self._stamps_a[s].tolist() for s in touched_list}
+        dirty_rows = {s: self._dirty_a[s].tolist() for s in touched_list}
+        out = self._serial_machine(tag_rows, stamp_rows, dirty_rows,
+                                   hs, ht, hst, hc)
+        self._tags_a[touched] = [tag_rows[s] for s in touched_list]
+        self._stamps_a[touched] = [stamp_rows[s] for s in touched_list]
+        self._dirty_a[touched] = [dirty_rows[s] for s in touched_list]
+        return out
+
+    def _serial_machine(self, tag_rows, stamp_rows, dirty_rows,
+                        hs: np.ndarray, ht: np.ndarray, hst: np.ndarray,
+                        hc: np.ndarray) -> Tuple[List[int], Tuple[int, int, int, int]]:
+        """Serial head-at-a-time walk over indexable per-set rows."""
+        clock = self._clock
+        misses = evictions = writebacks = invalidations = 0
+        codes: List[int] = []
+        append = codes.append
+        for s, t, st, coh in zip(hs.tolist(), ht.tolist(), hst.tolist(),
+                                 hc.tolist()):
+            row = tag_rows[s]
             try:
                 way = row.index(t)
             except ValueError:
                 way = -1
             if coh:
                 if way >= 0:
-                    if dirty_m[s][way]:
+                    if dirty_rows[s][way]:
                         row[way] = _EMPTY
-                        dirty_m[s][way] = False
+                        dirty_rows[s][way] = False
                         invalidations += 1
                         append(2)
                     elif st:
@@ -341,41 +773,27 @@ class SetAssociativeCache:
                 continue
             clock += 1
             if way >= 0:
-                hits += 1
-                stamps_m[s][way] = clock
+                stamp_rows[s][way] = clock
                 if st:
-                    dirty_m[s][way] = True
+                    dirty_rows[s][way] = True
                 append(1)
                 continue
             misses += 1
             try:
                 way = row.index(_EMPTY)
             except ValueError:
-                srow = stamps_m[s]
+                srow = stamp_rows[s]
                 way = srow.index(min(srow))
                 evictions += 1
-                if dirty_m[s][way]:
+                if dirty_rows[s][way]:
                     writebacks += 1
             row[way] = t
-            dirty_m[s][way] = st
-            stamps_m[s][way] = clock
+            dirty_rows[s][way] = st
+            stamp_rows[s][way] = clock
             append(0)
-        result_s[head_idx] = head_out
         self._clock = clock
-
-        # counters: collapsed tails are all hits of plain accesses
-        access_events = n - int(coherency.sum())
-        tail_hits = access_events - int((~coh_s[head_idx]).sum())
-        stats = self.stats
-        stats.accesses += access_events
-        stats.hits += hits + tail_hits
-        stats.misses += misses
-        stats.evictions += evictions
-        stats.writebacks += writebacks
-        stats.invalidations += invalidations
-
-        results[order] = result_s
-        return results
+        self._resident += (misses - evictions) - invalidations
+        return codes, (misses, evictions, writebacks, invalidations)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (f"SetAssociativeCache({self.name!r}, {self.size_bytes}B, "

@@ -175,11 +175,24 @@ class MemoryHierarchy:
         outer levels but not necessarily in the small L1.  The counters are
         left untouched so the pre-load does not pollute the statistics.
         """
-        if size_bytes <= 0:
-            return
+        self.preload_spans([(base_address, size_bytes)], include_l1=include_l1)
+
+    def preload_spans(self, spans, include_l1: bool = False) -> None:
+        """Batched :meth:`preload` of many ``(base, size_bytes)`` ranges.
+
+        All spans are concatenated (in the given order) into one replay per
+        cache level, so warming a many-buffer working set costs a handful of
+        batched replays instead of two per span.  Identical to calling
+        :meth:`preload` span by span: replay order is the concatenation
+        order, and the counters stay frozen throughout.
+        """
         line = self.l2.cache.line_bytes
-        addresses = np.arange(base_address - base_address % line,
-                              base_address + size_bytes, line, dtype=np.int64)
+        chunks = [np.arange(base - base % line, base + size, line,
+                            dtype=np.int64)
+                  for base, size in spans if size > 0]
+        if not chunks:
+            return
+        addresses = chunks[0] if len(chunks) == 1 else np.concatenate(chunks)
         with contextlib.ExitStack() as stack:
             for cache in (self.l1, self.l2.cache, self.l3):
                 stack.enter_context(cache.stats.stats_frozen())
@@ -407,44 +420,63 @@ class MemoryHierarchy:
 
         # ---- vector access decomposition (static, state independent)
         vec_ops = op_index[vec_pos]
-        touch_addr: List[int] = []
-        touch_owner: List[int] = []
-        touch_key: List[int] = []
-        touch_store: List[bool] = []
         vec_transfer = np.zeros(n_vec, dtype=np.int64)
         vec_conflicts = np.zeros(n_vec, dtype=np.int64)
         max_lines = 1
         if n_vec:
-            vec_bases = addresses[vec_pos].tolist()
-            vec_positions = vec_pos.tolist()
-            for k, (o, base, pos) in enumerate(zip(vec_ops.tolist(), vec_bases,
-                                                   vec_positions)):
+            # Group the accesses by decomposition pattern: stride and VL are
+            # attributes of the op, so (op, base alignment within the
+            # line×banks window) fully determines the relative line touches.
+            # Only the handful of distinct patterns run Python; the ragged
+            # expansion to per-line touches is pure NumPy.
+            window = self.l2.cache.line_bytes * self.l2.banks
+            vec_bases = addresses[vec_pos]
+            canon = vec_bases % window
+            anchors = vec_bases - canon
+            pattern_key = vec_ops * window + canon
+            uniq, inverse = np.unique(pattern_key, return_inverse=True)
+            rel_arrays = []
+            transfer_u = np.zeros(len(uniq), dtype=np.int64)
+            conflict_u = np.zeros(len(uniq), dtype=np.int64)
+            nlines_u = np.zeros(len(uniq), dtype=np.int64)
+            for u, key in enumerate(uniq.tolist()):
+                o, cbase = divmod(key, window)
                 op = ops[o]
-                anchor, rel_lines, transfer, conflicts = self._plan_pattern(
-                    base, op.stride_bytes, op.vector_length)
-                vec_transfer[k] = transfer
-                vec_conflicts[k] = conflicts
-                store = bool(op_store[o])
-                if len(rel_lines) > max_lines:
-                    max_lines = len(rel_lines)
-                for j, rel in enumerate(rel_lines):
-                    touch_addr.append(anchor + rel)
-                    touch_owner.append(k)
-                    # unique ordering key: (stream position, line sub-index)
-                    touch_key.append((pos, j))
-                    touch_store.append(store)
-        sub_radix = max_lines + 1
-        touch_addr_arr = np.array(touch_addr, dtype=np.int64)
-        touch_owner_arr = np.array(touch_owner, dtype=np.int64)
-        touch_store_arr = np.array(touch_store, dtype=bool)
-        touch_key_arr = np.array([pos * sub_radix + j + 1 for pos, j in touch_key],
-                                 dtype=np.int64)
+                _, rel_lines, transfer, conflicts = self._plan_pattern(
+                    cbase, op.stride_bytes, op.vector_length)
+                rel_arrays.append(np.asarray(rel_lines, dtype=np.int64))
+                transfer_u[u] = transfer
+                conflict_u[u] = conflicts
+                nlines_u[u] = len(rel_lines)
+            starts_u = np.concatenate([[0], np.cumsum(nlines_u)])
+            rel_flat = np.concatenate(rel_arrays)
+            vec_transfer = transfer_u[inverse]
+            vec_conflicts = conflict_u[inverse]
+            max_lines = max(1, int(nlines_u.max()))
+            nl_k = nlines_u[inverse]
+            owner = np.repeat(np.arange(n_vec, dtype=np.int64), nl_k)
+            total = int(nl_k.sum())
+            # line sub-index within each owning access
+            sub = (np.arange(total, dtype=np.int64)
+                   - np.repeat(np.cumsum(nl_k) - nl_k, nl_k))
+            touch_addr_arr = anchors[owner] + rel_flat[starts_u[inverse][owner] + sub]
+            touch_owner_arr = owner
+            touch_store_arr = op_store[vec_ops][owner]
+            sub_radix = max_lines + 1
+            # unique ordering key: (stream position, line sub-index)
+            touch_key_arr = vec_pos[owner] * sub_radix + sub + 1
+        else:
+            sub_radix = max_lines + 1
+            touch_addr_arr = np.zeros(0, dtype=np.int64)
+            touch_owner_arr = np.zeros(0, dtype=np.int64)
+            touch_store_arr = np.zeros(0, dtype=bool)
+            touch_key_arr = np.zeros(0, dtype=np.int64)
 
         # ---- phase 1: the L1 sees scalar accesses and vector coherency probes
         l1_addr = np.concatenate([addresses[scalar_pos], touch_addr_arr])
         l1_store = np.concatenate([op_store[op_index[scalar_pos]], touch_store_arr])
         l1_coh = np.concatenate([np.zeros(n_scalar, dtype=bool),
-                                 np.ones(len(touch_addr), dtype=bool)])
+                                 np.ones(len(touch_addr_arr), dtype=bool)])
         l1_key = np.concatenate([scalar_pos * sub_radix, touch_key_arr])
         l1_order = np.argsort(l1_key)
         l1_res_sorted = self.l1.replay_events(

@@ -205,6 +205,41 @@ class TestPlans:
             execute_requests(plan, {})
 
 
+class TestParallelCutover:
+    """Small batches fall back to serial execution with a recorded reason."""
+
+    def test_small_batch_falls_back_to_serial(self):
+        from repro.core.runner import PARALLEL_MIN_PENDING, last_dispatch
+        specs = small_specs()
+        plan = ExperimentPlan.from_sweep(SMALL_BENCHMARKS, SMALL_CONFIGS,
+                                         memory_modes=(False,))
+        assert len(plan) < PARALLEL_MIN_PENDING
+        execute_requests(plan, specs, jobs=4)
+        decision = last_dispatch()
+        assert decision["mode"] == "serial"
+        assert "cutover" in decision["reason"]
+        assert decision["jobs"] == 4
+        assert decision["pending"] == len(plan)
+
+    def test_zero_cutover_forces_the_pool(self):
+        from repro.core.runner import last_dispatch
+        specs = small_specs()
+        plan = ExperimentPlan.from_sweep(SMALL_BENCHMARKS, SMALL_CONFIGS,
+                                         memory_modes=(False,))
+        execute_requests(plan, specs, jobs=2, min_parallel_runs=0)
+        decision = last_dispatch()
+        assert decision["mode"] == "parallel"
+        assert decision["pending"] == len(plan)
+
+    def test_serial_request_is_recorded(self):
+        from repro.core.runner import last_dispatch
+        specs = small_specs()
+        plan = ExperimentPlan.from_sweep(SMALL_BENCHMARKS, SMALL_CONFIGS,
+                                         memory_modes=(False,))
+        execute_requests(plan, specs, jobs=1)
+        assert last_dispatch()["mode"] == "serial"
+
+
 class TestParallelEquality:
     @pytest.fixture(scope="class")
     def specs(self):
@@ -214,7 +249,7 @@ class TestParallelEquality:
         plan = ExperimentPlan.from_sweep(SMALL_BENCHMARKS, SMALL_CONFIGS,
                                          memory_modes=(False, True))
         serial = execute_requests(plan, specs, jobs=1)
-        parallel = execute_requests(plan, specs, jobs=2)
+        parallel = execute_requests(plan, specs, jobs=2, min_parallel_runs=0)
         assert list(serial) == list(parallel) == list(plan.requests)
         for request in plan:
             assert (serial[request].canonical_json()

@@ -1,0 +1,152 @@
+"""Property test: every batched replay tier matches the serial reference.
+
+Hypothesis drives random access streams — plain loads/stores, dirty
+write-backs via store-then-evict, coherency invalidation probes, and the
+degenerate 1-way / 1-set geometries — through two caches: one pinned to the
+serial reference machine (``engine="reference"``), one free to pick the
+batched generation-round or closed-form tiers (``engine="auto"``).  After
+every batch the per-event result codes must be identical, and at the end the
+full architectural state must agree: resident tags per set *in LRU order*
+(stamps may be renumbered between tiers, their per-set relative order may
+not), dirty bits, the resident-line count and all six statistics counters.
+
+Streams are split into several batches per example so state is carried
+*between* tiers — a closed-form warm-up followed by a random batch exercises
+the matrix/row representation hand-off, which is where a staleness bug would
+hide.
+"""
+
+import dataclasses
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memory.cache import _EMPTY, SetAssociativeCache
+
+#: Line-index pool kept tiny so streams collide constantly: conflict misses,
+#: LRU evictions and re-references are the common case, not the rare one.
+MAX_LINES = 16
+
+
+def _geometry():
+    return st.tuples(
+        st.sampled_from([1, 2, 4]),    # num_sets (1 = fully degenerate)
+        st.sampled_from([1, 2, 4]),    # assoc (1 = direct mapped)
+        st.sampled_from([16, 64]),     # line_bytes
+    )
+
+
+def _random_batch():
+    """A batch of (line_index, is_store, is_probe) event triples."""
+    event = st.tuples(
+        st.integers(min_value=0, max_value=MAX_LINES - 1),
+        st.booleans(),
+        st.booleans(),
+    )
+    return st.lists(event, min_size=0, max_size=40)
+
+
+def _monotone_batch():
+    """An affine warm-up shaped batch (hits the closed-form tier when cold)."""
+    return st.tuples(
+        st.integers(min_value=0, max_value=MAX_LINES - 1),  # first line
+        st.integers(min_value=1, max_value=3),              # line stride
+        st.integers(min_value=1, max_value=24),             # events
+        st.booleans(),                                      # scalar store flag
+    )
+
+
+def _batches():
+    return st.lists(
+        st.one_of(_random_batch(), _monotone_batch()),
+        min_size=1, max_size=4)
+
+
+def _materialize(batch, line_bytes):
+    """Batch description -> (addresses, stores, coherency) arrays."""
+    if isinstance(batch, tuple):  # monotone description
+        first, stride, count, store = batch
+        lines = first + stride * np.arange(count, dtype=np.int64)
+        addresses = lines * line_bytes
+        return addresses, store, None
+    if not batch:
+        return np.zeros(0, dtype=np.int64), False, None
+    lines = np.array([line for line, _, _ in batch], dtype=np.int64)
+    stores = np.array([s for _, s, _ in batch], dtype=bool)
+    probes = np.array([p for _, _, p in batch], dtype=bool)
+    return lines * line_bytes, stores, probes
+
+
+def _lru_state(cache):
+    """Resident (tag, dirty) pairs per set, ordered oldest to youngest.
+
+    Stamps are compared only through their per-set ordering: the batched
+    tiers renumber the clock, the relative order is the contract.
+    """
+    state = []
+    for tags, stamps, dirty in zip(cache._tags, cache._stamps, cache._dirty):
+        resident = [(stamps[w], tags[w], dirty[w])
+                    for w in range(cache.assoc) if tags[w] != _EMPTY]
+        resident.sort()
+        state.append(tuple((tag, d) for _, tag, d in resident))
+    return state
+
+
+@settings(max_examples=150, deadline=None)
+@given(geometry=_geometry(), batches=_batches())
+def test_batched_tiers_match_serial_reference(geometry, batches):
+    num_sets, assoc, line_bytes = geometry
+    size = num_sets * assoc * line_bytes
+    reference = SetAssociativeCache(size, assoc, line_bytes, name="ref")
+    batched = SetAssociativeCache(size, assoc, line_bytes, name="auto")
+
+    for batch in batches:
+        addresses, stores, coherency = _materialize(batch, line_bytes)
+        want = reference.replay_events(addresses, stores, coherency,
+                                       engine="reference")
+        got = batched.replay_events(addresses, stores, coherency,
+                                    engine="auto")
+        assert np.array_equal(want, got), (
+            f"result codes diverge on {batch!r}")
+
+    assert _lru_state(reference) == _lru_state(batched)
+    assert reference._resident == batched._resident
+    assert (dataclasses.asdict(reference.stats)
+            == dataclasses.asdict(batched.stats))
+
+
+@settings(max_examples=60, deadline=None)
+@given(geometry=_geometry(), batches=_batches())
+def test_single_event_replay_matches_access(geometry, batches):
+    """replay_events one event at a time == the scalar access/invalidate API."""
+    num_sets, assoc, line_bytes = geometry
+    size = num_sets * assoc * line_bytes
+    scalar = SetAssociativeCache(size, assoc, line_bytes, name="scalar")
+    vector = SetAssociativeCache(size, assoc, line_bytes, name="vector")
+
+    for batch in batches:
+        addresses, stores, coherency = _materialize(batch, line_bytes)
+        n = len(addresses)
+        store_arr = np.full(n, stores, dtype=bool) if isinstance(stores, bool) \
+            else stores
+        probe_arr = np.zeros(n, dtype=bool) if coherency is None else coherency
+        for i in range(n):
+            got = vector.replay_events(addresses[i:i + 1],
+                                       store_arr[i:i + 1],
+                                       probe_arr[i:i + 1])
+            if probe_arr[i]:
+                resident = scalar.contains(addresses[i])
+                dirty = scalar.is_dirty(addresses[i])
+                if resident and (dirty or store_arr[i]):
+                    was_dirty = scalar.invalidate(addresses[i])
+                    want = 2 if was_dirty else 1
+                else:
+                    want = 0
+            else:
+                hit, _ = scalar.access(addresses[i], bool(store_arr[i]))
+                want = 1 if hit else 0
+            assert got[0] == want, (batch, i)
+
+    assert _lru_state(scalar) == _lru_state(vector)
+    assert scalar._resident == vector._resident

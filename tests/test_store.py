@@ -181,6 +181,7 @@ class TestExecuteRequestsStore:
 
     def test_store_with_jobs_matches_serial_without(self, tiny_suite, tmp_path):
         with_store = execute_requests(self.PLAN, tiny_suite, jobs=2,
+                                      min_parallel_runs=0,
                                       store=ResultStore(tmp_path))
         plain = execute_requests(self.PLAN, tiny_suite)
         assert ([s.canonical_json() for s in with_store.values()]

@@ -286,7 +286,8 @@ class TestPoolRoundTrip:
         requests = [RunRequest("toy_stream", config, False)
                     for config in ("vliw-2w", "usimd-2w", "vector2-2w")]
         serial = execute_requests(requests, {"toy_stream": spec}, jobs=1)
-        parallel = execute_requests(requests, {"toy_stream": spec}, jobs=2)
+        parallel = execute_requests(requests, {"toy_stream": spec}, jobs=2,
+                                    min_parallel_runs=0)
         assert {r: s.to_dict() for r, s in serial.items()} \
             == {r: s.to_dict() for r, s in parallel.items()}
 
