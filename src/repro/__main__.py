@@ -24,6 +24,12 @@ Commands
     sweep synthetic-program seeds through both execution tiers, diff the
     statistics field for field, and on a mismatch shrink the program and
     write a replayable reproducer file.  Exit code 4 on mismatch.
+``store``
+    Inspect and repair the result store: ``store stats`` (entry counts,
+    bytes, lease health), ``store verify`` (walk every entry, decode it,
+    quarantine undecodable files to ``corrupt/``) and
+    ``store scrub-leases`` (remove stale shard leases left by crashed
+    sweep participants).
 
 ``report``, ``sweep`` and ``explore`` all take ``--benchmarks`` with the
 same selector syntax: registry names, ``tag:<tag>`` (every benchmark
@@ -59,6 +65,7 @@ from repro.experiments.report import (
 )
 from repro.experiments.report import main as report_main
 from repro.sim.engines import DEFAULT_ENGINE, ENGINE_NAMES
+from repro.store import DEFAULT_LEASE_TTL
 from repro.workloads.registry import registered_workloads, select_benchmarks
 from repro.workloads.suite import BENCHMARK_NAMES, SuiteParameters
 
@@ -163,6 +170,10 @@ def _cmd_explore(args: argparse.Namespace) -> int:
 
     space = DesignSpace.smoke() if args.space == "smoke" else DesignSpace.default()
     store = resolve_store(args, default_path=DEFAULT_STORE_PATH)
+    if args.coordinate and store is None:
+        print("error: --coordinate needs a store (drop --no-store)",
+              file=sys.stderr)
+        return 2
     parameters = (SuiteParameters.default() if args.full_inputs
                   else SuiteParameters.tiny())
     start = time.time()
@@ -176,11 +187,64 @@ def _cmd_explore(args: argparse.Namespace) -> int:
             engine=args.engine,
             shard_size=args.shard_size,
             max_shards=args.max_shards,
+            coordinate=args.coordinate,
+            lease_ttl=args.lease_ttl,
             progress=lambda line: print(line, file=sys.stderr),
         )
     print(result.summary())
     print(f"[explored in {time.time() - start:.1f} s]", file=sys.stderr)
     return 0 if result.complete else 3
+
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    from repro.store import LeaseManager
+
+    store = resolve_store(args, default_path=DEFAULT_STORE_PATH)
+    if store is None:
+        print("error: this command needs a store (pass --store DIR or set "
+              "$REPRO_STORE)", file=sys.stderr)
+        return 2
+    manager = LeaseManager(store.root, ttl=args.lease_ttl)
+    if args.store_command == "stats":
+        entries = 0
+        total_bytes = 0
+        by_version: dict = {}
+        for version, path in store.iter_entry_paths():
+            entries += 1
+            by_version[version] = by_version.get(version, 0) + 1
+            try:
+                total_bytes += path.stat().st_size
+            except OSError:
+                pass
+        quarantined = (sum(1 for p in store.corrupt_dir.iterdir()
+                           if p.is_file())
+                       if store.corrupt_dir.is_dir() else 0)
+        records = manager.leases()
+        stale = sum(1 for record in records if manager.is_stale(record))
+        print(f"store {store.root} (current schema v{store.schema_version})")
+        print(f"  entries: {entries} ({total_bytes} bytes)")
+        for version in sorted(by_version):
+            marker = "  <- current" if version == store.schema_version else ""
+            print(f"    v{version}: {by_version[version]}{marker}")
+        print(f"  quarantined corrupt files: {quarantined}")
+        print(f"  leases: {len(records)} ({stale} stale, "
+              f"ttl {manager.ttl:.0f}s)")
+        return 0
+    if args.store_command == "verify":
+        report = store.verify(quarantine=not args.no_quarantine)
+        print(report.summary())
+        # corrupt entries that were quarantined are *repaired* — exit 0 so
+        # CI lanes treat a self-healed store as healthy; --no-quarantine
+        # is the "just look" mode and reports damage through the exit code
+        return 1 if (args.no_quarantine and report.corrupt) else 0
+    if args.store_command == "scrub-leases":
+        removed = manager.scrub()
+        live = len(manager.leases())
+        print(f"scrubbed {len(removed)} stale lease(s); {live} live remain")
+        for key in removed:
+            print(f"  removed {key}")
+        return 0
+    raise AssertionError(f"unknown store command {args.store_command!r}")
 
 
 def main(argv=None) -> int:
@@ -215,6 +279,15 @@ def main(argv=None) -> int:
                          help="runs per resumable shard (default 40)")
     explore.add_argument("--max-shards", type=int, default=None, metavar="N",
                          help="stop after N shards (partial, resumable sweep)")
+    explore.add_argument("--coordinate", action="store_true",
+                         help="claim shards through store-side leases so "
+                              "several processes can share one sweep "
+                              "(requires a store)")
+    explore.add_argument("--lease-ttl", type=float,
+                         default=DEFAULT_LEASE_TTL, metavar="SECS",
+                         help="heartbeat staleness threshold for "
+                              "--coordinate (default "
+                              f"{DEFAULT_LEASE_TTL:.0f}s)")
 
     fuzz = sub.add_parser(
         "fuzz", help="sweep synthetic seeds through both engines and diff")
@@ -247,6 +320,26 @@ def main(argv=None) -> int:
                             help="restrict to these names / tag:<tag> "
                                  "selectors (default: every benchmark)")
 
+    store_p = sub.add_parser(
+        "store", help="inspect and repair the result store")
+    store_sub = store_p.add_subparsers(dest="store_command", required=True)
+    store_stats = store_sub.add_parser(
+        "stats", help="entry counts, bytes and lease health")
+    store_verify = store_sub.add_parser(
+        "verify", help="decode every entry; quarantine undecodable files")
+    store_verify.add_argument(
+        "--no-quarantine", action="store_true",
+        help="report corrupt entries without moving them; exit 1 if any")
+    store_scrub = store_sub.add_parser(
+        "scrub-leases", help="remove stale leases left by crashed sweeps")
+    for sub_parser in (store_stats, store_verify, store_scrub):
+        add_store_arguments(sub_parser)
+        sub_parser.add_argument(
+            "--lease-ttl", type=float, default=DEFAULT_LEASE_TTL,
+            metavar="SECS",
+            help="staleness threshold for lease reporting/scrubbing "
+                 f"(default {DEFAULT_LEASE_TTL:.0f}s)")
+
     if argv is None:
         argv = sys.argv[1:]
     # `report` keeps its own argument parser (it predates this CLI); pass
@@ -277,7 +370,8 @@ def main(argv=None) -> int:
         print(f"error: {exc.args[0] if exc.args else exc}", file=sys.stderr)
         return 2
     return {"sweep": _cmd_sweep, "explore": _cmd_explore,
-            "bench": _cmd_bench, "fuzz": _cmd_fuzz}[args.command](args)
+            "bench": _cmd_bench, "fuzz": _cmd_fuzz,
+            "store": _cmd_store}[args.command](args)
 
 
 if __name__ == "__main__":  # pragma: no cover

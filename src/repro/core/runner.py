@@ -28,15 +28,23 @@ a serial one.
 
 from __future__ import annotations
 
+import logging
 import multiprocessing
 import os
+import random
 import sys
+import time
+from concurrent.futures import as_completed
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, Iterable, Mapping, Optional, Sequence, Union
+from typing import (TYPE_CHECKING, Dict, Iterable, List, Mapping, Optional,
+                    Sequence, Tuple, Union)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (store imports IR)
     from repro.store import ResultStore
 
+from repro import faults
 from repro.compiler.ir import ISAFlavor, KernelProgram
 from repro.core.architecture import VectorMicroSimdVliwMachine
 from repro.machine.config import (
@@ -52,14 +60,20 @@ from repro.sim.stats import RunStats, merge_run_maps
 __all__ = [
     "BenchmarkSpec",
     "BenchmarkResult",
+    "QuarantinedRun",
     "flavor_for_config",
     "run_benchmark",
     "run_benchmarks",
     "execute_requests",
+    "request_fingerprints",
     "default_jobs",
     "last_dispatch",
+    "last_quarantine",
     "PARALLEL_MIN_PENDING",
+    "DEFAULT_MAX_ATTEMPTS",
 ]
+
+logger = logging.getLogger("repro.runner")
 
 
 def flavor_for_config(config: MachineConfig) -> ISAFlavor:
@@ -173,11 +187,33 @@ def default_jobs() -> int:
 #: this fall back to the serial fast path (see :func:`last_dispatch`).
 PARALLEL_MIN_PENDING = 64
 
+#: Bounded attempts per request before it is quarantined: the first
+#: (chunked) try plus two isolated retries.
+DEFAULT_MAX_ATTEMPTS = 3
+
+#: Base of the exponential backoff between retries of one request.
+RETRY_BASE_DELAY = 0.05
+#: Ceiling on any single backoff sleep.
+RETRY_MAX_DELAY = 2.0
+
+
+@dataclass(frozen=True)
+class QuarantinedRun:
+    """One request given up on after bounded retries, with its history."""
+
+    request: RunRequest
+    attempts: int
+    reason: str
+
+
 #: How the most recent :func:`execute_requests` batch was dispatched.
 _last_dispatch: Dict[str, object] = {
     "mode": "serial", "reason": "no batch executed yet",
-    "jobs": 0, "pending": 0,
+    "jobs": 0, "pending": 0, "quarantined": 0, "pool_recovered": False,
 }
+
+#: Requests the most recent batch quarantined (empty on a clean batch).
+_last_quarantine: List[QuarantinedRun] = []
 
 
 def last_dispatch() -> Dict[str, object]:
@@ -185,14 +221,41 @@ def last_dispatch() -> Dict[str, object]:
 
     Returns a dict with ``mode`` (``"serial"`` or ``"parallel"``),
     ``reason`` (why that mode was chosen — e.g. the batch was too small to
-    amortise worker spawn), ``jobs`` (what the caller requested) and
-    ``pending`` (runs actually simulated after store hits).
+    amortise worker spawn), ``jobs`` (what the caller requested),
+    ``pending`` (runs actually simulated after store hits),
+    ``quarantined`` (requests abandoned after bounded retries — see
+    :func:`last_quarantine` for details) and ``pool_recovered`` (whether a
+    worker pool died mid-batch and the batch finished through the
+    isolation path anyway).
     """
     return dict(_last_dispatch)
 
 
-def _record_dispatch(mode: str, reason: str, jobs: int, pending: int) -> None:
-    _last_dispatch.update(mode=mode, reason=reason, jobs=jobs, pending=pending)
+def last_quarantine() -> List[QuarantinedRun]:
+    """Requests the most recent batch abandoned, with attempts and reasons."""
+    return list(_last_quarantine)
+
+
+def _record_dispatch(mode: str, reason: str, jobs: int, pending: int,
+                     quarantined: Sequence[QuarantinedRun] = (),
+                     pool_recovered: bool = False) -> None:
+    _last_dispatch.update(mode=mode, reason=reason, jobs=jobs,
+                          pending=pending, quarantined=len(quarantined),
+                          pool_recovered=pool_recovered)
+    _last_quarantine[:] = quarantined
+
+
+def _backoff_delay(attempt: int, base: float = RETRY_BASE_DELAY,
+                   cap: float = RETRY_MAX_DELAY) -> float:
+    """Exponential backoff with jitter: ``base * 2^attempt``, ±50%.
+
+    The jitter decorrelates retries of several requests (or several
+    cooperating processes) hitting one sick filesystem — the classic
+    thundering-herd fix.  Simulation results are unaffected by timing, so
+    drawing from the global ``random`` module is safe here.
+    """
+    delay = min(cap, base * (2 ** attempt))
+    return delay * (0.5 + random.random())
 
 
 #: Per-worker state: the benchmark specs and latency model of the current
@@ -206,7 +269,8 @@ def _worker_init(specs: Mapping[str, BenchmarkSpec],
                  latency_model: Optional[LatencyModel],
                  engine: Optional[str],
                  extra_configs: Mapping[str, MachineConfig] = (),
-                 extra_workloads: Mapping[str, object] = ()) -> None:
+                 extra_workloads: Mapping[str, object] = (),
+                 fault_plan: Optional["faults.FaultPlan"] = None) -> None:
     global _WORKER_STATE
     # non-paper configurations (design-space points) and non-shipped
     # workloads (user registrations) are re-registered per worker so
@@ -218,6 +282,10 @@ def _worker_init(specs: Mapping[str, BenchmarkSpec],
         from repro.workloads.registry import register_workload_definition
         for definition in dict(extra_workloads).values():
             register_workload_definition(definition, overwrite=True)
+    # the fault harness rides to workers explicitly (spawn-safe); counters
+    # restart per process, which is the per-worker semantics the plans want
+    if fault_plan is not None:
+        faults.install_plan(fault_plan)
     _WORKER_STATE = (specs, latency_model, engine)
 
 
@@ -226,6 +294,24 @@ def _worker_run(request: RunRequest) -> RunStats:
     shard = execute_plan(ExperimentPlan([request]), specs,
                          latency_model=latency_model, engine=engine)
     return shard[request]
+
+
+def _worker_run_chunk(requests: Tuple[RunRequest, ...]) -> List[RunStats]:
+    """Run one chunk of requests in a worker, in order.
+
+    Requests run one at a time (the process-wide compile cache still
+    collapses repeated schedules), with the fault hook consulted after
+    each — so an injected worker crash lands *mid-chunk*, the hardest
+    case for the parent's recovery path.
+    """
+    specs, latency_model, engine = _WORKER_STATE
+    results: List[RunStats] = []
+    for request in requests:
+        shard = execute_plan(ExperimentPlan([request]), specs,
+                             latency_model=latency_model, engine=engine)
+        results.append(shard[request])
+        faults.note_worker_run(request.benchmark)
+    return results
 
 
 def _as_spec_map(specs: Union[Mapping[str, BenchmarkSpec], Iterable[BenchmarkSpec]]
@@ -237,10 +323,10 @@ def _as_spec_map(specs: Union[Mapping[str, BenchmarkSpec], Iterable[BenchmarkSpe
     return {spec.name: spec for spec in specs}
 
 
-def _request_fingerprints(plan: ExperimentPlan,
-                          spec_map: Mapping[str, BenchmarkSpec],
-                          latency_model: Optional[LatencyModel]
-                          ) -> Dict[RunRequest, str]:
+def request_fingerprints(plan: ExperimentPlan,
+                         spec_map: Mapping[str, BenchmarkSpec],
+                         latency_model: Optional[LatencyModel] = None
+                         ) -> Dict[RunRequest, str]:
     """Content fingerprint of every request of ``plan`` (see repro.store).
 
     A plan spans few distinct programs and configurations, so the component
@@ -281,6 +367,116 @@ def _request_fingerprints(plan: ExperimentPlan,
     return fingerprints
 
 
+#: Backwards-compatible private alias (pre-lease-coordination name).
+_request_fingerprints = request_fingerprints
+
+
+def _run_parallel(pending: ExperimentPlan,
+                  spec_map: Mapping[str, BenchmarkSpec],
+                  jobs: int,
+                  latency_model: Optional[LatencyModel],
+                  engine: Optional[str],
+                  extra_configs: Mapping[str, MachineConfig],
+                  extra_workloads: Mapping[str, object],
+                  max_attempts: int,
+                  retry_base_delay: float
+                  ) -> Tuple[Dict[RunRequest, RunStats],
+                             List[QuarantinedRun], bool]:
+    """Execute ``pending`` over a worker pool, surviving worker death.
+
+    Two passes:
+
+    1. **Chunked** — the fast path: one executor, requests grouped into
+       chunks to amortise IPC, exactly the throughput of the old
+       ``Pool.map`` dispatch.  A ``multiprocessing.Pool`` hangs forever
+       when a worker is SIGKILLed mid-task; ``ProcessPoolExecutor``
+       instead fails every outstanding future with ``BrokenProcessPool``,
+       which is the detection this recovery is built on.
+    2. **Isolation** — only reached after a failure: each unfinished
+       request runs alone in a fresh single-worker executor, with
+       exponential backoff + jitter between its attempts.  A pool break
+       cannot identify the poison request (every queued future breaks
+       with it), so isolation is also the *attribution* mechanism: a
+       request that keeps killing its own private worker is provably
+       poison and is quarantined after ``max_attempts`` total attempts,
+       while innocent bystanders complete and are never charged.
+
+    Returns ``(results, quarantined, pool_recovered)``.  Results are
+    deterministic regardless of which pass produced them — the simulation
+    itself is deterministic, so a retried run is byte-identical to an
+    undisturbed one.
+    """
+    context = multiprocessing.get_context(
+        "fork" if sys.platform == "linux" else "spawn")
+    initargs = (spec_map, latency_model, engine, dict(extra_configs),
+                dict(extra_workloads), faults.active_plan())
+    requests = list(pending.requests)
+    workers = min(jobs, len(requests))
+    chunksize = max(1, len(requests) // (workers * 4))
+    results: Dict[RunRequest, RunStats] = {}
+    failures: Dict[RunRequest, List[str]] = {}
+    pool_broke = False
+
+    chunks = [tuple(requests[i:i + chunksize])
+              for i in range(0, len(requests), chunksize)]
+    with ProcessPoolExecutor(max_workers=workers, mp_context=context,
+                             initializer=_worker_init,
+                             initargs=initargs) as executor:
+        try:
+            futures = {executor.submit(_worker_run_chunk, chunk): chunk
+                       for chunk in chunks}
+        except BrokenProcessPool:
+            # a worker died during pool start-up; isolation handles it all
+            futures = {}
+            pool_broke = True
+        for future in as_completed(futures):
+            chunk = futures[future]
+            try:
+                for request, stats in zip(chunk, future.result()):
+                    results[request] = stats
+            except BrokenProcessPool:
+                # the in-flight chunk and every queued one fail together —
+                # nobody can be blamed yet, so nobody is charged an attempt
+                pool_broke = True
+            except Exception as exc:  # a worker *raised*: pool still alive
+                for request in chunk:
+                    failures.setdefault(request, []).append(
+                        f"{type(exc).__name__}: {exc}")
+
+    remaining = [r for r in requests if r not in results]
+    quarantined: List[QuarantinedRun] = []
+    if remaining:
+        logger.warning(
+            "parallel batch lost %d of %d runs (%s); recovering through "
+            "per-request isolation", len(remaining), len(requests),
+            "worker pool died" if pool_broke else "worker exceptions")
+    for request in remaining:
+        history = failures.setdefault(request, [])
+        attempts = len(history)
+        while attempts < max_attempts and request not in results:
+            if attempts:
+                time.sleep(_backoff_delay(attempts, retry_base_delay))
+            attempts += 1
+            try:
+                with ProcessPoolExecutor(max_workers=1, mp_context=context,
+                                         initializer=_worker_init,
+                                         initargs=initargs) as solo:
+                    stats_list = solo.submit(_worker_run_chunk,
+                                             (request,)).result()
+                results[request] = stats_list[0]
+            except BrokenProcessPool:
+                history.append("worker process died (BrokenProcessPool)")
+            except Exception as exc:
+                history.append(f"{type(exc).__name__}: {exc}")
+        if request not in results:
+            quarantined.append(QuarantinedRun(
+                request=request, attempts=attempts,
+                reason="; ".join(history) or "no attempt record"))
+            logger.error("quarantined %r after %d attempt(s): %s",
+                         request, attempts, quarantined[-1].reason)
+    return results, quarantined, pool_broke
+
+
 def execute_requests(requests: Iterable[RunRequest],
                      specs: Union[Mapping[str, BenchmarkSpec], Iterable[BenchmarkSpec]],
                      jobs: int = 1,
@@ -289,7 +485,9 @@ def execute_requests(requests: Iterable[RunRequest],
                      store: Optional["ResultStore"] = None,
                      extra_configs: Optional[Mapping[str, MachineConfig]] = None,
                      extra_workloads: Optional[Mapping[str, object]] = None,
-                     min_parallel_runs: Optional[int] = None
+                     min_parallel_runs: Optional[int] = None,
+                     max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+                     retry_base_delay: float = RETRY_BASE_DELAY
                      ) -> Dict[RunRequest, RunStats]:
     """Execute a batch of runs, optionally across worker processes.
 
@@ -325,6 +523,20 @@ def execute_requests(requests: Iterable[RunRequest],
     consistent with the parent's — under spawn, workers otherwise hold
     only the shipped entries — so registry lookups from user builder code
     or future worker-side spec construction resolve identically.
+
+    **Crash safety.**  Parallel batches survive worker death: a SIGKILLed
+    (OOM-killed, segfaulted) pool worker fails its outstanding futures
+    instead of hanging the batch, and the lost requests are retried —
+    first in per-request isolation with exponential backoff + jitter, up
+    to ``max_attempts`` total attempts each — before a provably poison
+    request is *quarantined* and the rest of the batch completes without
+    it (graceful degradation, not all-or-nothing).  Quarantined requests
+    are absent from the returned mapping; :func:`last_quarantine` lists
+    them with attempt counts and reasons, and :func:`last_dispatch`
+    reports the counts.  Store write-back failures likewise never discard
+    computed results: the error is logged and the statistics are returned
+    to the caller regardless.  Serial in-process execution is unchanged —
+    a deterministic simulation error there still raises.
     """
     plan = requests if isinstance(requests, ExperimentPlan) else ExperimentPlan(requests)
     spec_map = _as_spec_map(specs)
@@ -339,7 +551,7 @@ def execute_requests(requests: Iterable[RunRequest],
     fingerprints: Dict[RunRequest, str] = {}
     pending = plan
     if store is not None:
-        fingerprints = _request_fingerprints(plan, spec_map, latency_model)
+        fingerprints = request_fingerprints(plan, spec_map, latency_model)
         stored = store.get_many(fingerprints)
         pending = plan.without(stored)
 
@@ -365,30 +577,36 @@ def execute_requests(requests: Iterable[RunRequest],
         # Fork shares the already-built program IR with the workers for free;
         # macOS/Windows use spawn (fork is unsafe under Objective-C frameworks
         # and threaded BLAS) and pickle the specs once per worker instead.
-        context = multiprocessing.get_context(
-            "fork" if sys.platform == "linux" else "spawn")
         if extra_workloads is None:
             from repro.workloads.registry import user_workload_definitions
             extra_workloads = user_workload_definitions()
-        workers = min(jobs, len(pending))
-        chunksize = max(1, len(pending) // (workers * 4))
+        results, quarantined, recovered = _run_parallel(
+            pending, spec_map, jobs, latency_model, engine,
+            dict(extra_configs or {}), dict(extra_workloads),
+            max_attempts, retry_base_delay)
+        fresh = {request: results[request] for request in pending.requests
+                 if request in results}
         _record_dispatch(
             "parallel",
-            f"{len(pending)} pending runs across {workers} workers",
-            jobs, len(pending))
-        with context.Pool(processes=workers, initializer=_worker_init,
-                          initargs=(spec_map, latency_model, engine,
-                                    dict(extra_configs or {}),
-                                    dict(extra_workloads))) as pool:
-            results = pool.map(_worker_run, pending.requests, chunksize=chunksize)
-        fresh = dict(zip(pending.requests, results))
+            f"{len(pending)} pending runs across "
+            f"{min(jobs, len(pending))} workers",
+            jobs, len(pending), quarantined=quarantined,
+            pool_recovered=recovered)
 
     if store is not None:
         for request, stats in fresh.items():
-            store.put(fingerprints[request], stats,
-                      context={"benchmark": request.benchmark,
-                               "config": request.config_name,
-                               "perfect_memory": request.perfect_memory})
+            try:
+                store.put(fingerprints[request], stats,
+                          context={"benchmark": request.benchmark,
+                                   "config": request.config_name,
+                                   "perfect_memory": request.perfect_memory})
+            except OSError as exc:
+                # persistence is an optimisation; the computed result is
+                # not — keep it and carry on (the next sweep re-simulates
+                # and re-attempts the write)
+                logger.warning("store write-back failed for %r (%s); "
+                               "returning the computed result anyway",
+                               request, exc)
     return merge_run_maps([stored, fresh], order=plan.requests)
 
 

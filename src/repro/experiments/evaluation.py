@@ -39,6 +39,12 @@ from repro.workloads.suite import BENCHMARK_NAMES, SuiteParameters, build_suite
 
 __all__ = ["SuiteEvaluation"]
 
+#: Runs per write-back shard when :meth:`SuiteEvaluation.ensure` executes
+#: a batch against a persistent store (``shard_size=None``).  Chosen to
+#: match the runner's parallel cutover so sharding never forces a pool
+#: onto a batch that would not have used one.
+ENSURE_SHARD_SIZE = 64
+
 #: The configuration every speed-up in the paper is normalised against.
 BASELINE_CONFIG = "vliw-2w"
 #: The configuration Table 1's vectorisation percentages are measured on.
@@ -63,6 +69,11 @@ class SuiteEvaluation:
     back — so separate processes, test sessions and CI jobs pointing at one
     store each simulate a given point at most once.  Pass ``store=None``
     to force a store-free evaluation.
+
+    ``shard_size`` chunks store-backed batches so write-backs land
+    incrementally (an interrupted prefetch loses at most one shard);
+    ``None`` picks :data:`ENSURE_SHARD_SIZE` with a store and no sharding
+    without one, ``0`` disables sharding outright.
     """
 
     parameters: SuiteParameters = field(default_factory=SuiteParameters.default)
@@ -72,6 +83,7 @@ class SuiteEvaluation:
     jobs: int = 1
     engine: Optional[str] = None
     store: Union[ResultStore, str, None] = "auto"
+    shard_size: Optional[int] = None
 
     def __post_init__(self) -> None:
         self._suite: Dict[str, BenchmarkSpec] = {}
@@ -115,15 +127,27 @@ class SuiteEvaluation:
         if not len(plan):
             return
         specs = {name: self.spec(name) for name in plan.benchmarks()}
-        store_hits_before = self.store.stats.hits if self.store is not None else 0
-        results = execute_requests(plan, specs, jobs=self.jobs,
-                                   latency_model=self.latency_model,
-                                   engine=self.engine, store=self.store)
-        store_hits = (self.store.stats.hits - store_hits_before
-                      if self.store is not None else 0)
-        self.simulated_runs += len(plan) - store_hits
-        for request, stats in results.items():
-            self._runs[request.key()] = stats
+        # With a persistent store the batch runs in shards so each shard's
+        # results are written back the moment it completes: interrupting a
+        # long ``prefetch`` (ctrl-C, a killed CI job, a crashed host)
+        # loses at most one in-flight shard, and the re-run loads the
+        # rest.  Store-free evaluations keep the single-batch fast path —
+        # there is nothing to persist incrementally.
+        size = self.shard_size
+        if size is None:
+            size = ENSURE_SHARD_SIZE if self.store is not None else 0
+        shards = plan.shards(size) if size and len(plan) > size else (plan,)
+        for shard in shards:
+            store_hits_before = (self.store.stats.hits
+                                 if self.store is not None else 0)
+            results = execute_requests(shard, specs, jobs=self.jobs,
+                                       latency_model=self.latency_model,
+                                       engine=self.engine, store=self.store)
+            store_hits = (self.store.stats.hits - store_hits_before
+                          if self.store is not None else 0)
+            self.simulated_runs += len(shard) - store_hits
+            for request, stats in results.items():
+                self._runs[request.key()] = stats
 
     def prefetch(self, memory_modes: Tuple[bool, ...] = (False, True)) -> None:
         """Execute the full sweep (all benchmarks × configs × modes) up front."""

@@ -21,17 +21,21 @@ of many workloads.
 
 from __future__ import annotations
 
+import contextlib
+import hashlib
+import time
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.core.runner import execute_requests
+from repro.core.runner import execute_requests, request_fingerprints
 from repro.explore.pareto import ParetoPoint, pareto_frontier
 from repro.explore.space import DesignPoint, DesignSpace, generate_configs
 from repro.machine.config import MachineConfig
 from repro.machine.latency import LatencyModel
 from repro.sim.plan import ExperimentPlan, RunRequest
 from repro.sim.stats import RunStats
-from repro.store import ResultStore
+from repro.store import DEFAULT_LEASE_TTL, LeaseManager, ResultStore
 from repro.workloads.suite import SuiteParameters, build_suite
 
 __all__ = ["ExplorationResult", "run_exploration", "DEFAULT_BENCHMARKS",
@@ -155,6 +159,20 @@ class ExplorationResult:
         return "\n".join(lines)
 
 
+def _sweep_scope(benchmarks: Tuple[str, ...],
+                 parameters: SuiteParameters) -> str:
+    """Short hash scoping lease keys to one (benchmarks × inputs) sweep.
+
+    Plan fingerprints cover request *names* only; two explorations over
+    different input sizes build identical plans but must not share lease
+    keys (their store fingerprints differ, so neither can serve the
+    other's shards).  Dataclass ``repr`` is deterministic, which makes it
+    a sufficient scope key.
+    """
+    key = repr(("repro-sweep-scope/1", benchmarks, parameters))
+    return hashlib.sha256(key.encode()).hexdigest()[:12]
+
+
 def run_exploration(space: Optional[DesignSpace] = None,
                     benchmarks: Sequence[str] = DEFAULT_BENCHMARKS,
                     parameters: Optional[SuiteParameters] = None,
@@ -164,7 +182,12 @@ def run_exploration(space: Optional[DesignSpace] = None,
                     latency_model: Optional[LatencyModel] = None,
                     shard_size: int = 40,
                     max_shards: Optional[int] = None,
-                    progress: Optional[Callable[[str], None]] = None
+                    progress: Optional[Callable[[str], None]] = None,
+                    coordinate: bool = False,
+                    lease_ttl: float = DEFAULT_LEASE_TTL,
+                    owner: Optional[str] = None,
+                    min_parallel_runs: Optional[int] = None,
+                    max_attempts: Optional[int] = None
                     ) -> ExplorationResult:
     """Sweep every configuration of ``space`` over ``benchmarks``.
 
@@ -175,6 +198,22 @@ def run_exploration(space: Optional[DesignSpace] = None,
     tests and by incremental CI lanes); the returned result is then marked
     partial.  ``parameters`` defaults to the tiny test inputs, which keep a
     100+-configuration sweep in tens of seconds on one core.
+
+    ``coordinate=True`` (requires a ``store``) turns the sweep
+    *cooperative*: any number of independent processes — different
+    terminals, CI jobs, hosts sharing a filesystem — can run the same
+    exploration against one store, and the lease layer
+    (:mod:`repro.store.leases`) divides the shards between them.  Each
+    shard is claimed by atomic lease acquisition before it is simulated,
+    heartbeat-renewed on a background thread while it runs, and released
+    when its results are in the store.  A shard held by a *live* peer is
+    deferred and folded in from the store once the peer finishes; a shard
+    whose owner crashed (heartbeat older than ``lease_ttl``) is reclaimed,
+    so a ``kill -9``'d participant costs the fleet at most one TTL and
+    one in-flight shard of work — never a stuck sweep.  Worker-level
+    crash recovery (retry/backoff/quarantine) comes from
+    :func:`~repro.core.runner.execute_requests` underneath in every mode;
+    ``max_attempts`` is forwarded to it when set.
     """
     space = space if space is not None else DesignSpace.default()
     parameters = parameters if parameters is not None else SuiteParameters.tiny()
@@ -182,6 +221,17 @@ def run_exploration(space: Optional[DesignSpace] = None,
     points = tuple(space.points())
     configs = generate_configs(space)
     specs = build_suite(parameters, names=list(benchmarks))
+    if coordinate and store is None:
+        raise ValueError("coordinate=True needs a store: leases live next "
+                         "to the result entries they schedule work for")
+    manager = (LeaseManager(store.root, owner=owner, ttl=lease_ttl)
+               if coordinate else None)
+    scope = _sweep_scope(benchmarks, parameters) if coordinate else ""
+    executor_kwargs: Dict[str, object] = {}
+    if max_attempts is not None:
+        executor_kwargs["max_attempts"] = max_attempts
+    if min_parallel_runs is not None:
+        executor_kwargs["min_parallel_runs"] = min_parallel_runs
 
     config_names = (BASELINE_CONFIG,) + tuple(configs)
     # config-major order: every configuration's runs (all benchmarks) are
@@ -194,19 +244,68 @@ def run_exploration(space: Optional[DesignSpace] = None,
     result = ExplorationResult(space=space, benchmarks=benchmarks,
                                points=points, configs=configs,
                                total_shards=len(shards))
-    for index, shard in enumerate(shards):
-        if max_shards is not None and index >= max_shards:
+
+    def note(line: str) -> None:
+        if progress is not None:
+            progress(line)
+
+    queue = deque(enumerate(shards))
+    processed = 0
+    consecutive_deferrals = 0
+    while queue:
+        if max_shards is not None and processed >= max_shards:
             break
+        index, shard = queue.popleft()
+        lease = None
+        if manager is not None:
+            lease = manager.acquire(f"{scope}-{shard.fingerprint()[:40]}")
+            if lease is None:
+                # a live peer owns this shard.  If its results are all in
+                # the store the peer already finished (or a previous run
+                # did); fold them in.  Otherwise requeue and, once every
+                # remaining shard is peer-held, poll gently — a crashed
+                # peer's lease goes stale within one TTL and is reclaimed
+                # on a later pass through the queue.
+                fingerprints = request_fingerprints(shard, specs,
+                                                   latency_model)
+                hits = store.get_many(fingerprints)
+                if len(hits) < len(shard):
+                    queue.append((index, shard))
+                    consecutive_deferrals += 1
+                    note(f"shard {index + 1}/{len(shards)}: "
+                         "held by a live peer, deferred")
+                    if consecutive_deferrals >= len(queue):
+                        time.sleep(min(0.05, manager.ttl / 10.0))
+                    continue
+                runs = {request: hits[request] for request in shard}
+                result.runs.update(runs)
+                result.stored_runs += len(shard)
+                result.completed_shards += 1
+                processed += 1
+                consecutive_deferrals = 0
+                note(f"shard {index + 1}/{len(shards)}: "
+                     f"{len(shard)} runs completed by a peer")
+                continue
+        consecutive_deferrals = 0
         hits_before = store.stats.hits if store is not None else 0
-        runs = execute_requests(shard, specs, jobs=jobs,
-                                latency_model=latency_model, engine=engine,
-                                store=store, extra_configs=configs)
+        heartbeat = (manager.heartbeat(lease) if lease is not None
+                     else contextlib.nullcontext())
+        try:
+            with heartbeat:
+                runs = execute_requests(shard, specs, jobs=jobs,
+                                        latency_model=latency_model,
+                                        engine=engine, store=store,
+                                        extra_configs=configs,
+                                        **executor_kwargs)
+        finally:
+            if lease is not None:
+                manager.release(lease)
         stored = (store.stats.hits - hits_before) if store is not None else 0
         result.runs.update(runs)
         result.stored_runs += stored
         result.simulated_runs += len(shard) - stored
-        result.completed_shards = index + 1
-        if progress is not None:
-            progress(f"shard {index + 1}/{len(shards)}: "
-                     f"{len(shard)} runs ({stored} from store)")
+        result.completed_shards += 1
+        processed += 1
+        note(f"shard {index + 1}/{len(shards)}: "
+             f"{len(shard)} runs ({stored} from store)")
     return result

@@ -1,0 +1,198 @@
+"""Deterministic fault injection for the execution/store/sweep layers.
+
+PR 6's fuzz lane proved a robustness claim the only way that counts: by
+injecting the failure and watching the system catch it.  This module is
+the same discipline for crash safety.  A :class:`FaultPlan` describes a
+small repertoire of failures —
+
+* **kill a pool worker** after it completes its N-th run (or a run of a
+  named benchmark): ``os.kill(getpid(), SIGKILL)``, the real thing, not a
+  raised exception;
+* **tear a store write** at a byte offset: the N-th
+  :meth:`~repro.store.ResultStore.put` of the process writes a truncated
+  payload *directly to the final path*, modelling a crashed writer on a
+  filesystem without atomic replace;
+* **fail a store put** with a chosen ``errno`` (``EIO``, ``ENOSPC``, …)
+  a chosen number of times, modelling transient NFS/disk trouble;
+* **stall heartbeats**: lease renewal threads stop renewing, so a peer
+  sees the lease go stale and reclaims the shard.
+
+The plan is installed process-wide (:func:`install_plan` /
+:func:`clear_plan`, or the :func:`injected` context manager) and rides to
+pool workers through ``repro.core.runner._worker_init``, so it works under
+``fork`` and ``spawn`` alike.  Counters are **per process**: a worker
+counts its own runs, the parent counts its own puts.  Production code
+paths only ever call the cheap module-level hook functions, which are
+no-ops while no plan is installed — the harness is test-only by
+construction, not by build flag.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import errno
+import os
+import signal
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+__all__ = [
+    "FaultPlan",
+    "install_plan",
+    "clear_plan",
+    "active_plan",
+    "injected",
+    "note_worker_run",
+    "claim_put_index",
+    "maybe_fail_put",
+    "maybe_tear_write",
+    "heartbeats_stalled",
+]
+
+
+@dataclass
+class FaultPlan:
+    """One deliberate failure scenario, picklable so it rides to workers.
+
+    All indices are 0-based and count events **within one process**.
+    ``kill_once_marker`` names a file used as a cross-process mutex
+    (``O_CREAT|O_EXCL``): when set, only the first worker to reach its
+    kill condition actually dies — the acceptance scenarios kill *one*
+    worker, not every worker.  Leave it ``None`` to model a poison
+    request that kills every worker that touches it.
+    """
+
+    #: SIGKILL the current process after it completes this many runs.
+    kill_worker_after_runs: Optional[int] = None
+    #: SIGKILL the current process after it completes a run of this
+    #: benchmark (a "poison request" when ``kill_once_marker`` is unset).
+    kill_benchmark: Optional[str] = None
+    #: Path of the at-most-once marker file guarding the kill.
+    kill_once_marker: Optional[str] = None
+
+    #: Tear the N-th ``ResultStore.put`` of this process: write the first
+    #: ``tear_at_byte`` payload bytes straight to the final entry path.
+    tear_put_index: Optional[int] = None
+    tear_at_byte: int = 16
+
+    #: Raise ``OSError(fail_put_errno)`` on the N-th put, up to
+    #: ``fail_put_times`` attempts of that same put.
+    fail_put_index: Optional[int] = None
+    fail_put_errno: int = errno.EIO
+    fail_put_times: int = 1
+
+    #: Lease heartbeat threads stop renewing while this is set.
+    stall_heartbeats: bool = False
+
+    # -- per-process runtime counters (start fresh in every process the
+    #    plan is installed in; not meaningful to set from outside) --
+    runs_completed: int = field(default=0, repr=False)
+    puts_seen: int = field(default=0, repr=False)
+    put_failures_injected: int = field(default=0, repr=False)
+
+    def _claim_kill(self) -> bool:
+        """True when this process is the one that gets to die."""
+        if self.kill_once_marker is None:
+            return True
+        try:
+            fd = os.open(self.kill_once_marker,
+                         os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            return False
+        os.close(fd)
+        return True
+
+
+_ACTIVE: Optional[FaultPlan] = None
+
+
+def install_plan(plan: FaultPlan) -> None:
+    """Arm ``plan`` in this process (workers are armed by the runner)."""
+    global _ACTIVE
+    _ACTIVE = plan
+
+
+def clear_plan() -> None:
+    global _ACTIVE
+    _ACTIVE = None
+
+
+def active_plan() -> Optional[FaultPlan]:
+    return _ACTIVE
+
+
+@contextlib.contextmanager
+def injected(plan: FaultPlan) -> Iterator[FaultPlan]:
+    """Arm ``plan`` for the duration of the block, then disarm it."""
+    install_plan(plan)
+    try:
+        yield plan
+    finally:
+        clear_plan()
+
+
+# ---------------------------------------------------------------- hooks
+# Each hook is a no-op (one None check) while no plan is installed.
+
+def note_worker_run(benchmark: str) -> None:
+    """Called by a pool worker after each completed run; may not return."""
+    plan = _ACTIVE
+    if plan is None:
+        return
+    plan.runs_completed += 1
+    doomed = False
+    if (plan.kill_worker_after_runs is not None
+            and plan.runs_completed >= plan.kill_worker_after_runs):
+        doomed = True
+    if plan.kill_benchmark is not None and benchmark == plan.kill_benchmark:
+        doomed = True
+    if doomed and plan._claim_kill():
+        # the genuine article: no atexit handlers, no finally blocks, no
+        # multiprocessing cleanup — exactly what `kill -9` leaves behind
+        os.kill(os.getpid(), signal.SIGKILL)
+
+
+def claim_put_index() -> Optional[int]:
+    """Sequence number of the store put about to run (None: no plan)."""
+    plan = _ACTIVE
+    if plan is None:
+        return None
+    index = plan.puts_seen
+    plan.puts_seen += 1
+    return index
+
+
+def maybe_fail_put(put_index: Optional[int]) -> None:
+    """Raise the planned transient ``OSError`` for this put attempt."""
+    plan = _ACTIVE
+    if plan is None or put_index is None or plan.fail_put_index != put_index:
+        return
+    if plan.put_failures_injected >= plan.fail_put_times:
+        return
+    plan.put_failures_injected += 1
+    raise OSError(plan.fail_put_errno,
+                  f"injected fault: {os.strerror(plan.fail_put_errno)}")
+
+
+def maybe_tear_write(put_index: Optional[int], path, payload: bytes) -> bool:
+    """Tear this put's write if the plan says so; True when torn.
+
+    The truncated payload is written **directly to the final path** — no
+    temporary file, no atomic rename — which is what a crash mid-write
+    looks like on a filesystem without atomic replace.  The caller must
+    then skip its normal publish and report success, because that is what
+    the torn writer believed happened.
+    """
+    plan = _ACTIVE
+    if plan is None or put_index is None or plan.tear_put_index != put_index:
+        return False
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    with open(path, "wb") as handle:
+        handle.write(payload[:plan.tear_at_byte])
+    return True
+
+
+def heartbeats_stalled() -> bool:
+    """True while the plan wants lease renewal threads frozen."""
+    plan = _ACTIVE
+    return plan is not None and plan.stall_heartbeats

@@ -25,6 +25,7 @@ memoised, and (via :func:`repro.core.runner.run_benchmarks` /
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple
 
@@ -123,6 +124,21 @@ class ExperimentPlan:
             raise ValueError("shard size must be >= 1")
         return tuple(ExperimentPlan(self._requests[i:i + size])
                      for i in range(0, len(self._requests), size))
+
+    def fingerprint(self) -> str:
+        """Stable identity of this plan's request set (order-sensitive).
+
+        Two processes expanding the same sweep build byte-identical plans,
+        so the fingerprint is the natural **lease key** for cooperative
+        sharded execution (:mod:`repro.store.leases`): it names *which
+        requests* a shard covers, nothing about who runs them or how.
+        Callers coordinating across different input parameters must scope
+        the key themselves (``run_exploration`` prefixes a sweep-scope
+        hash) — the plan cannot see workload parameters, only names.
+        """
+        key = tuple((r.benchmark, r.config_name, r.perfect_memory)
+                    for r in self._requests)
+        return hashlib.sha256(repr(("repro-plan/1", key)).encode()).hexdigest()
 
     def benchmarks(self) -> Tuple[str, ...]:
         """Benchmark names touched by the plan, in first-appearance order."""

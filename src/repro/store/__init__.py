@@ -13,10 +13,17 @@ atomic writes so parallel workers, concurrent CI jobs and repeated
 See ``docs/store.md`` for the on-disk layout and the invalidation story.
 """
 
+from repro.store.leases import (
+    DEFAULT_LEASE_TTL,
+    Lease,
+    LeaseManager,
+)
 from repro.store.result_store import (
     ResultStore,
     StoreStats,
+    VerifyReport,
     run_fingerprint,
 )
 
-__all__ = ["ResultStore", "StoreStats", "run_fingerprint"]
+__all__ = ["ResultStore", "StoreStats", "VerifyReport", "run_fingerprint",
+           "Lease", "LeaseManager", "DEFAULT_LEASE_TTL"]

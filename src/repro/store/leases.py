@@ -1,0 +1,305 @@
+"""Lease files: crash-safe cooperative claims on units of sweep work.
+
+The result store already lets any number of processes *share results*;
+leases let them *divide work*.  A lease is one small JSON file next to the
+result entries (``<root>/leases/<key>.lease``) recording who is working on
+a shard and when they last proved they were alive:
+
+```json
+{"version": "repro-lease/1", "key": "…", "owner": "host:pid:9f2c51ab",
+ "acquired": 1754640000.0, "heartbeat": 1754640021.5}
+```
+
+The protocol is built from the two primitives every POSIX (and Windows)
+filesystem gives us atomically:
+
+* **acquire** — write the full record to a temporary file, then hard-link
+  it to the lease name: ``link(2)`` fails when the name exists, so exactly
+  one creator wins, and the lease is complete before it is ever visible.
+  (A bare ``O_CREAT|O_EXCL`` then write would expose an empty file for a
+  moment — and an unreadable lease is *reclaimable*, so a racing peer
+  could steal a lease that was just won.)
+* **reclaim** — a lease whose heartbeat is older than the TTL belongs to
+  a crashed (or wedged) owner.  Reclaiming renames the stale file to a
+  unique tombstone first: ``os.rename`` succeeds for exactly one of any
+  number of racing reclaimers, and only the winner proceeds to a fresh
+  exclusive create.  A ``kill -9``'d owner therefore costs its peers at
+  most one TTL of waiting, never a stuck sweep.
+* **renew** — the owner rewrites the file (temp + ``os.replace``) with a
+  fresh heartbeat on a background thread (:meth:`LeaseManager.heartbeat`)
+  while it simulates.  Renewal re-reads the file first: an owner that
+  stalled past the TTL and was reclaimed discovers the loss instead of
+  silently fighting the new owner.
+
+Renewal fencing is advisory (read-then-replace is not a true CAS), which
+is the right trade for *cooperative* sweeps: the worst interleaving makes
+two processes simulate the same shard, and the content-addressed store
+makes duplicated work harmless — both write identical bytes.  Leases
+bound wasted work; correctness never depends on them.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import os
+import socket
+import tempfile
+import threading
+import time
+import uuid
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Union
+
+from repro import faults
+
+__all__ = ["Lease", "LeaseManager", "DEFAULT_LEASE_TTL"]
+
+LEASE_FORMAT = "repro-lease/1"
+
+#: Seconds without a heartbeat after which a lease is reclaimable.  Shards
+#: renew every TTL/3, so a live owner has three chances to prove itself
+#: before a peer may steal the shard.
+DEFAULT_LEASE_TTL = 30.0
+
+
+@dataclass(frozen=True)
+class Lease:
+    """One held claim: the token :meth:`LeaseManager.acquire` returns."""
+
+    key: str
+    owner: str
+    path: Path
+    acquired: float
+
+
+class LeaseManager:
+    """Acquire, renew, reclaim and scrub lease files under one store root.
+
+    ``owner`` defaults to a ``host:pid:nonce`` string — unique per
+    manager, so two managers in one process (or one process restarted
+    with the same pid) never mistake each other's leases for their own.
+    ``clock`` is injectable for tests; it must be a wall clock shared by
+    every cooperating process (heartbeats cross process boundaries).
+    """
+
+    def __init__(self, root: Union[str, Path],
+                 owner: Optional[str] = None,
+                 ttl: float = DEFAULT_LEASE_TTL,
+                 clock=time.time) -> None:
+        if ttl <= 0:
+            raise ValueError("lease ttl must be positive")
+        self.directory = Path(root) / "leases"
+        self.owner = owner or (f"{socket.gethostname()}:{os.getpid()}:"
+                               f"{uuid.uuid4().hex[:8]}")
+        self.ttl = ttl
+        self.clock = clock
+
+    def _path(self, key: str) -> Path:
+        return self.directory / f"{key}.lease"
+
+    def _record(self, key: str, acquired: float) -> Dict[str, object]:
+        return {"version": LEASE_FORMAT, "key": key, "owner": self.owner,
+                "acquired": acquired, "heartbeat": self.clock()}
+
+    # ------------------------------------------------------------------ reads
+
+    def read(self, key: str) -> Optional[Dict[str, object]]:
+        """The current lease record for ``key``, or ``None``.
+
+        An unreadable or undecodable lease file reads as ``None`` — a torn
+        lease write is treated exactly like a stale lease (reclaimable),
+        so corruption can delay a shard by one TTL but never park it.
+        """
+        return self._read_path(self._path(key))
+
+    @staticmethod
+    def _read_path(path: Path) -> Optional[Dict[str, object]]:
+        try:
+            record = json.loads(path.read_bytes().decode("utf-8"))
+        except (OSError, ValueError):
+            return None
+        if not isinstance(record, dict) or record.get("version") != LEASE_FORMAT:
+            return None
+        return record
+
+    def is_stale(self, record: Optional[Dict[str, object]]) -> bool:
+        """Whether a lease record's owner has missed its TTL (or is unreadable)."""
+        if record is None:
+            return True
+        heartbeat = record.get("heartbeat")
+        if not isinstance(heartbeat, (int, float)):
+            return True
+        return (self.clock() - heartbeat) > self.ttl
+
+    # ---------------------------------------------------------------- acquire
+
+    def acquire(self, key: str) -> Optional[Lease]:
+        """Claim ``key``; ``None`` when a live peer holds it.
+
+        A stale or unreadable existing lease is reclaimed (rename-fenced,
+        so concurrent reclaimers elect exactly one winner) and then
+        re-acquired through the same exclusive create every fresh acquire
+        uses.
+        """
+        self.directory.mkdir(parents=True, exist_ok=True)
+        lease = self._try_create(key)
+        if lease is not None:
+            return lease
+        record = self.read(key)
+        if record is not None and not self.is_stale(record):
+            return None
+        if not self._reclaim(key):
+            return None  # another reclaimer won; let it have the shard
+        return self._try_create(key)
+
+    def _try_create(self, key: str) -> Optional[Lease]:
+        path = self._path(key)
+        now = self.clock()
+        fd, tmp_name = tempfile.mkstemp(dir=self.directory,
+                                        prefix=f".{key[:8]}.",
+                                        suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(self._record(key, acquired=now), handle)
+            try:
+                os.link(tmp_name, path)
+            except FileExistsError:
+                return None
+        finally:
+            with contextlib.suppress(OSError):
+                os.unlink(tmp_name)
+        return Lease(key=key, owner=self.owner, path=path, acquired=now)
+
+    def _reclaim(self, key: str) -> bool:
+        """Fence a stale lease out of the way; True for the single winner."""
+        path = self._path(key)
+        tombstone = path.with_name(
+            f".{path.name}.reclaim-{uuid.uuid4().hex[:8]}")
+        try:
+            os.rename(path, tombstone)
+        except OSError:
+            return False  # somebody else renamed (reclaimed) it first
+        # the rename won — but under contention it can land on a *fresh*
+        # lease a faster reclaimer created between our staleness read and
+        # our rename.  Verify what we fenced; a live victim is restored
+        # (link fails harmlessly if a third racer recreated the name —
+        # then the victim's next renew detects the loss, the advisory
+        # fallback this protocol always had).
+        record = self._read_path(tombstone)
+        if record is not None and not self.is_stale(record):
+            with contextlib.suppress(OSError):
+                os.link(tombstone, path)
+            with contextlib.suppress(OSError):
+                os.unlink(tombstone)
+            return False
+        with contextlib.suppress(OSError):
+            os.unlink(tombstone)
+        return True
+
+    # ------------------------------------------------------------ renew/release
+
+    def renew(self, lease: Lease) -> bool:
+        """Refresh the heartbeat; ``False`` when ownership was lost.
+
+        A lost lease (reclaimed while this owner stalled) must stop the
+        owner from writing: returning ``False`` tells the heartbeat thread
+        — and through it the sweep — that the shard now belongs to a peer.
+        """
+        record = self.read(lease.key)
+        if record is None or record.get("owner") != self.owner:
+            return False
+        self._rewrite(lease)
+        return True
+
+    def _rewrite(self, lease: Lease) -> None:
+        self.directory.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(dir=self.directory,
+                                        prefix=f".{lease.key[:8]}.",
+                                        suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(self._record(lease.key, acquired=lease.acquired),
+                          handle)
+            os.replace(tmp_name, lease.path)
+        except BaseException:
+            with contextlib.suppress(OSError):
+                os.unlink(tmp_name)
+            raise
+
+    def release(self, lease: Lease) -> None:
+        """Drop the claim (only if still ours); never raises."""
+        record = self.read(lease.key)
+        if record is not None and record.get("owner") == self.owner:
+            with contextlib.suppress(OSError):
+                os.unlink(lease.path)
+
+    # -------------------------------------------------------------- heartbeat
+
+    @contextlib.contextmanager
+    def heartbeat(self, lease: Lease,
+                  interval: Optional[float] = None) -> Iterator[threading.Event]:
+        """Renew ``lease`` on a background thread for the block's duration.
+
+        Yields an :class:`threading.Event` that is set if ownership is
+        lost mid-block (the sweep checks it after simulating and discards
+        nothing — the store absorbs duplicate results — but can log the
+        overlap).  The fault harness's ``stall_heartbeats`` freezes
+        renewals without stopping the thread, which is exactly what a
+        wedged owner looks like from the outside.
+        """
+        interval = interval if interval is not None else self.ttl / 3.0
+        stop = threading.Event()
+        lost = threading.Event()
+
+        def _renew_loop() -> None:
+            while not stop.wait(interval):
+                if faults.heartbeats_stalled():
+                    continue
+                if not self.renew(lease):
+                    lost.set()
+                    return
+
+        thread = threading.Thread(target=_renew_loop, name="lease-heartbeat",
+                                  daemon=True)
+        thread.start()
+        try:
+            yield lost
+        finally:
+            stop.set()
+            thread.join(timeout=max(1.0, interval))
+
+    # ------------------------------------------------------------------ scrub
+
+    def leases(self) -> List[Dict[str, object]]:
+        """Every decodable lease record currently on disk."""
+        if not self.directory.is_dir():
+            return []
+        records = []
+        for path in sorted(self.directory.glob("*.lease")):
+            record = self.read(path.name[:-len(".lease")])
+            if record is not None:
+                records.append(record)
+        return records
+
+    def scrub(self) -> List[str]:
+        """Remove every stale or undecodable lease; returns removed names.
+
+        The janitor behind ``python -m repro store scrub-leases``: a
+        crashed fleet leaves lease files behind, and while stale leases
+        are reclaimed lazily by the next sweep anyway, scrubbing keeps
+        ``stats`` honest and the directory small.  Tombstones left by a
+        reclaimer that died mid-reclaim are swept too.
+        """
+        if not self.directory.is_dir():
+            return []
+        removed: List[str] = []
+        for path in sorted(self.directory.glob("*.lease")):
+            key = path.name[:-len(".lease")]
+            if self.is_stale(self.read(key)) and self._reclaim(key):
+                removed.append(key)
+        for tombstone in self.directory.glob(".*.reclaim-*"):
+            with contextlib.suppress(OSError):
+                os.unlink(tombstone)
+        return removed

@@ -33,13 +33,18 @@ never required — the container image does not ship it.
 
 from __future__ import annotations
 
+import errno
 import hashlib
 import json
+import logging
 import os
 import tempfile
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterable, Mapping, Optional, Union
+from typing import Dict, Iterable, Iterator, Mapping, Optional, Tuple, Union
+
+from repro import faults
 
 from repro.compiler.cache import (
     fingerprint_config,
@@ -56,7 +61,24 @@ try:  # optional accelerator; the toolchain does not guarantee it
 except ImportError:  # pragma: no cover - absent in the reference image
     msgpack = None
 
-__all__ = ["ResultStore", "StoreStats", "run_fingerprint"]
+__all__ = ["ResultStore", "StoreStats", "VerifyReport", "run_fingerprint",
+           "TRANSIENT_ERRNOS"]
+
+logger = logging.getLogger("repro.store")
+
+#: ``errno`` values :meth:`ResultStore.put` retries once before
+#: propagating: interrupted syscalls, NFS staleness, transient I/O and
+#: descriptor-table pressure.  ``ENOSPC`` is deliberately absent — a full
+#: disk does not heal in the retry window, so it propagates immediately
+#: (the caller still keeps the computed stats, see ``execute_requests``).
+TRANSIENT_ERRNOS = frozenset(
+    value for value in (
+        errno.EINTR, errno.EAGAIN, errno.EBUSY, errno.EIO,
+        errno.ENFILE, errno.EMFILE, getattr(errno, "ESTALE", None),
+    ) if value is not None)
+
+#: Seconds between the two attempts of a retried put.
+PUT_RETRY_DELAY = 0.02
 
 #: Environment variable naming the default store directory.  Unset (or
 #: empty) means "no persistent store" — library entry points stay
@@ -125,6 +147,8 @@ class StoreStats:
     misses: int = 0
     writes: int = 0
     corrupt: int = 0
+    quarantined: int = 0
+    put_retries: int = 0
 
     @property
     def lookups(self) -> int:
@@ -136,7 +160,28 @@ class StoreStats:
 
     def snapshot(self) -> Dict[str, float]:
         return {"hits": self.hits, "misses": self.misses, "writes": self.writes,
-                "corrupt": self.corrupt, "hit_rate": self.hit_rate}
+                "corrupt": self.corrupt, "quarantined": self.quarantined,
+                "put_retries": self.put_retries, "hit_rate": self.hit_rate}
+
+
+@dataclass
+class VerifyReport:
+    """Outcome of one :meth:`ResultStore.verify` walk."""
+
+    total: int = 0
+    ok: int = 0
+    corrupt: int = 0
+    quarantined: Tuple[str, ...] = ()
+    by_version: Dict[int, int] = field(default_factory=dict)
+
+    def summary(self) -> str:
+        lines = [f"verified {self.total} entries: {self.ok} ok, "
+                 f"{self.corrupt} corrupt"]
+        for version in sorted(self.by_version):
+            lines.append(f"  v{version}: {self.by_version[version]} entries")
+        for path in self.quarantined:
+            lines.append(f"  quarantined -> {path}")
+        return "\n".join(lines)
 
 
 class ResultStore:
@@ -190,8 +235,11 @@ class ResultStore:
 
         Truncated or otherwise undecodable entries (a crashed writer on a
         filesystem without atomic replace, a corrupted CI cache) count as
-        misses — the caller re-simulates and the next :meth:`put`
-        overwrites the bad entry.
+        misses.  A bad entry is **quarantined** to the store's ``corrupt/``
+        sibling directory on first detection — left in place it would be
+        re-read, re-fail and re-counted on every lookup forever — and the
+        move is logged once; the caller re-simulates and the next
+        :meth:`put` writes a fresh entry.
         """
         for serialization in ("json", "msgpack"):
             if serialization == "msgpack" and msgpack is None:
@@ -202,18 +250,50 @@ class ResultStore:
             except OSError:
                 continue
             envelope = self._decode(payload, serialization)
-            if envelope is None:
-                self.stats.corrupt += 1
-                continue
-            try:
-                stats = RunStats.from_dict(envelope["stats"])
-            except (KeyError, TypeError, ValueError):
-                self.stats.corrupt += 1
-                continue
-            self.stats.hits += 1
-            return stats
+            if envelope is not None:
+                try:
+                    stats = RunStats.from_dict(envelope["stats"])
+                except (KeyError, TypeError, ValueError):
+                    stats = None
+                if stats is not None:
+                    self.stats.hits += 1
+                    return stats
+            self.stats.corrupt += 1
+            self._quarantine(path)
         self.stats.misses += 1
         return None
+
+    # ------------------------------------------------------------- quarantine
+
+    @property
+    def corrupt_dir(self) -> Path:
+        """Where undecodable entries are moved (sibling of the namespaces)."""
+        return self.root / "corrupt"
+
+    def _quarantine(self, path: Path) -> Optional[Path]:
+        """Move one undecodable entry aside; returns its new home.
+
+        The move is the "log once" mechanism as much as a repair: once the
+        file is out of the lookup path it can never be re-read or
+        re-counted.  A failed move (permissions, a concurrent quarantine)
+        is demoted to a debug message — the entry then still reads as a
+        miss, exactly as before this method existed.
+        """
+        destination = self.corrupt_dir / path.name
+        try:
+            destination.parent.mkdir(parents=True, exist_ok=True)
+            suffix = 0
+            while destination.exists():
+                suffix += 1
+                destination = self.corrupt_dir / f"{path.name}.{suffix}"
+            os.replace(path, destination)
+        except OSError as exc:
+            logger.debug("could not quarantine corrupt entry %s: %s", path, exc)
+            return None
+        self.stats.quarantined += 1
+        logger.warning("quarantined corrupt store entry %s -> %s",
+                       path, destination)
+        return destination
 
     def get_many(self, fingerprints: Mapping[object, str]
                  ) -> Dict[object, RunStats]:
@@ -226,16 +306,8 @@ class ResultStore:
         return found
 
     def _decode(self, payload: bytes, serialization: str) -> Optional[dict]:
-        try:
-            if serialization == "json":
-                envelope = json.loads(payload.decode("utf-8"))
-            else:
-                envelope = msgpack.unpackb(payload, raw=False)
-        except Exception:
-            return None
-        if not isinstance(envelope, dict):
-            return None
-        if envelope.get("schema") != self.schema_version:
+        envelope = self._decode_any_schema(payload, serialization)
+        if envelope is None or envelope.get("schema") != self.schema_version:
             return None
         return envelope
 
@@ -248,6 +320,14 @@ class ResultStore:
         ``context`` is advisory human-readable metadata (benchmark name,
         configuration name, memory mode) stored alongside the payload for
         debugging; it is never part of the lookup.
+
+        A transient ``OSError`` (:data:`TRANSIENT_ERRNOS` — NFS ``ESTALE``,
+        ``EINTR``, spurious ``EIO``, …) is retried once after a short pause
+        before propagating.  A put that still fails raises, but the caller
+        already holds the computed :class:`RunStats` — the write-back
+        layers (``execute_requests``) catch the error and return the
+        result regardless, so a sick filesystem costs persistence, never
+        simulation work.
         """
         envelope = {
             "schema": self.schema_version,
@@ -261,10 +341,40 @@ class ResultStore:
         else:
             payload = msgpack.packb(envelope, use_bin_type=True)
         path = self._entry_path(fingerprint, self.serialization)
+        put_index = faults.claim_put_index()
+        last_error: Optional[OSError] = None
+        for attempt in range(2):
+            if attempt:
+                self.stats.put_retries += 1
+                logger.warning("retrying store put of %s after transient "
+                               "error: %s", fingerprint[:12], last_error)
+                time.sleep(PUT_RETRY_DELAY)
+            try:
+                faults.maybe_fail_put(put_index)
+                if faults.maybe_tear_write(put_index, str(path), payload):
+                    # the torn writer believed its write succeeded; model
+                    # that belief faithfully (verify()/get() find the tear)
+                    self.stats.writes += 1
+                    return path
+                self._publish(path, fingerprint, payload)
+            except OSError as exc:
+                last_error = exc
+                if exc.errno not in TRANSIENT_ERRNOS:
+                    raise
+                continue
+            self.stats.writes += 1
+            return path
+        assert last_error is not None
+        raise last_error
+
+    def _publish(self, path: Path, fingerprint: str, payload: bytes) -> None:
+        """Write ``payload`` to ``path`` via a unique sibling + rename.
+
+        Atomic on POSIX and Windows.  Concurrent writers of one key write
+        identical bytes, so whichever replace lands last leaves a
+        complete, correct entry.
+        """
         path.parent.mkdir(parents=True, exist_ok=True)
-        # atomic publish: write to a unique sibling, then rename over the
-        # target.  Concurrent writers of one key write identical bytes, so
-        # whichever replace lands last leaves a complete, correct entry.
         fd, tmp_name = tempfile.mkstemp(
             dir=path.parent, prefix=f".{fingerprint[:8]}.", suffix=".tmp")
         try:
@@ -277,13 +387,98 @@ class ResultStore:
             except OSError:
                 pass
             raise
-        self.stats.writes += 1
-        return path
 
     def put_many(self, entries: Iterable[tuple]) -> None:
         """Persist ``(fingerprint, stats)`` or ``(fingerprint, stats, context)``."""
         for entry in entries:
             self.put(*entry)
+
+    # ---------------------------------------------------------- verification
+
+    def iter_entry_paths(self, all_versions: bool = True
+                         ) -> Iterator[Tuple[int, Path]]:
+        """Yield ``(schema_version, path)`` for every entry on disk.
+
+        Walks every ``v<N>/`` namespace under the root (or only this
+        handle's namespace with ``all_versions=False``); the quarantine
+        and lease directories are not namespaces and are never visited.
+        Deterministic order: version, shard, filename.
+        """
+        if all_versions:
+            if not self.root.is_dir():
+                return
+            version_dirs = sorted(
+                (child for child in self.root.iterdir()
+                 if child.is_dir() and child.name.startswith("v")
+                 and child.name[1:].isdigit()),
+                key=lambda child: int(child.name[1:]))
+        else:
+            version_dirs = [self.version_dir] if self.version_dir.is_dir() else []
+        for version_dir in version_dirs:
+            version = int(version_dir.name[1:])
+            for shard in sorted(version_dir.iterdir()):
+                if not shard.is_dir():
+                    continue
+                for entry in sorted(shard.iterdir()):
+                    if entry.suffix in (".json", ".msgpack"):
+                        yield version, entry
+
+    def verify(self, quarantine: bool = True) -> VerifyReport:
+        """Walk every entry, decode it, and report (optionally repair).
+
+        Each entry must parse, carry the schema version of its namespace
+        directory, name itself truthfully (envelope fingerprint ==
+        filename) and round-trip through ``RunStats.from_dict``.  Entries
+        failing any of those are counted corrupt and — with
+        ``quarantine=True`` — moved to ``corrupt/`` so they can never be
+        served or re-counted.  The working end of
+        ``python -m repro store verify``.
+        """
+        report = VerifyReport()
+        for version, path in self.iter_entry_paths():
+            report.total += 1
+            report.by_version[version] = report.by_version.get(version, 0) + 1
+            serialization = "json" if path.suffix == ".json" else "msgpack"
+            if serialization == "msgpack" and msgpack is None:
+                # unreadable without the package; count it, leave it alone
+                report.ok += 1
+                continue
+            ok = False
+            try:
+                payload = path.read_bytes()
+            except OSError:
+                payload = None
+            if payload is not None:
+                envelope = self._decode_any_schema(payload, serialization)
+                if (envelope is not None
+                        and envelope.get("schema") == version
+                        and envelope.get("fingerprint") == path.stem):
+                    try:
+                        RunStats.from_dict(envelope["stats"])
+                        ok = True
+                    except (KeyError, TypeError, ValueError):
+                        ok = False
+            if ok:
+                report.ok += 1
+                continue
+            report.corrupt += 1
+            if quarantine:
+                moved = self._quarantine(path)
+                if moved is not None:
+                    report.quarantined += (str(moved),)
+        return report
+
+    def _decode_any_schema(self, payload: bytes,
+                           serialization: str) -> Optional[dict]:
+        """Decode an envelope without pinning it to this handle's schema."""
+        try:
+            if serialization == "json":
+                envelope = json.loads(payload.decode("utf-8"))
+            else:
+                envelope = msgpack.unpackb(payload, raw=False)
+        except Exception:
+            return None
+        return envelope if isinstance(envelope, dict) else None
 
     # ------------------------------------------------------------- bookkeeping
 

@@ -1,0 +1,254 @@
+"""Crash safety under injected faults: worker kills, torn writes, I/O errors.
+
+Every test here arms a :class:`repro.faults.FaultPlan` and asserts the
+system *recovers* — the counterpart of the fuzz lane's "inject the bug,
+watch it get caught" discipline, applied to process death and sick
+filesystems.  The final class is the acceptance scenario of the
+crash-safety work: one worker SIGKILLed and one store write torn
+mid-exploration must cost nothing observable.
+"""
+
+from __future__ import annotations
+
+import errno
+import logging
+
+import pytest
+
+from repro import faults
+from repro.core.runner import execute_requests, last_dispatch, last_quarantine
+from repro.explore import DesignSpace, run_exploration
+from repro.sim.plan import ExperimentPlan, RunRequest
+from repro.sim.stats import RunStats
+from repro.store import ResultStore
+from repro.workloads.suite import SuiteParameters
+
+pytestmark = pytest.mark.faults
+
+
+@pytest.fixture(autouse=True)
+def _no_leftover_fault_plan():
+    yield
+    faults.clear_plan()
+
+
+def _example_stats() -> RunStats:
+    run = RunStats(program_name="prog", config_name="cfg", flavor="vector")
+    region = run.region("R1", vectorizable=True)
+    region.cycles = 1234
+    region.operations = 99
+    run.region("R0").cycles = 777
+    return run
+
+
+def _assert_byte_identical(actual, expected) -> None:
+    assert set(actual) == set(expected)
+    for request in expected:
+        assert (actual[request].canonical_json()
+                == expected[request].canonical_json())
+
+
+class TestWorkerDeath:
+    """A SIGKILLed pool worker must cost retries, never a hang or a loss."""
+
+    PLAN = ExperimentPlan(RunRequest("gsm_enc", config, perfect)
+                          for perfect in (False, True)
+                          for config in ("vliw-2w", "usimd-2w", "vector1-2w",
+                                         "vector2-2w", "vector2-4w"))
+
+    def test_sigkilled_worker_does_not_hang_and_results_match_serial(
+            self, tiny_suite, tmp_path):
+        serial = execute_requests(self.PLAN, tiny_suite)
+        plan = faults.FaultPlan(kill_worker_after_runs=1,
+                                kill_once_marker=str(tmp_path / "kill.marker"))
+        with faults.injected(plan):
+            parallel = execute_requests(self.PLAN, tiny_suite, jobs=2,
+                                        min_parallel_runs=0)
+        assert (tmp_path / "kill.marker").exists()  # somebody really died
+        dispatch = last_dispatch()
+        assert dispatch["mode"] == "parallel"
+        assert dispatch["pool_recovered"] is True
+        assert dispatch["quarantined"] == 0
+        _assert_byte_identical(parallel, serial)
+
+    def test_poison_request_is_quarantined_and_the_rest_complete(
+            self, tiny_suite, tmp_path):
+        # no kill_once_marker: every worker that runs jpeg_enc dies, so the
+        # isolation pass proves the request poison and gives up on it —
+        # while the innocent gsm_enc runs all complete
+        mixed = ExperimentPlan(RunRequest(benchmark, config, False)
+                               for config in ("vliw-2w", "usimd-2w",
+                                              "vector1-2w", "vector2-2w")
+                               for benchmark in ("gsm_enc", "jpeg_enc"))
+        plan = faults.FaultPlan(kill_benchmark="jpeg_enc")
+        with faults.injected(plan):
+            results = execute_requests(mixed, tiny_suite, jobs=2,
+                                       min_parallel_runs=0, max_attempts=2,
+                                       retry_base_delay=0.01)
+        survivors = {request for request in mixed
+                     if request.benchmark == "gsm_enc"}
+        assert set(results) == survivors
+        quarantined = last_quarantine()
+        assert {q.request.benchmark for q in quarantined} == {"jpeg_enc"}
+        assert all(q.attempts == 2 for q in quarantined)
+        assert last_dispatch()["quarantined"] == len(quarantined) == 4
+
+    def test_store_write_back_survives_worker_death(self, tiny_suite,
+                                                    tmp_path):
+        store = ResultStore(tmp_path / "store")
+        plan = faults.FaultPlan(kill_worker_after_runs=1,
+                                kill_once_marker=str(tmp_path / "kill.marker"))
+        with faults.injected(plan):
+            execute_requests(self.PLAN, tiny_suite, jobs=2,
+                             min_parallel_runs=0, store=store)
+        assert len(store) == len(self.PLAN)  # every recovered run persisted
+        warm = ResultStore(tmp_path / "store")
+        reread = execute_requests(self.PLAN, tiny_suite, store=warm)
+        assert warm.stats.hits == len(self.PLAN)
+        assert len(reread) == len(self.PLAN)
+
+
+class TestTransientPutFailures:
+    def test_transient_error_is_retried_once_and_succeeds(self, tmp_path):
+        store = ResultStore(tmp_path)
+        plan = faults.FaultPlan(fail_put_index=0, fail_put_errno=errno.EIO,
+                                fail_put_times=1)
+        with faults.injected(plan):
+            store.put("ab" * 32, _example_stats())
+        assert store.stats.put_retries == 1
+        assert store.stats.writes == 1
+        assert store.get("ab" * 32) is not None
+
+    def test_persistent_transient_error_propagates_after_retry(self, tmp_path):
+        store = ResultStore(tmp_path)
+        plan = faults.FaultPlan(fail_put_index=0, fail_put_errno=errno.ESTALE,
+                                fail_put_times=2)
+        with faults.injected(plan):
+            with pytest.raises(OSError) as excinfo:
+                store.put("ab" * 32, _example_stats())
+        assert excinfo.value.errno == errno.ESTALE
+        assert store.stats.put_retries == 1
+        assert store.get("ab" * 32) is None
+
+    def test_non_transient_error_propagates_immediately(self, tmp_path):
+        store = ResultStore(tmp_path)
+        plan = faults.FaultPlan(fail_put_index=0, fail_put_errno=errno.ENOSPC,
+                                fail_put_times=1)
+        with faults.injected(plan):
+            with pytest.raises(OSError) as excinfo:
+                store.put("ab" * 32, _example_stats())
+        assert excinfo.value.errno == errno.ENOSPC
+        assert store.stats.put_retries == 0  # a full disk does not heal
+
+    def test_failed_write_back_never_discards_computed_stats(
+            self, tiny_suite, tmp_path, caplog):
+        plan_requests = ExperimentPlan([
+            RunRequest("gsm_enc", "vliw-2w", False),
+            RunRequest("gsm_enc", "vector2-2w", False),
+        ])
+        store = ResultStore(tmp_path)
+        fault = faults.FaultPlan(fail_put_index=0, fail_put_errno=errno.EIO,
+                                 fail_put_times=2)  # both attempts fail
+        with faults.injected(fault):
+            with caplog.at_level(logging.WARNING, logger="repro.runner"):
+                results = execute_requests(plan_requests, tiny_suite,
+                                           store=store)
+        # the caller got every result; only the first entry's persistence
+        # was lost, and the loss was reported
+        assert set(results) == set(plan_requests)
+        assert len(store) == len(plan_requests) - 1
+        assert any("write-back failed" in record.message
+                   for record in caplog.records)
+        # the next sweep re-simulates the lost entry and heals the store
+        again = execute_requests(plan_requests, tiny_suite,
+                                 store=ResultStore(tmp_path))
+        assert set(again) == set(plan_requests)
+        assert len(ResultStore(tmp_path)) == len(plan_requests)
+
+
+class TestTornWrites:
+    def test_torn_entry_is_quarantined_on_first_get(self, tmp_path, caplog):
+        store = ResultStore(tmp_path)
+        with faults.injected(faults.FaultPlan(tear_put_index=0)):
+            path = store.put("cd" * 32, _example_stats())
+        assert path.read_bytes() == path.read_bytes()[:16]  # really torn
+        with caplog.at_level(logging.WARNING, logger="repro.store"):
+            assert store.get("cd" * 32) is None
+        assert store.stats.corrupt == 1
+        assert store.stats.quarantined == 1
+        assert not path.exists()
+        assert list(store.corrupt_dir.iterdir())
+        quarantine_logs = [record for record in caplog.records
+                           if "quarantined" in record.message]
+        assert len(quarantine_logs) == 1
+        # the second miss is silent: the file is out of the lookup path
+        caplog.clear()
+        with caplog.at_level(logging.WARNING, logger="repro.store"):
+            assert store.get("cd" * 32) is None
+        assert store.stats.quarantined == 1
+        assert not caplog.records
+        # a fresh put repairs the entry
+        store.put("cd" * 32, _example_stats())
+        assert store.get("cd" * 32) is not None
+
+    def test_verify_finds_and_quarantines_a_torn_entry(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put("11" * 32, _example_stats())
+        with faults.injected(faults.FaultPlan(tear_put_index=0)):
+            store.put("22" * 32, _example_stats())
+        report = ResultStore(tmp_path).verify()
+        assert report.total == 2
+        assert report.ok == 1
+        assert report.corrupt == 1
+        assert len(report.quarantined) == 1
+        assert "1 corrupt" in report.summary()
+        # the walk repaired the store: a second verify is clean
+        clean = ResultStore(tmp_path).verify()
+        assert clean.total == 1 and clean.corrupt == 0
+
+
+class TestAcceptanceScenario:
+    """The issue's bar: kill one worker, tear one write, lose nothing."""
+
+    def _explore(self, store_root, **kwargs):
+        return run_exploration(space=DesignSpace.smoke(),
+                               benchmarks=("gsm_enc",),
+                               parameters=SuiteParameters.tiny(),
+                               store=ResultStore(store_root), **kwargs)
+
+    def test_kill_and_tear_mid_exploration(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        baseline = self._explore(tmp_path / "clean")
+        assert baseline.complete
+
+        marker = tmp_path / "kill.marker"
+        fault = faults.FaultPlan(kill_worker_after_runs=1,
+                                 kill_once_marker=str(marker),
+                                 tear_put_index=2)
+        store_root = tmp_path / "faulty"
+        with faults.injected(fault):
+            result = self._explore(store_root, jobs=2, min_parallel_runs=0,
+                                   coordinate=True, owner="acceptance")
+        assert result.complete
+        assert marker.exists()  # the SIGKILL really landed
+
+        # the exploration's in-memory outcome is byte-identical to the
+        # undisturbed serial baseline
+        _assert_byte_identical(result.runs, baseline.runs)
+        assert result.frontier() == baseline.frontier()
+
+        # `store verify` finds the torn entry, quarantines it, exits 0
+        code = main(["store", "verify", "--store", str(store_root)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "1 corrupt" in out
+        assert "quarantined" in out
+        assert (store_root / "corrupt").is_dir()
+
+        # the healed store serves everything but the quarantined entry
+        warm = self._explore(store_root)
+        assert warm.complete
+        assert warm.simulated_runs == 1
+        assert warm.stored_runs == len(warm.runs) - 1
+        _assert_byte_identical(warm.runs, baseline.runs)

@@ -1,0 +1,307 @@
+"""Lease files: acquisition, staleness, reclaim fencing, heartbeats, scrub.
+
+The protocol tests use an injectable clock so staleness is deterministic;
+the heartbeat tests use short real TTLs because heartbeats run on real
+threads.  The cooperative-sweep tests at the bottom drive
+``run_exploration(coordinate=True)`` end to end, including the takeover
+of a crashed participant's stale lease.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro import faults
+from repro.explore import DesignSpace, run_exploration
+from repro.store import Lease, LeaseManager, ResultStore
+from repro.workloads.suite import SuiteParameters
+
+pytestmark = pytest.mark.faults
+
+
+class Clock:
+    """A settable wall clock shared by every manager in a test."""
+
+    def __init__(self, now: float = 1000.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture(autouse=True)
+def _no_leftover_fault_plan():
+    yield
+    faults.clear_plan()
+
+
+@pytest.fixture
+def clock() -> Clock:
+    return Clock()
+
+
+def manager(tmp_path, owner: str, clock: Clock, ttl: float = 10.0) -> LeaseManager:
+    return LeaseManager(tmp_path, owner=owner, ttl=ttl, clock=clock)
+
+
+class TestAcquireRelease:
+    def test_acquire_returns_a_lease_on_disk(self, tmp_path, clock):
+        a = manager(tmp_path, "a", clock)
+        lease = a.acquire("shard-1")
+        assert isinstance(lease, Lease)
+        assert lease.owner == "a"
+        record = a.read("shard-1")
+        assert record["owner"] == "a"
+        assert record["heartbeat"] == clock.now
+
+    def test_live_lease_blocks_peers(self, tmp_path, clock):
+        manager(tmp_path, "a", clock).acquire("shard-1")
+        assert manager(tmp_path, "b", clock).acquire("shard-1") is None
+
+    def test_release_frees_the_key(self, tmp_path, clock):
+        a = manager(tmp_path, "a", clock)
+        lease = a.acquire("shard-1")
+        a.release(lease)
+        assert manager(tmp_path, "b", clock).acquire("shard-1") is not None
+
+    def test_release_of_a_lost_lease_is_a_noop(self, tmp_path, clock):
+        a = manager(tmp_path, "a", clock)
+        lease = a.acquire("shard-1")
+        clock.advance(11.0)
+        b = manager(tmp_path, "b", clock)
+        assert b.acquire("shard-1") is not None
+        a.release(lease)  # must not unlink b's lease
+        assert b.read("shard-1")["owner"] == "b"
+
+    def test_default_owner_is_unique_per_manager(self, tmp_path, clock):
+        first = LeaseManager(tmp_path, clock=clock)
+        second = LeaseManager(tmp_path, clock=clock)
+        assert first.owner != second.owner
+
+    def test_ttl_must_be_positive(self, tmp_path):
+        with pytest.raises(ValueError):
+            LeaseManager(tmp_path, ttl=0.0)
+
+
+class TestStaleReclaim:
+    def test_stale_lease_is_reclaimed(self, tmp_path, clock):
+        manager(tmp_path, "a", clock).acquire("shard-1")
+        clock.advance(10.5)
+        lease = manager(tmp_path, "b", clock).acquire("shard-1")
+        assert lease is not None and lease.owner == "b"
+
+    def test_lease_at_exactly_ttl_is_still_live(self, tmp_path, clock):
+        a = manager(tmp_path, "a", clock)
+        a.acquire("shard-1")
+        clock.advance(10.0)  # staleness is strict: *older* than the TTL
+        assert manager(tmp_path, "b", clock).acquire("shard-1") is None
+
+    def test_undecodable_lease_is_reclaimable(self, tmp_path, clock):
+        a = manager(tmp_path, "a", clock)
+        lease = a.acquire("shard-1")
+        lease.path.write_text("{ torn")
+        assert a.read("shard-1") is None
+        fresh = manager(tmp_path, "b", clock).acquire("shard-1")
+        assert fresh is not None and fresh.owner == "b"
+
+    def test_renew_after_loss_reports_false(self, tmp_path, clock):
+        a = manager(tmp_path, "a", clock)
+        lease = a.acquire("shard-1")
+        clock.advance(11.0)
+        manager(tmp_path, "b", clock).acquire("shard-1")
+        assert a.renew(lease) is False
+
+    def test_renew_refreshes_the_heartbeat(self, tmp_path, clock):
+        a = manager(tmp_path, "a", clock)
+        lease = a.acquire("shard-1")
+        clock.advance(8.0)
+        assert a.renew(lease) is True
+        clock.advance(8.0)  # 16s since acquire, 8s since renewal
+        assert manager(tmp_path, "b", clock).acquire("shard-1") is None
+
+    def test_exclusive_create_race_has_one_winner(self, tmp_path, clock):
+        managers = [manager(tmp_path, f"racer-{i}", clock) for i in range(8)]
+        results = [None] * len(managers)
+        barrier = threading.Barrier(len(managers))
+
+        def race(index: int) -> None:
+            barrier.wait()
+            results[index] = managers[index].acquire("contended")
+
+        threads = [threading.Thread(target=race, args=(i,))
+                   for i in range(len(managers))]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        winners = [lease for lease in results if lease is not None]
+        assert len(winners) == 1
+
+    def test_stale_reclaim_race_has_one_winner(self, tmp_path, clock):
+        manager(tmp_path, "crashed", clock).acquire("contended")
+        clock.advance(11.0)
+        managers = [manager(tmp_path, f"racer-{i}", clock) for i in range(8)]
+        results = [None] * len(managers)
+        barrier = threading.Barrier(len(managers))
+
+        def race(index: int) -> None:
+            barrier.wait()
+            results[index] = managers[index].acquire("contended")
+
+        threads = [threading.Thread(target=race, args=(i,))
+                   for i in range(len(managers))]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        winners = [lease for lease in results if lease is not None]
+        assert len(winners) == 1
+
+
+class TestHeartbeat:
+    def test_heartbeat_keeps_the_lease_live(self, tmp_path):
+        import time
+
+        a = LeaseManager(tmp_path, owner="a", ttl=0.4)
+        b = LeaseManager(tmp_path, owner="b", ttl=0.4)
+        lease = a.acquire("shard-1")
+        with a.heartbeat(lease, interval=0.05) as lost:
+            time.sleep(0.8)  # twice the TTL: dead without renewals
+            assert b.acquire("shard-1") is None
+        assert not lost.is_set()
+
+    def test_stalled_heartbeat_lets_a_peer_reclaim(self, tmp_path):
+        import time
+
+        a = LeaseManager(tmp_path, owner="a", ttl=0.3)
+        b = LeaseManager(tmp_path, owner="b", ttl=0.3)
+        lease = a.acquire("shard-1")
+        with faults.injected(faults.FaultPlan(stall_heartbeats=True)):
+            with a.heartbeat(lease, interval=0.05):
+                time.sleep(0.5)
+                stolen = b.acquire("shard-1")
+        assert stolen is not None and stolen.owner == "b"
+
+
+class TestScrub:
+    def test_scrub_removes_stale_leases_only(self, tmp_path, clock):
+        a = manager(tmp_path, "a", clock)
+        a.acquire("old-shard")
+        clock.advance(11.0)
+        b = manager(tmp_path, "b", clock)
+        b.acquire("fresh-shard")
+        removed = manager(tmp_path, "janitor", clock).scrub()
+        assert removed == ["old-shard"]
+        assert a.read("old-shard") is None
+        assert b.read("fresh-shard")["owner"] == "b"
+
+    def test_scrub_sweeps_reclaim_tombstones(self, tmp_path, clock):
+        a = manager(tmp_path, "a", clock)
+        a.acquire("shard-1")
+        # a reclaimer that died after the rename leaves a tombstone behind
+        tombstone = a.directory / ".shard-1.lease.reclaim-deadbeef"
+        (a.directory / "shard-1.lease").rename(tombstone)
+        manager(tmp_path, "janitor", clock).scrub()
+        assert not tombstone.exists()
+
+    def test_leases_skips_undecodable_files(self, tmp_path, clock):
+        a = manager(tmp_path, "a", clock)
+        a.acquire("good")
+        (a.directory / "bad.lease").write_text("not json")
+        records = a.leases()
+        assert [record["key"] for record in records] == ["good"]
+
+    def test_wrong_version_reads_as_none(self, tmp_path, clock):
+        a = manager(tmp_path, "a", clock)
+        lease = a.acquire("shard-1")
+        record = json.loads(lease.path.read_text())
+        record["version"] = "repro-lease/999"
+        lease.path.write_text(json.dumps(record))
+        assert a.read("shard-1") is None
+
+
+class TestCooperativeExploration:
+    def _explore(self, store_root, **kwargs):
+        return run_exploration(space=DesignSpace.smoke(),
+                               benchmarks=("gsm_enc",),
+                               parameters=SuiteParameters.tiny(),
+                               store=ResultStore(store_root),
+                               shard_size=4, coordinate=True, **kwargs)
+
+    def test_coordinate_requires_a_store(self):
+        with pytest.raises(ValueError, match="store"):
+            run_exploration(space=DesignSpace.smoke(), store=None,
+                            coordinate=True)
+
+    def test_coordinated_sweep_completes_and_releases(self, tmp_path):
+        result = self._explore(tmp_path, owner="solo")
+        assert result.complete
+        assert result.simulated_runs == len(result.runs)
+        # every lease was released on the way out
+        assert LeaseManager(tmp_path).leases() == []
+        # a second coordinated pass is pure store reads
+        warm = self._explore(tmp_path, owner="second")
+        assert warm.complete and warm.simulated_runs == 0
+
+    def test_stale_lease_of_a_crashed_peer_is_taken_over(self, tmp_path):
+        import time as real_time
+
+        from repro.explore.sweep import (BASELINE_CONFIG, _sweep_scope)
+        from repro.explore.space import generate_configs
+        from repro.sim.plan import ExperimentPlan, RunRequest
+
+        # reconstruct the first shard's lease key the way the sweep does
+        space = DesignSpace.smoke()
+        parameters = SuiteParameters.tiny()
+        config_names = (BASELINE_CONFIG,) + tuple(generate_configs(space))
+        plan = ExperimentPlan(RunRequest("gsm_enc", config, False)
+                              for config in config_names)
+        shard = plan.shards(4)[0]
+        scope = _sweep_scope(("gsm_enc",), parameters)
+        key = f"{scope}-{shard.fingerprint()[:40]}"
+
+        # a "crashed" participant: lease exists, heartbeat far in the past
+        crashed = LeaseManager(tmp_path, owner="crashed", ttl=0.2,
+                               clock=lambda: real_time.time() - 60.0)
+        assert crashed.acquire(key) is not None
+
+        result = self._explore(tmp_path, owner="survivor", lease_ttl=0.2)
+        assert result.complete
+        assert LeaseManager(tmp_path).read(key) is None  # released after takeover
+
+    def test_two_cooperating_participants_both_complete(self, tmp_path):
+        results = [None, None]
+        errors = []
+
+        def participant(index: int) -> None:
+            try:
+                results[index] = self._explore(tmp_path,
+                                               owner=f"peer-{index}",
+                                               lease_ttl=5.0)
+            except BaseException as exc:  # pragma: no cover - diagnostic
+                errors.append(exc)
+
+        threads = [threading.Thread(target=participant, args=(i,))
+                   for i in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert all(result is not None and result.complete
+                   for result in results)
+        # the fleet simulated each shard at most... once in the common case,
+        # but duplicated work is *allowed* (advisory fencing); what must
+        # hold is that both saw every run and the store holds one entry per
+        # fingerprint with identical bytes
+        first, second = results
+        assert set(first.runs) == set(second.runs)
+        for request in first.runs:
+            assert (first.runs[request].canonical_json()
+                    == second.runs[request].canonical_json())

@@ -83,6 +83,105 @@ class TestResultStore:
         store.put(fingerprint, _example_stats())
         assert store.get(fingerprint) is not None
 
+    def test_corrupt_entry_is_quarantined_not_left_in_place(self, tmp_path):
+        store = ResultStore(tmp_path)
+        fingerprint = "66" * 32
+        path = store.put(fingerprint, _example_stats())
+        path.write_bytes(b"{ truncated nonsense")
+        assert store.get(fingerprint) is None
+        assert store.stats.quarantined == 1
+        assert not path.exists()
+        moved = list(store.corrupt_dir.iterdir())
+        assert [p.name for p in moved] == [path.name]
+        # the original bytes are preserved for post-mortems
+        assert moved[0].read_bytes() == b"{ truncated nonsense"
+
+    def test_quarantine_collisions_get_numbered(self, tmp_path):
+        store = ResultStore(tmp_path)
+        fingerprint = "77" * 32
+        for _ in range(2):
+            path = store.put(fingerprint, _example_stats())
+            path.write_bytes(b"bad")
+            assert store.get(fingerprint) is None
+        names = sorted(p.name for p in store.corrupt_dir.iterdir())
+        assert names == [path.name, f"{path.name}.1"]
+
+    def test_put_retries_transient_oserror_once(self, tmp_path, monkeypatch):
+        import errno
+
+        store = ResultStore(tmp_path)
+        calls = []
+        publish = ResultStore._publish
+
+        def flaky_publish(self, path, fingerprint, payload):
+            calls.append(fingerprint)
+            if len(calls) == 1:
+                raise OSError(errno.EINTR, "interrupted system call")
+            publish(self, path, fingerprint, payload)
+
+        monkeypatch.setattr(ResultStore, "_publish", flaky_publish)
+        monkeypatch.setattr("repro.store.result_store.PUT_RETRY_DELAY", 0.0)
+        store.put("88" * 32, _example_stats())
+        assert len(calls) == 2
+        assert store.stats.put_retries == 1
+        assert store.stats.writes == 1
+        assert store.get("88" * 32) is not None
+
+    def test_stats_snapshot_carries_the_robustness_counters(self, tmp_path):
+        snapshot = ResultStore(tmp_path).stats.snapshot()
+        for key in ("quarantined", "put_retries", "corrupt"):
+            assert snapshot[key] == 0
+
+    def test_verify_clean_store(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put("aa" * 32, _example_stats())
+        store.put("bb" * 32, _example_stats())
+        report = store.verify()
+        assert (report.total, report.ok, report.corrupt) == (2, 2, 0)
+        assert report.quarantined == ()
+        assert "2 ok, 0 corrupt" in report.summary()
+
+    def test_verify_quarantines_undecodable_and_mislabelled(self, tmp_path):
+        store = ResultStore(tmp_path)
+        good = store.put("aa" * 32, _example_stats())
+        torn = store.put("bb" * 32, _example_stats())
+        torn.write_bytes(torn.read_bytes()[:10])
+        liar = store.put("cc" * 32, _example_stats())
+        # an entry whose envelope fingerprint disagrees with its filename
+        liar.rename(liar.with_name(f"{'cd' * 32}.json"))
+        report = ResultStore(tmp_path).verify()
+        assert (report.total, report.ok, report.corrupt) == (3, 1, 2)
+        assert len(report.quarantined) == 2
+        assert good.exists()
+        assert not torn.exists()
+
+    def test_verify_without_quarantine_only_reports(self, tmp_path):
+        store = ResultStore(tmp_path)
+        path = store.put("aa" * 32, _example_stats())
+        path.write_bytes(b"bad")
+        report = ResultStore(tmp_path).verify(quarantine=False)
+        assert report.corrupt == 1 and report.quarantined == ()
+        assert path.exists()  # left in place for inspection
+
+    def test_verify_walks_every_schema_namespace(self, tmp_path):
+        old = ResultStore(tmp_path, schema_version=STATS_SCHEMA_VERSION)
+        old.put("aa" * 32, _example_stats())
+        bumped = ResultStore(tmp_path, schema_version=STATS_SCHEMA_VERSION + 1)
+        bumped.put("bb" * 32, _example_stats())
+        report = bumped.verify()
+        assert report.total == 2 and report.corrupt == 0
+        assert report.by_version == {STATS_SCHEMA_VERSION: 1,
+                                     STATS_SCHEMA_VERSION + 1: 1}
+
+    def test_iter_entry_paths_is_deterministic(self, tmp_path):
+        store = ResultStore(tmp_path)
+        for head in ("aa", "bb", "cc"):
+            store.put(head * 32, _example_stats())
+        first = list(store.iter_entry_paths())
+        second = list(store.iter_entry_paths())
+        assert first == second
+        assert [path.stem[:2] for _, path in first] == ["aa", "bb", "cc"]
+
     def test_schema_envelope_mismatch_is_a_miss(self, tmp_path):
         store = ResultStore(tmp_path)
         fingerprint = "33" * 32
