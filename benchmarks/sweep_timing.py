@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import sys
 import time
@@ -160,7 +161,14 @@ def main(argv=None) -> int:
     parser.add_argument("--engine", default="trace",
                         choices=("trace", "interpreter"),
                         help="execution tier to benchmark")
+    parser.add_argument("--verify", action="store_true",
+                        help="run the static analyzer on every compilation "
+                             "(sets REPRO_VERIFY; measures the verify=True "
+                             "overhead of the sweep)")
     args = parser.parse_args(argv)
+
+    if args.verify:
+        os.environ["REPRO_VERIFY"] = "1"
 
     from repro.core.runner import default_jobs
 
@@ -171,6 +179,7 @@ def main(argv=None) -> int:
     payload = {
         "schema": 2,
         "engine": args.engine,
+        "verify": bool(args.verify),
         "parameters": "tiny" if args.tiny else "default",
         "jobs": jobs,
         "python": platform.python_version(),

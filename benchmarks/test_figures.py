@@ -1,6 +1,5 @@
 """Benchmarks that regenerate the paper's figures (1, 3, 4, 5, 6, 7)."""
 
-import pytest
 
 from repro.experiments import figure1, figure3, figure4, figure5, figure6, figure7
 

@@ -1,6 +1,5 @@
 """Benchmarks that regenerate the paper's tables (Tables 1, 2 and 3)."""
 
-import pytest
 
 from repro.experiments import table1, table2, table3
 

@@ -17,7 +17,6 @@ Run with::
 
 import numpy as np
 
-from repro import ISAFlavor
 from repro.core.runner import run_benchmark
 from repro.workloads.data import synthetic_image
 from repro.workloads.jpeg import color, dct, huffman, quant

@@ -19,6 +19,14 @@ Commands
     Inspect the workload registry (:mod:`repro.workloads.registry`):
     ``bench list`` prints every registered benchmark with its parameter
     family, input sizes and tags.
+``lint``
+    The static analyzer (:mod:`repro.analysis`): lint every selected
+    benchmark's kernel IR and independently verify the schedules the
+    compiler produces for it on every requested configuration, printing
+    typed ``REPxxx`` diagnostics (``docs/analysis.md`` has the catalog).
+    ``--fuzz-seeds N`` additionally analyzes the synthetic programs of
+    ``N`` deterministic fuzz seeds.  Exit code 1 when any *error*-severity
+    finding exists; warnings and infos are reported but do not gate.
 ``fuzz``
     The standing trace-vs-interpreter fuzz lane (:mod:`repro.fuzz`):
     sweep synthetic-program seeds through both execution tiers, diff the
@@ -138,6 +146,29 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     tags = sorted({tag for d in definitions.values() for tag in d.tags})
     print(f"\n{len(definitions)} benchmarks; tags: {', '.join(tags)}")
     return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis import analyze_benchmarks, analyze_fuzz_seeds
+
+    progress = None
+    if args.verbose:
+        progress = lambda line: print(line, file=sys.stderr)  # noqa: E731
+    report = analyze_benchmarks(
+        args.benchmarks,
+        config_names=tuple(args.configs) if args.configs else None,
+        tiny=args.tiny, progress=progress)
+    if args.fuzz_seeds:
+        report.extend(analyze_fuzz_seeds(
+            args.fuzz_seeds, scale=args.scale,
+            config_names=(tuple(args.configs) if args.configs
+                          else ("vector2-2w",)),
+            progress=progress))
+    if args.json:
+        print(report.to_json())
+    else:
+        print(report.format_text(limit=args.limit))
+    return 1 if report.has_errors else 0
 
 
 def _cmd_fuzz(args: argparse.Namespace) -> int:
@@ -289,6 +320,27 @@ def main(argv=None) -> int:
                               "--coordinate (default "
                               f"{DEFAULT_LEASE_TTL:.0f}s)")
 
+    lint = sub.add_parser(
+        "lint", help="statically verify kernel IR and compiled schedules")
+    add_benchmark_arguments(lint, default="all")
+    lint.add_argument("--tiny", action="store_true",
+                      help="test-sized inputs instead of the defaults")
+    lint.add_argument("--configs", nargs="*", default=None, metavar="CONFIG",
+                      help="machine configurations to verify on (default: "
+                           "the full Table-2 set)")
+    lint.add_argument("--fuzz-seeds", type=int, default=0, metavar="N",
+                      help="also analyze the synthetic programs of N "
+                           "deterministic fuzz seeds (default 0)")
+    lint.add_argument("--scale", choices=("tiny", "default"), default="tiny",
+                      help="generated sizes for --fuzz-seeds (default: tiny)")
+    lint.add_argument("--limit", type=int, default=50, metavar="N",
+                      help="findings shown in text mode before eliding "
+                           "(default 50)")
+    lint.add_argument("--json", action="store_true",
+                      help="machine-readable report on stdout")
+    lint.add_argument("--verbose", action="store_true",
+                      help="per-pair progress on stderr")
+
     fuzz = sub.add_parser(
         "fuzz", help="sweep synthetic seeds through both engines and diff")
     fuzz.add_argument("--seeds", type=int, default=50, metavar="N",
@@ -358,11 +410,17 @@ def main(argv=None) -> int:
         elif args.command == "sweep":
             args.benchmarks = resolve_benchmarks(args.benchmarks,
                                                  BENCHMARK_NAMES)
-        elif args.command == "fuzz":
+        elif args.command in ("fuzz", "lint"):
             if args.configs:
                 from repro.machine.config import get_config
                 for name in args.configs:
                     get_config(name)  # unknown names fail before the sweep
+            if args.command == "lint":
+                # the checker defaults to *every* registered workload —
+                # synthetic presets included — not just the paper's six
+                args.benchmarks = (select_benchmarks(args.benchmarks)
+                                   if args.benchmarks
+                                   else select_benchmarks(["all"]))
         elif args.command == "bench":
             args.selectors = (select_benchmarks(args.selectors)
                               if args.selectors else None)
@@ -370,7 +428,7 @@ def main(argv=None) -> int:
         print(f"error: {exc.args[0] if exc.args else exc}", file=sys.stderr)
         return 2
     return {"sweep": _cmd_sweep, "explore": _cmd_explore,
-            "bench": _cmd_bench, "fuzz": _cmd_fuzz,
+            "bench": _cmd_bench, "fuzz": _cmd_fuzz, "lint": _cmd_lint,
             "store": _cmd_store}[args.command](args)
 
 

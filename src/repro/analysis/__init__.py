@@ -1,0 +1,61 @@
+"""Static analysis of kernel IR and compiled schedules.
+
+An independent checker for everything the compiler produces: the dependence
+graph is reconstructed from the IR (not borrowed from the scheduler),
+per-cycle resource usage is re-tallied from the machine configuration (not
+read back from the reservation table), and the IR itself is linted for
+unbound loop variables, dead values, vector-length mismatches and memory
+overlap.  Findings are typed diagnostics with stable ``REPxxx`` codes —
+see ``docs/analysis.md`` for the catalog and CLI usage
+(``python -m repro lint``).
+"""
+
+from repro.analysis.diagnostics import (
+    CODE_CATALOG,
+    Diagnostic,
+    DiagnosticError,
+    DiagnosticReport,
+    IRValidationError,
+    ScheduleVerificationError,
+    Severity,
+    SourceLocation,
+    diag,
+)
+from repro.analysis.depgraph import (
+    CheckedEdge,
+    carried_recurrence_bound,
+    reconstruct_edges,
+)
+from repro.analysis.ir_lint import lint_program
+from repro.analysis.schedule_check import check_schedule
+from repro.analysis.analyzer import (
+    analyze_benchmarks,
+    analyze_fuzz_seeds,
+    analyze_program,
+    check_or_raise,
+    verification_enabled,
+    verify_compiled,
+)
+
+__all__ = [
+    "CODE_CATALOG",
+    "Diagnostic",
+    "DiagnosticError",
+    "DiagnosticReport",
+    "IRValidationError",
+    "ScheduleVerificationError",
+    "Severity",
+    "SourceLocation",
+    "diag",
+    "CheckedEdge",
+    "carried_recurrence_bound",
+    "reconstruct_edges",
+    "lint_program",
+    "check_schedule",
+    "analyze_benchmarks",
+    "analyze_fuzz_seeds",
+    "analyze_program",
+    "check_or_raise",
+    "verification_enabled",
+    "verify_compiled",
+]

@@ -1,0 +1,282 @@
+"""Analyzer entry points: lint programs, verify compiled schedules.
+
+Three layers of API, from narrow to broad:
+
+* :func:`analyze_program` — IR + memory lints of one program (REP1xx/3xx);
+* :func:`verify_compiled` — full verification of one
+  :class:`CompiledProgram`: IR lints plus independent schedule checking of
+  every segment (REP2xx).  :func:`check_or_raise` is the raising form used
+  by ``compile_program(..., verify=True)``;
+* :func:`analyze_benchmarks` / :func:`analyze_fuzz_seeds` — drive the
+  above over registered workloads × machine configurations, or over
+  deterministic synthetic seed programs — the engine behind
+  ``python -m repro lint``.
+
+Imports of the workload registry and the synthetic generator happen inside
+the driver functions: workload builders import ``repro.analysis`` (through
+the builder's typed exceptions), so importing them at module level would be
+circular.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import OrderedDict
+from dataclasses import replace
+from typing import Callable, Optional, Sequence, Tuple
+
+from repro.analysis.diagnostics import (
+    DiagnosticReport,
+    ScheduleVerificationError,
+    SourceLocation,
+    diag,
+)
+from repro.analysis.ir_lint import lint_program
+from repro.analysis.schedule_check import check_schedule
+from repro.compiler.ir import KernelProgram
+from repro.compiler.scheduler import CompiledProgram
+from repro.machine.config import MachineConfig
+from repro.machine.latency import LatencyModel
+
+__all__ = [
+    "analyze_program",
+    "verify_compiled",
+    "check_or_raise",
+    "verification_enabled",
+    "analyze_benchmarks",
+    "analyze_fuzz_seeds",
+]
+
+#: Environment variable that turns the ``verify=True`` post-pass on by
+#: default for every compilation (used by the sweep-timing benchmark and
+#: available to CI lanes).
+VERIFY_ENV = "REPRO_VERIFY"
+
+
+def verification_enabled(explicit: Optional[bool] = None) -> bool:
+    """Resolve a three-state ``verify`` argument against ``REPRO_VERIFY``.
+
+    ``True``/``False`` win outright; ``None`` means "whatever the
+    environment says", with unset / ``0`` / ``false`` / ``no`` / ``off``
+    counting as disabled.
+    """
+    if explicit is not None:
+        return bool(explicit)
+    value = os.environ.get(VERIFY_ENV, "").strip().lower()
+    return value not in ("", "0", "false", "no", "off")
+
+
+def analyze_program(program: KernelProgram,
+                    config: Optional[MachineConfig] = None,
+                    benchmark: str = "") -> DiagnosticReport:
+    """IR and memory lints of one program (no schedule required)."""
+    base = SourceLocation(benchmark=benchmark, program=program.name,
+                          flavor=program.flavor.value,
+                          config=config.name if config else "")
+    report = DiagnosticReport()
+    report.extend(lint_program(program, config, base))
+    return report
+
+
+def verify_compiled(compiled: CompiledProgram, benchmark: str = "",
+                    include_ir: bool = True,
+                    report: Optional[DiagnosticReport] = None,
+                    ) -> DiagnosticReport:
+    """Verify every segment schedule of ``compiled`` against the IR.
+
+    Reconstructs dependences and resource usage independently of the
+    scheduler (see :mod:`repro.analysis.depgraph` /
+    :mod:`repro.analysis.schedule_check`); with ``include_ir`` the program
+    itself is linted too, so one call covers REP1xx/2xx/3xx.
+    """
+    program = compiled.program
+    config = compiled.config
+    latency_model = compiled.latency_model or LatencyModel()
+    base = SourceLocation(benchmark=benchmark, program=program.name,
+                          flavor=program.flavor.value, config=config.name)
+    report = report if report is not None else DiagnosticReport()
+    if include_ir:
+        report.extend(lint_program(program, config, base))
+    for seg_index, (segment, _loops) in enumerate(program.walk_segments()):
+        schedule = compiled.schedules.get(id(segment))
+        location = replace(base, segment=seg_index, region=segment.region)
+        if schedule is None:
+            report.add(diag(
+                "REP203",
+                f"segment {seg_index} (region {segment.region}) has no "
+                f"schedule", location))
+            continue
+        report.extend(check_schedule(schedule, config, latency_model,
+                                     location))
+    return report
+
+
+#: Content keys of verifications that already passed in this process.
+#: Verification is pure — same program IR, configuration, latency table and
+#: schedule timing always produce the same report — so re-checking a
+#: byte-identical compilation (a recompile after a cache clear, a sibling
+#: worker's program, a rebind) is redundant work.  Bounded LRU.
+_PASSED_MEMO: "OrderedDict[Tuple[object, ...], bool]" = OrderedDict()
+_PASSED_MEMO_LIMIT = 4096
+
+
+def _verification_key(compiled: CompiledProgram,
+                      program_fingerprint: Optional[str] = None,
+                      ) -> Optional[Tuple[object, ...]]:
+    """Content key a passed verification can be memoised under.
+
+    Covers everything the checker reads: the normalised IR fingerprint, the
+    (value-hashed) configuration, the latency table, and per segment the
+    recurrence interval plus each entry's (operation position, cycle,
+    occupancy, assumed latency).  Returns ``None`` — never memoisable —
+    when a schedule is missing or an entry points at an operation that is
+    not the segment's own (the defect classes whose identity the timing
+    tuple alone cannot capture).
+
+    ``program_fingerprint`` lets the compile cache share the
+    :func:`~repro.compiler.cache.fingerprint_program` it just computed for
+    its own content key (hashing the IR is the expensive part); it must
+    have been derived from this program's current content.
+    """
+    from repro.compiler.cache import _latency_table_key, fingerprint_program
+
+    latency_model = compiled.latency_model or LatencyModel()
+    parts = []
+    for segment, _loops in compiled.program.walk_segments():
+        schedule = compiled.schedules.get(id(segment))
+        if schedule is None:
+            return None
+        positions = {id(op): index
+                     for index, op in enumerate(segment.operations)}
+        entry_keys = []
+        for entry in schedule.entries:
+            position = positions.get(id(entry.operation))
+            if position is None:
+                return None
+            entry_keys.append((position, entry.cycle, entry.occupancy,
+                               entry.assumed_latency))
+        parts.append((segment.region, schedule.config_name,
+                      schedule.recurrence_interval, tuple(entry_keys)))
+    if program_fingerprint is None:
+        program_fingerprint = fingerprint_program(compiled.program)
+    return (program_fingerprint, compiled.config,
+            _latency_table_key(latency_model), tuple(parts))
+
+
+def check_or_raise(compiled: CompiledProgram, benchmark: str = "",
+                   program_fingerprint: Optional[str] = None) -> None:
+    """Raise :class:`ScheduleVerificationError` if verification finds errors.
+
+    This is the ``verify=True`` post-pass of ``compile_program`` /
+    ``compile_cached``.  Warnings and infos never raise.  A compiled
+    program that passed once is stamped (``_analysis_verified``) so cache
+    hits do not pay for re-verification, and its content key is memoised so
+    recompiling the identical program — after a cache clear, in a worker
+    process forked later, or via a rebind — pays one fingerprint, not a
+    full re-analysis.
+    """
+    if getattr(compiled, "_analysis_verified", False):
+        return
+    key = _verification_key(compiled, program_fingerprint)
+    if key is not None and key in _PASSED_MEMO:
+        _PASSED_MEMO.move_to_end(key)
+        compiled._analysis_verified = True
+        return
+    report = verify_compiled(compiled, benchmark=benchmark)
+    if report.has_errors:
+        raise ScheduleVerificationError(
+            f"schedule verification failed for {compiled.program.name} on "
+            f"{compiled.config.name}: {report.summary()}", report=report)
+    compiled._analysis_verified = True
+    if key is not None:
+        _PASSED_MEMO[key] = True
+        _PASSED_MEMO.move_to_end(key)
+        while len(_PASSED_MEMO) > _PASSED_MEMO_LIMIT:
+            _PASSED_MEMO.popitem(last=False)
+
+
+# ---------------------------------------------------------------------------
+# Batch drivers (the `lint` CLI engine)
+# ---------------------------------------------------------------------------
+
+def analyze_benchmarks(names: Sequence[str],
+                       config_names: Optional[Sequence[str]] = None,
+                       tiny: bool = False,
+                       progress: Optional[Callable[[str], None]] = None,
+                       ) -> DiagnosticReport:
+    """Lint + verify every (benchmark, configuration) pair.
+
+    For each benchmark every requested configuration compiles the program
+    flavour it would actually execute (the same pairing the experiment
+    runner uses), and the compiled result is fully verified.  Flavours no
+    configuration selects are still linted standalone so REP1xx findings
+    cannot hide in an unexecuted program version.
+    """
+    from repro.compiler.cache import compile_cached
+    from repro.machine.config import PAPER_CONFIG_ORDER, get_config
+    from repro.workloads.suite import SuiteParameters, build_benchmark
+
+    configs = [get_config(name) for name in
+               (config_names or PAPER_CONFIG_ORDER)]
+    parameters = SuiteParameters.tiny() if tiny else SuiteParameters.default()
+    report = DiagnosticReport()
+    for name in names:
+        spec = build_benchmark(name, parameters)
+        analyzed_flavors = set()
+        for config in configs:
+            program = spec.program_for(config)
+            analyzed_flavors.add(program.flavor)
+            compiled = compile_cached(program, config)
+            before = len(report)
+            verify_compiled(compiled, benchmark=name, report=report)
+            if progress is not None:
+                found = len(report) - before
+                note = f" ({found} finding(s))" if found else ""
+                progress(f"{name} × {config.name}: "
+                         f"{program.flavor.value}{note}")
+        for flavor, program in spec.programs.items():
+            if flavor not in analyzed_flavors:
+                report.extend(lint_program(
+                    program, None,
+                    SourceLocation(benchmark=name, program=program.name,
+                                   flavor=flavor.value)))
+    return report
+
+
+def analyze_fuzz_seeds(seeds: int, start_seed: int = 0, scale: str = "tiny",
+                       config_names: Sequence[str] = ("vector2-2w",),
+                       progress: Optional[Callable[[str], None]] = None,
+                       ) -> DiagnosticReport:
+    """Lint + verify the synthetic programs of ``seeds`` deterministic seeds.
+
+    Every seed builds all three ISA flavours (the same programs the fuzz
+    lane compares) and verifies each on every requested configuration.
+    """
+    from repro.compiler.cache import compile_cached
+    from repro.compiler.ir import ISAFlavor
+    from repro.machine.config import get_config
+    from repro.machine.resources import UnschedulableOperationError
+    from repro.workloads.synthetic import generate_spec
+    from repro.workloads.synthetic.generator import params_for_seed
+    from repro.workloads.synthetic.spec import build_program
+
+    configs = [get_config(name) for name in config_names]
+    report = DiagnosticReport()
+    for seed in range(start_seed, start_seed + seeds):
+        spec = generate_spec(params_for_seed(seed, scale))
+        label = f"seed:{seed}"
+        for flavor in (ISAFlavor.SCALAR, ISAFlavor.USIMD, ISAFlavor.VECTOR):
+            program = build_program(spec, flavor)
+            for config in configs:
+                try:
+                    compiled = compile_cached(program, config)
+                except UnschedulableOperationError:
+                    # the compiler itself refuses flavour/configuration
+                    # pairs the machine cannot execute (e.g. µSIMD on a
+                    # plain VLIW) — nothing for the checker to check
+                    continue
+                verify_compiled(compiled, benchmark=label, report=report)
+        if progress is not None and (seed - start_seed) % 10 == 9:
+            progress(f"analyzed {seed - start_seed + 1}/{seeds} seeds "
+                     f"({len(report)} finding(s))")
+    return report

@@ -1,0 +1,167 @@
+"""Independent dependence reconstruction for the static analyzer.
+
+This module re-derives, from segment IR alone, every ordering constraint a
+correct schedule must honour.  It deliberately does **not** import
+:mod:`repro.compiler.dataflow` or reuse the scheduler's adjacency — the
+whole point of the analyzer is to be a second, independently-written
+implementation of the dependence rules, so a bug in the scheduler's graph
+construction shows up as a disagreement instead of being silently shared.
+
+The rules implemented here (the specification both sides answer to):
+
+* **RAW**: an operation that reads a register depends on that register's
+  most recent writer.
+* **WAW**: an operation that writes a register depends on the previous
+  writer of the same register.
+* **WAR**: an operation that writes a register depends on every reader of
+  the current value (readers since the last write).
+* An operation that both reads and writes a register (accumulators,
+  induction variables) never depends on itself.
+* **MEMORY**: a memory operation depends on every earlier *store* in the
+  segment that may alias it.  May-alias is conservative: structurally equal
+  affine addresses, or two wrapped (data-dependent) accesses into the same
+  table.  Earlier stores are never retired — the paper's disambiguation is
+  purely structural, not a fence model.
+
+Each reconstructed edge carries the minimum issue-cycle distance obtained
+from :meth:`repro.machine.latency.LatencyModel.dependence_latency` (the
+latency *spec*; the scheduler computes its edge weights separately).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.compiler.ir import Operation, Segment
+from repro.isa.registers import RegisterClass
+from repro.machine.config import MachineConfig
+from repro.machine.latency import LatencyModel
+
+__all__ = ["CheckedEdge", "reconstruct_edges", "carried_recurrence_bound"]
+
+
+@dataclass(frozen=True)
+class CheckedEdge:
+    """One reconstructed ordering constraint between two segment operations.
+
+    ``consumer`` may not issue earlier than ``min_distance`` cycles after
+    ``producer`` (both are indices into the segment's operation list).
+    """
+
+    producer: int
+    consumer: int
+    kind: str  # "raw" | "war" | "waw" | "memory"
+    min_distance: int
+    register: Optional[int] = None  # virtual register ident, None for memory
+
+
+def _addresses_structurally_equal(a, b) -> bool:
+    """Structural equality of two affine address expressions.
+
+    Re-implemented here (rather than calling ``AddressExpr.structurally_equal``)
+    so the alias test is independent of the IR helper the compiler itself
+    uses: same base, same wrap, same multiset of ``(loop var, coefficient)``
+    terms.
+    """
+    if a.base != b.base or a.wrap_bytes != b.wrap_bytes:
+        return False
+    left = sorted((var.ident, coef) for var, coef in a.terms)
+    right = sorted((var.ident, coef) for var, coef in b.terms)
+    return left == right
+
+
+def _may_alias(a: Operation, b: Operation) -> bool:
+    """Conservative may-alias: structural equality or same wrapped table."""
+    if a.address is None or b.address is None:
+        return True
+    if _addresses_structurally_equal(a.address, b.address):
+        return True
+    return bool(a.address.wrap_bytes and b.address.wrap_bytes
+                and a.address.base == b.address.base)
+
+
+def reconstruct_edges(segment: Segment, config: MachineConfig,
+                      latency_model: LatencyModel) -> List[CheckedEdge]:
+    """Rebuild every dependence edge of ``segment`` with its minimum distance.
+
+    Duplicate constraints between the same pair (e.g. an operation reading
+    the same register twice) are collapsed to the strongest distance.
+    """
+    ops = list(segment.operations)
+    # (producer, consumer, kind, register) -> min_distance (strongest wins)
+    strongest: Dict[Tuple[int, int, str, Optional[int]], int] = {}
+
+    def constrain(producer: int, consumer: int, kind: str,
+                  register_class: Optional[RegisterClass],
+                  register: Optional[int]) -> None:
+        producer_op = ops[producer]
+        distance = latency_model.dependence_latency(
+            kind, producer_op.opcode, producer_op.vector_length,
+            register_class, config)
+        key = (producer, consumer, kind, register)
+        if distance > strongest.get(key, -1):
+            strongest[key] = distance
+
+    last_writer: Dict[int, int] = {}
+    readers_since_write: Dict[int, List[int]] = {}
+    pending_stores: List[int] = []
+
+    for index, op in enumerate(ops):
+        for src in op.srcs:
+            writer = last_writer.get(src.ident)
+            if writer is not None and writer != index:
+                constrain(writer, index, "raw", src.reg_class, src.ident)
+            readers_since_write.setdefault(src.ident, []).append(index)
+        for dest in op.dests:
+            writer = last_writer.get(dest.ident)
+            if writer is not None and writer != index:
+                constrain(writer, index, "waw", dest.reg_class, dest.ident)
+            for reader in readers_since_write.get(dest.ident, ()):
+                if reader < index:
+                    constrain(reader, index, "war", dest.reg_class, dest.ident)
+            last_writer[dest.ident] = index
+            readers_since_write[dest.ident] = []
+
+        if op.is_memory:
+            for store_index in pending_stores:
+                if _may_alias(ops[store_index], op):
+                    constrain(store_index, index, "memory", None, None)
+            if op.is_store:
+                pending_stores.append(index)
+
+    return [CheckedEdge(producer=p, consumer=c, kind=kind,
+                        min_distance=distance, register=reg)
+            for (p, c, kind, reg), distance in sorted(strongest.items(),
+                                                      key=lambda item: item[0][:2])]
+
+
+def carried_recurrence_bound(segment: Segment, config: MachineConfig,
+                             latency_model: LatencyModel) -> int:
+    """Lower bound on the initiation interval from loop-carried registers.
+
+    A register is loop-carried when its first read in program order is at or
+    before its last write — the read consumes the previous iteration's
+    value, so consecutive iterations may not start closer together than the
+    writer's result latency.  Independent re-statement of the rule the
+    scheduler applies via ``loop_carried_registers``.
+    """
+    ops = list(segment.operations)
+    first_read: Dict[int, int] = {}
+    last_write: Dict[int, int] = {}
+    for index, op in enumerate(ops):
+        for src in op.srcs:
+            first_read.setdefault(src.ident, index)
+        for dest in op.dests:
+            last_write[dest.ident] = index
+    bound = 0
+    for reg, read_index in first_read.items():
+        write_index = last_write.get(reg)
+        if write_index is None or write_index < read_index:
+            continue
+        writer = ops[write_index]
+        latency = latency_model.result_latency(
+            writer.opcode, writer.vector_length, config)
+        if latency > bound:
+            bound = latency
+    return bound

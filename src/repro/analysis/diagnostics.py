@@ -1,0 +1,312 @@
+"""Typed diagnostics shared by the static analyzer and the compiler.
+
+Every finding the analyzer (or a compiler validation pass) reports is a
+:class:`Diagnostic`: a stable code, a severity, a human-readable message and
+a :class:`SourceLocation` that pins the finding to a benchmark / program /
+segment / operation / cycle.  Codes are grouped by subsystem:
+
+* ``REP1xx`` — IR lints (malformed or suspicious kernel programs);
+* ``REP2xx`` — schedule verification (a ``Schedule`` that violates the
+  dependences or resources it was built from);
+* ``REP3xx`` — memory-footprint lints (overlap and range findings derived
+  from the affine address lattices).
+
+The catalog below is the single source of truth for codes and their default
+severities; ``docs/analysis.md`` renders the same table for humans.  Codes
+are append-only — retiring or renumbering one breaks the mutation tests and
+any CI grep that keys on it.
+
+Validation passes that *raise* instead of reporting (the builder's address
+check, trace lowering) use :class:`DiagnosticError` subclasses so the
+exception carries the same typed code/location payload while remaining a
+``ValueError`` for existing callers.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
+
+__all__ = [
+    "Severity",
+    "SourceLocation",
+    "Diagnostic",
+    "CODE_CATALOG",
+    "catalog_entry",
+    "diag",
+    "DiagnosticReport",
+    "DiagnosticError",
+    "IRValidationError",
+    "ScheduleVerificationError",
+]
+
+
+class Severity(enum.Enum):
+    """How bad a finding is.  Only errors gate CLI exit codes / ``verify=True``."""
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+    @property
+    def rank(self) -> int:
+        """Sort key: errors first."""
+        return {"error": 0, "warning": 1, "info": 2}[self.value]
+
+
+@dataclass(frozen=True)
+class SourceLocation:
+    """Where a diagnostic points.  Empty / ``None`` fields are unknown."""
+
+    benchmark: str = ""
+    program: str = ""
+    flavor: str = ""
+    config: str = ""
+    region: str = ""
+    segment: Optional[int] = None
+    operation: Optional[int] = None
+    opcode: str = ""
+    cycle: Optional[int] = None
+
+    def describe(self) -> str:
+        """Compact ``key=value`` rendering of the known fields."""
+        parts: List[str] = []
+        for name in ("benchmark", "program", "flavor", "config", "region"):
+            value = getattr(self, name)
+            if value:
+                parts.append(f"{name}={value}")
+        if self.segment is not None:
+            parts.append(f"segment={self.segment}")
+        if self.operation is not None:
+            op = f"op={self.operation}"
+            if self.opcode:
+                op += f"({self.opcode})"
+            parts.append(op)
+        elif self.opcode:
+            parts.append(f"opcode={self.opcode}")
+        if self.cycle is not None:
+            parts.append(f"cycle={self.cycle}")
+        return " ".join(parts)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready mapping of the known fields only."""
+        out: Dict[str, Any] = {}
+        for name in ("benchmark", "program", "flavor", "config", "region",
+                     "segment", "operation", "opcode", "cycle"):
+            value = getattr(self, name)
+            if value or isinstance(value, int):
+                out[name] = value
+        return out
+
+
+#: The diagnostic-code catalog: ``code -> (default severity, title)``.
+#: Append-only; ``docs/analysis.md`` documents every entry.
+CODE_CATALOG: Dict[str, Tuple[Severity, str]] = {
+    # --- REP1xx: IR lints --------------------------------------------------
+    "REP101": (Severity.ERROR,
+               "memory address references a loop variable not bound by an "
+               "enclosing loop"),
+    "REP102": (Severity.WARNING,
+               "register value is overwritten before it is ever read"),
+    "REP103": (Severity.ERROR,
+               "vector consumer reads more elements than its producer wrote"),
+    "REP104": (Severity.INFO, "loop has a zero trip count (body never runs)"),
+    "REP105": (Severity.ERROR,
+               "program is outside the affine trace-lowering contract"),
+    "REP106": (Severity.ERROR,
+               "vector length exceeds the architectural or configured maximum"),
+    # --- REP2xx: schedule verification ------------------------------------
+    "REP201": (Severity.ERROR,
+               "schedule violates a dependence edge (consumer issued too early)"),
+    "REP202": (Severity.ERROR,
+               "per-cycle resource usage exceeds the machine's capacity"),
+    "REP203": (Severity.ERROR,
+               "schedule entries do not cover the segment's operations"),
+    "REP204": (Severity.ERROR,
+               "recorded assumed latency disagrees with the latency model"),
+    "REP205": (Severity.ERROR,
+               "recorded occupancy disagrees with the latency model"),
+    "REP206": (Severity.ERROR,
+               "recurrence interval is below the loop-carried recurrence bound"),
+    "REP207": (Severity.ERROR,
+               "operation cannot execute on this machine configuration"),
+    "REP208": (Severity.ERROR, "operation issued at a negative cycle"),
+    # --- REP3xx: memory-footprint lints ------------------------------------
+    "REP301": (Severity.WARNING,
+               "store may touch the same address as another access in the "
+               "same iteration without an ordering edge"),
+    "REP302": (Severity.ERROR,
+               "memory access can fall below address zero inside the nest"),
+}
+
+
+def catalog_entry(code: str) -> Tuple[Severity, str]:
+    """Severity and title of ``code`` (unknown codes raise ``KeyError``)."""
+    try:
+        return CODE_CATALOG[code]
+    except KeyError as exc:
+        raise KeyError(f"unknown diagnostic code {code!r}") from exc
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One analyzer finding."""
+
+    code: str
+    severity: Severity
+    message: str
+    location: SourceLocation = field(default_factory=SourceLocation)
+
+    def format(self) -> str:
+        """One-line rendering: ``REP201 error: message [location]``."""
+        where = self.location.describe()
+        suffix = f" [{where}]" if where else ""
+        return f"{self.code} {self.severity.value}: {self.message}{suffix}"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "code": self.code,
+            "severity": self.severity.value,
+            "message": self.message,
+            "location": self.location.to_dict(),
+        }
+
+
+def diag(code: str, message: str,
+         location: Optional[SourceLocation] = None,
+         severity: Optional[Severity] = None) -> Diagnostic:
+    """Build a diagnostic, defaulting the severity from the catalog."""
+    default_severity, _ = catalog_entry(code)
+    return Diagnostic(code=code,
+                      severity=severity or default_severity,
+                      message=message,
+                      location=location or SourceLocation())
+
+
+@dataclass
+class DiagnosticReport:
+    """An ordered collection of diagnostics with query/rendering helpers."""
+
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+
+    def add(self, diagnostic: Diagnostic) -> None:
+        self.diagnostics.append(diagnostic)
+
+    def extend(self, diagnostics: Iterable[Diagnostic]) -> None:
+        self.diagnostics.extend(diagnostics)
+
+    def __iter__(self) -> Iterator[Diagnostic]:
+        return iter(self.diagnostics)
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    @property
+    def errors(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.ERROR]
+
+    @property
+    def warnings(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.WARNING]
+
+    @property
+    def has_errors(self) -> bool:
+        return any(d.severity is Severity.ERROR for d in self.diagnostics)
+
+    def codes(self) -> List[str]:
+        """Distinct codes present, sorted."""
+        return sorted({d.code for d in self.diagnostics})
+
+    def by_code(self, code: str) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.code == code]
+
+    def sorted(self) -> List[Diagnostic]:
+        """Stable severity-then-code ordering for presentation."""
+        return sorted(self.diagnostics,
+                      key=lambda d: (d.severity.rank, d.code))
+
+    def summary(self) -> str:
+        """``"2 errors, 1 warning, 0 info (REP201, REP202, REP301)"``."""
+        errors = len(self.errors)
+        warnings = len(self.warnings)
+        info = len(self.diagnostics) - errors - warnings
+        text = (f"{errors} error{'s' if errors != 1 else ''}, "
+                f"{warnings} warning{'s' if warnings != 1 else ''}, "
+                f"{info} info")
+        codes = self.codes()
+        if codes:
+            text += f" ({', '.join(codes)})"
+        return text
+
+    def format_text(self, limit: Optional[int] = None) -> str:
+        """Multi-line rendering: sorted findings then the summary line."""
+        entries = self.sorted()
+        shown = entries if limit is None else entries[:limit]
+        lines = [d.format() for d in shown]
+        if limit is not None and len(entries) > limit:
+            lines.append(f"... {len(entries) - limit} more finding(s) elided")
+        lines.append(self.summary())
+        return "\n".join(lines)
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        payload = {
+            "format": "repro-diagnostics/1",
+            "summary": {
+                "errors": len(self.errors),
+                "warnings": len(self.warnings),
+                "total": len(self.diagnostics),
+                "codes": self.codes(),
+            },
+            "diagnostics": [d.to_dict() for d in self.sorted()],
+        }
+        return json.dumps(payload, indent=indent, sort_keys=True)
+
+
+class DiagnosticError(Exception):
+    """An exception carrying a typed :class:`Diagnostic`.
+
+    Validation passes that must abort (the builder's address check, trace
+    lowering) raise subclasses of this so callers get both a normal Python
+    exception *and* the structured code/location payload.  Constructible
+    from a bare message for backwards compatibility: the diagnostic is then
+    synthesised from :attr:`default_code`.
+    """
+
+    #: Catalog code used when no explicit diagnostic is supplied.
+    default_code = "REP105"
+
+    def __init__(self, message: str,
+                 diagnostic: Optional[Diagnostic] = None) -> None:
+        super().__init__(message)
+        if diagnostic is None:
+            diagnostic = diag(self.default_code, str(message))
+        self.diagnostic = diagnostic
+
+    @property
+    def code(self) -> str:
+        return self.diagnostic.code
+
+
+class IRValidationError(DiagnosticError, ValueError):
+    """A kernel program failed IR validation (builder-time REP1xx)."""
+
+    default_code = "REP101"
+
+
+class ScheduleVerificationError(DiagnosticError, RuntimeError):
+    """A compiled schedule failed verification (``verify=True`` post-pass).
+
+    Carries the full :class:`DiagnosticReport`; :attr:`diagnostic` is the
+    first (most severe) error for the common single-finding case.
+    """
+
+    default_code = "REP201"
+
+    def __init__(self, message: str,
+                 report: Optional[DiagnosticReport] = None) -> None:
+        self.report = report or DiagnosticReport()
+        errors = self.report.errors
+        first = errors[0] if errors else None
+        super().__init__(message, diagnostic=first)

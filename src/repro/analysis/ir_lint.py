@@ -1,0 +1,308 @@
+"""IR lints (REP1xx) and memory-footprint lints (REP3xx).
+
+These checks look at a :class:`KernelProgram` before (or independently of)
+scheduling:
+
+* **REP101** — a memory address references a loop variable no enclosing
+  loop binds, so the affine trace lowering (and the simulator's address
+  generation) cannot evaluate it;
+* **REP102** — a register is written twice with no intervening read and is
+  never read anywhere in the program: the earlier write is dead.  Values
+  that are written once and never read are *not* flagged — the builders
+  deliberately emit independent filler operations;
+* **REP103** — a vector operation consumes more elements than the
+  in-segment producer of its vector register wrote (a remainder-handling
+  bug: the consumer would read stale lane contents);
+* **REP104** — a loop has a zero trip count (informational: the body is
+  dead, which synthetic shrinking produces legitimately);
+* **REP106** — a vector length exceeds the architectural maximum or the
+  configured vector register size;
+* **REP301** — a store and another memory access of the same segment can
+  touch the same element address *in the same iteration* of the enclosing
+  nest, yet the structural alias test draws no ordering edge between them.
+  Derived from the affine address lattices: the difference of two affine
+  addresses is affine, so its value range over the nest decides whether
+  the two access footprints can meet;
+* **REP302** — a memory access can fall below byte address zero somewhere
+  in the nest (an off-by-one in an address expression).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from math import gcd
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.diagnostics import Diagnostic, SourceLocation, diag
+from repro.compiler.ir import (
+    AddressExpr,
+    KernelProgram,
+    LoopNode,
+    Operation,
+)
+from repro.isa.operations import MAX_VECTOR_LENGTH
+from repro.isa.registers import RegisterClass
+from repro.machine.config import MachineConfig
+
+__all__ = ["lint_program"]
+
+
+def _loop_nodes(nodes) -> List[LoopNode]:
+    """Every loop node in the program tree, in program order."""
+    found: List[LoopNode] = []
+    for node in nodes:
+        if isinstance(node, LoopNode):
+            found.append(node)
+            found.extend(_loop_nodes(node.body))
+    return found
+
+
+def _unbound_vars(address: AddressExpr, bound: Set[int]) -> List[str]:
+    return sorted(var.name for var, coef in address.terms
+                  if coef and var.ident not in bound)
+
+
+# -- affine footprints -------------------------------------------------------
+
+def _access_extent(op: Operation) -> Tuple[int, int]:
+    """Element-address extent ``[lo, hi)`` relative to the base address.
+
+    The lattice works at *element address* granularity — each access
+    contributes its element start addresses, not padded byte ranges —
+    because that is what the cache model consumes, and because the kernels
+    legitimately interleave sub-word data at spacings narrower than the
+    64-bit machine word (e.g. packed 16-bit DCT coefficients 2 bytes
+    apart): byte-extent overlap would drown the lint in false positives.
+    """
+    if op.is_vector_memory:
+        vl = max(1, int(op.vector_length))
+        span = op.stride_bytes * (vl - 1)
+        return min(0, span), max(0, span) + 1
+    return 0, 1
+
+
+def _offset_range(address: AddressExpr,
+                  trips: Dict[int, int]) -> Tuple[int, int]:
+    """Range of the variable part of ``address`` over the loop nest.
+
+    Every loop variable spans ``[0, trip - 1]``; the address's variable
+    part is a sum of independent terms, so its range is the sum of the
+    per-term ranges.  Wrapped (data-dependent) addresses span the whole
+    table ``[0, wrap - 1]`` by construction.
+    """
+    if address.wrap_bytes:
+        return 0, address.wrap_bytes - 1
+    lo = hi = 0
+    for var, coef in address.terms:
+        reach = coef * (trips[var.ident] - 1)
+        lo += min(0, reach)
+        hi += max(0, reach)
+    return lo, hi
+
+
+def _same_iteration_overlap(store: Operation, other: Operation,
+                            trips: Dict[int, int]) -> bool:
+    """Can the two accesses touch the same byte with identical loop indices?
+
+    The difference ``store.address - other.address`` is itself affine over
+    the nest; interval arithmetic gives its value range, and the footprints
+    meet iff some difference value puts the two byte extents in contact.
+    Wrapped addresses are not affine — fall back to a whole-nest footprint
+    intersection, which is conservative but only reached for accesses into
+    *different* tables (same-table pairs already alias structurally).
+    """
+    a, b = store.address, other.address
+    assert a is not None and b is not None
+    a_lo, a_hi = _access_extent(store)
+    b_lo, b_hi = _access_extent(other)
+    if a.wrap_bytes or b.wrap_bytes:
+        a_off = _offset_range(a, trips)
+        b_off = _offset_range(b, trips)
+        a_span = (a.base + a_off[0] + a_lo, a.base + a_off[1] + a_hi - 1)
+        b_span = (b.base + b_off[0] + b_lo, b.base + b_off[1] + b_hi - 1)
+        return a_span[0] <= b_span[1] and b_span[0] <= a_span[1]
+    coefs: Dict[int, int] = {}
+    for var, coef in a.terms:
+        coefs[var.ident] = coefs.get(var.ident, 0) + coef
+    for var, coef in b.terms:
+        coefs[var.ident] = coefs.get(var.ident, 0) - coef
+    diff_lo = diff_hi = a.base - b.base
+    for ident, coef in coefs.items():
+        reach = coef * (trips[ident] - 1)
+        diff_lo += min(0, reach)
+        diff_hi += max(0, reach)
+    # interval test: exists d in [diff_lo, diff_hi] with
+    #   d + a_lo <= b_hi - 1  and  d + a_hi - 1 >= b_lo
+    if not (diff_lo + a_lo <= b_hi - 1 and diff_hi + a_hi - 1 >= b_lo):
+        return False
+    # lattice test: every achievable address difference has the form
+    #   (base_a - base_b) + sum(coef_i * n_i) + stride_a*k_a - stride_b*k_b
+    # so a collision (difference zero) requires the constant part to be
+    # divisible by the gcd of the generators.  This separates interleaved
+    # strided streams (e.g. two VL=16/stride-32 stores offset by 8 bytes)
+    # that the interval test alone cannot tell apart.
+    generators: List[int] = [coef for ident, coef in coefs.items()
+                             if coef and trips[ident] > 1]
+    for op in (store, other):
+        if op.is_vector_memory and op.vector_length > 1 and op.stride_bytes:
+            generators.append(op.stride_bytes)
+    if generators:
+        lattice = 0
+        for generator in generators:
+            lattice = gcd(lattice, generator)
+        return (a.base - b.base) % lattice == 0
+    return True
+
+
+def _addresses_structurally_equal(a: AddressExpr, b: AddressExpr) -> bool:
+    if a.base != b.base or a.wrap_bytes != b.wrap_bytes:
+        return False
+    return (sorted((var.ident, coef) for var, coef in a.terms)
+            == sorted((var.ident, coef) for var, coef in b.terms))
+
+
+def _has_alias_edge(a: Operation, b: Operation) -> bool:
+    """Would the dependence rules draw a memory edge between these two?"""
+    assert a.address is not None and b.address is not None
+    if _addresses_structurally_equal(a.address, b.address):
+        return True
+    return bool(a.address.wrap_bytes and b.address.wrap_bytes
+                and a.address.base == b.address.base)
+
+
+# -- the linter --------------------------------------------------------------
+
+def lint_program(program: KernelProgram,
+                 config: Optional[MachineConfig] = None,
+                 location: Optional[SourceLocation] = None,
+                 ) -> List[Diagnostic]:
+    """Lint ``program``; return every REP1xx/REP3xx finding.
+
+    ``config`` sharpens the vector-length bound (REP106) when given; all
+    other checks are configuration-independent.
+    """
+    base = location or SourceLocation()
+    if not base.program:
+        base = replace(base, program=program.name,
+                       flavor=program.flavor.value)
+    findings: List[Diagnostic] = []
+
+    # REP104: zero-trip loops anywhere in the tree
+    for loop in _loop_nodes(program.body):
+        if loop.trip_count == 0:
+            findings.append(diag(
+                "REP104",
+                f"loop {loop.var.name!r} in region {loop.region} has a zero "
+                f"trip count; its body never executes",
+                replace(base, region=loop.region)))
+
+    # program-wide register read/write census for REP102
+    read_anywhere: Set[int] = set()
+    for segment, _ in program.walk_segments():
+        for op in segment.operations:
+            for src in op.srcs:
+                read_anywhere.add(src.ident)
+
+    vl_limit = MAX_VECTOR_LENGTH
+    if config is not None and config.vector_reg_words:
+        vl_limit = min(vl_limit, config.vector_reg_words)
+
+    for seg_index, (segment, loops) in enumerate(program.walk_segments()):
+        bound = {loop.var.ident for loop in loops}
+        trips = {loop.var.ident: loop.trip_count for loop in loops}
+        dead_nest = any(loop.trip_count == 0 for loop in loops)
+        at = lambda i=None, opcode="", seg=segment: replace(  # noqa: E731
+            base, region=seg.region, segment=seg_index,
+            operation=i, opcode=opcode)
+
+        last_write: Dict[int, Tuple[int, Operation]] = {}
+        vector_producer_vl: Dict[int, Tuple[int, int]] = {}  # reg -> (index, VL)
+        addressable: List[Tuple[int, Operation]] = []  # fully-bound memory ops
+
+        for index, op in enumerate(segment.operations):
+            # REP101: unbound loop variables in the address
+            if op.address is not None:
+                missing = _unbound_vars(op.address, bound)
+                if missing:
+                    findings.append(diag(
+                        "REP101",
+                        f"address of {op.opcode} references loop variables "
+                        f"{missing} not bound by an enclosing loop",
+                        at(index, op.opcode)))
+                else:
+                    addressable.append((index, op))
+
+            # REP102: dead earlier writes of never-read registers
+            for src in op.srcs:
+                last_write.pop(src.ident, None)
+            for dest in op.dests:
+                previous = last_write.get(dest.ident)
+                if previous is not None and dest.ident not in read_anywhere:
+                    prev_index, prev_op = previous
+                    findings.append(diag(
+                        "REP102",
+                        f"{prev_op.opcode} writes {dest.name or dest.ident} "
+                        f"at operation {prev_index} but the value is "
+                        f"overwritten at operation {index} and never read",
+                        at(prev_index, prev_op.opcode)))
+                last_write[dest.ident] = (index, op)
+
+            # REP103 / REP106: vector-length consistency
+            if op.is_vector:
+                vl = max(1, int(op.vector_length))
+                if vl > vl_limit:
+                    findings.append(diag(
+                        "REP106",
+                        f"{op.opcode} uses VL={vl} but the "
+                        f"{'configured register size' if config else 'architectural maximum'} "
+                        f"is {vl_limit}", at(index, op.opcode)))
+                for src in op.srcs:
+                    if src.reg_class is not RegisterClass.VECTOR:
+                        continue
+                    producer = vector_producer_vl.get(src.ident)
+                    if producer is not None and vl > producer[1]:
+                        findings.append(diag(
+                            "REP103",
+                            f"{op.opcode} reads {vl} elements of "
+                            f"{src.name or src.ident} but its producer at "
+                            f"operation {producer[0]} wrote only "
+                            f"{producer[1]}", at(index, op.opcode)))
+                for dest in op.dests:
+                    if dest.reg_class is RegisterClass.VECTOR:
+                        vector_producer_vl[dest.ident] = (index, vl)
+            else:
+                # a scalar write to a vector register resets our knowledge
+                for dest in op.dests:
+                    vector_producer_vl.pop(dest.ident, None)
+
+        # REP301 / REP302: affine footprint checks (skip dead nests — their
+        # accesses never execute, and zero trips break the interval math)
+        if dead_nest:
+            continue
+        for index, op in addressable:
+            assert op.address is not None
+            off_lo, _ = _offset_range(op.address, trips)
+            ext_lo, _ = _access_extent(op)
+            if op.address.base + off_lo + ext_lo < 0:
+                findings.append(diag(
+                    "REP302",
+                    f"{op.opcode} can reach byte address "
+                    f"{op.address.base + off_lo + ext_lo} (< 0) inside the "
+                    f"nest", at(index, op.opcode)))
+        for i in range(len(addressable)):
+            for j in range(i + 1, len(addressable)):
+                index_a, op_a = addressable[i]
+                index_b, op_b = addressable[j]
+                if not (op_a.is_store or op_b.is_store):
+                    continue
+                if _has_alias_edge(op_a, op_b):
+                    continue
+                store, other = (op_a, op_b) if op_a.is_store else (op_b, op_a)
+                if _same_iteration_overlap(store, other, trips):
+                    findings.append(diag(
+                        "REP301",
+                        f"{op_a.opcode} (operation {index_a}) and "
+                        f"{op_b.opcode} (operation {index_b}) may touch the "
+                        f"same address in one iteration but carry no "
+                        f"ordering edge", at(index_b, op_b.opcode)))
+    return findings

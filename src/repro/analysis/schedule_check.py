@@ -1,0 +1,226 @@
+"""Schedule verification (REP2xx): check a ``Schedule`` against the spec.
+
+Given a schedule, the target configuration and the latency model, this
+module answers "is this timing actually legal?" without trusting anything
+the scheduler recorded along the way:
+
+* dependences come from :mod:`repro.analysis.depgraph` (an independent
+  reconstruction, not the scheduler's adjacency);
+* per-cycle resource usage is re-tallied from operation classes and
+  :meth:`MachineConfig.resource_capacities` — the scheduler's
+  ``ReservationTable`` is never consulted;
+* the recorded per-entry metadata (``assumed_latency``, ``occupancy``) is
+  cross-checked against :class:`LatencyModel`, because the simulator
+  charges stalls from those numbers — a schedule with legal cycles but
+  wrong metadata still corrupts results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.depgraph import carried_recurrence_bound, reconstruct_edges
+from repro.analysis.diagnostics import Diagnostic, SourceLocation, diag
+from repro.compiler.ir import Operation
+from repro.compiler.scheduler import Schedule
+from repro.isa.operations import OpClass
+from repro.machine.config import MachineConfig
+from repro.machine.latency import LatencyModel
+
+__all__ = ["check_schedule"]
+
+#: Human-readable resource names for REP202 messages.
+_RESOURCE_TITLES: Dict[str, str] = {
+    "issue": "issue slots",
+    "int_unit": "integer units",
+    "simd_unit": "µSIMD units",
+    "vector_unit": "vector units",
+    "l1_port": "L1 cache ports",
+    "l2_port": "L2 vector-cache ports",
+}
+
+
+def _ceil_div(a: int, b: int) -> int:
+    return -(-a // b)
+
+
+def _unit_demand(op: Operation, config: MachineConfig,
+                 ) -> Tuple[Optional[Tuple[str, int]], Optional[str]]:
+    """Functional-unit/port demand of ``op`` beyond its issue slot.
+
+    Returns ``((resource name, busy cycles), None)`` on success or
+    ``(None, reason)`` when the operation cannot execute on ``config`` at
+    all (REP207).  Re-derives the classification from the operation class
+    and the raw configuration fields — deliberately not calling
+    ``repro.machine.resources.requests_for``.
+    """
+    cls = op.op_class
+    vl = max(1, int(op.vector_length))
+    if cls in (OpClass.INT_ALU, OpClass.INT_MUL, OpClass.BRANCH,
+               OpClass.VECTOR_SETUP):
+        return ("int_unit", 1), None
+    if cls is OpClass.NOP:
+        return None, None
+    if cls in (OpClass.LOAD, OpClass.STORE):
+        if config.l1_ports < 1:
+            return None, f"{op.opcode} needs an L1 port but {config.name} has none"
+        return ("l1_port", 1), None
+    if cls.is_simd:
+        if config.simd_units:
+            return ("simd_unit", 1), None
+        if config.vector_units:
+            # vector ISA is a superset of µSIMD: packed ops run VL=1 on a
+            # vector unit
+            return ("vector_unit", 1), None
+        return None, (f"µSIMD operation {op.opcode} needs a µSIMD or vector "
+                      f"unit but {config.name} has neither")
+    if cls.is_vector:
+        if not config.vector_units:
+            return None, (f"vector operation {op.opcode} needs a vector unit "
+                          f"but {config.name} has none")
+        return ("vector_unit", _ceil_div(vl, max(1, config.vector_lanes))), None
+    if cls.is_vector_memory:
+        if not config.l2_ports:
+            return None, (f"vector memory operation {op.opcode} needs an L2 "
+                          f"vector-cache port but {config.name} has none")
+        return ("l2_port", _ceil_div(vl, max(1, config.l2_port_words))), None
+    return None, f"unhandled operation class {cls} for {op.opcode}"
+
+
+def check_schedule(schedule: Schedule, config: MachineConfig,
+                   latency_model: LatencyModel,
+                   location: Optional[SourceLocation] = None,
+                   ) -> List[Diagnostic]:
+    """Verify one segment schedule; return every REP2xx finding."""
+    base = location or SourceLocation()
+    findings: List[Diagnostic] = []
+    segment = schedule.segment
+    seg_ops = list(segment.operations)
+
+    def at(index: Optional[int] = None, opcode: str = "",
+           cycle: Optional[int] = None) -> SourceLocation:
+        return replace(base, region=segment.region or base.region,
+                       operation=index, opcode=opcode, cycle=cycle)
+
+    # --- REP203: the entries must cover the segment exactly -----------------
+    index_of = {id(op): i for i, op in enumerate(seg_ops)}
+    covered: Dict[int, int] = {}
+    mismatched = False
+    for entry in schedule.entries:
+        op_id = id(entry.operation)
+        index = index_of.get(op_id)
+        if index is None:
+            findings.append(diag(
+                "REP203",
+                f"scheduled operation {entry.operation.opcode} is not part of "
+                f"the segment it claims to schedule",
+                at(opcode=entry.operation.opcode, cycle=entry.cycle)))
+            mismatched = True
+        elif index in covered:
+            findings.append(diag(
+                "REP203",
+                f"operation {index} ({entry.operation.opcode}) appears "
+                f"{covered[index] + 1} times in the schedule",
+                at(index, entry.operation.opcode)))
+            covered[index] += 1
+            mismatched = True
+        else:
+            covered[index] = 1
+    missing = [i for i in range(len(seg_ops)) if i not in covered]
+    if missing:
+        names = ", ".join(f"{i}({seg_ops[i].opcode})" for i in missing[:4])
+        suffix = "..." if len(missing) > 4 else ""
+        findings.append(diag(
+            "REP203",
+            f"{len(missing)} segment operation(s) have no schedule entry: "
+            f"{names}{suffix}", at()))
+        mismatched = True
+    if mismatched:
+        # the index mapping below would be meaningless
+        return findings
+
+    cycles: Dict[int, int] = {index_of[id(e.operation)]: e.cycle
+                              for e in schedule.entries}
+
+    # --- per-entry checks: REP208 / REP204 / REP205 / REP207 ----------------
+    demands: Dict[int, Optional[Tuple[str, int]]] = {}
+    for entry in schedule.entries:
+        op = entry.operation
+        index = index_of[id(op)]
+        if entry.cycle < 0:
+            findings.append(diag(
+                "REP208",
+                f"operation {index} ({op.opcode}) issued at cycle "
+                f"{entry.cycle}", at(index, op.opcode, entry.cycle)))
+        expected_latency = latency_model.result_latency(
+            op.opcode, op.vector_length, config)
+        if entry.assumed_latency != expected_latency:
+            findings.append(diag(
+                "REP204",
+                f"operation {index} ({op.opcode}, VL={op.vector_length}) "
+                f"records assumed latency {entry.assumed_latency} but the "
+                f"latency model says {expected_latency}",
+                at(index, op.opcode, entry.cycle)))
+        expected_occupancy = latency_model.occupancy(
+            op.opcode, op.vector_length, config)
+        if entry.occupancy != expected_occupancy:
+            findings.append(diag(
+                "REP205",
+                f"operation {index} ({op.opcode}, VL={op.vector_length}) "
+                f"records occupancy {entry.occupancy} but the latency model "
+                f"says {expected_occupancy}",
+                at(index, op.opcode, entry.cycle)))
+        demand, reason = _unit_demand(op, config)
+        demands[index] = demand
+        if reason is not None:
+            findings.append(diag("REP207", reason,
+                                 at(index, op.opcode, entry.cycle)))
+
+    # --- REP201: every reconstructed dependence edge must be honoured -------
+    for edge in reconstruct_edges(segment, config, latency_model):
+        gap = cycles[edge.consumer] - cycles[edge.producer]
+        if gap < edge.min_distance:
+            producer_op = seg_ops[edge.producer]
+            consumer_op = seg_ops[edge.consumer]
+            findings.append(diag(
+                "REP201",
+                f"{edge.kind} dependence {edge.producer}"
+                f"({producer_op.opcode}) -> {edge.consumer}"
+                f"({consumer_op.opcode}) needs {edge.min_distance} cycle(s) "
+                f"but the schedule allows {gap} "
+                f"(cycles {cycles[edge.producer]} -> {cycles[edge.consumer]})",
+                at(edge.consumer, consumer_op.opcode, cycles[edge.consumer])))
+
+    # --- REP202: re-tally per-cycle resource usage --------------------------
+    capacities = config.resource_capacities()
+    usage: Dict[Tuple[str, int], int] = {}
+    for entry in schedule.entries:
+        index = index_of[id(entry.operation)]
+        usage[("issue", entry.cycle)] = usage.get(("issue", entry.cycle), 0) + 1
+        demand = demands.get(index)
+        if demand is not None:
+            resource, busy = demand
+            for offset in range(max(1, busy)):
+                key = (resource, entry.cycle + offset)
+                usage[key] = usage.get(key, 0) + 1
+    reported: set = set()
+    for (resource, cycle), used in sorted(usage.items()):
+        capacity = capacities.get(resource, 0)
+        if used > capacity and (resource, cycle) not in reported:
+            reported.add((resource, cycle))
+            findings.append(diag(
+                "REP202",
+                f"{_RESOURCE_TITLES.get(resource, resource)} oversubscribed "
+                f"at cycle {cycle}: {used} in use, capacity {capacity}",
+                at(cycle=cycle)))
+
+    # --- REP206: loop-carried recurrence bound ------------------------------
+    bound = carried_recurrence_bound(segment, config, latency_model)
+    if schedule.recurrence_interval < bound:
+        findings.append(diag(
+            "REP206",
+            f"recurrence interval {schedule.recurrence_interval} is below "
+            f"the loop-carried bound {bound}", at()))
+
+    return findings

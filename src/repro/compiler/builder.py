@@ -29,9 +29,9 @@ fresh induction variable, optionally emits the loop-control operations
 from __future__ import annotations
 
 import contextlib
-from dataclasses import dataclass
 from typing import Iterator, List, Optional, Sequence, Tuple, Union
 
+from repro.analysis.diagnostics import IRValidationError, SourceLocation, diag
 from repro.compiler.ir import (
     AddressExpr,
     ISAFlavor,
@@ -383,8 +383,14 @@ class KernelBuilder:
                 if unknown:
                     opcode = getattr(operation.opcode, "value",
                                      operation.opcode)
-                    raise ValueError(
+                    message = (
                         f"{self.name}: address of {opcode} "
                         f"references loop variables "
                         f"{sorted(map(repr, unknown))} not bound by an "
                         f"enclosing loop (non-affine over its nest)")
+                    raise IRValidationError(message, diag(
+                        "REP101", message,
+                        SourceLocation(program=self.name,
+                                       flavor=self.flavor.value,
+                                       region=node.region,
+                                       opcode=str(opcode))))

@@ -32,8 +32,8 @@ from __future__ import annotations
 
 import hashlib
 from collections import OrderedDict
-from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, Optional
 
 from repro.compiler.ir import KernelProgram, LoopNode, Operation, Segment
 from repro.compiler.scheduler import (
@@ -213,8 +213,19 @@ class CompileCache:
         self.stats = CompileCacheStats()
 
     def get(self, program: KernelProgram, config: MachineConfig,
-            latency_model: Optional[LatencyModel] = None) -> CompiledProgram:
-        """The compiled form of ``program`` on ``config`` (compiling on miss)."""
+            latency_model: Optional[LatencyModel] = None,
+            verify: Optional[bool] = None) -> CompiledProgram:
+        """The compiled form of ``program`` on ``config`` (compiling on miss).
+
+        ``verify`` follows the same three-state contract as
+        :func:`repro.compiler.scheduler.compile_program` (``None`` defers to
+        ``REPRO_VERIFY``).  Verification covers every path out of the cache
+        — fresh compilations, identity hits and **rebound** content hits —
+        because rebinding re-times a different program object and is
+        exactly the kind of shortcut an independent checker must not trust.
+        Verified results are stamped, so a cache hit only re-verifies after
+        an eviction or a fresh rebind.
+        """
         latency_model = latency_model if latency_model is not None else _DEFAULT_LATENCY_MODEL
         # Reading the table on every lookup (rather than memoising per model
         # object) means an in-place mutation of ``flow_latencies`` is picked
@@ -228,23 +239,39 @@ class CompileCache:
         if cached is not None:
             self._by_identity.move_to_end(identity_key)
             self.stats.hits += 1
+            self._maybe_verify(cached, verify)
             return cached
 
-        content_key = (fingerprint_program(program),
-                       fingerprint_config(config), latency_fp)
+        program_fp = fingerprint_program(program)
+        content_key = (program_fp, fingerprint_config(config), latency_fp)
         cached = self._by_content.get(content_key)
         if cached is not None:
             self._by_content.move_to_end(content_key)
             self.stats.hits += 1
             self.stats.rebinds += 1
             rebound = _rebind(cached, program)
+            self._maybe_verify(rebound, verify, program_fp)
             self._remember(identity_key, content_key, rebound)
             return rebound
 
         self.stats.misses += 1
-        compiled = compile_program(program, config, latency_model)
+        # verify here rather than inside compile_program so the analyzer's
+        # pass-memo can reuse the program fingerprint this lookup computed
+        compiled = compile_program(program, config, latency_model,
+                                   verify=False)
+        self._maybe_verify(compiled, verify, program_fp)
         self._remember(identity_key, content_key, compiled)
         return compiled
+
+    @staticmethod
+    def _maybe_verify(compiled: CompiledProgram, verify: Optional[bool],
+                      program_fingerprint: Optional[str] = None) -> None:
+        if verify is False:
+            return
+        from repro.analysis.analyzer import check_or_raise, verification_enabled
+        if verification_enabled(verify):
+            check_or_raise(compiled,
+                           program_fingerprint=program_fingerprint)
 
     def _remember(self, identity_key, content_key,
                   compiled: CompiledProgram) -> None:
@@ -279,12 +306,15 @@ GLOBAL_COMPILE_CACHE = CompileCache()
 
 def compile_cached(program: KernelProgram, config: MachineConfig,
                    latency_model: Optional[LatencyModel] = None,
-                   cache: Optional[CompileCache] = None) -> CompiledProgram:
+                   cache: Optional[CompileCache] = None,
+                   verify: Optional[bool] = None) -> CompiledProgram:
     """Schedule ``program`` for ``config`` through a compile cache.
 
     Drop-in replacement for
     :func:`repro.compiler.scheduler.compile_program`; pass ``cache=None``
-    (the default) to share :data:`GLOBAL_COMPILE_CACHE`.
+    (the default) to share :data:`GLOBAL_COMPILE_CACHE`.  ``verify``
+    post-checks the result (including cache-rebound schedules) with the
+    static analyzer; ``None`` defers to ``REPRO_VERIFY``.
     """
     target = cache if cache is not None else GLOBAL_COMPILE_CACHE
-    return target.get(program, config, latency_model)
+    return target.get(program, config, latency_model, verify=verify)

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.compiler.dataflow import (
     DependenceEdge,
@@ -31,14 +31,7 @@ from repro.compiler.dataflow import (
     build_dependence_graph,
     loop_carried_registers,
 )
-from repro.compiler.ir import (
-    AddressExpr,
-    KernelProgram,
-    LoopNode,
-    Operation,
-    ProgramNode,
-    Segment,
-)
+from repro.compiler.ir import AddressExpr, KernelProgram, Operation, Segment
 from repro.isa.registers import RegisterClass
 from repro.machine.config import MachineConfig
 from repro.machine.latency import LatencyModel
@@ -381,11 +374,25 @@ class CompiledProgram:
 
 
 def compile_program(program: KernelProgram, config: MachineConfig,
-                    latency_model: Optional[LatencyModel] = None) -> CompiledProgram:
-    """Schedule every segment of ``program`` for ``config``."""
+                    latency_model: Optional[LatencyModel] = None,
+                    verify: Optional[bool] = None) -> CompiledProgram:
+    """Schedule every segment of ``program`` for ``config``.
+
+    ``verify=True`` runs the independent static analyzer
+    (:func:`repro.analysis.check_or_raise`) over the result and raises
+    :class:`repro.analysis.ScheduleVerificationError` on any error-severity
+    finding.  ``verify=None`` (the default) defers to the ``REPRO_VERIFY``
+    environment variable, so whole sweeps can be re-run verified without
+    touching call sites.
+    """
     latency_model = latency_model or LatencyModel()
     compiled = CompiledProgram(program=program, config=config,
                                latency_model=latency_model)
     for segment, _ in program.walk_segments():
         compiled.schedules[id(segment)] = schedule_segment(segment, config, latency_model)
+    if verify is not False:
+        # imported lazily: repro.analysis imports this module
+        from repro.analysis.analyzer import check_or_raise, verification_enabled
+        if verification_enabled(verify):
+            check_or_raise(compiled)
     return compiled

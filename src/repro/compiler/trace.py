@@ -37,6 +37,7 @@ from typing import Dict, Iterator, List, Sequence, Tuple
 
 import numpy as np
 
+from repro.analysis.diagnostics import DiagnosticError
 from repro.compiler.ir import LoopNode, Segment
 from repro.compiler.scheduler import CompiledProgram, MemoryOpSummary
 
@@ -44,14 +45,18 @@ __all__ = ["TraceLoweringError", "TraceOp", "SegmentCounts", "TraceProgram",
            "trace_program"]
 
 
-class TraceLoweringError(ValueError):
+class TraceLoweringError(DiagnosticError, ValueError):
     """A program outside the trace tier's closed-form (affine) contract.
 
     Raised during lowering, before any statistics or hierarchy state is
     touched, so :class:`~repro.sim.trace.TraceExecutionEngine` can fall
     back to the interpreting oracle with an explicit, recorded reason
-    instead of producing wrong statistics silently.
+    instead of producing wrong statistics silently.  Carries a typed
+    ``REP105`` diagnostic (see :mod:`repro.analysis.diagnostics`); still a
+    ``ValueError`` for pre-existing callers.
     """
+
+    default_code = "REP105"
 
 
 @dataclass(frozen=True)

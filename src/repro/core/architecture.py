@@ -18,8 +18,7 @@ one application warming the caches for each other).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Optional
 
 from repro.compiler.cache import compile_cached
 from repro.compiler.ir import ISAFlavor, KernelProgram, Segment
@@ -29,7 +28,6 @@ from repro.machine.config import MachineConfig, get_config
 from repro.machine.latency import LatencyModel
 from repro.memory.hierarchy import MemoryHierarchy
 from repro.sim.engines import make_engine
-from repro.sim.fast import ExecutionEngine
 from repro.sim.stats import RunStats
 
 __all__ = ["VectorMicroSimdVliwMachine"]

@@ -25,6 +25,7 @@ from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Callable, List, Optional, Sequence, Tuple
 
+from repro.analysis.analyzer import verify_compiled
 from repro.compiler.cache import compile_cached
 from repro.compiler.ir import ISAFlavor
 from repro.machine.config import get_config
@@ -34,7 +35,6 @@ from repro.workloads.synthetic.generator import params_for_seed
 from repro.workloads.synthetic.spec import (
     LoopSpec,
     ProgramSpec,
-    Statement,
     build_program,
     canonical_spec_json,
     count_statements,
@@ -100,10 +100,26 @@ def compare_spec(spec: ProgramSpec, flavor: ISAFlavor, config_name: str,
     memory-hierarchy counters, so a divergence anywhere in the model —
     cycle totals, per-region break-downs, per-level hit/miss counts —
     surfaces as a named field.
+
+    Before any simulation the static analyzer verifies the compiled
+    program (IR lints plus independent schedule checking); error-severity
+    findings count as a failure with an ``analysis:``-prefixed detail, so
+    a miscompiled seed is caught even when both engines agree on its
+    (wrong) statistics.  Warnings do not fail a seed — random synthetic
+    programs legitimately trip the heuristic overlap lint.
     """
     program = build_program(spec, flavor)
     config = get_config(config_name)
     compiled = compile_cached(program, config)
+    # the same compiled program is compared in both memory modes — the
+    # verification stamp (shared with check_or_raise) makes analysis
+    # once-per-compilation rather than once-per-comparison
+    if not getattr(compiled, "_analysis_verified", False):
+        analysis = verify_compiled(compiled)
+        if analysis.has_errors:
+            return ("analysis: "
+                    + "; ".join(d.format() for d in analysis.errors))
+        compiled._analysis_verified = True
     results = {}
     for engine_name in ("trace", "interpreter"):
         hierarchy = MemoryHierarchy(config.memory, l1_ports=config.l1_ports,

@@ -182,6 +182,25 @@ class MachineConfig:
                 RegisterClass.ACCUM, self.accum_regs, 192)
         return files
 
+    def resource_capacities(self) -> Dict[str, int]:
+        """Per-cycle capacity of every schedulable resource, keyed by name.
+
+        The keys match the ``ResourceKind`` values in
+        :mod:`repro.machine.resources` (``"issue"``, ``"int_unit"``,
+        ``"simd_unit"``, ``"vector_unit"``, ``"l1_port"``, ``"l2_port"``).
+        This is the single translation of the Table-2 resource columns into
+        per-cycle capacities; both the scheduler's reservation table and the
+        independent static analyzer consume it.
+        """
+        return {
+            "issue": self.issue_width,
+            "int_unit": self.int_units,
+            "simd_unit": self.simd_units,
+            "vector_unit": self.vector_units,
+            "l1_port": self.l1_ports,
+            "l2_port": self.l2_ports,
+        }
+
     def peak_micro_ops_per_cycle(self, subwords: int = 8) -> float:
         """Theoretical peak µops/cycle, used by the reports for context.
 

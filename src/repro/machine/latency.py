@@ -30,9 +30,10 @@ need:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict
 
 from repro.isa.operations import OpClass, OperationDescriptor, descriptor_for
+from repro.isa.registers import RegisterClass
 from repro.machine.config import MachineConfig
 
 __all__ = ["LatencyDescriptor", "LatencyModel", "DEFAULT_FLOW_LATENCIES"]
@@ -278,6 +279,44 @@ class LatencyModel:
         element: its per-element flow latency.
         """
         return self.flow_latency(opcode, config)
+
+    def dependence_latency(self, kind, opcode, vector_length: int,
+                           register_class, config: MachineConfig) -> int:
+        """Minimum issue-cycle separation a dependence edge imposes.
+
+        This is the *specification* of the scheduler's edge weights — the
+        rules the paper's machine description implies for each dependence
+        kind — stated once so that independent checkers (the static
+        analyzer in :mod:`repro.analysis`) can verify schedules without
+        borrowing the scheduler's own edge-weight code:
+
+        * ``raw`` through a **vector** register from a vector or
+          vector-memory producer: chaining applies, the consumer waits only
+          for the producer's first element (:meth:`chain_latency`);
+        * any other ``raw``: the producer's full result latency (``Tlw``);
+        * ``war``: the overwrite must wait out the earlier consumer's
+          latest read (``Tlr``);
+        * ``waw`` / ``memory``: the later operation waits out the
+          producer's functional-unit / port occupancy (at least one cycle).
+
+        ``kind`` accepts either the string values ``"raw" | "war" | "waw" |
+        "memory"`` or any enum whose ``value`` is one of those (e.g.
+        :class:`repro.compiler.dataflow.DependenceKind`).  ``opcode``,
+        ``vector_length`` and ``register_class`` describe the *producer*
+        operation and the register carrying the dependence.
+        """
+        desc = self._descriptor(opcode)
+        kind_value = getattr(kind, "value", kind)
+        if kind_value == "raw":
+            if (register_class is RegisterClass.VECTOR
+                    and (desc.op_class.is_vector or desc.op_class.is_vector_memory)):
+                return self.chain_latency(desc, config)
+            return self.result_latency(desc, vector_length, config)
+        if kind_value == "war":
+            return self.descriptor(desc, vector_length, config).latest_read
+        if kind_value in ("waw", "memory"):
+            return max(1, self.occupancy(desc, vector_length, config))
+        raise ValueError(f"unknown dependence kind {kind!r}")
 
     def occupancy(self, opcode, vector_length: int, config: MachineConfig,
                   stride_one: bool = True) -> int:

@@ -74,14 +74,8 @@ class UnschedulableOperationError(RuntimeError):
 
 def capacities_for(config: MachineConfig) -> Dict[ResourceKind, int]:
     """Per-cycle capacity of every resource kind in ``config``."""
-    return {
-        ResourceKind.ISSUE: config.issue_width,
-        ResourceKind.INT_UNIT: config.int_units,
-        ResourceKind.SIMD_UNIT: config.simd_units,
-        ResourceKind.VECTOR_UNIT: config.vector_units,
-        ResourceKind.L1_PORT: config.l1_ports,
-        ResourceKind.L2_PORT: config.l2_ports,
-    }
+    capacities = config.resource_capacities()
+    return {kind: capacities[kind.value] for kind in ResourceKind}
 
 
 #: Memo of :func:`requests_for`, keyed ``id(config) -> (config, inner)`` with

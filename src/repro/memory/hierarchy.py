@@ -26,7 +26,7 @@ from __future__ import annotations
 import contextlib
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Tuple
 
 import numpy as np
 
@@ -34,7 +34,6 @@ from repro.machine.config import MemoryConfig
 from repro.memory.cache import SetAssociativeCache
 from repro.memory.stream import (
     AccessStream,
-    LEVEL_L1,
     LEVEL_L2,
     LEVEL_L3,
     LEVEL_MEMORY,

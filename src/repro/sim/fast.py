@@ -48,7 +48,7 @@ from repro.compiler.scheduler import CompiledProgram
 from repro.machine.config import MachineConfig
 from repro.machine.latency import LatencyModel
 from repro.memory.hierarchy import MemoryHierarchy
-from repro.sim.stats import RegionStats, RunStats
+from repro.sim.stats import RunStats
 
 __all__ = ["ExecutionEngine", "execute_program"]
 

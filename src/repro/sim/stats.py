@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Hashable, Iterable, Mapping, Optional, Sequence
 
 __all__ = ["STATS_SCHEMA_VERSION", "RegionStats", "RunStats", "merge_run_maps"]
 

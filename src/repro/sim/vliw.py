@@ -22,8 +22,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from repro.compiler.dataflow import DependenceKind, build_dependence_graph
-from repro.compiler.ir import LoopVar, Segment
+from repro.compiler.dataflow import build_dependence_graph
+from repro.compiler.ir import LoopVar
 from repro.compiler.scheduler import Schedule, ScheduledOperation, _edge_latency
 from repro.machine.config import MachineConfig
 from repro.machine.latency import LatencyModel

@@ -26,11 +26,10 @@ emitted as two interleaved dependence chains, which yields the moderate ILP
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 from repro.compiler.builder import KernelBuilder
-from repro.compiler.ir import AddressExpr, ISAFlavor, LoopVar
+from repro.compiler.ir import AddressExpr, ISAFlavor
 from repro.isa.operations import Opcode
 from repro.memory.layout import ArraySpec
 

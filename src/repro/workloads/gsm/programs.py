@@ -27,7 +27,7 @@ from dataclasses import dataclass
 from repro.compiler.builder import KernelBuilder
 from repro.compiler.ir import ISAFlavor, KernelProgram
 from repro.isa.operations import Opcode
-from repro.memory.layout import AddressSpace, ArraySpec
+from repro.memory.layout import AddressSpace
 from repro.workloads import common
 from repro.workloads.gsm.autocorr import GSM_FRAME_SAMPLES, GSM_LAGS
 from repro.workloads.gsm.ltp import LTP_MAX_LAG, LTP_MIN_LAG, SUBSEGMENT_SAMPLES

@@ -7,14 +7,18 @@ from hypothesis import strategies as st
 from repro.compiler.builder import KernelBuilder
 from repro.compiler.dataflow import (DependenceKind, build_dependence_graph,
                                      loop_carried_registers)
-from repro.compiler.ir import (AddressExpr, ISAFlavor, KernelProgram, LoopNode,
-                               LoopVar, Operation, Segment)
+from repro.compiler.ir import (
+    AddressExpr,
+    ISAFlavor,
+    LoopVar,
+    Operation,
+    Segment,
+)
 from repro.compiler.regalloc import check_register_pressure, segment_pressure
 from repro.compiler.scheduler import compile_program, schedule_segment
 from repro.isa.operations import Opcode
 from repro.isa.registers import RegisterClass
 from repro.machine.config import get_config
-from repro.machine.latency import LatencyModel
 from repro.memory.layout import AddressSpace
 from repro.sim.vliw import verify_schedule
 

@@ -16,14 +16,13 @@ from repro.compiler.cache import (
     fingerprint_latency_model,
     fingerprint_program,
 )
-from repro.compiler.ir import ISAFlavor
 from repro.core.runner import execute_requests, run_benchmark, run_benchmarks
 from repro.experiments.evaluation import SuiteEvaluation
 from repro.machine.config import get_config
 from repro.machine.latency import LatencyModel
 from repro.memory.hierarchy import MemoryHierarchy
 from repro.sim.fast import ExecutionEngine, execute_program
-from repro.sim.plan import ExperimentPlan, ExperimentSweep, RunRequest, execute_plan
+from repro.sim.plan import ExperimentPlan, ExperimentSweep, RunRequest
 from repro.sim.stats import RunStats, merge_run_maps
 from repro.workloads.suite import SuiteParameters, build_benchmark
 from tests.test_sim import build_streaming_program

@@ -4,7 +4,6 @@ import pytest
 
 from repro.experiments import (figure1, figure3, figure4, figure5, figure6, figure7,
                                table1, table2, table3)
-from repro.experiments.evaluation import SuiteEvaluation
 
 
 class TestStaticExperiments:

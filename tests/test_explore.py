@@ -9,7 +9,6 @@ from repro.explore import (
     BASELINE_CONFIG,
     DesignSpace,
     ParetoPoint,
-    generate_configs,
     pareto_frontier,
     point_config,
     run_exploration,

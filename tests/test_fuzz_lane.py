@@ -25,7 +25,6 @@ from repro.fuzz import (
 from repro.workloads.synthetic import (
     LoopSpec,
     ProgramSpec,
-    Statement,
     count_statements,
     generate_spec,
     params_for_seed,

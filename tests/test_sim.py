@@ -7,7 +7,6 @@ from repro.compiler.ir import ISAFlavor
 from repro.compiler.scheduler import compile_program
 from repro.core.architecture import VectorMicroSimdVliwMachine
 from repro.isa.operations import Opcode
-from repro.machine.config import get_config
 from repro.memory.hierarchy import MemoryHierarchy
 from repro.memory.layout import AddressSpace
 from repro.sim.fast import ExecutionEngine, execute_program

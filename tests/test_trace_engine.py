@@ -10,7 +10,6 @@ programs with random loop nests, and cross-check both engines against the
 cycle-accurate engine on single segments.
 """
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

@@ -10,7 +10,6 @@ from repro.machine.config import get_config
 from repro.workloads.suite import (
     BENCHMARK_NAMES,
     EXTENDED_BENCHMARK_NAMES,
-    SuiteParameters,
     build_benchmark,
     build_suite,
 )
