@@ -65,6 +65,28 @@ def compare(current: dict, baseline: dict, threshold: float):
             yield name, key, ratio, regressed
 
 
+def compare_schedule_quality(current: dict, baseline: dict):
+    """Yield (config, strategy, current_cycles, base_cycles, regressed).
+
+    Modeled cycles are a deterministic property of the compiler, not the
+    machine, so unlike the wall-clock lanes there is no threshold or noise
+    floor: any increase is a real schedule-quality regression.  Strategies
+    present only on one side are skipped (a newly registered strategy has
+    no baseline yet; update the baseline to start gating it).
+    """
+    base_quality = baseline.get("schedule_quality") or {}
+    cur_quality = current.get("schedule_quality") or {}
+    for config, base_strategies in sorted(base_quality.items()):
+        cur_strategies = cur_quality.get(config) or {}
+        for strategy, base_entry in sorted(base_strategies.items()):
+            cur_entry = cur_strategies.get(strategy)
+            if cur_entry is None:
+                continue
+            cur_cycles = int(cur_entry["modeled_cycles"])
+            base_cycles = int(base_entry["modeled_cycles"])
+            yield config, strategy, cur_cycles, base_cycles, cur_cycles > base_cycles
+
+
 def find_inversions(current: dict, tolerance: float = INVERSION_TOLERANCE):
     """Yield (name, serial_s, jobs_s) where the worker pool lost to serial.
 
@@ -96,8 +118,12 @@ def main(argv=None) -> int:
 
     current = load(args.current)
     baseline = load(args.baseline)
-    for field in ("parameters", "engine"):
-        if current.get(field) != baseline.get(field):
+    for field in ("parameters", "engine", "strategy"):
+        # pre-strategy files carry no "strategy" key; they were baseline runs
+        if (current.get(field, "baseline") if field == "strategy"
+                else current.get(field)) \
+                != (baseline.get(field, "baseline") if field == "strategy"
+                    else baseline.get(field)):
             print(f"error: current run used {field}={current.get(field)!r} but "
                   f"the baseline was recorded with {baseline.get(field)!r}; "
                   f"the comparison would be meaningless", file=sys.stderr)
@@ -125,15 +151,27 @@ def main(argv=None) -> int:
         print("error: no timings were comparable between current run and "
               "baseline; the gate checked nothing", file=sys.stderr)
         return 2
+    for config, strategy, cur_cycles, base_cycles, regressed in \
+            compare_schedule_quality(current, baseline):
+        if regressed:
+            verdict = "REGRESSED"
+        elif cur_cycles < base_cycles:
+            verdict = "improved (refresh the baseline to lock it in)"
+        else:
+            verdict = "ok"
+        print(f"{config:>12s}/{strategy:9s} modeled cycles "
+              f"{cur_cycles} vs {base_cycles}  {verdict}")
+        failures += regressed
     for name, serial, parallel in find_inversions(current):
         print(f"{name:20s} jobs-vs-serial INVERTED: jobs_s={parallel:.3f} "
               f"> serial_s={serial:.3f} (+{parallel / serial - 1:.0%})")
         failures += 1
     if failures:
-        print(f"\n{failures} timing(s) regressed by more than "
-              f"{args.threshold:.0%} vs {args.baseline}", file=sys.stderr)
+        print(f"\n{failures} check(s) regressed vs {args.baseline} "
+              f"(timing threshold {args.threshold:.0%}; schedule quality "
+              f"is exact)", file=sys.stderr)
         return 1
-    print("\nall sweep timings within budget")
+    print("\nall sweep timings and schedule-quality figures within budget")
     return 0
 
 

@@ -27,7 +27,8 @@ import time
 import numpy as np
 
 
-def _fresh_evaluation(tiny: bool, jobs: int, engine: str):
+def _fresh_evaluation(tiny: bool, jobs: int, engine: str,
+                      strategy: str = "baseline"):
     from repro.experiments.evaluation import SuiteEvaluation
     from repro.workloads.suite import SuiteParameters
 
@@ -35,7 +36,7 @@ def _fresh_evaluation(tiny: bool, jobs: int, engine: str):
     # store=None: the timings must measure real simulation, never be
     # short-circuited by a warm REPRO_STORE inherited from the environment
     return SuiteEvaluation(parameters=parameters, jobs=jobs, engine=engine,
-                           store=None)
+                           store=None, strategy=strategy)
 
 
 def _sweep(evaluation, perfect: bool) -> None:
@@ -74,7 +75,8 @@ def calibrate(repeats: int = 3) -> float:
     return best
 
 
-def time_experiments(tiny: bool, jobs: int, engine: str):
+def time_experiments(tiny: bool, jobs: int, engine: str,
+                     strategy: str = "baseline"):
     """Measure every experiment serially and with ``jobs`` workers."""
     experiments = {}
 
@@ -87,7 +89,8 @@ def time_experiments(tiny: bool, jobs: int, engine: str):
         for key, job_count in (("serial_s", 1), ("jobs_s", jobs)):
             best = None
             for _ in range(repeats):
-                evaluation = _fresh_evaluation(tiny, job_count, engine)
+                evaluation = _fresh_evaluation(tiny, job_count, engine,
+                                               strategy)
                 prepare(evaluation)
                 GLOBAL_COMPILE_CACHE.clear()
                 start = time.perf_counter()
@@ -149,6 +152,57 @@ def time_phases(tiny: bool, engine: str, repeats: int = 2):
     return {key: round(value, 4) for key, value in best.items()}
 
 
+def schedule_quality(tiny: bool):
+    """Modeled-cycle quality of every scheduler strategy (no simulation).
+
+    For both reference machine shapes, compiles the extended ten-benchmark
+    suite under every registered strategy and records the static cycle
+    model (initiation interval x dynamic trip count, summed) plus the
+    geometric-mean speedup over baseline.  Deterministic and
+    machine-independent, so :mod:`benchmarks.check_regression` gates it
+    exactly: a schedule-quality regression fails CI like a timing one.
+    """
+    import math
+
+    from repro.compiler.cache import compile_cached
+    from repro.compiler.strategies import strategy_names
+    from repro.machine.config import get_config
+    from repro.workloads.suite import (EXTENDED_BENCHMARK_NAMES,
+                                       SuiteParameters, build_suite)
+
+    parameters = SuiteParameters.tiny() if tiny else SuiteParameters.default()
+    suite = build_suite(parameters, names=EXTENDED_BENCHMARK_NAMES)
+    quality = {}
+    for config_name in ("vliw-2w", "vector2-2w"):
+        config = get_config(config_name)
+        per_strategy = {}
+        for strategy in strategy_names():
+            cycles = {}
+            for name in EXTENDED_BENCHMARK_NAMES:
+                compiled = compile_cached(suite[name].program_for(config),
+                                          config, strategy=strategy)
+                total = 0
+                for segment, loops in compiled.program.walk_segments():
+                    trips = 1
+                    for loop in loops:
+                        trips *= loop.trip_count
+                    total += (compiled.schedules[id(segment)]
+                              .initiation_interval * trips)
+                cycles[name] = total
+            per_strategy[strategy] = cycles
+        base = per_strategy["baseline"]
+        quality[config_name] = {}
+        for strategy, cycles in per_strategy.items():
+            log_sum = sum(math.log(base[name] / cycles[name])
+                          for name in EXTENDED_BENCHMARK_NAMES)
+            quality[config_name][strategy] = {
+                "modeled_cycles": sum(cycles.values()),
+                "geomean_speedup": round(
+                    math.exp(log_sum / len(EXTENDED_BENCHMARK_NAMES)), 4),
+            }
+    return quality
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--output", default="BENCH_sweep.json",
@@ -165,16 +219,23 @@ def main(argv=None) -> int:
                         help="run the static analyzer on every compilation "
                              "(sets REPRO_VERIFY; measures the verify=True "
                              "overhead of the sweep)")
+    parser.add_argument("--strategy", default="baseline", metavar="NAME",
+                        help="scheduler strategy the timed sweeps compile "
+                             "under (see repro.compiler.strategies; default: "
+                             "baseline).  The schedule_quality section "
+                             "always covers every registered strategy.")
     args = parser.parse_args(argv)
 
     if args.verify:
         os.environ["REPRO_VERIFY"] = "1"
 
     from repro.core.runner import default_jobs
+    from repro.experiments.report import resolve_strategies
 
+    strategy = resolve_strategies([args.strategy])[0]
     jobs = args.jobs if args.jobs is not None else default_jobs()
     calibration = calibrate()
-    experiments = time_experiments(args.tiny, jobs, args.engine)
+    experiments = time_experiments(args.tiny, jobs, args.engine, strategy)
     phases = time_phases(args.tiny, args.engine)
     payload = {
         "schema": 2,
@@ -182,11 +243,13 @@ def main(argv=None) -> int:
         "verify": bool(args.verify),
         "parameters": "tiny" if args.tiny else "default",
         "jobs": jobs,
+        "strategy": strategy,
         "python": platform.python_version(),
         "machine": platform.machine(),
         "calibration_s": round(calibration, 4),
         "experiments": experiments,
         "phases": phases,
+        "schedule_quality": schedule_quality(args.tiny),
     }
     with open(args.output, "w") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)

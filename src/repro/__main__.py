@@ -70,6 +70,7 @@ from repro.experiments.report import (
     resolve_benchmarks,
     resolve_jobs,
     resolve_store,
+    resolve_strategies,
 )
 from repro.experiments.report import main as report_main
 from repro.sim.engines import DEFAULT_ENGINE, ENGINE_NAMES
@@ -98,6 +99,8 @@ def _add_common(parser: argparse.ArgumentParser, tiny_flag: bool = True) -> None
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.sim.plan import ExperimentSweep
+
     store = resolve_store(args, default_path=DEFAULT_STORE_PATH)
     parameters = SuiteParameters.tiny() if args.tiny else SuiteParameters.default()
     evaluation = SuiteEvaluation(parameters=parameters,
@@ -106,9 +109,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                                  engine=args.engine, store=store)
     start = time.time()
     with maybe_profile(args.profile):
-        evaluation.prefetch()
+        evaluation.ensure(ExperimentSweep(memory_modes=(False, True),
+                                          strategies=tuple(args.strategy)))
     elapsed = time.time() - start
-    total = len(evaluation.benchmark_names) * len(evaluation.config_names) * 2
+    total = (len(evaluation.benchmark_names) * len(evaluation.config_names)
+             * 2 * len(args.strategy))
     loaded = total - evaluation.simulated_runs
     where = store.root if store is not None else "(no store)"
     print(f"swept {total} runs in {elapsed:.1f} s: {loaded} already stored, "
@@ -157,13 +162,13 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     report = analyze_benchmarks(
         args.benchmarks,
         config_names=tuple(args.configs) if args.configs else None,
-        tiny=args.tiny, progress=progress)
+        tiny=args.tiny, progress=progress, strategies=args.strategy)
     if args.fuzz_seeds:
         report.extend(analyze_fuzz_seeds(
             args.fuzz_seeds, scale=args.scale,
             config_names=(tuple(args.configs) if args.configs
                           else ("vector2-2w",)),
-            progress=progress))
+            progress=progress, strategies=args.strategy))
     if args.json:
         print(report.to_json())
     else:
@@ -183,6 +188,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         reproducer_dir=args.reproducer_dir,
         shrink=not args.no_shrink,
         progress=lambda line: print(line, file=sys.stderr),
+        strategies=args.strategies,
     )
     note = " (budget exhausted)" if result.budget_exhausted else ""
     print(f"fuzzed {result.seeds_run} seeds, {result.comparisons} engine "
@@ -221,6 +227,7 @@ def _cmd_explore(args: argparse.Namespace) -> int:
             coordinate=args.coordinate,
             lease_ttl=args.lease_ttl,
             progress=lambda line: print(line, file=sys.stderr),
+            strategies=args.strategy,
         )
     print(result.summary())
     print(f"[explored in {time.time() - start:.1f} s]", file=sys.stderr)
@@ -292,6 +299,9 @@ def main(argv=None) -> int:
         "sweep", help="populate the result store with the full paper grid")
     _add_common(sweep)
     add_benchmark_arguments(sweep)
+    sweep.add_argument("--strategy", nargs="+", default=None, metavar="NAME",
+                       help="scheduler strategies to sweep (registered "
+                            "names or 'all'; default: baseline)")
 
     # explore defaults to the tiny inputs already (a 108-point sweep at full
     # size is a long run), so it exposes the opposite flag instead of --tiny
@@ -306,6 +316,10 @@ def main(argv=None) -> int:
     explore.add_argument("--full-inputs", action="store_true",
                          help="use the full report input sizes (slow); the "
                               "default is the tiny test inputs")
+    explore.add_argument("--strategy", nargs="+", default=None, metavar="NAME",
+                         help="scheduler strategies as an exploration axis "
+                              "(registered names or 'all'; default: "
+                              "baseline)")
     explore.add_argument("--shard-size", type=int, default=40, metavar="N",
                          help="runs per resumable shard (default 40)")
     explore.add_argument("--max-shards", type=int, default=None, metavar="N",
@@ -336,6 +350,9 @@ def main(argv=None) -> int:
     lint.add_argument("--limit", type=int, default=50, metavar="N",
                       help="findings shown in text mode before eliding "
                            "(default 50)")
+    lint.add_argument("--strategy", nargs="+", default=None, metavar="NAME",
+                      help="scheduler strategies to verify under "
+                           "(registered names or 'all'; default: baseline)")
     lint.add_argument("--json", action="store_true",
                       help="machine-readable report on stdout")
     lint.add_argument("--verbose", action="store_true",
@@ -362,6 +379,9 @@ def main(argv=None) -> int:
                            "fuzz-reproducers)")
     fuzz.add_argument("--no-shrink", action="store_true",
                       help="report mismatches without minimizing them")
+    fuzz.add_argument("--strategies", nargs="+", default=None, metavar="NAME",
+                      help="scheduler strategies to fuzz (registered names "
+                           "or 'all'; default: baseline)")
 
     bench = sub.add_parser(
         "bench", help="inspect the workload registry")
@@ -403,6 +423,11 @@ def main(argv=None) -> int:
     # is a clean one-line error — the registry's message already lists the
     # known names/tags — while failures inside a long run still traceback
     try:
+        # strategy selectors share one vocabulary across the subcommands
+        if hasattr(args, "strategy"):
+            args.strategy = resolve_strategies(args.strategy)
+        if hasattr(args, "strategies"):
+            args.strategies = resolve_strategies(args.strategies)
         if args.command == "explore":
             from repro.explore import DEFAULT_BENCHMARKS
             args.benchmarks = list(resolve_benchmarks(args.benchmarks,

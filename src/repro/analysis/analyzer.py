@@ -97,7 +97,7 @@ def verify_compiled(compiled: CompiledProgram, benchmark: str = "",
     report = report if report is not None else DiagnosticReport()
     if include_ir:
         report.extend(lint_program(program, config, base))
-    for seg_index, (segment, _loops) in enumerate(program.walk_segments()):
+    for seg_index, (segment, loops) in enumerate(program.walk_segments()):
         schedule = compiled.schedules.get(id(segment))
         location = replace(base, segment=seg_index, region=segment.region)
         if schedule is None:
@@ -106,6 +106,20 @@ def verify_compiled(compiled: CompiledProgram, benchmark: str = "",
                 f"segment {seg_index} (region {segment.region}) has no "
                 f"schedule", location))
             continue
+        if schedule.pipelined_interval is not None:
+            # a software-pipelined schedule overlaps loop iterations, so it
+            # is only meaningful for the sole body of a repeating innermost
+            # loop — only this walk knows the loop context, hence the check
+            # lives here rather than in check_schedule
+            innermost = loops[-1] if loops else None
+            if (innermost is None or innermost.trip_count <= 1
+                    or len(innermost.body) != 1
+                    or innermost.body[0] is not segment):
+                report.add(diag(
+                    "REP209",
+                    f"segment {seg_index} (region {segment.region}) carries "
+                    f"a software-pipelined schedule but is not the sole body "
+                    f"of a repeating innermost loop", location))
         report.extend(check_schedule(schedule, config, latency_model,
                                      location))
     return report
@@ -156,7 +170,8 @@ def _verification_key(compiled: CompiledProgram,
             entry_keys.append((position, entry.cycle, entry.occupancy,
                                entry.assumed_latency))
         parts.append((segment.region, schedule.config_name,
-                      schedule.recurrence_interval, tuple(entry_keys)))
+                      schedule.recurrence_interval,
+                      schedule.pipelined_interval, tuple(entry_keys)))
     if program_fingerprint is None:
         program_fingerprint = fingerprint_program(compiled.program)
     return (program_fingerprint, compiled.config,
@@ -203,14 +218,16 @@ def analyze_benchmarks(names: Sequence[str],
                        config_names: Optional[Sequence[str]] = None,
                        tiny: bool = False,
                        progress: Optional[Callable[[str], None]] = None,
+                       strategies: Sequence[str] = ("baseline",),
                        ) -> DiagnosticReport:
-    """Lint + verify every (benchmark, configuration) pair.
+    """Lint + verify every (benchmark, configuration, strategy) triple.
 
     For each benchmark every requested configuration compiles the program
     flavour it would actually execute (the same pairing the experiment
-    runner uses), and the compiled result is fully verified.  Flavours no
-    configuration selects are still linted standalone so REP1xx findings
-    cannot hide in an unexecuted program version.
+    runner uses) under every requested scheduler strategy, and the compiled
+    result is fully verified.  Flavours no configuration selects are still
+    linted standalone so REP1xx findings cannot hide in an unexecuted
+    program version.
     """
     from repro.compiler.cache import compile_cached
     from repro.machine.config import PAPER_CONFIG_ORDER, get_config
@@ -226,14 +243,16 @@ def analyze_benchmarks(names: Sequence[str],
         for config in configs:
             program = spec.program_for(config)
             analyzed_flavors.add(program.flavor)
-            compiled = compile_cached(program, config)
-            before = len(report)
-            verify_compiled(compiled, benchmark=name, report=report)
-            if progress is not None:
-                found = len(report) - before
-                note = f" ({found} finding(s))" if found else ""
-                progress(f"{name} × {config.name}: "
-                         f"{program.flavor.value}{note}")
+            for strategy in strategies:
+                compiled = compile_cached(program, config, strategy=strategy)
+                before = len(report)
+                verify_compiled(compiled, benchmark=name, report=report)
+                if progress is not None:
+                    found = len(report) - before
+                    note = f" ({found} finding(s))" if found else ""
+                    suffix = f" [{strategy}]" if strategy != "baseline" else ""
+                    progress(f"{name} × {config.name}: "
+                             f"{program.flavor.value}{suffix}{note}")
         for flavor, program in spec.programs.items():
             if flavor not in analyzed_flavors:
                 report.extend(lint_program(
@@ -246,11 +265,13 @@ def analyze_benchmarks(names: Sequence[str],
 def analyze_fuzz_seeds(seeds: int, start_seed: int = 0, scale: str = "tiny",
                        config_names: Sequence[str] = ("vector2-2w",),
                        progress: Optional[Callable[[str], None]] = None,
+                       strategies: Sequence[str] = ("baseline",),
                        ) -> DiagnosticReport:
     """Lint + verify the synthetic programs of ``seeds`` deterministic seeds.
 
     Every seed builds all three ISA flavours (the same programs the fuzz
-    lane compares) and verifies each on every requested configuration.
+    lane compares) and verifies each on every requested configuration and
+    scheduler strategy.
     """
     from repro.compiler.cache import compile_cached
     from repro.compiler.ir import ISAFlavor
@@ -268,14 +289,16 @@ def analyze_fuzz_seeds(seeds: int, start_seed: int = 0, scale: str = "tiny",
         for flavor in (ISAFlavor.SCALAR, ISAFlavor.USIMD, ISAFlavor.VECTOR):
             program = build_program(spec, flavor)
             for config in configs:
-                try:
-                    compiled = compile_cached(program, config)
-                except UnschedulableOperationError:
-                    # the compiler itself refuses flavour/configuration
-                    # pairs the machine cannot execute (e.g. µSIMD on a
-                    # plain VLIW) — nothing for the checker to check
-                    continue
-                verify_compiled(compiled, benchmark=label, report=report)
+                for strategy in strategies:
+                    try:
+                        compiled = compile_cached(program, config,
+                                                  strategy=strategy)
+                    except UnschedulableOperationError:
+                        # the compiler itself refuses flavour/configuration
+                        # pairs the machine cannot execute (e.g. µSIMD on a
+                        # plain VLIW) — nothing for the checker to check
+                        continue
+                    verify_compiled(compiled, benchmark=label, report=report)
         if progress is not None and (seed - start_seed) % 10 == 9:
             progress(f"analyzed {seed - start_seed + 1}/{seeds} seeds "
                      f"({len(report)} finding(s))")

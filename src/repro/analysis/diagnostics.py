@@ -133,6 +133,9 @@ CODE_CATALOG: Dict[str, Tuple[Severity, str]] = {
     "REP207": (Severity.ERROR,
                "operation cannot execute on this machine configuration"),
     "REP208": (Severity.ERROR, "operation issued at a negative cycle"),
+    "REP209": (Severity.ERROR,
+               "software-pipelined schedule violates the pipelining contract "
+               "(loop context, interval bound, or loop-carried timing)"),
     # --- REP3xx: memory-footprint lints ------------------------------------
     "REP301": (Severity.WARNING,
                "store may touch the same address as another access in the "

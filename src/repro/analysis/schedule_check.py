@@ -193,16 +193,31 @@ def check_schedule(schedule: Schedule, config: MachineConfig,
                 at(edge.consumer, consumer_op.opcode, cycles[edge.consumer])))
 
     # --- REP202: re-tally per-cycle resource usage --------------------------
+    # With a software-pipelined (modulo) schedule, every in-flight iteration
+    # contributes the same usage pattern shifted by a multiple of the II, so
+    # steady-state usage is the flat pattern folded modulo the II.
+    pipelined = schedule.pipelined_interval
+    if pipelined is not None and pipelined < 1:
+        findings.append(diag(
+            "REP209",
+            f"pipelined initiation interval {pipelined} is not positive",
+            at()))
+        pipelined = None
+
+    def fold(cycle: int) -> int:
+        return cycle % pipelined if pipelined is not None else cycle
+
     capacities = config.resource_capacities()
     usage: Dict[Tuple[str, int], int] = {}
     for entry in schedule.entries:
         index = index_of[id(entry.operation)]
-        usage[("issue", entry.cycle)] = usage.get(("issue", entry.cycle), 0) + 1
+        issue_key = ("issue", fold(entry.cycle))
+        usage[issue_key] = usage.get(issue_key, 0) + 1
         demand = demands.get(index)
         if demand is not None:
             resource, busy = demand
             for offset in range(max(1, busy)):
-                key = (resource, entry.cycle + offset)
+                key = (resource, fold(entry.cycle + offset))
                 usage[key] = usage.get(key, 0) + 1
     reported: set = set()
     for (resource, cycle), used in sorted(usage.items()):
@@ -223,4 +238,59 @@ def check_schedule(schedule: Schedule, config: MachineConfig,
             f"recurrence interval {schedule.recurrence_interval} is below "
             f"the loop-carried bound {bound}", at()))
 
+    # --- REP209: software-pipelining contract -------------------------------
+    if pipelined is not None:
+        if pipelined < bound:
+            findings.append(diag(
+                "REP209",
+                f"pipelined initiation interval {pipelined} is below the "
+                f"loop-carried recurrence bound {bound}", at()))
+        findings.extend(_check_carried_timing(schedule, seg_ops, cycles,
+                                              pipelined, config,
+                                              latency_model, at))
+
+    return findings
+
+
+def _check_carried_timing(schedule: Schedule, seg_ops: List[Operation],
+                          cycles: Dict[int, int], interval: int,
+                          config: MachineConfig,
+                          latency_model: LatencyModel, at) -> List[Diagnostic]:
+    """Cross-iteration RAW timing of a modulo schedule (REP209).
+
+    A read of a loop-carried register's *incoming* value — one with no
+    earlier write in the same iteration — consumes what the previous
+    iteration's last write produced.  Overlapped iterations start
+    ``interval`` cycles apart, so the write at flat cycle ``w`` with result
+    latency ``L`` must satisfy ``w + L <= p + interval`` for every such
+    read at flat cycle ``p``.  Derived straight from the IR and the latency
+    model, independently of what the scheduler believed.
+    """
+    findings: List[Diagnostic] = []
+    last_write: Dict[int, int] = {}
+    for index, op in enumerate(seg_ops):
+        for dest in op.dests:
+            last_write[dest.ident] = index
+    written: set = set()
+    for index, op in enumerate(seg_ops):
+        for src in op.srcs:
+            if src.ident in written:
+                continue
+            writer = last_write.get(src.ident)
+            if writer is None:
+                continue
+            latency = latency_model.result_latency(
+                seg_ops[writer].opcode, seg_ops[writer].vector_length, config)
+            ready = cycles[writer] + latency
+            available = cycles[index] + interval
+            if ready > available:
+                findings.append(diag(
+                    "REP209",
+                    f"carried value of {src!r} is produced by operation "
+                    f"{writer} ({seg_ops[writer].opcode}) at cycle "
+                    f"{cycles[writer]}+{latency} but the next iteration "
+                    f"reads it at cycle {cycles[index]}+II({interval})",
+                    at(index, op.opcode, cycles[index])))
+        for dest in op.dests:
+            written.add(dest.ident)
     return findings

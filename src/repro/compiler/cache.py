@@ -182,7 +182,8 @@ def _rebind(compiled: CompiledProgram, program: KernelProgram) -> CompiledProgra
         ]
         fresh.schedules[id(new_seg)] = Schedule(
             segment=new_seg, config_name=schedule.config_name, entries=entries,
-            recurrence_interval=schedule.recurrence_interval)
+            recurrence_interval=schedule.recurrence_interval,
+            pipelined_interval=schedule.pipelined_interval)
     return fresh
 
 
@@ -214,8 +215,18 @@ class CompileCache:
 
     def get(self, program: KernelProgram, config: MachineConfig,
             latency_model: Optional[LatencyModel] = None,
-            verify: Optional[bool] = None) -> CompiledProgram:
+            verify: Optional[bool] = None,
+            strategy: str = "baseline") -> CompiledProgram:
         """The compiled form of ``program`` on ``config`` (compiling on miss).
+
+        ``strategy`` joins both cache keys: every key is a 4-tuple ending in
+        the strategy name, so legacy 3-tuple keys (pre-strategy pickles or
+        hand-seeded entries) can never satisfy a strategy-aware lookup — a
+        stale baseline schedule is structurally unable to answer for a
+        ``strategy="modulo"`` request.  Transforming strategies (unrolling)
+        skip the content tier entirely: their compiled result holds a
+        *different* program, so positional rebinding onto a structurally
+        identical original would silently undo the transform.
 
         ``verify`` follows the same three-state contract as
         :func:`repro.compiler.scheduler.compile_program` (``None`` defers to
@@ -234,7 +245,7 @@ class CompileCache:
         latency_fp = _latency_table_key(latency_model)
         # the frozen MachineConfig hashes by value, so same-name variants
         # derived with dataclasses.replace / with_memory key separately
-        identity_key = (id(program), config, latency_fp)
+        identity_key = (id(program), config, latency_fp, strategy)
         cached = self._by_identity.get(identity_key)
         if cached is not None:
             self._by_identity.move_to_end(identity_key)
@@ -242,25 +253,36 @@ class CompileCache:
             self._maybe_verify(cached, verify)
             return cached
 
+        transforms = False
+        if strategy != "baseline":
+            from repro.compiler.strategies import get_strategy
+            transforms = get_strategy(strategy).transforms_program
+
         program_fp = fingerprint_program(program)
-        content_key = (program_fp, fingerprint_config(config), latency_fp)
-        cached = self._by_content.get(content_key)
-        if cached is not None:
-            self._by_content.move_to_end(content_key)
-            self.stats.hits += 1
-            self.stats.rebinds += 1
-            rebound = _rebind(cached, program)
-            self._maybe_verify(rebound, verify, program_fp)
-            self._remember(identity_key, content_key, rebound)
-            return rebound
+        content_key = (program_fp, fingerprint_config(config), latency_fp,
+                       strategy)
+        if not transforms:
+            cached = self._by_content.get(content_key)
+            if cached is not None:
+                self._by_content.move_to_end(content_key)
+                self.stats.hits += 1
+                self.stats.rebinds += 1
+                rebound = _rebind(cached, program)
+                self._maybe_verify(rebound, verify, program_fp)
+                self._remember(identity_key, content_key, rebound)
+                return rebound
 
         self.stats.misses += 1
         # verify here rather than inside compile_program so the analyzer's
         # pass-memo can reuse the program fingerprint this lookup computed
         compiled = compile_program(program, config, latency_model,
-                                   verify=False)
-        self._maybe_verify(compiled, verify, program_fp)
-        self._remember(identity_key, content_key, compiled)
+                                   verify=False, strategy=strategy)
+        # a transformed result's program is not the argument, so the
+        # argument's fingerprint must not stamp its verification memo
+        self._maybe_verify(compiled, verify,
+                           None if transforms else program_fp)
+        self._remember(identity_key, None if transforms else content_key,
+                       compiled)
         return compiled
 
     @staticmethod
@@ -279,6 +301,9 @@ class CompileCache:
         self._by_identity.move_to_end(identity_key)
         while len(self._by_identity) > self.max_entries:
             self._by_identity.popitem(last=False)
+        if content_key is None:
+            # transforming strategies are identity-cached only (no rebind)
+            return
         if content_key not in self._by_content:
             self._by_content[content_key] = compiled
         self._by_content.move_to_end(content_key)
@@ -307,14 +332,17 @@ GLOBAL_COMPILE_CACHE = CompileCache()
 def compile_cached(program: KernelProgram, config: MachineConfig,
                    latency_model: Optional[LatencyModel] = None,
                    cache: Optional[CompileCache] = None,
-                   verify: Optional[bool] = None) -> CompiledProgram:
+                   verify: Optional[bool] = None,
+                   strategy: str = "baseline") -> CompiledProgram:
     """Schedule ``program`` for ``config`` through a compile cache.
 
     Drop-in replacement for
     :func:`repro.compiler.scheduler.compile_program`; pass ``cache=None``
     (the default) to share :data:`GLOBAL_COMPILE_CACHE`.  ``verify``
     post-checks the result (including cache-rebound schedules) with the
-    static analyzer; ``None`` defers to ``REPRO_VERIFY``.
+    static analyzer; ``None`` defers to ``REPRO_VERIFY``.  ``strategy``
+    selects a registered scheduler strategy and is part of the cache key.
     """
     target = cache if cache is not None else GLOBAL_COMPILE_CACHE
-    return target.get(program, config, latency_model, verify=verify)
+    return target.get(program, config, latency_model, verify=verify,
+                      strategy=strategy)

@@ -44,6 +44,8 @@ from repro.machine.resources import (
 __all__ = [
     "ScheduledOperation",
     "Schedule",
+    "SegmentTiming",
+    "segment_timing",
     "schedule_segment",
     "MemoryOpSummary",
     "SegmentSummary",
@@ -74,12 +76,21 @@ class ScheduledOperation:
 
 @dataclass
 class Schedule:
-    """Static schedule of one segment on one machine configuration."""
+    """Static schedule of one segment on one machine configuration.
+
+    ``pipelined_interval`` is set by the modulo-scheduling strategy
+    (:mod:`repro.compiler.strategies`): entry cycles then remain the *flat*
+    single-iteration placement (dependence distances stay meaningful), while
+    consecutive iterations are initiated every ``pipelined_interval`` cycles
+    with their resource usage folded modulo that interval.  ``None`` (the
+    default) means a conventional non-overlapped schedule.
+    """
 
     segment: Segment
     config_name: str
     entries: List[ScheduledOperation] = field(default_factory=list)
     recurrence_interval: int = 0
+    pipelined_interval: Optional[int] = None
 
     @property
     def issue_makespan(self) -> int:
@@ -93,8 +104,12 @@ class Schedule:
         """Cycles between the starts of consecutive iterations of the segment.
 
         Bounded below by the loop-carried recurrences of the segment (e.g. a
-        packed accumulator that every iteration both reads and writes).
+        packed accumulator that every iteration both reads and writes).  A
+        software-pipelined schedule overlaps iterations, so its interval is
+        the modulo-scheduling II rather than the flat issue makespan.
         """
+        if self.pipelined_interval is not None:
+            return max(self.pipelined_interval, self.recurrence_interval)
         return max(self.issue_makespan, self.recurrence_interval)
 
     @property
@@ -173,26 +188,41 @@ def _priorities(graph: DependenceGraph, config: MachineConfig,
     return priority
 
 
-def schedule_segment(segment: Segment, config: MachineConfig,
-                     latency_model: Optional[LatencyModel] = None) -> Schedule:
-    """List-schedule one segment for ``config``.
+@dataclass
+class SegmentTiming:
+    """Resolved per-operation timing facts of one segment.
 
-    Operations are chosen greedily by critical-path priority among the ready
-    set and placed at the earliest cycle where both their dependences and
-    their resource requests are satisfied.
+    Shared by the baseline list scheduler below and the alternative
+    strategies in :mod:`repro.compiler.strategies`, so every scheduling
+    algorithm works from the *same* dependence distances and priorities —
+    the independent verifier reconstructs the same facts from the IR, so any
+    divergence here would surface as REP201 findings.
+    """
+
+    ops: List[Operation]
+    result_lat: List[int]
+    latest_read: List[int]
+    occupancy: List[int]
+    #: per producer: list of (consumer index, minimum issue distance)
+    successors: List[List[Tuple[int, int]]]
+    indegree: List[int]
+    #: critical-path-to-sink priority (higher = schedule first)
+    priority: List[int]
+    #: loop-carried recurrence bound on the initiation interval
+    recurrence: int
+
+
+def segment_timing(segment: Segment, config: MachineConfig,
+                   latency_model: LatencyModel) -> SegmentTiming:
+    """Resolve dependence distances, priorities and the recurrence bound.
 
     Timing facts (latencies, occupancies, edge weights) are resolved once per
     operation/edge up front — the latency model memoises per configuration,
-    so the inner loop is pure integer bookkeeping plus reservation-table
-    probes.
+    so scheduling inner loops are pure integer bookkeeping plus
+    reservation-table probes.
     """
-    latency_model = latency_model or LatencyModel()
     ops = list(segment.operations)
-    if not ops:
-        return Schedule(segment=segment, config_name=config.name, entries=[])
-
     graph = build_dependence_graph(segment)
-    table = ReservationTable(capacities_for(config))
     count = len(ops)
 
     # per-operation timing facts, resolved once
@@ -239,6 +269,40 @@ def schedule_segment(segment: Segment, config: MachineConfig,
                 best = candidate
         priority[index] = best
 
+    # loop-carried recurrence bound on the initiation interval
+    recurrence = 0
+    for reg, (writer_index, reg_class) in loop_carried_registers(segment).items():
+        if result_lat[writer_index] > recurrence:
+            recurrence = result_lat[writer_index]
+
+    return SegmentTiming(ops=ops, result_lat=result_lat,
+                         latest_read=latest_read, occupancy=occupancy,
+                         successors=successors, indegree=indegree,
+                         priority=priority, recurrence=recurrence)
+
+
+def schedule_segment(segment: Segment, config: MachineConfig,
+                     latency_model: Optional[LatencyModel] = None) -> Schedule:
+    """List-schedule one segment for ``config``.
+
+    Operations are chosen greedily by critical-path priority among the ready
+    set and placed at the earliest cycle where both their dependences and
+    their resource requests are satisfied.
+    """
+    latency_model = latency_model or LatencyModel()
+    if not segment.operations:
+        return Schedule(segment=segment, config_name=config.name, entries=[])
+
+    timing = segment_timing(segment, config, latency_model)
+    ops = timing.ops
+    count = len(ops)
+    table = ReservationTable(capacities_for(config))
+    occupancy = timing.occupancy
+    result_lat = timing.result_lat
+    successors = timing.successors
+    indegree = list(timing.indegree)
+    priority = timing.priority
+
     # highest priority first; ties broken by program order for stability
     heap = [(-priority[i], i) for i in range(count) if indegree[i] == 0]
     heapq.heapify(heap)
@@ -272,15 +336,9 @@ def schedule_segment(segment: Segment, config: MachineConfig,
     if scheduled_count < count:  # pragma: no cover - graph is a DAG by construction
         raise RuntimeError("scheduler deadlock: no ready operations")
 
-    # loop-carried recurrence bound on the initiation interval
-    recurrence = 0
-    for reg, (writer_index, reg_class) in loop_carried_registers(segment).items():
-        if result_lat[writer_index] > recurrence:
-            recurrence = result_lat[writer_index]
-
     entries = [placed[i] for i in range(count)]
     return Schedule(segment=segment, config_name=config.name, entries=entries,
-                    recurrence_interval=recurrence)
+                    recurrence_interval=timing.recurrence)
 
 
 @dataclass(frozen=True)
@@ -375,8 +433,16 @@ class CompiledProgram:
 
 def compile_program(program: KernelProgram, config: MachineConfig,
                     latency_model: Optional[LatencyModel] = None,
-                    verify: Optional[bool] = None) -> CompiledProgram:
+                    verify: Optional[bool] = None,
+                    strategy: str = "baseline") -> CompiledProgram:
     """Schedule every segment of ``program`` for ``config``.
+
+    ``strategy`` names a registered scheduling strategy
+    (:mod:`repro.compiler.strategies`); the default ``"baseline"`` is the
+    in-order list scheduler above and takes no detour through the registry.
+    Note that a transforming strategy (loop unrolling) returns a
+    :class:`CompiledProgram` whose ``program`` is the *transformed* IR, not
+    the argument.
 
     ``verify=True`` runs the independent static analyzer
     (:func:`repro.analysis.check_or_raise`) over the result and raises
@@ -386,10 +452,15 @@ def compile_program(program: KernelProgram, config: MachineConfig,
     touching call sites.
     """
     latency_model = latency_model or LatencyModel()
-    compiled = CompiledProgram(program=program, config=config,
-                               latency_model=latency_model)
-    for segment, _ in program.walk_segments():
-        compiled.schedules[id(segment)] = schedule_segment(segment, config, latency_model)
+    if strategy != "baseline":
+        # imported lazily: the strategies module imports this one
+        from repro.compiler.strategies import get_strategy
+        compiled = get_strategy(strategy).compile(program, config, latency_model)
+    else:
+        compiled = CompiledProgram(program=program, config=config,
+                                   latency_model=latency_model)
+        for segment, _ in program.walk_segments():
+            compiled.schedules[id(segment)] = schedule_segment(segment, config, latency_model)
     if verify is not False:
         # imported lazily: repro.analysis imports this module
         from repro.analysis.analyzer import check_or_raise, verification_enabled

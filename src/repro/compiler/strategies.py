@@ -1,0 +1,766 @@
+"""Composable scheduler strategies: slot packing, unrolling, modulo scheduling.
+
+The baseline compiler (:mod:`repro.compiler.scheduler`) emits a greedy list
+schedule per segment.  This module adds a registry of *scheduler strategies*
+— mirroring ``register_config`` / ``register_workload`` — that trade compile
+time for schedule quality along the classic ILP axes:
+
+``baseline``
+    The list scheduler, unchanged.  Registered so ``--strategy`` flags have
+    a uniform vocabulary; :func:`repro.compiler.scheduler.compile_program`
+    short-circuits it without consulting this registry.
+``packed``
+    Dependency-aware slot packing: a cycle-driven greedy scheduler that at
+    each cycle fills issue slots / units / ports from the *whole* ready
+    list (critical-path priority order) instead of placing operations in
+    program order.  Per segment the packed and baseline schedules are both
+    built and the shorter one kept, so ``cycles(packed) <= cycles(baseline)``
+    holds unconditionally.
+``unroll``
+    Loop unrolling by a configurable factor: the innermost loops of the
+    program are rewritten (replicated bodies, affine addresses re-derived,
+    write-first registers renamed per replica through fresh virtual
+    registers) and the transformed program is slot-packed.  A remainder
+    loop covers trips not divisible by the factor.  The factor is halved
+    until the transformed program passes
+    :func:`repro.compiler.regalloc.check_register_pressure`; factor 1 is
+    the identity and yields a schedule identical to baseline.
+``modulo``
+    Modulo scheduling (software pipelining) of innermost-loop bodies: a
+    candidate initiation interval II is searched upward from
+    ``max(RecMII, ResMII)`` — the verifier's recurrence bound (REP206) and
+    the resource bound derived from the same
+    :func:`~repro.machine.resources.requests_for` facts the reservation
+    table enforces — and operations are placed greedily with resource usage
+    folded modulo II.  Segments that are not the sole body of a repeating
+    innermost loop, or whose memory accesses could alias across
+    iterations, fall back to the packed choice, as does any segment where
+    no II below the flat interval admits a legal placement.
+
+Strategy-emitted schedules remain ordinary :class:`Schedule` objects —
+modulo schedules keep their *flat* single-iteration placement in the entry
+cycles and record the II in ``pipelined_interval`` — so the independent
+verifier (:mod:`repro.analysis`) checks every strategy with the same
+machinery (plus the REP209 pipelining contract).
+
+A transforming strategy (``unroll``) returns a :class:`CompiledProgram`
+whose ``program`` attribute is the rewritten IR; execution engines consume
+that program, which is how functional equivalence (identical per-region
+operation / micro-op / memory-access totals) is preserved by construction.
+The compile cache must not rebind such results across program objects —
+see ``transforms_program`` and :mod:`repro.compiler.cache`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.compiler.dataflow import loop_carried_registers
+from repro.compiler.ir import (
+    AddressExpr,
+    KernelProgram,
+    LoopNode,
+    LoopVar,
+    Operation,
+    ProgramNode,
+    Segment,
+    VirtualRegister,
+)
+from repro.compiler.regalloc import check_register_pressure
+from repro.compiler.scheduler import (
+    CompiledProgram,
+    Schedule,
+    ScheduledOperation,
+    SegmentTiming,
+    schedule_segment,
+    segment_timing,
+)
+from repro.machine.config import MachineConfig
+from repro.machine.latency import LatencyModel
+from repro.machine.resources import (
+    ReservationTable,
+    ResourceRequest,
+    capacities_for,
+    requests_for,
+)
+
+__all__ = [
+    "SchedulerStrategy",
+    "BaselineStrategy",
+    "PackedStrategy",
+    "UnrollStrategy",
+    "ModuloStrategy",
+    "register_strategy",
+    "get_strategy",
+    "strategy_names",
+    "DEFAULT_STRATEGY",
+]
+
+#: Name of the strategy every API defaults to.
+DEFAULT_STRATEGY = "baseline"
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+class SchedulerStrategy:
+    """Base class of a registered scheduling strategy.
+
+    ``transforms_program`` marks strategies whose compiled result holds a
+    *different* program object than the argument (e.g. the unroller); the
+    compile cache disables content-hash rebinding for those, because
+    positional schedule transfer onto the original program would be wrong.
+    """
+
+    name: str = ""
+    transforms_program: bool = False
+
+    def compile(self, program: KernelProgram, config: MachineConfig,
+                latency_model: LatencyModel) -> CompiledProgram:
+        raise NotImplementedError
+
+
+_REGISTRY: "Dict[str, SchedulerStrategy]" = {}
+
+
+def register_strategy(strategy: SchedulerStrategy,
+                      overwrite: bool = False) -> SchedulerStrategy:
+    """Register ``strategy`` under its ``name`` (mirrors ``register_config``)."""
+    if not strategy.name:
+        raise ValueError("strategy needs a non-empty name")
+    if strategy.name in _REGISTRY and not overwrite:
+        raise ValueError(f"strategy {strategy.name!r} is already registered")
+    _REGISTRY[strategy.name] = strategy
+    return strategy
+
+
+def get_strategy(name: str) -> SchedulerStrategy:
+    """Look up a registered strategy by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown scheduler strategy {name!r} "
+                       f"(registered: {known})") from None
+
+
+def strategy_names() -> Tuple[str, ...]:
+    """Registered strategy names, default first, then registration order."""
+    names = [DEFAULT_STRATEGY]
+    names.extend(name for name in _REGISTRY if name != DEFAULT_STRATEGY)
+    return tuple(names)
+
+
+# ---------------------------------------------------------------------------
+# Dependency-aware slot packing
+# ---------------------------------------------------------------------------
+
+#: Safety bound for the cycle-driven packer (mirrors ReservationTable's
+#: earliest-fit horizon; reaching it means a pathologically congested
+#: segment, not a normal schedule).
+_PACK_CYCLE_LIMIT = 100_000
+
+
+def _operation_requests(timing: SegmentTiming, config: MachineConfig,
+                        latency_model: LatencyModel,
+                        ) -> List[Sequence[ResourceRequest]]:
+    return [requests_for(op.opcode, op.vector_length, config, latency_model)
+            for op in timing.ops]
+
+
+def pack_segment(segment: Segment, config: MachineConfig,
+                 latency_model: Optional[LatencyModel] = None) -> Schedule:
+    """Cycle-driven greedy packing of one segment.
+
+    Where the baseline scheduler places one operation at a time at its own
+    earliest feasible cycle, the packer walks cycles and at each one issues
+    every ready operation (highest critical-path priority first) whose
+    resource requests still fit — filling the issue slots across the whole
+    ready list before moving on.
+    """
+    latency_model = latency_model or LatencyModel()
+    if not segment.operations:
+        return Schedule(segment=segment, config_name=config.name, entries=[])
+    timing = segment_timing(segment, config, latency_model)
+    ops = timing.ops
+    count = len(ops)
+    requests = _operation_requests(timing, config, latency_model)
+    table = ReservationTable(capacities_for(config))
+    indegree = list(timing.indegree)
+    earliest = [0] * count
+    ready = {i for i in range(count) if indegree[i] == 0}
+    placed: List[Optional[ScheduledOperation]] = [None] * count
+    remaining = count
+    cycle = 0
+    while remaining:
+        progress = True
+        while progress:
+            progress = False
+            candidates = sorted((i for i in ready if earliest[i] <= cycle),
+                                key=lambda i: (-timing.priority[i], i))
+            for index in candidates:
+                if not table.fits(cycle, requests[index]):
+                    continue
+                table.reserve(cycle, requests[index], verified=True)
+                placed[index] = ScheduledOperation(
+                    operation=ops[index], cycle=cycle,
+                    occupancy=timing.occupancy[index],
+                    assumed_latency=timing.result_lat[index])
+                ready.discard(index)
+                remaining -= 1
+                progress = True
+                for consumer, latency in timing.successors[index]:
+                    bound = cycle + latency
+                    if bound > earliest[consumer]:
+                        earliest[consumer] = bound
+                    indegree[consumer] -= 1
+                    if indegree[consumer] == 0:
+                        ready.add(consumer)
+        cycle += 1
+        if cycle > _PACK_CYCLE_LIMIT:  # pragma: no cover - defensive
+            raise RuntimeError("slot packer exceeded its cycle horizon")
+    entries = [placed[i] for i in range(count)]
+    return Schedule(segment=segment, config_name=config.name, entries=entries,
+                    recurrence_interval=timing.recurrence)
+
+
+def best_flat_schedule(segment: Segment, config: MachineConfig,
+                       latency_model: LatencyModel) -> Schedule:
+    """The shorter of the packed and baseline schedules (baseline on ties).
+
+    Keeping the baseline schedule on ties is what makes the differential
+    guarantee ``cycles(packed) <= cycles(baseline)`` unconditional: packing
+    can only ever replace a schedule with a strictly shorter one.
+    """
+    baseline = schedule_segment(segment, config, latency_model)
+    if len(segment.operations) < 2:
+        return baseline
+    packed = pack_segment(segment, config, latency_model)
+    if packed.initiation_interval < baseline.initiation_interval:
+        return packed
+    return baseline
+
+
+class BaselineStrategy(SchedulerStrategy):
+    """The unmodified greedy list scheduler."""
+
+    name = "baseline"
+
+    def compile(self, program: KernelProgram, config: MachineConfig,
+                latency_model: LatencyModel) -> CompiledProgram:
+        compiled = CompiledProgram(program=program, config=config,
+                                   latency_model=latency_model)
+        for segment, _ in program.walk_segments():
+            compiled.schedules[id(segment)] = schedule_segment(
+                segment, config, latency_model)
+        return compiled
+
+
+class PackedStrategy(SchedulerStrategy):
+    """Dependency-aware slot packing (never worse than baseline)."""
+
+    name = "packed"
+
+    def compile(self, program: KernelProgram, config: MachineConfig,
+                latency_model: LatencyModel) -> CompiledProgram:
+        compiled = CompiledProgram(program=program, config=config,
+                                   latency_model=latency_model)
+        for segment, _ in program.walk_segments():
+            compiled.schedules[id(segment)] = best_flat_schedule(
+                segment, config, latency_model)
+        return compiled
+
+
+# ---------------------------------------------------------------------------
+# Loop unrolling
+# ---------------------------------------------------------------------------
+
+def _write_first_registers(segment: Segment) -> Dict[int, VirtualRegister]:
+    """Registers whose first access in the segment is a write.
+
+    These are the per-iteration temporaries; renaming them per replica
+    removes the false WAW/WAR serialization between unrolled copies.
+    Read-first registers (loop-carried accumulators, live-in values) stay
+    shared so replicas chain through them like consecutive iterations do.
+    """
+    first_access: Dict[int, Tuple[str, VirtualRegister]] = {}
+    for op in segment.operations:
+        for src in op.srcs:
+            first_access.setdefault(src.ident, ("r", src))
+        for dest in op.dests:
+            first_access.setdefault(dest.ident, ("w", dest))
+    return {ident: reg for ident, (kind, reg) in first_access.items()
+            if kind == "w"}
+
+
+def _remap_address(address: Optional[AddressExpr], inner_var: LoopVar,
+                   new_var: LoopVar, scale: int,
+                   offset_iterations: int) -> Optional[AddressExpr]:
+    """Re-derive an affine address for iteration ``scale*j + offset``.
+
+    ``offset_iterations`` is expressed in original-loop iterations; any term
+    over the original induction variable is rescaled onto the new one and
+    its contribution for the constant offset folded into the base.
+    """
+    if address is None:
+        return None
+    base = address.base
+    terms: List[Tuple[LoopVar, int]] = []
+    for var, coef in address.terms:
+        if var == inner_var:
+            base += coef * offset_iterations
+            if coef * scale != 0:
+                terms.append((new_var, coef * scale))
+        else:
+            terms.append((var, coef))
+    return AddressExpr(base=base, terms=tuple(terms),
+                       wrap_bytes=address.wrap_bytes)
+
+
+def _replica_operation(op: Operation, inner_var: LoopVar, new_var: LoopVar,
+                       scale: int, offset_iterations: int,
+                       rename: Dict[int, VirtualRegister]) -> Operation:
+    return Operation(
+        opcode=op.opcode,
+        dests=tuple(rename.get(reg.ident, reg) for reg in op.dests),
+        srcs=tuple(rename.get(reg.ident, reg) for reg in op.srcs),
+        address=_remap_address(op.address, inner_var, new_var, scale,
+                               offset_iterations),
+        stride_bytes=op.stride_bytes,
+        vector_length=op.vector_length,
+        subwords=op.subwords,
+        comment=op.comment,
+    )
+
+
+def _unrollable(loop: LoopNode) -> bool:
+    """True when ``loop`` is an innermost single-segment loop we can unroll.
+
+    Data-dependent (``wrap_bytes``) addresses that reference the induction
+    variable are excluded: their variable part is reduced modulo the table
+    span *before* the base is added, so folding a replica offset into the
+    base would change which bytes are touched.
+    """
+    if loop.trip_count < 2 or len(loop.body) != 1:
+        return False
+    body = loop.body[0]
+    if not isinstance(body, Segment) or not body.operations:
+        return False
+    for op in body.operations:
+        address = op.address
+        if (address is not None and address.wrap_bytes
+                and any(var == loop.var for var in address.variables)):
+            return False
+    return True
+
+
+def _unroll_loop(loop: LoopNode, factor: int) -> List[ProgramNode]:
+    """Unrolled replacement nodes for one eligible loop."""
+    segment: Segment = loop.body[0]
+    unroll = min(factor, loop.trip_count)
+    main_trips = loop.trip_count // unroll
+    remainder = loop.trip_count - main_trips * unroll
+    renameable = _write_first_registers(segment)
+    nodes: List[ProgramNode] = []
+
+    if main_trips:
+        new_var = LoopVar.fresh(f"{loop.var.name}u")
+        operations: List[Operation] = []
+        for replica in range(unroll):
+            rename: Dict[int, VirtualRegister] = {}
+            if replica:
+                rename = {
+                    ident: VirtualRegister.fresh(
+                        reg.reg_class, f"{reg.name}_u{replica}")
+                    for ident, reg in renameable.items()
+                }
+            for op in segment.operations:
+                operations.append(_replica_operation(
+                    op, loop.var, new_var, unroll, replica, rename))
+        body = Segment(operations=operations, region=segment.region,
+                       label=f"{segment.label or segment.region}*{unroll}")
+        nodes.append(LoopNode(var=new_var, trip_count=main_trips, body=[body],
+                              region=loop.region, label=loop.label))
+
+    if remainder:
+        rem_var = LoopVar.fresh(f"{loop.var.name}r")
+        done = main_trips * unroll
+        operations = [
+            _replica_operation(op, loop.var, rem_var, 1, done, {})
+            for op in segment.operations
+        ]
+        body = Segment(operations=operations, region=segment.region,
+                       label=f"{segment.label or segment.region}%{unroll}")
+        nodes.append(LoopNode(var=rem_var, trip_count=remainder, body=[body],
+                              region=loop.region, label=loop.label))
+    return nodes
+
+
+def _unroll_nodes(nodes: Sequence[ProgramNode], factor: int,
+                  keep) -> Tuple[List[ProgramNode], bool]:
+    out: List[ProgramNode] = []
+    changed = False
+    for node in nodes:
+        if isinstance(node, LoopNode):
+            if _unrollable(node):
+                replacement = _unroll_loop(node, factor)
+                if keep is None or keep(node, replacement):
+                    out.extend(replacement)
+                    changed = True
+                    continue
+            else:
+                body, inner_changed = _unroll_nodes(node.body, factor, keep)
+                if inner_changed:
+                    node = LoopNode(var=node.var, trip_count=node.trip_count,
+                                    body=body, region=node.region,
+                                    label=node.label)
+                    changed = True
+        out.append(node)
+    return out, changed
+
+
+def unroll_program(program: KernelProgram, factor: int,
+                   keep=None) -> KernelProgram:
+    """Unroll every eligible innermost loop of ``program`` by ``factor``.
+
+    ``keep(loop, replacement_nodes) -> bool`` (optional) vetoes individual
+    replacements — the strategy uses it to keep only loops the unrolled
+    schedule actually speeds up.  Returns ``program`` itself (same object)
+    when the factor is 1 or no loop is rewritten, so callers can detect the
+    identity transform.
+    """
+    if factor < 2:
+        return program
+    body, changed = _unroll_nodes(program.body, factor, keep)
+    if not changed:
+        return program
+    return KernelProgram(name=program.name, flavor=program.flavor, body=body,
+                         regions=program.regions,
+                         address_space=program.address_space)
+
+
+class UnrollStrategy(SchedulerStrategy):
+    """Unroll innermost loops, then slot-pack the widened bodies.
+
+    The unroll factor is halved until the transformed program fits the
+    target's register files; factor 1 degenerates to the baseline schedule
+    of the untouched program (the property the fuzz lane pins down).
+    """
+
+    transforms_program = True
+
+    def __init__(self, factor: int = 4, name: str = "unroll") -> None:
+        if factor < 1:
+            raise ValueError("unroll factor must be >= 1")
+        self.factor = factor
+        self.name = name
+
+    def compile(self, program: KernelProgram, config: MachineConfig,
+                latency_model: LatencyModel) -> CompiledProgram:
+
+        def loop_cycles(node: LoopNode) -> int:
+            schedule = best_flat_schedule(node.body[0], config, latency_model)
+            return schedule.initiation_interval * node.trip_count
+
+        def keep(loop: LoopNode, replacement: List[ProgramNode]) -> bool:
+            # per-loop profitability: only replace a loop when the unrolled
+            # schedule models strictly fewer cycles (remainder included), so
+            # unrolling never regresses a benchmark
+            return sum(loop_cycles(node) for node in replacement) < loop_cycles(loop)
+
+        factor = self.factor
+        transformed = program
+        while factor > 1:
+            candidate = unroll_program(program, factor, keep)
+            if candidate is program:
+                break
+            if check_register_pressure(candidate, config).ok:
+                transformed = candidate
+                break
+            factor //= 2
+        compiled = CompiledProgram(program=transformed, config=config,
+                                   latency_model=latency_model)
+        if transformed is program:
+            # identity transform: schedule-identical to baseline
+            for segment, _ in transformed.walk_segments():
+                compiled.schedules[id(segment)] = schedule_segment(
+                    segment, config, latency_model)
+            return compiled
+        for segment, _ in transformed.walk_segments():
+            compiled.schedules[id(segment)] = best_flat_schedule(
+                segment, config, latency_model)
+        return compiled
+
+
+# ---------------------------------------------------------------------------
+# Modulo scheduling (software pipelining)
+# ---------------------------------------------------------------------------
+
+class _ModuloReservationTable:
+    """Resource usage folded modulo a candidate initiation interval.
+
+    A request of duration ``d`` starting at flat cycle ``c`` loads residues
+    ``(c .. c+d-1) mod II``; durations beyond II wrap around and stack, so
+    demand is accumulated per residue before comparing against capacity.
+    """
+
+    def __init__(self, capacities: Dict, interval: int) -> None:
+        self.interval = interval
+        self._capacities = capacities
+        self._usage = {kind: [0] * interval for kind in capacities}
+
+    def _demand(self, cycle: int, request: ResourceRequest) -> List[int]:
+        demand = [0] * self.interval
+        for offset in range(request.duration):
+            demand[(cycle + offset) % self.interval] += request.count
+        return demand
+
+    def fits(self, cycle: int, requests: Sequence[ResourceRequest]) -> bool:
+        for request in requests:
+            capacity = self._capacities.get(request.kind, 0)
+            usage = self._usage[request.kind]
+            for slot, need in enumerate(self._demand(cycle, request)):
+                if need and usage[slot] + need > capacity:
+                    return False
+        return True
+
+    def reserve(self, cycle: int, requests: Sequence[ResourceRequest]) -> None:
+        for request in requests:
+            usage = self._usage[request.kind]
+            for slot, need in enumerate(self._demand(cycle, request)):
+                usage[slot] += need
+
+    @property
+    def capacities(self) -> Dict:
+        return self._capacities
+
+
+def resource_minimum_interval(requests: Sequence[Sequence[ResourceRequest]],
+                              capacities: Dict) -> int:
+    """ResMII: per resource kind, ceil(total demand / capacity)."""
+    totals: Dict = {}
+    for op_requests in requests:
+        for request in op_requests:
+            totals[request.kind] = (totals.get(request.kind, 0)
+                                    + request.duration * request.count)
+    bound = 1
+    for kind, total in totals.items():
+        capacity = capacities.get(kind, 0)
+        if capacity <= 0:
+            continue  # unschedulable resources surface via requests_for
+        bound = max(bound, -(-total // capacity))
+    return bound
+
+
+def _split_address(address: AddressExpr,
+                   inner_var: LoopVar) -> Tuple[int, List[Tuple[int, int]]]:
+    """Coefficient over the innermost variable + the remaining term key."""
+    coef = 0
+    rest: List[Tuple[int, int]] = []
+    for var, term_coef in address.terms:
+        if var == inner_var:
+            coef += term_coef
+        else:
+            rest.append((var.ident, term_coef))
+    return coef, sorted(rest)
+
+
+def _cross_iteration_alias(store_addr: AddressExpr, other_addr: AddressExpr,
+                           inner_var: LoopVar, trip_count: int,
+                           same_op: bool) -> bool:
+    """Could the store collide with ``other`` at a *different* iteration?
+
+    Matches the conservative disambiguation of
+    :func:`repro.compiler.dataflow._may_alias`: addresses collide when they
+    evaluate to the same byte address.  Anything data-dependent
+    (``wrap_bytes``) or non-uniform in the induction variable is treated as
+    a hazard; two uniform streams collide only when their base distance is
+    a whole number of iterations *smaller than the trip count* — distinct
+    arrays are further apart than the loop ever walks.
+    """
+    if store_addr.wrap_bytes or other_addr.wrap_bytes:
+        return True
+    store_coef, store_rest = _split_address(store_addr, inner_var)
+    other_coef, other_rest = _split_address(other_addr, inner_var)
+    if store_rest != other_rest or store_coef != other_coef:
+        return True
+    if store_coef == 0:
+        # loop-invariant pair: every iteration touches the same location
+        return same_op or store_addr.base == other_addr.base
+    if same_op:
+        return False  # one affine stream never self-collides across trips
+    delta = store_addr.base - other_addr.base
+    if delta == 0 or delta % store_coef != 0:
+        return False
+    return abs(delta // store_coef) < trip_count
+
+
+def _memory_pipelining_hazard(segment: Segment, inner: LoopNode) -> bool:
+    memory_ops = [op for op in segment.operations if op.is_memory]
+    stores = [op for op in memory_ops if op.is_store]
+    for store in stores:
+        for other in memory_ops:
+            if _cross_iteration_alias(store.address, other.address, inner.var,
+                                      inner.trip_count,
+                                      same_op=other is store):
+                return True
+    return False
+
+
+def modulo_eligible(segment: Segment,
+                    loops: Tuple[LoopNode, ...]) -> bool:
+    """True when ``segment`` may legally be software-pipelined.
+
+    The segment must be the sole body of its innermost loop with more than
+    one trip (otherwise there are no iterations to overlap) and its memory
+    accesses must provably not alias across iterations.  Loop-carried
+    *register* recurrences are legal — they bound the II instead (REP206 /
+    REP209); carried anti- and output-dependences are absorbed by rotating
+    the renamed registers per in-flight iteration, the standard software-
+    pipelining register scheme.
+    """
+    if not loops or not segment.operations:
+        return False
+    innermost = loops[-1]
+    if innermost.trip_count <= 1 or len(innermost.body) != 1:
+        return False
+    if innermost.body[0] is not segment:
+        return False
+    return not _memory_pipelining_hazard(segment, innermost)
+
+
+def _carried_timing_ok(timing: SegmentTiming,
+                       entries: Sequence[ScheduledOperation],
+                       interval: int) -> bool:
+    """Check carried RAW timing: writer of iteration *i* feeds reads of *i+1*.
+
+    For every loop-carried register, a read of the incoming value at flat
+    cycle ``p`` happens ``interval`` cycles later in the next overlapped
+    iteration, so the last write (cycle ``w``, latency ``L``) must satisfy
+    ``w + L <= p + interval``.
+    """
+    cycles = [entry.cycle for entry in entries]
+    last_write: Dict[int, int] = {}
+    for index, op in enumerate(timing.ops):
+        for dest in op.dests:
+            last_write[dest.ident] = index
+    written: set = set()
+    for index, op in enumerate(timing.ops):
+        for src in op.srcs:
+            if src.ident in written:
+                continue
+            writer = last_write.get(src.ident)
+            if writer is None:
+                continue
+            ready = cycles[writer] + timing.result_lat[writer]
+            if ready > cycles[index] + interval:
+                return False
+        for dest in op.dests:
+            written.add(dest.ident)
+    return True
+
+
+def _try_modulo_placement(timing: SegmentTiming,
+                          requests: List[Sequence[ResourceRequest]],
+                          capacities: Dict,
+                          interval: int) -> Optional[List[ScheduledOperation]]:
+    """Greedy priority placement under a folded reservation table.
+
+    Flat dependence bounds are honoured exactly like the baseline list
+    scheduler; only the resource probe folds modulo the interval.  Probing
+    ``interval`` consecutive start cycles covers every residue pattern, so
+    a failed window means this interval cannot place the operation.
+    """
+    count = len(timing.ops)
+    table = _ModuloReservationTable(capacities, interval)
+    indegree = list(timing.indegree)
+    earliest = [0] * count
+    heap = [(-timing.priority[i], i) for i in range(count) if indegree[i] == 0]
+    heapq.heapify(heap)
+    placed: List[Optional[ScheduledOperation]] = [None] * count
+    done = 0
+    while heap:
+        _, index = heapq.heappop(heap)
+        start = None
+        for candidate in range(earliest[index], earliest[index] + interval):
+            if table.fits(candidate, requests[index]):
+                start = candidate
+                break
+        if start is None:
+            return None
+        table.reserve(start, requests[index])
+        placed[index] = ScheduledOperation(
+            operation=timing.ops[index], cycle=start,
+            occupancy=timing.occupancy[index],
+            assumed_latency=timing.result_lat[index])
+        done += 1
+        for consumer, latency in timing.successors[index]:
+            bound = start + latency
+            if bound > earliest[consumer]:
+                earliest[consumer] = bound
+            indegree[consumer] -= 1
+            if indegree[consumer] == 0:
+                heapq.heappush(heap, (-timing.priority[consumer], consumer))
+    if done < count:  # pragma: no cover - graph is a DAG by construction
+        return None
+    return [placed[i] for i in range(count)]
+
+
+def modulo_schedule_segment(segment: Segment, config: MachineConfig,
+                            latency_model: LatencyModel,
+                            flat_interval: int) -> Optional[Schedule]:
+    """Software-pipeline one segment, or ``None`` when no II improves on flat.
+
+    The II search starts at ``max(RecMII, ResMII)`` — the same recurrence
+    bound the verifier enforces as REP206 and the resource bound implied by
+    the per-operation reservation requests — and stops below the flat
+    interval: a pipelined schedule is only kept when it is strictly better
+    than the packed/baseline choice it would replace.
+    """
+    timing = segment_timing(segment, config, latency_model)
+    if not timing.ops:
+        return None
+    requests = _operation_requests(timing, config, latency_model)
+    capacities = capacities_for(config)
+    minimum = max(1, timing.recurrence,
+                  resource_minimum_interval(requests, capacities))
+    for interval in range(minimum, flat_interval):
+        entries = _try_modulo_placement(timing, requests, capacities, interval)
+        if entries is None:
+            continue
+        if not _carried_timing_ok(timing, entries, interval):
+            continue
+        return Schedule(segment=segment, config_name=config.name,
+                        entries=entries,
+                        recurrence_interval=timing.recurrence,
+                        pipelined_interval=interval)
+    return None
+
+
+class ModuloStrategy(SchedulerStrategy):
+    """Software-pipeline innermost loops; packed choice everywhere else."""
+
+    name = "modulo"
+
+    def compile(self, program: KernelProgram, config: MachineConfig,
+                latency_model: LatencyModel) -> CompiledProgram:
+        compiled = CompiledProgram(program=program, config=config,
+                                   latency_model=latency_model)
+        for segment, loops in program.walk_segments():
+            schedule = best_flat_schedule(segment, config, latency_model)
+            if modulo_eligible(segment, loops):
+                pipelined = modulo_schedule_segment(
+                    segment, config, latency_model,
+                    schedule.initiation_interval)
+                if pipelined is not None:
+                    schedule = pipelined
+            compiled.schedules[id(segment)] = schedule
+        return compiled
+
+
+register_strategy(BaselineStrategy())
+register_strategy(PackedStrategy())
+register_strategy(UnrollStrategy(factor=4))
+register_strategy(ModuloStrategy())

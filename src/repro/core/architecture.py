@@ -68,17 +68,22 @@ class VectorMicroSimdVliwMachine:
 
     # ------------------------------------------------------------ compilation
 
-    def compile(self, program: KernelProgram) -> CompiledProgram:
+    def compile(self, program: KernelProgram,
+                strategy: str = "baseline") -> CompiledProgram:
         """Statically schedule ``program`` for this machine.
 
         Compilation goes through the process-wide content-addressed compile
         cache, so the ten Table-2 configurations and the perfect/realistic
         memory modes share one scheduling pass per distinct program.
+        ``strategy`` picks a registered scheduler strategy
+        (:mod:`repro.compiler.strategies`); the default is the baseline
+        list scheduler.
         """
         if not self.supports(program.flavor):
             raise ValueError(
                 f"{self.config.name} cannot execute {program.flavor.value} programs")
-        return compile_cached(program, self.config, self.latency_model)
+        return compile_cached(program, self.config, self.latency_model,
+                              strategy=strategy)
 
     def schedule_segment(self, segment: Segment) -> Schedule:
         """Schedule a single segment (useful for kernels and examples)."""
@@ -115,7 +120,8 @@ class VectorMicroSimdVliwMachine:
 
     def run(self, program: KernelProgram,
             hierarchy: Optional[MemoryHierarchy] = None,
-            warm: bool = True, engine: Optional[str] = None) -> RunStats:
+            warm: bool = True, engine: Optional[str] = None,
+            strategy: str = "baseline") -> RunStats:
         """Compile and execute ``program``; returns per-region statistics.
 
         By default the memory hierarchy starts with the program's working
@@ -124,9 +130,11 @@ class VectorMicroSimdVliwMachine:
 
         ``engine`` selects the execution tier — ``"trace"`` (default) or
         ``"interpreter"`` — which is purely a wall-clock knob: the two
-        tiers produce identical statistics.
+        tiers produce identical statistics.  ``strategy`` picks the
+        scheduler strategy to compile under; a transforming strategy runs
+        its rewritten program (same address space, so warming is unchanged).
         """
-        compiled = self.compile(program)
+        compiled = self.compile(program, strategy=strategy)
         if hierarchy is None:
             hierarchy = self.warmed_hierarchy(program) if warm else self.new_hierarchy()
         return make_engine(engine, compiled, hierarchy).run()

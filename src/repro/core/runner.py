@@ -142,13 +142,15 @@ def run_benchmark(spec: BenchmarkSpec,
                   config_names: Optional[Iterable[str]] = None,
                   perfect_memory: bool = False,
                   latency_model: Optional[LatencyModel] = None,
-                  engine: Optional[str] = None) -> BenchmarkResult:
+                  engine: Optional[str] = None,
+                  strategy: str = "baseline") -> BenchmarkResult:
     """Run ``spec`` on every configuration in ``config_names``.
 
     ``config_names`` defaults to the full Table-2 set in the paper's
     presentation order.  Every configuration gets a cold memory hierarchy —
     the programs themselves model the reuse between their regions.
-    ``engine`` selects the execution tier (trace-compiled by default).
+    ``engine`` selects the execution tier (trace-compiled by default);
+    ``strategy`` the scheduler strategy to compile under.
     """
     names = list(config_names) if config_names is not None else list(PAPER_CONFIG_ORDER)
     result = BenchmarkResult(benchmark=spec.name, perfect_memory=perfect_memory)
@@ -157,7 +159,8 @@ def run_benchmark(spec: BenchmarkSpec,
         machine = VectorMicroSimdVliwMachine(config, latency_model=latency_model,
                                              perfect_memory=perfect_memory)
         program = spec.program_for(config)
-        result.runs[name] = machine.run(program, engine=engine)
+        result.runs[name] = machine.run(program, engine=engine,
+                                        strategy=strategy)
     return result
 
 
@@ -363,7 +366,8 @@ def request_fingerprints(plan: ExperimentPlan,
             program_fingerprint=program_fp,
             config_fingerprint=config_fp,
             latency_fingerprint=latency_fp,
-            benchmark=request.benchmark)
+            benchmark=request.benchmark,
+            strategy=request.strategy)
     return fingerprints
 
 
@@ -599,7 +603,8 @@ def execute_requests(requests: Iterable[RunRequest],
                 store.put(fingerprints[request], stats,
                           context={"benchmark": request.benchmark,
                                    "config": request.config_name,
-                                   "perfect_memory": request.perfect_memory})
+                                   "perfect_memory": request.perfect_memory,
+                                   "strategy": request.strategy})
             except OSError as exc:
                 # persistence is an optimisation; the computed result is
                 # not — keep it and carry on (the next sweep re-simulates
@@ -615,7 +620,8 @@ def run_benchmarks(specs: Union[Mapping[str, BenchmarkSpec], Iterable[BenchmarkS
                    perfect_memory: bool = False,
                    jobs: int = 1,
                    latency_model: Optional[LatencyModel] = None,
-                   engine: Optional[str] = None
+                   engine: Optional[str] = None,
+                   strategy: str = "baseline"
                    ) -> Dict[str, BenchmarkResult]:
     """Run several benchmarks over several configurations, possibly in parallel.
 
@@ -625,18 +631,21 @@ def run_benchmarks(specs: Union[Mapping[str, BenchmarkSpec], Iterable[BenchmarkS
     the compile cache, and ``jobs=N`` distributes the independent runs over
     ``N`` worker processes.  Returns one :class:`BenchmarkResult` per
     benchmark, keyed and ordered by benchmark name as supplied.
-    ``engine`` selects the execution tier (trace-compiled by default).
+    ``engine`` selects the execution tier (trace-compiled by default);
+    ``strategy`` the scheduler strategy every run compiles under.
     """
     spec_map = _as_spec_map(specs)
     names = list(config_names) if config_names is not None else list(PAPER_CONFIG_ORDER)
     plan = ExperimentPlan.from_sweep(list(spec_map), names,
-                                     memory_modes=(perfect_memory,))
+                                     memory_modes=(perfect_memory,),
+                                     strategies=(strategy,))
     runs = execute_requests(plan, spec_map, jobs=jobs, latency_model=latency_model,
                             engine=engine)
     results: Dict[str, BenchmarkResult] = {}
     for benchmark in spec_map:
         result = BenchmarkResult(benchmark=benchmark, perfect_memory=perfect_memory)
         for name in names:
-            result.runs[name] = runs[RunRequest(benchmark, name, perfect_memory)]
+            result.runs[name] = runs[RunRequest(benchmark, name, perfect_memory,
+                                                strategy)]
         results[benchmark] = result
     return results

@@ -74,6 +74,12 @@ class SuiteEvaluation:
     incrementally (an interrupted prefetch loses at most one shard);
     ``None`` picks :data:`ENSURE_SHARD_SIZE` with a store and no sharding
     without one, ``0`` disables sharding outright.
+
+    ``strategy`` names the scheduler strategy every run of this evaluation
+    compiles under (:mod:`repro.compiler.strategies`); speed-ups are then
+    strategy-internal — the ``vliw-2w`` baseline is compiled with the same
+    strategy.  Explicit :class:`RunRequest` batches may still mix
+    strategies; the memo keys on the full request.
     """
 
     parameters: SuiteParameters = field(default_factory=SuiteParameters.default)
@@ -84,10 +90,11 @@ class SuiteEvaluation:
     engine: Optional[str] = None
     store: Union[ResultStore, str, None] = "auto"
     shard_size: Optional[int] = None
+    strategy: str = "baseline"
 
     def __post_init__(self) -> None:
         self._suite: Dict[str, BenchmarkSpec] = {}
-        self._runs: Dict[Tuple[str, str, bool], RunStats] = {}
+        self._runs: Dict[Tuple[str, str, bool, str], RunStats] = {}
         self.simulated_runs = 0
         if self.store == "auto":
             self.store = ResultStore.from_env()
@@ -118,7 +125,8 @@ class SuiteEvaluation:
         simulated; ``simulated_runs`` counts what actually ran.
         """
         if isinstance(sweep, ExperimentSweep):
-            requests = sweep.requests(self.benchmark_names, self.config_names)
+            requests = sweep.requests(self.benchmark_names, self.config_names,
+                                      default_strategies=(self.strategy,))
         elif isinstance(sweep, ExperimentPlan):
             requests = sweep.requests
         else:
@@ -158,9 +166,10 @@ class SuiteEvaluation:
     def run(self, benchmark: str, config_name: str,
             perfect_memory: bool = False) -> RunStats:
         """Statistics of one benchmark on one configuration (memoised)."""
-        key = (benchmark, config_name, perfect_memory)
+        key = (benchmark, config_name, perfect_memory, self.strategy)
         if key not in self._runs:
-            self.ensure([RunRequest(benchmark, config_name, perfect_memory)])
+            self.ensure([RunRequest(benchmark, config_name, perfect_memory,
+                                    self.strategy)])
         return self._runs[key]
 
     def runs_for_benchmark(self, benchmark: str, perfect_memory: bool = False,
@@ -168,7 +177,8 @@ class SuiteEvaluation:
                            ) -> Dict[str, RunStats]:
         """All configurations' statistics for one benchmark."""
         names = tuple(config_names) if config_names is not None else self.config_names
-        self.ensure(RunRequest(benchmark, name, perfect_memory) for name in names)
+        self.ensure(RunRequest(benchmark, name, perfect_memory, self.strategy)
+                    for name in names)
         return {name: self.run(benchmark, name, perfect_memory) for name in names}
 
     # ------------------------------------------------------------ derived data

@@ -51,6 +51,7 @@ from repro.workloads.suite import SuiteParameters
 
 __all__ = ["full_report", "add_store_arguments", "add_benchmark_arguments",
            "add_profile_argument", "maybe_profile",
+           "add_strategy_argument", "resolve_strategies",
            "resolve_store", "resolve_jobs", "resolve_benchmarks", "main"]
 
 
@@ -154,6 +155,51 @@ def resolve_benchmarks(selectors, default):
     return select_benchmarks(selectors)
 
 
+def add_strategy_argument(parser: argparse.ArgumentParser,
+                          plural: bool = False) -> None:
+    """Attach the shared ``--strategy`` (or ``--strategies``) option.
+
+    Choices are resolved lazily against the strategy registry
+    (:mod:`repro.compiler.strategies`) by :func:`resolve_strategies`, so
+    user-registered strategies work; ``all`` expands to every registered
+    strategy.
+    """
+    if plural:
+        parser.add_argument("--strategies", nargs="+", metavar="NAME",
+                            default=None,
+                            help="scheduler strategies to compile under: "
+                                 "registered names or 'all' (default: "
+                                 "baseline)")
+    else:
+        parser.add_argument("--strategy", metavar="NAME", default="baseline",
+                            help="scheduler strategy to compile under (see "
+                                 "`repro.compiler.strategies`; default: "
+                                 "baseline)")
+
+
+def resolve_strategies(names) -> tuple:
+    """Strategy names a ``--strategy``/``--strategies`` value selects.
+
+    ``None``/empty means baseline only; ``"all"`` anywhere expands to every
+    registered strategy.  Unknown names raise ``KeyError`` with the
+    registered list (via :func:`repro.compiler.strategies.get_strategy`).
+    """
+    from repro.compiler.strategies import get_strategy, strategy_names
+    if not names:
+        return ("baseline",)
+    if isinstance(names, str):
+        names = [names]
+    out = []
+    for name in names:
+        if name == "all":
+            out.extend(n for n in strategy_names() if n not in out)
+            continue
+        get_strategy(name)  # raises KeyError with the registered list
+        if name not in out:
+            out.append(name)
+    return tuple(out)
+
+
 def main(argv=None, default_store: Optional[str] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--tiny", action="store_true",
@@ -168,6 +214,7 @@ def main(argv=None, default_store: Optional[str] = None) -> int:
                              "(default) or the interpreting reference "
                              "engine; the rendered report is identical")
     add_store_arguments(parser)
+    add_strategy_argument(parser)
     add_profile_argument(parser)
     args = parser.parse_args(argv)
     parameters = SuiteParameters.tiny() if args.tiny else SuiteParameters.default()
@@ -175,12 +222,14 @@ def main(argv=None, default_store: Optional[str] = None) -> int:
     from repro.workloads.suite import BENCHMARK_NAMES
     try:
         benchmarks = resolve_benchmarks(args.benchmarks, BENCHMARK_NAMES)
+        strategy = resolve_strategies([args.strategy])[0]
     except (KeyError, ValueError) as exc:
         print(f"error: {exc.args[0] if exc.args else exc}", file=sys.stderr)
         return 2
     evaluation = SuiteEvaluation(parameters=parameters, jobs=resolve_jobs(args.jobs),
                                  benchmark_names=benchmarks,
-                                 engine=args.engine, store=store)
+                                 engine=args.engine, store=store,
+                                 strategy=strategy)
     start = time.time()
     with maybe_profile(args.profile):
         text = full_report(evaluation)

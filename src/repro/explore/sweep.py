@@ -59,6 +59,7 @@ class ExplorationResult:
     benchmarks: Tuple[str, ...]
     points: Tuple[DesignPoint, ...]
     configs: Dict[str, MachineConfig]
+    strategies: Tuple[str, ...] = ("baseline",)
     runs: Dict[RunRequest, RunStats] = field(default_factory=dict)
     simulated_runs: int = 0
     stored_runs: int = 0
@@ -69,36 +70,53 @@ class ExplorationResult:
     def complete(self) -> bool:
         return self.completed_shards == self.total_shards
 
+    def _strategy(self, strategy: Optional[str]) -> str:
+        return self.strategies[0] if strategy is None else strategy
+
     # ------------------------------------------------------------- metrics
 
-    def stats(self, benchmark: str, config_name: str) -> RunStats:
-        return self.runs[RunRequest(benchmark, config_name, False)]
+    def stats(self, benchmark: str, config_name: str,
+              strategy: Optional[str] = None) -> RunStats:
+        return self.runs[RunRequest(benchmark, config_name, False,
+                                    self._strategy(strategy))]
 
     def covered_configs(self) -> Tuple[str, ...]:
         """Configurations every benchmark (and the baseline) has runs for.
 
         A partial sweep — interrupted, or capped with ``max_shards`` — can
         only rank what it measured; frontiers and summaries are restricted
-        to this set and say so.
+        to this set and say so.  With several strategies a configuration
+        counts only when every (benchmark × strategy) run is present.
         """
         def complete(name: str) -> bool:
-            return all(RunRequest(benchmark, name, False) in self.runs
-                       for benchmark in self.benchmarks)
+            return all(RunRequest(benchmark, name, False, strategy)
+                       in self.runs
+                       for benchmark in self.benchmarks
+                       for strategy in self.strategies)
 
         if not complete(BASELINE_CONFIG):
             return ()
         return tuple(name for name in self.configs if complete(name))
 
-    def speedup(self, benchmark: str, config_name: str) -> float:
-        """Whole-application speed-up over the 2-issue VLIW baseline."""
-        baseline = self.stats(benchmark, BASELINE_CONFIG)
-        return self.stats(benchmark, config_name).speedup_over(baseline)
+    def speedup(self, benchmark: str, config_name: str,
+                strategy: Optional[str] = None) -> float:
+        """Whole-application speed-up over the 2-issue VLIW baseline.
 
-    def geomean_speedup(self, config_name: str) -> float:
+        Strategy-internal: the baseline machine is compiled under the same
+        strategy, so the metric isolates the hardware axis — compare
+        strategies directly via :meth:`stats` cycle counts instead.
+        """
+        strategy = self._strategy(strategy)
+        baseline = self.stats(benchmark, BASELINE_CONFIG, strategy)
+        return self.stats(benchmark, config_name,
+                          strategy).speedup_over(baseline)
+
+    def geomean_speedup(self, config_name: str,
+                        strategy: Optional[str] = None) -> float:
         """Geometric-mean speed-up across the explored benchmarks."""
         product = 1.0
         for benchmark in self.benchmarks:
-            product *= self.speedup(benchmark, config_name)
+            product *= self.speedup(benchmark, config_name, strategy)
         return product ** (1.0 / len(self.benchmarks))
 
     # ------------------------------------------------------------- frontiers
@@ -109,16 +127,18 @@ class ExplorationResult:
                             value=metric(name))
                 for name in self.covered_configs()]
 
-    def frontier(self, benchmark: Optional[str] = None) -> Tuple[ParetoPoint, ...]:
+    def frontier(self, benchmark: Optional[str] = None,
+                 strategy: Optional[str] = None) -> Tuple[ParetoPoint, ...]:
         """Pareto frontier of speed-up vs issue slots.
 
         ``benchmark=None`` uses the geometric mean over all explored
         benchmarks; otherwise the named benchmark's speed-up.
+        ``strategy=None`` uses the sweep's first strategy.
         """
         if benchmark is None:
-            metric = self.geomean_speedup
+            metric = lambda name: self.geomean_speedup(name, strategy)  # noqa: E731
         else:
-            metric = lambda name: self.speedup(benchmark, name)  # noqa: E731
+            metric = lambda name: self.speedup(benchmark, name, strategy)  # noqa: E731
         return pareto_frontier(self._points_for(metric))
 
     # -------------------------------------------------------------- rendering
@@ -129,7 +149,10 @@ class ExplorationResult:
         lines = [
             "=== Design-space exploration "
             f"({len(self.configs)} configurations x "
-            f"{len(self.benchmarks)} benchmarks) ===",
+            f"{len(self.benchmarks)} benchmarks"
+            + ("" if self.strategies == ("baseline",)
+               else f" x {len(self.strategies)} strategies")
+            + ") ===",
             f"baseline: {BASELINE_CONFIG}; cost = issue slots "
             "(issue width + vector units x lanes)",
             f"runs: {self.stored_runs} from store, "
@@ -141,35 +164,43 @@ class ExplorationResult:
             lines.append(f"frontiers cover the {len(covered)}/"
                          f"{len(self.configs)} configurations fully swept "
                          "so far (re-run to resume)")
-        lines += [
-            "",
-            "Pareto frontier, geomean speedup over "
-            + "+".join(self.benchmarks) + ":",
-            "  slots  speedup  configuration",
-        ]
-        for point in self.frontier():
-            lines.append(f"  {point.cost:5.0f}  {point.value:7.2f}  {point.name}")
-        for benchmark in self.benchmarks:
-            lines.append("")
-            lines.append(f"Pareto frontier, {benchmark}:")
-            lines.append("  slots  speedup  configuration")
-            for point in self.frontier(benchmark):
+        # one frontier block per strategy; the baseline-only sweep keeps
+        # the historical unlabelled output byte-for-byte
+        for strategy in self.strategies:
+            tag = ("" if self.strategies == ("baseline",)
+                   else f" [{strategy}]")
+            lines += [
+                "",
+                "Pareto frontier, geomean speedup over "
+                + "+".join(self.benchmarks) + f"{tag}:",
+                "  slots  speedup  configuration",
+            ]
+            for point in self.frontier(strategy=strategy):
                 lines.append(
                     f"  {point.cost:5.0f}  {point.value:7.2f}  {point.name}")
+            for benchmark in self.benchmarks:
+                lines.append("")
+                lines.append(f"Pareto frontier, {benchmark}{tag}:")
+                lines.append("  slots  speedup  configuration")
+                for point in self.frontier(benchmark, strategy):
+                    lines.append(
+                        f"  {point.cost:5.0f}  {point.value:7.2f}  {point.name}")
         return "\n".join(lines)
 
 
 def _sweep_scope(benchmarks: Tuple[str, ...],
-                 parameters: SuiteParameters) -> str:
+                 parameters: SuiteParameters,
+                 strategies: Tuple[str, ...]) -> str:
     """Short hash scoping lease keys to one (benchmarks × inputs) sweep.
 
     Plan fingerprints cover request *names* only; two explorations over
     different input sizes build identical plans but must not share lease
     keys (their store fingerprints differ, so neither can serve the
     other's shards).  Dataclass ``repr`` is deterministic, which makes it
-    a sufficient scope key.
+    a sufficient scope key.  The strategy tuple is part of the scope for
+    the same reason the input parameters are.
     """
-    key = repr(("repro-sweep-scope/1", benchmarks, parameters))
+    key = repr(("repro-sweep-scope/2", benchmarks, parameters, strategies))
     return hashlib.sha256(key.encode()).hexdigest()[:12]
 
 
@@ -187,7 +218,8 @@ def run_exploration(space: Optional[DesignSpace] = None,
                     lease_ttl: float = DEFAULT_LEASE_TTL,
                     owner: Optional[str] = None,
                     min_parallel_runs: Optional[int] = None,
-                    max_attempts: Optional[int] = None
+                    max_attempts: Optional[int] = None,
+                    strategies: Sequence[str] = ("baseline",)
                     ) -> ExplorationResult:
     """Sweep every configuration of ``space`` over ``benchmarks``.
 
@@ -214,10 +246,18 @@ def run_exploration(space: Optional[DesignSpace] = None,
     crash recovery (retry/backoff/quarantine) comes from
     :func:`~repro.core.runner.execute_requests` underneath in every mode;
     ``max_attempts`` is forwarded to it when set.
+
+    ``strategies`` adds the scheduler strategy
+    (:mod:`repro.compiler.strategies`) as an exploration axis: every
+    configuration × benchmark point is swept once per strategy, and the
+    summary renders one frontier block per strategy.  Speed-ups stay
+    strategy-internal (each strategy's runs are normalised against the
+    baseline machine compiled under that same strategy).
     """
     space = space if space is not None else DesignSpace.default()
     parameters = parameters if parameters is not None else SuiteParameters.tiny()
     benchmarks = tuple(benchmarks)
+    strategies = tuple(strategies) or ("baseline",)
     points = tuple(space.points())
     configs = generate_configs(space)
     specs = build_suite(parameters, names=list(benchmarks))
@@ -226,7 +266,8 @@ def run_exploration(space: Optional[DesignSpace] = None,
                          "to the result entries they schedule work for")
     manager = (LeaseManager(store.root, owner=owner, ttl=lease_ttl)
                if coordinate else None)
-    scope = _sweep_scope(benchmarks, parameters) if coordinate else ""
+    scope = (_sweep_scope(benchmarks, parameters, strategies)
+             if coordinate else "")
     executor_kwargs: Dict[str, object] = {}
     if max_attempts is not None:
         executor_kwargs["max_attempts"] = max_attempts
@@ -234,15 +275,17 @@ def run_exploration(space: Optional[DesignSpace] = None,
         executor_kwargs["min_parallel_runs"] = min_parallel_runs
 
     config_names = (BASELINE_CONFIG,) + tuple(configs)
-    # config-major order: every configuration's runs (all benchmarks) are
-    # consecutive, so each shard completes whole configurations and a
-    # partial sweep can already rank what it covered
-    plan = ExperimentPlan(RunRequest(benchmark, config, False)
+    # config-major order: every configuration's runs (all benchmarks, all
+    # strategies) are consecutive, so each shard completes whole
+    # configurations and a partial sweep can already rank what it covered
+    plan = ExperimentPlan(RunRequest(benchmark, config, False, strategy)
                           for config in config_names
+                          for strategy in strategies
                           for benchmark in benchmarks)
     shards = plan.shards(shard_size)
     result = ExplorationResult(space=space, benchmarks=benchmarks,
                                points=points, configs=configs,
+                               strategies=strategies,
                                total_shards=len(shards))
 
     def note(line: str) -> None:

@@ -91,9 +91,27 @@ def _diff(prefix: str, a: object, b: object, out: List[str]) -> None:
         out.append(f"{prefix}: trace={a!r} interpreter={b!r}")
 
 
+def _functional_fields(stats_dict: dict) -> dict:
+    """The strategy-invariant slice of a ``RunStats`` dictionary.
+
+    Scheduling strategies may only change *timing* (cycles, stalls) — the
+    work performed per region (operations, micro-ops, memory accesses)
+    must be byte-identical to baseline.  ``segment_executions`` is
+    excluded: the unroller legitimately trades iteration count for body
+    width.
+    """
+    keep = ("name", "vectorizable", "operations", "micro_ops",
+            "memory_accesses")
+    out = {}
+    for name, region in sorted(stats_dict.get("regions", {}).items()):
+        out[name] = {key: region.get(key) for key in keep}
+    return out
+
+
 def compare_spec(spec: ProgramSpec, flavor: ISAFlavor, config_name: str,
                  perfect: bool = False,
-                 corrupt: CorruptHook = None) -> Optional[str]:
+                 corrupt: CorruptHook = None,
+                 strategy: str = "baseline") -> Optional[str]:
     """Run ``spec`` through both tiers; return a diff summary or ``None``.
 
     The comparison covers the full :class:`RunStats` dictionary *and* the
@@ -107,10 +125,17 @@ def compare_spec(spec: ProgramSpec, flavor: ISAFlavor, config_name: str,
     a miscompiled seed is caught even when both engines agree on its
     (wrong) statistics.  Warnings do not fail a seed — random synthetic
     programs legitimately trip the heuristic overlap lint.
+
+    With a non-baseline ``strategy`` the program is compiled under that
+    strategy for the trace/interpreter diff, and the strategy-compiled
+    interpreter run is additionally diffed against the *baseline*
+    interpreter oracle on the functional fields (per-region operations,
+    micro-ops, memory accesses) — a strategy may change cycles, never the
+    work performed.
     """
     program = build_program(spec, flavor)
     config = get_config(config_name)
-    compiled = compile_cached(program, config)
+    compiled = compile_cached(program, config, strategy=strategy)
     # the same compiled program is compared in both memory modes — the
     # verification stamp (shared with check_or_raise) makes analysis
     # once-per-compilation rather than once-per-comparison
@@ -132,6 +157,15 @@ def compare_spec(spec: ProgramSpec, flavor: ISAFlavor, config_name: str,
     out: List[str] = []
     _diff("stats", results["trace"][0], results["interpreter"][0], out)
     _diff("hierarchy", results["trace"][1], results["interpreter"][1], out)
+    if strategy != "baseline" and not out:
+        baseline = compile_cached(program, config)
+        hierarchy = MemoryHierarchy(config.memory, l1_ports=config.l1_ports,
+                                    l2_port_words=config.l2_port_words,
+                                    perfect=perfect)
+        oracle = make_engine("interpreter", baseline, hierarchy).run()
+        _diff(f"functional[{strategy}]",
+              _functional_fields(results["interpreter"][0]),
+              _functional_fields(oracle.to_dict()), out)
     return "; ".join(out) if out else None
 
 
@@ -235,7 +269,8 @@ def shrink_spec(spec: ProgramSpec,
 
 def write_reproducer(directory: Path, *, spec: ProgramSpec,
                      flavor: ISAFlavor, config: str, perfect: bool,
-                     seed: Optional[int], detail: str) -> Path:
+                     seed: Optional[int], detail: str,
+                     strategy: str = "baseline") -> Path:
     """Write a replayable reproducer JSON file; returns its path."""
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
@@ -248,9 +283,13 @@ def write_reproducer(directory: Path, *, spec: ProgramSpec,
         "detail": detail,
         "spec": spec_to_dict(spec),
     }
+    # the strategy key is optional (absent = baseline) so pre-strategy
+    # reproducer files replay unchanged without a format bump
+    if strategy != "baseline":
+        payload["strategy"] = strategy
     digest = hashlib.sha256(
         canonical_spec_json(spec).encode("utf-8")
-        + f"|{flavor.value}|{config}|{perfect}".encode("utf-8")
+        + f"|{flavor.value}|{config}|{perfect}|{strategy}".encode("utf-8")
     ).hexdigest()[:12]
     path = directory / f"reproducer_{digest}.json"
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
@@ -266,6 +305,7 @@ def load_reproducer(path: Path) -> dict:
                          f"{data.get('format')!r}")
     data["spec"] = spec_from_dict(data["spec"])
     data["flavor"] = ISAFlavor(data["flavor"])
+    data["strategy"] = data.get("strategy", "baseline")
     return data
 
 
@@ -273,7 +313,8 @@ def check_reproducer(path: Path, corrupt: CorruptHook = None) -> Optional[str]:
     """Replay one reproducer; return the diff summary or ``None`` if fixed."""
     data = load_reproducer(path)
     return compare_spec(data["spec"], data["flavor"], data["config"],
-                        perfect=bool(data["perfect"]), corrupt=corrupt)
+                        perfect=bool(data["perfect"]), corrupt=corrupt,
+                        strategy=data["strategy"])
 
 
 # ---------------------------------------------------------------------------
@@ -291,6 +332,7 @@ class Mismatch:
     detail: str
     statements: int
     reproducer: Optional[str] = None
+    strategy: str = "baseline"
 
 
 @dataclass
@@ -311,6 +353,7 @@ def run_fuzz(seeds: int, *, start_seed: int = 0, scale: str = "tiny",
              configs: Sequence[str] = DEFAULT_CONFIGS,
              flavors: Sequence[ISAFlavor] = FLAVORS,
              perfect_modes: Sequence[bool] = (False, True),
+             strategies: Sequence[str] = ("baseline",),
              budget_seconds: Optional[float] = None,
              reproducer_dir: Optional[Path] = None,
              corrupt: CorruptHook = None,
@@ -319,10 +362,13 @@ def run_fuzz(seeds: int, *, start_seed: int = 0, scale: str = "tiny",
     """Sweep ``seeds`` consecutive seeds through both tiers and diff.
 
     Stops early when ``budget_seconds`` runs out (checked between seeds).
-    On a mismatch: shrinks the failing spec while the same (flavor,
-    config, memory-mode) combination still diverges, writes a reproducer
-    into ``reproducer_dir`` (if given), records the find, and moves on to
-    the next seed.
+    Each seed is compared under every ``strategies`` entry; non-baseline
+    strategies additionally diff the functional fields against the
+    baseline interpreter oracle (see :func:`compare_spec`).  On a
+    mismatch: shrinks the failing spec while the same (flavor, config,
+    memory-mode, strategy) combination still diverges, writes a
+    reproducer into ``reproducer_dir`` (if given), records the find, and
+    moves on to the next seed.
     """
     result = FuzzResult()
     started = time.monotonic()
@@ -337,11 +383,17 @@ def run_fuzz(seeds: int, *, start_seed: int = 0, scale: str = "tiny",
         for flavor in flavors:
             for config in configs:
                 for perfect in perfect_modes:
-                    result.comparisons += 1
-                    detail = compare_spec(spec, flavor, config,
-                                          perfect=perfect, corrupt=corrupt)
-                    if detail is not None:
-                        failure = (flavor, config, perfect, detail)
+                    for strategy in strategies:
+                        result.comparisons += 1
+                        detail = compare_spec(spec, flavor, config,
+                                              perfect=perfect,
+                                              corrupt=corrupt,
+                                              strategy=strategy)
+                        if detail is not None:
+                            failure = (flavor, config, perfect, strategy,
+                                       detail)
+                            break
+                    if failure:
                         break
                 if failure:
                     break
@@ -352,25 +404,27 @@ def run_fuzz(seeds: int, *, start_seed: int = 0, scale: str = "tiny",
                 progress(f"seed {seed}: clean "
                          f"({result.comparisons} comparisons)")
             continue
-        flavor, config, perfect, detail = failure
+        flavor, config, perfect, strategy, detail = failure
         if progress is not None:
             progress(f"seed {seed}: MISMATCH [{flavor.value} {config} "
-                     f"perfect={perfect}] {detail[:200]}")
+                     f"perfect={perfect} strategy={strategy}] {detail[:200]}")
         if shrink:
             spec = shrink_spec(
                 spec,
                 lambda candidate: compare_spec(
                     candidate, flavor, config, perfect=perfect,
-                    corrupt=corrupt) is not None)
+                    corrupt=corrupt, strategy=strategy) is not None)
             detail = compare_spec(spec, flavor, config, perfect=perfect,
-                                  corrupt=corrupt) or detail
+                                  corrupt=corrupt, strategy=strategy) or detail
         mismatch = Mismatch(seed=seed, flavor=flavor.value, config=config,
                             perfect=perfect, detail=detail,
-                            statements=count_statements(spec))
+                            statements=count_statements(spec),
+                            strategy=strategy)
         if reproducer_dir is not None:
             path = write_reproducer(Path(reproducer_dir), spec=spec,
                                     flavor=flavor, config=config,
-                                    perfect=perfect, seed=seed, detail=detail)
+                                    perfect=perfect, seed=seed, detail=detail,
+                                    strategy=strategy)
             mismatch.reproducer = str(path)
             if progress is not None:
                 progress(f"seed {seed}: shrunk to "

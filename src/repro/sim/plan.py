@@ -36,15 +36,18 @@ __all__ = ["RunRequest", "ExperimentSweep", "ExperimentPlan", "execute_plan"]
 
 @dataclass(frozen=True, order=True)
 class RunRequest:
-    """One simulation: a benchmark on a configuration in one memory mode."""
+    """One simulation: a benchmark on a configuration in one memory mode,
+    compiled under one scheduler strategy."""
 
     benchmark: str
     config_name: str
     perfect_memory: bool = False
+    strategy: str = "baseline"
 
-    def key(self) -> Tuple[str, str, bool]:
+    def key(self) -> Tuple[str, str, bool, str]:
         """The memoisation key used by :class:`SuiteEvaluation`."""
-        return (self.benchmark, self.config_name, self.perfect_memory)
+        return (self.benchmark, self.config_name, self.perfect_memory,
+                self.strategy)
 
 
 @dataclass(frozen=True)
@@ -54,22 +57,28 @@ class ExperimentSweep:
     ``benchmarks=None`` and ``config_names=None`` mean "all benchmarks /
     configurations of the evaluation"; ``memory_modes`` lists the
     ``perfect_memory`` values required (most experiments use realistic
-    memory only, Figure 5 needs both).
+    memory only, Figure 5 needs both).  ``strategies=None`` means "whatever
+    the evaluation compiles with" (baseline unless told otherwise).
     """
 
     benchmarks: Optional[Tuple[str, ...]] = None
     config_names: Optional[Tuple[str, ...]] = None
     memory_modes: Tuple[bool, ...] = (False,)
+    strategies: Optional[Tuple[str, ...]] = None
 
     def requests(self, default_benchmarks: Sequence[str],
-                 default_configs: Sequence[str]) -> Tuple[RunRequest, ...]:
+                 default_configs: Sequence[str],
+                 default_strategies: Sequence[str] = ("baseline",),
+                 ) -> Tuple[RunRequest, ...]:
         """Expand the sweep against an evaluation's defaults."""
         benchmarks = self.benchmarks if self.benchmarks is not None else tuple(default_benchmarks)
         configs = self.config_names if self.config_names is not None else tuple(default_configs)
-        return tuple(RunRequest(benchmark, config, perfect)
+        strategies = self.strategies if self.strategies is not None else tuple(default_strategies)
+        return tuple(RunRequest(benchmark, config, perfect, strategy)
                      for benchmark in benchmarks
                      for config in configs
-                     for perfect in self.memory_modes)
+                     for perfect in self.memory_modes
+                     for strategy in strategies)
 
 
 class ExperimentPlan:
@@ -83,11 +92,14 @@ class ExperimentPlan:
 
     @classmethod
     def from_sweep(cls, benchmarks: Sequence[str], config_names: Sequence[str],
-                   memory_modes: Sequence[bool] = (False,)) -> "ExperimentPlan":
+                   memory_modes: Sequence[bool] = (False,),
+                   strategies: Sequence[str] = ("baseline",),
+                   ) -> "ExperimentPlan":
         """The full cross product, in deterministic presentation order."""
         sweep = ExperimentSweep(benchmarks=tuple(benchmarks),
                                 config_names=tuple(config_names),
-                                memory_modes=tuple(bool(m) for m in memory_modes))
+                                memory_modes=tuple(bool(m) for m in memory_modes),
+                                strategies=tuple(strategies))
         return cls(sweep.requests((), ()))
 
     @property
@@ -136,9 +148,9 @@ class ExperimentPlan:
         the key themselves (``run_exploration`` prefixes a sweep-scope
         hash) — the plan cannot see workload parameters, only names.
         """
-        key = tuple((r.benchmark, r.config_name, r.perfect_memory)
+        key = tuple((r.benchmark, r.config_name, r.perfect_memory, r.strategy)
                     for r in self._requests)
-        return hashlib.sha256(repr(("repro-plan/1", key)).encode()).hexdigest()
+        return hashlib.sha256(repr(("repro-plan/2", key)).encode()).hexdigest()
 
     def benchmarks(self) -> Tuple[str, ...]:
         """Benchmark names touched by the plan, in first-appearance order."""
@@ -176,5 +188,6 @@ def execute_plan(plan: ExperimentPlan,
         machine = VectorMicroSimdVliwMachine(
             config, latency_model=latency_model,
             perfect_memory=request.perfect_memory)
-        results[request] = machine.run(spec.program_for(config), engine=engine)
+        results[request] = machine.run(spec.program_for(config), engine=engine,
+                                       strategy=request.strategy)
     return merge_run_maps([results], order=plan.requests)

@@ -25,7 +25,11 @@ __all__ = ["STATS_SCHEMA_VERSION", "RegionStats", "RunStats", "merge_run_maps"]
 #: v2: the benchmark registry name joined the run fingerprint and the
 #: µSIMD dot-product emitter gained its missing accumulate dependence —
 #: both change keys/timings, so v1 entries are retired wholesale.
-STATS_SCHEMA_VERSION = 2
+#: v3: the scheduler strategy joined the run fingerprint (results compiled
+#: under different strategies differ in cycles); pre-strategy v2 entries —
+#: keyed without a strategy axis — are retired wholesale rather than being
+#: silently served for baseline requests only.
+STATS_SCHEMA_VERSION = 3
 
 
 @dataclass

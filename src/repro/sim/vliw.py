@@ -66,6 +66,14 @@ class CycleAccurateEngine:
     def run_segment(self, schedule: Schedule, hierarchy: MemoryHierarchy,
                     env: Optional[Dict[LoopVar, int]] = None) -> CycleTrace:
         """Execute one instance of ``schedule`` against ``hierarchy``."""
+        if schedule.pipelined_interval is not None:
+            # a modulo schedule's flat entry cycles can lie at or beyond the
+            # II, so stepping `range(initiation_interval)` would silently
+            # drop issue groups — the cycle-stepper models one iteration at
+            # a time and cannot overlap them
+            raise ValueError(
+                "CycleAccurateEngine cannot replay a software-pipelined "
+                "schedule; use the fast or trace executors")
         env = env or {}
         groups = schedule.by_cycle()
         events: List[Tuple[int, str]] = []

@@ -94,14 +94,18 @@ def run_fingerprint(program: KernelProgram, config: MachineConfig,
                     program_fingerprint: Optional[str] = None,
                     config_fingerprint: Optional[str] = None,
                     latency_fingerprint: Optional[str] = None,
-                    benchmark: Optional[str] = None) -> str:
+                    benchmark: Optional[str] = None,
+                    strategy: str = "baseline") -> str:
     """Content fingerprint of one (benchmark × config × memory-mode) run.
 
     Everything the deterministic simulators derive statistics from is
     covered: the IR fingerprint family the compile cache uses, plus the
     warm-up spans (``program.address_space``) that seed the L2/L3 before
-    timing, plus the memory mode.  The stats schema version namespaces the
-    whole key, so a semantic change invalidates every old entry at once.
+    timing, plus the memory mode, plus the scheduler ``strategy`` the run
+    compiles under — different strategies emit different schedules (and the
+    unroller a different program), so they can never share an entry.  The
+    stats schema version namespaces the whole key, so a semantic change
+    invalidates every old entry at once.
 
     ``benchmark`` is the workload's **registry name**
     (:mod:`repro.workloads.registry`) and is part of the key: benchmarks
@@ -135,6 +139,7 @@ def run_fingerprint(program: KernelProgram, config: MachineConfig,
         latency_fingerprint or fingerprint_latency_model(latency_model),
         bool(perfect_memory),
         spans,
+        strategy,
     )
     return hashlib.sha256(repr(key).encode()).hexdigest()
 

@@ -263,7 +263,7 @@ class TestCooperativeExploration:
         plan = ExperimentPlan(RunRequest("gsm_enc", config, False)
                               for config in config_names)
         shard = plan.shards(4)[0]
-        scope = _sweep_scope(("gsm_enc",), parameters)
+        scope = _sweep_scope(("gsm_enc",), parameters, ("baseline",))
         key = f"{scope}-{shard.fingerprint()[:40]}"
 
         # a "crashed" participant: lease exists, heartbeat far in the past

@@ -1,0 +1,555 @@
+"""Differential tests of the composable scheduler strategies.
+
+Every registered strategy (baseline, packed, unroll, modulo) is driven
+over the extended ten-kernel suite on two machine shapes and held to the
+schedule-quality contract:
+
+* every schedule passes the independent static verifier
+  (:mod:`repro.analysis`) — including the software-pipelining checks
+  (REP209);
+* the trace and interpreter tiers agree field-for-field under every
+  strategy;
+* a strategy may change *timing* only — per-region operations, micro-ops
+  and memory accesses are byte-identical to the baseline compilation;
+* the packed strategy never models more cycles than baseline (it falls
+  back to the baseline schedule when packing does not win).
+
+Hypothesis properties pin the two degenerate corners (unroll factor 1 is
+the identity transform; a modulo II never undercuts the loop-carried
+recurrence bound), negative tests hand-corrupt pipelined schedules to
+prove the verifier actually rejects them, and the cache/staleness tests
+show a pre-strategy (3-tuple) cache entry can never answer a
+strategy-aware lookup.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.analyzer import verify_compiled
+from repro.compiler.cache import (
+    CompileCache,
+    _latency_table_key,
+    compile_cached,
+    fingerprint_config,
+    fingerprint_program,
+)
+from repro.compiler.ir import ISAFlavor
+from repro.compiler.scheduler import compile_program
+from repro.compiler.strategies import (
+    DEFAULT_STRATEGY,
+    UnrollStrategy,
+    get_strategy,
+    strategy_names,
+    unroll_program,
+)
+from repro.experiments.report import resolve_strategies
+from repro.machine.config import get_config
+from repro.machine.latency import LatencyModel
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.sim.engines import make_engine
+from repro.store.result_store import run_fingerprint
+from repro.workloads.suite import (
+    EXTENDED_BENCHMARK_NAMES,
+    SuiteParameters,
+    build_suite,
+)
+from repro.workloads.synthetic import generate_spec
+from repro.workloads.synthetic.generator import params_for_seed
+from repro.workloads.synthetic.spec import build_program
+
+STRATEGIES = ("baseline", "packed", "unroll", "modulo")
+CONFIGS = ("vliw-2w", "vector2-2w")
+
+
+def _run(compiled, engine_name):
+    config = compiled.config
+    hierarchy = MemoryHierarchy(config.memory, l1_ports=config.l1_ports,
+                                l2_port_words=config.l2_port_words)
+    return make_engine(engine_name, compiled, hierarchy).run()
+
+
+def _functional(stats):
+    """The strategy-invariant slice: work per region, timing excluded."""
+    return {
+        name: (region.vectorizable, region.operations, region.micro_ops,
+               region.memory_accesses)
+        for name, region in stats.regions.items()
+    }
+
+
+def _modeled_cycles(compiled):
+    """Static cycle model: initiation interval times the dynamic trip count.
+
+    The same quantity the fast and trace engines charge per segment
+    execution (stalls aside), summed over the whole program — the metric
+    the schedule-quality bar is stated in.
+    """
+    total = 0
+    for segment, loops in compiled.program.walk_segments():
+        trips = 1
+        for loop in loops:
+            trips *= loop.trip_count
+        total += compiled.schedules[id(segment)].initiation_interval * trips
+    return total
+
+
+@pytest.fixture(scope="module")
+def strategy_runs(tiny_suite):
+    """Compiled program + trace/interpreter stats per (kernel, config, strategy)."""
+    runs = {}
+    for config_name in CONFIGS:
+        config = get_config(config_name)
+        for name in EXTENDED_BENCHMARK_NAMES:
+            program = tiny_suite[name].program_for(config)
+            for strategy in STRATEGIES:
+                compiled = compile_cached(program, config, strategy=strategy)
+                runs[(name, config_name, strategy)] = (
+                    compiled,
+                    _run(compiled, "trace"),
+                    _run(compiled, "interpreter"),
+                )
+    return runs
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+class TestRegistry:
+
+    def test_all_strategies_registered(self):
+        assert set(STRATEGIES) <= set(strategy_names())
+        assert DEFAULT_STRATEGY == "baseline"
+
+    def test_unknown_strategy_raises_with_catalog(self):
+        with pytest.raises(KeyError, match="baseline"):
+            get_strategy("no-such-strategy")
+
+    def test_resolve_strategies(self):
+        assert resolve_strategies(None) == ("baseline",)
+        assert resolve_strategies([]) == ("baseline",)
+        assert resolve_strategies("modulo") == ("modulo",)
+        assert resolve_strategies(["packed", "packed"]) == ("packed",)
+        assert set(resolve_strategies(["all"])) == set(strategy_names())
+        with pytest.raises(KeyError):
+            resolve_strategies(["bogus"])
+
+
+# ---------------------------------------------------------------------------
+# The differential contract: verifier-clean, tier-equal, work-preserving
+# ---------------------------------------------------------------------------
+
+class TestDifferentialContract:
+
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_every_schedule_is_verifier_clean(self, strategy_runs, strategy):
+        for (name, config_name, strat), (compiled, _, _) in strategy_runs.items():
+            if strat != strategy:
+                continue
+            report = verify_compiled(compiled, benchmark=name)
+            assert not report.has_errors, (
+                f"{name}/{config_name}/{strategy}: "
+                + "; ".join(d.format() for d in report.errors))
+
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_trace_matches_interpreter(self, strategy_runs, strategy):
+        for (name, config_name, strat), (_, traced, interp) in strategy_runs.items():
+            if strat != strategy:
+                continue
+            assert traced.to_dict() == interp.to_dict(), (
+                f"{name}/{config_name}/{strategy}: tier divergence")
+
+    @pytest.mark.parametrize("strategy", [s for s in STRATEGIES
+                                          if s != "baseline"])
+    def test_functional_fields_identical_to_baseline(self, strategy_runs,
+                                                     strategy):
+        for config_name in CONFIGS:
+            for name in EXTENDED_BENCHMARK_NAMES:
+                _, base, _ = strategy_runs[(name, config_name, "baseline")]
+                _, run, _ = strategy_runs[(name, config_name, strategy)]
+                assert _functional(run) == _functional(base), (
+                    f"{name}/{config_name}/{strategy}: strategy changed the "
+                    "work performed, not just the timing")
+
+    def test_packed_never_models_more_cycles_than_baseline(self, strategy_runs):
+        for config_name in CONFIGS:
+            for name in EXTENDED_BENCHMARK_NAMES:
+                base = strategy_runs[(name, config_name, "baseline")][0]
+                packed = strategy_runs[(name, config_name, "packed")][0]
+                assert _modeled_cycles(packed) <= _modeled_cycles(base), (
+                    f"{name}/{config_name}: packed regressed over baseline")
+
+    def test_no_strategy_regresses_any_benchmark(self, strategy_runs):
+        for (name, config_name, strategy), (compiled, _, _) in strategy_runs.items():
+            base = strategy_runs[(name, config_name, "baseline")][0]
+            assert _modeled_cycles(compiled) <= _modeled_cycles(base), (
+                f"{name}/{config_name}/{strategy}: modeled cycles regressed")
+
+    def test_modulo_pipelines_at_least_one_suite_segment(self, strategy_runs):
+        pipelined = [
+            key for key, (compiled, _, _) in strategy_runs.items()
+            if key[2] == "modulo"
+            and any(s.pipelined_interval is not None
+                    for s in compiled.schedules.values())
+        ]
+        assert pipelined, "modulo never fired on the whole suite"
+
+
+# ---------------------------------------------------------------------------
+# Schedule-quality bar (the acceptance numbers recorded in BENCH)
+# ---------------------------------------------------------------------------
+
+class TestScheduleQualityBar:
+    """Modeled-cycle speedups on the realistic (full-size) suite.
+
+    IR size does not grow with the input sizes, so compiling the full-size
+    programs and evaluating the static cycle model is fast — no simulation
+    is needed to state the bar.
+    """
+
+    @pytest.fixture(scope="class")
+    def full_size_cycles(self):
+        config = get_config("vliw-2w")
+        suite = build_suite(SuiteParameters.default(),
+                            names=EXTENDED_BENCHMARK_NAMES)
+        cycles = {}
+        for name in EXTENDED_BENCHMARK_NAMES:
+            program = suite[name].program_for(config)
+            for strategy in STRATEGIES:
+                compiled = compile_cached(program, config, strategy=strategy)
+                cycles[(name, strategy)] = _modeled_cycles(compiled)
+        return cycles
+
+    def test_geomean_speedup_meets_the_bar(self, full_size_cycles):
+        geomeans = {}
+        for strategy in STRATEGIES[1:]:
+            log_sum = 0.0
+            for name in EXTENDED_BENCHMARK_NAMES:
+                ratio = (full_size_cycles[(name, "baseline")]
+                         / full_size_cycles[(name, strategy)])
+                assert ratio >= 1.0, (
+                    f"{name}/{strategy}: full-size modeled regression")
+                log_sum += math.log(ratio)
+            geomeans[strategy] = math.exp(
+                log_sum / len(EXTENDED_BENCHMARK_NAMES))
+        assert max(geomeans.values()) >= 1.15, (
+            f"no strategy reaches the 15% geomean bar on vliw-2w: {geomeans}")
+
+
+# ---------------------------------------------------------------------------
+# Hypothesis properties
+# ---------------------------------------------------------------------------
+
+class TestProperties:
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=80))
+    def test_unroll_factor_one_is_the_identity(self, seed):
+        spec = generate_spec(params_for_seed(seed, "tiny"))
+        program = build_program(spec, ISAFlavor.SCALAR)
+        assert unroll_program(program, 1) is program
+        config = get_config("vliw-2w")
+        model = LatencyModel()
+        unrolled = UnrollStrategy(factor=1).compile(program, config, model)
+        baseline = compile_program(program, config, model, verify=False)
+        assert unrolled.program is program
+        for segment, _ in program.walk_segments():
+            ours = unrolled.schedules[id(segment)]
+            theirs = baseline.schedules[id(segment)]
+            assert [e.cycle for e in ours.entries] \
+                == [e.cycle for e in theirs.entries]
+            assert ours.initiation_interval == theirs.initiation_interval
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=80),
+           flavor=st.sampled_from([ISAFlavor.SCALAR, ISAFlavor.VECTOR]))
+    def test_modulo_interval_respects_the_recurrence_bound(self, seed, flavor):
+        spec = generate_spec(params_for_seed(seed, "tiny"))
+        program = build_program(spec, flavor)
+        # the VLIW machine cannot execute vector operations
+        config = get_config("vliw-2w" if flavor is ISAFlavor.SCALAR
+                            else "vector2-2w")
+        compiled = compile_program(program, config, strategy="modulo",
+                                   verify=False)
+        for schedule in compiled.schedules.values():
+            if schedule.pipelined_interval is None:
+                continue
+            assert schedule.pipelined_interval \
+                >= max(1, schedule.recurrence_interval)
+        assert not verify_compiled(compiled).has_errors
+
+
+# ---------------------------------------------------------------------------
+# REP209: the verifier rejects corrupted pipelined schedules
+# ---------------------------------------------------------------------------
+
+def _fresh_modulo_compilation():
+    """An uncached modulo compilation with at least one pipelined segment.
+
+    Uncached on purpose: these tests mutate the schedule map, which must
+    never poison the process-wide compile cache.
+    """
+    config = get_config("vliw-2w")
+    suite = build_suite(SuiteParameters.tiny(),
+                        names=EXTENDED_BENCHMARK_NAMES)
+    for name in EXTENDED_BENCHMARK_NAMES:
+        program = suite[name].program_for(config)
+        compiled = compile_program(program, config, strategy="modulo",
+                                   verify=False)
+        for segment, loops in program.walk_segments():
+            schedule = compiled.schedules[id(segment)]
+            if schedule.pipelined_interval is not None:
+                return compiled, segment, schedule
+    raise AssertionError("no pipelined segment in the tiny suite")
+
+
+class TestRep209Negative:
+
+    def test_interval_below_one_is_rejected(self):
+        compiled, segment, schedule = _fresh_modulo_compilation()
+        compiled.schedules[id(segment)] = dataclasses.replace(
+            schedule, pipelined_interval=0)
+        report = verify_compiled(compiled)
+        assert any(d.code == "REP209" for d in report.errors)
+
+    def test_interval_below_the_carried_bound_is_rejected(self):
+        from repro.analysis import carried_recurrence_bound
+        from repro.compiler.builder import KernelBuilder
+
+        config = get_config("vector2-2w")
+        model = LatencyModel()
+        b = KernelBuilder("carried", ISAFlavor.VECTOR)
+        with b.loop(4, "i") as i:
+            b.setvl(8)
+            acc = b.acc_clear()
+            v1 = b.vload(b.addr(0x1000, (i, 64)), vl=8)
+            v2 = b.vload(b.addr(0x2000, (i, 64)), vl=8)
+            acc = b.vsad(acc, v1, v2, vl=8)
+            total = b.vsum(acc)
+            b.store(b.addr(0x3000, (i, 8)), total)
+        program = b.program()
+        compiled = compile_program(program, config, model, verify=False)
+        segment = program.segments()[0]
+        bound = carried_recurrence_bound(segment, config, model)
+        assert bound >= 2  # the accumulator chain guarantees this
+        schedule = compiled.schedule_for(segment)
+        compiled.schedules[id(segment)] = dataclasses.replace(
+            schedule, pipelined_interval=bound - 1)
+        report = verify_compiled(compiled)
+        assert any(d.code == "REP209" and "recurrence bound" in d.message
+                   for d in report.errors)
+
+    def test_pipelining_outside_a_repeating_loop_is_rejected(self):
+        from repro.compiler.builder import KernelBuilder
+
+        # a top-level (loop-free) segment: pipelining it is meaningless
+        config = get_config("vliw-2w")
+        model = LatencyModel()
+        b = KernelBuilder("straightline", ISAFlavor.SCALAR)
+        b.load(b.addr(0x100))
+        b.load(b.addr(0x200))
+        program = b.program()
+        compiled = compile_program(program, config, model, verify=False)
+        segment = program.segments()[0]
+        schedule = compiled.schedule_for(segment)
+        compiled.schedules[id(segment)] = dataclasses.replace(
+            schedule, pipelined_interval=max(1, schedule.initiation_interval))
+        report = verify_compiled(compiled)
+        assert any(d.code == "REP209" and "sole body" in d.message
+                   for d in report.errors)
+
+
+# ---------------------------------------------------------------------------
+# Cache keys and store fingerprints: staleness is structurally impossible
+# ---------------------------------------------------------------------------
+
+class TestStrategyKeying:
+
+    def test_legacy_three_tuple_entries_miss_cleanly(self, tiny_suite):
+        """A pre-strategy cache entry can never answer a strategy lookup.
+
+        Before the strategy axis, cache keys were 3-tuples; the regression
+        this pins down is a stale baseline schedule being served for a
+        ``strategy="modulo"`` request after an upgrade (e.g. a long-lived
+        process whose cache was seeded by old code).
+        """
+        config = get_config("vliw-2w")
+        model = LatencyModel()
+        program = tiny_suite["gsm_enc"].program_for(config)
+        cache = CompileCache()
+        baseline = cache.get(program, config, model, verify=False)
+        # forge legacy-format entries the way pre-strategy code keyed them
+        legacy_identity = (id(program), config, _latency_table_key(model))
+        legacy_content = (fingerprint_program(program),
+                          fingerprint_config(config),
+                          _latency_table_key(model))
+        cache._by_identity[legacy_identity] = baseline
+        cache._by_content[legacy_content] = baseline
+        misses_before = cache.stats.misses
+        modulo = cache.get(program, config, model, verify=False,
+                           strategy="modulo")
+        assert cache.stats.misses == misses_before + 1
+        assert modulo is not baseline
+        assert all(modulo.schedules[key] is not baseline.schedules[key]
+                   for key in baseline.schedules)
+
+    def test_cache_keys_are_per_strategy(self, tiny_suite):
+        config = get_config("vliw-2w")
+        model = LatencyModel()
+        program = tiny_suite["fir_bank"].program_for(config)
+        cache = CompileCache()
+        compiled = {s: cache.get(program, config, model, verify=False,
+                                 strategy=s) for s in STRATEGIES}
+        assert len({id(c) for c in compiled.values()}) == len(STRATEGIES)
+        # second lookups all hit
+        hits_before = cache.stats.hits
+        for s in STRATEGIES:
+            assert cache.get(program, config, model, verify=False,
+                             strategy=s) is compiled[s]
+        assert cache.stats.hits == hits_before + len(STRATEGIES)
+
+    def test_run_fingerprint_separates_strategies(self, tiny_suite):
+        config = get_config("vliw-2w")
+        program = tiny_suite["gsm_enc"].program_for(config)
+        prints = {run_fingerprint(program, config, strategy=s)
+                  for s in STRATEGIES}
+        assert len(prints) == len(STRATEGIES)
+        assert run_fingerprint(program, config) \
+            == run_fingerprint(program, config, strategy="baseline")
+
+
+# ---------------------------------------------------------------------------
+# The fuzz lane under strategies
+# ---------------------------------------------------------------------------
+
+class TestFuzzLane:
+
+    def test_fuzz_sweep_all_strategies_clean(self):
+        from repro.fuzz import run_fuzz
+        result = run_fuzz(6, strategies=strategy_names())
+        assert result.ok, result.mismatches
+        assert result.comparisons \
+            == 6 * 3 * 2 * len(strategy_names())  # flavors x modes x strategies
+
+    def test_injected_functional_divergence_is_caught(self, tmp_path):
+        """A strategy that alters the work performed must fail the oracle."""
+        from repro.compiler.strategies import (_REGISTRY, PackedStrategy,
+                                               register_strategy)
+        from repro.fuzz import compare_spec
+
+        class DroppingStrategy(PackedStrategy):
+            """Packs, then silently drops the last segment's schedule work."""
+            name = "dropping"
+            transforms_program = True  # keep it out of the content cache
+
+            def compile(self, program, config, latency_model):
+                import copy
+                pruned = copy.deepcopy(program)
+                for segment, _ in pruned.walk_segments():
+                    if segment.operations:
+                        del segment.operations[-1]
+                        break
+                return super().compile(pruned, config, latency_model)
+
+        register_strategy(DroppingStrategy())
+        try:
+            spec = generate_spec(params_for_seed(0, "tiny"))
+            detail = compare_spec(spec, ISAFlavor.SCALAR, "vliw-2w",
+                                  strategy="dropping")
+            assert detail is not None
+        finally:
+            _REGISTRY.pop("dropping", None)
+
+    def test_reproducer_roundtrips_the_strategy(self, tmp_path):
+        from repro.fuzz import load_reproducer, write_reproducer
+        spec = generate_spec(params_for_seed(3, "tiny"))
+        path = write_reproducer(tmp_path, spec=spec, flavor=ISAFlavor.SCALAR,
+                                config="vliw-2w", perfect=False, seed=3,
+                                detail="synthetic", strategy="modulo")
+        data = load_reproducer(path)
+        assert data["strategy"] == "modulo"
+        # pre-strategy files (no key) default to baseline
+        baseline_path = write_reproducer(tmp_path, spec=spec,
+                                         flavor=ISAFlavor.SCALAR,
+                                         config="vliw-2w", perfect=False,
+                                         seed=3, detail="synthetic")
+        assert load_reproducer(baseline_path)["strategy"] == "baseline"
+
+
+# ---------------------------------------------------------------------------
+# Golden per-strategy report locks
+# ---------------------------------------------------------------------------
+
+class TestStrategyReportLocks:
+    """Byte-locks on the tiny report rendered under each strategy.
+
+    The baseline hash is locked in ``tests/test_experiments.py`` (and must
+    never move when strategies change); these pin the other three.  To
+    regenerate after an intentional scheduling change::
+
+        PYTHONPATH=src python -c "import hashlib; \\
+          from repro.experiments.report import full_report; \\
+          from repro.experiments.evaluation import SuiteEvaluation; \\
+          from repro.workloads.suite import SuiteParameters; \\
+          print(hashlib.sha256(full_report(SuiteEvaluation( \\
+            parameters=SuiteParameters.tiny(), store=None, \\
+            strategy='modulo')).encode()).hexdigest())"
+
+    and bump ``repro.sim.stats.STATS_SCHEMA_VERSION``.
+    """
+
+    STRATEGY_REPORT_SHA256 = {
+        "packed":
+            "3fbc7f8ae97c3406a6b18a2d1d49ecfa82f56441c923b95c1ab1e8c25205810a",
+        "unroll":
+            "e1b1696bf2e64f4a463f4148dc6910c9a37b3dde621aab5b0fe06e68e1f3cf83",
+        "modulo":
+            "3b28cf66b4e8d51ad512f463a94ab797722e363db5dd26d8d959a6228ec3dd8f",
+    }
+
+    @pytest.mark.parametrize("strategy", sorted(STRATEGY_REPORT_SHA256))
+    def test_tiny_report_is_byte_locked(self, tiny_parameters, strategy):
+        from repro.experiments.evaluation import SuiteEvaluation
+        from repro.experiments.report import full_report
+
+        evaluation = SuiteEvaluation(parameters=tiny_parameters, store=None,
+                                     strategy=strategy)
+        digest = hashlib.sha256(
+            full_report(evaluation).encode()).hexdigest()
+        assert digest == self.STRATEGY_REPORT_SHA256[strategy], (
+            f"the {strategy} tiny report changed; if intentional, update "
+            "STRATEGY_REPORT_SHA256 and bump STATS_SCHEMA_VERSION")
+
+
+# ---------------------------------------------------------------------------
+# Full-size simulated differential (slow lane)
+# ---------------------------------------------------------------------------
+
+@pytest.mark.slow
+class TestFullSizeDifferential:
+    """Default-size simulated runs under every strategy (slow lane only)."""
+
+    @pytest.mark.parametrize("name", ("gsm_enc", "jpeg_enc"))
+    def test_full_size_strategies_functionally_equivalent(self, name):
+        config = get_config("vliw-2w")
+        suite = build_suite(SuiteParameters.default(), names=[name])
+        program = suite[name].program_for(config)
+        baseline = None
+        for strategy in STRATEGIES:
+            compiled = compile_cached(program, config, strategy=strategy)
+            assert not verify_compiled(compiled, benchmark=name).has_errors
+            traced = _run(compiled, "trace")
+            interpreted = _run(compiled, "interpreter")
+            assert traced.to_dict() == interpreted.to_dict()
+            if strategy == "baseline":
+                baseline = traced
+            else:
+                assert _functional(traced) == _functional(baseline)
+                assert traced.total_cycles <= baseline.total_cycles
